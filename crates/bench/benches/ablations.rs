@@ -1,0 +1,207 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * `ablation_logger_*` — full-snapshot vs delta vs delta+redundancy
+//!   storage cost (the paper's two conservation techniques),
+//! * `ablation_threshold_*` — sender-classification sweep around the
+//!   paper's 4 kbps choice,
+//! * `ablation_interval_*` — collection-interval sweep (cost side; the
+//!   fidelity side lives in the figure binaries),
+//! * `ablation_aggregate_*` — sequential vs rayon multi-router
+//!   collection, the paper's announced enhancement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mantra_bench::{drive_for, monitor_for};
+use mantra_core::aggregate::{collect_aggregate, collect_aggregate_sequential};
+use mantra_core::logger::{SnapshotParts, TableLog};
+use mantra_core::stats::UsageStats;
+use mantra_core::tables::Tables;
+use mantra_net::{BitRate, SimDuration};
+use mantra_router_cli::TableKind;
+use mantra_sim::Scenario;
+
+/// A short snapshot stream from a live scenario.
+fn snapshot_stream(n: usize) -> Vec<Tables> {
+    let mut sc = Scenario::fixw_six_months(7);
+    let mut monitor = monitor_for(&sc);
+    drive_for(&mut sc, &mut monitor, SimDuration::mins(15 * n as u64));
+    monitor.log("fixw").expect("log exists").replay()
+}
+
+fn ablation_logger(c: &mut Criterion) {
+    let stream = snapshot_stream(24);
+    let mut group = c.benchmark_group("ablation_logger");
+    group.sample_size(10);
+    // Cost of appending under each strategy; the storage ratio is printed
+    // once since criterion can't chart it.
+    group.bench_function("full_snapshots", |b| {
+        b.iter(|| {
+            let mut log = TableLog::new(1); // full every time
+            for s in &stream {
+                log.append(s);
+            }
+            black_box(log.bytes_stored)
+        })
+    });
+    group.bench_function("delta_encoded", |b| {
+        b.iter(|| {
+            let mut log = TableLog::new(96);
+            for s in &stream {
+                log.append(s);
+            }
+            black_box(log.bytes_stored)
+        })
+    });
+    group.bench_function("serialize_parts_only", |b| {
+        b.iter(|| {
+            // Redundancy elimination alone: store the non-derivable parts
+            // in full each cycle.
+            let total: usize = stream
+                .iter()
+                .map(|s| {
+                    serde_json::to_string(&SnapshotParts::from_tables(s))
+                        .map(|j| j.len())
+                        .unwrap_or(0)
+                })
+                .sum();
+            black_box(total)
+        })
+    });
+    group.finish();
+
+    // Report the storage ratios once, outside measurement.
+    let mut full = TableLog::new(1);
+    let mut delta = TableLog::new(96);
+    for s in &stream {
+        full.append(s);
+        delta.append(s);
+    }
+    println!(
+        "[ablation_logger] full={}B delta={}B savings={:.1}% (baseline {}B)",
+        full.bytes_stored,
+        delta.bytes_stored,
+        100.0 * delta.savings_ratio(),
+        delta.bytes_full_baseline,
+    );
+}
+
+fn ablation_threshold(c: &mut Criterion) {
+    let stream = snapshot_stream(8);
+    let snapshot = stream.last().expect("non-empty").clone();
+    let mut group = c.benchmark_group("ablation_threshold");
+    group.sample_size(20);
+    for kbps in [1u64, 2, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(kbps), &kbps, |b, kbps| {
+            let th = BitRate::from_kbps(*kbps);
+            b.iter(|| black_box(UsageStats::from_tables(&snapshot, th)))
+        });
+    }
+    group.finish();
+    // Classification sensitivity, printed once.
+    for kbps in [1u64, 2, 4, 8, 16] {
+        let u = UsageStats::from_tables(&snapshot, BitRate::from_kbps(kbps));
+        println!(
+            "[ablation_threshold] {kbps:>2} kbps: senders={} active_sessions={}",
+            u.senders, u.active_sessions
+        );
+    }
+}
+
+fn ablation_interval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_interval");
+    group.sample_size(10);
+    for mins in [5u64, 15, 60] {
+        group.bench_with_input(BenchmarkId::from_parameter(mins), &mins, |b, mins| {
+            b.iter(|| {
+                let mut sc = Scenario::transition_snapshot(13, 0.3);
+                let mut monitor = monitor_for(&sc);
+                monitor.cfg.interval = SimDuration::mins(*mins);
+                // Equal simulated horizon; finer intervals cost more cycles.
+                drive_for(&mut sc, &mut monitor, SimDuration::hours(3));
+                black_box(monitor.cycles())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_aggregate(c: &mut Criterion) {
+    let mut sc = Scenario::transition_snapshot(17, 0.5);
+    let mut monitor = monitor_for(&sc);
+    drive_for(&mut sc, &mut monitor, SimDuration::hours(12));
+    // Aggregate across every border router in the topology, not just the
+    // two paper collection points — the multi-router scenario the paper's
+    // conclusion argues for.
+    let routers: Vec<String> = sc
+        .sim
+        .net
+        .topo
+        .domains()
+        .iter()
+        .filter_map(|d| d.border)
+        .map(|r| sc.sim.net.topo.router(r).name.clone())
+        .collect();
+    let now = sc.sim.clock;
+    let mut group = c.benchmark_group("ablation_aggregate");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            black_box(collect_aggregate_sequential(
+                &sc.sim,
+                &routers,
+                &TableKind::ALL,
+                now,
+            ))
+        })
+    });
+    group.bench_function("rayon_parallel", |b| {
+        b.iter(|| black_box(collect_aggregate(&sc.sim, &routers, &TableKind::ALL, now)))
+    });
+    group.finish();
+}
+
+fn ablation_report_loss(c: &mut Criterion) {
+    // Route-count instability as a function of DVMRP report loss — the
+    // mechanism behind Figure 7, quantified. Criterion measures the run
+    // cost; the instability metric prints once per level.
+    let mut group = c.benchmark_group("ablation_report_loss");
+    group.sample_size(10);
+    for loss_pct in [0u32, 10, 30] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(loss_pct),
+            &loss_pct,
+            |b, loss_pct| {
+                b.iter(|| {
+                    let mut sc = Scenario::transition_snapshot(19, 0.0);
+                    sc.sim.set_report_loss(f64::from(*loss_pct) / 100.0);
+                    let mut monitor = monitor_for(&sc);
+                    drive_for(&mut sc, &mut monitor, SimDuration::hours(6));
+                    let s = monitor.route_series("fixw", "r", |r| r.dvmrp_reachable as f64);
+                    black_box(s.stddev())
+                })
+            },
+        );
+    }
+    group.finish();
+    for loss_pct in [0u32, 5, 10, 20, 30, 50] {
+        let mut sc = Scenario::transition_snapshot(19, 0.0);
+        sc.sim.set_report_loss(f64::from(loss_pct) / 100.0);
+        let mut monitor = monitor_for(&sc);
+        drive_for(&mut sc, &mut monitor, SimDuration::hours(6));
+        let s = monitor.route_series("fixw", "r", |r| r.dvmrp_reachable as f64);
+        println!(
+            "[ablation_report_loss] {loss_pct:>2}% loss: route-count mean {:.0} stddev {:.1}",
+            s.mean(),
+            s.stddev()
+        );
+    }
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default();
+    targets = ablation_logger, ablation_threshold, ablation_interval,
+              ablation_aggregate, ablation_report_loss
+}
+criterion_main!(ablations);

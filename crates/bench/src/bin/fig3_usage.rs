@@ -1,0 +1,67 @@
+//! Figure 3 — Session and participant statistics at FIXW over the
+//! evaluation window: total sessions, total participants, active sessions
+//! and senders versus time.
+//!
+//! Paper shape to reproduce: counts are low (hundreds, not thousands),
+//! participation is scanty, variation is high (short-lived experimental
+//! session storms), and active sessions/senders are a small, much flatter
+//! subset. Run with `--csv` to dump the raw series.
+
+use mantra_bench::{banner, drive_until, fast_mode, monitor_for, print_summary};
+use mantra_core::output::Graph;
+use mantra_net::SimDuration;
+use mantra_sim::Scenario;
+
+fn main() {
+    banner(
+        "Figure 3",
+        "sessions / participants / active sessions / senders at FIXW",
+    );
+    let csv = std::env::args().any(|a| a == "--csv");
+    let mut sc = Scenario::fixw_six_months_with(1998, mantra_bench::paper_tick());
+    let mut monitor = monitor_for(&sc);
+    let end = if fast_mode() {
+        sc.sim.clock + SimDuration::days(10)
+    } else {
+        sc.sim.end_time()
+    };
+    let cycles = drive_until(&mut sc, &mut monitor, end);
+    println!("cycles: {cycles} (interval {})", monitor.cfg.interval);
+
+    let sessions = monitor.usage_series("fixw", "sessions", |u| u.sessions as f64);
+    let participants = monitor.usage_series("fixw", "participants", |u| u.participants as f64);
+    let active = monitor.usage_series("fixw", "active-sessions", |u| u.active_sessions as f64);
+    let senders = monitor.usage_series("fixw", "senders", |u| u.senders as f64);
+
+    println!("\nseries summaries:");
+    for s in [&sessions, &participants, &active, &senders] {
+        print_summary(s);
+    }
+
+    // The paper's qualitative observations, checked quantitatively.
+    println!("\nobservations:");
+    let cv = sessions.stddev() / sessions.mean().max(1e-9);
+    println!("  variation coefficient of #sessions: {cv:.2} (paper: high variation)");
+    println!(
+        "  active/total sessions: {:.1}% (paper: wide gap — most sessions carry no data)",
+        100.0 * active.mean() / sessions.mean().max(1e-9)
+    );
+    println!(
+        "  senders/participants: {:.1}% (paper: participation scanty, few senders)",
+        100.0 * senders.mean() / participants.mean().max(1e-9)
+    );
+    if let Some((t, v)) = sessions.max() {
+        println!("  session-count peak: {v:.0} at {t} (storms push past 500)");
+    }
+
+    let mut graph = Graph::new("Figure 3: usage at FIXW");
+    graph
+        .overlay(sessions.clone())
+        .overlay(participants.clone())
+        .overlay(active.clone())
+        .overlay(senders.clone());
+    println!("\n{}", graph.render(100, 20));
+    if csv {
+        println!("{}", graph.to_csv());
+    }
+}

@@ -1,0 +1,114 @@
+//! Figure 4 — Session densities at FIXW over time.
+//!
+//! Paper shape to reproduce: average density is small; spikes in the
+//! number of sessions coincide with *dips* in average density (storms of
+//! single-member sessions), while participant surges coincide with density
+//! *rises* (audiences joining existing popular sessions); the early-
+//! December peak is the 43rd IETF. Also checks the in-text claims:
+//! ≥85 % single-member share whenever #sessions > 500, and ≥65 % of
+//! sessions with ≤2 participants.
+
+use mantra_bench::{banner, drive_until, fast_mode, monitor_for, print_summary};
+use mantra_core::output::Graph;
+use mantra_net::{SimDuration, SimTime};
+use mantra_sim::Scenario;
+
+fn main() {
+    banner("Figure 4", "average session density at FIXW");
+    let csv = std::env::args().any(|a| a == "--csv");
+    let mut sc = Scenario::fixw_six_months_with(1998, mantra_bench::paper_tick());
+    let mut monitor = monitor_for(&sc);
+    let end = if fast_mode() {
+        sc.sim.clock + SimDuration::days(10)
+    } else {
+        sc.sim.end_time()
+    };
+    drive_until(&mut sc, &mut monitor, end);
+
+    let density = monitor.usage_series("fixw", "avg-density", |u| u.avg_density);
+    let sessions = monitor.usage_series("fixw", "sessions", |u| u.sessions as f64);
+    let single = monitor.usage_series("fixw", "single-member-frac", |u| {
+        u.single_member_fraction
+    });
+    let le2 = monitor.usage_series("fixw", "le2-frac", |u| u.le2_density_fraction);
+    let top6 = monitor.usage_series("fixw", "top6pct-share", |u| {
+        u.top6pct_participant_share
+    });
+
+    println!("\nseries summaries:");
+    for s in [&density, &sessions, &single, &le2, &top6] {
+        print_summary(s);
+    }
+
+    // In-text claim T1: when #sessions > 500, ≥85% are single-member.
+    let mut storm_points = 0;
+    let mut storm_single_ok = 0;
+    for ((_, n), (_, frac)) in sessions.points.iter().zip(single.points.iter()) {
+        if *n > 500.0 {
+            storm_points += 1;
+            if *frac >= 0.85 {
+                storm_single_ok += 1;
+            }
+        }
+    }
+    println!("\nobservations:");
+    println!(
+        "  T1 storm snapshots (>500 sessions): {storm_points}, of which {storm_single_ok} have >=85% single-member"
+    );
+    // In-text claim T2: ≥65% of sessions have ≤2 participants.
+    println!(
+        "  T2 mean fraction of sessions with <=2 participants: {:.1}% (paper: >65%)",
+        100.0 * le2.mean()
+    );
+    println!(
+        "  T2' mean share of participants in densest 6% of sessions: {:.1}% (paper: ~80% in several data sets)",
+        100.0 * top6.mean()
+    );
+    // Spike/dip anti-correlation between #sessions and density.
+    let corr = correlation(
+        &sessions.points.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+        &density.points.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+    );
+    println!(
+        "  corr(#sessions, avg density) = {corr:.2} (paper: spikes in sessions dip density => negative)"
+    );
+    if !fast_mode() {
+        // The IETF peak: density maximum in the first week of December.
+        if let Some((t, v)) = density
+            .window(
+                SimTime::from_ymd(1998, 12, 5),
+                SimTime::from_ymd(1998, 12, 14),
+            )
+            .max()
+        {
+            println!("  early-December density peak: {v:.2} at {t} (43rd IETF)");
+        }
+    }
+
+    let mut graph = Graph::new("Figure 4: average session density at FIXW");
+    graph.overlay(density.clone());
+    println!("\n{}", graph.render(100, 16));
+    if csv {
+        let mut g = Graph::new("fig4");
+        g.overlay(density).overlay(sessions);
+        println!("{}", g.to_csv());
+    }
+}
+
+fn correlation(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    if n < 2 {
+        return 0.0;
+    }
+    let ma = a.iter().take(n).sum::<f64>() / n as f64;
+    let mb = b.iter().take(n).sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for i in 0..n {
+        cov += (a[i] - ma) * (b[i] - mb);
+        va += (a[i] - ma).powi(2);
+        vb += (b[i] - mb).powi(2);
+    }
+    cov / (va.sqrt() * vb.sqrt()).max(1e-12)
+}

@@ -1,0 +1,78 @@
+//! Figure 7 — DVMRP route statistics: number of routes as seen at the
+//! UCSB router (mrouted) and at FIXW, over the evaluation window.
+//!
+//! Paper shape to reproduce: the count varies significantly over time
+//! (unstable routing), and the two routers' tables are mutually
+//! inconsistent — they do not see the same set of networks at the same
+//! time (lost route reports, inconsistent aggregation).
+
+use mantra_bench::{banner, drive_until, fast_mode, monitor_for, print_summary};
+use mantra_core::output::Graph;
+use mantra_core::stats::ConsistencyReport;
+use mantra_net::SimDuration;
+use mantra_sim::Scenario;
+
+fn main() {
+    banner("Figure 7", "DVMRP route counts at UCSB and FIXW");
+    let csv = std::env::args().any(|a| a == "--csv");
+    let mut sc = Scenario::fixw_six_months_with(1998, mantra_bench::paper_tick());
+    let mut monitor = monitor_for(&sc);
+    let end = if fast_mode() {
+        sc.sim.clock + SimDuration::days(10)
+    } else {
+        sc.sim.end_time()
+    };
+    drive_until(&mut sc, &mut monitor, end);
+
+    let fixw = monitor.route_series("fixw", "fixw-dvmrp-routes", |r| r.dvmrp_reachable as f64);
+    let ucsb = monitor.route_series("ucsb-gw", "ucsb-dvmrp-routes", |r| {
+        r.dvmrp_reachable as f64
+    });
+
+    println!("\nseries summaries:");
+    print_summary(&fixw);
+    print_summary(&ucsb);
+
+    println!("\nobservations:");
+    println!(
+        "  route-count variation: fixw stddev {:.1}, ucsb stddev {:.1} (paper: unstable routes)",
+        fixw.stddev(),
+        ucsb.stddev()
+    );
+    // Inconsistency: compare the final snapshots directly.
+    if let (Some(a), Some(b)) = (monitor.latest("fixw"), monitor.latest("ucsb-gw")) {
+        let c = ConsistencyReport::between(a, b);
+        println!(
+            "  final-snapshot consistency: shared {} / only-fixw {} / only-ucsb {}  (Jaccard {:.2}; paper: inconsistent state)",
+            c.shared,
+            c.only_first,
+            c.only_second,
+            c.similarity()
+        );
+    }
+    // Churn accounting.
+    let churn_total: usize = monitor
+        .churn_history("fixw")
+        .iter()
+        .map(|(_, c)| c.total())
+        .sum();
+    println!(
+        "  cumulative route-change events at fixw: {churn_total} over {} cycles",
+        monitor.cycles()
+    );
+    let inconsistencies = monitor
+        .anomalies
+        .iter()
+        .filter(|a| matches!(a.kind, mantra_core::anomaly::AnomalyKind::Inconsistency { .. }))
+        .count();
+    println!("  inconsistency alarms raised: {inconsistencies}");
+
+    let mut graph = Graph::new("Figure 7: DVMRP routes at UCSB (top) and FIXW (bottom)");
+    graph.overlay(ucsb.clone()).overlay(fixw.clone());
+    println!("\n{}", graph.render(100, 16));
+    if csv {
+        let mut g = Graph::new("fig7");
+        g.overlay(ucsb).overlay(fixw);
+        println!("{}", g.to_csv());
+    }
+}

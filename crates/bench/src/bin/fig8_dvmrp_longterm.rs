@@ -1,0 +1,80 @@
+//! Figure 8 — DVMRP at FIXW, long-term: the number of DVMRP networks
+//! over two years.
+//!
+//! Paper shape to reproduce: the count holds through 1999 (domains kept
+//! advertising DVMRP routes even after moving to sparse-mode forwarding),
+//! then declines steeply through 2000 as DVMRP is decommissioned, ending
+//! near zero.
+
+use mantra_bench::{banner, drive_until, fast_mode, monitor_for, print_summary};
+use mantra_core::output::Graph;
+use mantra_net::SimTime;
+use mantra_sim::Scenario;
+
+fn main() {
+    banner("Figure 8", "DVMRP networks at FIXW over two years");
+    let csv = std::env::args().any(|a| a == "--csv");
+    let mut sc = Scenario::dvmrp_two_years(1998);
+    let mut monitor = monitor_for(&sc);
+    let end = if fast_mode() {
+        // Fast mode samples one day per month.
+        sc.sim.end_time()
+    } else {
+        sc.sim.end_time()
+    };
+    if fast_mode() {
+        let mut month = SimTime::from_ymd(1998, 11, 1);
+        while month < end {
+            sc.sim.advance_to(month);
+            drive_until(&mut sc, &mut monitor, month + mantra_net::SimDuration::days(1));
+            let (y, m, _) = month.ymd();
+            let (ny, nm) = if m == 12 { (y + 1, 1) } else { (y, m + 1) };
+            month = SimTime::from_ymd(ny, nm, 1);
+        }
+    } else {
+        drive_until(&mut sc, &mut monitor, end);
+    }
+
+    let routes = monitor.route_series("fixw", "fixw-dvmrp-routes", |r| {
+        r.dvmrp_reachable as f64
+    });
+    println!("\nseries summary:");
+    print_summary(&routes);
+
+    // Quarterly means show the decline profile.
+    println!("\nquarterly means:");
+    let quarters = [
+        ((1998, 11), (1999, 2)),
+        ((1999, 2), (1999, 5)),
+        ((1999, 5), (1999, 8)),
+        ((1999, 8), (1999, 11)),
+        ((1999, 11), (2000, 2)),
+        ((2000, 2), (2000, 5)),
+        ((2000, 5), (2000, 8)),
+        ((2000, 8), (2000, 11)),
+    ];
+    let mut means = Vec::new();
+    for ((y1, m1), (y2, m2)) in quarters {
+        let w = routes.window(SimTime::from_ymd(y1, m1, 1), SimTime::from_ymd(y2, m2, 1));
+        if !w.is_empty() {
+            println!("  {y1}-{m1:02} .. {y2}-{m2:02}: mean {:.0} routes", w.mean());
+            means.push(w.mean());
+        }
+    }
+    println!("\nobservations:");
+    if let (Some(first), Some(last)) = (means.first(), means.last()) {
+        println!(
+            "  decline: {first:.0} -> {last:.0} routes ({:.0}% drop; paper: DVMRP \"almost nonexistent today\")",
+            100.0 * (first - last) / first.max(1.0)
+        );
+    }
+
+    let mut graph = Graph::new("Figure 8: DVMRP networks at FIXW, Nov 1998 - Nov 2000");
+    graph.overlay(routes.clone());
+    println!("\n{}", graph.render(100, 16));
+    if csv {
+        let mut g = Graph::new("fig8");
+        g.overlay(routes);
+        println!("{}", g.to_csv());
+    }
+}

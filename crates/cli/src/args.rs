@@ -1,0 +1,76 @@
+//! Minimal flag parsing: `--key value` pairs with typed accessors. No
+//! third-party parser — the option surface is tiny and the error messages
+//! matter more than features.
+
+use std::collections::BTreeMap;
+
+/// Parsed `--key value` options.
+#[derive(Debug, Default)]
+pub struct Opts {
+    map: BTreeMap<String, String>,
+}
+
+impl Opts {
+    /// Parses alternating `--key value` tokens.
+    pub fn parse(tokens: &[String]) -> Result<Opts, String> {
+        let mut map = BTreeMap::new();
+        let mut it = tokens.iter();
+        while let Some(tok) = it.next() {
+            let key = tok
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got '{tok}'"))?;
+            let value = it
+                .next()
+                .ok_or_else(|| format!("--{key} needs a value"))?;
+            map.insert(key.to_string(), value.clone());
+        }
+        Ok(Opts { map })
+    }
+
+    /// String option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.map.get(key).map(String::as_str)
+    }
+
+    /// u64 option with default.
+    pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.map.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: '{v}' is not an integer")),
+        }
+    }
+
+    /// f64 option with default.
+    pub fn f64_or(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.map.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: '{v}' is not a number")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let o = Opts::parse(&toks(&["--seed", "7", "--native", "0.5"])).unwrap();
+        assert_eq!(o.u64_or("seed", 0).unwrap(), 7);
+        assert_eq!(o.f64_or("native", 0.0).unwrap(), 0.5);
+        assert_eq!(o.u64_or("hours", 12).unwrap(), 12);
+        assert_eq!(o.get("missing"), None);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(Opts::parse(&toks(&["seed", "7"])).is_err());
+        assert!(Opts::parse(&toks(&["--seed"])).is_err());
+        let o = Opts::parse(&toks(&["--seed", "x"])).unwrap();
+        assert!(o.u64_or("seed", 0).is_err());
+    }
+}

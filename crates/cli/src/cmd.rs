@@ -1,0 +1,169 @@
+//! The subcommand implementations.
+
+use mantra_core::collector::SimAccess;
+use mantra_core::{Monitor, MonitorConfig};
+use mantra_net::SimDuration;
+use mantra_sim::Scenario;
+
+use crate::args::Opts;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+mantra — router-based multicast monitoring (simulated 1998-2000 internetwork)
+
+USAGE:
+  mantra monitor  [--seed N] [--native F] [--hours H] [--loss P] [--html FILE]
+  mantra incident [--seed N]
+  mantra mwatch   [--seed N] [--native F]
+  mantra mtrace   [--seed N] [--native F]
+  mantra snmpwalk [--seed N] [--native F] [--oid OID] [--community STR]
+
+OPTIONS:
+  --seed N        scenario seed (default 1998)
+  --native F      fraction of domains already native sparse-mode (default 0.4)
+  --hours H       hours of simulated monitoring (default 12)
+  --loss P        DVMRP report loss probability (default 0.02)
+  --html FILE     also write an HTML report
+  --oid OID       subtree to walk (default 1.3.6.1.2.1)
+  --community STR SNMP community (default public)";
+
+fn scenario(opts: &Opts) -> Result<Scenario, String> {
+    let seed = opts.u64_or("seed", 1998)?;
+    let native = opts.f64_or("native", 0.4)?;
+    if !(0.0..=1.0).contains(&native) {
+        return Err("--native must be in [0,1]".into());
+    }
+    let mut sc = Scenario::transition_snapshot(seed, native);
+    sc.sim.set_report_loss(opts.f64_or("loss", 0.02)?);
+    Ok(sc)
+}
+
+fn warmed(opts: &Opts, hours: u64) -> Result<Scenario, String> {
+    let mut sc = scenario(opts)?;
+    let until = sc.sim.clock + SimDuration::hours(hours);
+    sc.sim.advance_to(until);
+    Ok(sc)
+}
+
+/// `mantra monitor`: run the full pipeline and print Mantra's output.
+pub fn monitor(opts: &Opts) -> Result<(), String> {
+    let hours = opts.u64_or("hours", 12)?;
+    let mut sc = scenario(opts)?;
+    let mut monitor = Monitor::new(MonitorConfig {
+        routers: vec!["fixw".into(), "ucsb-gw".into()],
+        interval: sc.sim.tick(),
+        ..MonitorConfig::default()
+    });
+    let cycles = hours * 3_600 / monitor.cfg.interval.as_secs();
+    eprintln!("monitoring {hours}h of simulated time ({cycles} cycles)...");
+    for _ in 0..cycles {
+        let next = sc.sim.clock + monitor.cfg.interval;
+        sc.sim.advance_to(next);
+        let mut access = SimAccess::new(&sc.sim);
+        monitor.run_cycle(&mut access, next);
+    }
+    for router in ["fixw", "ucsb-gw"] {
+        let Some(u) = monitor.usage_history(router).last() else {
+            continue;
+        };
+        let r = monitor.route_history(router).last().expect("same cycles");
+        println!(
+            "{router}: {} sessions ({} active), {} participants ({} senders), {}, {} DVMRP routes",
+            u.sessions, u.active_sessions, u.participants, u.senders, u.total_bandwidth,
+            r.dvmrp_reachable,
+        );
+    }
+    println!("\n{}", monitor.busiest_sessions("fixw", 8).render());
+    println!("{}", monitor.usage_graph("fixw").render(96, 14));
+    if !monitor.anomalies.is_empty() {
+        println!("{} anomaly(ies) detected; first: {:?}", monitor.anomalies.len(), monitor.anomalies[0]);
+    }
+    if let Some(path) = opts.get("html") {
+        std::fs::write(path, mantra_core::web::report_html(&monitor, "fixw"))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `mantra incident`: replay the 1998-10-14 route injection and diagnose.
+pub fn incident(opts: &Opts) -> Result<(), String> {
+    let seed = opts.u64_or("seed", 1998)?;
+    let mut sc = Scenario::ucsb_injection_day(seed);
+    let mut monitor = Monitor::new(MonitorConfig {
+        routers: vec!["ucsb-gw".into()],
+        interval: sc.sim.tick(),
+        ..MonitorConfig::default()
+    });
+    let end = sc.sim.end_time();
+    loop {
+        let next = sc.sim.clock + monitor.cfg.interval;
+        if next > end {
+            break;
+        }
+        sc.sim.advance_to(next);
+        let mut access = SimAccess::new(&sc.sim);
+        monitor.run_cycle(&mut access, next);
+    }
+    let series = monitor.route_series("ucsb-gw", "dvmrp-routes", |r| r.dvmrp_reachable as f64);
+    let mut g = mantra_core::output::Graph::new("DVMRP routes at ucsb-gw, 1998-10-14");
+    g.overlay(series);
+    println!("{}", g.render(96, 14));
+    let injection = monitor.anomalies.iter().find(|a| {
+        matches!(a.kind, mantra_core::anomaly::AnomalyKind::RouteInjection { .. })
+    });
+    match injection {
+        Some(a) => println!("diagnosis: {:?} at {}", a.kind, a.at),
+        None => println!("no injection detected (unexpected)"),
+    }
+    Ok(())
+}
+
+/// `mantra mwatch`: map the internetwork.
+pub fn mwatch(opts: &Opts) -> Result<(), String> {
+    let sc = warmed(opts, 2)?;
+    let report = mantra_tools::mwatch(&sc.sim.net, sc.ucsb);
+    println!("{}", report.summary());
+    for r in &report.routers {
+        print!("{}", r.render());
+    }
+    Ok(())
+}
+
+/// `mantra mtrace`: trace from FIXW to the busiest sender.
+pub fn mtrace(opts: &Opts) -> Result<(), String> {
+    let sc = warmed(opts, 4)?;
+    let Some((group, part)) = sc
+        .sim
+        .sessions
+        .iter()
+        .flat_map(|s| s.participants.values().map(move |p| (s.group, p.clone())))
+        .max_by_key(|(_, p)| p.rate.bps())
+    else {
+        return Err("no sessions live; try another seed".into());
+    };
+    let trace = mantra_tools::mtrace(&sc.sim.net, sc.fixw, part.addr, group);
+    print!("{}", trace.render(part.addr, group));
+    Ok(())
+}
+
+/// `mantra snmpwalk`: walk an agent subtree on FIXW.
+pub fn snmpwalk(opts: &Opts) -> Result<(), String> {
+    let sc = warmed(opts, 4)?;
+    let community = opts.get("community").unwrap_or("public");
+    let oid: mantra_snmp::Oid = opts
+        .get("oid")
+        .unwrap_or("1.3.6.1.2.1")
+        .parse()
+        .map_err(|_| "--oid: malformed OID".to_string())?;
+    let mut agent = mantra_snmp::Agent::new("public");
+    mantra_snmp::mib::refresh_agent(&mut agent, &sc.sim.net, sc.fixw, sc.sim.clock);
+    let rows = agent
+        .walk(community, &oid)
+        .map_err(|e| e.to_string())?;
+    for (o, v) in &rows {
+        println!("{o} = {v:?}");
+    }
+    eprintln!("{} bindings", rows.len());
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! `mantra` — the command-line front end.
+//!
+//! ```text
+//! mantra monitor  [--seed N] [--native F] [--hours H] [--loss P] [--html FILE]
+//! mantra incident [--seed N]                 # replay Figure 9 and diagnose
+//! mantra mwatch   [--seed N] [--native F]    # map the internetwork
+//! mantra mtrace   [--seed N] [--native F]    # trace to the busiest sender
+//! mantra snmpwalk [--seed N] [--native F] [--oid OID]
+//! ```
+//!
+//! Everything runs against the simulated internetwork (see DESIGN.md);
+//! seeds make every run reproducible.
+
+use std::process::ExitCode;
+
+mod args;
+mod cmd;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{}", cmd::USAGE);
+        return ExitCode::from(2);
+    };
+    let opts = match args::Opts::parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", cmd::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "monitor" => cmd::monitor(&opts),
+        "incident" => cmd::incident(&opts),
+        "mwatch" => cmd::mwatch(&opts),
+        "mtrace" => cmd::mtrace(&opts),
+        "snmpwalk" => cmd::snmpwalk(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{}", cmd::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

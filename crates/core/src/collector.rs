@@ -1,0 +1,361 @@
+//! The data collector.
+//!
+//! The paper's Mantra launched expect scripts at frequent intervals to log
+//! into each router, dump its tables and ship the text home, then
+//! pre-processed the capture (stripping login noise, pagination artifacts,
+//! excess whitespace and delimiters). Here the transport is abstracted
+//! behind [`RouterAccess`]; the production implementation in this
+//! reproduction is [`SimAccess`], which "logs into" simulated routers and
+//! returns byte-identical CLI text, and [`FlakyAccess`] wraps any access
+//! with the failure modes real collection suffered (login refusals,
+//! truncated captures).
+
+use mantra_net::{RouterId, SimTime};
+use mantra_router_cli::TableKind;
+use mantra_sim::Simulation;
+
+/// Why a capture failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CaptureError {
+    /// Could not log in (wrong password, connection refused, router down).
+    LoginFailed(String),
+    /// The session died mid-dump; a partial capture may still be usable.
+    Truncated {
+        /// What was captured before the cut.
+        partial: String,
+    },
+    /// The router does not expose this table.
+    Unsupported,
+    /// The named router is unknown to the access layer.
+    UnknownRouter(String),
+}
+
+impl std::fmt::Display for CaptureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CaptureError::LoginFailed(r) => write!(f, "login failed: {r}"),
+            CaptureError::Truncated { .. } => write!(f, "capture truncated"),
+            CaptureError::Unsupported => write!(f, "table not supported by router"),
+            CaptureError::UnknownRouter(n) => write!(f, "unknown router {n}"),
+        }
+    }
+}
+
+impl std::error::Error for CaptureError {}
+
+/// Anything Mantra can collect router tables through.
+pub trait RouterAccess {
+    /// Captures the raw text of `table` from the named router.
+    fn capture(
+        &mut self,
+        router: &str,
+        table: TableKind,
+        now: SimTime,
+    ) -> Result<String, CaptureError>;
+}
+
+/// A cleaned capture ready for the table processor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Capture {
+    /// The router the capture came from.
+    pub router: String,
+    /// Which table was dumped.
+    pub kind: TableKind,
+    /// Capture timestamp.
+    pub captured_at: SimTime,
+    /// Pre-processed lines: no banners, prompts, pagination, blank lines
+    /// or repeated whitespace.
+    pub lines: Vec<String>,
+    /// Size of the raw capture, for storage accounting.
+    pub raw_bytes: usize,
+}
+
+/// Pre-processes a raw capture: the paper's "removing unwanted
+/// information, excess white-spaces and delimiters".
+pub fn preprocess(router: &str, kind: TableKind, raw: &str, now: SimTime) -> Capture {
+    let mut lines = Vec::new();
+    for physical in raw.split('\n') {
+        // Terminal pagination rewrites the line with carriage returns;
+        // the last CR-segment is what remains on screen.
+        let mut effective = "";
+        for seg in physical.split('\r') {
+            if seg.trim_start().starts_with("--More--") {
+                continue;
+            }
+            if !seg.trim().is_empty() {
+                effective = seg;
+            }
+        }
+        let trimmed = effective.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        // Telnet/session noise.
+        if trimmed.starts_with("Trying ")
+            || trimmed.starts_with("Connected to")
+            || trimmed.starts_with("Escape character")
+        {
+            continue;
+        }
+        // Prompt lines: `name> ` or `name#command`.
+        if trimmed == format!("{router}>") || trimmed.starts_with(&format!("{router}#")) {
+            continue;
+        }
+        // Collapse internal whitespace runs.
+        let collapsed = trimmed.split_whitespace().collect::<Vec<_>>().join(" ");
+        lines.push(collapsed);
+    }
+    Capture {
+        router: router.to_string(),
+        kind,
+        captured_at: now,
+        lines,
+        raw_bytes: raw.len(),
+    }
+}
+
+/// The simulator-backed access: resolves router names against the
+/// simulation's topology and renders the live CLI text.
+pub struct SimAccess<'a> {
+    sim: &'a Simulation,
+}
+
+impl<'a> SimAccess<'a> {
+    /// Wraps a simulation.
+    pub fn new(sim: &'a Simulation) -> Self {
+        SimAccess { sim }
+    }
+
+    fn resolve(&self, name: &str) -> Option<RouterId> {
+        self.sim.net.topo.router_by_name(name).map(|r| r.id)
+    }
+}
+
+impl RouterAccess for SimAccess<'_> {
+    fn capture(
+        &mut self,
+        router: &str,
+        table: TableKind,
+        now: SimTime,
+    ) -> Result<String, CaptureError> {
+        let id = self
+            .resolve(router)
+            .ok_or_else(|| CaptureError::UnknownRouter(router.to_string()))?;
+        Ok(mantra_router_cli::render(&self.sim.net, id, table, now))
+    }
+}
+
+/// Failure-injection decorator: with deterministic pseudo-randomness (keyed
+/// on router, table and timestamp), captures fail to log in or come back
+/// truncated.
+pub struct FlakyAccess<A> {
+    inner: A,
+    /// Probability of a login failure per capture.
+    pub login_failure_prob: f64,
+    /// Probability of a truncated capture per capture.
+    pub truncation_prob: f64,
+    salt: u64,
+}
+
+impl<A> FlakyAccess<A> {
+    /// Wraps `inner` with the given failure rates.
+    pub fn new(inner: A, login_failure_prob: f64, truncation_prob: f64, salt: u64) -> Self {
+        FlakyAccess {
+            inner,
+            login_failure_prob,
+            truncation_prob,
+            salt,
+        }
+    }
+
+    fn hash01(&self, router: &str, table: TableKind, now: SimTime, stream: u64) -> f64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.salt.hash(&mut h);
+        router.hash(&mut h);
+        table.hash(&mut h);
+        now.as_secs().hash(&mut h);
+        stream.hash(&mut h);
+        (h.finish() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl<A: RouterAccess> RouterAccess for FlakyAccess<A> {
+    fn capture(
+        &mut self,
+        router: &str,
+        table: TableKind,
+        now: SimTime,
+    ) -> Result<String, CaptureError> {
+        if self.hash01(router, table, now, 1) < self.login_failure_prob {
+            return Err(CaptureError::LoginFailed("connection refused".into()));
+        }
+        let full = self.inner.capture(router, table, now)?;
+        let r = self.hash01(router, table, now, 2);
+        if r < self.truncation_prob {
+            let keep = (full.len() as f64 * (0.1 + 0.8 * r / self.truncation_prob)) as usize;
+            let cut = full
+                .char_indices()
+                .map(|(i, _)| i)
+                .take_while(|i| *i <= keep)
+                .last()
+                .unwrap_or(0);
+            return Err(CaptureError::Truncated {
+                partial: full[..cut].to_string(),
+            });
+        }
+        Ok(full)
+    }
+}
+
+/// The collector: captures and pre-processes a configured set of tables,
+/// tolerating per-table failures.
+pub struct Collector {
+    /// Tables to capture each cycle.
+    pub tables: Vec<TableKind>,
+    /// Running count of failed captures (exposed for health monitoring).
+    pub failures: u64,
+    /// Running count of successful captures.
+    pub successes: u64,
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Collector {
+            tables: TableKind::ALL.to_vec(),
+            failures: 0,
+            successes: 0,
+        }
+    }
+}
+
+impl Collector {
+    /// A collector for the full table set.
+    pub fn new() -> Self {
+        Collector::default()
+    }
+
+    /// Captures every configured table from `router`. Failed captures are
+    /// skipped (counted in [`Collector::failures`]); truncated captures
+    /// are salvaged by pre-processing the partial text, as the real tool
+    /// did with half-transferred dumps.
+    pub fn collect(
+        &mut self,
+        access: &mut dyn RouterAccess,
+        router: &str,
+        now: SimTime,
+    ) -> Vec<Capture> {
+        let mut out = Vec::with_capacity(self.tables.len());
+        for kind in self.tables.clone() {
+            match access.capture(router, kind, now) {
+                Ok(raw) => {
+                    self.successes += 1;
+                    out.push(preprocess(router, kind, &raw, now));
+                }
+                Err(CaptureError::Truncated { partial }) => {
+                    self.failures += 1;
+                    let mut cap = preprocess(router, kind, &partial, now);
+                    // Drop the last (probably half-transferred) line.
+                    cap.lines.pop();
+                    if !cap.lines.is_empty() {
+                        out.push(cap);
+                    }
+                }
+                Err(_) => {
+                    self.failures += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mantra_net::SimDuration;
+    use mantra_sim::Scenario;
+
+    fn t0() -> SimTime {
+        SimTime::from_ymd(1998, 11, 1)
+    }
+
+    #[test]
+    fn preprocess_strips_noise() {
+        let raw = "Trying 1.2.3.4...\r\nConnected to ucsb-gw.\r\nEscape character is '^]'.\r\n\r\nDVMRP Routing Table (2 entries)\n Origin-Subnet      From-Gateway\n 10.0.0.0/8     \t  10.1.2.3\n --More-- \r        \r 11.0.0.0/8       direct\n\r\nucsb-gw> ";
+        let cap = preprocess("ucsb-gw", TableKind::DvmrpRoutes, raw, t0());
+        assert_eq!(
+            cap.lines,
+            vec![
+                "DVMRP Routing Table (2 entries)",
+                "Origin-Subnet From-Gateway",
+                "10.0.0.0/8 10.1.2.3",
+                "11.0.0.0/8 direct",
+            ]
+        );
+        assert_eq!(cap.raw_bytes, raw.len());
+    }
+
+    #[test]
+    fn preprocess_strips_ios_command_echo() {
+        let raw = "fixw#show ip mroute count\nIP Multicast Statistics\n3 routes using 456 bytes of memory\nfixw> ";
+        let cap = preprocess("fixw", TableKind::ForwardingCache, raw, t0());
+        assert_eq!(cap.lines[0], "IP Multicast Statistics");
+        assert_eq!(cap.lines.len(), 2);
+    }
+
+    #[test]
+    fn sim_access_round_trip() {
+        let mut sc = Scenario::transition_snapshot(6, 0.5);
+        sc.sim.advance_to(sc.sim.clock + SimDuration::hours(3));
+        let now = sc.sim.clock;
+        let mut access = SimAccess::new(&sc.sim);
+        let raw = access.capture("fixw", TableKind::DvmrpRoutes, now).unwrap();
+        assert!(raw.contains("DVMRP"));
+        assert!(matches!(
+            access.capture("nosuch", TableKind::DvmrpRoutes, now),
+            Err(CaptureError::UnknownRouter(_))
+        ));
+    }
+
+    #[test]
+    fn collector_counts_and_salvages() {
+        let mut sc = Scenario::transition_snapshot(8, 0.5);
+        sc.sim.advance_to(sc.sim.clock + SimDuration::hours(3));
+        let now = sc.sim.clock;
+        // Heavy failure injection.
+        let mut access = FlakyAccess::new(SimAccess::new(&sc.sim), 0.4, 0.4, 7);
+        let mut collector = Collector::new();
+        let mut captures = Vec::new();
+        for i in 0..20 {
+            captures.extend(collector.collect(
+                &mut access,
+                "fixw",
+                now + SimDuration::mins(i),
+            ));
+        }
+        assert!(collector.failures > 0, "failures injected");
+        assert!(collector.successes > 0, "some captures survive");
+        // Salvaged truncations still produced clean lines.
+        assert!(captures.iter().all(|c| !c.lines.is_empty()));
+    }
+
+    #[test]
+    fn flaky_access_is_deterministic() {
+        let mut sc = Scenario::transition_snapshot(9, 0.0);
+        sc.sim.advance_to(sc.sim.clock + SimDuration::hours(1));
+        let now = sc.sim.clock;
+        let run = |salt: u64| {
+            let mut access = FlakyAccess::new(SimAccess::new(&sc.sim), 0.5, 0.0, salt);
+            (0..10)
+                .map(|i| {
+                    access
+                        .capture("fixw", TableKind::DvmrpRoutes, now + SimDuration::mins(i))
+                        .is_ok()
+                })
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+}

@@ -1,0 +1,334 @@
+//! Long-term trend analysis across monitoring cycles.
+//!
+//! The paper's data logger exists "for detailed off-line analysis and
+//! long-term trend analysis", and its route monitoring reports "route
+//! lifetimes and individual route stability characteristics"; its
+//! participant table tracks "the time period for which Mantra has had
+//! state" per host. Those statistics all need memory across snapshots,
+//! which per-snapshot [`crate::stats`] cannot provide. [`LongTermTracker`]
+//! is that memory: feed it every snapshot (or a whole replayed archive)
+//! and ask for lifetime and stability distributions.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use mantra_net::{GroupAddr, Ip, Prefix, SimDuration, SimTime};
+
+use crate::tables::{LearnedFrom, Tables};
+
+/// Presence tracking for one entity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Presence {
+    /// First snapshot the entity appeared in.
+    pub first_seen: SimTime,
+    /// Most recent snapshot it appeared in.
+    pub last_seen: SimTime,
+    /// Number of distinct appearance intervals (1 = never left;
+    /// higher = flapping in and out).
+    pub episodes: u32,
+    /// Whether it was present in the latest snapshot.
+    pub present: bool,
+}
+
+impl Presence {
+    /// Total observed lifetime (first to last appearance).
+    pub fn lifetime(&self) -> SimDuration {
+        self.last_seen.since(self.first_seen)
+    }
+}
+
+/// Closed lifetime records, for distribution statistics.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LifetimeStats {
+    /// Completed lifetimes in seconds.
+    pub completed: Vec<u64>,
+}
+
+impl LifetimeStats {
+    /// Number of completed lifetimes.
+    pub fn len(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// True when nothing completed yet.
+    pub fn is_empty(&self) -> bool {
+        self.completed.is_empty()
+    }
+
+    /// Mean completed lifetime in seconds.
+    pub fn mean_secs(&self) -> f64 {
+        if self.completed.is_empty() {
+            return 0.0;
+        }
+        self.completed.iter().sum::<u64>() as f64 / self.completed.len() as f64
+    }
+
+    /// Median completed lifetime in seconds.
+    pub fn median_secs(&self) -> f64 {
+        if self.completed.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.completed.clone();
+        v.sort_unstable();
+        let m = v.len() / 2;
+        if v.len() % 2 == 0 {
+            (v[m - 1] + v[m]) as f64 / 2.0
+        } else {
+            v[m] as f64
+        }
+    }
+
+    /// Fraction of lifetimes at or below `secs`.
+    pub fn fraction_shorter_than(&self, secs: u64) -> f64 {
+        if self.completed.is_empty() {
+            return 0.0;
+        }
+        self.completed.iter().filter(|l| **l <= secs).count() as f64
+            / self.completed.len() as f64
+    }
+}
+
+/// Cross-cycle tracker for sessions, participants and routes of one
+/// router's snapshot stream.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LongTermTracker {
+    sessions: BTreeMap<GroupAddr, Presence>,
+    participants: BTreeMap<Ip, Presence>,
+    routes: BTreeMap<Prefix, Presence>,
+    /// Completed session lifetimes.
+    pub session_lifetimes: LifetimeStats,
+    /// Completed participant lifetimes.
+    pub participant_lifetimes: LifetimeStats,
+    /// Completed route lifetimes — the paper's route-lifetime statistic.
+    pub route_lifetimes: LifetimeStats,
+    /// Join-pattern histogram: for each snapshot, how many sessions were
+    /// brand new (the "membership join pattern" signal).
+    pub new_sessions_per_cycle: Vec<(SimTime, usize)>,
+    cycles: u64,
+}
+
+impl LongTermTracker {
+    /// Fresh tracker.
+    pub fn new() -> Self {
+        LongTermTracker::default()
+    }
+
+    /// Cycles observed.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Feeds the next snapshot (must be in time order).
+    pub fn observe(&mut self, t: &Tables) {
+        self.cycles += 1;
+        let now = t.captured_at;
+        let new_sessions = update_presences(
+            &mut self.sessions,
+            t.sessions.keys().copied(),
+            now,
+            &mut self.session_lifetimes,
+        );
+        self.new_sessions_per_cycle.push((now, new_sessions));
+        update_presences(
+            &mut self.participants,
+            t.participants.keys().copied(),
+            now,
+            &mut self.participant_lifetimes,
+        );
+        update_presences(
+            &mut self.routes,
+            t.routes_of(LearnedFrom::Dvmrp)
+                .filter(|r| r.reachable)
+                .map(|r| r.prefix),
+            now,
+            &mut self.route_lifetimes,
+        );
+    }
+
+    /// Replays a full archive through the tracker.
+    pub fn observe_all<'a>(&mut self, snapshots: impl IntoIterator<Item = &'a Tables>) {
+        for s in snapshots {
+            self.observe(s);
+        }
+    }
+
+    /// Presence record for one session.
+    pub fn session(&self, g: GroupAddr) -> Option<&Presence> {
+        self.sessions.get(&g)
+    }
+
+    /// Presence record for one participant — the paper's "time period for
+    /// which Mantra has had state for it".
+    pub fn participant(&self, host: Ip) -> Option<&Presence> {
+        self.participants.get(&host)
+    }
+
+    /// Presence record for one route.
+    pub fn route(&self, p: Prefix) -> Option<&Presence> {
+        self.routes.get(&p)
+    }
+
+    /// Routes that flapped (more than one presence episode) — "individual
+    /// route stability characteristics".
+    pub fn flapping_routes(&self) -> Vec<(Prefix, u32)> {
+        self.routes
+            .iter()
+            .filter(|(_, p)| p.episodes > 1)
+            .map(|(r, p)| (*r, p.episodes))
+            .collect()
+    }
+
+    /// Fraction of tracked routes that never flapped.
+    pub fn route_stability(&self) -> f64 {
+        if self.routes.is_empty() {
+            return 1.0;
+        }
+        self.routes.values().filter(|p| p.episodes == 1).count() as f64
+            / self.routes.len() as f64
+    }
+}
+
+/// Updates a presence map with the current member set; returns how many
+/// entities are brand new. Entities that disappeared get their lifetime
+/// recorded; entities that reappear start a new episode.
+fn update_presences<K: Ord + Copy>(
+    map: &mut BTreeMap<K, Presence>,
+    current: impl Iterator<Item = K>,
+    now: SimTime,
+    lifetimes: &mut LifetimeStats,
+) -> usize {
+    let current: std::collections::BTreeSet<K> = current.collect();
+    let mut brand_new = 0;
+    for k in &current {
+        match map.get_mut(k) {
+            None => {
+                brand_new += 1;
+                map.insert(
+                    *k,
+                    Presence {
+                        first_seen: now,
+                        last_seen: now,
+                        episodes: 1,
+                        present: true,
+                    },
+                );
+            }
+            Some(p) => {
+                if !p.present {
+                    p.episodes += 1;
+                    p.present = true;
+                }
+                p.last_seen = now;
+            }
+        }
+    }
+    for (k, p) in map.iter_mut() {
+        if p.present && !current.contains(k) {
+            p.present = false;
+            lifetimes
+                .completed
+                .push(p.last_seen.since(p.first_seen).as_secs());
+        }
+    }
+    brand_new
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::{PairRow, RouteRow};
+    use mantra_net::BitRate;
+
+    fn t(n: u64) -> SimTime {
+        SimTime(SimTime::from_ymd(1998, 11, 1).as_secs() + n * 900)
+    }
+
+    fn g(i: u32) -> GroupAddr {
+        GroupAddr::from_index(i)
+    }
+
+    fn snapshot(n: u64, groups: &[u32], routes: &[u8]) -> Tables {
+        let mut tab = Tables::new("fixw", t(n));
+        for gi in groups {
+            tab.add_pair(PairRow {
+                source: Ip::new(1, 0, 0, *gi as u8 + 1),
+                group: g(*gi),
+                current_bw: BitRate::from_kbps(8),
+                avg_bw: BitRate::from_kbps(8),
+                forwarding: true,
+                learned_from: LearnedFrom::Dvmrp,
+            });
+        }
+        for third in routes {
+            tab.add_route(RouteRow {
+                prefix: Prefix::new(Ip::new(128, *third, 0, 0), 16).unwrap(),
+                next_hop: Some(Ip::new(10, 0, 0, 1)),
+                metric: 3,
+                uptime: None,
+                reachable: true,
+                learned_from: LearnedFrom::Dvmrp,
+            });
+        }
+        tab
+    }
+
+    #[test]
+    fn lifetimes_recorded_on_disappearance() {
+        let mut tr = LongTermTracker::new();
+        tr.observe(&snapshot(0, &[0, 1], &[1]));
+        tr.observe(&snapshot(1, &[0, 1], &[1]));
+        tr.observe(&snapshot(2, &[0], &[1])); // session 1 gone
+        assert_eq!(tr.session_lifetimes.len(), 1);
+        assert_eq!(tr.session_lifetimes.completed[0], 900);
+        let s0 = tr.session(g(0)).unwrap();
+        assert!(s0.present);
+        assert_eq!(s0.lifetime(), SimDuration::secs(1_800));
+        // Participant of session 1 also closed out.
+        assert_eq!(tr.participant_lifetimes.len(), 1);
+    }
+
+    #[test]
+    fn reappearance_counts_episodes() {
+        let mut tr = LongTermTracker::new();
+        tr.observe(&snapshot(0, &[], &[1, 2]));
+        tr.observe(&snapshot(1, &[], &[1])); // route 2 flaps out
+        tr.observe(&snapshot(2, &[], &[1, 2])); // and back
+        let r2 = tr
+            .route(Prefix::new(Ip::new(128, 2, 0, 0), 16).unwrap())
+            .unwrap();
+        assert_eq!(r2.episodes, 2);
+        assert!(r2.present);
+        assert_eq!(tr.flapping_routes().len(), 1);
+        assert!((tr.route_stability() - 0.5).abs() < 1e-9);
+        // One completed lifetime (the first episode of route 2).
+        assert_eq!(tr.route_lifetimes.len(), 1);
+    }
+
+    #[test]
+    fn join_pattern_histogram() {
+        let mut tr = LongTermTracker::new();
+        tr.observe(&snapshot(0, &[0, 1], &[]));
+        tr.observe(&snapshot(1, &[0, 1, 2, 3], &[]));
+        tr.observe(&snapshot(2, &[0, 1, 2, 3], &[]));
+        let news: Vec<usize> = tr
+            .new_sessions_per_cycle
+            .iter()
+            .map(|(_, n)| *n)
+            .collect();
+        assert_eq!(news, vec![2, 2, 0]);
+    }
+
+    #[test]
+    fn lifetime_stats_math() {
+        let stats = LifetimeStats {
+            completed: vec![100, 200, 300, 400],
+        };
+        assert_eq!(stats.mean_secs(), 250.0);
+        assert_eq!(stats.median_secs(), 250.0);
+        assert_eq!(stats.fraction_shorter_than(200), 0.5);
+        assert_eq!(stats.fraction_shorter_than(1_000), 1.0);
+        assert!(LifetimeStats::default().is_empty());
+        assert_eq!(LifetimeStats::default().median_secs(), 0.0);
+    }
+}

@@ -1,0 +1,464 @@
+//! The monitoring orchestrator: Figure 1's pipeline, end to end.
+//!
+//! One [`Monitor`] owns the collector, the per-router delta logs, the
+//! statistics histories and the anomaly detectors. Each call to
+//! [`Monitor::run_cycle`] performs one full monitoring cycle against a
+//! [`RouterAccess`]: capture → pre-process → table-process → enrich →
+//! log → analyse.
+
+use std::collections::BTreeMap;
+
+use mantra_net::{BitRate, GroupAddr, Ip, SimDuration, SimTime};
+
+use crate::anomaly::{detect_injection, Anomaly, InconsistencyMonitor, SpikeDetector};
+use crate::collector::{Collector, RouterAccess};
+use crate::logger::TableLog;
+use crate::longterm::LongTermTracker;
+use crate::output::{Cell, Graph, Table};
+use crate::processor::{process, ParseStats};
+use crate::stats::{RouteChurn, RouteStats, Series, UsageStats};
+use crate::tables::Tables;
+
+/// Monitor configuration.
+#[derive(Clone, Debug)]
+pub struct MonitorConfig {
+    /// Routers to poll each cycle (names resolvable by the access layer).
+    pub routers: Vec<String>,
+    /// Collection interval (the paper used minutes-scale cycles).
+    pub interval: SimDuration,
+    /// Sender classification threshold (the paper's 4 kbps).
+    pub threshold: BitRate,
+    /// Delta log: full snapshot every this many records.
+    pub log_full_every: usize,
+    /// Route-injection detector: minimum new routes in one cycle.
+    pub injection_min_new: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            routers: vec!["fixw".into(), "ucsb-gw".into()],
+            interval: SimDuration::mins(15),
+            threshold: mantra_net::rate::SENDER_THRESHOLD,
+            log_full_every: 96, // one full snapshot per day at 15-min cycles
+            injection_min_new: 200,
+        }
+    }
+}
+
+/// What one cycle produced.
+#[derive(Clone, Debug)]
+pub struct CycleReport {
+    /// Cycle timestamp.
+    pub at: SimTime,
+    /// Per-router `(usage, routes)` statistics, in configuration order.
+    pub per_router: Vec<(String, UsageStats, RouteStats)>,
+    /// Anomalies raised this cycle.
+    pub anomalies: Vec<Anomaly>,
+}
+
+/// The Mantra orchestrator.
+pub struct Monitor {
+    /// Configuration.
+    pub cfg: MonitorConfig,
+    collector: Collector,
+    logs: BTreeMap<String, TableLog>,
+    usage_history: BTreeMap<String, Vec<UsageStats>>,
+    route_history: BTreeMap<String, Vec<RouteStats>>,
+    churn_history: BTreeMap<String, Vec<(SimTime, RouteChurn)>>,
+    prev: BTreeMap<String, Tables>,
+    /// Running `(sum_bps, samples)` per pair, for the Pair table's
+    /// average-bandwidth column.
+    avg_bw: BTreeMap<(String, GroupAddr, Ip), (u64, u64)>,
+    /// Session names learned from an external directory (SAP/sdr); the
+    /// paper's Session table carries "the group's name (if available)".
+    session_names: BTreeMap<GroupAddr, String>,
+    longterm: BTreeMap<String, LongTermTracker>,
+    route_detectors: BTreeMap<String, SpikeDetector>,
+    inconsistency: InconsistencyMonitor,
+    /// All anomalies raised so far.
+    pub anomalies: Vec<Anomaly>,
+    /// Cumulative parse accounting.
+    pub parse_totals: ParseStats,
+    cycles: u64,
+}
+
+impl Monitor {
+    /// A monitor with the given configuration.
+    pub fn new(cfg: MonitorConfig) -> Self {
+        Monitor {
+            cfg,
+            collector: Collector::new(),
+            logs: BTreeMap::new(),
+            usage_history: BTreeMap::new(),
+            route_history: BTreeMap::new(),
+            churn_history: BTreeMap::new(),
+            prev: BTreeMap::new(),
+            avg_bw: BTreeMap::new(),
+            session_names: BTreeMap::new(),
+            longterm: BTreeMap::new(),
+            route_detectors: BTreeMap::new(),
+            inconsistency: InconsistencyMonitor::default(),
+            anomalies: Vec::new(),
+            parse_totals: ParseStats::default(),
+            cycles: 0,
+        }
+    }
+
+    /// Cycles completed.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// The collector's capture failure count.
+    pub fn capture_failures(&self) -> u64 {
+        self.collector.failures
+    }
+
+    /// One full monitoring cycle at `now`.
+    pub fn run_cycle(&mut self, access: &mut dyn RouterAccess, now: SimTime) -> CycleReport {
+        self.cycles += 1;
+        let mut report = CycleReport {
+            at: now,
+            per_router: Vec::new(),
+            anomalies: Vec::new(),
+        };
+        let routers = self.cfg.routers.clone();
+        let mut this_cycle: Vec<Tables> = Vec::new();
+        for router in &routers {
+            let captures = self.collector.collect(access, router, now);
+            let (mut tables, pstats) = process(&captures);
+            if tables.router.is_empty() {
+                tables.router = router.clone();
+                tables.captured_at = now;
+            }
+            self.parse_totals = {
+                let mut t = self.parse_totals;
+                t.parsed += pstats.parsed;
+                t.malformed += pstats.malformed;
+                t.skipped += pstats.skipped;
+                t
+            };
+            self.enrich_averages(router, &mut tables);
+            for (g, s) in tables.sessions.iter_mut() {
+                if let Some(name) = self.session_names.get(g) {
+                    s.name = Some(name.clone());
+                }
+            }
+            // Log before analysis: archives store what was observed.
+            self.logs
+                .entry(router.clone())
+                .or_insert_with(|| TableLog::new(self.cfg.log_full_every))
+                .append(&tables);
+            // Long-term trend tracking.
+            self.longterm
+                .entry(router.clone())
+                .or_default()
+                .observe(&tables);
+            // Statistics.
+            let usage = UsageStats::from_tables(&tables, self.cfg.threshold);
+            let routes = RouteStats::from_tables(&tables);
+            // Anomalies: spikes on the route count...
+            let detector = self
+                .route_detectors
+                .entry(router.clone())
+                .or_insert_with(|| SpikeDetector::new(32, 8.0, 100.0));
+            if let Some(kind) = detector.observe(routes.dvmrp_reachable as f64) {
+                report.anomalies.push(Anomaly {
+                    at: now,
+                    router: router.clone(),
+                    kind,
+                });
+            }
+            // ...churn and the injection signature against the previous
+            // snapshot...
+            if let Some(prev) = self.prev.get(router) {
+                self.churn_history
+                    .entry(router.clone())
+                    .or_default()
+                    .push((now, RouteChurn::between(prev, &tables)));
+                if let Some(kind) =
+                    detect_injection(prev, &tables, self.cfg.injection_min_new)
+                {
+                    report.anomalies.push(Anomaly {
+                        at: now,
+                        router: router.clone(),
+                        kind,
+                    });
+                }
+            }
+            self.usage_history
+                .entry(router.clone())
+                .or_default()
+                .push(usage.clone());
+            self.route_history
+                .entry(router.clone())
+                .or_default()
+                .push(routes.clone());
+            report.per_router.push((router.clone(), usage, routes));
+            self.prev.insert(router.clone(), tables.clone());
+            this_cycle.push(tables);
+        }
+        // ...and cross-router consistency.
+        for i in 0..this_cycle.len() {
+            for j in (i + 1)..this_cycle.len() {
+                if let Some((_, kind)) =
+                    self.inconsistency.check(&this_cycle[i], &this_cycle[j])
+                {
+                    report.anomalies.push(Anomaly {
+                        at: now,
+                        router: this_cycle[i].router.clone(),
+                        kind,
+                    });
+                }
+            }
+        }
+        self.anomalies.extend(report.anomalies.iter().cloned());
+        report
+    }
+
+    /// Folds per-pair running averages into the snapshot's `avg_bw`.
+    fn enrich_averages(&mut self, router: &str, tables: &mut Tables) {
+        for ((g, s), pair) in tables.pairs.iter_mut() {
+            let e = self
+                .avg_bw
+                .entry((router.to_string(), *g, *s))
+                .or_insert((0, 0));
+            e.0 += pair.current_bw.bps();
+            e.1 += 1;
+            pair.avg_bw = BitRate(e.0 / e.1);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Result access
+    // ------------------------------------------------------------------
+
+    /// Usage-statistic history of one router.
+    pub fn usage_history(&self, router: &str) -> &[UsageStats] {
+        self.usage_history
+            .get(router)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Route-statistic history of one router.
+    pub fn route_history(&self, router: &str) -> &[RouteStats] {
+        self.route_history
+            .get(router)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Route-churn history of one router.
+    pub fn churn_history(&self, router: &str) -> &[(SimTime, RouteChurn)] {
+        self.churn_history
+            .get(router)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The delta log of one router.
+    pub fn log(&self, router: &str) -> Option<&TableLog> {
+        self.logs.get(router)
+    }
+
+    /// The long-term trend tracker of one router.
+    pub fn longterm(&self, router: &str) -> Option<&LongTermTracker> {
+        self.longterm.get(router)
+    }
+
+    /// Feeds session names from an external directory (e.g. a SAP
+    /// listener). Later cycles annotate matching sessions.
+    pub fn learn_session_names(&mut self, names: impl IntoIterator<Item = (GroupAddr, String)>) {
+        for (g, n) in names {
+            self.session_names.insert(g, n);
+        }
+    }
+
+    /// Writes every router's archive to `dir` as `<router>.jsonl`.
+    pub fn export_archives(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        for (router, log) in &self.logs {
+            log.save(&dir.join(format!("{router}.jsonl")))?;
+        }
+        Ok(())
+    }
+
+    /// The latest snapshot of one router.
+    pub fn latest(&self, router: &str) -> Option<&Tables> {
+        self.prev.get(router)
+    }
+
+    /// Extracts a usage time series (`f` picks the metric).
+    pub fn usage_series(
+        &self,
+        router: &str,
+        name: &str,
+        f: impl Fn(&UsageStats) -> f64,
+    ) -> Series {
+        let mut s = Series::new(name);
+        for u in self.usage_history(router) {
+            s.push(u.at, f(u));
+        }
+        s
+    }
+
+    /// Extracts a route time series.
+    pub fn route_series(
+        &self,
+        router: &str,
+        name: &str,
+        f: impl Fn(&RouteStats) -> f64,
+    ) -> Series {
+        let mut s = Series::new(name);
+        for r in self.route_history(router) {
+            s.push(r.at, f(r));
+        }
+        s
+    }
+
+    /// The paper's four Figure 3 series for one router, as one overlay
+    /// graph: sessions, participants, active sessions, senders.
+    pub fn usage_graph(&self, router: &str) -> Graph {
+        let mut g = Graph::new(format!("Usage at {router}"));
+        g.overlay(self.usage_series(router, "sessions", |u| u.sessions as f64));
+        g.overlay(self.usage_series(router, "participants", |u| u.participants as f64));
+        g.overlay(self.usage_series(router, "active-sessions", |u| u.active_sessions as f64));
+        g.overlay(self.usage_series(router, "senders", |u| u.senders as f64));
+        g
+    }
+
+    /// The busiest-sessions summary table (top `n` by bandwidth) — one of
+    /// the paper's example summary tables.
+    pub fn busiest_sessions(&self, router: &str, n: usize) -> Table {
+        let mut table = Table::new(
+            format!("Busiest sessions at {router}"),
+            vec!["group", "name", "density", "bandwidth_kbps", "first_seen"],
+        );
+        if let Some(t) = self.latest(router) {
+            for s in t.sessions.values() {
+                table.push_row(vec![
+                    Cell::Text(s.group.to_string()),
+                    Cell::Text(s.name.clone().unwrap_or_default()),
+                    Cell::Num(f64::from(s.density)),
+                    Cell::Num(s.bandwidth.kbps()),
+                    Cell::Time(s.first_seen),
+                ]);
+            }
+        }
+        table.sort_by("bandwidth_kbps", false);
+        table.truncate(n);
+        table
+    }
+
+    /// Top senders by current bandwidth.
+    pub fn top_senders(&self, router: &str, n: usize) -> Table {
+        let mut table = Table::new(
+            format!("Top senders at {router}"),
+            vec!["source", "group", "current_kbps", "avg_kbps"],
+        );
+        if let Some(t) = self.latest(router) {
+            for p in t.pairs.values() {
+                if p.current_bw.is_sender(self.cfg.threshold) {
+                    table.push_row(vec![
+                        Cell::Text(p.source.to_string()),
+                        Cell::Text(p.group.to_string()),
+                        Cell::Num(p.current_bw.kbps()),
+                        Cell::Num(p.avg_bw.kbps()),
+                    ]);
+                }
+            }
+        }
+        table.sort_by("current_kbps", false);
+        table.truncate(n);
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::SimAccess;
+    use mantra_sim::Scenario;
+
+    /// Drives a scenario and the monitor in lock-step.
+    fn drive(sc: &mut mantra_sim::Scenario, monitor: &mut Monitor, cycles: usize) {
+        for _ in 0..cycles {
+            let next = sc.sim.clock + monitor.cfg.interval;
+            sc.sim.advance_to(next);
+            let mut access = SimAccess::new(&sc.sim);
+            monitor.run_cycle(&mut access, next);
+        }
+    }
+
+    #[test]
+    fn full_pipeline_cycle() {
+        let mut sc = Scenario::transition_snapshot(31, 0.3);
+        let mut monitor = Monitor::new(MonitorConfig::default());
+        drive(&mut sc, &mut monitor, 12);
+        assert_eq!(monitor.cycles(), 12);
+        let usage = monitor.usage_history("fixw");
+        assert_eq!(usage.len(), 12);
+        assert!(usage.last().unwrap().sessions > 0, "{:?}", usage.last());
+        let routes = monitor.route_history("fixw");
+        assert!(routes.last().unwrap().dvmrp_reachable > 10);
+        // Logs recorded every cycle and reconstruct.
+        let log = monitor.log("fixw").unwrap();
+        assert_eq!(log.len(), 12);
+        let replayed = log.replay();
+        assert_eq!(replayed.len(), 12);
+        assert_eq!(&replayed[11], monitor.latest("fixw").unwrap());
+        // Delta logging saved space.
+        assert!(log.savings_ratio() > 0.12, "saved {:.2}", log.savings_ratio());
+    }
+
+    #[test]
+    fn avg_bandwidth_converges() {
+        let mut sc = Scenario::transition_snapshot(32, 0.0);
+        let mut monitor = Monitor::new(MonitorConfig::default());
+        drive(&mut sc, &mut monitor, 8);
+        let t = monitor.latest("ucsb-gw").unwrap();
+        // Some long-lived pair has both averages and currents.
+        assert!(t
+            .pairs
+            .values()
+            .any(|p| p.avg_bw.bps() > 0 && p.current_bw.bps() > 0));
+    }
+
+    #[test]
+    fn series_and_tables_come_out() {
+        let mut sc = Scenario::transition_snapshot(33, 0.2);
+        let mut monitor = Monitor::new(MonitorConfig::default());
+        drive(&mut sc, &mut monitor, 10);
+        let s = monitor.usage_series("fixw", "sessions", |u| u.sessions as f64);
+        assert_eq!(s.len(), 10);
+        assert!(s.mean() > 0.0);
+        let graph = monitor.usage_graph("fixw");
+        assert_eq!(graph.series.len(), 4);
+        let busiest = monitor.busiest_sessions("fixw", 5);
+        assert!(busiest.rows.len() <= 5);
+        assert!(!busiest.rows.is_empty());
+        let senders = monitor.top_senders("fixw", 5);
+        // Ordered descending by bandwidth.
+        let vals: Vec<f64> = senders
+            .rows
+            .iter()
+            .map(|r| r[2].as_num().unwrap())
+            .collect();
+        assert!(vals.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn unknown_router_yields_empty_but_counted_history() {
+        let mut sc = Scenario::transition_snapshot(34, 0.0);
+        let mut monitor = Monitor::new(MonitorConfig {
+            routers: vec!["ghost".into()],
+            ..MonitorConfig::default()
+        });
+        drive(&mut sc, &mut monitor, 3);
+        assert_eq!(monitor.usage_history("ghost").len(), 3);
+        assert_eq!(monitor.usage_history("ghost")[0].sessions, 0);
+        assert_eq!(monitor.capture_failures(), 15);
+    }
+}

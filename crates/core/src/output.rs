@@ -1,0 +1,578 @@
+//! The output interface: interactive tables and graphs.
+//!
+//! The paper's Mantra shipped two Java-applet front-ends (its Figure 2):
+//! summary tables with searching, sorting, algebraic manipulation of
+//! numeric columns and date/time conversions; and 2-D line graphs with
+//! series overlay and axis rescaling/zooming. This module implements the
+//! same operations as a programmatic API with ASCII and CSV rendering —
+//! the functionality is what matters for the reproduction, not the applet.
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use mantra_net::SimTime;
+
+use crate::stats::Series;
+
+// ---------------------------------------------------------------------
+// Interactive tables
+// ---------------------------------------------------------------------
+
+/// One table cell.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Cell {
+    /// Free text.
+    Text(String),
+    /// A numeric value.
+    Num(f64),
+    /// A timestamp (renders per the table's date mode).
+    Time(SimTime),
+}
+
+impl Cell {
+    /// Numeric view of the cell (times convert to Unix seconds).
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Cell::Num(v) => Some(*v),
+            Cell::Time(t) => Some(t.as_secs() as f64),
+            Cell::Text(_) => None,
+        }
+    }
+
+    fn render(&self, dates: DateMode) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Num(v) => {
+                if (v.fract()).abs() < 1e-9 && v.abs() < 1e15 {
+                    format!("{}", *v as i64)
+                } else {
+                    format!("{v:.2}")
+                }
+            }
+            Cell::Time(t) => match dates {
+                DateMode::Iso => t.iso8601(),
+                DateMode::UnixSeconds => t.as_secs().to_string(),
+                DateMode::HourOfDay => format!("{:.2}", t.hour_of_day()),
+            },
+        }
+    }
+}
+
+/// How timestamp columns display — the applet's "date and time conversion
+/// operations".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DateMode {
+    /// `1998-12-07 09:05:03`.
+    #[default]
+    Iso,
+    /// Seconds since the epoch.
+    UnixSeconds,
+    /// Fractional hour of day (Figure 9's x-axis).
+    HourOfDay,
+}
+
+/// Arithmetic for derived columns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColumnOp {
+    /// `a + b`.
+    Add,
+    /// `a - b`.
+    Sub,
+    /// `a * b`.
+    Mul,
+    /// `a / b` (0 when `b` is 0).
+    Div,
+}
+
+impl ColumnOp {
+    fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ColumnOp::Add => a + b,
+            ColumnOp::Sub => a - b,
+            ColumnOp::Mul => a * b,
+            ColumnOp::Div => {
+                if b == 0.0 {
+                    0.0
+                } else {
+                    a / b
+                }
+            }
+        }
+    }
+}
+
+/// An interactive summary table.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Display title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row data; every row has `columns.len()` cells.
+    pub rows: Vec<Vec<Cell>>,
+    /// Active date display mode.
+    pub date_mode: DateMode,
+}
+
+impl Table {
+    /// An empty table with the given columns.
+    pub fn new(title: impl Into<String>, columns: Vec<&str>) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+            date_mode: DateMode::Iso,
+        }
+    }
+
+    /// Appends a row; panics when the arity is wrong (programming error).
+    pub fn push_row(&mut self, row: Vec<Cell>) {
+        assert_eq!(row.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Index of a column by header.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Sorts rows by a column; numeric and time columns sort numerically,
+    /// text lexicographically. Stable, so secondary orderings survive.
+    pub fn sort_by(&mut self, column: &str, ascending: bool) {
+        let Some(idx) = self.column_index(column) else {
+            return;
+        };
+        self.rows.sort_by(|a, b| {
+            let ord = match (a[idx].as_num(), b[idx].as_num()) {
+                (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal),
+                _ => {
+                    let x = a[idx].render(DateMode::Iso);
+                    let y = b[idx].render(DateMode::Iso);
+                    x.cmp(&y)
+                }
+            };
+            if ascending {
+                ord
+            } else {
+                ord.reverse()
+            }
+        });
+    }
+
+    /// Rows whose rendered cell in `column` contains `needle`
+    /// (case-insensitive) — the applet's search box.
+    pub fn search(&self, column: &str, needle: &str) -> Table {
+        let needle = needle.to_ascii_lowercase();
+        let idx = self.column_index(column);
+        Table {
+            title: format!("{} [search: {needle}]", self.title),
+            columns: self.columns.clone(),
+            rows: self
+                .rows
+                .iter()
+                .filter(|r| {
+                    idx.map(|i| {
+                        r[i].render(self.date_mode)
+                            .to_ascii_lowercase()
+                            .contains(&needle)
+                    })
+                    .unwrap_or(false)
+                })
+                .cloned()
+                .collect(),
+            date_mode: self.date_mode,
+        }
+    }
+
+    /// Adds a derived numeric column `name = a op b` — the applet's
+    /// algebraic column manipulation. Non-numeric cells yield 0.
+    pub fn add_computed(&mut self, name: &str, a: &str, op: ColumnOp, b: &str) {
+        let (Some(ia), Some(ib)) = (self.column_index(a), self.column_index(b)) else {
+            return;
+        };
+        self.columns.push(name.to_string());
+        for row in &mut self.rows {
+            let va = row[ia].as_num().unwrap_or(0.0);
+            let vb = row[ib].as_num().unwrap_or(0.0);
+            row.push(Cell::Num(op.apply(va, vb)));
+        }
+    }
+
+    /// Keeps only the first `n` rows (after a sort: top-N views).
+    pub fn truncate(&mut self, n: usize) {
+        self.rows.truncate(n);
+    }
+
+    /// Renders as aligned ASCII.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        let s = c.render(self.date_mode);
+                        widths[i] = widths[i].max(s.len());
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in rendered {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        out
+    }
+
+    /// Renders as CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.columns.join(","));
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .map(|c| {
+                    let s = c.render(self.date_mode);
+                    if s.contains(',') {
+                        format!("\"{s}\"")
+                    } else {
+                        s
+                    }
+                })
+                .collect();
+            let _ = writeln!(out, "{}", line.join(","));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Graphs
+// ---------------------------------------------------------------------
+
+/// A 2-D line-graph view over one or more series.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    /// Display title.
+    pub title: String,
+    /// Overlaid series (the applet's multi-graph display).
+    pub series: Vec<Series>,
+    /// Explicit x window; `None` = fit data.
+    pub x_range: Option<(SimTime, SimTime)>,
+    /// Explicit y window; `None` = fit data.
+    pub y_range: Option<(f64, f64)>,
+}
+
+impl Graph {
+    /// A graph of one series.
+    pub fn new(title: impl Into<String>) -> Self {
+        Graph {
+            title: title.into(),
+            ..Graph::default()
+        }
+    }
+
+    /// Overlays another series (Figure 2's multi-plot feature).
+    pub fn overlay(&mut self, series: Series) -> &mut Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Sets the x window (the click-and-drag zoom).
+    pub fn zoom_x(&mut self, from: SimTime, to: SimTime) -> &mut Self {
+        self.x_range = Some((from, to));
+        self
+    }
+
+    /// Sets the y window (manual axis rescale).
+    pub fn scale_y(&mut self, lo: f64, hi: f64) -> &mut Self {
+        self.y_range = Some((lo, hi));
+        self
+    }
+
+    /// Clears zoom/scale back to auto-fit.
+    pub fn reset_view(&mut self) -> &mut Self {
+        self.x_range = None;
+        self.y_range = None;
+        self
+    }
+
+    /// The effective data window after zoom.
+    fn effective(&self) -> (Vec<Series>, (u64, u64), (f64, f64)) {
+        let windowed: Vec<Series> = self
+            .series
+            .iter()
+            .map(|s| match self.x_range {
+                Some((a, b)) => s.window(a, b),
+                None => s.clone(),
+            })
+            .collect();
+        let xs: Vec<u64> = windowed
+            .iter()
+            .flat_map(|s| s.points.iter().map(|(t, _)| t.as_secs()))
+            .collect();
+        let x_lo = xs.iter().copied().min().unwrap_or(0);
+        let x_hi = xs.iter().copied().max().unwrap_or(x_lo + 1).max(x_lo + 1);
+        let (y_lo, y_hi) = self.y_range.unwrap_or_else(|| {
+            let ys: Vec<f64> = windowed
+                .iter()
+                .flat_map(|s| s.points.iter().map(|(_, v)| *v))
+                .collect();
+            let lo = ys.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            if lo.is_finite() && hi.is_finite() {
+                (lo.min(0.0), hi.max(lo + 1.0))
+            } else {
+                (0.0, 1.0)
+            }
+        });
+        (windowed, (x_lo, x_hi), (y_lo, y_hi))
+    }
+
+    /// Renders an ASCII plot `width`×`height` characters, one glyph per
+    /// series, with y labels and the time range in the footer.
+    pub fn render(&self, width: usize, height: usize) -> String {
+        const GLYPHS: [char; 6] = ['*', '+', 'o', 'x', '#', '@'];
+        let (series, (x_lo, x_hi), (y_lo, y_hi)) = self.effective();
+        let w = width.max(16);
+        let h = height.max(4);
+        let mut grid = vec![vec![' '; w]; h];
+        for (si, s) in series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for (t, v) in &s.points {
+                let x = ((t.as_secs() - x_lo) as f64 / (x_hi - x_lo) as f64 * (w - 1) as f64)
+                    .round() as usize;
+                let clamped = v.clamp(y_lo, y_hi);
+                let y = ((clamped - y_lo) / (y_hi - y_lo).max(1e-12) * (h - 1) as f64).round()
+                    as usize;
+                grid[h - 1 - y.min(h - 1)][x.min(w - 1)] = glyph;
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        for (i, row) in grid.iter().enumerate() {
+            let yv = y_hi - (y_hi - y_lo) * i as f64 / (h - 1) as f64;
+            let _ = writeln!(out, "{yv:>10.1} |{}", row.iter().collect::<String>());
+        }
+        let _ = writeln!(out, "{:>10} +{}", "", "-".repeat(w));
+        let _ = writeln!(
+            out,
+            "{:>12}{}  ..  {}",
+            "",
+            SimTime(x_lo).iso8601(),
+            SimTime(x_hi).iso8601()
+        );
+        for (si, s) in series.iter().enumerate() {
+            let _ = writeln!(out, "  {} {}", GLYPHS[si % GLYPHS.len()], s.name);
+        }
+        out
+    }
+
+    /// All series as CSV columns on a shared time axis (union of times;
+    /// missing values blank).
+    pub fn to_csv(&self) -> String {
+        let mut times: Vec<SimTime> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|(t, _)| *t))
+            .collect();
+        times.sort_unstable();
+        times.dedup();
+        let maps: Vec<std::collections::BTreeMap<SimTime, f64>> = self
+            .series
+            .iter()
+            .map(|s| s.points.iter().copied().collect())
+            .collect();
+        let mut out = String::new();
+        let names: Vec<&str> = self.series.iter().map(|s| s.name.as_str()).collect();
+        let _ = writeln!(out, "time,{}", names.join(","));
+        for t in times {
+            let vals: Vec<String> = maps
+                .iter()
+                .map(|m| m.get(&t).map(|v| format!("{v}")).unwrap_or_default())
+                .collect();
+            let _ = writeln!(out, "{},{}", t.iso8601(), vals.join(","));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> SimTime {
+        SimTime(SimTime::from_ymd(1998, 11, 1).as_secs() + n * 3600)
+    }
+
+    fn sample_table() -> Table {
+        let mut table = Table::new(
+            "Busiest Sessions",
+            vec!["group", "density", "bandwidth", "seen"],
+        );
+        table.push_row(vec![
+            Cell::Text("224.2.0.1".into()),
+            Cell::Num(3.0),
+            Cell::Num(64.0),
+            Cell::Time(t(0)),
+        ]);
+        table.push_row(vec![
+            Cell::Text("224.2.0.2".into()),
+            Cell::Num(120.0),
+            Cell::Num(256.0),
+            Cell::Time(t(5)),
+        ]);
+        table.push_row(vec![
+            Cell::Text("224.9.0.1".into()),
+            Cell::Num(1.0),
+            Cell::Num(0.8),
+            Cell::Time(t(2)),
+        ]);
+        table
+    }
+
+    #[test]
+    fn sort_numeric_and_text() {
+        let mut table = sample_table();
+        table.sort_by("density", false);
+        assert_eq!(table.rows[0][1], Cell::Num(120.0));
+        table.sort_by("group", true);
+        assert_eq!(table.rows[0][0], Cell::Text("224.2.0.1".into()));
+        // Sorting by a missing column is a no-op.
+        let before = table.clone();
+        table.sort_by("nope", true);
+        assert_eq!(table, before);
+    }
+
+    #[test]
+    fn search_is_case_insensitive_substring() {
+        let table = sample_table();
+        let hits = table.search("group", "224.2");
+        assert_eq!(hits.rows.len(), 2);
+        let none = table.search("group", "239.");
+        assert_eq!(none.rows.len(), 0);
+    }
+
+    #[test]
+    fn computed_columns() {
+        let mut table = sample_table();
+        table.add_computed("bw_per_member", "bandwidth", ColumnOp::Div, "density");
+        let idx = table.column_index("bw_per_member").unwrap();
+        assert!((table.rows[0][idx].as_num().unwrap() - 64.0 / 3.0).abs() < 1e-9);
+        // Division by zero yields 0, not a panic.
+        table.push_row(vec![
+            Cell::Text("g".into()),
+            Cell::Num(0.0),
+            Cell::Num(9.0),
+            Cell::Time(t(1)),
+            Cell::Num(0.0),
+        ]);
+        let mut t2 = table.clone();
+        t2.add_computed("x", "bandwidth", ColumnOp::Div, "density");
+        let xi = t2.column_index("x").unwrap();
+        assert_eq!(t2.rows[3][xi].as_num(), Some(0.0));
+    }
+
+    #[test]
+    fn date_modes_change_rendering() {
+        let mut table = sample_table();
+        assert!(table.render().contains("1998-11-01 00:00:00"));
+        table.date_mode = DateMode::UnixSeconds;
+        assert!(table.render().contains(&t(0).as_secs().to_string()));
+        table.date_mode = DateMode::HourOfDay;
+        assert!(table.render().contains("5.00"));
+    }
+
+    #[test]
+    fn csv_export() {
+        let table = sample_table();
+        let csv = table.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "group,density,bandwidth,seen");
+        assert_eq!(csv.lines().count(), 4);
+    }
+
+    #[test]
+    fn graph_overlay_zoom_render() {
+        let mut a = Series::new("sessions");
+        let mut b = Series::new("active");
+        for i in 0..48u64 {
+            a.push(t(i), 100.0 + (i % 7) as f64 * 30.0);
+            b.push(t(i), 20.0 + (i % 5) as f64);
+        }
+        let mut graph = Graph::new("Sessions over time");
+        graph.overlay(a).overlay(b);
+        let art = graph.render(60, 12);
+        assert!(art.contains("Sessions over time"));
+        assert!(art.contains('*') && art.contains('+'), "{art}");
+        assert!(art.contains("sessions") && art.contains("active"));
+        // Zoom to a sub-window restricts the x footer.
+        graph.zoom_x(t(10), t(20));
+        let zoomed = graph.render(60, 12);
+        assert!(zoomed.contains(&t(10).iso8601()));
+        assert!(zoomed.contains(&t(20).iso8601()));
+        graph.reset_view();
+        assert_eq!(graph.x_range, None);
+    }
+
+    #[test]
+    fn graph_y_scale_clamps() {
+        let mut s = Series::new("v");
+        s.push(t(0), 0.0);
+        s.push(t(1), 1_000.0);
+        let mut graph = Graph::new("g");
+        graph.overlay(s).scale_y(0.0, 10.0);
+        // Rendering must not panic and the outlier is clamped to the top row.
+        let art = graph.render(30, 6);
+        assert!(art.lines().nth(1).unwrap().contains('*'));
+    }
+
+    #[test]
+    fn graph_csv_union_axis() {
+        let mut a = Series::new("a");
+        a.push(t(0), 1.0);
+        a.push(t(2), 3.0);
+        let mut b = Series::new("b");
+        b.push(t(1), 5.0);
+        let mut graph = Graph::new("g");
+        graph.overlay(a).overlay(b);
+        let csv = graph.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].ends_with("1,"));
+        assert!(lines[2].ends_with(",5"));
+    }
+
+    #[test]
+    fn empty_graph_renders() {
+        let graph = Graph::new("empty");
+        let art = graph.render(20, 5);
+        assert!(art.contains("empty"));
+    }
+}

@@ -1,0 +1,543 @@
+//! The router-table processor: raw captures → Mantra's local tables.
+//!
+//! Each parser auto-detects the dialect (mrouted debug dump vs IOS `show`
+//! output) from the capture's header line, tolerates unknown lines (real
+//! dumps contain decorations the period tools simply skipped), and
+//! accounts what it skipped so collection health is observable.
+
+use mantra_net::{BitRate, GroupAddr, Ip, Prefix, SimDuration, SimTime};
+use mantra_router_cli::TableKind;
+
+use crate::collector::Capture;
+use crate::tables::{LearnedFrom, PairRow, RouteRow, Tables};
+
+/// Per-capture parse accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ParseStats {
+    /// Rows successfully mapped into local tables.
+    pub parsed: usize,
+    /// Lines that looked like rows but failed to parse.
+    pub malformed: usize,
+    /// Header/decoration lines skipped by design.
+    pub skipped: usize,
+}
+
+impl ParseStats {
+    fn merge(&mut self, other: ParseStats) {
+        self.parsed += other.parsed;
+        self.malformed += other.malformed;
+        self.skipped += other.skipped;
+    }
+}
+
+/// Processes a batch of captures (one collection cycle for one router)
+/// into a table snapshot.
+pub fn process(captures: &[Capture]) -> (Tables, ParseStats) {
+    let mut tables = Tables::new(
+        captures.first().map(|c| c.router.as_str()).unwrap_or(""),
+        captures.first().map(|c| c.captured_at).unwrap_or_default(),
+    );
+    let mut stats = ParseStats::default();
+    for cap in captures {
+        let s = match cap.kind {
+            TableKind::DvmrpRoutes => parse_dvmrp_routes(cap, &mut tables),
+            TableKind::ForwardingCache => parse_forwarding(cap, &mut tables),
+            TableKind::IgmpGroups => parse_igmp(cap, &mut tables),
+            TableKind::MbgpRoutes => parse_mbgp(cap, &mut tables),
+            TableKind::SaCache => parse_sa_cache(cap, &mut tables),
+        };
+        stats.merge(s);
+    }
+    (tables, stats)
+}
+
+/// Parses `hh:mm:ss` or `NdHHh` IOS uptimes.
+fn parse_uptime(s: &str) -> Option<SimDuration> {
+    if let Some((d, rest)) = s.split_once('d') {
+        let days: u64 = d.parse().ok()?;
+        let hours: u64 = rest.strip_suffix('h')?.parse().ok()?;
+        return Some(SimDuration::days(days) + SimDuration::hours(hours));
+    }
+    let mut parts = s.split(':');
+    let h: u64 = parts.next()?.parse().ok()?;
+    let m: u64 = parts.next()?.parse().ok()?;
+    let sec: u64 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(SimDuration::secs(h * 3_600 + m * 60 + sec))
+}
+
+// ---------------------------------------------------------------------
+// DVMRP route tables
+// ---------------------------------------------------------------------
+
+fn parse_dvmrp_routes(cap: &Capture, tables: &mut Tables) -> ParseStats {
+    let mut st = ParseStats::default();
+    let ios = cap
+        .lines
+        .first()
+        .is_some_and(|l| l.contains("DVMRP Routing Table -"));
+    for line in &cap.lines {
+        if line.starts_with("DVMRP Routing Table")
+            || line.starts_with("Origin-Subnet")
+            || line.starts_with('%')
+            || line.starts_with("mrouted:")
+        {
+            st.skipped += 1;
+            continue;
+        }
+        let parsed = if ios {
+            parse_ios_dvmrp_row(line)
+        } else {
+            parse_mrouted_route_row(line)
+        };
+        match parsed {
+            Some(row) => {
+                tables.add_route(row);
+                st.parsed += 1;
+            }
+            None => st.malformed += 1,
+        }
+    }
+    st
+}
+
+/// `128.111.0.0/16 10.128.0.2 3 25 1 1*` or gateway `direct` / `--`.
+fn parse_mrouted_route_row(line: &str) -> Option<RouteRow> {
+    let mut f = line.split(' ');
+    let prefix: Prefix = f.next()?.parse().ok()?;
+    let gw = f.next()?;
+    let metric: u32 = f.next()?.parse().ok()?;
+    let (next_hop, reachable) = match gw {
+        "direct" => (None, true),
+        "--" => (None, false),
+        other => (Some(other.parse().ok()?), true),
+    };
+    Some(RouteRow {
+        prefix,
+        next_hop,
+        metric,
+        uptime: None,
+        reachable,
+        learned_from: LearnedFrom::Dvmrp,
+    })
+}
+
+/// `10.3.0.0/16 [1/3] via 10.128.0.6 uptime 04:23:00` or
+/// `… directly connected uptime …` / `… unreachable uptime … H`.
+fn parse_ios_dvmrp_row(line: &str) -> Option<RouteRow> {
+    let mut f = line.split(' ');
+    let prefix: Prefix = f.next()?.parse().ok()?;
+    let bracket = f.next()?; // [ad/metric]
+    let metric: u32 = bracket
+        .strip_prefix('[')?
+        .strip_suffix(']')?
+        .split_once('/')?
+        .1
+        .parse()
+        .ok()?;
+    let kind = f.next()?;
+    let (next_hop, reachable) = match kind {
+        "via" => (Some(f.next()?.parse().ok()?), true),
+        "directly" => {
+            f.next()?; // "connected"
+            (None, true)
+        }
+        "unreachable" => (None, false),
+        _ => return None,
+    };
+    let mut uptime = None;
+    let rest: Vec<&str> = f.collect();
+    if let Some(pos) = rest.iter().position(|w| *w == "uptime") {
+        uptime = rest.get(pos + 1).and_then(|u| parse_uptime(u));
+    }
+    Some(RouteRow {
+        prefix,
+        next_hop,
+        metric,
+        uptime,
+        reachable,
+        learned_from: LearnedFrom::Dvmrp,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Forwarding caches
+// ---------------------------------------------------------------------
+
+fn parse_forwarding(cap: &Capture, tables: &mut Tables) -> ParseStats {
+    let ios = cap
+        .lines
+        .first()
+        .is_some_and(|l| l.starts_with("IP Multicast Statistics"));
+    if ios {
+        parse_ios_mroute(cap, tables)
+    } else {
+        parse_mrouted_cache(cap, tables)
+    }
+}
+
+/// mrouted cache rows:
+/// `1.2.3.4 224.2.0.5 150 4m 0 3.2k 1 2 3` (oifs) or trailing `P`.
+fn parse_mrouted_cache(cap: &Capture, tables: &mut Tables) -> ParseStats {
+    let mut st = ParseStats::default();
+    for line in &cap.lines {
+        if line.starts_with("Multicast Routing Cache")
+            || line.starts_with("Origin")
+            || line.starts_with("mrouted:")
+        {
+            st.skipped += 1;
+            continue;
+        }
+        let row = (|| {
+            let mut f = line.split(' ');
+            let source: Ip = f.next()?.parse().ok()?;
+            let group: GroupAddr = f.next()?.parse().ok()?;
+            let _ctmr = f.next()?;
+            let _age = f.next()?;
+            let _ptmr = f.next()?;
+            let rate_s = f.next()?;
+            let kbps: f64 = rate_s.strip_suffix('k')?.parse().ok()?;
+            let _ivif = f.next()?;
+            let fw: Vec<&str> = f.collect();
+            let forwarding = !(fw.is_empty() || fw == ["P"]);
+            Some(PairRow {
+                source,
+                group,
+                current_bw: BitRate::from_bps((kbps * 1_000.0) as u64),
+                avg_bw: BitRate::from_bps((kbps * 1_000.0) as u64),
+                forwarding,
+                learned_from: LearnedFrom::Dvmrp,
+            })
+        })();
+        match row {
+            Some(r) => {
+                tables.add_pair(r);
+                st.parsed += 1;
+            }
+            None => st.malformed += 1,
+        }
+    }
+    st
+}
+
+/// IOS `show ip mroute count` blocks: header pair line, interface line,
+/// counter line.
+fn parse_ios_mroute(cap: &Capture, tables: &mut Tables) -> ParseStats {
+    let mut st = ParseStats::default();
+    let mut pending: Option<(Ip, GroupAddr, bool, LearnedFrom)> = None;
+    let mut pending_forwarding = true;
+    for line in &cap.lines {
+        if line.starts_with('(') {
+            // `(1.2.3.4, 224.2.0.5), uptime 00:01:02, flags: SP`
+            let row = (|| {
+                let inner = line.strip_prefix('(')?;
+                let (src_s, rest) = inner.split_once(',')?;
+                let (grp_s, rest) = rest.trim_start().split_once(')')?;
+                let source = if src_s == "*" {
+                    Ip::UNSPECIFIED
+                } else {
+                    src_s.parse().ok()?
+                };
+                let group: GroupAddr = grp_s.parse().ok()?;
+                let flags = rest.split("flags:").nth(1).unwrap_or("").trim();
+                let learned = if flags.contains('M') {
+                    LearnedFrom::Msdp
+                } else if flags.contains('S') {
+                    LearnedFrom::Pim
+                } else {
+                    LearnedFrom::Dvmrp
+                };
+                let pruned = flags.contains('P');
+                Some((source, group, pruned, learned))
+            })();
+            match row {
+                Some((s, g, pruned, learned)) => {
+                    pending = Some((s, g, pruned, learned));
+                    pending_forwarding = !pruned;
+                    st.parsed += 1;
+                }
+                None => st.malformed += 1,
+            }
+        } else if line.starts_with("Incoming interface:") {
+            if line.ends_with("Outgoing: Null") {
+                pending_forwarding = false;
+            }
+            st.skipped += 1;
+        } else if line.starts_with("Pkt count") {
+            // `Pkt count 123, bytes 4567, rate 12 kbps`
+            let Some((source, group, _pruned, learned)) = pending.take() else {
+                st.malformed += 1;
+                continue;
+            };
+            let kbps: u64 = line
+                .split("rate ")
+                .nth(1)
+                .and_then(|r| r.split(' ').next())
+                .and_then(|n| n.parse().ok())
+                .unwrap_or(0);
+            tables.add_pair(PairRow {
+                source,
+                group,
+                current_bw: BitRate::from_kbps(kbps),
+                avg_bw: BitRate::from_kbps(kbps),
+                forwarding: pending_forwarding,
+                learned_from: learned,
+            });
+            st.parsed += 1;
+        } else {
+            st.skipped += 1;
+        }
+    }
+    st
+}
+
+// ---------------------------------------------------------------------
+// IGMP, MBGP, MSDP
+// ---------------------------------------------------------------------
+
+fn parse_igmp(cap: &Capture, tables: &mut Tables) -> ParseStats {
+    let mut st = ParseStats::default();
+    for line in &cap.lines {
+        // mrouted: `0 224.2.0.5 3 12s ago`; IOS: `224.2.0.5 Vif2 00:01:02 h3`.
+        let mut fields = line.split(' ');
+        let first = match fields.next() {
+            Some(f) => f,
+            None => continue,
+        };
+        let group: Option<GroupAddr> = if first.parse::<u32>().is_ok() {
+            fields.next().and_then(|g| g.parse().ok())
+        } else {
+            first.parse().ok()
+        };
+        match group {
+            Some(g) => {
+                // Membership implies a session exists even with no (S,G)
+                // state yet; record it without inventing participants.
+                let at = cap.captured_at;
+                tables
+                    .sessions
+                    .entry(g)
+                    .or_insert_with(|| crate::tables::SessionRow {
+                        group: g,
+                        name: None,
+                        density: 0,
+                        bandwidth: BitRate::ZERO,
+                        first_advertised: LearnedFrom::Igmp,
+                        first_seen: at,
+                    });
+                st.parsed += 1;
+            }
+            None => st.skipped += 1,
+        }
+    }
+    st
+}
+
+fn parse_mbgp(cap: &Capture, tables: &mut Tables) -> ParseStats {
+    let mut st = ParseStats::default();
+    for line in &cap.lines {
+        let Some(rest) = line.strip_prefix("*> ") else {
+            st.skipped += 1;
+            continue;
+        };
+        let row = (|| {
+            let mut f = rest.split(' ');
+            let prefix: Prefix = f.next()?.parse().ok()?;
+            let nh: Ip = f.next()?.parse().ok()?;
+            let hops = f.filter(|w| *w != "i").count() as u32;
+            Some(RouteRow {
+                prefix,
+                next_hop: if nh.is_unspecified() { None } else { Some(nh) },
+                metric: hops,
+                uptime: None,
+                reachable: true,
+                learned_from: LearnedFrom::Mbgp,
+            })
+        })();
+        match row {
+            Some(r) => {
+                tables.add_route(r);
+                st.parsed += 1;
+            }
+            None => st.malformed += 1,
+        }
+    }
+    st
+}
+
+fn parse_sa_cache(cap: &Capture, tables: &mut Tables) -> ParseStats {
+    let mut st = ParseStats::default();
+    for line in &cap.lines {
+        if !line.starts_with('(') {
+            st.skipped += 1;
+            continue;
+        }
+        let entry = (|| {
+            let inner = line.strip_prefix('(')?;
+            let (src_s, rest) = inner.split_once(',')?;
+            let (grp_s, rest) = rest.trim_start().split_once(')')?;
+            let source: Ip = src_s.parse().ok()?;
+            let group: GroupAddr = grp_s.parse().ok()?;
+            let learned = rest
+                .split("learned ")
+                .nth(1)
+                .and_then(parse_uptime)
+                .unwrap_or(SimDuration::ZERO);
+            Some((group, source, learned))
+        })();
+        match entry {
+            Some((g, s, ago)) => {
+                let first = SimTime(cap.captured_at.as_secs().saturating_sub(ago.as_secs()));
+                tables.sa_cache.insert((g, s), first);
+                st.parsed += 1;
+            }
+            None => st.malformed += 1,
+        }
+    }
+    st
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::preprocess;
+
+    fn t0() -> SimTime {
+        SimTime::from_ymd(1998, 11, 1)
+    }
+
+    fn cap(kind: TableKind, text: &str) -> Capture {
+        preprocess("r", kind, text, t0())
+    }
+
+    #[test]
+    fn uptime_parsing() {
+        assert_eq!(parse_uptime("04:23:07"), Some(SimDuration::secs(15_787)));
+        assert_eq!(
+            parse_uptime("3d04h"),
+            Some(SimDuration::days(3) + SimDuration::hours(4))
+        );
+        assert_eq!(parse_uptime("garbage"), None);
+        assert_eq!(parse_uptime("1:2"), None);
+    }
+
+    #[test]
+    fn mrouted_route_table() {
+        let text = "DVMRP Routing Table (3 entries)\n Origin-Subnet      From-Gateway       Metric  Tmr  In-Vif  Out-Vifs\n 128.111.0.0/16   10.128.0.2     3   25  1  1*\n 10.5.0.0/24   direct   1   0   0  1*\n 10.9.0.0/24   --   32  140  1  1*\n";
+        let (tables, st) = process(&[cap(TableKind::DvmrpRoutes, text)]);
+        assert_eq!(st.parsed, 3);
+        assert_eq!(st.malformed, 0);
+        assert_eq!(tables.routes.len(), 3);
+        assert_eq!(tables.reachable_dvmrp_routes(), 2);
+        let r = &tables.routes[&(LearnedFrom::Dvmrp, "128.111.0.0/16".parse().unwrap())];
+        assert_eq!(r.next_hop, Some(Ip::new(10, 128, 0, 2)));
+        assert_eq!(r.metric, 3);
+    }
+
+    #[test]
+    fn ios_dvmrp_table() {
+        let text = "DVMRP Routing Table - 3 entries\n128.111.0.0/16 [1/3] via 10.128.0.6 uptime 04:23:00  \n10.5.0.0/24 [1/1] directly connected uptime 3d04h C\n10.9.0.0/24 [1/32] unreachable uptime 00:02:20 H\n";
+        let (tables, st) = process(&[cap(TableKind::DvmrpRoutes, text)]);
+        assert_eq!(st.parsed, 3, "{st:?}");
+        assert_eq!(tables.reachable_dvmrp_routes(), 2);
+        let r = &tables.routes[&(LearnedFrom::Dvmrp, "128.111.0.0/16".parse().unwrap())];
+        assert_eq!(r.uptime, Some(SimDuration::secs(4 * 3600 + 23 * 60)));
+    }
+
+    #[test]
+    fn mrouted_cache() {
+        let text = "Multicast Routing Cache Table (2 entries)\n Origin Mcast-group CTmr Age Ptmr Rate IVif Forwvifs\n 128.111.5.2 224.2.0.1 150 4m 0 64.0k 1 2 3\n 128.111.5.3 224.2.0.2 150 9m 0 0.8k 1 P\n";
+        let (tables, st) = process(&[cap(TableKind::ForwardingCache, text)]);
+        assert_eq!(st.parsed, 2);
+        assert_eq!(tables.pairs.len(), 2);
+        let sg = (
+            "224.2.0.1".parse().unwrap(),
+            "128.111.5.2".parse().unwrap(),
+        );
+        assert_eq!(tables.pairs[&sg].current_bw, BitRate::from_kbps(64));
+        assert!(tables.pairs[&sg].forwarding);
+        let pruned = (
+            "224.2.0.2".parse().unwrap(),
+            "128.111.5.3".parse().unwrap(),
+        );
+        assert!(!tables.pairs[&pruned].forwarding);
+        // Derived tables populated.
+        assert_eq!(tables.participants.len(), 2);
+        assert_eq!(tables.sessions.len(), 2);
+    }
+
+    #[test]
+    fn ios_mroute_blocks() {
+        let text = "IP Multicast Statistics\n2 routes using 304 bytes of memory\nFlags: D - Dense, S - Sparse, C - Connected, P - Pruned, M - MSDP created entry\n(128.111.5.2, 224.2.0.1), uptime 00:10:00, flags: S\n  Incoming interface: Vif1, Outgoing: Vif2, Vif3\n  Pkt count 1000, bytes 500000, rate 64 kbps\n(*, 224.2.0.2), uptime 01:00:00, flags: SP\n  Incoming interface: Vif1, Outgoing: Null\n  Pkt count 0, bytes 0, rate 0 kbps\n";
+        let (tables, st) = process(&[cap(TableKind::ForwardingCache, text)]);
+        assert_eq!(st.malformed, 0, "{st:?}");
+        assert_eq!(tables.pairs.len(), 2);
+        let sg = (
+            "224.2.0.1".parse().unwrap(),
+            "128.111.5.2".parse().unwrap(),
+        );
+        assert_eq!(tables.pairs[&sg].current_bw, BitRate::from_kbps(64));
+        assert_eq!(tables.pairs[&sg].learned_from, LearnedFrom::Pim);
+        let star = ("224.2.0.2".parse().unwrap(), Ip::UNSPECIFIED);
+        assert!(!tables.pairs[&star].forwarding);
+        // Wildcard rows don't fabricate participants.
+        assert_eq!(tables.participants.len(), 1);
+    }
+
+    #[test]
+    fn mbgp_table() {
+        let text = "MBGP table version is 4, local router ID is 198.32.136.1\n   Network            Next Hop          Path\n*> 128.3.0.0/16 10.128.0.9 65002 65003 i\n*> 128.4.0.0/16 0.0.0.0  i\n";
+        let (tables, st) = process(&[cap(TableKind::MbgpRoutes, text)]);
+        assert_eq!(st.parsed, 2, "{st:?}");
+        let r = &tables.routes[&(LearnedFrom::Mbgp, "128.3.0.0/16".parse().unwrap())];
+        assert_eq!(r.metric, 2, "AS-path length as metric");
+        let local = &tables.routes[&(LearnedFrom::Mbgp, "128.4.0.0/16".parse().unwrap())];
+        assert_eq!(local.next_hop, None);
+    }
+
+    #[test]
+    fn sa_cache_table() {
+        let text = "MSDP Source-Active Cache - 2 entries\n(128.3.5.2, 224.2.0.9), RP 198.32.136.1, learned 00:05:00\n(128.4.5.2, 224.2.0.9), RP 198.32.136.9, learned 3d00h\n";
+        let (tables, st) = process(&[cap(TableKind::SaCache, text)]);
+        assert_eq!(st.parsed, 2, "{st:?}");
+        assert_eq!(tables.sa_cache.len(), 2);
+        let key = (
+            "224.2.0.9".parse().unwrap(),
+            "128.3.5.2".parse().unwrap(),
+        );
+        assert_eq!(tables.sa_cache[&key], SimTime(t0().as_secs() - 300));
+        // SA entries do not fabricate pairs or participants.
+        assert!(tables.pairs.is_empty());
+        assert!(tables.participants.is_empty());
+    }
+
+    #[test]
+    fn igmp_creates_sessions_without_participants() {
+        let mrouted = "Virtual Interface Table, Groups (1)\n Vif Group Members Reported\n 0 224.2.0.7 3 12s ago\n";
+        let (tables, st) = process(&[cap(TableKind::IgmpGroups, mrouted)]);
+        assert!(st.parsed >= 1);
+        assert!(tables.sessions.contains_key(&"224.2.0.7".parse().unwrap()));
+        assert!(tables.participants.is_empty());
+    }
+
+    #[test]
+    fn malformed_rows_are_counted_not_fatal() {
+        let text = "DVMRP Routing Table (2 entries)\n totally bogus line here\n 128.111.0.0/16 10.128.0.2 3 25 1 1*\n";
+        let (tables, st) = process(&[cap(TableKind::DvmrpRoutes, text)]);
+        assert_eq!(st.parsed, 1);
+        assert_eq!(st.malformed, 1);
+        assert_eq!(tables.routes.len(), 1);
+    }
+
+    #[test]
+    fn error_responses_parse_to_empty() {
+        let (tables, _) = process(&[
+            cap(TableKind::MbgpRoutes, "mrouted: unknown command 'show ip mbgp'\n"),
+            cap(TableKind::SaCache, "%MSDP not enabled\n"),
+        ]);
+        assert!(tables.routes.is_empty());
+        assert!(tables.sa_cache.is_empty());
+    }
+}

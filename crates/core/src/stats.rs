@@ -1,0 +1,533 @@
+//! The data processor: per-snapshot statistics and time series.
+//!
+//! This is where the paper's figures come from. Usage monitoring
+//! (Figures 3–6) classifies participants into senders vs passive
+//! participants by the 4 kbps threshold and sessions into active vs
+//! inactive, and estimates the bandwidth multicast saved. Route
+//! monitoring (Figures 7–9) tracks route counts, churn between snapshots
+//! and cross-router consistency.
+
+use serde::{Deserialize, Serialize};
+
+use mantra_net::{BitRate, GroupAddr, Prefix, SimTime};
+
+use crate::tables::{LearnedFrom, Tables};
+
+/// Usage-monitoring results for one snapshot.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct UsageStats {
+    /// Snapshot timestamp.
+    pub at: SimTime,
+    /// Sessions with state at the router.
+    pub sessions: usize,
+    /// Participants (distinct sources) with state at the router.
+    pub participants: usize,
+    /// Sessions with at least one sender.
+    pub active_sessions: usize,
+    /// Participants sending above the threshold.
+    pub senders: usize,
+    /// Mean participants per session.
+    pub avg_density: f64,
+    /// Fraction of sessions with exactly one participant.
+    pub single_member_fraction: f64,
+    /// Fraction of sessions with at most two participants.
+    pub le2_density_fraction: f64,
+    /// Fraction of all participants held by the densest 6 % of sessions.
+    pub top6pct_participant_share: f64,
+    /// Aggregate bandwidth of multicast traffic through the router.
+    pub total_bandwidth: BitRate,
+    /// Estimated unicast-equivalent bandwidth divided by actual multicast
+    /// bandwidth (the Figure 5 right-plot "bandwidth saved" multiple).
+    pub bandwidth_saved_multiple: f64,
+    /// MSDP SA-cache entries (0 before MSDP existed at the router).
+    pub sa_entries: usize,
+}
+
+impl UsageStats {
+    /// Computes usage statistics from one snapshot.
+    pub fn from_tables(t: &Tables, threshold: BitRate) -> Self {
+        let sessions = t.sessions.len();
+        let participants = t.participants.len();
+        let senders = t.senders(threshold).len();
+        let active = t.active_sessions(threshold).len();
+        let densities: Vec<u32> = t.sessions.values().map(|s| s.density).collect();
+        let total_density: u64 = densities.iter().map(|d| u64::from(*d)).sum();
+        let avg_density = if sessions == 0 {
+            0.0
+        } else {
+            total_density as f64 / sessions as f64
+        };
+        let single = densities.iter().filter(|d| **d == 1).count();
+        let le2 = densities.iter().filter(|d| **d <= 2).count();
+        let top6 = {
+            let mut sorted = densities.clone();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            let take = (sessions * 6).div_ceil(100).max(usize::from(sessions > 0));
+            let top: u64 = sorted.iter().take(take).map(|d| u64::from(*d)).sum();
+            if total_density == 0 {
+                0.0
+            } else {
+                top as f64 / total_density as f64
+            }
+        };
+        // Bandwidth through the router: forwarding (S,G) pairs only.
+        let total_bw: BitRate = t
+            .pairs
+            .values()
+            .filter(|p| p.forwarding && !p.source.is_unspecified())
+            .map(|p| p.current_bw)
+            .sum();
+        // Unicast-equivalent estimate: every sender's stream delivered
+        // point-to-point to each of the session's other participants would
+        // cross this router once per receiver (the paper's density × rate
+        // model).
+        let unicast_bw: u64 = t
+            .pairs
+            .values()
+            .filter(|p| p.current_bw.is_sender(threshold))
+            .map(|p| {
+                let density = t
+                    .sessions
+                    .get(&p.group)
+                    .map(|s| u64::from(s.density))
+                    .unwrap_or(1);
+                p.current_bw.bps() * density.saturating_sub(1).max(1)
+            })
+            .sum();
+        let saved = if total_bw.bps() == 0 {
+            0.0
+        } else {
+            unicast_bw as f64 / total_bw.bps() as f64
+        };
+        UsageStats {
+            at: t.captured_at,
+            sessions,
+            participants,
+            active_sessions: active,
+            senders,
+            avg_density,
+            single_member_fraction: frac(single, sessions),
+            le2_density_fraction: frac(le2, sessions),
+            top6pct_participant_share: top6,
+            total_bandwidth: total_bw,
+            bandwidth_saved_multiple: saved,
+            sa_entries: t.sa_cache.len(),
+        }
+    }
+
+    /// Percentage of sessions that are active (Figure 6 left).
+    pub fn pct_active(&self) -> f64 {
+        100.0 * frac(self.active_sessions, self.sessions)
+    }
+
+    /// Percentage of participants that are senders (Figure 6 right).
+    pub fn pct_senders(&self) -> f64 {
+        100.0 * frac(self.senders, self.participants)
+    }
+}
+
+fn frac(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Route-monitoring results for one snapshot.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RouteStats {
+    /// Snapshot timestamp.
+    pub at: SimTime,
+    /// All DVMRP routes present, holddown included.
+    pub dvmrp_total: usize,
+    /// Reachable DVMRP routes — the Figures 7–9 series.
+    pub dvmrp_reachable: usize,
+    /// MBGP routes (the native infrastructure's reach).
+    pub mbgp_routes: usize,
+    /// Mean reported route uptime, where the dialect reports it.
+    pub mean_uptime_secs: Option<f64>,
+}
+
+impl RouteStats {
+    /// Computes route statistics from one snapshot.
+    pub fn from_tables(t: &Tables) -> Self {
+        let uptimes: Vec<u64> = t
+            .routes
+            .values()
+            .filter_map(|r| r.uptime.map(|u| u.as_secs()))
+            .collect();
+        RouteStats {
+            at: t.captured_at,
+            dvmrp_total: t.routes_of(LearnedFrom::Dvmrp).count(),
+            dvmrp_reachable: t.reachable_dvmrp_routes(),
+            mbgp_routes: t.routes_of(LearnedFrom::Mbgp).count(),
+            mean_uptime_secs: if uptimes.is_empty() {
+                None
+            } else {
+                Some(uptimes.iter().sum::<u64>() as f64 / uptimes.len() as f64)
+            },
+        }
+    }
+}
+
+/// Route churn between two consecutive snapshots of the same router.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteChurn {
+    /// Prefixes present now but not before.
+    pub added: usize,
+    /// Prefixes gone.
+    pub removed: usize,
+    /// Prefixes whose metric or next hop changed.
+    pub changed: usize,
+    /// Prefixes that flipped reachable ↔ unreachable.
+    pub reachability_flips: usize,
+}
+
+impl RouteChurn {
+    /// Computes churn between DVMRP tables of two snapshots.
+    pub fn between(prev: &Tables, next: &Tables) -> RouteChurn {
+        let mut churn = RouteChurn::default();
+        for r in next.routes_of(LearnedFrom::Dvmrp) {
+            match prev.routes.get(&(LearnedFrom::Dvmrp, r.prefix)) {
+                None => churn.added += 1,
+                Some(old) => {
+                    if old.metric != r.metric || old.next_hop != r.next_hop {
+                        churn.changed += 1;
+                    }
+                    if old.reachable != r.reachable {
+                        churn.reachability_flips += 1;
+                    }
+                }
+            }
+        }
+        for r in prev.routes_of(LearnedFrom::Dvmrp) {
+            if !next.routes.contains_key(&(LearnedFrom::Dvmrp, r.prefix)) {
+                churn.removed += 1;
+            }
+        }
+        churn
+    }
+
+    /// Total change events.
+    pub fn total(&self) -> usize {
+        self.added + self.removed + self.changed + self.reachability_flips
+    }
+}
+
+/// Cross-router consistency: how much two routers' DVMRP views differ —
+/// ideally zero, and the paper's Figure 7 shows it very much was not.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ConsistencyReport {
+    /// Reachable prefixes seen only at the first router.
+    pub only_first: usize,
+    /// Reachable prefixes seen only at the second.
+    pub only_second: usize,
+    /// Reachable prefixes seen at both.
+    pub shared: usize,
+}
+
+impl ConsistencyReport {
+    /// Compares the reachable DVMRP sets of two snapshots.
+    pub fn between(a: &Tables, b: &Tables) -> ConsistencyReport {
+        let set_a: std::collections::BTreeSet<Prefix> = a
+            .routes_of(LearnedFrom::Dvmrp)
+            .filter(|r| r.reachable)
+            .map(|r| r.prefix)
+            .collect();
+        let set_b: std::collections::BTreeSet<Prefix> = b
+            .routes_of(LearnedFrom::Dvmrp)
+            .filter(|r| r.reachable)
+            .map(|r| r.prefix)
+            .collect();
+        ConsistencyReport {
+            only_first: set_a.difference(&set_b).count(),
+            only_second: set_b.difference(&set_a).count(),
+            shared: set_a.intersection(&set_b).count(),
+        }
+    }
+
+    /// Jaccard similarity of the two route sets.
+    pub fn similarity(&self) -> f64 {
+        let union = self.only_first + self.only_second + self.shared;
+        if union == 0 {
+            1.0
+        } else {
+            self.shared as f64 / union as f64
+        }
+    }
+}
+
+/// A named time series: the raw material for graphs and for the
+/// paper-vs-measured comparison in EXPERIMENTS.md.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Display name.
+    pub name: String,
+    /// `(time, value)` points in time order.
+    pub points: Vec<(SimTime, f64)>,
+}
+
+impl Series {
+    /// An empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point (times must be non-decreasing).
+    pub fn push(&mut self, at: SimTime, value: f64) {
+        debug_assert!(self.points.last().map(|(t, _)| *t <= at).unwrap_or(true));
+        self.points.push((at, value));
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|(_, v)| v).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        if self.points.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self
+            .points
+            .iter()
+            .map(|(_, v)| (v - m) * (v - m))
+            .sum::<f64>()
+            / self.points.len() as f64;
+        var.sqrt()
+    }
+
+    /// Median value.
+    pub fn median(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        let mut vals: Vec<f64> = self.points.iter().map(|(_, v)| *v).collect();
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in series"));
+        let mid = vals.len() / 2;
+        if vals.len() % 2 == 0 {
+            (vals[mid - 1] + vals[mid]) / 2.0
+        } else {
+            vals[mid]
+        }
+    }
+
+    /// Maximum value and its time.
+    pub fn max(&self) -> Option<(SimTime, f64)> {
+        self.points
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN in series"))
+    }
+
+    /// Minimum value and its time.
+    pub fn min(&self) -> Option<(SimTime, f64)> {
+        self.points
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN in series"))
+    }
+
+    /// Restricts to points in `[from, to]` (the graph-interface zoom).
+    pub fn window(&self, from: SimTime, to: SimTime) -> Series {
+        Series {
+            name: self.name.clone(),
+            points: self
+                .points
+                .iter()
+                .copied()
+                .filter(|(t, _)| *t >= from && *t <= to)
+                .collect(),
+        }
+    }
+}
+
+/// Classification of a session by Mantra's observation (mirrors the
+/// paper's terminology).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SessionClass {
+    /// Has at least one sender above the threshold.
+    Active,
+    /// All participants passive.
+    Inactive,
+}
+
+/// Classifies one group in a snapshot.
+pub fn classify_session(t: &Tables, group: GroupAddr, threshold: BitRate) -> SessionClass {
+    let has_sender = t
+        .pairs
+        .range((group, mantra_net::Ip(0))..=(group, mantra_net::Ip(u32::MAX)))
+        .any(|(_, p)| p.current_bw.is_sender(threshold));
+    if has_sender {
+        SessionClass::Active
+    } else {
+        SessionClass::Inactive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables::{PairRow, RouteRow};
+    use mantra_net::rate::SENDER_THRESHOLD;
+    use mantra_net::Ip;
+
+    fn t0() -> SimTime {
+        SimTime::from_ymd(1998, 11, 1)
+    }
+
+    fn g(i: u32) -> GroupAddr {
+        GroupAddr::from_index(i)
+    }
+
+    fn pair(t: &mut Tables, gi: u32, src: Ip, kbps: u64, forwarding: bool) {
+        t.add_pair(PairRow {
+            source: src,
+            group: g(gi),
+            current_bw: BitRate::from_kbps(kbps),
+            avg_bw: BitRate::from_kbps(kbps),
+            forwarding,
+            learned_from: LearnedFrom::Dvmrp,
+        });
+    }
+
+    fn sample() -> Tables {
+        let mut t = Tables::new("fixw", t0());
+        // Session 0: sender at 64k + two passives.
+        pair(&mut t, 0, Ip::new(1, 0, 0, 1), 64, true);
+        pair(&mut t, 0, Ip::new(1, 0, 0, 2), 1, true);
+        pair(&mut t, 0, Ip::new(1, 0, 0, 3), 2, true);
+        // Session 1: single passive member.
+        pair(&mut t, 1, Ip::new(2, 0, 0, 1), 1, true);
+        // Session 2: pruned sender (no traffic through this router).
+        pair(&mut t, 2, Ip::new(3, 0, 0, 1), 128, false);
+        t
+    }
+
+    #[test]
+    fn usage_stats_classification() {
+        let u = UsageStats::from_tables(&sample(), SENDER_THRESHOLD);
+        assert_eq!(u.sessions, 3);
+        assert_eq!(u.participants, 5);
+        assert_eq!(u.senders, 2, "pruned sender still classifies as sender");
+        assert_eq!(u.active_sessions, 2);
+        assert!((u.avg_density - 5.0 / 3.0).abs() < 1e-9);
+        // Sessions 1 and 2 are single-member.
+        assert!((u.single_member_fraction - 2.0 / 3.0).abs() < 1e-9);
+        assert!((u.le2_density_fraction - 2.0 / 3.0).abs() < 1e-9);
+        // Bandwidth counts only forwarding pairs: 64+1+2+1 = 68 kbps.
+        assert_eq!(u.total_bandwidth, BitRate::from_kbps(68));
+        assert!((u.pct_active() - 66.666).abs() < 0.01);
+        assert!((u.pct_senders() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_saved_uses_density_times_rate() {
+        let u = UsageStats::from_tables(&sample(), SENDER_THRESHOLD);
+        // Unicast estimate: session-0 sender 64k × (3-1 receivers) +
+        // session-2 sender 128k × max(1-1,1)=1 → 128+128 = 256k.
+        // Multicast usage: 68k → multiple ≈ 3.76.
+        assert!((u.bandwidth_saved_multiple - 256.0 / 68.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_tables_are_all_zero() {
+        let u = UsageStats::from_tables(&Tables::new("x", t0()), SENDER_THRESHOLD);
+        assert_eq!(u.sessions, 0);
+        assert_eq!(u.pct_active(), 0.0);
+        assert_eq!(u.bandwidth_saved_multiple, 0.0);
+    }
+
+    fn route(t: &mut Tables, third: u8, reachable: bool, metric: u32) {
+        t.add_route(RouteRow {
+            prefix: Prefix::new(Ip::new(128, third, 0, 0), 16).unwrap(),
+            next_hop: Some(Ip::new(10, 0, 0, 1)),
+            metric,
+            uptime: None,
+            reachable,
+            learned_from: LearnedFrom::Dvmrp,
+        });
+    }
+
+    #[test]
+    fn route_stats_and_churn() {
+        let mut a = Tables::new("fixw", t0());
+        route(&mut a, 1, true, 3);
+        route(&mut a, 2, true, 3);
+        route(&mut a, 3, false, 32);
+        let rs = RouteStats::from_tables(&a);
+        assert_eq!(rs.dvmrp_total, 3);
+        assert_eq!(rs.dvmrp_reachable, 2);
+        assert_eq!(rs.mean_uptime_secs, None);
+
+        let mut b = Tables::new("fixw", t0());
+        route(&mut b, 1, true, 5); // metric change
+        route(&mut b, 3, true, 3); // flip to reachable + metric change
+        route(&mut b, 4, true, 3); // added
+        // 128.2 removed.
+        let churn = RouteChurn::between(&a, &b);
+        assert_eq!(churn.added, 1);
+        assert_eq!(churn.removed, 1);
+        assert_eq!(churn.changed, 2);
+        assert_eq!(churn.reachability_flips, 1);
+        assert_eq!(churn.total(), 5);
+    }
+
+    #[test]
+    fn consistency_report() {
+        let mut a = Tables::new("fixw", t0());
+        route(&mut a, 1, true, 3);
+        route(&mut a, 2, true, 3);
+        let mut b = Tables::new("ucsb", t0());
+        route(&mut b, 2, true, 3);
+        route(&mut b, 3, true, 3);
+        let c = ConsistencyReport::between(&a, &b);
+        assert_eq!((c.only_first, c.only_second, c.shared), (1, 1, 1));
+        assert!((c.similarity() - 1.0 / 3.0).abs() < 1e-9);
+        let ident = ConsistencyReport::between(&a, &a);
+        assert_eq!(ident.similarity(), 1.0);
+    }
+
+    #[test]
+    fn series_statistics() {
+        let mut s = Series::new("routes");
+        for (i, v) in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].iter().enumerate() {
+            s.push(SimTime(t0().as_secs() + i as u64), *v);
+        }
+        assert_eq!(s.len(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-9);
+        assert!((s.stddev() - 2.0).abs() < 1e-9);
+        assert!((s.median() - 4.5).abs() < 1e-9);
+        assert_eq!(s.max().unwrap().1, 9.0);
+        assert_eq!(s.min().unwrap().1, 2.0);
+        let w = s.window(SimTime(t0().as_secs() + 2), SimTime(t0().as_secs() + 4));
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn classify_individual_sessions() {
+        let t = sample();
+        assert_eq!(classify_session(&t, g(0), SENDER_THRESHOLD), SessionClass::Active);
+        assert_eq!(classify_session(&t, g(1), SENDER_THRESHOLD), SessionClass::Inactive);
+        assert_eq!(classify_session(&t, g(9), SENDER_THRESHOLD), SessionClass::Inactive);
+    }
+}

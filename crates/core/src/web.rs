@@ -1,0 +1,300 @@
+//! Web presentation: static HTML/SVG reports.
+//!
+//! The paper's results were "available via the web using interactive Java
+//! applets". Applets are gone; the modern equivalent of Mantra's
+//! presentation layer is a self-contained HTML report with inline SVG
+//! line graphs — no external assets, viewable from a file. The
+//! *operations* (sort, search, column algebra, zoom) live in
+//! [`crate::output`]; this module renders their results.
+
+use std::fmt::Write as _;
+
+use mantra_net::SimTime;
+
+use crate::monitor::Monitor;
+use crate::output::{Graph, Table};
+
+/// Escapes text for HTML.
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// Renders a summary table as an HTML `<table>`.
+pub fn table_html(t: &Table) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "<h3>{}</h3>", esc(&t.title));
+    let _ = writeln!(out, "<table border=\"1\" cellspacing=\"0\" cellpadding=\"4\">");
+    let _ = write!(out, "<tr>");
+    for c in &t.columns {
+        let _ = write!(out, "<th>{}</th>", esc(c));
+    }
+    let _ = writeln!(out, "</tr>");
+    for row in &t.rows {
+        let _ = write!(out, "<tr>");
+        for (i, _cell) in row.iter().enumerate() {
+            let rendered = {
+                // Reuse the table's own date-mode rendering through CSV
+                // (cell rendering is private); CSV escaping is a no-op for
+                // our numeric/time cells.
+                let mut tmp = Table::new("", t.columns.iter().map(|s| s.as_str()).collect());
+                tmp.date_mode = t.date_mode;
+                tmp.push_row(row.clone());
+                tmp.to_csv()
+                    .lines()
+                    .nth(1)
+                    .and_then(|l| l.split(',').nth(i).map(str::to_string))
+                    .unwrap_or_default()
+            };
+            let _ = write!(out, "<td>{}</td>", esc(&rendered));
+        }
+        let _ = writeln!(out, "</tr>");
+    }
+    let _ = writeln!(out, "</table>");
+    out
+}
+
+/// Renders a graph as inline SVG with axes, one polyline per series.
+pub fn graph_svg(g: &Graph, width: u32, height: u32) -> String {
+    const COLORS: [&str; 6] = ["#1f4e8c", "#b03a2e", "#1e8449", "#9a7d0a", "#6c3483", "#34495e"];
+    let (w, h) = (width.max(200), height.max(120));
+    let (ml, mr, mt, mb) = (60.0, 10.0, 24.0, 36.0); // margins
+    let plot_w = w as f64 - ml - mr;
+    let plot_h = h as f64 - mt - mb;
+
+    // Data ranges (reusing the graph's zoom window semantics).
+    let windowed: Vec<_> = g
+        .series
+        .iter()
+        .map(|s| match g.x_range {
+            Some((a, b)) => s.window(a, b),
+            None => s.clone(),
+        })
+        .collect();
+    let xs: Vec<u64> = windowed
+        .iter()
+        .flat_map(|s| s.points.iter().map(|(t, _)| t.as_secs()))
+        .collect();
+    let x_lo = xs.iter().copied().min().unwrap_or(0);
+    let x_hi = xs.iter().copied().max().unwrap_or(x_lo + 1).max(x_lo + 1);
+    let (y_lo, y_hi) = g.y_range.unwrap_or_else(|| {
+        let ys: Vec<f64> = windowed
+            .iter()
+            .flat_map(|s| s.points.iter().map(|(_, v)| *v))
+            .collect();
+        let lo = ys.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if lo.is_finite() && hi.is_finite() {
+            (lo.min(0.0), hi.max(lo + 1.0))
+        } else {
+            (0.0, 1.0)
+        }
+    });
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" viewBox=\"0 0 {w} {h}\">"
+    );
+    let _ = writeln!(
+        out,
+        "<text x=\"{}\" y=\"16\" font-size=\"13\" font-family=\"sans-serif\">{}</text>",
+        ml,
+        esc(&g.title)
+    );
+    // Axes.
+    let _ = writeln!(
+        out,
+        "<line x1=\"{ml}\" y1=\"{mt}\" x2=\"{ml}\" y2=\"{}\" stroke=\"#333\"/>",
+        mt + plot_h
+    );
+    let _ = writeln!(
+        out,
+        "<line x1=\"{ml}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"#333\"/>",
+        mt + plot_h,
+        ml + plot_w,
+        mt + plot_h
+    );
+    // Y labels.
+    for i in 0..=4 {
+        let v = y_lo + (y_hi - y_lo) * f64::from(i) / 4.0;
+        let y = mt + plot_h - plot_h * f64::from(i) / 4.0;
+        let _ = writeln!(
+            out,
+            "<text x=\"4\" y=\"{:.0}\" font-size=\"10\" font-family=\"sans-serif\">{v:.1}</text>",
+            y + 3.0
+        );
+    }
+    // X labels (start/end).
+    let _ = writeln!(
+        out,
+        "<text x=\"{ml}\" y=\"{}\" font-size=\"10\" font-family=\"sans-serif\">{}</text>",
+        mt + plot_h + 14.0,
+        SimTime(x_lo).iso8601()
+    );
+    let _ = writeln!(
+        out,
+        "<text x=\"{}\" y=\"{}\" font-size=\"10\" font-family=\"sans-serif\" text-anchor=\"end\">{}</text>",
+        ml + plot_w,
+        mt + plot_h + 14.0,
+        SimTime(x_hi).iso8601()
+    );
+    // Series.
+    for (si, s) in windowed.iter().enumerate() {
+        let color = COLORS[si % COLORS.len()];
+        let pts: Vec<String> = s
+            .points
+            .iter()
+            .map(|(t, v)| {
+                let x = ml + plot_w * (t.as_secs() - x_lo) as f64 / (x_hi - x_lo) as f64;
+                let clamped = v.clamp(y_lo, y_hi);
+                let y = mt + plot_h - plot_h * (clamped - y_lo) / (y_hi - y_lo).max(1e-12);
+                format!("{x:.1},{y:.1}")
+            })
+            .collect();
+        if !pts.is_empty() {
+            let _ = writeln!(
+                out,
+                "<polyline fill=\"none\" stroke=\"{color}\" stroke-width=\"1.2\" points=\"{}\"/>",
+                pts.join(" ")
+            );
+        }
+        // Legend.
+        let ly = mt + 14.0 * si as f64;
+        let _ = writeln!(
+            out,
+            "<rect x=\"{}\" y=\"{:.0}\" width=\"10\" height=\"3\" fill=\"{color}\"/>",
+            ml + plot_w - 120.0,
+            ly
+        );
+        let _ = writeln!(
+            out,
+            "<text x=\"{}\" y=\"{:.0}\" font-size=\"10\" font-family=\"sans-serif\">{}</text>",
+            ml + plot_w - 105.0,
+            ly + 4.0,
+            esc(&s.name)
+        );
+    }
+    let _ = writeln!(out, "</svg>");
+    out
+}
+
+/// Renders a full monitoring report page for one router.
+pub fn report_html(monitor: &Monitor, router: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "<!DOCTYPE html>");
+    let _ = writeln!(
+        out,
+        "<html><head><meta charset=\"utf-8\"><title>Mantra report: {}</title></head><body>",
+        esc(router)
+    );
+    let _ = writeln!(out, "<h1>Mantra monitoring report — {}</h1>", esc(router));
+    let _ = writeln!(
+        out,
+        "<p>{} cycles, {} capture failures, {} anomalies.</p>",
+        monitor.cycles(),
+        monitor.capture_failures(),
+        monitor.anomalies.len()
+    );
+    let _ = writeln!(out, "{}", graph_svg(&monitor.usage_graph(router), 860, 300));
+    let mut routes = Graph::new(format!("DVMRP routes at {router}"));
+    routes.overlay(monitor.route_series(router, "dvmrp-routes", |r| r.dvmrp_reachable as f64));
+    let _ = writeln!(out, "{}", graph_svg(&routes, 860, 240));
+    let _ = writeln!(out, "{}", table_html(&monitor.busiest_sessions(router, 10)));
+    let _ = writeln!(out, "{}", table_html(&monitor.top_senders(router, 10)));
+    if let Some(lt) = monitor.longterm(router) {
+        let _ = writeln!(
+            out,
+            "<p>route stability: {:.0}% of routes never flapped; median session lifetime {:.0} s over {} completed sessions.</p>",
+            100.0 * lt.route_stability(),
+            lt.session_lifetimes.median_secs(),
+            lt.session_lifetimes.len()
+        );
+    }
+    let _ = writeln!(out, "</body></html>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::output::Cell;
+    use crate::stats::Series;
+
+    fn t(n: u64) -> SimTime {
+        SimTime(SimTime::from_ymd(1998, 11, 1).as_secs() + n * 3600)
+    }
+
+    #[test]
+    fn table_html_escapes_and_structures() {
+        let mut table = Table::new("A <weird> & title", vec!["name", "v"]);
+        table.push_row(vec![Cell::Text("x<y>&\"z\"".into()), Cell::Num(4.0)]);
+        let html = table_html(&table);
+        assert!(html.contains("&lt;weird&gt; &amp;"));
+        assert!(html.contains("x&lt;y&gt;&amp;&quot;z&quot;"));
+        assert_eq!(html.matches("<tr>").count(), html.matches("</tr>").count());
+        assert_eq!(html.matches("<tr>").count(), 2);
+    }
+
+    #[test]
+    fn graph_svg_has_polyline_per_series() {
+        let mut g = Graph::new("usage & more");
+        let mut a = Series::new("sessions");
+        let mut b = Series::new("senders");
+        for i in 0..24 {
+            a.push(t(i), 100.0 + i as f64);
+            b.push(t(i), 5.0);
+        }
+        g.overlay(a).overlay(b);
+        let svg = graph_svg(&g, 600, 240);
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("usage &amp; more"));
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // Points stay inside the viewbox.
+        for seg in svg.split("points=\"").skip(1) {
+            let pts = seg.split('"').next().unwrap();
+            for p in pts.split(' ') {
+                let (x, y) = p.split_once(',').unwrap();
+                let x: f64 = x.parse().unwrap();
+                let y: f64 = y.parse().unwrap();
+                assert!((0.0..=600.0).contains(&x));
+                assert!((0.0..=240.0).contains(&y));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_svg_renders() {
+        let g = Graph::new("empty");
+        let svg = graph_svg(&g, 300, 150);
+        assert!(svg.contains("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 0);
+    }
+
+    #[test]
+    fn report_page_is_complete() {
+        use crate::collector::SimAccess;
+        use crate::{Monitor, MonitorConfig};
+        let mut sc = mantra_sim::Scenario::transition_snapshot(41, 0.3);
+        let mut monitor = Monitor::new(MonitorConfig {
+            routers: vec!["fixw".into()],
+            interval: sc.sim.tick(),
+            ..MonitorConfig::default()
+        });
+        for _ in 0..8 {
+            let next = sc.sim.clock + monitor.cfg.interval;
+            sc.sim.advance_to(next);
+            let mut access = SimAccess::new(&sc.sim);
+            monitor.run_cycle(&mut access, next);
+        }
+        let html = report_html(&monitor, "fixw");
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("</html>"));
+        assert!(html.matches("<svg").count() == 2);
+        assert!(html.contains("Busiest sessions"));
+        assert!(html.contains("route stability"));
+    }
+}

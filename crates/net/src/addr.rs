@@ -1,0 +1,252 @@
+//! IPv4 addresses and class-D multicast group addresses.
+//!
+//! The simulator and Mantra's parsers both traffic in dotted-quad text (the
+//! router CLIs render addresses as text, and the collector parses them back),
+//! so [`Ip`] implements both `Display` and `FromStr`.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// A 32-bit IPv4 address.
+///
+/// Stored as a host-order `u32` so it is `Copy`, hashes as a single integer
+/// and orders numerically (the order router CLIs print their tables in).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Ip(pub u32);
+
+impl Ip {
+    /// Builds an address from its four dotted-quad octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ip(((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | d as u32)
+    }
+
+    /// The unspecified address `0.0.0.0`, used as a wildcard source in
+    /// `(*,G)` forwarding entries.
+    pub const UNSPECIFIED: Ip = Ip(0);
+
+    /// Returns the four octets most-significant first.
+    pub const fn octets(self) -> [u8; 4] {
+        [
+            (self.0 >> 24) as u8,
+            (self.0 >> 16) as u8,
+            (self.0 >> 8) as u8,
+            self.0 as u8,
+        ]
+    }
+
+    /// True for class-D (multicast) addresses: `224.0.0.0/4`.
+    pub const fn is_multicast(self) -> bool {
+        self.0 >> 28 == 0b1110
+    }
+
+    /// True for administratively-scoped multicast (`239.0.0.0/8`), which
+    /// stays inside a domain and never crosses an exchange point like FIXW.
+    pub const fn is_admin_scoped(self) -> bool {
+        self.0 >> 24 == 239
+    }
+
+    /// True for link-local multicast (`224.0.0.0/24`), which routers never
+    /// forward; Mantra's table processor filters these out of session counts.
+    pub const fn is_link_local_multicast(self) -> bool {
+        self.0 >> 8 == (224 << 16)
+    }
+
+    /// True for the wildcard `0.0.0.0`.
+    pub const fn is_unspecified(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Ip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let [a, b, c, d] = self.octets();
+        write!(f, "{a}.{b}.{c}.{d}")
+    }
+}
+
+impl fmt::Debug for Ip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ip({self})")
+    }
+}
+
+/// Errors produced when parsing dotted-quad text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AddrParseError {
+    /// Wrong number of dot-separated fields.
+    BadShape,
+    /// A field was not a decimal number in `0..=255`.
+    BadOctet,
+    /// A group address was required but the value is not class-D.
+    NotMulticast,
+}
+
+impl fmt::Display for AddrParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddrParseError::BadShape => write!(f, "expected four dot-separated octets"),
+            AddrParseError::BadOctet => write!(f, "octet out of range"),
+            AddrParseError::NotMulticast => write!(f, "address is not class-D multicast"),
+        }
+    }
+}
+
+impl std::error::Error for AddrParseError {}
+
+impl FromStr for Ip {
+    type Err = AddrParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut octets = [0u8; 4];
+        let mut n = 0;
+        for part in s.split('.') {
+            if n == 4 {
+                return Err(AddrParseError::BadShape);
+            }
+            if part.is_empty() || part.len() > 3 || !part.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(AddrParseError::BadOctet);
+            }
+            let v: u32 = part.parse().map_err(|_| AddrParseError::BadOctet)?;
+            if v > 255 {
+                return Err(AddrParseError::BadOctet);
+            }
+            octets[n] = v as u8;
+            n += 1;
+        }
+        if n != 4 {
+            return Err(AddrParseError::BadShape);
+        }
+        Ok(Ip::new(octets[0], octets[1], octets[2], octets[3]))
+    }
+}
+
+/// A validated class-D multicast group address.
+///
+/// Using a separate type keeps `(S,G)` state honest: the group half of a pair
+/// can never accidentally hold a unicast address, which is exactly the
+/// confusion behind the paper's Figure 9 anomaly (unicast routes injected
+/// into a multicast table).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GroupAddr(Ip);
+
+impl GroupAddr {
+    /// Wraps a class-D address, rejecting anything else.
+    pub fn new(ip: Ip) -> Result<Self, AddrParseError> {
+        if ip.is_multicast() {
+            Ok(GroupAddr(ip))
+        } else {
+            Err(AddrParseError::NotMulticast)
+        }
+    }
+
+    /// The underlying address.
+    pub const fn ip(self) -> Ip {
+        self.0
+    }
+
+    /// True for administratively-scoped groups (`239/8`).
+    pub const fn is_admin_scoped(self) -> bool {
+        self.0.is_admin_scoped()
+    }
+
+    /// True for link-local groups (`224.0.0/24`).
+    pub const fn is_link_local(self) -> bool {
+        self.0.is_link_local_multicast()
+    }
+
+    /// Deterministically maps an index to a globally-scoped group address in
+    /// `224.2.0.0/16` (the historical sdr/SAP block the paper's sessions
+    /// lived in).
+    pub fn from_index(i: u32) -> Self {
+        GroupAddr(Ip(Ip::new(224, 2, 0, 0).0 + (i % 0x0001_0000)))
+    }
+}
+
+impl fmt::Display for GroupAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl fmt::Debug for GroupAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GroupAddr({})", self.0)
+    }
+}
+
+impl FromStr for GroupAddr {
+    type Err = AddrParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        GroupAddr::new(s.parse()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn octet_round_trip() {
+        let ip = Ip::new(128, 111, 41, 7);
+        assert_eq!(ip.octets(), [128, 111, 41, 7]);
+        assert_eq!(ip.to_string(), "128.111.41.7");
+    }
+
+    #[test]
+    fn parse_valid() {
+        let ip: Ip = "224.2.127.254".parse().unwrap();
+        assert_eq!(ip, Ip::new(224, 2, 127, 254));
+        assert!(ip.is_multicast());
+    }
+
+    #[test]
+    fn parse_rejects_bad_shapes() {
+        assert_eq!("1.2.3".parse::<Ip>(), Err(AddrParseError::BadShape));
+        assert_eq!("1.2.3.4.5".parse::<Ip>(), Err(AddrParseError::BadShape));
+        assert_eq!("1.2.3.256".parse::<Ip>(), Err(AddrParseError::BadOctet));
+        assert_eq!("1.2.3.".parse::<Ip>(), Err(AddrParseError::BadOctet));
+        assert_eq!("a.b.c.d".parse::<Ip>(), Err(AddrParseError::BadOctet));
+        assert_eq!("1.2.3.004".parse::<Ip>(), Ok(Ip::new(1, 2, 3, 4)));
+    }
+
+    #[test]
+    fn multicast_classification() {
+        assert!(Ip::new(224, 0, 0, 0).is_multicast());
+        assert!(Ip::new(239, 255, 255, 255).is_multicast());
+        assert!(!Ip::new(223, 255, 255, 255).is_multicast());
+        assert!(!Ip::new(240, 0, 0, 0).is_multicast());
+        assert!(Ip::new(239, 1, 2, 3).is_admin_scoped());
+        assert!(!Ip::new(238, 1, 2, 3).is_admin_scoped());
+        assert!(Ip::new(224, 0, 0, 5).is_link_local_multicast());
+        assert!(!Ip::new(224, 0, 1, 5).is_link_local_multicast());
+    }
+
+    #[test]
+    fn group_addr_validates() {
+        assert!(GroupAddr::new(Ip::new(10, 0, 0, 1)).is_err());
+        let g = GroupAddr::new(Ip::new(224, 2, 0, 9)).unwrap();
+        assert_eq!(g.ip(), Ip::new(224, 2, 0, 9));
+        assert_eq!("10.0.0.1".parse::<GroupAddr>(), Err(AddrParseError::NotMulticast));
+    }
+
+    #[test]
+    fn group_from_index_stays_in_sap_block() {
+        for i in [0u32, 1, 65_535, 65_536, 1_000_000] {
+            let g = GroupAddr::from_index(i);
+            assert!(g.ip().is_multicast());
+            assert!(!g.is_admin_scoped());
+            assert!(!g.is_link_local());
+            assert_eq!(g.ip().octets()[0], 224);
+            assert_eq!(g.ip().octets()[1], 2);
+        }
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Ip::new(9, 0, 0, 0) < Ip::new(10, 0, 0, 0));
+        assert!(Ip::new(10, 0, 0, 1) < Ip::new(10, 0, 1, 0));
+    }
+}

@@ -1,0 +1,91 @@
+//! Small copyable identifiers.
+//!
+//! Routers, hosts, interfaces and domains are all identified by dense `u32`
+//! indices. Dense ids let the simulator store per-entity state in flat
+//! vectors instead of hash maps on hot paths, per the performance guide.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The raw index, usable directly as a `Vec` subscript.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a multicast router in the simulated internetwork.
+    RouterId,
+    "r"
+);
+id_type!(
+    /// Identifies an end host (session participant).
+    HostId,
+    "h"
+);
+id_type!(
+    /// Identifies an interface (vif) local to one router.
+    IfaceId,
+    "if"
+);
+id_type!(
+    /// Identifies a routing domain / autonomous system.
+    DomainId,
+    "d"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_tags() {
+        assert_eq!(RouterId(3).to_string(), "r3");
+        assert_eq!(HostId(0).to_string(), "h0");
+        assert_eq!(IfaceId(12).to_string(), "if12");
+        assert_eq!(DomainId(7).to_string(), "d7");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let r = RouterId::from(42u32);
+        assert_eq!(r.index(), 42);
+        assert_eq!(r, RouterId(42));
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(RouterId(1) < RouterId(2));
+        assert!(DomainId(0) < DomainId(10));
+    }
+}

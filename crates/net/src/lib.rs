@@ -1,0 +1,31 @@
+//! Network-layer primitives shared by the whole Mantra workspace.
+//!
+//! This crate provides the vocabulary types the rest of the reproduction is
+//! written in:
+//!
+//! * [`addr`] — IPv4 addresses and class-D multicast group addresses,
+//! * [`prefix`] — CIDR prefixes with containment and aggregation,
+//! * [`trie`] — a binary radix trie supporting longest-prefix match, the
+//!   backing store for every RIB (DVMRP, MBGP) and RPF lookup,
+//! * [`rate`] — bit-rate quantities (the paper's 4 kbps sender threshold
+//!   lives here as [`rate::SENDER_THRESHOLD`]),
+//! * [`time`] — simulated wall-clock time with civil-date conversion, which
+//!   the output interface's date/time column operations need,
+//! * [`id`] — small copyable identifiers for routers, hosts and domains.
+//!
+//! Everything here is deterministic, allocation-light and `Copy` where
+//! possible, following the hpc-parallel guide's advice on small hot types.
+
+pub mod addr;
+pub mod id;
+pub mod prefix;
+pub mod rate;
+pub mod time;
+pub mod trie;
+
+pub use addr::{GroupAddr, Ip};
+pub use id::{DomainId, HostId, IfaceId, RouterId};
+pub use prefix::Prefix;
+pub use rate::BitRate;
+pub use time::{SimDuration, SimTime};
+pub use trie::PrefixTrie;

@@ -1,0 +1,250 @@
+//! CIDR prefixes.
+//!
+//! DVMRP route tables, MBGP RIBs and Mantra's Route table all key on
+//! `address/length` prefixes. The type enforces the canonical-form invariant
+//! (host bits zero) so two textual spellings of the same route compare equal,
+//! which the delta logger depends on.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{AddrParseError, Ip};
+
+/// A canonical-form CIDR prefix: `len` leading bits of `net`, host bits zero.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Prefix {
+    net: Ip,
+    len: u8,
+}
+
+/// Errors produced when constructing or parsing prefixes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrefixError {
+    /// Length above 32.
+    BadLength,
+    /// The address half failed to parse.
+    BadAddr(AddrParseError),
+    /// Missing or malformed `/len` part.
+    BadShape,
+}
+
+impl fmt::Display for PrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrefixError::BadLength => write!(f, "prefix length exceeds 32"),
+            PrefixError::BadAddr(e) => write!(f, "bad network address: {e}"),
+            PrefixError::BadShape => write!(f, "expected net/len"),
+        }
+    }
+}
+
+impl std::error::Error for PrefixError {}
+
+impl Prefix {
+    /// Builds a prefix, canonicalising by masking off host bits.
+    pub fn new(net: Ip, len: u8) -> Result<Self, PrefixError> {
+        if len > 32 {
+            return Err(PrefixError::BadLength);
+        }
+        Ok(Prefix {
+            net: Ip(net.0 & mask(len)),
+            len,
+        })
+    }
+
+    /// The default route `0.0.0.0/0`.
+    pub const DEFAULT: Prefix = Prefix { net: Ip(0), len: 0 };
+
+    /// A host route (`/32`) for a single address.
+    pub fn host(ip: Ip) -> Self {
+        Prefix { net: ip, len: 32 }
+    }
+
+    /// The network address (host bits are always zero).
+    pub const fn network(self) -> Ip {
+        self.net
+    }
+
+    /// The prefix length in bits.
+    pub const fn len(self) -> u8 {
+        self.len
+    }
+
+    /// True only for the zero-length default route.
+    pub const fn is_default(self) -> bool {
+        self.len == 0
+    }
+
+    /// The dotted-quad netmask, as mrouted prints it.
+    pub const fn netmask(self) -> Ip {
+        Ip(mask(self.len))
+    }
+
+    /// True when `ip` falls inside this prefix.
+    pub const fn contains(self, ip: Ip) -> bool {
+        (ip.0 & mask(self.len)) == self.net.0
+    }
+
+    /// True when `other` is equal to or more specific than `self`.
+    pub const fn covers(self, other: Prefix) -> bool {
+        other.len >= self.len && self.contains(other.net)
+    }
+
+    /// The immediate parent (one bit shorter), or `None` at the root.
+    pub fn parent(self) -> Option<Prefix> {
+        if self.len == 0 {
+            None
+        } else {
+            let len = self.len - 1;
+            Some(Prefix {
+                net: Ip(self.net.0 & mask(len)),
+                len,
+            })
+        }
+    }
+
+    /// The value of bit `i` (0 = most significant) of the network address.
+    pub const fn bit(self, i: u8) -> bool {
+        (self.net.0 >> (31 - i)) & 1 == 1
+    }
+
+    /// Splits into the two child prefixes one bit longer, when possible.
+    pub fn children(self) -> Option<(Prefix, Prefix)> {
+        if self.len >= 32 {
+            return None;
+        }
+        let len = self.len + 1;
+        let left = Prefix { net: self.net, len };
+        let right = Prefix {
+            net: Ip(self.net.0 | (1 << (32 - len as u32))),
+            len,
+        };
+        Some((left, right))
+    }
+
+    /// Attempts to aggregate two sibling prefixes into their parent.
+    ///
+    /// DVMRP route aggregation (a cause of the paper's "inconsistent state"
+    /// observation when done inconsistently between routers) uses this.
+    pub fn aggregate(a: Prefix, b: Prefix) -> Option<Prefix> {
+        if a.len != b.len || a.len == 0 || a == b {
+            return None;
+        }
+        let p = a.parent()?;
+        if b.parent() == Some(p) {
+            Some(p)
+        } else {
+            None
+        }
+    }
+}
+
+/// The network mask with `len` leading ones.
+const fn mask(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - len as u32)
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.net, self.len)
+    }
+}
+
+impl fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Prefix({self})")
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = PrefixError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (net, len) = s.split_once('/').ok_or(PrefixError::BadShape)?;
+        let net: Ip = net.parse().map_err(PrefixError::BadAddr)?;
+        let len: u8 = len.parse().map_err(|_| PrefixError::BadShape)?;
+        Prefix::new(net, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn canonicalises_host_bits() {
+        let a = Prefix::new(Ip::new(128, 111, 41, 7), 16).unwrap();
+        assert_eq!(a, p("128.111.0.0/16"));
+        assert_eq!(a.to_string(), "128.111.0.0/16");
+    }
+
+    #[test]
+    fn rejects_long_lengths() {
+        assert_eq!(Prefix::new(Ip(0), 33), Err(PrefixError::BadLength));
+        assert!("10.0.0.0/33".parse::<Prefix>().is_err());
+        assert!("10.0.0.0".parse::<Prefix>().is_err());
+    }
+
+    #[test]
+    fn contains_and_covers() {
+        let net = p("128.111.0.0/16");
+        assert!(net.contains(Ip::new(128, 111, 41, 7)));
+        assert!(!net.contains(Ip::new(128, 112, 0, 1)));
+        assert!(net.covers(p("128.111.41.0/24")));
+        assert!(!net.covers(p("128.0.0.0/8")));
+        assert!(Prefix::DEFAULT.covers(net));
+        assert!(Prefix::DEFAULT.contains(Ip::new(1, 2, 3, 4)));
+    }
+
+    #[test]
+    fn netmask_text() {
+        assert_eq!(p("10.0.0.0/8").netmask().to_string(), "255.0.0.0");
+        assert_eq!(p("10.1.0.0/16").netmask().to_string(), "255.255.0.0");
+        assert_eq!(Prefix::DEFAULT.netmask().to_string(), "0.0.0.0");
+        assert_eq!(Prefix::host(Ip::new(1, 2, 3, 4)).netmask().to_string(), "255.255.255.255");
+    }
+
+    #[test]
+    fn parent_and_children() {
+        let net = p("128.111.0.0/16");
+        assert_eq!(net.parent(), Some(p("128.110.0.0/15")));
+        let (l, r) = net.children().unwrap();
+        assert_eq!(l, p("128.111.0.0/17"));
+        assert_eq!(r, p("128.111.128.0/17"));
+        assert_eq!(Prefix::DEFAULT.parent(), None);
+        assert_eq!(Prefix::host(Ip(1)).children(), None);
+    }
+
+    #[test]
+    fn aggregation() {
+        let l = p("10.0.0.0/9");
+        let r = p("10.128.0.0/9");
+        assert_eq!(Prefix::aggregate(l, r), Some(p("10.0.0.0/8")));
+        assert_eq!(Prefix::aggregate(r, l), Some(p("10.0.0.0/8")));
+        // Not siblings.
+        assert_eq!(Prefix::aggregate(p("10.0.0.0/9"), p("11.0.0.0/9")), None);
+        // Different lengths.
+        assert_eq!(Prefix::aggregate(p("10.0.0.0/9"), p("10.128.0.0/10")), None);
+        // Identical prefixes don't aggregate upward.
+        assert_eq!(Prefix::aggregate(l, l), None);
+    }
+
+    #[test]
+    fn bit_extraction() {
+        let net = p("128.0.0.0/1");
+        assert!(net.bit(0));
+        let net = p("64.0.0.0/2");
+        assert!(!net.bit(0));
+        assert!(net.bit(1));
+    }
+}

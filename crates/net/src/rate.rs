@@ -1,0 +1,178 @@
+//! Bit-rate quantities.
+//!
+//! Mantra's usage statistics are all rate-based: the 4 kbps sender threshold,
+//! per-session bandwidth, aggregate traffic through FIXW, and the
+//! "bandwidth saved by multicast" estimate. Rates are stored exactly in bits
+//! per second as a `u64`, so classification thresholds compare without
+//! floating-point surprises.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A non-negative data rate in bits per second.
+#[derive(
+    Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct BitRate(pub u64);
+
+/// The paper's classification threshold: a participant sending faster than
+/// 4 kbps is a *sender*; at or below it is a *passive participant* (its
+/// traffic is assumed to be RTCP-style control feedback).
+pub const SENDER_THRESHOLD: BitRate = BitRate::from_kbps(4);
+
+impl BitRate {
+    /// Zero rate.
+    pub const ZERO: BitRate = BitRate(0);
+
+    /// Constructs from bits per second.
+    pub const fn from_bps(bps: u64) -> Self {
+        BitRate(bps)
+    }
+
+    /// Constructs from kilobits per second (1 kbps = 1000 bps).
+    pub const fn from_kbps(kbps: u64) -> Self {
+        BitRate(kbps * 1_000)
+    }
+
+    /// Constructs from megabits per second.
+    pub const fn from_mbps(mbps: u64) -> Self {
+        BitRate(mbps * 1_000_000)
+    }
+
+    /// The rate in bits per second.
+    pub const fn bps(self) -> u64 {
+        self.0
+    }
+
+    /// The rate in kilobits per second, as a float for reporting.
+    pub fn kbps(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The rate in megabits per second, as a float for reporting.
+    pub fn mbps(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Whether this rate classifies its participant as a sender under the
+    /// given threshold (strictly greater, per the paper's wording "sending
+    /// data at a rate greater than the threshold").
+    pub fn is_sender(self, threshold: BitRate) -> bool {
+        self > threshold
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: BitRate) -> BitRate {
+        BitRate(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Scales the rate by an integer factor (e.g. density × stream rate in
+    /// the unicast-equivalent bandwidth estimate of Figure 5).
+    pub const fn scale(self, factor: u64) -> BitRate {
+        BitRate(self.0 * factor)
+    }
+
+    /// Bytes transferred over `seconds` at this rate.
+    pub fn bytes_over(self, seconds: u64) -> u64 {
+        self.0 * seconds / 8
+    }
+}
+
+impl Add for BitRate {
+    type Output = BitRate;
+    fn add(self, rhs: BitRate) -> BitRate {
+        BitRate(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for BitRate {
+    fn add_assign(&mut self, rhs: BitRate) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for BitRate {
+    type Output = BitRate;
+    fn sub(self, rhs: BitRate) -> BitRate {
+        BitRate(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for BitRate {
+    type Output = BitRate;
+    fn mul(self, rhs: u64) -> BitRate {
+        BitRate(self.0 * rhs)
+    }
+}
+
+impl Sum for BitRate {
+    fn sum<I: Iterator<Item = BitRate>>(iter: I) -> Self {
+        BitRate(iter.map(|r| r.0).sum())
+    }
+}
+
+impl fmt::Display for BitRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.2} Mbps", self.mbps())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.2} kbps", self.kbps())
+        } else {
+            write!(f, "{} bps", self.0)
+        }
+    }
+}
+
+impl fmt::Debug for BitRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitRate({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(BitRate::from_kbps(4).bps(), 4_000);
+        assert_eq!(BitRate::from_mbps(2).bps(), 2_000_000);
+        assert_eq!(BitRate::from_mbps(1), BitRate::from_kbps(1_000));
+    }
+
+    #[test]
+    fn sender_threshold_is_strict() {
+        assert!(!SENDER_THRESHOLD.is_sender(SENDER_THRESHOLD));
+        assert!(!BitRate::from_bps(3_999).is_sender(SENDER_THRESHOLD));
+        assert!(BitRate::from_bps(4_001).is_sender(SENDER_THRESHOLD));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = BitRate::from_kbps(3);
+        let b = BitRate::from_kbps(5);
+        assert_eq!(a + b, BitRate::from_kbps(8));
+        assert_eq!(b - a, BitRate::from_kbps(2));
+        assert_eq!(a * 4, BitRate::from_kbps(12));
+        assert_eq!(a.scale(4), BitRate::from_kbps(12));
+        assert_eq!(a.saturating_sub(b), BitRate::ZERO);
+        let total: BitRate = [a, b, a].into_iter().sum();
+        assert_eq!(total, BitRate::from_kbps(11));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(BitRate::from_bps(512).to_string(), "512 bps");
+        assert_eq!(BitRate::from_kbps(4).to_string(), "4.00 kbps");
+        assert_eq!(BitRate::from_bps(2_900_000).to_string(), "2.90 Mbps");
+    }
+
+    #[test]
+    fn bytes_over_period() {
+        // 8 kbps for 10 s = 10 kB.
+        assert_eq!(BitRate::from_kbps(8).bytes_over(10), 10_000);
+    }
+}

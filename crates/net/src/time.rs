@@ -1,0 +1,282 @@
+//! Simulated time.
+//!
+//! The simulator runs on a virtual clock of whole seconds since a scenario
+//! epoch. The paper's scenarios are calendar-anchored (collection started
+//! 1998-11-01; the IETF peak is early December 1998; Figure 9 is a single day,
+//! 1998-10-14), so [`SimTime`] also converts to and from civil dates using
+//! Howard Hinnant's `days_from_civil` algorithm. Mantra's interactive-table
+//! date operations reuse the same conversion.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A span of simulated time, in whole seconds.
+#[derive(
+    Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// From seconds.
+    pub const fn secs(s: u64) -> Self {
+        SimDuration(s)
+    }
+
+    /// From minutes.
+    pub const fn mins(m: u64) -> Self {
+        SimDuration(m * 60)
+    }
+
+    /// From hours.
+    pub const fn hours(h: u64) -> Self {
+        SimDuration(h * 3_600)
+    }
+
+    /// From days.
+    pub const fn days(d: u64) -> Self {
+        SimDuration(d * 86_400)
+    }
+
+    /// Total seconds.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Total fractional hours, for plotting.
+    pub fn as_hours(self) -> f64 {
+        self.0 as f64 / 3_600.0
+    }
+
+    /// Total fractional days, for plotting long series.
+    pub fn as_days(self) -> f64 {
+        self.0 as f64 / 86_400.0
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+/// Multiplying a duration by a count (e.g. `interval * tick_index`).
+impl std::ops::Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (d, rem) = (self.0 / 86_400, self.0 % 86_400);
+        let (h, rem) = (rem / 3_600, rem % 3_600);
+        let (m, s) = (rem / 60, rem % 60);
+        if d > 0 {
+            write!(f, "{d}d{h:02}:{m:02}:{s:02}")
+        } else {
+            write!(f, "{h:02}:{m:02}:{s:02}")
+        }
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimDuration({self})")
+    }
+}
+
+/// An instant on the simulated clock: seconds since the Unix epoch.
+///
+/// Using real Unix timestamps (rather than seconds-from-scenario-start) keeps
+/// calendar conversion trivial and lets scenario configs anchor themselves to
+/// the paper's actual dates.
+#[derive(
+    Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The epoch itself (1970-01-01 00:00:00).
+    pub const EPOCH: SimTime = SimTime(0);
+
+    /// Builds an instant from a civil date and time-of-day (UTC).
+    ///
+    /// Panics if the date is before 1970, which no scenario uses.
+    pub fn from_ymd_hms(y: i32, m: u32, d: u32, hh: u32, mm: u32, ss: u32) -> Self {
+        let days = days_from_civil(y, m, d);
+        assert!(days >= 0, "SimTime does not represent pre-epoch instants");
+        SimTime(days as u64 * 86_400 + hh as u64 * 3_600 + mm as u64 * 60 + ss as u64)
+    }
+
+    /// Midnight on a civil date.
+    pub fn from_ymd(y: i32, m: u32, d: u32) -> Self {
+        Self::from_ymd_hms(y, m, d, 0, 0, 0)
+    }
+
+    /// Seconds since the epoch.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Decomposes into `(year, month, day)`.
+    pub fn ymd(self) -> (i32, u32, u32) {
+        civil_from_days((self.0 / 86_400) as i64)
+    }
+
+    /// Decomposes the time-of-day into `(hour, minute, second)`.
+    pub fn hms(self) -> (u32, u32, u32) {
+        let rem = self.0 % 86_400;
+        ((rem / 3_600) as u32, ((rem % 3_600) / 60) as u32, (rem % 60) as u32)
+    }
+
+    /// Fractional hour of the day, the x-axis of the paper's Figure 9.
+    pub fn hour_of_day(self) -> f64 {
+        (self.0 % 86_400) as f64 / 3_600.0
+    }
+
+    /// ISO-8601 text, the format Mantra's summary tables display.
+    pub fn iso8601(self) -> String {
+        let (y, m, d) = self.ymd();
+        let (hh, mm, ss) = self.hms();
+        format!("{y:04}-{m:02}-{d:02} {hh:02}:{mm:02}:{ss:02}")
+    }
+
+    /// Elapsed time since `earlier`; saturates to zero when out of order.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.iso8601())
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimTime({self})")
+    }
+}
+
+/// Days since 1970-01-01 for a proleptic-Gregorian civil date
+/// (Hinnant's `days_from_civil`).
+pub fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+    debug_assert!((1..=12).contains(&m), "month out of range");
+    debug_assert!((1..=31).contains(&d), "day out of range");
+    let y = i64::from(y) - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = i64::from((m + 9) % 12); // [0, 11], Mar = 0
+    let doy = (153 * mp + 2) / 5 + i64::from(d) - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Civil date for days since 1970-01-01 (Hinnant's `civil_from_days`).
+pub fn civil_from_days(z: i64) -> (i32, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    ((y + i64::from(m <= 2)) as i32, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_19700101() {
+        assert_eq!(SimTime::EPOCH.ymd(), (1970, 1, 1));
+        assert_eq!(SimTime::from_ymd(1970, 1, 1), SimTime::EPOCH);
+    }
+
+    #[test]
+    fn paper_dates_round_trip() {
+        // Collection start, IETF 43 and the Figure 9 incident day.
+        for (y, m, d) in [(1998, 11, 1), (1998, 12, 7), (1998, 10, 14), (1999, 4, 30), (2000, 2, 29)] {
+            let t = SimTime::from_ymd(y, m, d);
+            assert_eq!(t.ymd(), (y, m, d), "round trip for {y}-{m}-{d}");
+        }
+    }
+
+    #[test]
+    fn known_timestamp() {
+        // 1998-10-14 14:00 UTC == 908373600 (independently computed).
+        let t = SimTime::from_ymd_hms(1998, 10, 14, 14, 0, 0);
+        assert_eq!(t.as_secs(), 908_373_600);
+        assert_eq!(t.hms(), (14, 0, 0));
+        assert!((t.hour_of_day() - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leap_year_handling() {
+        assert_eq!(
+            SimTime::from_ymd(2000, 3, 1) - SimTime::from_ymd(2000, 2, 28),
+            SimDuration::days(2)
+        );
+        assert_eq!(
+            SimTime::from_ymd(1999, 3, 1) - SimTime::from_ymd(1999, 2, 28),
+            SimDuration::days(1)
+        );
+    }
+
+    #[test]
+    fn iso_formatting() {
+        let t = SimTime::from_ymd_hms(1998, 12, 7, 9, 5, 3);
+        assert_eq!(t.iso8601(), "1998-12-07 09:05:03");
+        assert_eq!(t.to_string(), "1998-12-07 09:05:03");
+    }
+
+    #[test]
+    fn duration_arithmetic_and_display() {
+        let i = SimDuration::mins(15);
+        assert_eq!(i.as_secs(), 900);
+        assert_eq!(i * 4, SimDuration::hours(1));
+        assert_eq!((SimDuration::days(1) + SimDuration::hours(2)).to_string(), "1d02:00:00");
+        assert_eq!(SimDuration::secs(61).to_string(), "00:01:01");
+        assert!((SimDuration::days(3).as_days() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_ordering_and_since() {
+        let a = SimTime::from_ymd(1998, 11, 1);
+        let b = a + SimDuration::hours(6);
+        assert!(b > a);
+        assert_eq!(b.since(a), SimDuration::hours(6));
+        assert_eq!(a.since(b), SimDuration::ZERO);
+    }
+}

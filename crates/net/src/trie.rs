@@ -1,0 +1,339 @@
+//! A binary radix trie keyed by [`Prefix`], with longest-prefix match.
+//!
+//! Every routing information base in the workspace — the DVMRP RIB, the MBGP
+//! RIB and the RPF lookup table — is a `PrefixTrie<T>`. The structure is a
+//! simple path-explicit binary trie: nodes are stored in a flat arena and
+//! addressed by `u32` indices, so traversal touches contiguous memory and no
+//! per-node allocation happens after the arena grows.
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::Ip;
+use crate::prefix::Prefix;
+
+const NONE: u32 = u32::MAX;
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct Node<T> {
+    child: [u32; 2],
+    value: Option<T>,
+}
+
+impl<T> Node<T> {
+    fn empty() -> Self {
+        Node {
+            child: [NONE, NONE],
+            value: None,
+        }
+    }
+}
+
+/// A map from CIDR prefixes to values with longest-prefix-match lookup.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PrefixTrie<T> {
+    nodes: Vec<Node<T>>,
+    len: usize,
+}
+
+impl<T> Default for PrefixTrie<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PrefixTrie<T> {
+    /// Creates an empty trie (a lone root node for `0.0.0.0/0`).
+    pub fn new() -> Self {
+        PrefixTrie {
+            nodes: vec![Node::empty()],
+            len: 0,
+        }
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no prefix is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Walks to the node for `prefix`, creating intermediate nodes.
+    fn node_for_insert(&mut self, prefix: Prefix) -> usize {
+        let mut idx = 0usize;
+        for i in 0..prefix.len() {
+            let dir = prefix.bit(i) as usize;
+            if self.nodes[idx].child[dir] == NONE {
+                self.nodes.push(Node::empty());
+                let new = (self.nodes.len() - 1) as u32;
+                self.nodes[idx].child[dir] = new;
+            }
+            idx = self.nodes[idx].child[dir] as usize;
+        }
+        idx
+    }
+
+    /// Walks to the node for `prefix` without creating nodes.
+    fn node_for_lookup(&self, prefix: Prefix) -> Option<usize> {
+        let mut idx = 0usize;
+        for i in 0..prefix.len() {
+            let dir = prefix.bit(i) as usize;
+            let next = self.nodes[idx].child[dir];
+            if next == NONE {
+                return None;
+            }
+            idx = next as usize;
+        }
+        Some(idx)
+    }
+
+    /// Inserts or replaces the value at `prefix`, returning the old value.
+    pub fn insert(&mut self, prefix: Prefix, value: T) -> Option<T> {
+        let idx = self.node_for_insert(prefix);
+        let old = self.nodes[idx].value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Removes and returns the value at exactly `prefix`.
+    ///
+    /// Interior nodes are left in place; tries in this workspace are rebuilt
+    /// wholesale far more often than they shrink, so reclaiming interior
+    /// nodes is not worth the bookkeeping.
+    pub fn remove(&mut self, prefix: Prefix) -> Option<T> {
+        let idx = self.node_for_lookup(prefix)?;
+        let old = self.nodes[idx].value.take();
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Returns the value stored at exactly `prefix`.
+    pub fn get(&self, prefix: Prefix) -> Option<&T> {
+        let idx = self.node_for_lookup(prefix)?;
+        self.nodes[idx].value.as_ref()
+    }
+
+    /// Mutable variant of [`PrefixTrie::get`].
+    pub fn get_mut(&mut self, prefix: Prefix) -> Option<&mut T> {
+        let idx = self.node_for_lookup(prefix)?;
+        self.nodes[idx].value.as_mut()
+    }
+
+    /// Longest-prefix match: the most specific stored prefix containing `ip`.
+    ///
+    /// This is the RPF lookup every multicast routing protocol performs on
+    /// each `(S,G)` source address.
+    pub fn lookup(&self, ip: Ip) -> Option<(Prefix, &T)> {
+        let mut idx = 0usize;
+        let mut best: Option<(Prefix, &T)> = None;
+        let mut net = 0u32;
+        for i in 0..=32u8 {
+            if let Some(v) = self.nodes[idx].value.as_ref() {
+                let p = Prefix::new(Ip(net), i).expect("len <= 32");
+                best = Some((p, v));
+            }
+            if i == 32 {
+                break;
+            }
+            let dir = ((ip.0 >> (31 - i)) & 1) as usize;
+            let next = self.nodes[idx].child[dir];
+            if next == NONE {
+                break;
+            }
+            if dir == 1 {
+                net |= 1 << (31 - i);
+            }
+            idx = next as usize;
+        }
+        best
+    }
+
+    /// Iterates over all `(prefix, value)` pairs in lexicographic
+    /// (numeric network, then length) trie order.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter {
+            trie: self,
+            stack: vec![(0, Prefix::DEFAULT)],
+        }
+    }
+
+    /// Collects just the stored prefixes, in trie order.
+    pub fn prefixes(&self) -> Vec<Prefix> {
+        self.iter().map(|(p, _)| p).collect()
+    }
+
+    /// Removes every entry for which the predicate returns `false`.
+    pub fn retain(&mut self, mut keep: impl FnMut(Prefix, &T) -> bool) {
+        let doomed: Vec<Prefix> = self
+            .iter()
+            .filter(|(p, v)| !keep(*p, v))
+            .map(|(p, _)| p)
+            .collect();
+        for p in doomed {
+            self.remove(p);
+        }
+    }
+
+    /// Drops all entries but keeps the allocated arena for reuse.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.nodes.push(Node::empty());
+        self.len = 0;
+    }
+}
+
+impl<T: Clone> PrefixTrie<T> {
+    /// Builds a trie from an iterator of `(prefix, value)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Prefix, T)>) -> Self {
+        let mut t = PrefixTrie::new();
+        for (p, v) in pairs {
+            t.insert(p, v);
+        }
+        t
+    }
+}
+
+/// Depth-first iterator over stored entries.
+pub struct Iter<'a, T> {
+    trie: &'a PrefixTrie<T>,
+    stack: Vec<(u32, Prefix)>,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = (Prefix, &'a T);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some((idx, prefix)) = self.stack.pop() {
+            let node = &self.trie.nodes[idx as usize];
+            // Push right before left so left pops first (numeric order).
+            if let Some((l, r)) = prefix.children() {
+                if node.child[1] != NONE {
+                    self.stack.push((node.child[1], r));
+                }
+                if node.child[0] != NONE {
+                    self.stack.push((node.child[0], l));
+                }
+            }
+            if let Some(v) = node.value.as_ref() {
+                return Some((prefix, v));
+            }
+        }
+        None
+    }
+}
+
+impl<'a, T> IntoIterator for &'a PrefixTrie<T> {
+    type Item = (Prefix, &'a T);
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<T> FromIterator<(Prefix, T)> for PrefixTrie<T> {
+    fn from_iter<I: IntoIterator<Item = (Prefix, T)>>(iter: I) -> Self {
+        let mut t = PrefixTrie::new();
+        for (p, v) in iter {
+            t.insert(p, v);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = PrefixTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(p("10.0.0.0/8")), Some(&2));
+        assert_eq!(t.get(p("10.0.0.0/9")), None);
+        assert_eq!(t.remove(p("10.0.0.0/8")), Some(2));
+        assert_eq!(t.remove(p("10.0.0.0/8")), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn longest_prefix_match() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), "default");
+        t.insert(p("10.0.0.0/8"), "ten");
+        t.insert(p("10.1.0.0/16"), "ten-one");
+        let ip = Ip::new(10, 1, 2, 3);
+        assert_eq!(t.lookup(ip), Some((p("10.1.0.0/16"), &"ten-one")));
+        assert_eq!(
+            t.lookup(Ip::new(10, 2, 0, 1)),
+            Some((p("10.0.0.0/8"), &"ten"))
+        );
+        assert_eq!(
+            t.lookup(Ip::new(192, 168, 0, 1)),
+            Some((p("0.0.0.0/0"), &"default"))
+        );
+    }
+
+    #[test]
+    fn lookup_without_default_can_miss() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), ());
+        assert_eq!(t.lookup(Ip::new(11, 0, 0, 1)), None);
+    }
+
+    #[test]
+    fn host_route_matches_exactly() {
+        let mut t = PrefixTrie::new();
+        let h = Ip::new(128, 111, 41, 7);
+        t.insert(Prefix::host(h), "host");
+        assert_eq!(t.lookup(h), Some((Prefix::host(h), &"host")));
+        assert_eq!(t.lookup(Ip::new(128, 111, 41, 8)), None);
+    }
+
+    #[test]
+    fn iteration_in_numeric_order() {
+        let mut t = PrefixTrie::new();
+        for s in ["192.168.0.0/16", "10.0.0.0/8", "10.1.0.0/16", "0.0.0.0/0"] {
+            t.insert(p(s), ());
+        }
+        let got: Vec<String> = t.iter().map(|(q, _)| q.to_string()).collect();
+        assert_eq!(
+            got,
+            vec!["0.0.0.0/0", "10.0.0.0/8", "10.1.0.0/16", "192.168.0.0/16"]
+        );
+    }
+
+    #[test]
+    fn retain_filters() {
+        let mut t: PrefixTrie<u32> =
+            [(p("10.0.0.0/8"), 1), (p("11.0.0.0/8"), 2), (p("12.0.0.0/8"), 3)]
+                .into_iter()
+                .collect();
+        t.retain(|_, v| *v % 2 == 1);
+        assert_eq!(t.len(), 2);
+        assert!(t.get(p("11.0.0.0/8")).is_none());
+    }
+
+    #[test]
+    fn clear_keeps_reusable() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 1);
+        t.clear();
+        assert!(t.is_empty());
+        t.insert(p("10.0.0.0/8"), 2);
+        assert_eq!(t.get(p("10.0.0.0/8")), Some(&2));
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the net primitives.
+
+use proptest::prelude::*;
+
+use mantra_net::addr::Ip;
+use mantra_net::prefix::Prefix;
+use mantra_net::time::{civil_from_days, days_from_civil, SimTime};
+use mantra_net::trie::PrefixTrie;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(net, len)| Prefix::new(Ip(net), len).unwrap())
+}
+
+proptest! {
+    /// Parsing the display form gives back the same address.
+    #[test]
+    fn ip_display_parse_round_trip(v in any::<u32>()) {
+        let ip = Ip(v);
+        let back: Ip = ip.to_string().parse().unwrap();
+        prop_assert_eq!(ip, back);
+    }
+
+    /// Prefix display/parse round trip preserves canonical form.
+    #[test]
+    fn prefix_display_parse_round_trip(p in arb_prefix()) {
+        let back: Prefix = p.to_string().parse().unwrap();
+        prop_assert_eq!(p, back);
+    }
+
+    /// A prefix always contains its own network address, and its parent
+    /// covers it.
+    #[test]
+    fn prefix_contains_self(p in arb_prefix()) {
+        prop_assert!(p.contains(p.network()));
+        if let Some(parent) = p.parent() {
+            prop_assert!(parent.covers(p));
+            prop_assert!(parent.contains(p.network()));
+        }
+    }
+
+    /// Splitting a prefix and re-aggregating the children is the identity.
+    #[test]
+    fn prefix_split_aggregate_identity(p in arb_prefix()) {
+        if let Some((l, r)) = p.children() {
+            prop_assert_eq!(Prefix::aggregate(l, r), Some(p));
+        }
+    }
+
+    /// The trie's longest-prefix match agrees with a brute-force scan over
+    /// the inserted prefixes.
+    #[test]
+    fn trie_lpm_matches_brute_force(
+        entries in proptest::collection::vec((arb_prefix(), any::<u16>()), 0..40),
+        probe in any::<u32>(),
+    ) {
+        let mut trie = PrefixTrie::new();
+        // Last write wins, matching map semantics for the brute force below.
+        let mut map = std::collections::HashMap::new();
+        for (p, v) in &entries {
+            trie.insert(*p, *v);
+            map.insert(*p, *v);
+        }
+        let ip = Ip(probe);
+        let expected = map
+            .iter()
+            .filter(|(p, _)| p.contains(ip))
+            .max_by_key(|(p, _)| p.len())
+            .map(|(p, v)| (*p, *v));
+        let got = trie.lookup(ip).map(|(p, v)| (p, *v));
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Trie length always matches the number of distinct stored prefixes,
+    /// and iteration visits exactly those prefixes.
+    #[test]
+    fn trie_len_and_iter_consistent(
+        entries in proptest::collection::vec(arb_prefix(), 0..60),
+    ) {
+        let mut trie = PrefixTrie::new();
+        let mut set = std::collections::HashSet::new();
+        for p in &entries {
+            trie.insert(*p, ());
+            set.insert(*p);
+        }
+        prop_assert_eq!(trie.len(), set.len());
+        let visited: std::collections::HashSet<Prefix> =
+            trie.iter().map(|(p, _)| p).collect();
+        prop_assert_eq!(visited, set);
+    }
+
+    /// Removing everything returns the trie to empty.
+    #[test]
+    fn trie_remove_all(entries in proptest::collection::vec(arb_prefix(), 0..40)) {
+        let mut trie = PrefixTrie::new();
+        for p in &entries {
+            trie.insert(*p, ());
+        }
+        for p in &entries {
+            trie.remove(*p);
+        }
+        prop_assert!(trie.is_empty());
+        prop_assert_eq!(trie.iter().count(), 0);
+    }
+
+    /// Civil-date conversion round trips for every day across 1970–2100.
+    #[test]
+    fn civil_date_round_trip(days in 0i64..47_500) {
+        let (y, m, d) = civil_from_days(days);
+        prop_assert_eq!(days_from_civil(y, m, d), days);
+        prop_assert!((1..=12).contains(&m));
+        prop_assert!((1..=31).contains(&d));
+    }
+
+    /// SimTime second arithmetic is consistent with calendar decomposition.
+    #[test]
+    fn simtime_components_rebuild(secs in 0u64..5_000_000_000) {
+        let t = SimTime(secs);
+        let (y, m, d) = t.ymd();
+        let (hh, mm, ss) = t.hms();
+        prop_assert_eq!(SimTime::from_ymd_hms(y, m, d, hh, mm, ss), t);
+    }
+}

@@ -1,0 +1,590 @@
+//! DVMRP: the Distance Vector Multicast Routing Protocol (RFC 1075 as
+//! deployed by `mrouted` 3.x).
+//!
+//! DVMRP routers exchange full route reports with their neighbors every
+//! reporting interval. Each route carries a hop-count metric with infinity
+//! at 32; *poison reverse* (advertising `metric + 32` back toward the
+//! next hop) tells an upstream router which neighbors depend on it for a
+//! source network. Routes that stop being refreshed time out, turn
+//! unreachable, linger in holddown (still advertised at infinity) and are
+//! finally garbage-collected.
+//!
+//! The paper's route-monitoring results all come from this table: the route
+//! counts of Figure 7, the long-term decline of Figure 8, and the
+//! unicast-injection spike of Figure 9.
+
+use serde::{Deserialize, Serialize};
+
+use mantra_net::{IfaceId, Ip, Prefix, PrefixTrie, RouterId, SimDuration, SimTime};
+
+/// DVMRP metric infinity: 32 hops.
+pub const INFINITY: u32 = 32;
+
+/// Interval between full route reports (mrouted default 60 s).
+pub const REPORT_INTERVAL: SimDuration = SimDuration::secs(60);
+
+/// A route missing refreshes for this long turns unreachable (holddown).
+pub const ROUTE_EXPIRY: SimDuration = SimDuration::secs(140);
+
+/// An unreachable route is deleted this long after entering holddown.
+pub const GARBAGE_TIMEOUT: SimDuration = SimDuration::secs(260);
+
+/// The protocol timers, configurable so simulations that exchange reports at
+/// a coarser cadence (e.g. once per monitoring interval) can rescale expiry
+/// proportionally while preserving the ratio between refresh and timeout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DvmrpTimers {
+    /// Interval between full route reports.
+    pub report_interval: SimDuration,
+    /// Missing refreshes for this long puts a route in holddown.
+    pub route_expiry: SimDuration,
+    /// Holddown duration before deletion.
+    pub garbage_timeout: SimDuration,
+}
+
+impl Default for DvmrpTimers {
+    fn default() -> Self {
+        DvmrpTimers {
+            report_interval: REPORT_INTERVAL,
+            route_expiry: ROUTE_EXPIRY,
+            garbage_timeout: GARBAGE_TIMEOUT,
+        }
+    }
+}
+
+impl DvmrpTimers {
+    /// Timers rescaled to a report cadence of `interval`, keeping mrouted's
+    /// expiry/report (≈2.33) and garbage/report (≈4.33) ratios.
+    pub fn scaled_to(interval: SimDuration) -> Self {
+        let s = interval.as_secs();
+        DvmrpTimers {
+            report_interval: interval,
+            route_expiry: SimDuration::secs(s * 7 / 3),
+            garbage_timeout: SimDuration::secs(s * 13 / 3),
+        }
+    }
+}
+
+/// Life-cycle state of one route.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouteState {
+    /// Reachable and being refreshed.
+    Valid,
+    /// Expired or withdrawn: advertised at infinity until garbage-collected.
+    Holddown {
+        /// When the route entered holddown.
+        since: SimTime,
+    },
+}
+
+/// One DVMRP routing-table entry.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DvmrpRoute {
+    /// The destination (source-network) prefix.
+    pub prefix: Prefix,
+    /// Hop-count metric; `>= INFINITY` means unreachable.
+    pub metric: u32,
+    /// The neighbor the route was learned from; `None` for locally
+    /// originated (directly attached) networks.
+    pub next_hop: Option<RouterId>,
+    /// The vif toward the next hop (RPF interface for matching sources).
+    pub via_iface: IfaceId,
+    /// When this route was first installed — CLI uptime comes from this.
+    pub learned: SimTime,
+    /// When the last refreshing report arrived.
+    pub last_refresh: SimTime,
+    /// Valid or holddown.
+    pub state: RouteState,
+    /// How many times the route has changed (metric/next-hop/state); the
+    /// per-route stability statistic Mantra reports.
+    pub changes: u32,
+}
+
+impl DvmrpRoute {
+    /// True when usable for RPF.
+    pub fn is_reachable(&self) -> bool {
+        self.metric < INFINITY && self.state == RouteState::Valid
+    }
+
+    /// Route age at `now`.
+    pub fn uptime(&self, now: SimTime) -> SimDuration {
+        now.since(self.learned)
+    }
+}
+
+/// The DVMRP routing information base of one router.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct DvmrpRib {
+    routes: PrefixTrie<DvmrpRoute>,
+}
+
+impl DvmrpRib {
+    /// Empty RIB.
+    pub fn new() -> Self {
+        DvmrpRib::default()
+    }
+
+    /// Total routes, holddown included (the CLI shows both).
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True when the RIB holds no routes at all.
+    pub fn is_empty(&self) -> bool {
+        self.routes.len() == 0
+    }
+
+    /// Routes currently reachable — the series plotted in Figures 7–9.
+    pub fn reachable_count(&self) -> usize {
+        self.routes.iter().filter(|(_, r)| r.is_reachable()).count()
+    }
+
+    /// Looks up the RPF route for a source address.
+    pub fn rpf(&self, src: Ip) -> Option<&DvmrpRoute> {
+        self.routes
+            .lookup(src)
+            .map(|(_, r)| r)
+            .filter(|r| r.is_reachable())
+    }
+
+    /// Exact-prefix lookup.
+    pub fn get(&self, prefix: Prefix) -> Option<&DvmrpRoute> {
+        self.routes.get(prefix)
+    }
+
+    /// Iterates routes in prefix order.
+    pub fn iter(&self) -> impl Iterator<Item = &DvmrpRoute> {
+        self.routes.iter().map(|(_, r)| r)
+    }
+
+    fn insert(&mut self, route: DvmrpRoute) {
+        self.routes.insert(route.prefix, route);
+    }
+}
+
+/// The per-router DVMRP engine: RIB plus report generation/processing.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DvmrpEngine {
+    /// The owning router.
+    pub router: RouterId,
+    /// The routing table.
+    pub rib: DvmrpRib,
+    /// Active timer configuration.
+    pub timers: DvmrpTimers,
+    /// Locally originated prefixes (directly attached networks).
+    local: Vec<Prefix>,
+}
+
+/// One route in a report: `(prefix, advertised metric)`.
+pub type ReportEntry = (Prefix, u32);
+
+impl DvmrpEngine {
+    /// Creates an engine originating `local` prefixes at metric 1.
+    pub fn new(router: RouterId, local: Vec<Prefix>, now: SimTime) -> Self {
+        let mut rib = DvmrpRib::new();
+        for p in &local {
+            rib.insert(DvmrpRoute {
+                prefix: *p,
+                metric: 1,
+                next_hop: None,
+                via_iface: IfaceId(0),
+                learned: now,
+                last_refresh: now,
+                state: RouteState::Valid,
+                changes: 0,
+            });
+        }
+        DvmrpEngine {
+            router,
+            rib,
+            timers: DvmrpTimers::default(),
+            local,
+        }
+    }
+
+    /// The full route report to send to `neighbor`, with poison reverse:
+    /// routes learned *from* that neighbor are advertised at
+    /// `metric + INFINITY` (signalling dependency), everything else at its
+    /// real metric capped to infinity.
+    pub fn report_for(&self, neighbor: RouterId) -> Vec<ReportEntry> {
+        self.rib
+            .iter()
+            .map(|r| {
+                let m = if r.next_hop == Some(neighbor) {
+                    r.metric.min(INFINITY) + INFINITY
+                } else if r.state != RouteState::Valid {
+                    INFINITY
+                } else {
+                    r.metric.min(INFINITY)
+                };
+                (r.prefix, m)
+            })
+            .collect()
+    }
+
+    /// Processes a report received from `from` over `via` with link metric
+    /// `link_metric`. Returns the number of route changes applied.
+    pub fn handle_report(
+        &mut self,
+        from: RouterId,
+        via: IfaceId,
+        link_metric: u32,
+        report: &[ReportEntry],
+        now: SimTime,
+    ) -> usize {
+        let mut changed = 0;
+        for &(prefix, adv) in report {
+            // Poison-reverse range [INFINITY, 2*INFINITY): the neighbor
+            // depends on us (or holds the route unreachable). Never adopt;
+            // if our route goes *through* that neighbor, it is a withdrawal.
+            if adv >= INFINITY {
+                if let Some(r) = self.rib.routes.get_mut(prefix) {
+                    if r.next_hop == Some(from) && r.state == RouteState::Valid {
+                        r.state = RouteState::Holddown { since: now };
+                        r.metric = INFINITY;
+                        r.changes += 1;
+                        changed += 1;
+                    }
+                }
+                continue;
+            }
+            let metric = (adv + link_metric).min(INFINITY);
+            if metric >= INFINITY {
+                continue;
+            }
+            match self.rib.routes.get_mut(prefix) {
+                None => {
+                    self.rib.insert(DvmrpRoute {
+                        prefix,
+                        metric,
+                        next_hop: Some(from),
+                        via_iface: via,
+                        learned: now,
+                        last_refresh: now,
+                        state: RouteState::Valid,
+                        changes: 0,
+                    });
+                    changed += 1;
+                }
+                Some(r) => {
+                    if r.next_hop.is_none() {
+                        // Never replace a directly-attached route.
+                        continue;
+                    }
+                    let through_same = r.next_hop == Some(from);
+                    let better = metric < r.metric
+                        || (metric == r.metric && r.state != RouteState::Valid);
+                    if through_same {
+                        // Distance vector: always track the current next
+                        // hop, better or worse.
+                        if r.metric != metric || r.state != RouteState::Valid {
+                            r.metric = metric;
+                            r.state = RouteState::Valid;
+                            r.changes += 1;
+                            changed += 1;
+                        }
+                        r.via_iface = via;
+                        r.last_refresh = now;
+                    } else if better {
+                        r.metric = metric;
+                        r.next_hop = Some(from);
+                        r.via_iface = via;
+                        r.state = RouteState::Valid;
+                        r.last_refresh = now;
+                        r.changes += 1;
+                        changed += 1;
+                    }
+                }
+            }
+        }
+        changed
+    }
+
+    /// Ages the table: refresh-expired routes enter holddown, holddown
+    /// routes past the garbage timeout are removed. Returns
+    /// `(expired, deleted)`.
+    pub fn tick(&mut self, now: SimTime) -> (usize, usize) {
+        let mut expired = 0;
+        let mut to_delete = Vec::new();
+        // Collect mutations first; the trie cannot be mutated mid-iteration.
+        let prefixes: Vec<Prefix> = self.rib.routes.iter().map(|(p, _)| p).collect();
+        for p in prefixes {
+            let r = self.rib.routes.get_mut(p).expect("just listed");
+            if r.next_hop.is_none() {
+                r.last_refresh = now; // local routes never expire
+                continue;
+            }
+            match r.state {
+                RouteState::Valid => {
+                    if now.since(r.last_refresh) >= self.timers.route_expiry {
+                        r.state = RouteState::Holddown { since: now };
+                        r.metric = INFINITY;
+                        r.changes += 1;
+                        expired += 1;
+                    }
+                }
+                RouteState::Holddown { since } => {
+                    if now.since(since) >= self.timers.garbage_timeout {
+                        to_delete.push(p);
+                    }
+                }
+            }
+        }
+        let deleted = to_delete.len();
+        for p in to_delete {
+            self.rib.routes.remove(p);
+        }
+        (expired, deleted)
+    }
+
+    /// Immediately withdraws every route learned from `neighbor` (mrouted
+    /// does this when a neighbor times out or a tunnel goes down).
+    pub fn neighbor_down(&mut self, neighbor: RouterId, now: SimTime) -> usize {
+        let mut n = 0;
+        let prefixes: Vec<Prefix> = self.rib.routes.iter().map(|(p, _)| p).collect();
+        for p in prefixes {
+            let r = self.rib.routes.get_mut(p).expect("just listed");
+            if r.next_hop == Some(neighbor) && r.state == RouteState::Valid {
+                r.state = RouteState::Holddown { since: now };
+                r.metric = INFINITY;
+                r.changes += 1;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Injects foreign routes into the table — the Figure 9 anomaly, where
+    /// unicast routes leaked into an mrouted routing table. Returns how
+    /// many were new.
+    pub fn inject(
+        &mut self,
+        prefixes: impl IntoIterator<Item = Prefix>,
+        metric: u32,
+        from: RouterId,
+        via: IfaceId,
+        now: SimTime,
+    ) -> usize {
+        let mut added = 0;
+        for p in prefixes {
+            if self.rib.routes.get(p).is_none() {
+                self.rib.insert(DvmrpRoute {
+                    prefix: p,
+                    metric: metric.min(INFINITY - 1),
+                    next_hop: Some(from),
+                    via_iface: via,
+                    learned: now,
+                    last_refresh: now,
+                    state: RouteState::Valid,
+                    changes: 0,
+                });
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// The locally originated prefixes.
+    pub fn local_prefixes(&self) -> &[Prefix] {
+        &self.local
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn t0() -> SimTime {
+        SimTime::from_ymd(1998, 11, 1)
+    }
+
+    fn engine(id: u32, locals: &[&str]) -> DvmrpEngine {
+        DvmrpEngine::new(
+            RouterId(id),
+            locals.iter().map(|s| p(s)).collect(),
+            t0(),
+        )
+    }
+
+    #[test]
+    fn local_routes_installed_at_metric_one() {
+        let e = engine(0, &["128.111.0.0/16", "10.1.0.0/24"]);
+        assert_eq!(e.rib.len(), 2);
+        assert_eq!(e.rib.reachable_count(), 2);
+        let r = e.rib.get(p("128.111.0.0/16")).unwrap();
+        assert_eq!(r.metric, 1);
+        assert_eq!(r.next_hop, None);
+        assert!(r.is_reachable());
+    }
+
+    #[test]
+    fn learns_and_prefers_better_metric() {
+        let mut e = engine(0, &["10.0.0.0/16"]);
+        let report = vec![(p("128.111.0.0/16"), 2u32)];
+        assert_eq!(e.handle_report(RouterId(1), IfaceId(0), 1, &report, t0()), 1);
+        assert_eq!(e.rib.get(p("128.111.0.0/16")).unwrap().metric, 3);
+        // Worse offer from another neighbor is ignored.
+        let worse = vec![(p("128.111.0.0/16"), 5u32)];
+        assert_eq!(e.handle_report(RouterId(2), IfaceId(1), 1, &worse, t0()), 0);
+        assert_eq!(e.rib.get(p("128.111.0.0/16")).unwrap().next_hop, Some(RouterId(1)));
+        // Better offer wins.
+        let better = vec![(p("128.111.0.0/16"), 1u32)];
+        assert_eq!(e.handle_report(RouterId(2), IfaceId(1), 1, &better, t0()), 1);
+        let r = e.rib.get(p("128.111.0.0/16")).unwrap();
+        assert_eq!((r.metric, r.next_hop), (2, Some(RouterId(2))));
+    }
+
+    #[test]
+    fn current_next_hop_metric_increase_is_adopted() {
+        let mut e = engine(0, &[]);
+        e.handle_report(RouterId(1), IfaceId(0), 1, &[(p("128.111.0.0/16"), 2)], t0());
+        // Same neighbor now reports a worse metric — must follow it.
+        e.handle_report(RouterId(1), IfaceId(0), 1, &[(p("128.111.0.0/16"), 9)], t0());
+        assert_eq!(e.rib.get(p("128.111.0.0/16")).unwrap().metric, 10);
+    }
+
+    #[test]
+    fn poison_reverse_in_reports() {
+        let mut e = engine(0, &["10.0.0.0/16"]);
+        e.handle_report(RouterId(1), IfaceId(0), 1, &[(p("128.111.0.0/16"), 2)], t0());
+        let to_learned_from: Vec<_> = e.report_for(RouterId(1));
+        let poisoned = to_learned_from
+            .iter()
+            .find(|(q, _)| *q == p("128.111.0.0/16"))
+            .unwrap();
+        assert_eq!(poisoned.1, 3 + INFINITY);
+        let to_other = e.report_for(RouterId(2));
+        let plain = to_other
+            .iter()
+            .find(|(q, _)| *q == p("128.111.0.0/16"))
+            .unwrap();
+        assert_eq!(plain.1, 3);
+        // Local route advertised at its metric to everyone.
+        assert!(to_learned_from.iter().any(|(q, m)| *q == p("10.0.0.0/16") && *m == 1));
+    }
+
+    #[test]
+    fn poisoned_advert_withdraws_route_through_that_neighbor() {
+        let mut e = engine(0, &[]);
+        e.handle_report(RouterId(1), IfaceId(0), 1, &[(p("128.111.0.0/16"), 2)], t0());
+        assert_eq!(e.rib.reachable_count(), 1);
+        // Upstream now says unreachable.
+        e.handle_report(RouterId(1), IfaceId(0), 1, &[(p("128.111.0.0/16"), INFINITY)], t0());
+        assert_eq!(e.rib.reachable_count(), 0);
+        assert_eq!(e.rib.len(), 1, "holddown keeps the entry");
+    }
+
+    #[test]
+    fn expiry_and_garbage_collection() {
+        let mut e = engine(0, &["10.0.0.0/16"]);
+        e.handle_report(RouterId(1), IfaceId(0), 1, &[(p("128.111.0.0/16"), 2)], t0());
+        // Not yet expired.
+        let (ex, del) = e.tick(t0() + SimDuration::secs(100));
+        assert_eq!((ex, del), (0, 0));
+        // Past expiry: holddown.
+        let t_exp = t0() + ROUTE_EXPIRY;
+        let (ex, _) = e.tick(t_exp);
+        assert_eq!(ex, 1);
+        assert_eq!(e.rib.reachable_count(), 1, "only the local route");
+        assert_eq!(e.rib.len(), 2);
+        // Past garbage timeout: deleted.
+        let (_, del) = e.tick(t_exp + GARBAGE_TIMEOUT);
+        assert_eq!(del, 1);
+        assert_eq!(e.rib.len(), 1);
+        // Local route never expires.
+        let (ex, del) = e.tick(t_exp + SimDuration::days(30));
+        assert_eq!((ex, del), (0, 0));
+    }
+
+    #[test]
+    fn refresh_prevents_expiry() {
+        let mut e = engine(0, &[]);
+        let rpt = vec![(p("128.111.0.0/16"), 2u32)];
+        e.handle_report(RouterId(1), IfaceId(0), 1, &rpt, t0());
+        let mut now = t0();
+        for _ in 0..10 {
+            now += REPORT_INTERVAL;
+            e.handle_report(RouterId(1), IfaceId(0), 1, &rpt, now);
+            e.tick(now);
+        }
+        assert_eq!(e.rib.reachable_count(), 1);
+    }
+
+    #[test]
+    fn neighbor_down_withdraws_learned_routes() {
+        let mut e = engine(0, &["10.0.0.0/16"]);
+        e.handle_report(RouterId(1), IfaceId(0), 1, &[(p("128.111.0.0/16"), 2), (p("128.112.0.0/16"), 2)], t0());
+        e.handle_report(RouterId(2), IfaceId(1), 1, &[(p("128.113.0.0/16"), 2)], t0());
+        assert_eq!(e.neighbor_down(RouterId(1), t0()), 2);
+        assert_eq!(e.rib.reachable_count(), 2); // local + via r2
+        assert!(e.rib.get(p("128.113.0.0/16")).unwrap().is_reachable());
+    }
+
+    #[test]
+    fn rpf_lookup_uses_longest_reachable_prefix() {
+        let mut e = engine(0, &[]);
+        e.handle_report(RouterId(1), IfaceId(0), 1, &[(p("128.0.0.0/8"), 3)], t0());
+        e.handle_report(RouterId(2), IfaceId(1), 1, &[(p("128.111.0.0/16"), 3)], t0());
+        let r = e.rib.rpf(Ip::new(128, 111, 41, 7)).unwrap();
+        assert_eq!(r.next_hop, Some(RouterId(2)));
+        let r = e.rib.rpf(Ip::new(128, 5, 0, 1)).unwrap();
+        assert_eq!(r.next_hop, Some(RouterId(1)));
+        assert!(e.rib.rpf(Ip::new(4, 4, 4, 4)).is_none());
+    }
+
+    #[test]
+    fn injection_adds_foreign_routes_once() {
+        let mut e = engine(0, &["10.0.0.0/16"]);
+        let leak: Vec<Prefix> = (0..100u32)
+            .map(|i| Prefix::new(Ip(Ip::new(192, 0, 0, 0).0 + (i << 8)), 24).unwrap())
+            .collect();
+        assert_eq!(e.inject(leak.clone(), 1, RouterId(9), IfaceId(0), t0()), 100);
+        assert_eq!(e.rib.len(), 101);
+        // Re-injecting is idempotent.
+        assert_eq!(e.inject(leak, 1, RouterId(9), IfaceId(0), t0()), 0);
+        // Injected routes expire like any learned route.
+        e.tick(t0() + ROUTE_EXPIRY);
+        assert_eq!(e.rib.reachable_count(), 1);
+    }
+
+    #[test]
+    fn scaled_timers_keep_mrouted_ratios() {
+        let t = DvmrpTimers::scaled_to(SimDuration::mins(15));
+        assert_eq!(t.report_interval, SimDuration::secs(900));
+        assert_eq!(t.route_expiry, SimDuration::secs(2100));
+        assert_eq!(t.garbage_timeout, SimDuration::secs(3900));
+        // Default timers equal the classic constants.
+        let d = DvmrpTimers::default();
+        assert_eq!(d.route_expiry, ROUTE_EXPIRY);
+        // Scaled expiry still survives a single lost report but not two.
+        assert!(t.route_expiry > t.report_interval);
+        assert!(t.route_expiry < t.report_interval * 3);
+    }
+
+    #[test]
+    fn engine_honours_custom_timers() {
+        let mut e = engine(0, &[]);
+        e.timers = DvmrpTimers::scaled_to(SimDuration::mins(15));
+        e.handle_report(RouterId(1), IfaceId(0), 1, &[(p("128.111.0.0/16"), 2)], t0());
+        // Classic expiry (140 s) would have fired; scaled expiry has not.
+        let (ex, _) = e.tick(t0() + SimDuration::secs(1000));
+        assert_eq!(ex, 0);
+        let (ex, _) = e.tick(t0() + SimDuration::secs(2100));
+        assert_eq!(ex, 1);
+    }
+
+    #[test]
+    fn change_counter_tracks_instability() {
+        let mut e = engine(0, &[]);
+        let q = p("128.111.0.0/16");
+        e.handle_report(RouterId(1), IfaceId(0), 1, &[(q, 2)], t0());
+        assert_eq!(e.rib.get(q).unwrap().changes, 0);
+        e.handle_report(RouterId(1), IfaceId(0), 1, &[(q, 4)], t0());
+        e.handle_report(RouterId(1), IfaceId(0), 1, &[(q, 2)], t0());
+        assert_eq!(e.rib.get(q).unwrap().changes, 2);
+    }
+}

@@ -1,0 +1,182 @@
+//! IGMPv2-style group membership on leaf subnets.
+//!
+//! Hosts report membership; the router keeps per-`(interface, group)` state
+//! with a membership timer refreshed by reports. This is the "lack of
+//! information about receivers" the paper describes: the router knows *that*
+//! a group has members on an interface and a report count, not who the
+//! far-away receivers are.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use mantra_net::{GroupAddr, HostId, IfaceId, SimDuration, SimTime};
+
+/// Membership state for one group on one interface.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Membership {
+    /// Hosts currently joined on this interface.
+    pub members: Vec<HostId>,
+    /// When the newest report arrived.
+    pub last_report: SimTime,
+    /// When the first join created the state.
+    pub since: SimTime,
+}
+
+/// The IGMP querier state of one router.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct IgmpState {
+    table: BTreeMap<(IfaceId, GroupAddr), Membership>,
+}
+
+/// How long membership survives without a refresh report
+/// (IGMPv2 default: 125 s query interval × 2 robustness + 10 s).
+pub const MEMBERSHIP_TIMEOUT: SimDuration = SimDuration::secs(260);
+
+impl IgmpState {
+    /// An empty querier.
+    pub fn new() -> Self {
+        IgmpState::default()
+    }
+
+    /// A host joins a group on an interface (an unsolicited report).
+    pub fn join(&mut self, iface: IfaceId, group: GroupAddr, host: HostId, now: SimTime) {
+        let m = self.table.entry((iface, group)).or_insert(Membership {
+            members: Vec::new(),
+            last_report: now,
+            since: now,
+        });
+        if !m.members.contains(&host) {
+            m.members.push(host);
+        }
+        m.last_report = now;
+    }
+
+    /// A host leaves a group (IGMPv2 leave message). State is removed when
+    /// the last member leaves.
+    pub fn leave(&mut self, iface: IfaceId, group: GroupAddr, host: HostId) {
+        if let Some(m) = self.table.get_mut(&(iface, group)) {
+            m.members.retain(|h| *h != host);
+            if m.members.is_empty() {
+                self.table.remove(&(iface, group));
+            }
+        }
+    }
+
+    /// Refreshes all memberships (response to a general query).
+    pub fn refresh_all(&mut self, now: SimTime) {
+        for m in self.table.values_mut() {
+            m.last_report = now;
+        }
+    }
+
+    /// Expires memberships whose timer has run out. Returns expired count.
+    pub fn expire(&mut self, now: SimTime) -> usize {
+        let before = self.table.len();
+        self.table
+            .retain(|_, m| now.since(m.last_report) < MEMBERSHIP_TIMEOUT);
+        before - self.table.len()
+    }
+
+    /// True when `group` has members on `iface`.
+    pub fn has_members(&self, iface: IfaceId, group: GroupAddr) -> bool {
+        self.table.contains_key(&(iface, group))
+    }
+
+    /// Interfaces with members for `group` — the oif set IGMP contributes.
+    pub fn member_ifaces(&self, group: GroupAddr) -> Vec<IfaceId> {
+        self.table
+            .keys()
+            .filter(|(_, g)| *g == group)
+            .map(|(i, _)| *i)
+            .collect()
+    }
+
+    /// All groups with local members anywhere on the router.
+    pub fn local_groups(&self) -> Vec<GroupAddr> {
+        let mut gs: Vec<GroupAddr> = self.table.keys().map(|(_, g)| *g).collect();
+        gs.sort_unstable();
+        gs.dedup();
+        gs
+    }
+
+    /// Total membership rows (one per interface–group).
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when no membership state exists.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Iterates `(iface, group, membership)` in table order.
+    pub fn iter(&self) -> impl Iterator<Item = (IfaceId, GroupAddr, &Membership)> {
+        self.table.iter().map(|((i, g), m)| (*i, *g, m))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t0() -> SimTime {
+        SimTime::from_ymd(1998, 11, 1)
+    }
+
+    fn g(i: u32) -> GroupAddr {
+        GroupAddr::from_index(i)
+    }
+
+    #[test]
+    fn join_creates_and_dedups() {
+        let mut s = IgmpState::new();
+        s.join(IfaceId(0), g(1), HostId(1), t0());
+        s.join(IfaceId(0), g(1), HostId(1), t0());
+        s.join(IfaceId(0), g(1), HostId(2), t0());
+        assert_eq!(s.len(), 1);
+        assert!(s.has_members(IfaceId(0), g(1)));
+        let (_, _, m) = s.iter().next().unwrap();
+        assert_eq!(m.members.len(), 2);
+    }
+
+    #[test]
+    fn leave_removes_state_when_last_member_goes() {
+        let mut s = IgmpState::new();
+        s.join(IfaceId(0), g(1), HostId(1), t0());
+        s.join(IfaceId(0), g(1), HostId(2), t0());
+        s.leave(IfaceId(0), g(1), HostId(1));
+        assert!(s.has_members(IfaceId(0), g(1)));
+        s.leave(IfaceId(0), g(1), HostId(2));
+        assert!(!s.has_members(IfaceId(0), g(1)));
+        assert!(s.is_empty());
+        // Leaving something never joined is a no-op.
+        s.leave(IfaceId(3), g(9), HostId(9));
+    }
+
+    #[test]
+    fn expiry_honours_timeout() {
+        let mut s = IgmpState::new();
+        s.join(IfaceId(0), g(1), HostId(1), t0());
+        s.join(IfaceId(1), g(2), HostId(2), t0());
+        let later = t0() + SimDuration::secs(100);
+        s.join(IfaceId(1), g(2), HostId(2), later); // refresh one
+        let expired = s.expire(t0() + MEMBERSHIP_TIMEOUT);
+        assert_eq!(expired, 1);
+        assert!(s.has_members(IfaceId(1), g(2)));
+        // refresh_all rescues the survivor indefinitely.
+        s.refresh_all(t0() + SimDuration::days(1));
+        assert_eq!(s.expire(t0() + SimDuration::days(1)), 0);
+    }
+
+    #[test]
+    fn member_ifaces_and_local_groups() {
+        let mut s = IgmpState::new();
+        s.join(IfaceId(0), g(1), HostId(1), t0());
+        s.join(IfaceId(2), g(1), HostId(2), t0());
+        s.join(IfaceId(0), g(3), HostId(3), t0());
+        assert_eq!(s.member_ifaces(g(1)), vec![IfaceId(0), IfaceId(2)]);
+        assert_eq!(s.member_ifaces(g(7)), Vec::<IfaceId>::new());
+        assert_eq!(s.local_groups(), vec![g(1), g(3)]);
+    }
+}

@@ -1,0 +1,27 @@
+//! From-scratch implementations of the multicast routing protocols Mantra
+//! monitors, plus the shared forwarding-table (MFIB) representation.
+//!
+//! Each protocol module implements the state machine at the fidelity Mantra
+//! can observe: the *tables* a router would show on its CLI and the
+//! inter-router message exchanges that keep those tables converged (or, in
+//! the failure scenarios, deliberately inconsistent):
+//!
+//! * [`igmp`] — host membership on leaf subnets,
+//! * [`dvmrp`] — distance-vector route exchange with poison reverse,
+//!   holddown and expiry; the source of the paper's Figures 7–9,
+//! * [`mfib`] — `(S,G)`/`(*,G)` forwarding entries with traffic counters;
+//!   the source of all usage statistics (Figures 3–6),
+//! * [`pim`] — dense-mode flood/prune and sparse-mode RP trees with
+//!   join/prune and the sparse-mode filtering behaviour behind Figure 6,
+//! * [`mbgp`] — interdomain prefix + AS-path advertisement,
+//! * [`msdp`] — source-active flooding between RPs with the RPF-peer rule.
+
+pub mod dvmrp;
+pub mod igmp;
+pub mod mbgp;
+pub mod mfib;
+pub mod msdp;
+pub mod pim;
+
+pub use dvmrp::{DvmrpRib, DvmrpRoute};
+pub use mfib::{ForwardingEntry, Mfib, SourceGroup};

@@ -1,0 +1,332 @@
+//! MBGP (multiprotocol BGP, RFC 2283) at the fidelity Mantra observes:
+//! interdomain exchange of multicast-capable prefixes with AS paths.
+//!
+//! The engine models session-based full-table synchronisation: each peering
+//! session periodically transfers the sender's full Adj-RIB-Out, and the
+//! receiver *replaces* everything previously learned over that session.
+//! This is coarser than incremental UPDATE messages but produces identical
+//! steady-state tables, and table contents are all a monitoring tool can
+//! see.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use mantra_net::{DomainId, Ip, Prefix, PrefixTrie, RouterId, SimTime};
+
+/// A route as carried in an MBGP session: prefix plus AS path (front =
+/// most recent AS).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MbgpAdvert {
+    /// The advertised prefix.
+    pub prefix: Prefix,
+    /// AS path, most-recently-prepended domain first.
+    pub as_path: Vec<DomainId>,
+}
+
+/// A selected best route in the local RIB.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MbgpRoute {
+    /// The prefix.
+    pub prefix: Prefix,
+    /// Full AS path (empty for locally originated prefixes).
+    pub as_path: Vec<DomainId>,
+    /// The peer the best route was learned from; `None` when local.
+    pub peer: Option<RouterId>,
+    /// When the current best route was selected.
+    pub selected: SimTime,
+}
+
+impl MbgpRoute {
+    /// Path length used in best-route selection.
+    pub fn path_len(&self) -> usize {
+        self.as_path.len()
+    }
+}
+
+/// The per-router MBGP speaker.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MbgpEngine {
+    /// The owning router.
+    pub router: RouterId,
+    /// The router's own AS.
+    pub domain: DomainId,
+    local: Vec<Prefix>,
+    /// Adj-RIB-In per peer.
+    adj_in: BTreeMap<RouterId, Vec<MbgpAdvert>>,
+    /// Loc-RIB: selected best routes, recomputed after any session sync.
+    rib: PrefixTrie<MbgpRoute>,
+}
+
+impl MbgpEngine {
+    /// Creates a speaker originating `local` prefixes.
+    pub fn new(router: RouterId, domain: DomainId, local: Vec<Prefix>, now: SimTime) -> Self {
+        let mut e = MbgpEngine {
+            router,
+            domain,
+            local,
+            adj_in: BTreeMap::new(),
+            rib: PrefixTrie::new(),
+        };
+        e.recompute(now);
+        e
+    }
+
+    /// The full Adj-RIB-Out toward `peer`: every best route whose path does
+    /// not already contain the peer's AS, with our own AS prepended.
+    pub fn advertisements_for(&self, peer_domain: DomainId) -> Vec<MbgpAdvert> {
+        self.rib
+            .iter()
+            .filter(|(_, r)| !r.as_path.contains(&peer_domain))
+            .map(|(p, r)| {
+                let mut path = Vec::with_capacity(r.as_path.len() + 1);
+                path.push(self.domain);
+                path.extend_from_slice(&r.as_path);
+                MbgpAdvert { prefix: p, as_path: path }
+            })
+            .collect()
+    }
+
+    /// Replaces the Adj-RIB-In of the session with `peer` and reselects.
+    /// Returns the number of best-route changes.
+    pub fn session_sync(
+        &mut self,
+        peer: RouterId,
+        adverts: Vec<MbgpAdvert>,
+        now: SimTime,
+    ) -> usize {
+        // AS-path loop prevention on ingress.
+        let filtered: Vec<MbgpAdvert> = adverts
+            .into_iter()
+            .filter(|a| !a.as_path.contains(&self.domain))
+            .collect();
+        self.adj_in.insert(peer, filtered);
+        self.recompute(now)
+    }
+
+    /// Drops the session with `peer` (link down) and reselects.
+    pub fn session_down(&mut self, peer: RouterId, now: SimTime) -> usize {
+        self.adj_in.remove(&peer);
+        self.recompute(now)
+    }
+
+    /// Best-route selection: local wins; otherwise shortest AS path, tie
+    /// broken by lowest peer id. Returns how many prefixes changed best
+    /// route.
+    fn recompute(&mut self, now: SimTime) -> usize {
+        let mut best: BTreeMap<Prefix, MbgpRoute> = BTreeMap::new();
+        for p in &self.local {
+            best.insert(
+                *p,
+                MbgpRoute {
+                    prefix: *p,
+                    as_path: Vec::new(),
+                    peer: None,
+                    selected: now,
+                },
+            );
+        }
+        for (&peer, adverts) in &self.adj_in {
+            for a in adverts {
+                let cand = MbgpRoute {
+                    prefix: a.prefix,
+                    as_path: a.as_path.clone(),
+                    peer: Some(peer),
+                    selected: now,
+                };
+                match best.get(&a.prefix) {
+                    None => {
+                        best.insert(a.prefix, cand);
+                    }
+                    Some(cur) => {
+                        let better = cur.peer.is_some()
+                            && (cand.path_len() < cur.path_len()
+                                || (cand.path_len() == cur.path_len() && Some(peer) < cur.peer));
+                        if better {
+                            best.insert(a.prefix, cand);
+                        }
+                    }
+                }
+            }
+        }
+        let mut changes = 0;
+        // Count differences against the previous RIB, preserving selection
+        // timestamps for unchanged routes.
+        let mut new_rib = PrefixTrie::new();
+        for (p, mut r) in best {
+            if let Some(old) = self.rib.get(p) {
+                if old.as_path == r.as_path && old.peer == r.peer {
+                    r.selected = old.selected;
+                } else {
+                    changes += 1;
+                }
+            } else {
+                changes += 1;
+            }
+            new_rib.insert(p, r);
+        }
+        changes += self
+            .rib
+            .iter()
+            .filter(|(p, _)| new_rib.get(*p).is_none())
+            .count();
+        self.rib = new_rib;
+        changes
+    }
+
+    /// The Loc-RIB.
+    pub fn rib(&self) -> &PrefixTrie<MbgpRoute> {
+        &self.rib
+    }
+
+    /// RPF lookup for an interdomain source.
+    pub fn rpf(&self, src: Ip) -> Option<&MbgpRoute> {
+        self.rib.lookup(src).map(|(_, r)| r)
+    }
+
+    /// Number of selected routes — the "reachable multicast networks"
+    /// statistic for the native infrastructure.
+    pub fn route_count(&self) -> usize {
+        self.rib.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn t0() -> SimTime {
+        SimTime::from_ymd(1999, 1, 1)
+    }
+
+    #[test]
+    fn local_prefixes_selected() {
+        let e = MbgpEngine::new(RouterId(0), DomainId(1), vec![p("128.111.0.0/16")], t0());
+        assert_eq!(e.route_count(), 1);
+        let r = e.rib().get(p("128.111.0.0/16")).unwrap();
+        assert!(r.as_path.is_empty());
+        assert_eq!(r.peer, None);
+    }
+
+    #[test]
+    fn advertisement_prepends_own_as_and_blocks_loops() {
+        let mut e = MbgpEngine::new(RouterId(0), DomainId(1), vec![p("128.111.0.0/16")], t0());
+        e.session_sync(
+            RouterId(9),
+            vec![MbgpAdvert {
+                prefix: p("128.112.0.0/16"),
+                as_path: vec![DomainId(2), DomainId(3)],
+            }],
+            t0(),
+        );
+        let to_d4 = e.advertisements_for(DomainId(4));
+        assert_eq!(to_d4.len(), 2);
+        for a in &to_d4 {
+            assert_eq!(a.as_path[0], DomainId(1));
+        }
+        // Routes whose path contains the peer's AS are withheld.
+        let to_d3 = e.advertisements_for(DomainId(3));
+        assert_eq!(to_d3.len(), 1);
+        assert_eq!(to_d3[0].prefix, p("128.111.0.0/16"));
+    }
+
+    #[test]
+    fn ingress_loop_prevention() {
+        let mut e = MbgpEngine::new(RouterId(0), DomainId(1), vec![], t0());
+        let n = e.session_sync(
+            RouterId(9),
+            vec![MbgpAdvert {
+                prefix: p("128.112.0.0/16"),
+                as_path: vec![DomainId(2), DomainId(1)],
+            }],
+            t0(),
+        );
+        assert_eq!(n, 0);
+        assert_eq!(e.route_count(), 0);
+    }
+
+    #[test]
+    fn shortest_path_wins_then_lowest_peer() {
+        let mut e = MbgpEngine::new(RouterId(0), DomainId(1), vec![], t0());
+        let q = p("128.112.0.0/16");
+        e.session_sync(
+            RouterId(5),
+            vec![MbgpAdvert { prefix: q, as_path: vec![DomainId(2), DomainId(3)] }],
+            t0(),
+        );
+        e.session_sync(
+            RouterId(7),
+            vec![MbgpAdvert { prefix: q, as_path: vec![DomainId(4)] }],
+            t0(),
+        );
+        assert_eq!(e.rib().get(q).unwrap().peer, Some(RouterId(7)));
+        // Equal length: lowest peer id wins.
+        e.session_sync(
+            RouterId(3),
+            vec![MbgpAdvert { prefix: q, as_path: vec![DomainId(6)] }],
+            t0(),
+        );
+        assert_eq!(e.rib().get(q).unwrap().peer, Some(RouterId(3)));
+    }
+
+    #[test]
+    fn local_beats_learned() {
+        let mut e = MbgpEngine::new(RouterId(0), DomainId(1), vec![p("128.111.0.0/16")], t0());
+        e.session_sync(
+            RouterId(5),
+            vec![MbgpAdvert { prefix: p("128.111.0.0/16"), as_path: vec![DomainId(2)] }],
+            t0(),
+        );
+        assert_eq!(e.rib().get(p("128.111.0.0/16")).unwrap().peer, None);
+    }
+
+    #[test]
+    fn session_down_withdraws() {
+        let mut e = MbgpEngine::new(RouterId(0), DomainId(1), vec![], t0());
+        let q = p("128.112.0.0/16");
+        e.session_sync(
+            RouterId(5),
+            vec![MbgpAdvert { prefix: q, as_path: vec![DomainId(2)] }],
+            t0(),
+        );
+        assert_eq!(e.route_count(), 1);
+        let changes = e.session_down(RouterId(5), t0());
+        assert_eq!(changes, 1);
+        assert_eq!(e.route_count(), 0);
+        assert!(e.rpf(Ip::new(128, 112, 3, 4)).is_none());
+    }
+
+    #[test]
+    fn sync_replaces_previous_session_state() {
+        let mut e = MbgpEngine::new(RouterId(0), DomainId(1), vec![], t0());
+        e.session_sync(
+            RouterId(5),
+            vec![MbgpAdvert { prefix: p("128.112.0.0/16"), as_path: vec![DomainId(2)] }],
+            t0(),
+        );
+        // Next sync no longer carries the prefix: implicit withdrawal.
+        e.session_sync(
+            RouterId(5),
+            vec![MbgpAdvert { prefix: p("128.113.0.0/16"), as_path: vec![DomainId(2)] }],
+            t0(),
+        );
+        assert!(e.rib().get(p("128.112.0.0/16")).is_none());
+        assert!(e.rib().get(p("128.113.0.0/16")).is_some());
+    }
+
+    #[test]
+    fn selection_timestamp_preserved_for_stable_routes() {
+        let mut e = MbgpEngine::new(RouterId(0), DomainId(1), vec![], t0());
+        let q = p("128.112.0.0/16");
+        let advert = vec![MbgpAdvert { prefix: q, as_path: vec![DomainId(2)] }];
+        e.session_sync(RouterId(5), advert.clone(), t0());
+        let later = t0() + mantra_net::SimDuration::hours(1);
+        let changes = e.session_sync(RouterId(5), advert, later);
+        assert_eq!(changes, 0);
+        assert_eq!(e.rib().get(q).unwrap().selected, t0());
+    }
+}

@@ -1,0 +1,363 @@
+//! The multicast forwarding information base (MFIB).
+//!
+//! Every multicast routing protocol ultimately installs `(S,G)` (and, for
+//! PIM-SM, `(*,G)`) entries into the router's forwarding table. Mantra's
+//! entire usage-monitoring pipeline (the paper's Figures 3–6) is derived
+//! from periodic captures of these tables, so the representation carries
+//! exactly the fields the paper's Pair/Session/Participant tables need:
+//! incoming interface, outgoing interface list, packet/byte counters and a
+//! smoothed rate estimate.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use mantra_net::{BitRate, GroupAddr, IfaceId, Ip, SimTime};
+
+/// A source–group pair; the wildcard source (`0.0.0.0`) encodes `(*,G)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SourceGroup {
+    /// The destination group. Declared first so the derived ordering sorts
+    /// by group then source — the order `show ip mroute` lists entries in,
+    /// and the invariant [`Mfib::group_count`] exploits.
+    pub group: GroupAddr,
+    /// The sending host, or [`Ip::UNSPECIFIED`] for a shared-tree entry.
+    pub source: Ip,
+}
+
+impl SourceGroup {
+    /// An `(S,G)` entry key.
+    pub fn sg(source: Ip, group: GroupAddr) -> Self {
+        SourceGroup { group, source }
+    }
+
+    /// A `(*,G)` entry key.
+    pub fn star_g(group: GroupAddr) -> Self {
+        SourceGroup {
+            group,
+            source: Ip::UNSPECIFIED,
+        }
+    }
+
+    /// True for `(*,G)` keys.
+    pub fn is_wildcard(&self) -> bool {
+        self.source.is_unspecified()
+    }
+}
+
+impl std::fmt::Display for SourceGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_wildcard() {
+            write!(f, "(*, {})", self.group)
+        } else {
+            write!(f, "({}, {})", self.source, self.group)
+        }
+    }
+}
+
+/// Which protocol installed a forwarding entry. Mantra's Session table
+/// records "the protocol that first advertised" a session, so the MFIB
+/// keeps the provenance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EntryOrigin {
+    /// DVMRP flood-and-prune.
+    Dvmrp,
+    /// PIM dense-mode flood/prune.
+    PimDm,
+    /// PIM sparse-mode join.
+    PimSm,
+    /// Created because an MSDP source-active advertisement was joined.
+    Msdp,
+    /// Locally attached member/sender (IGMP).
+    Local,
+}
+
+impl EntryOrigin {
+    /// The name router CLIs print in entry flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            EntryOrigin::Dvmrp => "DVMRP",
+            EntryOrigin::PimDm => "PIM-DM",
+            EntryOrigin::PimSm => "PIM-SM",
+            EntryOrigin::Msdp => "MSDP",
+            EntryOrigin::Local => "LOCAL",
+        }
+    }
+}
+
+/// One forwarding-table entry.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ForwardingEntry {
+    /// The `(S,G)` or `(*,G)` key.
+    pub key: SourceGroup,
+    /// RPF / incoming interface.
+    pub iif: IfaceId,
+    /// Outgoing interfaces. Empty means the entry is in the *pruned* state
+    /// — present in the table (and therefore visible to Mantra) but not
+    /// forwarding; the signature of flood-and-prune protocols.
+    pub oifs: Vec<IfaceId>,
+    /// Which protocol created the entry.
+    pub origin: EntryOrigin,
+    /// When the entry was created (CLI shows this as entry uptime).
+    pub created: SimTime,
+    /// When traffic or protocol activity last refreshed it.
+    pub last_active: SimTime,
+    /// Cumulative packets forwarded.
+    pub packets: u64,
+    /// Cumulative bytes forwarded.
+    pub bytes: u64,
+    /// Smoothed current rate (what Mantra's Pair table reports as the
+    /// current bandwidth of the pair).
+    pub rate: BitRate,
+}
+
+impl ForwardingEntry {
+    /// A fresh entry with zeroed counters.
+    pub fn new(key: SourceGroup, iif: IfaceId, origin: EntryOrigin, now: SimTime) -> Self {
+        ForwardingEntry {
+            key,
+            iif,
+            oifs: Vec::new(),
+            origin,
+            created: now,
+            last_active: now,
+            packets: 0,
+            bytes: 0,
+            rate: BitRate::ZERO,
+        }
+    }
+
+    /// True when the entry is pruned (no outgoing interfaces).
+    pub fn is_pruned(&self) -> bool {
+        self.oifs.is_empty()
+    }
+
+    /// Accounts `rate` worth of traffic over `seconds`, updating counters
+    /// and the smoothed rate estimate (EWMA with α = 1/2, matching the
+    /// coarse averaging a 1998 router cache would expose).
+    pub fn account_traffic(&mut self, rate: BitRate, seconds: u64, now: SimTime) {
+        let bytes = rate.bytes_over(seconds);
+        self.bytes += bytes;
+        // Model ~500-byte datagrams, the MBone audio/video sweet spot.
+        self.packets += bytes / 500 + u64::from(bytes % 500 != 0 && bytes > 0);
+        self.rate = BitRate((self.rate.bps() + rate.bps()) / 2);
+        if rate > BitRate::ZERO {
+            self.last_active = now;
+        }
+    }
+}
+
+/// A router's multicast forwarding table.
+///
+/// Keys are kept in a `BTreeMap` so iteration (and therefore every CLI dump
+/// Mantra scrapes) is deterministically ordered — snapshot diffs in the
+/// delta logger rely on this.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Mfib {
+    entries: BTreeMap<SourceGroup, ForwardingEntry>,
+}
+
+impl Mfib {
+    /// An empty table.
+    pub fn new() -> Self {
+        Mfib::default()
+    }
+
+    /// Number of entries, pruned included.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Installs or returns the existing entry for `key`.
+    pub fn entry(
+        &mut self,
+        key: SourceGroup,
+        iif: IfaceId,
+        origin: EntryOrigin,
+        now: SimTime,
+    ) -> &mut ForwardingEntry {
+        self.entries
+            .entry(key)
+            .or_insert_with(|| ForwardingEntry::new(key, iif, origin, now))
+    }
+
+    /// Looks up an entry.
+    pub fn get(&self, key: &SourceGroup) -> Option<&ForwardingEntry> {
+        self.entries.get(key)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: &SourceGroup) -> Option<&mut ForwardingEntry> {
+        self.entries.get_mut(key)
+    }
+
+    /// Removes an entry.
+    pub fn remove(&mut self, key: &SourceGroup) -> Option<ForwardingEntry> {
+        self.entries.remove(key)
+    }
+
+    /// Iterates entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = &ForwardingEntry> {
+        self.entries.values()
+    }
+
+    /// Mutable iteration in key order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut ForwardingEntry> {
+        self.entries.values_mut()
+    }
+
+    /// Drops entries idle since before `cutoff` (cache expiry). Returns how
+    /// many were removed.
+    pub fn expire_idle(&mut self, cutoff: SimTime) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.last_active >= cutoff);
+        before - self.entries.len()
+    }
+
+    /// Distinct groups with at least one entry.
+    pub fn group_count(&self) -> usize {
+        let mut last = None;
+        let mut n = 0;
+        for k in self.entries.keys() {
+            if last != Some(k.group) {
+                n += 1;
+                last = Some(k.group);
+            }
+        }
+        n
+    }
+
+    /// Distinct non-wildcard sources.
+    pub fn source_count(&self) -> usize {
+        let set: std::collections::BTreeSet<Ip> = self
+            .entries
+            .keys()
+            .filter(|k| !k.is_wildcard())
+            .map(|k| k.source)
+            .collect();
+        set.len()
+    }
+
+    /// Aggregate smoothed rate over all `(S,G)` entries — the "multicast
+    /// traffic through the router" series of Figure 5.
+    pub fn total_rate(&self) -> BitRate {
+        self.entries
+            .values()
+            .filter(|e| !e.key.is_wildcard())
+            .map(|e| e.rate)
+            .sum()
+    }
+
+    /// Clears all entries (router reboot injection).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(i: u32) -> GroupAddr {
+        GroupAddr::from_index(i)
+    }
+
+    fn now() -> SimTime {
+        SimTime::from_ymd(1998, 11, 1)
+    }
+
+    #[test]
+    fn star_g_and_sg_keys() {
+        let sg = SourceGroup::sg(Ip::new(1, 2, 3, 4), g(0));
+        let star = SourceGroup::star_g(g(0));
+        assert!(!sg.is_wildcard());
+        assert!(star.is_wildcard());
+        assert_eq!(star.to_string(), "(*, 224.2.0.0)");
+        assert_eq!(sg.to_string(), "(1.2.3.4, 224.2.0.0)");
+    }
+
+    #[test]
+    fn entry_traffic_accounting() {
+        let mut e = ForwardingEntry::new(
+            SourceGroup::sg(Ip::new(1, 1, 1, 1), g(1)),
+            IfaceId(0),
+            EntryOrigin::Dvmrp,
+            now(),
+        );
+        assert!(e.is_pruned());
+        e.oifs.push(IfaceId(1));
+        assert!(!e.is_pruned());
+        e.account_traffic(BitRate::from_kbps(8), 10, now() + mantra_net::SimDuration::secs(10));
+        assert_eq!(e.bytes, 10_000);
+        assert_eq!(e.packets, 20);
+        assert_eq!(e.rate, BitRate::from_kbps(4)); // EWMA from 0
+        assert!(e.last_active > e.created);
+    }
+
+    #[test]
+    fn zero_rate_does_not_refresh() {
+        let mut e = ForwardingEntry::new(
+            SourceGroup::sg(Ip::new(1, 1, 1, 1), g(1)),
+            IfaceId(0),
+            EntryOrigin::Dvmrp,
+            now(),
+        );
+        let later = now() + mantra_net::SimDuration::hours(1);
+        e.account_traffic(BitRate::ZERO, 60, later);
+        assert_eq!(e.last_active, now());
+        assert_eq!(e.bytes, 0);
+    }
+
+    #[test]
+    fn mfib_group_and_source_counts() {
+        let mut m = Mfib::new();
+        let s1 = Ip::new(1, 0, 0, 1);
+        let s2 = Ip::new(2, 0, 0, 1);
+        m.entry(SourceGroup::sg(s1, g(0)), IfaceId(0), EntryOrigin::Dvmrp, now());
+        m.entry(SourceGroup::sg(s2, g(0)), IfaceId(0), EntryOrigin::Dvmrp, now());
+        m.entry(SourceGroup::sg(s1, g(1)), IfaceId(0), EntryOrigin::Dvmrp, now());
+        m.entry(SourceGroup::star_g(g(2)), IfaceId(0), EntryOrigin::PimSm, now());
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.group_count(), 3);
+        assert_eq!(m.source_count(), 2);
+    }
+
+    #[test]
+    fn expiry_drops_idle_entries() {
+        let mut m = Mfib::new();
+        let t0 = now();
+        let t1 = t0 + mantra_net::SimDuration::mins(10);
+        m.entry(SourceGroup::sg(Ip::new(1, 0, 0, 1), g(0)), IfaceId(0), EntryOrigin::Dvmrp, t0);
+        let e = m.entry(SourceGroup::sg(Ip::new(2, 0, 0, 1), g(1)), IfaceId(0), EntryOrigin::Dvmrp, t0);
+        e.account_traffic(BitRate::from_kbps(100), 60, t1);
+        assert_eq!(m.expire_idle(t0 + mantra_net::SimDuration::mins(5)), 1);
+        assert_eq!(m.len(), 1);
+        assert!(m.get(&SourceGroup::sg(Ip::new(2, 0, 0, 1), g(1))).is_some());
+    }
+
+    #[test]
+    fn total_rate_excludes_wildcards() {
+        let mut m = Mfib::new();
+        let t = now();
+        let e = m.entry(SourceGroup::sg(Ip::new(1, 0, 0, 1), g(0)), IfaceId(0), EntryOrigin::PimSm, t);
+        e.rate = BitRate::from_kbps(64);
+        let e = m.entry(SourceGroup::star_g(g(0)), IfaceId(0), EntryOrigin::PimSm, t);
+        e.rate = BitRate::from_kbps(999);
+        assert_eq!(m.total_rate(), BitRate::from_kbps(64));
+    }
+
+    #[test]
+    fn iteration_is_ordered() {
+        let mut m = Mfib::new();
+        let t = now();
+        m.entry(SourceGroup::sg(Ip::new(9, 0, 0, 1), g(5)), IfaceId(0), EntryOrigin::Dvmrp, t);
+        m.entry(SourceGroup::sg(Ip::new(1, 0, 0, 1), g(5)), IfaceId(0), EntryOrigin::Dvmrp, t);
+        let keys: Vec<Ip> = m.iter().map(|e| e.key.source).collect();
+        assert_eq!(keys, vec![Ip::new(1, 0, 0, 1), Ip::new(9, 0, 0, 1)]);
+    }
+}

@@ -1,0 +1,243 @@
+//! MSDP: the Multicast Source Discovery Protocol.
+//!
+//! Rendezvous points learn about active sources in other domains through
+//! Source-Active (SA) messages flooded between MSDP peers. The paper calls
+//! out that MSDP had *no MIB at all*, which is precisely why Mantra scrapes
+//! the `sa-cache` CLI table instead of using SNMP.
+//!
+//! The engine keeps the SA cache with peer-RPF acceptance (an SA for an
+//! origin RP is accepted from exactly one peer — the first peer it was
+//! accepted from, until it expires) and periodic re-origination/expiry, the
+//! behaviour that matters for the tables Mantra collects.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use mantra_net::{GroupAddr, Ip, RouterId, SimDuration, SimTime};
+
+/// SA state lifetime without refresh (RFC 3618: SA-State period 150 s).
+pub const SA_TIMEOUT: SimDuration = SimDuration::secs(150);
+
+/// One source-active cache entry.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SaEntry {
+    /// The active source.
+    pub source: Ip,
+    /// The group it sends to.
+    pub group: GroupAddr,
+    /// The RP that originated the SA.
+    pub origin_rp: RouterId,
+    /// The peer we accepted the SA from (`None` when locally originated).
+    pub accepted_from: Option<RouterId>,
+    /// First time the entry was cached.
+    pub first_seen: SimTime,
+    /// Last refreshing SA.
+    pub last_refresh: SimTime,
+}
+
+/// A source-active message on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SaMessage {
+    /// The active source.
+    pub source: Ip,
+    /// The group.
+    pub group: GroupAddr,
+    /// The originating RP.
+    pub origin_rp: RouterId,
+}
+
+/// The per-RP MSDP engine.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MsdpEngine {
+    /// The owning RP router.
+    pub router: RouterId,
+    cache: BTreeMap<(GroupAddr, Ip), SaEntry>,
+}
+
+impl MsdpEngine {
+    /// Creates an engine for RP `router`.
+    pub fn new(router: RouterId) -> Self {
+        MsdpEngine {
+            router,
+            cache: BTreeMap::new(),
+        }
+    }
+
+    /// Originates (or re-originates) an SA for a locally registered source.
+    pub fn originate(&mut self, source: Ip, group: GroupAddr, now: SimTime) {
+        let e = self
+            .cache
+            .entry((group, source))
+            .or_insert(SaEntry {
+                source,
+                group,
+                origin_rp: self.router,
+                accepted_from: None,
+                first_seen: now,
+                last_refresh: now,
+            });
+        e.origin_rp = self.router;
+        e.accepted_from = None;
+        e.last_refresh = now;
+    }
+
+    /// The SA messages to send to `peer` this period: everything except
+    /// entries accepted *from* that peer (split horizon).
+    pub fn sa_for_peer(&self, peer: RouterId) -> Vec<SaMessage> {
+        self.cache
+            .values()
+            .filter(|e| e.accepted_from != Some(peer) && e.origin_rp != peer)
+            .map(|e| SaMessage {
+                source: e.source,
+                group: e.group,
+                origin_rp: e.origin_rp,
+            })
+            .collect()
+    }
+
+    /// Processes SAs received from `from`. Peer-RPF: an entry already
+    /// accepted from another peer only refreshes via that peer; SAs whose
+    /// origin is ourselves are dropped. Returns newly cached count.
+    pub fn handle_sa(&mut self, from: RouterId, msgs: &[SaMessage], now: SimTime) -> usize {
+        let mut new = 0;
+        for m in msgs {
+            if m.origin_rp == self.router {
+                continue;
+            }
+            match self.cache.get_mut(&(m.group, m.source)) {
+                None => {
+                    self.cache.insert(
+                        (m.group, m.source),
+                        SaEntry {
+                            source: m.source,
+                            group: m.group,
+                            origin_rp: m.origin_rp,
+                            accepted_from: Some(from),
+                            first_seen: now,
+                            last_refresh: now,
+                        },
+                    );
+                    new += 1;
+                }
+                Some(e) => {
+                    if e.accepted_from == Some(from) && e.origin_rp == m.origin_rp {
+                        e.last_refresh = now;
+                    }
+                    // SAs from non-RPF peers are dropped silently.
+                }
+            }
+        }
+        new
+    }
+
+    /// Expires stale entries; returns how many were dropped.
+    pub fn expire(&mut self, now: SimTime) -> usize {
+        let before = self.cache.len();
+        self.cache
+            .retain(|_, e| now.since(e.last_refresh) < SA_TIMEOUT);
+        before - self.cache.len()
+    }
+
+    /// All cached entries in `(group, source)` order — the `sa-cache` dump.
+    pub fn entries(&self) -> impl Iterator<Item = &SaEntry> {
+        self.cache.values()
+    }
+
+    /// Cache size.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// True when the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// Known external sources for `group` — what lets a remote RP join
+    /// toward interdomain senders.
+    pub fn sources_for(&self, group: GroupAddr) -> Vec<Ip> {
+        self.cache
+            .range((group, Ip(0))..=(group, Ip(u32::MAX)))
+            .map(|(_, e)| e.source)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(i: u32) -> GroupAddr {
+        GroupAddr::from_index(i)
+    }
+
+    fn t0() -> SimTime {
+        SimTime::from_ymd(1999, 2, 1)
+    }
+
+    #[test]
+    fn origination_and_split_horizon() {
+        let mut rp = MsdpEngine::new(RouterId(1));
+        rp.originate(Ip::new(128, 111, 1, 9), g(5), t0());
+        assert_eq!(rp.len(), 1);
+        let msgs = rp.sa_for_peer(RouterId(2));
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].origin_rp, RouterId(1));
+        // Never send an SA back to its origin.
+        assert!(rp.sa_for_peer(RouterId(1)).is_empty());
+    }
+
+    #[test]
+    fn sa_propagation_and_rpf() {
+        let mut a = MsdpEngine::new(RouterId(1));
+        let mut b = MsdpEngine::new(RouterId(2));
+        let mut c = MsdpEngine::new(RouterId(3));
+        a.originate(Ip::new(128, 111, 1, 9), g(5), t0());
+        // a -> b -> c
+        assert_eq!(b.handle_sa(RouterId(1), &a.sa_for_peer(RouterId(2)), t0()), 1);
+        assert_eq!(c.handle_sa(RouterId(2), &b.sa_for_peer(RouterId(3)), t0()), 1);
+        assert_eq!(c.sources_for(g(5)), vec![Ip::new(128, 111, 1, 9)]);
+        // b does not echo back to a (split horizon)...
+        assert!(b.sa_for_peer(RouterId(1)).is_empty());
+        // ...and a drops SAs about itself even if they arrive.
+        let echo = [SaMessage { source: Ip::new(128, 111, 1, 9), group: g(5), origin_rp: RouterId(1) }];
+        assert_eq!(a.handle_sa(RouterId(3), &echo, t0()), 0);
+    }
+
+    #[test]
+    fn non_rpf_peer_cannot_refresh() {
+        let mut b = MsdpEngine::new(RouterId(2));
+        let sa = [SaMessage { source: Ip::new(1, 1, 1, 1), group: g(0), origin_rp: RouterId(1) }];
+        b.handle_sa(RouterId(1), &sa, t0());
+        // A copy via another peer neither duplicates nor refreshes.
+        let later = t0() + SimDuration::secs(100);
+        assert_eq!(b.handle_sa(RouterId(9), &sa, later), 0);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.entries().next().unwrap().last_refresh, t0());
+    }
+
+    #[test]
+    fn expiry_without_refresh() {
+        let mut b = MsdpEngine::new(RouterId(2));
+        let sa = [SaMessage { source: Ip::new(1, 1, 1, 1), group: g(0), origin_rp: RouterId(1) }];
+        b.handle_sa(RouterId(1), &sa, t0());
+        assert_eq!(b.expire(t0() + SimDuration::secs(100)), 0);
+        // RPF peer refresh extends the lifetime.
+        b.handle_sa(RouterId(1), &sa, t0() + SimDuration::secs(100));
+        assert_eq!(b.expire(t0() + SA_TIMEOUT), 0);
+        assert_eq!(b.expire(t0() + SimDuration::secs(100) + SA_TIMEOUT), 1);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn sources_for_filters_by_group() {
+        let mut rp = MsdpEngine::new(RouterId(1));
+        rp.originate(Ip::new(1, 1, 1, 1), g(0), t0());
+        rp.originate(Ip::new(2, 2, 2, 2), g(0), t0());
+        rp.originate(Ip::new(3, 3, 3, 3), g(1), t0());
+        assert_eq!(rp.sources_for(g(0)).len(), 2);
+        assert_eq!(rp.sources_for(g(1)), vec![Ip::new(3, 3, 3, 3)]);
+        assert!(rp.sources_for(g(2)).is_empty());
+    }
+}

@@ -1,0 +1,386 @@
+//! PIM: Protocol Independent Multicast, dense and sparse mode.
+//!
+//! The sparse-mode half is what drives the paper's transition findings: a
+//! PIM-SM router only keeps `(*,G)`/`(S,G)` state where downstream
+//! receivers exist, so after FIXW's neighbors migrated, the exchange point
+//! stopped seeing single-member experimental sessions that were not
+//! downstream of it (Figures 3 and 6).
+//!
+//! * [`RpSet`] — group-to-RP mapping via the PIMv2 hash,
+//! * [`PimSmEngine`] — per-router sparse-mode state: downstream join sets
+//!   per group and per source, with join/prune/expiry processing,
+//! * [`PimDmEngine`] — dense-mode prune state (flood everywhere, prune
+//!   where unwanted).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use mantra_net::{GroupAddr, IfaceId, Ip, RouterId, SimDuration, SimTime};
+
+/// Join/prune state lifetime without refresh (RFC 2362 default 210 s).
+pub const JOIN_TIMEOUT: SimDuration = SimDuration::secs(210);
+
+/// Dense-mode prune lifetime (after which traffic re-floods).
+pub const PRUNE_TIMEOUT: SimDuration = SimDuration::secs(180);
+
+// ---------------------------------------------------------------------
+// RP set
+// ---------------------------------------------------------------------
+
+/// The rendezvous-point set of a sparse-mode domain, mapping each group to
+/// one RP with the PIMv2 hash function.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RpSet {
+    rps: Vec<RouterId>,
+}
+
+impl RpSet {
+    /// Builds an RP set; order is irrelevant (the hash is over the sorted
+    /// set so every router computes the same mapping).
+    pub fn new(mut rps: Vec<RouterId>) -> Self {
+        rps.sort_unstable();
+        rps.dedup();
+        RpSet { rps }
+    }
+
+    /// True when no RP is configured (no sparse-mode service).
+    pub fn is_empty(&self) -> bool {
+        self.rps.is_empty()
+    }
+
+    /// All RPs.
+    pub fn rps(&self) -> &[RouterId] {
+        &self.rps
+    }
+
+    /// The RP responsible for `group`, by the PIMv2-style hash
+    /// (multiplicative hash over the group address, highest value wins —
+    /// here reduced to an index because candidate priorities are equal).
+    pub fn rp_for(&self, group: GroupAddr) -> Option<RouterId> {
+        if self.rps.is_empty() {
+            return None;
+        }
+        let g = group.ip().0;
+        // RFC 2362 hash core: (1103515245 * x + 12345) per candidate; the
+        // candidate with the highest value wins.
+        let mut best = (0u64, self.rps[0]);
+        for &rp in &self.rps {
+            let x = (u64::from(g) ^ u64::from(rp.0)).wrapping_mul(1_103_515_245) + 12_345;
+            let v = x % (1 << 31);
+            if v >= best.0 {
+                best = (v, rp);
+            }
+        }
+        Some(best.1)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sparse mode
+// ---------------------------------------------------------------------
+
+/// Downstream state for one group (shared tree) on one router.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StarGState {
+    /// Interfaces with joined downstream neighbors or local members, with
+    /// the expiry-relevant refresh time of each.
+    pub joined: BTreeMap<IfaceId, SimTime>,
+    /// When the state was created.
+    pub created: SimTime,
+}
+
+/// Per-router PIM-SM engine.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PimSmEngine {
+    /// The owning router.
+    pub router: RouterId,
+    /// The domain's RP set.
+    pub rp_set: RpSet,
+    star_g: BTreeMap<GroupAddr, StarGState>,
+    /// `(S,G)` downstream join state (source-specific trees).
+    sg: BTreeMap<(GroupAddr, Ip), StarGState>,
+}
+
+impl PimSmEngine {
+    /// New engine with the domain's RP set.
+    pub fn new(router: RouterId, rp_set: RpSet) -> Self {
+        PimSmEngine {
+            router,
+            rp_set,
+            star_g: BTreeMap::new(),
+            sg: BTreeMap::new(),
+        }
+    }
+
+    /// Processes a `(*,G)` join arriving on `iface` (from a downstream
+    /// neighbor or synthesised from local IGMP membership).
+    pub fn join_star_g(&mut self, group: GroupAddr, iface: IfaceId, now: SimTime) {
+        let st = self.star_g.entry(group).or_insert(StarGState {
+            joined: BTreeMap::new(),
+            created: now,
+        });
+        st.joined.insert(iface, now);
+    }
+
+    /// Processes a `(*,G)` prune from `iface`.
+    pub fn prune_star_g(&mut self, group: GroupAddr, iface: IfaceId) {
+        if let Some(st) = self.star_g.get_mut(&group) {
+            st.joined.remove(&iface);
+            if st.joined.is_empty() {
+                self.star_g.remove(&group);
+            }
+        }
+    }
+
+    /// Processes an `(S,G)` join arriving on `iface` (SPT building).
+    pub fn join_sg(&mut self, source: Ip, group: GroupAddr, iface: IfaceId, now: SimTime) {
+        let st = self.sg.entry((group, source)).or_insert(StarGState {
+            joined: BTreeMap::new(),
+            created: now,
+        });
+        st.joined.insert(iface, now);
+    }
+
+    /// Processes an `(S,G)` prune from `iface`.
+    pub fn prune_sg(&mut self, source: Ip, group: GroupAddr, iface: IfaceId) {
+        if let Some(st) = self.sg.get_mut(&(group, source)) {
+            st.joined.remove(&iface);
+            if st.joined.is_empty() {
+                self.sg.remove(&(group, source));
+            }
+        }
+    }
+
+    /// Expires join state not refreshed within [`JOIN_TIMEOUT`]. Returns
+    /// `(star_g_removed, sg_removed)` counts of groups/pairs fully expired.
+    pub fn expire(&mut self, now: SimTime) -> (usize, usize) {
+        let mut gone_star = 0;
+        self.star_g.retain(|_, st| {
+            st.joined.retain(|_, t| now.since(*t) < JOIN_TIMEOUT);
+            if st.joined.is_empty() {
+                gone_star += 1;
+                false
+            } else {
+                true
+            }
+        });
+        let mut gone_sg = 0;
+        self.sg.retain(|_, st| {
+            st.joined.retain(|_, t| now.since(*t) < JOIN_TIMEOUT);
+            if st.joined.is_empty() {
+                gone_sg += 1;
+                false
+            } else {
+                true
+            }
+        });
+        (gone_star, gone_sg)
+    }
+
+    /// The oif set for `(*,G)`, empty when no state.
+    pub fn star_g_oifs(&self, group: GroupAddr) -> Vec<IfaceId> {
+        self.star_g
+            .get(&group)
+            .map(|st| st.joined.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// The oif set for `(S,G)` including inherited `(*,G)` interfaces —
+    /// PIM-SM forwards SPT traffic down the shared tree too.
+    pub fn sg_oifs(&self, source: Ip, group: GroupAddr) -> Vec<IfaceId> {
+        let mut set: BTreeSet<IfaceId> = self
+            .sg
+            .get(&(group, source))
+            .map(|st| st.joined.keys().copied().collect())
+            .unwrap_or_default();
+        if let Some(st) = self.star_g.get(&group) {
+            set.extend(st.joined.keys().copied());
+        }
+        set.into_iter().collect()
+    }
+
+    /// True when this router has any state for `group`.
+    pub fn has_group_state(&self, group: GroupAddr) -> bool {
+        self.star_g.contains_key(&group)
+            || self
+                .sg
+                .range((group, Ip(0))..=(group, Ip(u32::MAX)))
+                .next()
+                .is_some()
+    }
+
+    /// Whether this router is the RP for `group`.
+    pub fn is_rp_for(&self, group: GroupAddr) -> bool {
+        self.rp_set.rp_for(group) == Some(self.router)
+    }
+
+    /// Groups with `(*,G)` state, in order.
+    pub fn groups(&self) -> Vec<GroupAddr> {
+        self.star_g.keys().copied().collect()
+    }
+
+    /// Number of `(*,G)` entries.
+    pub fn star_g_count(&self) -> usize {
+        self.star_g.len()
+    }
+
+    /// Number of `(S,G)` entries.
+    pub fn sg_count(&self) -> usize {
+        self.sg.len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dense mode
+// ---------------------------------------------------------------------
+
+/// Per-router PIM-DM engine: traffic floods out every multicast interface
+/// except where a prune is live.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PimDmEngine {
+    /// The owning router.
+    pub router: RouterId,
+    /// Live prunes: `(group, source, downstream iface) -> prune time`.
+    prunes: BTreeMap<(GroupAddr, Ip, IfaceId), SimTime>,
+}
+
+impl PimDmEngine {
+    /// New dense-mode engine.
+    pub fn new(router: RouterId) -> Self {
+        PimDmEngine {
+            router,
+            prunes: BTreeMap::new(),
+        }
+    }
+
+    /// Records a prune for `(S,G)` on a downstream interface.
+    pub fn prune(&mut self, source: Ip, group: GroupAddr, iface: IfaceId, now: SimTime) {
+        self.prunes.insert((group, source, iface), now);
+    }
+
+    /// A graft (a downstream member appeared) cancels a prune immediately.
+    pub fn graft(&mut self, source: Ip, group: GroupAddr, iface: IfaceId) {
+        self.prunes.remove(&(group, source, iface));
+    }
+
+    /// Is `(S,G)` pruned on `iface` at `now`? Prunes auto-expire after
+    /// [`PRUNE_TIMEOUT`], causing periodic re-flooding — dense mode's
+    /// signature overhead.
+    pub fn is_pruned(&self, source: Ip, group: GroupAddr, iface: IfaceId, now: SimTime) -> bool {
+        self.prunes
+            .get(&(group, source, iface))
+            .is_some_and(|t| now.since(*t) < PRUNE_TIMEOUT)
+    }
+
+    /// Drops expired prunes, returns how many.
+    pub fn expire(&mut self, now: SimTime) -> usize {
+        let before = self.prunes.len();
+        self.prunes.retain(|_, t| now.since(*t) < PRUNE_TIMEOUT);
+        before - self.prunes.len()
+    }
+
+    /// Live prune count.
+    pub fn prune_count(&self) -> usize {
+        self.prunes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(i: u32) -> GroupAddr {
+        GroupAddr::from_index(i)
+    }
+
+    fn t0() -> SimTime {
+        SimTime::from_ymd(1999, 1, 15)
+    }
+
+    #[test]
+    fn rp_hash_is_deterministic_and_total() {
+        let set = RpSet::new(vec![RouterId(3), RouterId(1), RouterId(1), RouterId(7)]);
+        assert_eq!(set.rps(), &[RouterId(1), RouterId(3), RouterId(7)]);
+        for i in 0..100 {
+            let rp = set.rp_for(g(i)).unwrap();
+            assert!(set.rps().contains(&rp));
+            assert_eq!(set.rp_for(g(i)), Some(rp), "stable per group");
+        }
+        // The hash spreads groups across RPs rather than picking one.
+        let distinct: BTreeSet<RouterId> = (0..100).filter_map(|i| set.rp_for(g(i))).collect();
+        assert!(distinct.len() > 1);
+        assert_eq!(RpSet::new(vec![]).rp_for(g(0)), None);
+    }
+
+    #[test]
+    fn star_g_join_prune_lifecycle() {
+        let mut e = PimSmEngine::new(RouterId(0), RpSet::new(vec![RouterId(0)]));
+        e.join_star_g(g(1), IfaceId(2), t0());
+        e.join_star_g(g(1), IfaceId(3), t0());
+        assert_eq!(e.star_g_oifs(g(1)), vec![IfaceId(2), IfaceId(3)]);
+        assert!(e.has_group_state(g(1)));
+        e.prune_star_g(g(1), IfaceId(2));
+        assert_eq!(e.star_g_oifs(g(1)), vec![IfaceId(3)]);
+        e.prune_star_g(g(1), IfaceId(3));
+        assert!(!e.has_group_state(g(1)), "last prune removes state");
+        assert_eq!(e.star_g_count(), 0);
+    }
+
+    #[test]
+    fn sg_inherits_star_g_oifs() {
+        let mut e = PimSmEngine::new(RouterId(0), RpSet::new(vec![RouterId(0)]));
+        let s = Ip::new(128, 111, 1, 9);
+        e.join_star_g(g(1), IfaceId(2), t0());
+        e.join_sg(s, g(1), IfaceId(5), t0());
+        assert_eq!(e.sg_oifs(s, g(1)), vec![IfaceId(2), IfaceId(5)]);
+        // A source with no SPT joins still inherits the shared tree.
+        assert_eq!(e.sg_oifs(Ip::new(9, 9, 9, 9), g(1)), vec![IfaceId(2)]);
+        assert_eq!(e.sg_count(), 1);
+    }
+
+    #[test]
+    fn join_state_expires_without_refresh() {
+        let mut e = PimSmEngine::new(RouterId(0), RpSet::new(vec![RouterId(0)]));
+        e.join_star_g(g(1), IfaceId(2), t0());
+        e.join_sg(Ip::new(1, 1, 1, 1), g(2), IfaceId(0), t0());
+        // Refresh only the (*,G).
+        e.join_star_g(g(1), IfaceId(2), t0() + SimDuration::secs(120));
+        let (star_gone, sg_gone) = e.expire(t0() + JOIN_TIMEOUT);
+        assert_eq!((star_gone, sg_gone), (0, 1));
+        assert!(e.has_group_state(g(1)));
+        assert!(!e.has_group_state(g(2)));
+    }
+
+    #[test]
+    fn is_rp_for_uses_hash() {
+        let set = RpSet::new(vec![RouterId(4), RouterId(9)]);
+        let e4 = PimSmEngine::new(RouterId(4), set.clone());
+        let e9 = PimSmEngine::new(RouterId(9), set.clone());
+        for i in 0..50 {
+            let group = g(i);
+            assert_eq!(
+                e4.is_rp_for(group) as u8 + e9.is_rp_for(group) as u8,
+                1,
+                "exactly one RP per group"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_mode_prune_graft_expiry() {
+        let mut e = PimDmEngine::new(RouterId(0));
+        let s = Ip::new(128, 111, 1, 9);
+        assert!(!e.is_pruned(s, g(1), IfaceId(2), t0()));
+        e.prune(s, g(1), IfaceId(2), t0());
+        assert!(e.is_pruned(s, g(1), IfaceId(2), t0() + SimDuration::secs(60)));
+        // Prunes expire and the interface re-floods.
+        assert!(!e.is_pruned(s, g(1), IfaceId(2), t0() + PRUNE_TIMEOUT));
+        assert_eq!(e.expire(t0() + PRUNE_TIMEOUT), 1);
+        assert_eq!(e.prune_count(), 0);
+        // Graft cancels a live prune.
+        e.prune(s, g(1), IfaceId(2), t0());
+        e.graft(s, g(1), IfaceId(2));
+        assert!(!e.is_pruned(s, g(1), IfaceId(2), t0()));
+    }
+}

@@ -1,0 +1,285 @@
+//! IOS-style `show ip …` tables — the exchange-point border's dialect.
+//!
+//! Output shapes follow late-1990s IOS: a command echo line, multi-line
+//! `(S,G)` blocks with flag letters, `--More--` pagination markers every
+//! 24 lines, and uptime rendered as `dd:hh:mm`. All of it is noise the
+//! monitoring tool's pre-processor has to strip before parsing.
+
+use std::fmt::Write as _;
+
+use mantra_net::{RouterId, SimDuration, SimTime};
+use mantra_protocols::dvmrp::RouteState;
+use mantra_sim::Network;
+
+use crate::TableKind;
+
+/// Renders one table in IOS style.
+pub fn render(net: &Network, router: RouterId, kind: TableKind, now: SimTime) -> String {
+    let name = &net.topo.router(router).name;
+    let body = match kind {
+        TableKind::DvmrpRoutes => dvmrp_routes(net, router, now),
+        TableKind::ForwardingCache => mroute(net, router, now),
+        TableKind::IgmpGroups => igmp_groups(net, router, now),
+        TableKind::MbgpRoutes => mbgp(net, router, now),
+        TableKind::SaCache => sa_cache(net, router, now),
+    };
+    let cmd = match kind {
+        TableKind::DvmrpRoutes => "show ip dvmrp route",
+        TableKind::ForwardingCache => "show ip mroute count",
+        TableKind::IgmpGroups => "show ip igmp groups",
+        TableKind::MbgpRoutes => "show ip mbgp",
+        TableKind::SaCache => "show ip msdp sa-cache",
+    };
+    let paged = paginate(&body);
+    format!("{name}#{cmd}\n{paged}")
+}
+
+/// Inserts `--More--` markers every 24 lines, as a terminal with paging
+/// enabled would (the expect scripts send spaces and capture the markers).
+fn paginate(body: &str) -> String {
+    let mut out = String::with_capacity(body.len() + 64);
+    for (i, line) in body.lines().enumerate() {
+        if i > 0 && i % 24 == 0 {
+            out.push_str(" --More-- \r        \r");
+        }
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Uptime as IOS prints it: `hh:mm:ss` under a day, else `dd:hh:mm` — wait,
+/// real IOS uses `00:04:23` or `3d04h`; we render both forms.
+fn uptime(d: SimDuration) -> String {
+    let s = d.as_secs();
+    if s < 86_400 {
+        format!("{:02}:{:02}:{:02}", s / 3_600, (s % 3_600) / 60, s % 60)
+    } else {
+        format!("{}d{:02}h", s / 86_400, (s % 86_400) / 3_600)
+    }
+}
+
+fn dvmrp_routes(net: &Network, router: RouterId, now: SimTime) -> String {
+    let Some(engine) = net.dvmrp[router.index()].as_ref() else {
+        return "%DVMRP not enabled\n".to_string();
+    };
+    let mut out = String::new();
+    let entries: Vec<_> = engine.rib.iter().collect();
+    let _ = writeln!(
+        out,
+        "DVMRP Routing Table - {} entries",
+        entries.len()
+    );
+    for r in entries {
+        let (gw, flags) = match (r.next_hop, r.state) {
+            (_, RouteState::Holddown { .. }) => ("unreachable".to_string(), "H"),
+            (None, _) => ("directly connected".to_string(), "C"),
+            (Some(h), _) => (format!("via {}", net.topo.router(h).addr), " "),
+        };
+        let _ = writeln!(
+            out,
+            "{} [{}/{}] {} uptime {} {}",
+            r.prefix,
+            1,
+            r.metric,
+            gw,
+            uptime(r.uptime(now)),
+            flags,
+        );
+    }
+    out
+}
+
+fn mroute(net: &Network, router: RouterId, now: SimTime) -> String {
+    let mfib = &net.mfib[router.index()];
+    let mut out = String::new();
+    let _ = writeln!(out, "IP Multicast Statistics");
+    let _ = writeln!(
+        out,
+        "{} routes using {} bytes of memory",
+        mfib.len(),
+        mfib.len() * 152,
+    );
+    let _ = writeln!(
+        out,
+        "Flags: D - Dense, S - Sparse, C - Connected, P - Pruned, M - MSDP created entry"
+    );
+    for e in mfib.iter() {
+        let flags = {
+            let mut f = String::new();
+            match e.origin {
+                mantra_protocols::mfib::EntryOrigin::Dvmrp => f.push('D'),
+                mantra_protocols::mfib::EntryOrigin::PimDm => f.push('D'),
+                mantra_protocols::mfib::EntryOrigin::PimSm => f.push('S'),
+                mantra_protocols::mfib::EntryOrigin::Msdp => {
+                    f.push('S');
+                    f.push('M');
+                }
+                mantra_protocols::mfib::EntryOrigin::Local => f.push('C'),
+            }
+            if e.is_pruned() {
+                f.push('P');
+            }
+            f
+        };
+        let src = if e.key.is_wildcard() {
+            "*".to_string()
+        } else {
+            e.key.source.to_string()
+        };
+        let _ = writeln!(
+            out,
+            "({src}, {}), uptime {}, flags: {flags}",
+            e.key.group,
+            uptime(now.since(e.created)),
+        );
+        let oifs = if e.oifs.is_empty() {
+            "Null".to_string()
+        } else {
+            e.oifs
+                .iter()
+                .map(|o| format!("Vif{}", o.0))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let _ = writeln!(out, "  Incoming interface: Vif{}, Outgoing: {oifs}", e.iif.0);
+        let _ = writeln!(
+            out,
+            "  Pkt count {}, bytes {}, rate {} kbps",
+            e.packets,
+            e.bytes,
+            // IOS prints integer kbps.
+            (e.rate.bps() + 500) / 1_000,
+        );
+    }
+    out
+}
+
+fn igmp_groups(net: &Network, router: RouterId, now: SimTime) -> String {
+    let igmp = &net.igmp[router.index()];
+    let mut out = String::new();
+    let _ = writeln!(out, "IGMP Connected Group Membership");
+    let _ = writeln!(out, "Group Address    Interface   Uptime    Last Reporter");
+    for (iface, group, m) in igmp.iter() {
+        let _ = writeln!(
+            out,
+            "{:<16} Vif{:<8} {:<9} {}",
+            group.to_string(),
+            iface.0,
+            uptime(now.since(m.since)),
+            m.members
+                .first()
+                .map(|h| h.to_string())
+                .unwrap_or_default(),
+        );
+    }
+    out
+}
+
+fn mbgp(net: &Network, router: RouterId, now: SimTime) -> String {
+    let Some(engine) = net.mbgp[router.index()].as_ref() else {
+        return "%BGP not active\n".to_string();
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "MBGP table version is {}, local router ID is {}",
+        engine.route_count(),
+        net.topo.router(router).addr
+    );
+    let _ = writeln!(out, "   Network            Next Hop          Path");
+    for (p, r) in engine.rib().iter() {
+        let nh = match r.peer {
+            None => "0.0.0.0".to_string(),
+            Some(peer) => net.topo.router(peer).addr.to_string(),
+        };
+        let path: String = r
+            .as_path
+            .iter()
+            .map(|d| (65_000 + d.0).to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(out, "*> {:<18} {:<17} {path} i", p.to_string(), nh);
+    }
+    let _ = now;
+    out
+}
+
+fn sa_cache(net: &Network, router: RouterId, now: SimTime) -> String {
+    let Some(engine) = net.msdp[router.index()].as_ref() else {
+        return "%MSDP not enabled\n".to_string();
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "MSDP Source-Active Cache - {} entries", engine.len());
+    for e in engine.entries() {
+        let _ = writeln!(
+            out,
+            "({}, {}), RP {}, learned {}",
+            e.source,
+            e.group,
+            net.topo.router(e.origin_rp).addr,
+            uptime(now.since(e.first_seen)),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mantra_net::SimDuration;
+    use mantra_sim::Scenario;
+
+    fn scenario() -> (mantra_sim::Scenario, SimTime) {
+        let mut sc = Scenario::transition_snapshot(4, 0.5);
+        let t = sc.sim.clock + SimDuration::hours(8);
+        sc.sim.advance_to(t);
+        (sc, t)
+    }
+
+    #[test]
+    fn uptime_formats() {
+        assert_eq!(uptime(SimDuration::secs(4 * 3600 + 23 * 60)), "04:23:00");
+        assert_eq!(uptime(SimDuration::days(3) + SimDuration::hours(4)), "3d04h");
+    }
+
+    #[test]
+    fn pagination_inserts_more_markers() {
+        let body: String = (0..60).map(|i| format!("line {i}\n")).collect();
+        let paged = paginate(&body);
+        assert_eq!(paged.matches("--More--").count(), 2);
+    }
+
+    #[test]
+    fn mroute_blocks_have_three_lines_each() {
+        let (sc, now) = scenario();
+        let text = mroute(&sc.sim.net, sc.fixw, now);
+        let entries = text.matches("uptime").count();
+        let incoming = text.matches("Incoming interface").count();
+        assert_eq!(entries, incoming);
+        assert!(text.contains("IP Multicast Statistics"));
+    }
+
+    #[test]
+    fn dvmrp_and_mbgp_render_on_border() {
+        let (sc, now) = scenario();
+        let dv = dvmrp_routes(&sc.sim.net, sc.fixw, now);
+        assert!(dv.contains("DVMRP Routing Table"));
+        let mb = mbgp(&sc.sim.net, sc.fixw, now);
+        assert!(mb.contains("MBGP table version"));
+        assert!(mb.contains("*>"));
+    }
+
+    #[test]
+    fn sa_cache_renders_or_errors() {
+        let (sc, now) = scenario();
+        let sa = sa_cache(&sc.sim.net, sc.fixw, now);
+        assert!(sa.contains("MSDP Source-Active Cache"));
+        // A non-RP internal router reports MSDP disabled.
+        let non_rp = (0..sc.sim.net.topo.router_count() as u32)
+            .map(mantra_net::RouterId)
+            .find(|r| sc.sim.net.msdp[r.index()].is_none())
+            .unwrap();
+        assert!(sa_cache(&sc.sim.net, non_rp, now).contains("%MSDP not enabled"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Simulated router command-line interfaces.
+//!
+//! Mantra never spoke SNMP — the MIBs for PIM, MBGP and MSDP did not exist
+//! or were stale — so it logged into routers with expect scripts and
+//! scraped the text output of table-dump commands. This crate renders that
+//! text from simulated router state, in two period-accurate flavours:
+//!
+//! * [`mrouted`] — the `mrouted` 3.x debug-dump style used by the UCSB
+//!   campus collection point,
+//! * [`ios`] — the IOS-style `show ip …` tables a commercial border like
+//!   FIXW's would produce.
+//!
+//! The renderers are deliberately *messy* in the ways real CLIs are —
+//! banners, prompts, variable column widths, continuation lines, `--More--`
+//! pagination markers — because cleaning that up is exactly the job of
+//! Mantra's pre-processing stage, and we want that code path exercised.
+
+pub mod ios;
+pub mod mrouted;
+
+use mantra_net::SimTime;
+use mantra_sim::Network;
+
+pub use mantra_net::RouterId;
+
+/// The router tables Mantra collects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TableKind {
+    /// The DVMRP routing table (route monitoring, Figures 7–9).
+    DvmrpRoutes,
+    /// The multicast forwarding cache with rates (usage monitoring,
+    /// Figures 3–6).
+    ForwardingCache,
+    /// IGMP group membership on leaf interfaces.
+    IgmpGroups,
+    /// The MBGP Loc-RIB (native-infrastructure route monitoring).
+    MbgpRoutes,
+    /// The MSDP source-active cache (interdomain session discovery).
+    SaCache,
+}
+
+impl TableKind {
+    /// All table kinds, in collection order.
+    pub const ALL: [TableKind; 5] = [
+        TableKind::DvmrpRoutes,
+        TableKind::ForwardingCache,
+        TableKind::IgmpGroups,
+        TableKind::MbgpRoutes,
+        TableKind::SaCache,
+    ];
+
+    /// A short label used in logs and archive paths.
+    pub fn label(self) -> &'static str {
+        match self {
+            TableKind::DvmrpRoutes => "dvmrp-routes",
+            TableKind::ForwardingCache => "mroute-cache",
+            TableKind::IgmpGroups => "igmp-groups",
+            TableKind::MbgpRoutes => "mbgp-routes",
+            TableKind::SaCache => "msdp-sa-cache",
+        }
+    }
+}
+
+/// Renders the requested table for `router` as the raw text an expect
+/// script would capture, banner and prompt included.
+///
+/// Routers that run only DVMRP answer in `mrouted` style; everything else
+/// answers in IOS style. Tables for protocols the router does not run come
+/// back as the CLI's error line — Mantra's collector must cope.
+pub fn render(net: &Network, router: RouterId, kind: TableKind, now: SimTime) -> String {
+    let suite = net.topo.router(router).suite;
+    let mrouted_style = suite.dvmrp && !suite.pim_sm && !suite.mbgp;
+    let name = &net.topo.router(router).name;
+    let body = if mrouted_style {
+        mrouted::render(net, router, kind, now)
+    } else {
+        ios::render(net, router, kind, now)
+    };
+    // Wrap with the login banner / prompt noise the expect script captures.
+    let mut out = String::with_capacity(body.len() + 128);
+    out.push_str(&format!(
+        "Trying {}...\r\nConnected to {name}.\r\nEscape character is '^]'.\r\n\r\n",
+        net.topo.router(router).addr
+    ));
+    out.push_str(&body);
+    out.push_str(&format!("\r\n{name}> "));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mantra_net::SimDuration;
+    use mantra_sim::Scenario;
+
+    #[test]
+    fn render_styles_follow_suites() {
+        let mut sc = Scenario::transition_snapshot(1, 0.5);
+        sc.sim
+            .advance_to(sc.sim.clock + SimDuration::hours(6));
+        let now = sc.sim.clock;
+        // FIXW is a border: IOS style.
+        let fixw_dump = render(&sc.sim.net, sc.fixw, TableKind::DvmrpRoutes, now);
+        assert!(fixw_dump.contains("show ip dvmrp route"), "{fixw_dump}");
+        // UCSB runs plain mrouted.
+        let ucsb_dump = render(&sc.sim.net, sc.ucsb, TableKind::DvmrpRoutes, now);
+        assert!(ucsb_dump.contains("DVMRP Routing Table"), "{ucsb_dump}");
+        // Both carry telnet noise around the body.
+        for d in [&fixw_dump, &ucsb_dump] {
+            assert!(d.starts_with("Trying "));
+            assert!(d.trim_end().ends_with('>'));
+        }
+    }
+
+    #[test]
+    fn all_kinds_render_without_panicking() {
+        let mut sc = Scenario::transition_snapshot(2, 0.4);
+        sc.sim
+            .advance_to(sc.sim.clock + SimDuration::hours(12));
+        let now = sc.sim.clock;
+        for kind in TableKind::ALL {
+            for r in [sc.fixw, sc.ucsb] {
+                let text = render(&sc.sim.net, r, kind, now);
+                assert!(!text.is_empty());
+            }
+        }
+    }
+}

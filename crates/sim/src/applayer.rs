@@ -1,0 +1,354 @@
+//! Application-layer monitoring — the approach the paper contrasts Mantra
+//! against.
+//!
+//! Period tools estimated multicast state from end-user protocols:
+//! `sdr-monitor` counted SAP session announcements; `mlisten`/`rtpmon`
+//! joined groups and counted RTCP receiver reports. The paper's critique,
+//! reproduced here:
+//!
+//! * **SAP**: only advertised sessions are visible; experimental sessions
+//!   mostly are not, and announcements stop arriving the moment multicast
+//!   connectivity to the announcer breaks (no feedback on failure).
+//! * **RTCP**: not every application implements it, so participants are
+//!   under-counted; its scalability back-off stretches report intervals
+//!   as sessions grow, so estimates *lag*; and like SAP it requires
+//!   end-to-end delivery to the measurement point.
+//!
+//! [`AppLayerMonitor`] implements an sdr-monitor/mlisten-style observer at
+//! one listening router, so the same simulated world can be measured both
+//! ways and the difference quantified (see the `app_vs_network_layer`
+//! example and the comparison tests).
+
+use std::collections::BTreeMap;
+
+use mantra_net::{GroupAddr, HostId, RouterId, SimDuration, SimTime};
+
+use crate::network::LinkFilter;
+use crate::rng::SimRng;
+use crate::scenario::Simulation;
+use crate::session::SessionKind;
+
+/// Behaviour knobs, defaulted to the period's observed compliance levels.
+#[derive(Clone, Debug)]
+pub struct AppLayerConfig {
+    /// Fraction of participants whose applications actually send RTCP.
+    pub rtcp_compliance: f64,
+    /// Probability a content/broadcast session is announced via SAP.
+    pub sap_content: f64,
+    /// Probability an experimental session is announced via SAP.
+    pub sap_experimental: f64,
+    /// Base RTCP report interval (RFC 1889 minimum 5 s).
+    pub rtcp_min_interval: SimDuration,
+}
+
+impl Default for AppLayerConfig {
+    fn default() -> Self {
+        AppLayerConfig {
+            rtcp_compliance: 0.7,
+            sap_content: 0.9,
+            sap_experimental: 0.2,
+            rtcp_min_interval: SimDuration::secs(5),
+        }
+    }
+}
+
+/// What the application-layer observer reports after one pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AppLayerView {
+    /// Sessions known from SAP announcements reaching the listener.
+    pub sap_sessions: usize,
+    /// Sessions with RTP/RTCP packets reaching the listener.
+    pub rtcp_sessions: usize,
+    /// Participants counted from RTCP reports (compliant + reachable +
+    /// past their first report interval).
+    pub rtcp_participants: usize,
+    /// Ground truth at observation time, for convenience.
+    pub truth_sessions: usize,
+    /// Ground-truth participants.
+    pub truth_participants: usize,
+}
+
+impl AppLayerView {
+    /// Session coverage in `[0, 1]` versus ground truth.
+    pub fn session_coverage(&self) -> f64 {
+        if self.truth_sessions == 0 {
+            1.0
+        } else {
+            self.sap_sessions as f64 / self.truth_sessions as f64
+        }
+    }
+
+    /// Participant coverage in `[0, 1]` versus ground truth.
+    pub fn participant_coverage(&self) -> f64 {
+        if self.truth_participants == 0 {
+            1.0
+        } else {
+            self.rtcp_participants as f64 / self.truth_participants as f64
+        }
+    }
+}
+
+/// An sdr-monitor/mlisten-style observer attached to one router's leaf.
+#[derive(Debug)]
+pub struct AppLayerMonitor {
+    /// Where the observer host sits.
+    pub listener: RouterId,
+    cfg: AppLayerConfig,
+    rng: SimRng,
+    // Sticky per-host/per-session draws so compliance and advertisement
+    // are properties of the entity, not of the observation.
+    compliance: BTreeMap<HostId, bool>,
+    advertised: BTreeMap<GroupAddr, bool>,
+}
+
+impl AppLayerMonitor {
+    /// A monitor at `listener` with its own RNG stream.
+    pub fn new(listener: RouterId, cfg: AppLayerConfig, rng: SimRng) -> Self {
+        AppLayerMonitor {
+            listener,
+            cfg,
+            rng,
+            compliance: BTreeMap::new(),
+            advertised: BTreeMap::new(),
+        }
+    }
+
+    fn is_compliant(&mut self, host: HostId) -> bool {
+        let p = self.cfg.rtcp_compliance;
+        *self
+            .compliance
+            .entry(host)
+            .or_insert_with(|| self.rng.chance(p))
+    }
+
+    fn is_advertised(&mut self, group: GroupAddr, kind: SessionKind) -> bool {
+        let p = match kind {
+            SessionKind::Experimental => self.cfg.sap_experimental,
+            SessionKind::Content | SessionKind::Broadcast => self.cfg.sap_content,
+        };
+        *self
+            .advertised
+            .entry(group)
+            .or_insert_with(|| self.rng.chance(p))
+    }
+
+    /// The RTCP report interval for a session of the given size: RFC 1889
+    /// scales the interval with the group so control traffic stays below
+    /// 5 % — which is exactly what degrades temporal resolution.
+    pub fn rtcp_interval(&self, density: usize) -> SimDuration {
+        let scaled = self.cfg.rtcp_min_interval.as_secs() * (1 + density as u64 / 4);
+        SimDuration::secs(scaled)
+    }
+
+    /// The SAP session directory as heard at the listener: advertised,
+    /// reachable sessions with their announced names (what `sdr` showed,
+    /// and where Mantra's optional session-name column comes from).
+    pub fn sap_directory(&mut self, sim: &Simulation, _now: SimTime) -> Vec<(GroupAddr, String)> {
+        let suite = sim.net.topo.router(self.listener).suite;
+        let dv_tree = suite
+            .dvmrp
+            .then(|| sim.net.bfs_tree(self.listener, LinkFilter::Dvmrp));
+        let sp_tree = suite
+            .pim_sm
+            .then(|| sim.net.bfs_tree(self.listener, LinkFilter::Sparse));
+        let listener = self.listener;
+        let reachable = |router: RouterId| -> bool {
+            router == listener
+                || dv_tree.as_ref().is_some_and(|t| t[router.index()].is_some())
+                || sp_tree.as_ref().is_some_and(|t| t[router.index()].is_some())
+        };
+        let mut out = Vec::new();
+        for session in sim.sessions.iter() {
+            let announcer_ok = session
+                .participants
+                .values()
+                .next()
+                .map(|p| reachable(p.router))
+                .unwrap_or(false);
+            if !announcer_ok || !self.is_advertised(session.group, session.kind) {
+                continue;
+            }
+            let name = match session.kind {
+                SessionKind::Broadcast => format!("Broadcast Channel ({})", session.group),
+                SessionKind::Content => format!("MBone Session {}", session.group),
+                SessionKind::Experimental => format!("test {}", session.group),
+            };
+            out.push((session.group, name));
+        }
+        out
+    }
+
+    /// One observation pass over the simulation's live state.
+    pub fn observe(&mut self, sim: &Simulation, now: SimTime) -> AppLayerView {
+        // Application packets reach the listener only where multicast
+        // forwarding works end-to-end. DVMRP listeners receive over the
+        // DVMRP overlay; sparse listeners over the sparse infrastructure;
+        // a border hears both.
+        let suite = sim.net.topo.router(self.listener).suite;
+        let dv_tree = if suite.dvmrp {
+            Some(sim.net.bfs_tree(self.listener, LinkFilter::Dvmrp))
+        } else {
+            None
+        };
+        let sp_tree = if suite.pim_sm {
+            Some(sim.net.bfs_tree(self.listener, LinkFilter::Sparse))
+        } else {
+            None
+        };
+        let listener = self.listener;
+        let reachable = |router: RouterId| -> bool {
+            if router == listener {
+                return true;
+            }
+            dv_tree
+                .as_ref()
+                .is_some_and(|t| t[router.index()].is_some())
+                || sp_tree
+                    .as_ref()
+                    .is_some_and(|t| t[router.index()].is_some())
+        };
+
+        let mut view = AppLayerView::default();
+        for session in sim.sessions.iter() {
+            view.truth_sessions += 1;
+            view.truth_participants += session.density();
+            // SAP: visible if the session is advertised and the announcer
+            // (first participant's site; sdr announced from a member) can
+            // reach us.
+            let announcer_reachable = session
+                .participants
+                .values()
+                .next()
+                .map(|p| reachable(p.router))
+                .unwrap_or(false);
+            if self.is_advertised(session.group, session.kind) && announcer_reachable {
+                view.sap_sessions += 1;
+            }
+            // RTCP: count participants that are compliant, reachable, and
+            // have been joined longer than the session's report interval
+            // (otherwise their first report has not arrived yet).
+            let interval = self.rtcp_interval(session.density());
+            let mut heard = 0;
+            for p in session.participants.values() {
+                if !reachable(p.router) {
+                    continue;
+                }
+                if now.since(p.joined) < interval {
+                    continue;
+                }
+                if self.is_compliant(p.host) {
+                    heard += 1;
+                }
+            }
+            if heard > 0 {
+                view.rtcp_sessions += 1;
+                view.rtcp_participants += heard;
+            }
+        }
+        view
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    fn observed(native: f64, compliance: f64) -> (AppLayerView, Scenario) {
+        let mut sc = Scenario::transition_snapshot(88, native);
+        sc.sim
+            .advance_to(sc.sim.clock + SimDuration::hours(12));
+        let cfg = AppLayerConfig {
+            rtcp_compliance: compliance,
+            ..AppLayerConfig::default()
+        };
+        let mut mon = AppLayerMonitor::new(sc.ucsb, cfg, SimRng::seeded(5));
+        let now = sc.sim.clock;
+        let view = mon.observe(&sc.sim, now);
+        (view, sc)
+    }
+
+    #[test]
+    fn app_layer_undercounts_sessions_and_participants() {
+        let (view, _) = observed(0.0, 0.7);
+        assert!(view.truth_sessions > 20);
+        // SAP misses most experimental sessions.
+        assert!(
+            view.session_coverage() < 0.75,
+            "sap coverage {:.2}",
+            view.session_coverage()
+        );
+        assert!(view.sap_sessions > 0);
+        // RTCP misses non-compliant participants.
+        assert!(
+            view.participant_coverage() < 0.95,
+            "rtcp coverage {:.2}",
+            view.participant_coverage()
+        );
+        assert!(view.rtcp_participants > 0);
+    }
+
+    #[test]
+    fn full_compliance_closes_most_of_the_participant_gap() {
+        let (strict, _) = observed(0.0, 1.0);
+        let (loose, _) = observed(0.0, 0.4);
+        assert!(strict.rtcp_participants > loose.rtcp_participants);
+    }
+
+    #[test]
+    fn rtcp_interval_scales_with_density() {
+        let sc = Scenario::transition_snapshot(1, 0.0);
+        let mon = AppLayerMonitor::new(sc.ucsb, AppLayerConfig::default(), SimRng::seeded(1));
+        assert!(mon.rtcp_interval(200) > mon.rtcp_interval(2));
+        assert!(mon.rtcp_interval(1) >= SimDuration::secs(5));
+    }
+
+    #[test]
+    fn connectivity_break_blinds_the_app_layer() {
+        let mut sc = Scenario::transition_snapshot(89, 0.0);
+        sc.sim
+            .advance_to(sc.sim.clock + SimDuration::hours(6));
+        let mut mon = AppLayerMonitor::new(
+            sc.ucsb,
+            AppLayerConfig::default(),
+            SimRng::seeded(9),
+        );
+        let healthy = mon.observe(&sc.sim, sc.sim.clock);
+        // Cut the campus off from FIXW.
+        let link = sc.sim.net.topo.link_between(sc.fixw, sc.ucsb).unwrap().id;
+        let t = sc.sim.clock;
+        sc.sim.net.on_link_change(link, false, t);
+        let blind = mon.observe(&sc.sim, sc.sim.clock);
+        assert!(
+            blind.sap_sessions < healthy.sap_sessions / 2,
+            "SAP goes quiet: {} -> {}",
+            healthy.sap_sessions,
+            blind.sap_sessions
+        );
+        assert!(
+            blind.rtcp_participants < healthy.rtcp_participants,
+            "RTCP goes quiet: {} -> {}",
+            healthy.rtcp_participants,
+            blind.rtcp_participants
+        );
+        // The paper's point: "when multicast is not operating correctly,
+        // there is no feedback" — truth hasn't changed.
+        assert_eq!(blind.truth_sessions, healthy.truth_sessions);
+    }
+
+    #[test]
+    fn advertisement_and_compliance_are_sticky() {
+        let mut sc = Scenario::transition_snapshot(90, 0.0);
+        sc.sim
+            .advance_to(sc.sim.clock + SimDuration::hours(3));
+        let mut mon = AppLayerMonitor::new(
+            sc.ucsb,
+            AppLayerConfig::default(),
+            SimRng::seeded(2),
+        );
+        let now = sc.sim.clock;
+        let a = mon.observe(&sc.sim, now);
+        let b = mon.observe(&sc.sim, now);
+        assert_eq!(a, b, "re-observing the same instant is stable");
+    }
+}

@@ -1,0 +1,191 @@
+//! The discrete-event core: a time-ordered queue with deterministic
+//! tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use mantra_net::{DomainId, GroupAddr, HostId, SimDuration, SimTime};
+use mantra_topology::LinkId;
+
+use crate::workload::{ParticipantPlan, SessionPlan};
+
+/// Everything that can happen in a scenario.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// Draw the next batch of session arrivals from the workload model.
+    SessionArrival,
+    /// Instantiate a planned session now.
+    SessionCreate(Box<SessionPlan>),
+    /// A specific session ends (all participants leave, state decays).
+    SessionEnd {
+        /// The ending session's group.
+        group: GroupAddr,
+    },
+    /// A planned participant joins a session.
+    ParticipantJoin {
+        /// The session's group.
+        group: GroupAddr,
+        /// The planned attachment, rate and departure.
+        plan: Box<ParticipantPlan>,
+    },
+    /// A participant leaves a session.
+    ParticipantLeave {
+        /// The session's group.
+        group: GroupAddr,
+        /// The leaving host.
+        host: HostId,
+    },
+    /// One monitoring/routing tick: exchange routes, rebuild trees,
+    /// account traffic. Scheduled periodically by the scenario.
+    Tick,
+    /// Take a link down or up (flap/decommission injection).
+    SetLink {
+        /// The affected link.
+        link: LinkId,
+        /// Whether it comes up (`true`) or goes down.
+        up: bool,
+    },
+    /// Migrate a domain to native sparse mode (the transition).
+    MigrateDomain {
+        /// The migrating domain.
+        domain: DomainId,
+        /// When `true`, the border also drops DVMRP entirely (the
+        /// decommissioning that drives Figure 8's long-term decline).
+        full: bool,
+    },
+    /// Launch a scheduled broadcast event (the 43rd IETF).
+    Broadcast {
+        /// Event duration.
+        duration: SimDuration,
+        /// Audience size.
+        audience: usize,
+    },
+    /// Begin injecting unicast routes into a router's DVMRP table
+    /// (the Figure 9 anomaly).
+    InjectRoutes {
+        /// How many foreign /24s leak in.
+        count: u32,
+    },
+    /// The leaked routes are withdrawn (the operator fixed the leak).
+    WithdrawInjected,
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first, with the
+        // insertion sequence breaking ties deterministically.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        });
+    }
+
+    /// The timestamp of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Pops the earliest event (FIFO among equal timestamps).
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), Event::Tick);
+        q.schedule(t(10), Event::SessionArrival);
+        q.schedule(t(20), Event::WithdrawInjected);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(at, _)| at.0).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5), Event::InjectRoutes { count: 1 });
+        q.schedule(t(5), Event::InjectRoutes { count: 2 });
+        q.schedule(t(5), Event::InjectRoutes { count: 3 });
+        let counts: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::InjectRoutes { count } => count,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(counts, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(t(9), Event::Tick);
+        q.schedule(t(3), Event::Tick);
+        assert_eq!(q.peek_time(), Some(t(3)));
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.peek_time(), Some(t(9)));
+    }
+}

@@ -1,0 +1,48 @@
+//! Discrete-event simulation of the late-1990s multicast internetwork.
+//!
+//! The paper evaluated Mantra against two live routers (FIXW and a UCSB
+//! `mrouted`) over six months of real MBone traffic. Neither the routers
+//! nor the traffic exist any more, so this crate rebuilds both:
+//!
+//! * [`rng`] — seeded determinism plus the heavy-tailed distributions the
+//!   workload is calibrated with,
+//! * [`event`] — the discrete-event queue,
+//! * [`network`] — topology + per-router protocol engines and the
+//!   synchronous routing round (DVMRP reports with loss, MBGP syncs,
+//!   MSDP SA floods),
+//! * [`session`] — ground-truth sessions and participants,
+//! * [`workload`] — arrival/lifetime/membership/rate generators calibrated
+//!   to the paper's reported statistics,
+//! * [`trees`] — distribution-tree computation that turns sessions +
+//!   routing state into per-router forwarding tables (flood-and-prune vs
+//!   sparse-mode semantics),
+//! * [`scenario`] — the wired evaluation scenarios behind Figures 3–9,
+//! * [`applayer`] — SAP/RTCP application-layer observers, the comparison
+//!   point for the paper's network-layer argument.
+//!
+//! ## Timing model
+//!
+//! Protocol state evolves at the monitoring tick (default 15 minutes, the
+//! paper's collection interval), with protocol timers rescaled to keep
+//! mrouted's refresh/expiry ratios. This is the documented substitution
+//! for running every 60-second protocol timer across six simulated months:
+//! Mantra can only observe per-snapshot state, so sub-snapshot dynamics are
+//! not distinguishable in any figure.
+
+pub mod applayer;
+pub mod event;
+pub mod network;
+pub mod rng;
+pub mod scenario;
+pub mod session;
+pub mod trees;
+pub mod workload;
+
+pub use applayer::{AppLayerConfig, AppLayerMonitor, AppLayerView};
+pub use event::Event;
+pub use network::{LinkFilter, Network};
+pub use rng::SimRng;
+pub use scenario::{Scenario, SimConfig, Simulation};
+pub use session::{Session, SessionKind, SessionRegistry};
+pub use trees::TreeBuilder;
+pub use workload::{Workload, WorkloadConfig};

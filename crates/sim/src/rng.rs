@@ -1,0 +1,221 @@
+//! Deterministic randomness and the distributions the workload models draw
+//! from.
+//!
+//! Everything in the simulator is reproducible from a single `u64` seed.
+//! The heavy-tailed distributions (Pareto session lifetimes, Zipf group
+//! popularity) are implemented directly from inverse-CDF sampling on top of
+//! `rand`'s uniform generator, so no extra distribution crates are needed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The simulator's random source. A thin wrapper so call sites read as
+/// domain operations rather than generic RNG calls.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a seed; the same seed reproduces an entire
+    /// scenario bit-for-bit.
+    pub fn seeded(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child stream (used to decouple workload
+    /// randomness from failure-injection randomness so toggling one does
+    /// not shift the other).
+    pub fn fork(&mut self, stream: u64) -> SimRng {
+        let base: u64 = self.inner.gen();
+        SimRng::seeded(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[0, n)`; `n` must be nonzero.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform integer in `[lo, hi]`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Bernoulli trial.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// Exponential variate with the given mean (inverse-CDF).
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        let u = 1.0 - self.unit(); // avoid ln(0)
+        -mean * u.ln()
+    }
+
+    /// Bounded Pareto variate with scale `xm`, shape `alpha`, truncated at
+    /// `cap` — session lifetimes: most are short, a few run for days.
+    pub fn pareto(&mut self, xm: f64, alpha: f64, cap: f64) -> f64 {
+        debug_assert!(xm > 0.0 && alpha > 0.0 && cap >= xm);
+        let u = 1.0 - self.unit();
+        (xm / u.powf(1.0 / alpha)).min(cap)
+    }
+
+    /// Zipf-like rank sample over `n` items with exponent `s`: returns a
+    /// rank in `[0, n)` where low ranks are much more likely. Sampled by
+    /// inverting the (approximated) Zipf CDF via the harmonic integral.
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        debug_assert!(n > 0);
+        if n == 1 {
+            return 0;
+        }
+        // Integral approximation of the normalising constant.
+        let nf = n as f64;
+        let u = self.unit();
+        let rank = if (s - 1.0).abs() < 1e-9 {
+            // H(x) ~ ln(1+x); invert u * ln(1+n) = ln(1+x).
+            (u * (1.0 + nf).ln()).exp() - 1.0
+        } else {
+            // H(x) ~ ((1+x)^(1-s) - 1) / (1-s).
+            let h_n = ((1.0 + nf).powf(1.0 - s) - 1.0) / (1.0 - s);
+            ((u * h_n * (1.0 - s) + 1.0).powf(1.0 / (1.0 - s))) - 1.0
+        };
+        (rank.max(0.0) as usize).min(n - 1)
+    }
+
+    /// Poisson variate with the given mean (Knuth for small means, normal
+    /// approximation above 30 to stay O(1)).
+    pub fn poisson(&mut self, mean: f64) -> u64 {
+        debug_assert!(mean >= 0.0);
+        if mean <= 0.0 {
+            return 0;
+        }
+        if mean > 30.0 {
+            // Normal approximation with continuity correction.
+            let g = self.gaussian();
+            return (mean + mean.sqrt() * g).round().max(0.0) as u64;
+        }
+        let l = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.unit();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn gaussian(&mut self) -> f64 {
+        let u1 = (1.0 - self.unit()).max(f64::MIN_POSITIVE);
+        let u2 = self.unit();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Log-normal variate given the mean and sigma of the underlying
+    /// normal — sender data rates.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.gaussian()).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seeded(42);
+        let mut b = SimRng::seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.unit().to_bits(), b.unit().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seeded(1);
+        let mut b = SimRng::seeded(2);
+        let same = (0..32).filter(|_| a.unit() == b.unit()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn fork_streams_are_independent_of_draw_order() {
+        let mut a = SimRng::seeded(7);
+        let mut fork1 = a.fork(1);
+        let mut fork2 = a.fork(2);
+        assert_ne!(fork1.unit().to_bits(), fork2.unit().to_bits());
+    }
+
+    #[test]
+    fn exp_mean_is_close() {
+        let mut r = SimRng::seeded(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.exp(5.0)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_respects_bounds_and_tail() {
+        let mut r = SimRng::seeded(12);
+        let mut long = 0;
+        for _ in 0..10_000 {
+            let v = r.pareto(60.0, 1.2, 86_400.0);
+            assert!((60.0..=86_400.0).contains(&v));
+            if v > 3_600.0 {
+                long += 1;
+            }
+        }
+        // Heavy tail: a meaningful minority exceeds an hour.
+        assert!(long > 50 && long < 3_000, "long {long}");
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let mut r = SimRng::seeded(13);
+        let n = 50;
+        let mut counts = vec![0u32; n];
+        for _ in 0..20_000 {
+            counts[r.zipf(n, 1.2)] += 1;
+        }
+        assert!(counts[0] > counts[n / 2] * 3);
+        assert!(counts[0] > counts[n - 1]);
+        assert_eq!(r.zipf(1, 1.0), 0);
+    }
+
+    #[test]
+    fn poisson_small_and_large_means() {
+        let mut r = SimRng::seeded(14);
+        let n = 20_000;
+        let m: f64 = (0..n).map(|_| r.poisson(3.0) as f64).sum::<f64>() / n as f64;
+        assert!((m - 3.0).abs() < 0.1, "small mean {m}");
+        let m: f64 = (0..n).map(|_| r.poisson(100.0) as f64).sum::<f64>() / n as f64;
+        assert!((m - 100.0).abs() < 1.0, "large mean {m}");
+        assert_eq!(r.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seeded(15);
+        assert!((0..100).all(|_| !r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut r = SimRng::seeded(16);
+        for _ in 0..1_000 {
+            assert!(r.lognormal(3.0, 1.0) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Sessions and participants — the ground truth the monitoring tool tries
+//! to estimate.
+//!
+//! A *session* is a multicast group plus the set of hosts participating in
+//! it. Every participant emits at least control traffic (RTCP-style
+//! feedback, well under the 4 kbps threshold); *content senders* emit real
+//! data streams. This mirrors the paper's classification: the router's
+//! forwarding table holds `(S,G)` state for every participant-group pair,
+//! and Mantra tells senders from passive participants by rate.
+
+use std::collections::BTreeMap;
+
+use mantra_net::{BitRate, GroupAddr, HostId, IfaceId, Ip, RouterId, SimTime};
+
+/// Why a session exists; drives its lifetime and membership dynamics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionKind {
+    /// Short-lived single-member test sessions (the storms behind the
+    /// paper's spikes: one host opening hundreds of groups).
+    Experimental,
+    /// Ordinary content sessions: one or a few senders, a heavy-tailed
+    /// number of receivers.
+    Content,
+    /// Big, well-advertised events — the 43rd IETF broadcast of Figure 4.
+    Broadcast,
+}
+
+/// One participating host.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Participant {
+    /// The host.
+    pub host: HostId,
+    /// The router whose leaf subnet the host sits on.
+    pub router: RouterId,
+    /// The leaf interface on that router.
+    pub iface: IfaceId,
+    /// The host's address (inside the leaf /24).
+    pub addr: Ip,
+    /// Steady sending rate: control-level for passive participants,
+    /// content-level for senders.
+    pub rate: BitRate,
+    /// When the host joined.
+    pub joined: SimTime,
+}
+
+/// One live session.
+#[derive(Clone, Debug)]
+pub struct Session {
+    /// The session's group address.
+    pub group: GroupAddr,
+    /// Behavioural class.
+    pub kind: SessionKind,
+    /// Creation time.
+    pub created: SimTime,
+    /// Current participants by host.
+    pub participants: BTreeMap<HostId, Participant>,
+}
+
+impl Session {
+    /// Participants sending faster than `threshold` (content senders).
+    pub fn senders(&self, threshold: BitRate) -> impl Iterator<Item = &Participant> {
+        self.participants
+            .values()
+            .filter(move |p| p.rate.is_sender(threshold))
+    }
+
+    /// Number of participants (the session's *density*).
+    pub fn density(&self) -> usize {
+        self.participants.len()
+    }
+
+    /// Aggregate source rate of the session.
+    pub fn total_rate(&self) -> BitRate {
+        self.participants.values().map(|p| p.rate).sum()
+    }
+}
+
+/// The registry of live sessions; allocates group and host identities.
+#[derive(Clone, Debug, Default)]
+pub struct SessionRegistry {
+    sessions: BTreeMap<GroupAddr, Session>,
+    next_group: u32,
+    next_host: u32,
+    host_seq_per_leaf: BTreeMap<(RouterId, IfaceId), u32>,
+}
+
+impl SessionRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        SessionRegistry::default()
+    }
+
+    /// Creates a session on a fresh group address.
+    pub fn create(&mut self, kind: SessionKind, now: SimTime) -> GroupAddr {
+        let group = GroupAddr::from_index(self.next_group);
+        self.next_group = self.next_group.wrapping_add(1);
+        self.sessions.insert(
+            group,
+            Session {
+                group,
+                kind,
+                created: now,
+                participants: BTreeMap::new(),
+            },
+        );
+        group
+    }
+
+    /// Ends a session, returning it (if it was still live).
+    pub fn end(&mut self, group: GroupAddr) -> Option<Session> {
+        self.sessions.remove(&group)
+    }
+
+    /// Adds a participant on the given leaf; allocates the host identity
+    /// and an address inside the leaf's /24. Returns `None` when the
+    /// session has already ended.
+    pub fn join(
+        &mut self,
+        group: GroupAddr,
+        router: RouterId,
+        iface: IfaceId,
+        leaf_addr: Ip,
+        rate: BitRate,
+        now: SimTime,
+    ) -> Option<HostId> {
+        let session = self.sessions.get_mut(&group)?;
+        let host = HostId(self.next_host);
+        self.next_host = self.next_host.wrapping_add(1);
+        let seq = self.host_seq_per_leaf.entry((router, iface)).or_insert(0);
+        *seq = seq.wrapping_add(1);
+        // Hosts get .2 … .251 inside the leaf /24.
+        let addr = Ip((leaf_addr.0 & 0xFFFF_FF00) + 2 + (*seq % 250));
+        session.participants.insert(
+            host,
+            Participant {
+                host,
+                router,
+                iface,
+                addr,
+                rate,
+                joined: now,
+            },
+        );
+        Some(host)
+    }
+
+    /// Removes a participant; returns it if present.
+    pub fn leave(&mut self, group: GroupAddr, host: HostId) -> Option<Participant> {
+        self.sessions.get_mut(&group)?.participants.remove(&host)
+    }
+
+    /// A live session by group.
+    pub fn get(&self, group: GroupAddr) -> Option<&Session> {
+        self.sessions.get(&group)
+    }
+
+    /// Iterates live sessions in group order.
+    pub fn iter(&self) -> impl Iterator<Item = &Session> {
+        self.sessions.values()
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True when no session is live.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Total participants across all sessions.
+    pub fn participant_count(&self) -> usize {
+        self.sessions.values().map(|s| s.density()).sum()
+    }
+
+    /// Sessions with at least one sender above `threshold` — the paper's
+    /// *active sessions*.
+    pub fn active_count(&self, threshold: BitRate) -> usize {
+        self.sessions
+            .values()
+            .filter(|s| s.senders(threshold).next().is_some())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t0() -> SimTime {
+        SimTime::from_ymd(1998, 11, 1)
+    }
+
+    fn leaf() -> (RouterId, IfaceId, Ip) {
+        (RouterId(3), IfaceId(2), Ip::new(128, 1, 0, 1))
+    }
+
+    #[test]
+    fn create_join_leave_end() {
+        let mut reg = SessionRegistry::new();
+        let g = reg.create(SessionKind::Content, t0());
+        let (r, i, a) = leaf();
+        let h1 = reg.join(g, r, i, a, BitRate::from_kbps(128), t0()).unwrap();
+        let h2 = reg.join(g, r, i, a, BitRate::from_bps(800), t0()).unwrap();
+        assert_ne!(h1, h2);
+        assert_eq!(reg.get(g).unwrap().density(), 2);
+        assert_eq!(reg.participant_count(), 2);
+        let p = reg.leave(g, h2).unwrap();
+        assert_eq!(p.rate, BitRate::from_bps(800));
+        assert_eq!(reg.get(g).unwrap().density(), 1);
+        let s = reg.end(g).unwrap();
+        assert_eq!(s.participants.len(), 1);
+        assert!(reg.is_empty());
+        // Joining an ended session is a no-op.
+        assert!(reg.join(g, r, i, a, BitRate::ZERO, t0()).is_none());
+        assert!(reg.leave(g, h1).is_none());
+    }
+
+    #[test]
+    fn host_addresses_stay_inside_leaf() {
+        let mut reg = SessionRegistry::new();
+        let g = reg.create(SessionKind::Content, t0());
+        let (r, i, a) = leaf();
+        for _ in 0..300 {
+            let h = reg.join(g, r, i, a, BitRate::ZERO, t0()).unwrap();
+            let p = &reg.get(g).unwrap().participants[&h];
+            assert_eq!(p.addr.octets()[0..3], a.octets()[0..3]);
+            let last = p.addr.octets()[3];
+            assert!((2..=251).contains(&last));
+        }
+    }
+
+    #[test]
+    fn groups_are_unique_and_sequential() {
+        let mut reg = SessionRegistry::new();
+        let g1 = reg.create(SessionKind::Experimental, t0());
+        let g2 = reg.create(SessionKind::Experimental, t0());
+        assert_ne!(g1, g2);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn sender_classification_and_active_sessions() {
+        let mut reg = SessionRegistry::new();
+        let th = mantra_net::rate::SENDER_THRESHOLD;
+        let (r, i, a) = leaf();
+        let g1 = reg.create(SessionKind::Content, t0());
+        reg.join(g1, r, i, a, BitRate::from_kbps(64), t0());
+        reg.join(g1, r, i, a, BitRate::from_bps(900), t0());
+        let g2 = reg.create(SessionKind::Experimental, t0());
+        reg.join(g2, r, i, a, BitRate::from_bps(500), t0());
+        assert_eq!(reg.get(g1).unwrap().senders(th).count(), 1);
+        assert_eq!(reg.get(g2).unwrap().senders(th).count(), 0);
+        assert_eq!(reg.active_count(th), 1);
+        assert_eq!(
+            reg.get(g1).unwrap().total_rate(),
+            BitRate::from_bps(64_900)
+        );
+    }
+}

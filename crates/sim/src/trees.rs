@@ -1,0 +1,571 @@
+//! Distribution-tree computation and forwarding-state maintenance.
+//!
+//! Once per tick the builder recomputes, for every *monitored* router, the
+//! forwarding entries that router would hold in steady state, then folds
+//! them into its MFIB (creating entries, updating oif lists, accounting
+//! traffic) and lets entries that are no longer justified decay out through
+//! the cache-idle timeout — exactly how a real router's cache would follow
+//! the protocol state, sampled at the monitoring cadence.
+//!
+//! The protocol semantics encoded here are the paper's central contrast:
+//!
+//! * **DVMRP / flood-and-prune** — an `(S,G)` entry exists on *every*
+//!   router of the DVMRP region that has a reverse-path route to the
+//!   source, members or not (pruned entries have an empty oif list). This
+//!   is why pre-transition FIXW saw every experimental session in the
+//!   MBone.
+//! * **PIM-SM / sparse** — state exists only on routers along
+//!   member→RP shared-tree paths and source→interested-party shortest
+//!   paths, with interdomain interest gated on MSDP source-actives. This
+//!   is the "filtering" that stabilised FIXW's tables after the
+//!   transition.
+//!
+//! Only monitored routers materialise MFIB state: the tool under study can
+//! only scrape the routers it logs into, and skipping the rest keeps
+//! six-month scenarios tractable.
+
+use std::collections::BTreeMap;
+
+use mantra_net::{BitRate, GroupAddr, IfaceId, Ip, RouterId, SimDuration, SimTime};
+use mantra_protocols::mfib::{EntryOrigin, SourceGroup};
+
+use crate::network::{LinkFilter, Network, TreeHop};
+use crate::session::{Participant, SessionRegistry};
+
+/// How many ticks an unjustified cache entry survives before expiry.
+const CACHE_IDLE_TICKS: u64 = 2;
+
+#[derive(Clone, Debug)]
+struct Desired {
+    iif: IfaceId,
+    oifs: std::collections::BTreeSet<IfaceId>,
+    origin: EntryOrigin,
+    rate: BitRate,
+}
+
+/// Per-tick forwarding-state builder. Holds scratch allocations so the
+/// per-tick cost is dominated by the work, not allocator traffic.
+#[derive(Debug, Default)]
+pub struct TreeBuilder {
+    dvmrp_trees: BTreeMap<RouterId, Vec<Option<TreeHop>>>,
+    sparse_trees: BTreeMap<RouterId, Vec<Option<TreeHop>>>,
+    desired: BTreeMap<RouterId, BTreeMap<SourceGroup, Desired>>,
+}
+
+impl TreeBuilder {
+    /// Fresh builder.
+    pub fn new() -> Self {
+        TreeBuilder::default()
+    }
+
+    /// Recomputes and applies forwarding state for `monitored` routers.
+    ///
+    /// `dt` is the tick length (traffic is accounted for the whole tick).
+    pub fn rebuild(
+        &mut self,
+        net: &mut Network,
+        sessions: &SessionRegistry,
+        monitored: &[RouterId],
+        now: SimTime,
+        dt: SimDuration,
+    ) {
+        self.dvmrp_trees.clear();
+        self.sparse_trees.clear();
+        self.desired.clear();
+        for m in monitored {
+            self.desired.insert(*m, BTreeMap::new());
+        }
+
+        // Pass 1: per-source desired state, plus MSDP originations.
+        let mut originations: Vec<(RouterId, Ip, GroupAddr)> = Vec::new();
+        for session in sessions.iter() {
+            let group = session.group;
+            let members: Vec<&Participant> = session.participants.values().collect();
+            for p in &members {
+                self.source_state(net, group, p, &members, monitored, &mut originations);
+            }
+            // Shared-tree state for member domains (sparse only).
+            self.shared_tree_state(net, group, &members, monitored, now);
+        }
+        for (rp, src, group) in originations {
+            if let Some(e) = net.msdp[rp.index()].as_mut() {
+                e.originate(src, group, now);
+            }
+        }
+
+        // Pass 2: fold into the MFIBs.
+        for (router, wanted) in &self.desired {
+            let mfib = &mut net.mfib[router.index()];
+            for (key, d) in wanted {
+                let e = mfib.entry(*key, d.iif, d.origin, now);
+                e.iif = d.iif;
+                e.oifs = d.oifs.iter().copied().collect();
+                e.account_traffic(d.rate, dt.as_secs(), now);
+                if d.rate == BitRate::ZERO {
+                    // Protocol state keeps the entry alive even without
+                    // traffic (pruned/idle entries still show in the CLI).
+                    e.last_active = now;
+                }
+            }
+            // Entries no longer justified: decay their rate estimate, then
+            // expire them after the idle window.
+            let stale: Vec<SourceGroup> = mfib
+                .iter()
+                .filter(|e| !wanted.contains_key(&e.key))
+                .map(|e| e.key)
+                .collect();
+            for k in &stale {
+                if let Some(e) = mfib.get_mut(k) {
+                    e.rate = BitRate(e.rate.bps() / 2);
+                }
+            }
+            let cutoff = SimTime(now.as_secs().saturating_sub(dt.as_secs() * CACHE_IDLE_TICKS));
+            mfib.expire_idle(cutoff);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Per-source (S,G) state
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn source_state(
+        &mut self,
+        net: &Network,
+        group: GroupAddr,
+        p: &Participant,
+        members: &[&Participant],
+        monitored: &[RouterId],
+        originations: &mut Vec<(RouterId, Ip, GroupAddr)>,
+    ) {
+        let rs = p.router;
+        let src_sparse = net.topo.router(rs).suite.pim_sm;
+        let src_dvmrp = net.topo.router(rs).suite.dvmrp;
+
+        if src_dvmrp {
+            self.dvmrp_flood(net, group, p, rs, members, monitored, EntryOrigin::Dvmrp);
+        }
+        if src_sparse {
+            self.sparse_spt(net, group, p, rs, members, monitored, originations);
+        }
+        if !src_sparse {
+            // A DVMRP-side source crosses into the native world through a
+            // sparse-capable border in its component (FIXW's border role):
+            // the border registers the source with MSDP and serves as the
+            // SPT target for native-side interest.
+            if let Some(border) = self.dvmrp_border(net, rs) {
+                if net.msdp[border.index()].is_some() {
+                    originations.push((border, p.addr, group));
+                }
+                self.sparse_spt_from_entry(
+                    net, group, p, border, members, monitored, /*entry_iif*/ None,
+                );
+            }
+        }
+        if src_sparse {
+            // A native source reaches DVMRP-side members by the border
+            // pulling the stream and flooding it into the DVMRP region —
+            // but only when the region actually has members (the paper's
+            // post-transition filtering).
+            let borders: Vec<RouterId> = monitored
+                .iter()
+                .copied()
+                .chain(self.all_borders(net))
+                .filter(|b| net.topo.router(*b).suite.dvmrp && net.topo.router(*b).suite.pim_sm)
+                .collect();
+            for border in borders {
+                let has_dvmrp_members = {
+                    let tree = self.dvmrp_tree(net, border);
+                    members.iter().any(|m| {
+                        m.router != border
+                            && net.topo.router(m.router).suite.dvmrp
+                            && tree[m.router.index()].is_some()
+                    })
+                };
+                if has_dvmrp_members {
+                    self.dvmrp_flood(net, group, p, border, members, monitored, EntryOrigin::Dvmrp);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Flood-and-prune from entry router `root` (the source's first-hop
+    /// router, or a border re-injecting a native stream).
+    #[allow(clippy::too_many_arguments)]
+    fn dvmrp_flood(
+        &mut self,
+        net: &Network,
+        group: GroupAddr,
+        p: &Participant,
+        root: RouterId,
+        members: &[&Participant],
+        monitored: &[RouterId],
+        origin: EntryOrigin,
+    ) {
+        let key = SourceGroup::sg(p.addr, group);
+        let is_native_reinjection = root != p.router;
+        // Presence and iif for each monitored router.
+        for &m in monitored {
+            if !net.topo.router(m).suite.dvmrp {
+                continue;
+            }
+            let (present, iif) = {
+                let tree = self.dvmrp_tree(net, root);
+                if m == root {
+                    (
+                        true,
+                        if is_native_reinjection {
+                            // The stream arrives on the border's sparse side.
+                            net.topo
+                                .router(m)
+                                .ifaces
+                                .first()
+                                .map(|i| i.id)
+                                .unwrap_or(IfaceId(0))
+                        } else {
+                            p.iface
+                        },
+                    )
+                } else {
+                    match tree[m.index()] {
+                        Some(h) => (true, h.iface_to_parent),
+                        None => (false, IfaceId(0)),
+                    }
+                }
+            };
+            if !present {
+                continue;
+            }
+            // RPF check: a router whose DVMRP table lost the route to the
+            // source network drops the state (route instability bleeds
+            // into usage monitoring). Skipped for re-injected native
+            // sources, whose RPF points at the border's sparse side.
+            if !is_native_reinjection && m != p.router {
+                let ok = net.dvmrp[m.index()]
+                    .as_ref()
+                    .is_some_and(|e| e.rib.rpf(p.addr).is_some());
+                if !ok {
+                    continue;
+                }
+            }
+            let d = self
+                .desired
+                .get_mut(&m)
+                .expect("monitored")
+                .entry(key)
+                .or_insert(Desired {
+                    iif,
+                    oifs: Default::default(),
+                    origin,
+                    rate: BitRate::ZERO,
+                });
+            d.iif = iif;
+            // Local members deliver to their leaf interfaces.
+            for mem in members {
+                if mem.router == m && mem.host != p.host {
+                    d.oifs.insert(mem.iface);
+                }
+            }
+        }
+        // Branch oifs: walk each member's path to the root, marking the
+        // ifaces monitored ancestors use toward that member.
+        let tree = self.dvmrp_tree(net, root).clone();
+        let mut on_path: Vec<(RouterId, IfaceId)> = Vec::new();
+        for mem in members {
+            if mem.host == p.host || !net.topo.router(mem.router).suite.dvmrp {
+                continue;
+            }
+            let mut cur = mem.router;
+            let mut steps = 0;
+            while let Some(h) = tree[cur.index()] {
+                on_path.push((h.parent, h.parent_iface));
+                cur = h.parent;
+                steps += 1;
+                if steps > net.topo.router_count() {
+                    break;
+                }
+            }
+        }
+        for (router, oif) in on_path {
+            if let Some(wanted) = self.desired.get_mut(&router) {
+                if let Some(d) = wanted.get_mut(&key) {
+                    d.oifs.insert(oif);
+                }
+            }
+        }
+        // Traffic: the stream is observed at routers that forward it
+        // (non-empty oifs) and at the source's first-hop router.
+        let rate = p.rate;
+        for &m in monitored {
+            if let Some(d) = self.desired.get_mut(&m).and_then(|w| w.get_mut(&key)) {
+                if !d.oifs.is_empty() || m == p.router || (is_native_reinjection && m == root) {
+                    d.rate = rate;
+                }
+            }
+        }
+    }
+
+    /// Sparse-mode SPT state for a native source.
+    #[allow(clippy::too_many_arguments)]
+    fn sparse_spt(
+        &mut self,
+        net: &Network,
+        group: GroupAddr,
+        p: &Participant,
+        rs: RouterId,
+        members: &[&Participant],
+        monitored: &[RouterId],
+        originations: &mut Vec<(RouterId, Ip, GroupAddr)>,
+    ) {
+        // The source's RP registers it and originates the MSDP SA.
+        if let Some(rp) = net.pim_sm[rs.index()]
+            .as_ref()
+            .and_then(|e| e.rp_set.rp_for(group))
+        {
+            if net.msdp[rp.index()].is_some() {
+                originations.push((rp, p.addr, group));
+            }
+        }
+        self.sparse_spt_from_entry(net, group, p, rs, members, monitored, Some(p.iface));
+    }
+
+    /// Builds `(S,G)` sparse state on paths from interested routers to the
+    /// SPT entry point (`entry` = the source's first-hop router, or the
+    /// border standing in for a DVMRP-side source). `entry_iif` is the
+    /// interface traffic arrives on at the entry router (`None` = derive a
+    /// placeholder for border re-entry).
+    #[allow(clippy::too_many_arguments)]
+    fn sparse_spt_from_entry(
+        &mut self,
+        net: &Network,
+        group: GroupAddr,
+        p: &Participant,
+        entry: RouterId,
+        members: &[&Participant],
+        monitored: &[RouterId],
+        entry_iif: Option<IfaceId>,
+    ) {
+        let key = SourceGroup::sg(p.addr, group);
+        // Interested routers: the RP of the source's own domain, the RPs of
+        // member domains whose SA cache knows this source, and member
+        // routers themselves (immediate SPT switchover).
+        let mut interested: Vec<(RouterId, Option<IfaceId>)> = Vec::new();
+        if let Some(rp) = net.pim_sm[entry.index()]
+            .as_ref()
+            .and_then(|e| e.rp_set.rp_for(group))
+        {
+            if rp != entry {
+                interested.push((rp, None));
+            }
+        }
+        let entry_domain = net.topo.router(entry).domain;
+        let mut domains_seen = std::collections::BTreeSet::new();
+        for mem in members {
+            if mem.host == p.host || !net.topo.router(mem.router).suite.pim_sm {
+                continue;
+            }
+            let dom = net.topo.router(mem.router).domain;
+            let same_domain = dom == entry_domain;
+            // Interdomain interest requires the member domain's RP to have
+            // learned the source via MSDP.
+            let visible = same_domain || {
+                net.topo
+                    .domain(dom)
+                    .border
+                    .and_then(|b| {
+                        // The domain RP is the border in our topologies.
+                        net.msdp[b.index()].as_ref()
+                    })
+                    .is_some_and(|sa| sa.sources_for(group).contains(&p.addr))
+            };
+            if !visible {
+                continue;
+            }
+            interested.push((mem.router, Some(mem.iface)));
+            if !same_domain {
+                domains_seen.insert(dom);
+            }
+        }
+        for dom in domains_seen {
+            if let Some(rp) = net.topo.domain(dom).border {
+                interested.push((rp, None));
+            }
+        }
+        if interested.is_empty() {
+            // Still: the entry router itself holds (S,G) for a directly
+            // attached source (register state).
+            if entry == p.router {
+                if let Some(w) = self.desired.get_mut(&entry) {
+                    w.entry(key).or_insert(Desired {
+                        iif: entry_iif.unwrap_or(p.iface),
+                        oifs: Default::default(),
+                        origin: EntryOrigin::PimSm,
+                        rate: p.rate,
+                    });
+                }
+            }
+            return;
+        }
+        let tree = self.sparse_tree(net, entry).clone();
+        let monitored_set: std::collections::BTreeSet<RouterId> =
+            monitored.iter().copied().collect();
+        let mark =
+            |builder: &mut TreeBuilder, router: RouterId, iif: IfaceId, oif: Option<IfaceId>, rate: BitRate| {
+                if !monitored_set.contains(&router) {
+                    return;
+                }
+                let w = builder.desired.get_mut(&router).expect("monitored");
+                let d = w.entry(key).or_insert(Desired {
+                    iif,
+                    oifs: Default::default(),
+                    origin: if net.topo.router(p.router).suite.pim_sm {
+                        EntryOrigin::PimSm
+                    } else {
+                        EntryOrigin::Msdp
+                    },
+                    rate: BitRate::ZERO,
+                });
+                d.iif = iif;
+                if let Some(o) = oif {
+                    d.oifs.insert(o);
+                }
+                if rate > d.rate {
+                    d.rate = rate;
+                }
+            };
+        for (t, leaf) in interested {
+            if t == entry {
+                mark(
+                    self,
+                    entry,
+                    entry_iif.unwrap_or(IfaceId(0)),
+                    leaf,
+                    p.rate,
+                );
+                continue;
+            }
+            // The interested router itself.
+            if let Some(h) = tree[t.index()] {
+                mark(self, t, h.iface_to_parent, leaf, p.rate);
+                // Ancestors up to the entry.
+                let mut cur = t;
+                let mut steps = 0;
+                while let Some(h) = tree[cur.index()] {
+                    let parent_iif = match tree[h.parent.index()] {
+                        Some(ph) => ph.iface_to_parent,
+                        None => entry_iif.unwrap_or(IfaceId(0)),
+                    };
+                    mark(self, h.parent, parent_iif, Some(h.parent_iface), p.rate);
+                    cur = h.parent;
+                    steps += 1;
+                    if steps > net.topo.router_count() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Shared ((*,G)) trees
+    // ------------------------------------------------------------------
+
+    /// `(*,G)` state along member→RP paths inside native domains.
+    fn shared_tree_state(
+        &mut self,
+        net: &Network,
+        group: GroupAddr,
+        members: &[&Participant],
+        monitored: &[RouterId],
+        _now: SimTime,
+    ) {
+        let monitored_set: std::collections::BTreeSet<RouterId> =
+            monitored.iter().copied().collect();
+        let key = SourceGroup::star_g(group);
+        for mem in members {
+            let r = mem.router;
+            let Some(engine) = net.pim_sm[r.index()].as_ref() else {
+                continue;
+            };
+            let Some(rp) = engine.rp_set.rp_for(group) else {
+                continue;
+            };
+            let tree = self.sparse_tree(net, rp).clone();
+            let mark = |builder: &mut TreeBuilder,
+                            router: RouterId,
+                            iif: IfaceId,
+                            oif: Option<IfaceId>| {
+                if !monitored_set.contains(&router) {
+                    return;
+                }
+                let w = builder.desired.get_mut(&router).expect("monitored");
+                let d = w.entry(key).or_insert(Desired {
+                    iif,
+                    oifs: Default::default(),
+                    origin: EntryOrigin::PimSm,
+                    rate: BitRate::ZERO,
+                });
+                d.iif = iif;
+                if let Some(o) = oif {
+                    d.oifs.insert(o);
+                }
+            };
+            // The member router delivers locally.
+            let member_iif = tree[r.index()]
+                .map(|h| h.iface_to_parent)
+                .unwrap_or(mem.iface);
+            mark(self, r, member_iif, Some(mem.iface));
+            // Ancestors toward the RP.
+            let mut cur = r;
+            let mut steps = 0;
+            while let Some(h) = tree[cur.index()] {
+                let parent_iif = tree[h.parent.index()]
+                    .map(|ph| ph.iface_to_parent)
+                    .unwrap_or(IfaceId(0));
+                mark(self, h.parent, parent_iif, Some(h.parent_iface));
+                cur = h.parent;
+                steps += 1;
+                if steps > net.topo.router_count() {
+                    break;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Tree caches and helpers
+    // ------------------------------------------------------------------
+
+    fn dvmrp_tree(&mut self, net: &Network, root: RouterId) -> &Vec<Option<TreeHop>> {
+        self.dvmrp_trees
+            .entry(root)
+            .or_insert_with(|| net.bfs_tree(root, LinkFilter::Dvmrp))
+    }
+
+    fn sparse_tree(&mut self, net: &Network, root: RouterId) -> &Vec<Option<TreeHop>> {
+        self.sparse_trees
+            .entry(root)
+            .or_insert_with(|| net.bfs_tree(root, LinkFilter::Sparse))
+    }
+
+    /// A sparse-capable border inside the DVMRP component of `rs`.
+    fn dvmrp_border(&mut self, net: &Network, rs: RouterId) -> Option<RouterId> {
+        let tree = self.dvmrp_tree(net, rs);
+        (0..net.topo.router_count())
+            .map(|i| RouterId(i as u32))
+            .find(|r| {
+                (tree[r.index()].is_some() || *r == rs)
+                    && net.topo.router(*r).suite.pim_sm
+                    && net.topo.router(*r).suite.dvmrp
+            })
+    }
+
+    fn all_borders(&self, net: &Network) -> Vec<RouterId> {
+        net.topo
+            .domains()
+            .iter()
+            .filter_map(|d| d.border)
+            .collect()
+    }
+}

@@ -1,0 +1,195 @@
+//! The router-resident SNMP agent.
+//!
+//! An agent is a community string plus a MIB view: an ordered map from
+//! OIDs to values, rebuilt from router state at refresh time (real agents
+//! served cached table snapshots the same way). GET returns exact
+//! matches; GETNEXT returns the first binding strictly after the given
+//! OID — the primitive every period tool (`mstat`, `mrtree`) built table
+//! walks from; GETBULK batches GETNEXTs.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use crate::oid::Oid;
+use crate::types::{SnmpError, SnmpValue, VarBind};
+
+/// A router's SNMP agent.
+#[derive(Clone, Debug, Default)]
+pub struct Agent {
+    community: String,
+    view: BTreeMap<Oid, SnmpValue>,
+}
+
+impl Agent {
+    /// An agent with the given read community and an empty view.
+    pub fn new(community: impl Into<String>) -> Self {
+        Agent {
+            community: community.into(),
+            view: BTreeMap::new(),
+        }
+    }
+
+    /// Installs or replaces one binding (MIB builders call this).
+    pub fn bind(&mut self, oid: Oid, value: SnmpValue) {
+        self.view.insert(oid, value);
+    }
+
+    /// Number of bindings in the view.
+    pub fn len(&self) -> usize {
+        self.view.len()
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.view.is_empty()
+    }
+
+    /// Clears the view (before a rebuild).
+    pub fn clear(&mut self) {
+        self.view.clear();
+    }
+
+    fn check_community(&self, community: &str) -> Result<(), SnmpError> {
+        if community == self.community {
+            Ok(())
+        } else {
+            Err(SnmpError::BadCommunity)
+        }
+    }
+
+    /// GET: the exact binding.
+    pub fn get(&self, community: &str, oid: &Oid) -> Result<SnmpValue, SnmpError> {
+        self.check_community(community)?;
+        self.view
+            .get(oid)
+            .cloned()
+            .ok_or_else(|| SnmpError::NoSuchName(oid.clone()))
+    }
+
+    /// GETNEXT: the first binding strictly after `oid`.
+    pub fn get_next(&self, community: &str, oid: &Oid) -> Result<VarBind, SnmpError> {
+        self.check_community(community)?;
+        self.view
+            .range((Bound::Excluded(oid.clone()), Bound::Unbounded))
+            .next()
+            .map(|(o, v)| (o.clone(), v.clone()))
+            .ok_or(SnmpError::EndOfMib)
+    }
+
+    /// GETBULK: up to `max_repetitions` successive bindings after `oid`.
+    pub fn get_bulk(
+        &self,
+        community: &str,
+        oid: &Oid,
+        max_repetitions: usize,
+    ) -> Result<Vec<VarBind>, SnmpError> {
+        self.check_community(community)?;
+        Ok(self
+            .view
+            .range((Bound::Excluded(oid.clone()), Bound::Unbounded))
+            .take(max_repetitions)
+            .map(|(o, v)| (o.clone(), v.clone()))
+            .collect())
+    }
+
+    /// Walks an entire subtree (successive GETNEXTs bounded by the root).
+    pub fn walk(&self, community: &str, root: &Oid) -> Result<Vec<VarBind>, SnmpError> {
+        self.check_community(community)?;
+        let mut out = Vec::new();
+        let mut cur = root.clone();
+        loop {
+            match self.get_next(community, &cur) {
+                Ok((oid, value)) => {
+                    if !root.contains(&oid) {
+                        break;
+                    }
+                    cur = oid.clone();
+                    out.push((oid, value));
+                }
+                Err(SnmpError::EndOfMib) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid(s: &str) -> Oid {
+        s.parse().unwrap()
+    }
+
+    fn agent() -> Agent {
+        let mut a = Agent::new("public");
+        a.bind(oid("1.3.6.1.2.1.1.1.0"), SnmpValue::OctetString("fixw".into()));
+        a.bind(oid("1.3.6.1.2.1.83.1.1.2.1"), SnmpValue::Counter(10));
+        a.bind(oid("1.3.6.1.2.1.83.1.1.2.2"), SnmpValue::Counter(20));
+        a.bind(oid("1.3.6.1.2.1.83.1.1.2.3"), SnmpValue::Counter(30));
+        a.bind(oid("1.3.6.1.2.1.85.1.1.1"), SnmpValue::Integer(1));
+        a
+    }
+
+    #[test]
+    fn get_exact_and_missing() {
+        let a = agent();
+        assert_eq!(
+            a.get("public", &oid("1.3.6.1.2.1.1.1.0")),
+            Ok(SnmpValue::OctetString("fixw".into()))
+        );
+        assert_eq!(
+            a.get("public", &oid("1.3.6.1.2.1.9.9.9")),
+            Err(SnmpError::NoSuchName(oid("1.3.6.1.2.1.9.9.9")))
+        );
+    }
+
+    #[test]
+    fn community_checked_everywhere() {
+        let a = agent();
+        assert_eq!(
+            a.get("private", &oid("1.3.6.1.2.1.1.1.0")),
+            Err(SnmpError::BadCommunity)
+        );
+        assert_eq!(
+            a.get_next("wrong", &oid("1.3")),
+            Err(SnmpError::BadCommunity)
+        );
+        assert_eq!(a.walk("wrong", &oid("1.3")), Err(SnmpError::BadCommunity));
+    }
+
+    #[test]
+    fn get_next_walks_in_order() {
+        let a = agent();
+        let (o1, _) = a.get_next("public", &oid("1.3.6.1.2.1.83.1.1.2")).unwrap();
+        assert_eq!(o1, oid("1.3.6.1.2.1.83.1.1.2.1"));
+        let (o2, v2) = a.get_next("public", &o1).unwrap();
+        assert_eq!(o2, oid("1.3.6.1.2.1.83.1.1.2.2"));
+        assert_eq!(v2, SnmpValue::Counter(20));
+        // Past the last binding: end of MIB.
+        assert_eq!(
+            a.get_next("public", &oid("1.3.6.1.2.1.85.1.1.1")),
+            Err(SnmpError::EndOfMib)
+        );
+    }
+
+    #[test]
+    fn walk_is_subtree_bounded() {
+        let a = agent();
+        let rows = a.walk("public", &oid("1.3.6.1.2.1.83")).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|(o, _)| oid("1.3.6.1.2.1.83").contains(o)));
+        // A walk of a missing subtree is empty, not an error.
+        assert!(a.walk("public", &oid("1.3.6.1.2.1.84")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn get_bulk_batches() {
+        let a = agent();
+        let rows = a.get_bulk("public", &oid("1.3.6.1.2.1"), 2).unwrap();
+        assert_eq!(rows.len(), 2);
+        let all = a.get_bulk("public", &oid("0"), 100).unwrap();
+        assert_eq!(all.len(), a.len());
+    }
+}

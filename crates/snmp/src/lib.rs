@@ -1,0 +1,34 @@
+//! The SNMP collection path — the one Mantra deliberately did *not* take.
+//!
+//! Section II of the paper explains the choice: SNMP was the standard
+//! management mechanism, and the Merit tool suite (`mstat`, `mrtree`,
+//! `mview`) used it, but "there is a lack of updated standards and
+//! Management Information Bases (MIBs) for the newer multicast protocols.
+//! In cases of protocols like MSDP, proper MIBs do not even exist."
+//!
+//! To make that argument reproducible rather than rhetorical, this crate
+//! implements a period-accurate SNMP stack over the simulated routers:
+//!
+//! * [`oid`] — object identifiers with lexicographic ordering,
+//! * [`types`] — SNMPv2 value/PDU types (sans BER wire encoding: the
+//!   interesting behaviour is in the MIB views, not the octet framing),
+//! * [`agent`] — a router-resident agent serving GET / GETNEXT / GETBULK
+//!   over a MIB view with community-string checks,
+//! * [`mib`] — the MIB modules a 1998 multicast router actually had:
+//!   MIB-II system, IPMROUTE-STD-MIB (RFC 2932 draft), the DVMRP MIB
+//!   draft and the IGMP MIB — and pointedly *nothing* for MSDP or MBGP,
+//! * [`manager`] — `mstat`-style table walks and an alternative
+//!   SNMP-based collector producing Mantra's local tables, so the two
+//!   collection paths can be compared head-to-head (see the
+//!   `snmp_vs_cli` integration test and the `collection_paths` example).
+
+pub mod agent;
+pub mod manager;
+pub mod mib;
+pub mod oid;
+pub mod types;
+
+pub use agent::Agent;
+pub use manager::{snmp_collect, Manager};
+pub use oid::Oid;
+pub use types::{SnmpError, SnmpValue};

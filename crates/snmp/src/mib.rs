@@ -1,0 +1,273 @@
+//! The MIB modules a 1998 multicast router exposed — and the ones it
+//! didn't.
+//!
+//! Implemented (as the period drafts/RFCs defined them, columns reduced to
+//! the ones the Merit tools actually read):
+//!
+//! * MIB-II `system` — sysDescr / sysUpTime / sysName,
+//! * `IPMROUTE-STD-MIB` (RFC 2932 draft), `ipMRouteTable` — the multicast
+//!   forwarding table with packet/octet **counters** (not rates: deriving
+//!   a rate needs two polls, one of SNMP's real operational costs),
+//! * the DVMRP MIB draft (experimental subtree), `dvmrpRouteTable`,
+//! * `IGMP-STD-MIB` (RFC 2933 draft), `igmpCacheTable`.
+//!
+//! Deliberately absent, as they were in 1998–99: **any MSDP MIB** ("proper
+//! MIBs do not even exist" — the paper), any MBGP multicast RIB view, and
+//! a deployed PIM MIB. An SNMP-based monitor therefore cannot see the
+//! SA cache or interdomain routing no matter how it polls — the
+//! reproduction of the paper's core argument for CLI scraping.
+
+use mantra_net::{RouterId, SimTime};
+use mantra_sim::Network;
+
+use crate::agent::Agent;
+use crate::oid::Oid;
+use crate::types::SnmpValue;
+
+/// `mgmt.mib-2.system`.
+pub fn system_base() -> Oid {
+    Oid::mib2().child([1])
+}
+
+/// `ipMRouteEntry`: `mib-2.83.1.1.2.1`.
+pub fn ip_mroute_entry() -> Oid {
+    Oid::mib2().child([83, 1, 1, 2, 1])
+}
+
+/// `dvmrpRouteEntry` under the experimental DVMRP MIB: `1.3.6.1.3.62.1.3.1`.
+pub fn dvmrp_route_entry() -> Oid {
+    Oid::experimental().child([62, 1, 3, 1])
+}
+
+/// `igmpCacheEntry`: `mib-2.85.1.2.1`.
+pub fn igmp_cache_entry() -> Oid {
+    Oid::mib2().child([85, 1, 2, 1])
+}
+
+/// Columns of `ipMRouteEntry` we populate.
+pub mod mroute_columns {
+    /// ipMRouteUpstreamNeighbor.
+    pub const UPSTREAM: u32 = 4;
+    /// ipMRouteInIfIndex.
+    pub const IIF: u32 = 5;
+    /// ipMRouteUpTime.
+    pub const UPTIME: u32 = 6;
+    /// ipMRoutePkts.
+    pub const PKTS: u32 = 8;
+    /// ipMRouteOctets.
+    pub const OCTETS: u32 = 10;
+}
+
+/// Columns of `dvmrpRouteEntry` we populate.
+pub mod dvmrp_columns {
+    /// dvmrpRouteUpstreamNeighbor.
+    pub const UPSTREAM: u32 = 3;
+    /// dvmrpRouteMetric.
+    pub const METRIC: u32 = 5;
+    /// dvmrpRouteExpiryTime.
+    pub const EXPIRY: u32 = 6;
+}
+
+/// Rebuilds `agent`'s MIB view from the router's current state.
+///
+/// Mirrors how real agents worked: the view is a snapshot of the kernel
+/// tables at refresh time, with the same staleness properties the paper
+/// notes for cached router state.
+pub fn refresh_agent(agent: &mut Agent, net: &Network, router: RouterId, now: SimTime) {
+    agent.clear();
+    let r = net.topo.router(router);
+
+    // system group.
+    let sys = system_base();
+    let descr = if r.suite.dvmrp && !r.suite.pim_sm {
+        "mrouted 3.9-beta3 / SunOS 5.6"
+    } else {
+        "IOS (tm) 11.2(11)GS multicast border"
+    };
+    agent.bind(sys.child([1, 0]), SnmpValue::OctetString(descr.into()));
+    agent.bind(
+        sys.child([3, 0]),
+        SnmpValue::TimeTicks(now.as_secs().saturating_mul(100) % u64::from(u32::MAX)),
+    );
+    agent.bind(sys.child([5, 0]), SnmpValue::OctetString(r.name.clone()));
+
+    // ipMRouteTable from the MFIB. Index: group.source.sourceMask.
+    let entry = ip_mroute_entry();
+    for e in net.mfib[router.index()].iter() {
+        if e.key.is_wildcard() {
+            continue; // RFC 2932 represents (*,G) with zero source+mask;
+                      // period agents rarely did — skip as they did.
+        }
+        let index: Vec<u32> = e
+            .key
+            .group
+            .ip()
+            .octets()
+            .iter()
+            .chain(e.key.source.octets().iter())
+            .chain([255u8, 255, 255, 255].iter())
+            .map(|b| u32::from(*b))
+            .collect();
+        let col = |c: u32| {
+            let mut v = vec![c];
+            v.extend(index.iter().copied());
+            entry.child(v)
+        };
+        let upstream = net
+            .topo
+            .router(router)
+            .ifaces
+            .get(e.iif.index())
+            .map(|i| i.addr)
+            .unwrap_or(mantra_net::Ip::UNSPECIFIED);
+        agent.bind(col(mroute_columns::UPSTREAM), SnmpValue::IpAddress(upstream));
+        agent.bind(
+            col(mroute_columns::IIF),
+            SnmpValue::Integer(i64::from(e.iif.0) + 1),
+        );
+        agent.bind(
+            col(mroute_columns::UPTIME),
+            SnmpValue::TimeTicks(now.since(e.created).as_secs() * 100),
+        );
+        agent.bind(col(mroute_columns::PKTS), SnmpValue::Counter(e.packets));
+        agent.bind(col(mroute_columns::OCTETS), SnmpValue::Counter(e.bytes));
+    }
+
+    // dvmrpRouteTable from the DVMRP RIB. Index: source-net.source-mask.
+    if let Some(engine) = net.dvmrp[router.index()].as_ref() {
+        let entry = dvmrp_route_entry();
+        for route in engine.rib.iter() {
+            let index: Vec<u32> = route
+                .prefix
+                .network()
+                .octets()
+                .iter()
+                .chain(route.prefix.netmask().octets().iter())
+                .map(|b| u32::from(*b))
+                .collect();
+            let col = |c: u32| {
+                let mut v = vec![c];
+                v.extend(index.iter().copied());
+                entry.child(v)
+            };
+            let upstream = route
+                .next_hop
+                .map(|h| net.topo.router(h).addr)
+                .unwrap_or(mantra_net::Ip::UNSPECIFIED);
+            agent.bind(col(dvmrp_columns::UPSTREAM), SnmpValue::IpAddress(upstream));
+            agent.bind(
+                col(dvmrp_columns::METRIC),
+                SnmpValue::Integer(i64::from(route.metric.min(32))),
+            );
+            let expiry = if route.is_reachable() {
+                engine
+                    .timers
+                    .route_expiry
+                    .as_secs()
+                    .saturating_sub(now.since(route.last_refresh).as_secs())
+            } else {
+                0
+            };
+            agent.bind(col(dvmrp_columns::EXPIRY), SnmpValue::TimeTicks(expiry * 100));
+        }
+    }
+
+    // igmpCacheTable. Index: group.ifIndex.
+    let entry = igmp_cache_entry();
+    for (iface, group, m) in net.igmp[router.index()].iter() {
+        let mut index: Vec<u32> = group.ip().octets().iter().map(|b| u32::from(*b)).collect();
+        index.push(iface.0 + 1);
+        let col = |c: u32| {
+            let mut v = vec![c];
+            v.extend(index.iter().copied());
+            entry.child(v)
+        };
+        // igmpCacheSelf: the router itself is not a member.
+        agent.bind(col(2), SnmpValue::Integer(2));
+        agent.bind(
+            col(7),
+            SnmpValue::TimeTicks(now.since(m.since).as_secs() * 100),
+        );
+    }
+
+    // And that is all: no MSDP subtree, no MBGP multicast RIB, no PIM
+    // tables. GETNEXT past the IGMP cache falls off the end of the MIB.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mantra_net::SimDuration;
+    use mantra_sim::Scenario;
+
+    fn warmed() -> (mantra_sim::Scenario, SimTime) {
+        let mut sc = Scenario::transition_snapshot(61, 0.5);
+        let t = sc.sim.clock + SimDuration::hours(6);
+        sc.sim.advance_to(t);
+        (sc, t)
+    }
+
+    #[test]
+    fn view_has_system_mroute_and_dvmrp() {
+        let (sc, now) = warmed();
+        let mut agent = Agent::new("public");
+        refresh_agent(&mut agent, &sc.sim.net, sc.fixw, now);
+        assert!(agent.len() > 50, "bindings: {}", agent.len());
+        // sysName round trip.
+        let name = agent.get("public", &system_base().child([5, 0])).unwrap();
+        assert_eq!(name, SnmpValue::OctetString("fixw".into()));
+        // Both tables walkable.
+        let mroute = agent.walk("public", &ip_mroute_entry()).unwrap();
+        assert!(!mroute.is_empty());
+        let dvmrp = agent.walk("public", &dvmrp_route_entry()).unwrap();
+        assert!(!dvmrp.is_empty());
+        // Five columns per mroute entry.
+        assert_eq!(mroute.len() % 5, 0);
+        // Three columns per dvmrp route.
+        assert_eq!(dvmrp.len() % 3, 0);
+    }
+
+    #[test]
+    fn no_msdp_or_mbgp_subtrees_exist() {
+        let (sc, now) = warmed();
+        let mut agent = Agent::new("public");
+        refresh_agent(&mut agent, &sc.sim.net, sc.fixw, now);
+        // The MSDP MIB that would later become RFC 4624 draft space, and
+        // any hypothetical MBGP view: nothing there.
+        for missing in ["1.3.6.1.3.92", "1.3.6.1.2.1.92", "1.3.6.1.2.1.15"] {
+            let rows = agent.walk("public", &missing.parse().unwrap()).unwrap();
+            assert!(rows.is_empty(), "subtree {missing} must be absent");
+        }
+        // Even though the router itself *does* have an SA cache.
+        assert!(sc.sim.net.msdp[sc.fixw.index()].as_ref().unwrap().len() > 0);
+    }
+
+    #[test]
+    fn counters_are_counters_not_rates() {
+        let (sc, now) = warmed();
+        let mut agent = Agent::new("public");
+        refresh_agent(&mut agent, &sc.sim.net, sc.fixw, now);
+        let rows = agent.walk("public", &ip_mroute_entry()).unwrap();
+        // Octet columns exist and are monotone counters (non-zero for
+        // active entries), but nothing in the view is a rate.
+        let octets: Vec<u64> = rows
+            .iter()
+            .filter(|(o, _)| o.suffix(&ip_mroute_entry()).unwrap()[0] == mroute_columns::OCTETS)
+            .filter_map(|(_, v)| v.as_u64())
+            .collect();
+        assert!(!octets.is_empty());
+        assert!(octets.iter().any(|b| *b > 0));
+    }
+
+    #[test]
+    fn mrouted_style_router_reports_mrouted_sysdescr() {
+        let (sc, now) = warmed();
+        let mut agent = Agent::new("public");
+        refresh_agent(&mut agent, &sc.sim.net, sc.ucsb, now);
+        let descr = agent.get("public", &system_base().child([1, 0])).unwrap();
+        match descr {
+            SnmpValue::OctetString(s) => assert!(s.contains("mrouted"), "{s}"),
+            other => panic!("wrong type {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Object identifiers.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// An SNMP object identifier: a sequence of sub-identifiers, ordered
+/// lexicographically (the order GETNEXT walks in).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Oid(pub Vec<u32>);
+
+impl Oid {
+    /// Builds from sub-identifiers.
+    pub fn new(parts: impl Into<Vec<u32>>) -> Self {
+        Oid(parts.into())
+    }
+
+    /// The standard `mgmt.mib-2` prefix `1.3.6.1.2.1`.
+    pub fn mib2() -> Self {
+        Oid(vec![1, 3, 6, 1, 2, 1])
+    }
+
+    /// The experimental subtree `1.3.6.1.3`, where the DVMRP MIB draft
+    /// lived.
+    pub fn experimental() -> Self {
+        Oid(vec![1, 3, 6, 1, 3])
+    }
+
+    /// Child OID: `self` with extra sub-identifiers appended.
+    pub fn child(&self, parts: impl IntoIterator<Item = u32>) -> Oid {
+        let mut v = self.0.clone();
+        v.extend(parts);
+        Oid(v)
+    }
+
+    /// True when `self` is a prefix of `other` (subtree containment).
+    pub fn contains(&self, other: &Oid) -> bool {
+        other.0.len() >= self.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// The sub-identifiers after prefix `root`, if contained.
+    pub fn suffix(&self, root: &Oid) -> Option<&[u32]> {
+        if root.contains(self) {
+            Some(&self.0[root.0.len()..])
+        } else {
+            None
+        }
+    }
+
+    /// Encodes an IPv4 address as four sub-identifiers (standard MIB
+    /// index form).
+    pub fn push_ip(&self, ip: mantra_net::Ip) -> Oid {
+        self.child(ip.octets().map(u32::from))
+    }
+
+    /// Decodes four sub-identifiers starting at `at` as an IPv4 address.
+    pub fn ip_at(&self, at: usize) -> Option<mantra_net::Ip> {
+        let o = self.0.get(at..at + 4)?;
+        if o.iter().any(|x| *x > 255) {
+            return None;
+        }
+        Some(mantra_net::Ip::new(
+            o[0] as u8, o[1] as u8, o[2] as u8, o[3] as u8,
+        ))
+    }
+
+    /// Number of sub-identifiers.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the empty OID.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for p in &self.0 {
+            if !first {
+                write!(f, ".")?;
+            }
+            write!(f, "{p}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Oid({self})")
+    }
+}
+
+impl FromStr for Oid {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut v = Vec::new();
+        for part in s.trim_start_matches('.').split('.') {
+            v.push(part.parse().map_err(|_| ())?);
+        }
+        Ok(Oid(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mantra_net::Ip;
+
+    #[test]
+    fn display_parse_round_trip() {
+        let o: Oid = "1.3.6.1.2.1.83.1.1.2".parse().unwrap();
+        assert_eq!(o.to_string(), "1.3.6.1.2.1.83.1.1.2");
+        assert_eq!(".1.3.6".parse::<Oid>().unwrap(), Oid::new([1, 3, 6]));
+        assert!("1.3.x".parse::<Oid>().is_err());
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a: Oid = "1.3.6.1".parse().unwrap();
+        let b: Oid = "1.3.6.1.2".parse().unwrap();
+        let c: Oid = "1.3.6.2".parse().unwrap();
+        assert!(a < b, "prefix sorts before extension");
+        assert!(b < c);
+    }
+
+    #[test]
+    fn containment_and_suffix() {
+        let root = Oid::mib2();
+        let leaf = root.child([83, 1, 1, 2, 224]);
+        assert!(root.contains(&leaf));
+        assert!(!leaf.contains(&root));
+        assert_eq!(leaf.suffix(&root), Some(&[83u32, 1, 1, 2, 224][..]));
+        assert_eq!(root.suffix(&leaf), None);
+    }
+
+    #[test]
+    fn ip_index_round_trip() {
+        let base = Oid::new([1, 3]);
+        let with_ip = base.push_ip(Ip::new(224, 2, 0, 9));
+        assert_eq!(with_ip.to_string(), "1.3.224.2.0.9");
+        assert_eq!(with_ip.ip_at(2), Some(Ip::new(224, 2, 0, 9)));
+        assert_eq!(with_ip.ip_at(3), None, "runs past the end");
+        let bad = Oid::new([1, 3, 999, 0, 0, 1]);
+        assert_eq!(bad.ip_at(2), None);
+    }
+}

@@ -1,0 +1,100 @@
+//! SNMPv2 value and protocol types.
+//!
+//! The wire format (BER/DER) is deliberately not modelled: what the
+//! reproduction needs is MIB *content* and GETNEXT *semantics*, which is
+//! where the paper's "SNMP is not enough" argument lives.
+
+use serde::{Deserialize, Serialize};
+
+use mantra_net::Ip;
+
+use crate::oid::Oid;
+
+/// An SNMP variable binding value.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SnmpValue {
+    /// INTEGER / Integer32.
+    Integer(i64),
+    /// Counter32/64 (monotonic).
+    Counter(u64),
+    /// Gauge32 (instantaneous level, e.g. a rate).
+    Gauge(u64),
+    /// TimeTicks (hundredths of a second).
+    TimeTicks(u64),
+    /// IpAddress.
+    IpAddress(Ip),
+    /// OCTET STRING (textual convention where applicable).
+    OctetString(String),
+    /// OBJECT IDENTIFIER.
+    ObjectId(Oid),
+}
+
+impl SnmpValue {
+    /// Numeric view, when the type has one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            SnmpValue::Integer(v) => u64::try_from(*v).ok(),
+            SnmpValue::Counter(v) | SnmpValue::Gauge(v) | SnmpValue::TimeTicks(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// IpAddress view.
+    pub fn as_ip(&self) -> Option<Ip> {
+        match self {
+            SnmpValue::IpAddress(ip) => Some(*ip),
+            _ => None,
+        }
+    }
+}
+
+/// SNMP request outcomes (the v1-era error-status vocabulary the period
+/// tools keyed on).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SnmpError {
+    /// Wrong community string: agents silently drop in v1; we surface it.
+    BadCommunity,
+    /// GET on a missing object.
+    NoSuchName(Oid),
+    /// GETNEXT walked off the end of the MIB view.
+    EndOfMib,
+}
+
+impl std::fmt::Display for SnmpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnmpError::BadCommunity => write!(f, "bad community string"),
+            SnmpError::NoSuchName(o) => write!(f, "noSuchName: {o}"),
+            SnmpError::EndOfMib => write!(f, "end of MIB view"),
+        }
+    }
+}
+
+impl std::error::Error for SnmpError {}
+
+/// One variable binding.
+pub type VarBind = (Oid, SnmpValue);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(SnmpValue::Integer(5).as_u64(), Some(5));
+        assert_eq!(SnmpValue::Integer(-5).as_u64(), None);
+        assert_eq!(SnmpValue::Counter(9).as_u64(), Some(9));
+        assert_eq!(SnmpValue::Gauge(7).as_u64(), Some(7));
+        assert_eq!(SnmpValue::OctetString("x".into()).as_u64(), None);
+        let ip = Ip::new(10, 0, 0, 1);
+        assert_eq!(SnmpValue::IpAddress(ip).as_ip(), Some(ip));
+        assert_eq!(SnmpValue::Integer(1).as_ip(), None);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = SnmpError::NoSuchName("1.3.6".parse().unwrap());
+        assert!(e.to_string().contains("1.3.6"));
+        assert!(SnmpError::BadCommunity.to_string().contains("community"));
+    }
+}

@@ -1,0 +1,26 @@
+//! The period multicast diagnostic toolbox.
+//!
+//! Section II-C of the paper surveys the tools operators actually had:
+//! `mrinfo` (a router's multicast interfaces and DVMRP neighbors),
+//! `mwatch` (recursive `mrinfo` to map the whole MBone), `mtrace` (the
+//! multicast path-trace facility) and Merit's `mrtree` (a session's
+//! distribution tree via cascaded router queries). They are the
+//! "special implementation in the routers" school of monitoring that
+//! Mantra complements. This crate implements all four over the simulated
+//! internetwork, with text output shaped like the originals.
+//!
+//! * [`mod@mrinfo`] — interface/neighbor enumeration,
+//! * [`mod@mwatch`] — recursive topology discovery,
+//! * [`mod@mtrace`] — receiver-to-source RPF path tracing with per-hop
+//!   diagnostics and the real tool's failure modes,
+//! * [`mod@mrtree`] — distribution-tree discovery for an `(S,G)`.
+
+pub mod mrinfo;
+pub mod mrtree;
+pub mod mtrace;
+pub mod mwatch;
+
+pub use mrinfo::{mrinfo, MrinfoReport};
+pub use mrtree::{mrtree, TreeNode};
+pub use mtrace::{mtrace, MtraceHop, MtraceOutcome};
+pub use mwatch::{mwatch, MwatchReport};

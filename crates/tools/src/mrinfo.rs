@@ -1,0 +1,188 @@
+//! `mrinfo`: ask a multicast router about its interfaces and neighbors.
+//!
+//! The real tool sends a DVMRP ASK_NEIGHBORS2 IGMP message and formats
+//! the reply; routers answer with one line per vif listing the local and
+//! remote addresses, metric, threshold and flags. `mwatch` and several
+//! MBone mapping efforts were built on exactly this.
+
+use mantra_net::{Ip, RouterId};
+use mantra_sim::Network;
+use mantra_topology::IfaceKind;
+
+/// One interface line of an mrinfo reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MrinfoIface {
+    /// Local interface address.
+    pub local: Ip,
+    /// Remote neighbor address (tunnels/physical) or the subnet itself
+    /// (leaf interfaces).
+    pub remote: Ip,
+    /// DVMRP metric.
+    pub metric: u32,
+    /// TTL threshold.
+    pub threshold: u8,
+    /// `tunnel`, `querier`, `down`… flags as the real output shows them.
+    pub flags: Vec<&'static str>,
+    /// The neighboring router, when one is attached and reachable.
+    pub neighbor: Option<RouterId>,
+}
+
+/// A parsed mrinfo reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MrinfoReport {
+    /// The queried router.
+    pub router: RouterId,
+    /// Its primary address.
+    pub addr: Ip,
+    /// Version banner (mrouted version or IOS).
+    pub version: String,
+    /// Interface lines.
+    pub ifaces: Vec<MrinfoIface>,
+}
+
+impl MrinfoReport {
+    /// Neighbors with live adjacency (what mwatch recurses over).
+    pub fn live_neighbors(&self) -> impl Iterator<Item = RouterId> + '_ {
+        self.ifaces
+            .iter()
+            .filter(|i| !i.flags.contains(&"down"))
+            .filter_map(|i| i.neighbor)
+    }
+
+    /// Renders in the real tool's shape.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{} ({}) [version {}]:", self.addr, self.router, self.version);
+        for i in &self.ifaces {
+            let flags = if i.flags.is_empty() {
+                String::new()
+            } else {
+                format!(" [{}]", i.flags.join("/"))
+            };
+            let _ = writeln!(
+                out,
+                "  {} -> {} ({}) [{}/{}]{}",
+                i.local,
+                i.remote,
+                i.neighbor.map(|n| n.to_string()).unwrap_or_else(|| "local".into()),
+                i.metric,
+                i.threshold,
+                flags,
+            );
+        }
+        out
+    }
+}
+
+/// Queries `router`. Returns `None` when the router does not speak DVMRP
+/// (the real tool times out against non-multicast routers).
+pub fn mrinfo(net: &Network, router: RouterId) -> Option<MrinfoReport> {
+    let r = net.topo.router(router);
+    if !r.suite.dvmrp && !r.suite.pim_dm && !r.suite.pim_sm {
+        return None;
+    }
+    let version = if r.suite.dvmrp && !r.suite.pim_sm {
+        "3.255,genid,prune,mtrace".to_string()
+    } else {
+        "11.2,prune,mtrace,snmp".to_string()
+    };
+    let mut ifaces = Vec::new();
+    // Link-attached interfaces.
+    for l in net.topo.links_of(router) {
+        let local_ep = l.endpoint_of(router).expect("adjacency consistent");
+        let remote_ep = l.other(router).expect("two endpoints");
+        let local = r.ifaces[local_ep.iface.index()].addr;
+        let remote = net.topo.router(remote_ep.router).ifaces[remote_ep.iface.index()].addr;
+        let mut flags = Vec::new();
+        if matches!(
+            r.ifaces[local_ep.iface.index()].kind,
+            IfaceKind::Tunnel { .. }
+        ) {
+            flags.push("tunnel");
+        }
+        if !l.up {
+            flags.push("down");
+        }
+        ifaces.push(MrinfoIface {
+            local,
+            remote,
+            metric: l.metric,
+            threshold: r.ifaces[local_ep.iface.index()].threshold,
+            flags,
+            neighbor: if l.up { Some(remote_ep.router) } else { None },
+        });
+    }
+    // Leaf subnets: the router is the querier.
+    for i in r.leaf_ifaces() {
+        ifaces.push(MrinfoIface {
+            local: i.addr,
+            remote: i.addr,
+            metric: 1,
+            threshold: i.threshold,
+            flags: vec!["querier", "leaf"],
+            neighbor: None,
+        });
+    }
+    Some(MrinfoReport {
+        router,
+        addr: r.addr,
+        version,
+        ifaces,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mantra_net::SimTime;
+    use mantra_protocols::dvmrp::DvmrpTimers;
+    use mantra_topology::reference::{mbone_1998, TopologyConfig};
+
+    fn net() -> (Network, RouterId, RouterId) {
+        let r = mbone_1998(&TopologyConfig::default());
+        let net = Network::new(r.topo, SimTime::from_ymd(1998, 11, 1), DvmrpTimers::default(), 0);
+        (net, r.fixw, r.ucsb)
+    }
+
+    #[test]
+    fn fixw_reports_all_tunnels() {
+        let (net, fixw, _) = net();
+        let report = mrinfo(&net, fixw).unwrap();
+        let tunnels = report
+            .ifaces
+            .iter()
+            .filter(|i| i.flags.contains(&"tunnel"))
+            .count();
+        assert_eq!(tunnels, 12, "one tunnel per member domain");
+        assert_eq!(report.live_neighbors().count(), 12);
+        let text = report.render();
+        assert!(text.contains("[version 3.255"));
+        assert!(text.contains("tunnel"));
+    }
+
+    #[test]
+    fn leaf_interfaces_marked_querier() {
+        let (net, _, ucsb) = net();
+        let report = mrinfo(&net, ucsb).unwrap();
+        assert!(report
+            .ifaces
+            .iter()
+            .any(|i| i.flags.contains(&"querier") && i.flags.contains(&"leaf")));
+    }
+
+    #[test]
+    fn down_links_flagged_and_excluded_from_neighbors() {
+        let (mut net, fixw, ucsb) = net();
+        let link = net.topo.link_between(fixw, ucsb).unwrap().id;
+        net.topo.set_link_up(link, false);
+        let report = mrinfo(&net, fixw).unwrap();
+        let down = report
+            .ifaces
+            .iter()
+            .filter(|i| i.flags.contains(&"down"))
+            .count();
+        assert_eq!(down, 1);
+        assert_eq!(report.live_neighbors().count(), 11);
+    }
+}

@@ -1,0 +1,209 @@
+//! `mrtree`: discover a session's distribution tree by cascaded router
+//! queries, the way Merit's tool did over SNMP.
+//!
+//! Starting at the source's first-hop router, each neighbor is asked (in
+//! effect) "is your RPF next hop for this source *me*?" — neighbors that
+//! answer yes are children in the delivery tree, and the recursion
+//! continues below them. The result is the truncated-broadcast /
+//! shortest-path tree as the *routers believe it to be*, which under
+//! inconsistent routing state can differ from the ideal tree — that gap
+//! is precisely what made the tool useful.
+
+use mantra_net::{GroupAddr, Ip, RouterId};
+use mantra_protocols::mfib::SourceGroup;
+use mantra_sim::Network;
+
+/// One node of the discovered tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreeNode {
+    /// The router at this node.
+    pub router: RouterId,
+    /// Whether it has local members for the group (IGMP).
+    pub has_members: bool,
+    /// Whether it holds `(S,G)` forwarding state (monitored routers).
+    pub has_state: bool,
+    /// Children in the delivery tree.
+    pub children: Vec<TreeNode>,
+}
+
+impl TreeNode {
+    /// Number of routers in the subtree (including this node).
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(TreeNode::size).sum::<usize>()
+    }
+
+    /// Depth of the subtree.
+    pub fn depth(&self) -> usize {
+        1 + self.children.iter().map(TreeNode::depth).max().unwrap_or(0)
+    }
+
+    /// Routers with local members in the subtree.
+    pub fn member_routers(&self) -> usize {
+        usize::from(self.has_members)
+            + self.children.iter().map(TreeNode::member_routers).sum::<usize>()
+    }
+
+    /// Indented rendering like the original tool's output.
+    pub fn render(&self, net: &Network) -> String {
+        let mut out = String::new();
+        self.render_into(net, 0, &mut out);
+        out
+    }
+
+    fn render_into(&self, net: &Network, depth: usize, out: &mut String) {
+        use std::fmt::Write as _;
+        let r = net.topo.router(self.router);
+        let mut tags = Vec::new();
+        if self.has_members {
+            tags.push("members");
+        }
+        if self.has_state {
+            tags.push("S,G");
+        }
+        let tag = if tags.is_empty() {
+            String::new()
+        } else {
+            format!("  [{}]", tags.join(","))
+        };
+        let _ = writeln!(out, "{}{} ({}){}", "  ".repeat(depth), r.name, r.addr, tag);
+        for c in &self.children {
+            c.render_into(net, depth + 1, out);
+        }
+    }
+}
+
+/// Discovers the delivery tree for `(source, group)` rooted at the
+/// source's first-hop router `root`.
+pub fn mrtree(net: &Network, root: RouterId, source: Ip, group: GroupAddr) -> TreeNode {
+    build(net, root, None, source, group)
+}
+
+fn build(
+    net: &Network,
+    router: RouterId,
+    parent: Option<RouterId>,
+    source: Ip,
+    group: GroupAddr,
+) -> TreeNode {
+    let mut children = Vec::new();
+    for (l, _local, remote) in net.topo.neighbors(router) {
+        if Some(remote.router) == parent || !l.up {
+            continue;
+        }
+        // Would the neighbor accept multicast from `source` via me?
+        let accepts = net.dvmrp[remote.router.index()]
+            .as_ref()
+            .and_then(|e| e.rib.rpf(source))
+            .map(|r| r.next_hop == Some(router))
+            .unwrap_or(false)
+            || net.mbgp[remote.router.index()]
+                .as_ref()
+                .and_then(|e| e.rpf(source))
+                .map(|r| r.peer == Some(router))
+                .unwrap_or(false);
+        if accepts {
+            children.push(build(net, remote.router, Some(router), source, group));
+        }
+    }
+    let has_members = !net.igmp[router.index()].member_ifaces(group).is_empty();
+    let has_state = net.mfib[router.index()]
+        .get(&SourceGroup::sg(source, group))
+        .is_some();
+    TreeNode {
+        router,
+        has_members,
+        has_state,
+        children,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mantra_net::SimDuration;
+    use mantra_sim::Scenario;
+
+    fn warmed() -> mantra_sim::Scenario {
+        let mut sc = Scenario::transition_snapshot(66, 0.0);
+        sc.sim.advance_to(sc.sim.clock + SimDuration::hours(4));
+        sc
+    }
+
+    #[test]
+    fn tree_spans_the_dvmrp_region_from_a_source() {
+        let sc = warmed();
+        let (group, part) = sc
+            .sim
+            .sessions
+            .iter()
+            .flat_map(|s| s.participants.values().map(move |p| (s.group, p.clone())))
+            .next()
+            .expect("sessions exist");
+        let tree = mrtree(&sc.sim.net, part.router, part.addr, group);
+        // Converged DVMRP: the broadcast tree reaches every router.
+        assert_eq!(tree.size(), sc.sim.net.topo.router_count(), "{}", tree.render(&sc.sim.net));
+        assert!(tree.depth() >= 3, "hub topology has at least 3 levels");
+        // The source router is the root.
+        assert_eq!(tree.router, part.router);
+        // Members exist somewhere (at least the source's own site).
+        assert!(tree.member_routers() >= 1);
+    }
+
+    #[test]
+    fn severed_subtree_disappears() {
+        let mut sc = warmed();
+        let (group, part) = sc
+            .sim
+            .sessions
+            .iter()
+            .flat_map(|s| s.participants.values().map(move |p| (s.group, p.clone())))
+            .next()
+            .expect("sessions exist");
+        let full = mrtree(&sc.sim.net, part.router, part.addr, group).size();
+        // Cut one of FIXW's tunnels (not the source's own domain).
+        let victim = sc
+            .sim
+            .net
+            .topo
+            .domains()
+            .iter()
+            .filter(|d| d.border.is_some() && d.name != "fixw-exchange")
+            .find(|d| !d.routers.contains(&part.router))
+            .unwrap();
+        let link = sc
+            .sim
+            .net
+            .topo
+            .link_between(sc.fixw, victim.border.unwrap())
+            .unwrap()
+            .id;
+        let t = sc.sim.clock;
+        sc.sim.net.on_link_change(link, false, t);
+        let cut = mrtree(&sc.sim.net, part.router, part.addr, group).size();
+        assert!(
+            cut < full,
+            "severed domain drops out of the tree: {full} -> {cut}"
+        );
+    }
+
+    #[test]
+    fn render_marks_state_and_members() {
+        let sc = warmed();
+        // Use a pair with state at FIXW so the S,G tag shows.
+        let key = sc.sim.net.mfib[sc.fixw.index()]
+            .iter()
+            .find(|e| !e.key.is_wildcard())
+            .map(|e| e.key);
+        if let Some(e) = key.and_then(|k| sc.sim.net.mfib[sc.fixw.index()].get(&k)).cloned().as_ref()
+        {
+            // Root the tree at the true first-hop: walk mtrace backwards.
+            let trace = crate::mtrace::mtrace(&sc.sim.net, sc.fixw, e.key.source, e.key.group);
+            if let Some(last) = trace.hops.last() {
+                let tree = mrtree(&sc.sim.net, last.router, e.key.source, e.key.group);
+                let text = tree.render(&sc.sim.net);
+                assert!(text.contains("[") || tree.size() > 0);
+                assert!(text.contains("fixw"));
+            }
+        }
+    }
+}

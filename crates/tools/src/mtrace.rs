@@ -1,0 +1,257 @@
+//! `mtrace`: the multicast traceroute facility.
+//!
+//! The real facility (Fenner & Casner) walks the reverse path hop by hop:
+//! starting at the receiver's router, each hop reports how it would reach
+//! the source (RPF interface, metric, forwarding state for the group) and
+//! the query is forwarded upstream until it reaches the source's first-hop
+//! router — or fails in one of the characteristic ways: no route, a
+//! routing loop, or too many hops. All of those outcomes are modelled,
+//! because they are what made mtrace useful for debugging.
+
+use mantra_net::{GroupAddr, Ip, RouterId};
+use mantra_protocols::mfib::SourceGroup;
+use mantra_sim::Network;
+
+/// Per-hop report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MtraceHop {
+    /// The reporting router.
+    pub router: RouterId,
+    /// Its address.
+    pub addr: Ip,
+    /// Which protocol provided the RPF route here.
+    pub protocol: &'static str,
+    /// Metric of the RPF route.
+    pub metric: u32,
+    /// Packets forwarded for the traced `(S,G)` where the router has
+    /// state (monitored routers only; others report `None`, as real
+    /// routers without cache entries reported zero counts).
+    pub sg_packets: Option<u64>,
+    /// True when the router holds forwarding state for the pair.
+    pub has_state: bool,
+}
+
+/// How the trace ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MtraceOutcome {
+    /// Reached the source's first-hop router.
+    Reached,
+    /// A hop had no RPF route toward the source.
+    NoRoute {
+        /// Where the trace died.
+        at: RouterId,
+    },
+    /// The reverse path revisited a router — inconsistent routing state,
+    /// one of the paper's observed pathologies.
+    Loop {
+        /// Where the loop closed.
+        at: RouterId,
+    },
+    /// Exceeded the hop budget.
+    MaxHops,
+}
+
+/// A complete trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Mtrace {
+    /// Hops from the receiver toward the source (receiver side first).
+    pub hops: Vec<MtraceHop>,
+    /// Terminal outcome.
+    pub outcome: MtraceOutcome,
+}
+
+impl Mtrace {
+    /// Renders like the real tool: one indented line per hop.
+    pub fn render(&self, source: Ip, group: GroupAddr) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "mtrace from receiver toward {source} for group {group}");
+        for (i, h) in self.hops.iter().enumerate() {
+            let state = if h.has_state {
+                match h.sg_packets {
+                    Some(p) => format!("{p} pkts"),
+                    None => "state".into(),
+                }
+            } else {
+                "no state".into()
+            };
+            let _ = writeln!(
+                out,
+                " {:>2}  {} ({})  [{} metric {}]  {}",
+                i, h.addr, h.router, h.protocol, h.metric, state
+            );
+        }
+        let _ = writeln!(out, " outcome: {:?}", self.outcome);
+        out
+    }
+}
+
+/// Traces the reverse path from `receiver` toward `source` for `group`.
+pub fn mtrace(net: &Network, receiver: RouterId, source: Ip, group: GroupAddr) -> Mtrace {
+    let mut hops = Vec::new();
+    let mut visited = vec![false; net.topo.router_count()];
+    let mut cur = receiver;
+    let max_hops = net.topo.router_count() + 2;
+    for _ in 0..max_hops {
+        if visited[cur.index()] {
+            return Mtrace {
+                hops,
+                outcome: MtraceOutcome::Loop { at: cur },
+            };
+        }
+        visited[cur.index()] = true;
+        // RPF lookup at this hop: DVMRP first, MBGP for sparse borders.
+        let (protocol, metric, next): (&'static str, u32, Option<RouterId>) =
+            if let Some(route) = net.dvmrp[cur.index()].as_ref().and_then(|e| e.rib.rpf(source)) {
+                ("DVMRP", route.metric, route.next_hop)
+            } else if let Some(route) = net.mbgp[cur.index()].as_ref().and_then(|e| e.rpf(source)) {
+                ("MBGP", route.path_len() as u32, route.peer)
+            } else if net
+                .topo
+                .router(cur)
+                .leaf_ifaces()
+                .any(|i| mantra_net::Prefix::new(i.addr, 24).map(|p| p.contains(source)).unwrap_or(false))
+            {
+                // Directly attached source subnet.
+                ("LOCAL", 1, None)
+            } else {
+                hops.push(hop_report(net, cur, source, group, "NONE", 0));
+                return Mtrace {
+                    hops,
+                    outcome: MtraceOutcome::NoRoute { at: cur },
+                };
+            };
+        hops.push(hop_report(net, cur, source, group, protocol, metric));
+        match next {
+            None => {
+                return Mtrace {
+                    hops,
+                    outcome: MtraceOutcome::Reached,
+                }
+            }
+            Some(n) => cur = n,
+        }
+    }
+    Mtrace {
+        hops,
+        outcome: MtraceOutcome::MaxHops,
+    }
+}
+
+fn hop_report(
+    net: &Network,
+    router: RouterId,
+    source: Ip,
+    group: GroupAddr,
+    protocol: &'static str,
+    metric: u32,
+) -> MtraceHop {
+    let entry = net.mfib[router.index()].get(&SourceGroup::sg(source, group));
+    MtraceHop {
+        router,
+        addr: net.topo.router(router).addr,
+        protocol,
+        metric,
+        sg_packets: entry.map(|e| e.packets),
+        has_state: entry.is_some(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mantra_net::{SimDuration, SimTime};
+    use mantra_sim::Scenario;
+
+    fn warmed() -> mantra_sim::Scenario {
+        let mut sc = Scenario::transition_snapshot(55, 0.0);
+        sc.sim.advance_to(sc.sim.clock + SimDuration::hours(4));
+        sc
+    }
+
+    #[test]
+    fn trace_reaches_a_leaf_source() {
+        let sc = warmed();
+        // Pick a real participant as the source.
+        let p = sc
+            .sim
+            .sessions
+            .iter()
+            .flat_map(|s| s.participants.values().map(move |p| (s.group, p.clone())))
+            .next()
+            .expect("sessions exist");
+        let (group, part) = p;
+        // Trace from FIXW toward the participant.
+        let trace = mtrace(&sc.sim.net, sc.fixw, part.addr, group);
+        assert_eq!(trace.outcome, MtraceOutcome::Reached, "{trace:?}");
+        assert!(!trace.hops.is_empty());
+        assert_eq!(trace.hops.last().unwrap().router, part.router);
+        let text = trace.render(part.addr, group);
+        assert!(text.contains("outcome: Reached"));
+    }
+
+    #[test]
+    fn no_route_terminates_the_trace() {
+        let sc = warmed();
+        let group = GroupAddr::from_index(0);
+        // An address no one originates.
+        let trace = mtrace(&sc.sim.net, sc.fixw, Ip::new(203, 0, 113, 7), group);
+        assert!(matches!(trace.outcome, MtraceOutcome::NoRoute { .. }));
+        assert_eq!(trace.hops.last().unwrap().protocol, "NONE");
+    }
+
+    #[test]
+    fn monitored_hops_report_packet_counts() {
+        let sc = warmed();
+        // Find a pair with state at FIXW (monitored => counts available).
+        let e = sc.sim.net.mfib[sc.fixw.index()]
+            .iter()
+            .find(|e| !e.key.is_wildcard() && e.packets > 0);
+        if let Some(e) = e {
+            let trace = mtrace(&sc.sim.net, sc.fixw, e.key.source, e.key.group);
+            let first = &trace.hops[0];
+            assert!(first.has_state);
+            assert_eq!(first.sg_packets, Some(e.packets));
+        }
+    }
+
+    #[test]
+    fn broken_uplink_gives_no_route_mid_path() {
+        let mut sc = warmed();
+        let p = sc
+            .sim
+            .sessions
+            .iter()
+            .flat_map(|s| s.participants.values().map(move |p| (s.group, p.clone())))
+            .find(|(_, p)| p.router != sc.fixw)
+            .expect("remote participant");
+        let (group, part) = p;
+        // Sever the path and let the withdrawal propagate.
+        let link = sc
+            .sim
+            .net
+            .topo
+            .link_between(sc.fixw, sc.sim.net.topo.domain(sc.sim.net.topo.router(part.router).domain).border.unwrap())
+            .map(|l| l.id);
+        if let Some(link) = link {
+            let t = sc.sim.clock;
+            sc.sim.net.on_link_change(link, false, t);
+            let trace = mtrace(&sc.sim.net, sc.fixw, part.addr, group);
+            assert!(
+                !matches!(trace.outcome, MtraceOutcome::Reached),
+                "severed path cannot be traced: {:?}",
+                trace.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let _ = SimTime::from_ymd(1998, 11, 1); // silence potential unused warnings in cfg(test)
+        let sc = warmed();
+        let group = GroupAddr::from_index(0);
+        let a = mtrace(&sc.sim.net, sc.ucsb, Ip::new(203, 0, 113, 7), group);
+        let b = mtrace(&sc.sim.net, sc.ucsb, Ip::new(203, 0, 113, 7), group);
+        assert_eq!(a, b);
+    }
+}

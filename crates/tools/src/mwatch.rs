@@ -1,0 +1,142 @@
+//! `mwatch`: map the MBone by recursive `mrinfo`.
+//!
+//! The UCL tool started from one router and called `mrinfo` on every
+//! neighbor it had not seen yet, building the tunnel topology. Its
+//! blind spots are reproduced too: routers behind down links are never
+//! discovered, and non-DVMRP routers terminate the recursion.
+
+use std::collections::BTreeSet;
+
+use mantra_net::RouterId;
+use mantra_sim::Network;
+
+use crate::mrinfo::{mrinfo, MrinfoReport};
+
+/// The discovery result.
+#[derive(Clone, Debug, Default)]
+pub struct MwatchReport {
+    /// Routers discovered, in visit order.
+    pub routers: Vec<MrinfoReport>,
+    /// Routers that were referenced but did not answer (non-multicast or
+    /// filtered) — the real tool printed these as unreachable.
+    pub unresponsive: Vec<RouterId>,
+}
+
+impl MwatchReport {
+    /// Discovered router count.
+    pub fn router_count(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// Total live tunnels among discovered routers (each counted once).
+    pub fn tunnel_count(&self) -> usize {
+        let discovered: BTreeSet<RouterId> =
+            self.routers.iter().map(|r| r.router).collect();
+        let mut n = 0;
+        for r in &self.routers {
+            for i in &r.ifaces {
+                if i.flags.contains(&"tunnel") && !i.flags.contains(&"down") {
+                    if let Some(peer) = i.neighbor {
+                        // Count each tunnel from the lower-id side only.
+                        if r.router < peer || !discovered.contains(&peer) {
+                            n += 1;
+                        }
+                    }
+                }
+            }
+        }
+        n
+    }
+
+    /// A summary line like the tool's final report.
+    pub fn summary(&self) -> String {
+        format!(
+            "mwatch: {} multicast routers, {} tunnels, {} unresponsive",
+            self.router_count(),
+            self.tunnel_count(),
+            self.unresponsive.len()
+        )
+    }
+}
+
+/// Runs the recursive discovery from `start`.
+pub fn mwatch(net: &Network, start: RouterId) -> MwatchReport {
+    let mut report = MwatchReport::default();
+    let mut seen: BTreeSet<RouterId> = BTreeSet::new();
+    let mut queue = std::collections::VecDeque::from([start]);
+    seen.insert(start);
+    while let Some(router) = queue.pop_front() {
+        match mrinfo(net, router) {
+            None => report.unresponsive.push(router),
+            Some(info) => {
+                for n in info.live_neighbors() {
+                    if seen.insert(n) {
+                        queue.push_back(n);
+                    }
+                }
+                report.routers.push(info);
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mantra_net::SimTime;
+    use mantra_protocols::dvmrp::DvmrpTimers;
+    use mantra_topology::reference::{mbone_1998, transition_internetwork, TopologyConfig};
+
+    fn t0() -> SimTime {
+        SimTime::from_ymd(1998, 11, 1)
+    }
+
+    #[test]
+    fn discovers_the_whole_mbone() {
+        let r = mbone_1998(&TopologyConfig::default());
+        let total = r.topo.router_count();
+        let net = Network::new(r.topo, t0(), DvmrpTimers::default(), 0);
+        let report = mwatch(&net, r.fixw);
+        assert_eq!(report.router_count(), total);
+        assert!(report.unresponsive.is_empty());
+        // Every inter-router link in the 1998 topology is a tunnel.
+        assert_eq!(report.tunnel_count(), net.topo.links().len());
+        assert!(report.summary().contains("multicast routers"));
+    }
+
+    #[test]
+    fn down_tunnels_hide_subtrees() {
+        let r = mbone_1998(&TopologyConfig::default());
+        let total = r.topo.router_count();
+        let mut net = Network::new(r.topo, t0(), DvmrpTimers::default(), 0);
+        let link = net.topo.link_between(r.fixw, r.ucsb).unwrap().id;
+        net.topo.set_link_up(link, false);
+        let report = mwatch(&net, r.fixw);
+        // The UCSB domain (1 gateway + 3 internal routers) disappears.
+        assert_eq!(report.router_count(), total - 4);
+    }
+
+    #[test]
+    fn discovery_from_a_leaf_reaches_the_core() {
+        let r = mbone_1998(&TopologyConfig::default());
+        let net = Network::new(r.topo, t0(), DvmrpTimers::default(), 0);
+        let from_leaf = mwatch(&net, r.ucsb);
+        let from_core = mwatch(&net, r.fixw);
+        assert_eq!(from_leaf.router_count(), from_core.router_count());
+    }
+
+    #[test]
+    fn mixed_infrastructure_still_maps() {
+        let cfg = TopologyConfig {
+            native_fraction: 0.5,
+            ..TopologyConfig::default()
+        };
+        let r = transition_internetwork(&cfg);
+        let total = r.topo.router_count();
+        let net = Network::new(r.topo, t0(), DvmrpTimers::default(), 0);
+        let report = mwatch(&net, r.fixw);
+        // PIM routers answer mrinfo too (IOS did), so everything maps.
+        assert_eq!(report.router_count(), total);
+    }
+}

@@ -1,0 +1,82 @@
+//! Routing domains.
+//!
+//! A domain is a campus network, a regional MBone network, or a native
+//! multicast AS. Domains originate prefixes (which show up as DVMRP or MBGP
+//! routes at FIXW) and have a dominant routing technology that the
+//! transition scenario migrates over time.
+
+use serde::{Deserialize, Serialize};
+
+use mantra_net::{DomainId, Prefix, RouterId};
+
+/// The dominant multicast routing technology inside a domain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DomainProtocol {
+    /// Legacy MBone member: DVMRP routes + tunnels.
+    Dvmrp,
+    /// Native dense-mode (PIM-DM) — small campuses.
+    NativeDense,
+    /// Native sparse-mode (PIM-SM + MBGP + MSDP).
+    NativeSparse,
+}
+
+/// A routing domain.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Domain {
+    /// Dense identifier.
+    pub id: DomainId,
+    /// Human name (`ucsb`, `mbone-east`, `isp-7`, …).
+    pub name: String,
+    /// Prefixes this domain originates into interdomain routing.
+    pub prefixes: Vec<Prefix>,
+    /// Current routing technology.
+    pub protocol: DomainProtocol,
+    /// Routers belonging to the domain.
+    pub routers: Vec<RouterId>,
+    /// The domain's border router (peers at the exchange point).
+    pub border: Option<RouterId>,
+}
+
+impl Domain {
+    /// Creates an empty domain.
+    pub fn new(id: DomainId, name: impl Into<String>, protocol: DomainProtocol) -> Self {
+        Domain {
+            id,
+            name: name.into(),
+            prefixes: Vec::new(),
+            protocol,
+            routers: Vec::new(),
+            border: None,
+        }
+    }
+
+    /// True when the domain has migrated off DVMRP.
+    pub fn is_native(&self) -> bool {
+        self.protocol != DomainProtocol::Dvmrp
+    }
+
+    /// Migrates the domain to native sparse mode (the transition event).
+    pub fn migrate_to_sparse(&mut self) {
+        self.protocol = DomainProtocol::NativeSparse;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn migration_flips_protocol() {
+        let mut d = Domain::new(DomainId(3), "mbone-west", DomainProtocol::Dvmrp);
+        assert!(!d.is_native());
+        d.migrate_to_sparse();
+        assert!(d.is_native());
+        assert_eq!(d.protocol, DomainProtocol::NativeSparse);
+    }
+
+    #[test]
+    fn dense_counts_as_native() {
+        let d = Domain::new(DomainId(0), "lab", DomainProtocol::NativeDense);
+        assert!(d.is_native());
+    }
+}

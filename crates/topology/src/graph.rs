@@ -1,0 +1,364 @@
+//! The topology container.
+//!
+//! [`Topology`] owns all routers, links and domains and provides the
+//! adjacency queries the protocol state machines run over. It is mutable in
+//! exactly the ways the evaluation scenarios need: links flap, tunnels get
+//! torn down, and domains (with their routers) migrate from DVMRP to native
+//! sparse mode.
+
+use serde::{Deserialize, Serialize};
+
+use mantra_net::{DomainId, Ip, Prefix, RouterId};
+
+use crate::domain::{Domain, DomainProtocol};
+use crate::link::{Endpoint, Link, LinkId, LinkKind};
+use crate::router::{Iface, IfaceKind, ProtocolSuite, Router};
+
+/// A complete simulated internetwork.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Topology {
+    routers: Vec<Router>,
+    links: Vec<Link>,
+    domains: Vec<Domain>,
+    /// Adjacency lists: for each router, the links touching it.
+    adjacency: Vec<Vec<LinkId>>,
+}
+
+impl Topology {
+    /// An empty internetwork.
+    pub fn new() -> Self {
+        Topology::default()
+    }
+
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    /// Adds a domain and returns its id.
+    pub fn add_domain(&mut self, name: impl Into<String>, protocol: DomainProtocol) -> DomainId {
+        let id = DomainId(self.domains.len() as u32);
+        self.domains.push(Domain::new(id, name, protocol));
+        id
+    }
+
+    /// Registers a prefix originated by `domain`.
+    pub fn add_domain_prefix(&mut self, domain: DomainId, prefix: Prefix) {
+        self.domains[domain.index()].prefixes.push(prefix);
+    }
+
+    /// Adds a router to a domain and returns its id.
+    pub fn add_router(
+        &mut self,
+        name: impl Into<String>,
+        addr: Ip,
+        domain: DomainId,
+        suite: ProtocolSuite,
+    ) -> RouterId {
+        let id = RouterId(self.routers.len() as u32);
+        self.routers.push(Router {
+            id,
+            name: name.into(),
+            addr,
+            domain,
+            suite,
+            ifaces: Vec::new(),
+        });
+        self.adjacency.push(Vec::new());
+        self.domains[domain.index()].routers.push(id);
+        id
+    }
+
+    /// Marks `router` as its domain's border router.
+    pub fn set_border(&mut self, router: RouterId) {
+        let d = self.routers[router.index()].domain;
+        self.domains[d.index()].border = Some(router);
+    }
+
+    /// Adds a leaf (host-bearing) interface to a router.
+    pub fn add_leaf(&mut self, router: RouterId, addr: Ip) {
+        self.routers[router.index()].add_iface(addr, IfaceKind::Leaf, 1);
+    }
+
+    /// Connects two routers, creating an interface on each and the link
+    /// between them. Interface addresses are derived from the link index so
+    /// reference topologies don't have to plan an addressing scheme.
+    pub fn connect(
+        &mut self,
+        x: RouterId,
+        y: RouterId,
+        kind: LinkKind,
+        metric: u32,
+    ) -> LinkId {
+        let id = LinkId(self.links.len() as u32);
+        // Point-to-point /30-style addressing out of 10.128/9, keyed by link.
+        let base = Ip(Ip::new(10, 128, 0, 0).0 + id.0 * 4);
+        let ax = Ip(base.0 + 1);
+        let ay = Ip(base.0 + 2);
+        let (kx, ky) = match kind {
+            LinkKind::Native => (IfaceKind::Physical, IfaceKind::Physical),
+            LinkKind::Tunnel => (
+                IfaceKind::Tunnel { remote: ay },
+                IfaceKind::Tunnel { remote: ax },
+            ),
+        };
+        let ix = self.routers[x.index()].add_iface(ax, kx, metric);
+        let iy = self.routers[y.index()].add_iface(ay, ky, metric);
+        self.links.push(Link {
+            id,
+            a: Endpoint {
+                router: x,
+                iface: ix,
+            },
+            b: Endpoint {
+                router: y,
+                iface: iy,
+            },
+            kind,
+            metric,
+            delay: mantra_net::SimDuration::secs(0),
+            capacity: mantra_net::BitRate::from_mbps(10),
+            up: true,
+        });
+        self.adjacency[x.index()].push(id);
+        self.adjacency[y.index()].push(id);
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// All routers, indexable by `RouterId`.
+    pub fn routers(&self) -> &[Router] {
+        &self.routers
+    }
+
+    /// One router.
+    pub fn router(&self, id: RouterId) -> &Router {
+        &self.routers[id.index()]
+    }
+
+    /// Mutable access to one router (protocol suite changes).
+    pub fn router_mut(&mut self, id: RouterId) -> &mut Router {
+        &mut self.routers[id.index()]
+    }
+
+    /// Finds a router by name.
+    pub fn router_by_name(&self, name: &str) -> Option<&Router> {
+        self.routers.iter().find(|r| r.name == name)
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// One link.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// All domains.
+    pub fn domains(&self) -> &[Domain] {
+        &self.domains
+    }
+
+    /// One domain.
+    pub fn domain(&self, id: DomainId) -> &Domain {
+        &self.domains[id.index()]
+    }
+
+    /// Mutable access to one domain (transition migration).
+    pub fn domain_mut(&mut self, id: DomainId) -> &mut Domain {
+        &mut self.domains[id.index()]
+    }
+
+    /// Number of routers.
+    pub fn router_count(&self) -> usize {
+        self.routers.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Links touching `router` (up or down).
+    pub fn links_of(&self, router: RouterId) -> impl Iterator<Item = &Link> + '_ {
+        self.adjacency[router.index()].iter().map(|l| self.link(*l))
+    }
+
+    /// Live neighbors of `router`: `(link, local endpoint, remote endpoint)`.
+    pub fn neighbors(
+        &self,
+        router: RouterId,
+    ) -> impl Iterator<Item = (&Link, Endpoint, Endpoint)> + '_ {
+        self.links_of(router).filter(|l| l.up).map(move |l| {
+            let local = l.endpoint_of(router).expect("adjacency is consistent");
+            let remote = l.other(router).expect("adjacency is consistent");
+            (l, local, remote)
+        })
+    }
+
+    /// The link joining two routers, if any.
+    pub fn link_between(&self, x: RouterId, y: RouterId) -> Option<&Link> {
+        self.adjacency[x.index()]
+            .iter()
+            .map(|l| self.link(*l))
+            .find(|l| l.joins(x, y))
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation (scenario events)
+    // ------------------------------------------------------------------
+
+    /// Brings a link up or down (flap injection, tunnel decommissioning).
+    pub fn set_link_up(&mut self, id: LinkId, up: bool) {
+        self.links[id.index()].up = up;
+    }
+
+    /// Migrates a whole domain to native sparse mode: flips the domain
+    /// protocol, re-suites its routers, and tears down its tunnels.
+    ///
+    /// The domain's border router keeps DVMRP if it peers with a DVMRP
+    /// domain (it becomes a border like FIXW), otherwise drops it.
+    pub fn migrate_domain_to_sparse(&mut self, id: DomainId) {
+        self.domains[id.index()].migrate_to_sparse();
+        let routers = self.domains[id.index()].routers.clone();
+        let border = self.domains[id.index()].border;
+        for r in routers {
+            let is_border = Some(r) == border;
+            let was_rp = self.routers[r.index()].suite.rp;
+            self.routers[r.index()].suite = if is_border {
+                ProtocolSuite::border(true)
+            } else {
+                ProtocolSuite::native_sparse(was_rp)
+            };
+        }
+        // Tear down tunnels internal to the domain; border tunnels stay up
+        // until the remote side also migrates.
+        let doomed: Vec<LinkId> = self
+            .links
+            .iter()
+            .filter(|l| {
+                l.kind == LinkKind::Tunnel
+                    && self.router(l.a.router).domain == id
+                    && self.router(l.b.router).domain == id
+            })
+            .map(|l| l.id)
+            .collect();
+        for l in doomed {
+            self.set_link_up(l, false);
+        }
+    }
+
+    /// Total interface count across all routers, a size sanity metric.
+    pub fn iface_count(&self) -> usize {
+        self.routers.iter().map(|r| r.ifaces.len()).sum()
+    }
+
+    /// Checks internal consistency; used by tests and debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, r) in self.routers.iter().enumerate() {
+            if r.id.index() != i {
+                return Err(format!("router {i} has mismatched id {}", r.id));
+            }
+            if self.domains.get(r.domain.index()).is_none() {
+                return Err(format!("router {} references missing domain", r.name));
+            }
+        }
+        for (i, l) in self.links.iter().enumerate() {
+            if l.id.index() != i {
+                return Err(format!("link {i} has mismatched id"));
+            }
+            for ep in [l.a, l.b] {
+                let r = self
+                    .routers
+                    .get(ep.router.index())
+                    .ok_or_else(|| format!("link {i} references missing router"))?;
+                if r.ifaces.get(ep.iface.index()).is_none() {
+                    return Err(format!("link {i} references missing iface on {}", r.name));
+                }
+            }
+        }
+        for (ri, adj) in self.adjacency.iter().enumerate() {
+            for l in adj {
+                if !self
+                    .links
+                    .get(l.index())
+                    .is_some_and(|l| l.joins(RouterId(ri as u32), l.a.router) || l.joins(RouterId(ri as u32), l.b.router))
+                {
+                    return Err(format!("adjacency of router {ri} references bad link"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A leaf interface of `router`, if it has one (hosts attach here).
+    pub fn leaf_of(&self, router: RouterId) -> Option<&Iface> {
+        self.router(router).leaf_ifaces().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_router_topo() -> (Topology, RouterId, RouterId) {
+        let mut t = Topology::new();
+        let d = t.add_domain("core", DomainProtocol::Dvmrp);
+        let a = t.add_router("a", Ip::new(192, 0, 2, 1), d, ProtocolSuite::mbone());
+        let b = t.add_router("b", Ip::new(192, 0, 2, 2), d, ProtocolSuite::mbone());
+        t.connect(a, b, LinkKind::Tunnel, 3);
+        (t, a, b)
+    }
+
+    #[test]
+    fn connect_creates_ifaces_and_adjacency() {
+        let (t, a, b) = two_router_topo();
+        assert_eq!(t.router(a).ifaces.len(), 1);
+        assert_eq!(t.router(b).ifaces.len(), 1);
+        assert!(t.router(a).ifaces[0].is_tunnel());
+        let n: Vec<_> = t.neighbors(a).collect();
+        assert_eq!(n.len(), 1);
+        assert_eq!(n[0].2.router, b);
+        assert!(t.link_between(a, b).is_some());
+        assert!(t.link_between(b, a).is_some());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn down_links_hide_neighbors() {
+        let (mut t, a, b) = two_router_topo();
+        let l = t.link_between(a, b).unwrap().id;
+        t.set_link_up(l, false);
+        assert_eq!(t.neighbors(a).count(), 0);
+        assert_eq!(t.links_of(a).count(), 1, "links_of sees down links");
+        t.set_link_up(l, true);
+        assert_eq!(t.neighbors(a).count(), 1);
+    }
+
+    #[test]
+    fn domain_migration_resuites_routers_and_drops_tunnels() {
+        let (mut t, a, b) = two_router_topo();
+        t.set_border(a);
+        let d = t.router(a).domain;
+        t.migrate_domain_to_sparse(d);
+        assert_eq!(t.domain(d).protocol, DomainProtocol::NativeSparse);
+        assert!(t.router(a).suite.pim_sm && t.router(a).suite.dvmrp, "border keeps DVMRP");
+        assert!(t.router(b).suite.pim_sm && !t.router(b).suite.dvmrp);
+        // The intra-domain tunnel is torn down.
+        assert!(!t.link_between(a, b).unwrap().up);
+    }
+
+    #[test]
+    fn router_by_name_and_counts() {
+        let (mut t, a, _) = two_router_topo();
+        t.add_leaf(a, Ip::new(10, 1, 0, 1));
+        assert_eq!(t.router_by_name("a").unwrap().id, a);
+        assert!(t.router_by_name("zzz").is_none());
+        assert_eq!(t.router_count(), 2);
+        assert_eq!(t.iface_count(), 3);
+        assert!(t.leaf_of(a).is_some());
+    }
+}

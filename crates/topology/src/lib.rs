@@ -1,0 +1,27 @@
+//! Topology model for the simulated multicast internetwork.
+//!
+//! The paper's Mantra tool monitored two real routers: the FIXW exchange
+//! point and a UCSB campus `mrouted`. Neither exists any more, so this crate
+//! models the internetwork they sat in:
+//!
+//! * [`router`] — multicast routers with their per-interface (vif)
+//!   configuration and the protocol suite each one runs,
+//! * [`link`] — native links and DVMRP tunnels between routers,
+//! * [`domain`] — routing domains (campus networks, regional MBone
+//!   networks, native-multicast ASes) and the prefixes they originate,
+//! * [`graph`] — the [`graph::Topology`] container with adjacency queries
+//!   and mutation support for the infrastructure-transition scenario,
+//! * [`mod@reference`] — builders for the concrete internetworks the
+//!   evaluation uses (MBone-era FIXW core, UCSB campus, mixed transition
+//!   topology).
+
+pub mod domain;
+pub mod graph;
+pub mod link;
+pub mod reference;
+pub mod router;
+
+pub use domain::{Domain, DomainProtocol};
+pub use graph::Topology;
+pub use link::{Link, LinkId, LinkKind};
+pub use router::{Iface, IfaceKind, ProtocolSuite, Router};

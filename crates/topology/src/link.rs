@@ -1,0 +1,133 @@
+//! Links between routers: native adjacencies and DVMRP tunnels.
+
+use serde::{Deserialize, Serialize};
+
+use mantra_net::{BitRate, IfaceId, RouterId, SimDuration};
+
+/// Dense identifier for a link in a [`crate::Topology`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// The raw index into the topology's link table.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The flavour of a router-to-router adjacency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// A native (physical) multicast-capable link.
+    Native,
+    /// A DVMRP tunnel over unicast IP — the MBone's building block.
+    Tunnel,
+}
+
+/// One endpoint of a link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Endpoint {
+    /// The router at this end.
+    pub router: RouterId,
+    /// The interface (vif) used at this end.
+    pub iface: IfaceId,
+}
+
+/// A bidirectional adjacency between two routers.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Link {
+    /// Identifier within the owning topology.
+    pub id: LinkId,
+    /// First endpoint (construction order; links are symmetric).
+    pub a: Endpoint,
+    /// Second endpoint.
+    pub b: Endpoint,
+    /// Native link or tunnel.
+    pub kind: LinkKind,
+    /// DVMRP metric (tunnels usually cost more than native links).
+    pub metric: u32,
+    /// One-way propagation delay.
+    pub delay: SimDuration,
+    /// Usable capacity.
+    pub capacity: BitRate,
+    /// Administratively up? The transition scenario tears tunnels down by
+    /// clearing this, and route-flap injection toggles it.
+    pub up: bool,
+}
+
+impl Link {
+    /// The far end as seen from `from`, or `None` if `from` is not on
+    /// this link.
+    pub fn other(&self, from: RouterId) -> Option<Endpoint> {
+        if self.a.router == from {
+            Some(self.b)
+        } else if self.b.router == from {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+
+    /// The local endpoint for `router`, or `None` when not attached.
+    pub fn endpoint_of(&self, router: RouterId) -> Option<Endpoint> {
+        if self.a.router == router {
+            Some(self.a)
+        } else if self.b.router == router {
+            Some(self.b)
+        } else {
+            None
+        }
+    }
+
+    /// True when the link joins `x` and `y` (in either order).
+    pub fn joins(&self, x: RouterId, y: RouterId) -> bool {
+        (self.a.router == x && self.b.router == y) || (self.a.router == y && self.b.router == x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> Link {
+        Link {
+            id: LinkId(0),
+            a: Endpoint {
+                router: RouterId(1),
+                iface: IfaceId(0),
+            },
+            b: Endpoint {
+                router: RouterId(2),
+                iface: IfaceId(3),
+            },
+            kind: LinkKind::Tunnel,
+            metric: 3,
+            delay: SimDuration::secs(0),
+            capacity: BitRate::from_mbps(10),
+            up: true,
+        }
+    }
+
+    #[test]
+    fn other_end_resolution() {
+        let l = link();
+        assert_eq!(l.other(RouterId(1)).unwrap().router, RouterId(2));
+        assert_eq!(l.other(RouterId(2)).unwrap().router, RouterId(1));
+        assert_eq!(l.other(RouterId(9)), None);
+    }
+
+    #[test]
+    fn endpoint_lookup() {
+        let l = link();
+        assert_eq!(l.endpoint_of(RouterId(2)).unwrap().iface, IfaceId(3));
+        assert_eq!(l.endpoint_of(RouterId(7)), None);
+    }
+
+    #[test]
+    fn joins_is_symmetric() {
+        let l = link();
+        assert!(l.joins(RouterId(1), RouterId(2)));
+        assert!(l.joins(RouterId(2), RouterId(1)));
+        assert!(!l.joins(RouterId(1), RouterId(3)));
+    }
+}

@@ -1,0 +1,227 @@
+//! Multicast routers and their interfaces.
+
+use serde::{Deserialize, Serialize};
+
+use mantra_net::{DomainId, IfaceId, Ip, RouterId};
+
+/// What an interface attaches to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IfaceKind {
+    /// A physical interface on a shared native link to another router.
+    Physical,
+    /// A DVMRP tunnel endpoint; `remote` is the far tunnel address. Tunnels
+    /// are what the MBone was made of and what FIXW terminated dozens of.
+    Tunnel { remote: Ip },
+    /// A leaf subnet with directly-attached hosts (IGMP runs here).
+    Leaf,
+}
+
+/// One multicast-capable interface — a *vif* in mrouted terminology.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Iface {
+    /// Identifier local to the owning router (the mrouted vif number).
+    pub id: IfaceId,
+    /// The interface's own address.
+    pub addr: Ip,
+    /// What the interface attaches to.
+    pub kind: IfaceKind,
+    /// DVMRP metric of the attached link/tunnel (1 for native links,
+    /// typically higher for tunnels).
+    pub metric: u32,
+    /// DVMRP threshold (minimum TTL forwarded); kept for CLI fidelity.
+    pub threshold: u8,
+}
+
+impl Iface {
+    /// True if this is a tunnel vif.
+    pub fn is_tunnel(&self) -> bool {
+        matches!(self.kind, IfaceKind::Tunnel { .. })
+    }
+
+    /// True if hosts (IGMP members) live on this interface.
+    pub fn is_leaf(&self) -> bool {
+        self.kind == IfaceKind::Leaf
+    }
+}
+
+/// The multicast routing protocols a router participates in.
+///
+/// The evaluation period spans the transition from pure-DVMRP to native
+/// sparse mode, so a router's suite can change mid-scenario (FIXW itself
+/// went from MBone core router to DVMRP/native border).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtocolSuite {
+    /// Runs DVMRP route exchange and flood-and-prune forwarding.
+    pub dvmrp: bool,
+    /// Runs PIM dense mode.
+    pub pim_dm: bool,
+    /// Runs PIM sparse mode.
+    pub pim_sm: bool,
+    /// Is a PIM-SM rendezvous point for its domain.
+    pub rp: bool,
+    /// Speaks MBGP with its peers (interdomain prefix exchange).
+    pub mbgp: bool,
+    /// Speaks MSDP with other RPs (interdomain source discovery).
+    pub msdp: bool,
+}
+
+impl ProtocolSuite {
+    /// A classic MBone router: DVMRP only.
+    pub const fn mbone() -> Self {
+        ProtocolSuite {
+            dvmrp: true,
+            pim_dm: false,
+            pim_sm: false,
+            rp: false,
+            mbgp: false,
+            msdp: false,
+        }
+    }
+
+    /// A native sparse-mode border router: PIM-SM + MBGP (+ MSDP/RP when
+    /// `rp` is set).
+    pub const fn native_sparse(rp: bool) -> Self {
+        ProtocolSuite {
+            dvmrp: false,
+            pim_dm: false,
+            pim_sm: true,
+            rp,
+            mbgp: true,
+            msdp: rp,
+        }
+    }
+
+    /// A dense-mode campus router.
+    pub const fn native_dense() -> Self {
+        ProtocolSuite {
+            dvmrp: false,
+            pim_dm: true,
+            pim_sm: false,
+            rp: false,
+            mbgp: false,
+            msdp: false,
+        }
+    }
+
+    /// A transition border router bridging DVMRP and native sparse mode —
+    /// FIXW's role after the transition.
+    pub const fn border(rp: bool) -> Self {
+        ProtocolSuite {
+            dvmrp: true,
+            pim_dm: false,
+            pim_sm: true,
+            rp,
+            mbgp: true,
+            msdp: rp,
+        }
+    }
+
+    /// True when any sparse-mode machinery is active.
+    pub const fn is_sparse(&self) -> bool {
+        self.pim_sm
+    }
+}
+
+/// A multicast router.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Router {
+    /// Dense workspace-wide identifier.
+    pub id: RouterId,
+    /// Human name as it appears in monitoring output (`fixw`, `ucsb-gw`, …).
+    pub name: String,
+    /// Loopback/router-id address.
+    pub addr: Ip,
+    /// The routing domain this router belongs to.
+    pub domain: DomainId,
+    /// Active protocol suite (mutable across the transition).
+    pub suite: ProtocolSuite,
+    /// Interfaces, indexed by `IfaceId`.
+    pub ifaces: Vec<Iface>,
+}
+
+impl Router {
+    /// Adds an interface and returns its id.
+    pub fn add_iface(&mut self, addr: Ip, kind: IfaceKind, metric: u32) -> IfaceId {
+        let id = IfaceId(self.ifaces.len() as u32);
+        self.ifaces.push(Iface {
+            id,
+            addr,
+            kind,
+            metric,
+            threshold: 1,
+        });
+        id
+    }
+
+    /// Looks up an interface.
+    pub fn iface(&self, id: IfaceId) -> &Iface {
+        &self.ifaces[id.index()]
+    }
+
+    /// Iterator over leaf interfaces (where IGMP members appear).
+    pub fn leaf_ifaces(&self) -> impl Iterator<Item = &Iface> {
+        self.ifaces.iter().filter(|i| i.is_leaf())
+    }
+
+    /// Number of tunnel vifs — FIXW's defining statistic in the MBone era.
+    pub fn tunnel_count(&self) -> usize {
+        self.ifaces.iter().filter(|i| i.is_tunnel()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn router() -> Router {
+        Router {
+            id: RouterId(0),
+            name: "fixw".into(),
+            addr: Ip::new(198, 32, 136, 1),
+            domain: DomainId(0),
+            suite: ProtocolSuite::mbone(),
+            ifaces: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn iface_ids_are_dense() {
+        let mut r = router();
+        let a = r.add_iface(Ip::new(10, 0, 0, 1), IfaceKind::Physical, 1);
+        let b = r.add_iface(
+            Ip::new(10, 0, 1, 1),
+            IfaceKind::Tunnel {
+                remote: Ip::new(192, 0, 2, 1),
+            },
+            3,
+        );
+        assert_eq!(a, IfaceId(0));
+        assert_eq!(b, IfaceId(1));
+        assert_eq!(r.iface(b).metric, 3);
+        assert!(r.iface(b).is_tunnel());
+        assert!(!r.iface(a).is_tunnel());
+        assert_eq!(r.tunnel_count(), 1);
+    }
+
+    #[test]
+    fn leaf_iface_filter() {
+        let mut r = router();
+        r.add_iface(Ip::new(10, 0, 0, 1), IfaceKind::Physical, 1);
+        r.add_iface(Ip::new(10, 0, 1, 1), IfaceKind::Leaf, 1);
+        r.add_iface(Ip::new(10, 0, 2, 1), IfaceKind::Leaf, 1);
+        assert_eq!(r.leaf_ifaces().count(), 2);
+    }
+
+    #[test]
+    fn protocol_suite_presets() {
+        assert!(ProtocolSuite::mbone().dvmrp);
+        assert!(!ProtocolSuite::mbone().is_sparse());
+        let n = ProtocolSuite::native_sparse(true);
+        assert!(n.pim_sm && n.mbgp && n.msdp && n.rp && !n.dvmrp);
+        let n = ProtocolSuite::native_sparse(false);
+        assert!(n.pim_sm && !n.msdp && !n.rp);
+        let b = ProtocolSuite::border(true);
+        assert!(b.dvmrp && b.pim_sm && b.is_sparse());
+        assert!(ProtocolSuite::native_dense().pim_dm);
+    }
+}

@@ -1,0 +1,83 @@
+//! The period diagnostic toolbox in action: `mrinfo`, `mwatch`, `mtrace`
+//! and `mrtree` against the simulated MBone — the "existing tools" of the
+//! paper's Section II, which Mantra complements rather than replaces.
+//!
+//! Run with: `cargo run --release --example diagnostic_toolbox`
+
+use mantra::net::SimDuration;
+use mantra::sim::Scenario;
+use mantra::tools::{mrinfo, mrtree, mtrace, mwatch};
+
+fn main() {
+    let mut sc = Scenario::transition_snapshot(1001, 0.0);
+    sc.sim.advance_to(sc.sim.clock + SimDuration::hours(4));
+
+    // mrinfo: what does FIXW look like?
+    println!("== mrinfo fixw ==");
+    let info = mrinfo(&sc.sim.net, sc.fixw).expect("fixw runs DVMRP");
+    print!("{}", info.render());
+
+    // mwatch: map the whole MBone from the campus.
+    println!("\n== mwatch (starting at ucsb-gw) ==");
+    let map = mwatch(&sc.sim.net, sc.ucsb);
+    println!("{}", map.summary());
+
+    // Pick a real sender for the path tools.
+    let (group, part) = sc
+        .sim
+        .sessions
+        .iter()
+        .filter(|s| s.total_rate().bps() > 0)
+        .flat_map(|s| s.participants.values().map(move |p| (s.group, p.clone())))
+        .max_by_key(|(_, p)| p.rate.bps())
+        .expect("senders exist");
+
+    // mtrace: reverse path from FIXW to that sender.
+    println!("\n== mtrace (from fixw toward the busiest sender) ==");
+    let trace = mtrace(&sc.sim.net, sc.fixw, part.addr, group);
+    print!("{}", trace.render(part.addr, group));
+
+    // mrtree: the delivery tree rooted at the sender's first-hop router.
+    println!("\n== mrtree ==");
+    let tree = mrtree(&sc.sim.net, part.router, part.addr, group);
+    println!(
+        "tree: {} routers, depth {}, {} with local members",
+        tree.size(),
+        tree.depth(),
+        tree.member_routers()
+    );
+    print!("{}", tree.render(&sc.sim.net));
+
+    // Now break a tunnel and show all four tools noticing, each its own
+    // way — the debugging workflow of 1998.
+    let (victim_name, victim_border) = sc
+        .sim
+        .net
+        .topo
+        .domains()
+        .iter()
+        .find(|d| d.name.starts_with("mbone-") && !d.routers.contains(&part.router))
+        .map(|d| (d.name.clone(), d.border.unwrap()))
+        .expect("another mbone domain");
+    let link = sc
+        .sim
+        .net
+        .topo
+        .link_between(sc.fixw, victim_border)
+        .unwrap()
+        .id;
+    let now = sc.sim.clock;
+    sc.sim.net.on_link_change(link, false, now);
+    println!("\n*** tunnel fixw <-> {victim_name} cut ***\n");
+    let info = mrinfo(&sc.sim.net, sc.fixw).unwrap();
+    let down = info.ifaces.iter().filter(|i| i.flags.contains(&"down")).count();
+    println!("mrinfo: {down} interface(s) now flagged down at fixw");
+    let map2 = mwatch(&sc.sim.net, sc.ucsb);
+    println!(
+        "mwatch: {} -> {} routers discovered",
+        map.router_count(),
+        map2.router_count()
+    );
+    let tree2 = mrtree(&sc.sim.net, part.router, part.addr, group);
+    println!("mrtree: delivery tree {} -> {} routers", tree.size(), tree2.size());
+}

@@ -1,0 +1,111 @@
+//! Multi-router aggregation: the enhancement the paper's conclusion
+//! announces ("collect data from multiple routers concurrently …
+//! aggregate different data sets and generate combined results in
+//! real-time").
+//!
+//! Collects every border router in a majority-native internetwork in
+//! parallel (rayon), merges the per-router tables into one aggregate
+//! view, and shows (a) how much more of the ground truth the aggregate
+//! recovers than any single collection point, and (b) the pairwise DVMRP
+//! consistency matrix that exposes the paper's "inconsistent state"
+//! finding automatically.
+//!
+//! Run with: `cargo run --release --example multi_router_aggregation`
+
+use mantra::core::aggregate::collect_aggregate;
+use mantra::core::collector::SimAccess;
+use mantra::core::{Monitor, MonitorConfig};
+use mantra::net::SimDuration;
+use mantra::router_cli::TableKind;
+use mantra::sim::Scenario;
+
+fn main() {
+    let mut sc = Scenario::transition_snapshot(4242, 0.6);
+    // Lossy report delivery, as on the congested 1998 MBone — this is
+    // what makes the consistency matrix interesting.
+    sc.sim.set_report_loss(0.25);
+
+    // Warm the world up for a day so tables are populated. A monitor on
+    // the classic two points runs alongside for comparison. Monitoring
+    // all borders makes the simulator materialise their MFIBs.
+    let borders: Vec<_> = sc
+        .sim
+        .net
+        .topo
+        .domains()
+        .iter()
+        .filter_map(|d| d.border)
+        .collect();
+    sc.sim.monitored = {
+        let mut m = vec![sc.fixw];
+        m.extend(borders.iter().copied());
+        m.sort_unstable();
+        m.dedup();
+        m
+    };
+    let mut classic = Monitor::new(MonitorConfig {
+        routers: vec!["fixw".into()],
+        interval: sc.sim.tick(),
+        ..MonitorConfig::default()
+    });
+    for _ in 0..96 {
+        let next = sc.sim.clock + classic.cfg.interval;
+        sc.sim.advance_to(next);
+        let mut access = SimAccess::new(&sc.sim);
+        classic.run_cycle(&mut access, next);
+    }
+    let _ = SimDuration::ZERO;
+
+    // The aggregate cycle across every border, concurrently.
+    let router_names: Vec<String> = sc
+        .sim
+        .monitored
+        .iter()
+        .map(|r| sc.sim.net.topo.router(*r).name.clone())
+        .collect();
+    let now = sc.sim.clock;
+    let view = collect_aggregate(&sc.sim, &router_names, &TableKind::ALL, now);
+
+    let truth = sc.sim.sessions.len();
+    let fixw_only = classic
+        .latest("fixw")
+        .map(|t| t.sessions.len())
+        .unwrap_or(0);
+    println!("ground truth:         {truth} live sessions");
+    println!("FIXW alone sees:      {fixw_only}");
+    println!(
+        "aggregate view sees:  {} (from {} routers, {} capture failures)",
+        view.merged.sessions.len(),
+        view.per_router.len(),
+        view.per_router
+            .iter()
+            .map(|r| r.capture_failures)
+            .sum::<usize>()
+    );
+
+    println!("\nper-router contributions:");
+    for rc in &view.per_router {
+        println!(
+            "  {:<14} sessions {:>4}  pairs {:>5}  dvmrp routes {:>4}  parse(ok/bad) {}/{}",
+            rc.router,
+            rc.tables.sessions.len(),
+            rc.tables.pairs.len(),
+            rc.tables.reachable_dvmrp_routes(),
+            rc.parse.parsed,
+            rc.parse.malformed,
+        );
+    }
+
+    println!("\npairwise DVMRP consistency (Jaccard similarity):");
+    for (a, b, report) in &view.consistency {
+        println!(
+            "  {a:<14} vs {b:<14}: {:.2} (shared {}, only-{a} {}, only-{b} {})",
+            report.similarity(),
+            report.shared,
+            report.only_first,
+            report.only_second,
+        );
+    }
+    println!("\n(the paper: \"it has become extremely important to generate global");
+    println!(" results by collecting data at multiple points\" — quantified above)");
+}

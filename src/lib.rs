@@ -1,0 +1,15 @@
+//! Facade crate re-exporting the Mantra workspace.
+//!
+//! Downstream users depend on `mantra` and reach each subsystem through a
+//! short alias: [`core`] is the monitoring tool itself, [`sim`] the
+//! multicast internetwork it monitors, [`snmp`] the alternative collection
+//! path the paper rejected, and so on.
+
+pub use mantra_core as core;
+pub use mantra_net as net;
+pub use mantra_protocols as protocols;
+pub use mantra_router_cli as router_cli;
+pub use mantra_sim as sim;
+pub use mantra_snmp as snmp;
+pub use mantra_tools as tools;
+pub use mantra_topology as topology;

@@ -1,0 +1,155 @@
+//! Failure-injection tests: the monitoring pipeline must survive the
+//! operational mess the paper's deployment dealt with — refused logins,
+//! half-transferred dumps, flapping links and rebooting routers.
+
+use mantra::core::collector::{FlakyAccess, SimAccess};
+use mantra::core::{Monitor, MonitorConfig};
+use mantra::net::SimDuration;
+use mantra::sim::{Event, Scenario};
+
+#[test]
+fn monitor_survives_heavy_capture_failures() {
+    let mut sc = Scenario::transition_snapshot(201, 0.4);
+    let mut monitor = Monitor::new(MonitorConfig {
+        routers: vec!["fixw".into(), "ucsb-gw".into()],
+        interval: sc.sim.tick(),
+        ..MonitorConfig::default()
+    });
+    for i in 0..24 {
+        let next = sc.sim.clock + monitor.cfg.interval;
+        sc.sim.advance_to(next);
+        let mut access = FlakyAccess::new(SimAccess::new(&sc.sim), 0.3, 0.3, 99 + i);
+        monitor.run_cycle(&mut access, next);
+    }
+    assert_eq!(monitor.cycles(), 24);
+    assert!(monitor.capture_failures() > 5, "failures were injected");
+    // History exists for every cycle even when captures failed.
+    assert_eq!(monitor.usage_history("fixw").len(), 24);
+    // Truncation salvage means parse totals still accumulated.
+    assert!(monitor.parse_totals.parsed > 100);
+    // The archive stays replayable.
+    let log = monitor.log("fixw").unwrap();
+    assert_eq!(log.replay().len(), 24);
+}
+
+#[test]
+fn truncated_dumps_do_not_poison_tables() {
+    let mut sc = Scenario::transition_snapshot(202, 0.4);
+    sc.sim.advance_to(sc.sim.clock + SimDuration::hours(6));
+    let now = sc.sim.clock;
+    // Pure truncation, no login failures, aggressive rate.
+    let mut flaky = FlakyAccess::new(SimAccess::new(&sc.sim), 0.0, 1.0, 7);
+    let mut collector = mantra::core::collector::Collector::new();
+    let captures = collector.collect(&mut flaky, "fixw", now);
+    let (tables, stats) = mantra::core::processor::process(&captures);
+    // Every surviving row is well-formed (the torn line was dropped).
+    assert_eq!(stats.malformed, 0, "{stats:?}");
+    // Partial data is partial, not garbage: any route present parses to a
+    // real prefix.
+    for r in tables.routes.values() {
+        assert!(r.metric <= 64);
+    }
+}
+
+#[test]
+fn link_flaps_show_up_and_heal() {
+    let mut sc = Scenario::transition_snapshot(203, 0.0);
+    let mut monitor = Monitor::new(MonitorConfig {
+        routers: vec!["fixw".into()],
+        interval: sc.sim.tick(),
+        ..MonitorConfig::default()
+    });
+    // Stabilise.
+    for _ in 0..8 {
+        let next = sc.sim.clock + monitor.cfg.interval;
+        sc.sim.advance_to(next);
+        let mut access = SimAccess::new(&sc.sim);
+        monitor.run_cycle(&mut access, next);
+    }
+    let healthy = monitor
+        .route_history("fixw")
+        .last()
+        .unwrap()
+        .dvmrp_reachable;
+    // Take the FIXW–UCSB tunnel down for an hour.
+    let link = sc
+        .sim
+        .net
+        .topo
+        .link_between(sc.fixw, sc.ucsb)
+        .unwrap()
+        .id;
+    let t_down = sc.sim.clock + SimDuration::mins(1);
+    let t_up = t_down + SimDuration::hours(1);
+    sc.sim.schedule(t_down, Event::SetLink { link, up: false });
+    sc.sim.schedule(t_up, Event::SetLink { link, up: true });
+    for _ in 0..4 {
+        let next = sc.sim.clock + monitor.cfg.interval;
+        sc.sim.advance_to(next);
+        let mut access = SimAccess::new(&sc.sim);
+        monitor.run_cycle(&mut access, next);
+    }
+    let during = monitor
+        .route_history("fixw")
+        .last()
+        .unwrap()
+        .dvmrp_reachable;
+    assert!(during < healthy, "withdrawals visible: {healthy} -> {during}");
+    // Heal and re-learn.
+    for _ in 0..12 {
+        let next = sc.sim.clock + monitor.cfg.interval;
+        sc.sim.advance_to(next);
+        let mut access = SimAccess::new(&sc.sim);
+        monitor.run_cycle(&mut access, next);
+    }
+    let healed = monitor
+        .route_history("fixw")
+        .last()
+        .unwrap()
+        .dvmrp_reachable;
+    assert!(
+        healed >= healthy,
+        "routes re-learned after flap: {healthy} -> {healed}"
+    );
+    // Churn history recorded the round trip.
+    let churn: usize = monitor
+        .churn_history("fixw")
+        .iter()
+        .map(|(_, c)| c.total())
+        .sum();
+    assert!(churn > 0);
+}
+
+#[test]
+fn collection_gap_then_resume() {
+    let mut sc = Scenario::transition_snapshot(204, 0.3);
+    let mut monitor = Monitor::new(MonitorConfig {
+        routers: vec!["fixw".into()],
+        interval: sc.sim.tick(),
+        ..MonitorConfig::default()
+    });
+    for _ in 0..6 {
+        let next = sc.sim.clock + monitor.cfg.interval;
+        sc.sim.advance_to(next);
+        let mut access = SimAccess::new(&sc.sim);
+        monitor.run_cycle(&mut access, next);
+    }
+    // Mantra host goes away for a day; the network keeps running.
+    sc.sim.advance_to(sc.sim.clock + SimDuration::days(1));
+    for _ in 0..6 {
+        let next = sc.sim.clock + monitor.cfg.interval;
+        sc.sim.advance_to(next);
+        let mut access = SimAccess::new(&sc.sim);
+        monitor.run_cycle(&mut access, next);
+    }
+    assert_eq!(monitor.cycles(), 12);
+    let hist = monitor.usage_history("fixw");
+    // The gap is visible in the timestamps, not papered over.
+    let gaps: Vec<u64> = hist
+        .windows(2)
+        .map(|w| (w[1].at.as_secs() - w[0].at.as_secs()) / 60)
+        .collect();
+    assert!(gaps.iter().any(|g| *g > 60 * 12), "gap preserved: {gaps:?}");
+    // And the archive replays cleanly across it.
+    assert_eq!(monitor.log("fixw").unwrap().replay().len(), 12);
+}

@@ -1,0 +1,159 @@
+//! End-to-end pipeline tests: simulated routers → CLI scrape → parse →
+//! log → statistics, across crates.
+
+use mantra::core::collector::SimAccess;
+use mantra::core::{Monitor, MonitorConfig};
+use mantra::net::rate::SENDER_THRESHOLD;
+use mantra::net::{SimDuration, SimTime};
+use mantra::sim::Scenario;
+
+fn drive(sc: &mut Scenario, monitor: &mut Monitor, cycles: usize) {
+    for _ in 0..cycles {
+        let next = sc.sim.clock + monitor.cfg.interval;
+        sc.sim.advance_to(next);
+        let mut access = SimAccess::new(&sc.sim);
+        monitor.run_cycle(&mut access, next);
+    }
+}
+
+#[test]
+fn monitored_tables_track_ground_truth() {
+    let mut sc = Scenario::transition_snapshot(101, 0.0);
+    let mut monitor = Monitor::new(MonitorConfig {
+        routers: vec!["fixw".into(), "ucsb-gw".into()],
+        interval: sc.sim.tick(),
+        ..MonitorConfig::default()
+    });
+    drive(&mut sc, &mut monitor, 48);
+    let seen = monitor.usage_history("fixw").last().unwrap();
+    let truth = sc.sim.sessions.len();
+    // The DVMRP world floods everything; modulo cache lag the exchange
+    // point's session count brackets the ground truth.
+    assert!(
+        seen.sessions as f64 > 0.5 * truth as f64
+            && (seen.sessions as f64) < 2.5 * truth as f64,
+        "seen {} vs truth {truth}",
+        seen.sessions
+    );
+    // Sender counts agree with ground truth within slack: every sender
+    // visible at FIXW is a real sender.
+    let truth_senders: usize = sc
+        .sim
+        .sessions
+        .iter()
+        .map(|s| s.senders(SENDER_THRESHOLD).count())
+        .sum();
+    assert!(
+        seen.senders <= truth_senders + 5,
+        "seen senders {} vs truth {truth_senders}",
+        seen.senders
+    );
+}
+
+#[test]
+fn parse_is_clean_on_healthy_captures() {
+    let mut sc = Scenario::transition_snapshot(102, 0.5);
+    let mut monitor = Monitor::new(MonitorConfig {
+        routers: vec!["fixw".into(), "ucsb-gw".into()],
+        interval: sc.sim.tick(),
+        ..MonitorConfig::default()
+    });
+    drive(&mut sc, &mut monitor, 24);
+    assert_eq!(
+        monitor.parse_totals.malformed, 0,
+        "real renderer output must parse without malformed rows: {:?}",
+        monitor.parse_totals
+    );
+    assert!(monitor.parse_totals.parsed > 1_000);
+    assert_eq!(monitor.capture_failures(), 0);
+}
+
+#[test]
+fn archives_replay_losslessly_through_the_monitor() {
+    let mut sc = Scenario::transition_snapshot(103, 0.3);
+    let mut monitor = Monitor::new(MonitorConfig {
+        routers: vec!["fixw".into()],
+        interval: sc.sim.tick(),
+        log_full_every: 7,
+        ..MonitorConfig::default()
+    });
+    drive(&mut sc, &mut monitor, 20);
+    let log = monitor.log("fixw").unwrap();
+    let replayed = log.replay();
+    assert_eq!(replayed.len(), 20);
+    assert_eq!(&replayed[19], monitor.latest("fixw").unwrap());
+    // Delta encoding earns its keep even on churning tables.
+    assert!(
+        log.savings_ratio() > 0.15,
+        "savings {:.2}",
+        log.savings_ratio()
+    );
+    // Timestamps are strictly increasing across snapshots.
+    for w in replayed.windows(2) {
+        assert!(w[0].captured_at < w[1].captured_at);
+    }
+}
+
+#[test]
+fn sa_cache_appears_only_on_msdp_capable_routers() {
+    let mut sc = Scenario::transition_snapshot(104, 0.6);
+    let mut monitor = Monitor::new(MonitorConfig {
+        routers: vec!["fixw".into(), "ucsb-gw".into()],
+        interval: sc.sim.tick(),
+        ..MonitorConfig::default()
+    });
+    drive(&mut sc, &mut monitor, 48);
+    let fixw = monitor.usage_history("fixw").last().unwrap();
+    let ucsb = monitor.usage_history("ucsb-gw").last().unwrap();
+    assert!(fixw.sa_entries > 0, "the border RP caches SAs");
+    assert_eq!(ucsb.sa_entries, 0, "mrouted has no MSDP");
+}
+
+#[test]
+fn mbgp_routes_visible_only_at_border() {
+    let mut sc = Scenario::transition_snapshot(105, 0.6);
+    let mut monitor = Monitor::new(MonitorConfig {
+        routers: vec!["fixw".into(), "ucsb-gw".into()],
+        interval: sc.sim.tick(),
+        ..MonitorConfig::default()
+    });
+    drive(&mut sc, &mut monitor, 12);
+    let fixw = monitor.route_history("fixw").last().unwrap();
+    let ucsb = monitor.route_history("ucsb-gw").last().unwrap();
+    assert!(fixw.mbgp_routes > 0);
+    assert_eq!(ucsb.mbgp_routes, 0);
+    assert!(fixw.dvmrp_reachable > 0 && ucsb.dvmrp_reachable > 0);
+}
+
+#[test]
+fn uptime_reported_by_ios_survives_the_pipeline() {
+    let mut sc = Scenario::transition_snapshot(106, 0.5);
+    let mut monitor = Monitor::new(MonitorConfig {
+        routers: vec!["fixw".into()],
+        interval: sc.sim.tick(),
+        ..MonitorConfig::default()
+    });
+    drive(&mut sc, &mut monitor, 8);
+    let routes = monitor.route_history("fixw").last().unwrap();
+    let mean = routes.mean_uptime_secs.expect("IOS reports uptimes");
+    assert!(mean > 0.0, "mean uptime {mean}");
+    // Two hours in, stable routes should have accumulated about that much
+    // uptime on average.
+    assert!(mean <= SimDuration::hours(13).as_secs() as f64);
+}
+
+#[test]
+fn clock_never_runs_backwards_through_the_pipeline() {
+    let mut sc = Scenario::transition_snapshot(107, 0.2);
+    let mut monitor = Monitor::new(MonitorConfig {
+        routers: vec!["fixw".into()],
+        interval: sc.sim.tick(),
+        ..MonitorConfig::default()
+    });
+    drive(&mut sc, &mut monitor, 16);
+    let hist = monitor.usage_history("fixw");
+    let times: Vec<SimTime> = hist.iter().map(|u| u.at).collect();
+    for w in times.windows(2) {
+        assert!(w[0] < w[1]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests of the protocol substrates under randomized
+//! topologies and message loss.
+
+use proptest::prelude::*;
+
+use mantra::net::{SimDuration, SimTime};
+use mantra::protocols::dvmrp::DvmrpTimers;
+use mantra::sim::{LinkFilter, Network, SimRng};
+use mantra::topology::reference::{mbone_1998, transition_internetwork, TopologyConfig};
+
+fn t0() -> SimTime {
+    SimTime::from_ymd(1998, 11, 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Without loss, DVMRP converges on any reference topology to the
+    /// same route count at every router, equal to the number of
+    /// originated prefixes.
+    #[test]
+    fn dvmrp_converges_lossless(
+        domains in 2usize..8,
+        routers_per_domain in 1usize..4,
+        leaves in 1usize..3,
+    ) {
+        let cfg = TopologyConfig {
+            domains,
+            routers_per_domain,
+            leaves_per_router: leaves,
+            native_fraction: 0.0,
+        };
+        let r = mbone_1998(&cfg);
+        let mut net = Network::new(r.topo, t0(), DvmrpTimers::default(), 0);
+        let mut rng = SimRng::seeded(domains as u64 * 31 + routers_per_domain as u64);
+        let mut now = t0();
+        // Diameter is 4 (leaf → border → fixw → border → leaf): a handful
+        // of rounds suffices.
+        for _ in 0..8 {
+            now = now + SimDuration::secs(60);
+            net.routing_round(now, 0.0, &mut rng);
+        }
+        // Expected prefixes: per domain, each internal router has `leaves`
+        // /24s, the border has one /24 + the /16 aggregate.
+        let expected = domains * (routers_per_domain * leaves + 2);
+        let counts: Vec<usize> = (0..net.topo.router_count())
+            .map(|i| net.dvmrp_route_count(mantra::net::RouterId(i as u32)))
+            .collect();
+        for c in &counts {
+            prop_assert_eq!(*c, expected, "all routers agree ({:?})", counts);
+        }
+    }
+
+    /// Under loss, counts never exceed the lossless fixed point and
+    /// lossless recovery restores it (no permanent damage).
+    #[test]
+    fn dvmrp_loss_never_inflates_and_recovers(
+        loss_pct in 5u32..60,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = TopologyConfig {
+            domains: 4,
+            routers_per_domain: 2,
+            leaves_per_router: 1,
+            native_fraction: 0.0,
+        };
+        let r = mbone_1998(&cfg);
+        let mut net = Network::new(r.topo, t0(), DvmrpTimers::default(), 0);
+        let mut rng = SimRng::seeded(seed);
+        let mut now = t0();
+        for _ in 0..6 {
+            now = now + SimDuration::secs(60);
+            net.routing_round(now, 0.0, &mut rng);
+        }
+        let fixed_point = net.dvmrp_route_count(r.fixw);
+        // Lossy period.
+        for _ in 0..20 {
+            now = now + SimDuration::secs(60);
+            net.routing_round(now, f64::from(loss_pct) / 100.0, &mut rng);
+            prop_assert!(net.dvmrp_route_count(r.fixw) <= fixed_point);
+        }
+        // Recovery.
+        for _ in 0..10 {
+            now = now + SimDuration::secs(60);
+            net.routing_round(now, 0.0, &mut rng);
+        }
+        prop_assert_eq!(net.dvmrp_route_count(r.fixw), fixed_point);
+    }
+
+    /// The DVMRP and sparse components always overlap in exactly the
+    /// border routers, for any native fraction.
+    #[test]
+    fn components_partition_at_borders(native_tenths in 1usize..9) {
+        let cfg = TopologyConfig {
+            domains: 8,
+            routers_per_domain: 2,
+            leaves_per_router: 1,
+            native_fraction: native_tenths as f64 / 10.0,
+        };
+        let r = transition_internetwork(&cfg);
+        let net = Network::new(r.topo, t0(), DvmrpTimers::default(), 0);
+        let dv = net.component(r.fixw, LinkFilter::Dvmrp);
+        let sp = net.component(r.fixw, LinkFilter::Sparse);
+        for router in dv.iter().filter(|x| sp.contains(x)) {
+            let suite = net.topo.router(*router).suite;
+            prop_assert!(
+                suite.dvmrp && suite.pim_sm,
+                "overlap router {router} must be a border"
+            );
+        }
+        // Union covers everything: no router is stranded.
+        let all = net.component(r.fixw, LinkFilter::Any);
+        prop_assert_eq!(all.len(), net.topo.router_count());
+    }
+
+    /// MSDP floods every origination to every RP, regardless of which RP
+    /// originates, and expiry empties all caches symmetrically.
+    #[test]
+    fn msdp_floods_to_all_rps(native_tenths in 3usize..9, which in 0usize..8) {
+        let cfg = TopologyConfig {
+            domains: 8,
+            routers_per_domain: 1,
+            leaves_per_router: 1,
+            native_fraction: native_tenths as f64 / 10.0,
+        };
+        let r = transition_internetwork(&cfg);
+        let mut net = Network::new(r.topo, t0(), DvmrpTimers::default(), 0);
+        let rps: Vec<_> = (0..net.topo.router_count())
+            .map(|i| mantra::net::RouterId(i as u32))
+            .filter(|x| net.msdp[x.index()].is_some())
+            .collect();
+        prop_assume!(rps.len() >= 2);
+        let origin = rps[which % rps.len()];
+        let src = mantra::net::Ip::new(128, 9, 0, 2);
+        let group = mantra::net::GroupAddr::from_index(7);
+        let mut rng = SimRng::seeded(3);
+        let mut now = t0();
+        for _ in 0..3 {
+            // An RP re-originates its SAs for as long as the source is
+            // registered (the tree builder does this every tick).
+            net.msdp[origin.index()]
+                .as_mut()
+                .unwrap()
+                .originate(src, group, now);
+            now = now + SimDuration::secs(60);
+            net.routing_round(now, 0.0, &mut rng);
+        }
+        for rp in &rps {
+            prop_assert!(
+                net.msdp[rp.index()]
+                    .as_ref()
+                    .unwrap()
+                    .sources_for(group)
+                    .contains(&src),
+                "SA reached {rp}"
+            );
+        }
+        // Stop refreshing: everything ages out everywhere.
+        let later = now + SimDuration::secs(400);
+        for rp in &rps {
+            net.msdp[rp.index()].as_mut().unwrap().expire(later);
+            prop_assert!(net.msdp[rp.index()].as_ref().unwrap().is_empty());
+        }
+    }
+}
