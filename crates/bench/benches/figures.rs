@@ -132,8 +132,7 @@ fn fig9_route_injection(c: &mut Criterion) {
     drive_for(&mut sc, &mut monitor, SimDuration::hours(13));
     // Trigger the injection so the benched cycles include detector work on
     // the inflated table.
-    sc.sim
-        .advance_to(sc.sim.clock + SimDuration::hours(2));
+    sc.sim.advance_to(sc.sim.clock + SimDuration::hours(2));
     c.bench_function("fig9_injection_cycle", |b| {
         b.iter(|| {
             let next = sc.sim.clock + monitor.cfg.interval;

@@ -27,13 +27,9 @@ fn main() {
 
     let density = monitor.usage_series("fixw", "avg-density", |u| u.avg_density);
     let sessions = monitor.usage_series("fixw", "sessions", |u| u.sessions as f64);
-    let single = monitor.usage_series("fixw", "single-member-frac", |u| {
-        u.single_member_fraction
-    });
+    let single = monitor.usage_series("fixw", "single-member-frac", |u| u.single_member_fraction);
     let le2 = monitor.usage_series("fixw", "le2-frac", |u| u.le2_density_fraction);
-    let top6 = monitor.usage_series("fixw", "top6pct-share", |u| {
-        u.top6pct_participant_share
-    });
+    let top6 = monitor.usage_series("fixw", "top6pct-share", |u| u.top6pct_participant_share);
 
     println!("\nseries summaries:");
     for s in [&density, &sessions, &single, &le2, &top6] {

@@ -24,12 +24,8 @@ fn main() {
     };
     drive_until(&mut sc, &mut monitor, end);
 
-    let bw_mbps = monitor.usage_series("fixw", "bandwidth-mbps", |u| {
-        u.total_bandwidth.mbps()
-    });
-    let saved = monitor.usage_series("fixw", "saved-multiple", |u| {
-        u.bandwidth_saved_multiple
-    });
+    let bw_mbps = monitor.usage_series("fixw", "bandwidth-mbps", |u| u.total_bandwidth.mbps());
+    let saved = monitor.usage_series("fixw", "saved-multiple", |u| u.bandwidth_saved_multiple);
 
     println!("\nseries summaries:");
     print_summary(&bw_mbps);

@@ -15,7 +15,10 @@ use mantra_net::{SimDuration, SimTime};
 use mantra_sim::Scenario;
 
 fn main() {
-    banner("Figure 6", "% sessions active and % participants sending, across the transition");
+    banner(
+        "Figure 6",
+        "% sessions active and % participants sending, across the transition",
+    );
     let csv = std::env::args().any(|a| a == "--csv");
     let mut sc = Scenario::fixw_six_months_with(1998, mantra_bench::paper_tick());
     let mut monitor = monitor_for(&sc);
@@ -82,8 +85,11 @@ fn main() {
             .mean()
     );
 
-    let mut graph = Graph::new("Figure 6: % active sessions (left series) and % senders (right series)");
-    graph.overlay(pct_active.clone()).overlay(pct_senders.clone());
+    let mut graph =
+        Graph::new("Figure 6: % active sessions (left series) and % senders (right series)");
+    graph
+        .overlay(pct_active.clone())
+        .overlay(pct_senders.clone());
     println!("\n{}", graph.render(100, 16));
     if csv {
         let mut g = Graph::new("fig6");

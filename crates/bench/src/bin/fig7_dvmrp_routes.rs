@@ -25,9 +25,7 @@ fn main() {
     drive_until(&mut sc, &mut monitor, end);
 
     let fixw = monitor.route_series("fixw", "fixw-dvmrp-routes", |r| r.dvmrp_reachable as f64);
-    let ucsb = monitor.route_series("ucsb-gw", "ucsb-dvmrp-routes", |r| {
-        r.dvmrp_reachable as f64
-    });
+    let ucsb = monitor.route_series("ucsb-gw", "ucsb-dvmrp-routes", |r| r.dvmrp_reachable as f64);
 
     println!("\nseries summaries:");
     print_summary(&fixw);
@@ -63,7 +61,12 @@ fn main() {
     let inconsistencies = monitor
         .anomalies
         .iter()
-        .filter(|a| matches!(a.kind, mantra_core::anomaly::AnomalyKind::Inconsistency { .. }))
+        .filter(|a| {
+            matches!(
+                a.kind,
+                mantra_core::anomaly::AnomalyKind::Inconsistency { .. }
+            )
+        })
         .count();
     println!("  inconsistency alarms raised: {inconsistencies}");
 

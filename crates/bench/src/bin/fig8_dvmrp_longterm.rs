@@ -26,7 +26,11 @@ fn main() {
         let mut month = SimTime::from_ymd(1998, 11, 1);
         while month < end {
             sc.sim.advance_to(month);
-            drive_until(&mut sc, &mut monitor, month + mantra_net::SimDuration::days(1));
+            drive_until(
+                &mut sc,
+                &mut monitor,
+                month + mantra_net::SimDuration::days(1),
+            );
             let (y, m, _) = month.ymd();
             let (ny, nm) = if m == 12 { (y + 1, 1) } else { (y, m + 1) };
             month = SimTime::from_ymd(ny, nm, 1);
@@ -35,9 +39,7 @@ fn main() {
         drive_until(&mut sc, &mut monitor, end);
     }
 
-    let routes = monitor.route_series("fixw", "fixw-dvmrp-routes", |r| {
-        r.dvmrp_reachable as f64
-    });
+    let routes = monitor.route_series("fixw", "fixw-dvmrp-routes", |r| r.dvmrp_reachable as f64);
     println!("\nseries summary:");
     print_summary(&routes);
 
@@ -57,7 +59,10 @@ fn main() {
     for ((y1, m1), (y2, m2)) in quarters {
         let w = routes.window(SimTime::from_ymd(y1, m1, 1), SimTime::from_ymd(y2, m2, 1));
         if !w.is_empty() {
-            println!("  {y1}-{m1:02} .. {y2}-{m2:02}: mean {:.0} routes", w.mean());
+            println!(
+                "  {y1}-{m1:02} .. {y2}-{m2:02}: mean {:.0} routes",
+                w.mean()
+            );
             means.push(w.mean());
         }
     }

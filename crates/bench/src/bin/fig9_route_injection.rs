@@ -14,7 +14,10 @@ use mantra_core::output::Graph;
 use mantra_sim::Scenario;
 
 fn main() {
-    banner("Figure 9", "unicast route injection at the UCSB mrouted, 1998-10-14");
+    banner(
+        "Figure 9",
+        "unicast route injection at the UCSB mrouted, 1998-10-14",
+    );
     let csv = std::env::args().any(|a| a == "--csv");
     // One day is cheap; fast mode changes nothing here.
     let mut sc = Scenario::ucsb_injection_day(1998);
@@ -23,9 +26,7 @@ fn main() {
     drive_until(&mut sc, &mut monitor, end);
 
     let name = monitor.cfg.routers[0].clone();
-    let routes = monitor.route_series(&name, "ucsb-dvmrp-routes", |r| {
-        r.dvmrp_reachable as f64
-    });
+    let routes = monitor.route_series(&name, "ucsb-dvmrp-routes", |r| r.dvmrp_reachable as f64);
     println!("\nseries summary:");
     print_summary(&routes);
 
@@ -74,7 +75,9 @@ fn main() {
     println!(
         "\nautomated diagnosis: spike detected = {spike_seen}, injection signature = {injection_seen}"
     );
-    println!("(paper: detected by eye at ~1400 hours, diagnosed off-line as unicast route injection)");
+    println!(
+        "(paper: detected by eye at ~1400 hours, diagnosed off-line as unicast route injection)"
+    );
 
     let mut graph = Graph::new("Figure 9: DVMRP routes at UCSB, 1998-10-14 (x = hour of day)");
     graph.overlay(routes.clone());

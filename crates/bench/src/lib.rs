@@ -17,7 +17,9 @@ use mantra_sim::Scenario;
 
 /// True when `MANTRA_FAST=1` (CI-scale runs).
 pub fn fast_mode() -> bool {
-    std::env::var("MANTRA_FAST").map(|v| v == "1").unwrap_or(false)
+    std::env::var("MANTRA_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// The collection tick for the six-month scenarios: `MANTRA_TICK_MINS`

@@ -19,9 +19,7 @@ impl Opts {
             let key = tok
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got '{tok}'"))?;
-            let value = it
-                .next()
-                .ok_or_else(|| format!("--{key} needs a value"))?;
+            let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
             map.insert(key.to_string(), value.clone());
         }
         Ok(Opts { map })
@@ -36,7 +34,9 @@ impl Opts {
     pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, String> {
         match self.map.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key}: '{v}' is not an integer")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: '{v}' is not an integer")),
         }
     }
 
@@ -44,7 +44,9 @@ impl Opts {
     pub fn f64_or(&self, key: &str, default: f64) -> Result<f64, String> {
         match self.map.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key}: '{v}' is not a number")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: '{v}' is not a number")),
         }
     }
 }

@@ -1,7 +1,7 @@
 //! The subcommand implementations.
 
-use mantra_core::collector::SimAccess;
-use mantra_core::{Monitor, MonitorConfig};
+use mantra_core::collector::{FlakyAccess, SimAccess};
+use mantra_core::{Monitor, MonitorConfig, RetryPolicy};
 use mantra_net::SimDuration;
 use mantra_sim::Scenario;
 
@@ -13,6 +13,8 @@ mantra — router-based multicast monitoring (simulated 1998-2000 internetwork)
 
 USAGE:
   mantra monitor  [--seed N] [--native F] [--hours H] [--loss P] [--html FILE]
+  mantra health   [--seed N] [--native F] [--hours H] [--fail P] [--truncate P]
+                  [--retries N]
   mantra incident [--seed N]
   mantra mwatch   [--seed N] [--native F]
   mantra mtrace   [--seed N] [--native F]
@@ -24,6 +26,9 @@ OPTIONS:
   --hours H       hours of simulated monitoring (default 12)
   --loss P        DVMRP report loss probability (default 0.02)
   --html FILE     also write an HTML report
+  --fail P        injected login-failure probability (default 0.2)
+  --truncate P    injected truncation probability (default 0.1)
+  --retries N     capture attempts per table per cycle (default 3)
   --oid OID       subtree to walk (default 1.3.6.1.2.1)
   --community STR SNMP community (default public)";
 
@@ -69,19 +74,83 @@ pub fn monitor(opts: &Opts) -> Result<(), String> {
         let r = monitor.route_history(router).last().expect("same cycles");
         println!(
             "{router}: {} sessions ({} active), {} participants ({} senders), {}, {} DVMRP routes",
-            u.sessions, u.active_sessions, u.participants, u.senders, u.total_bandwidth,
+            u.sessions,
+            u.active_sessions,
+            u.participants,
+            u.senders,
+            u.total_bandwidth,
             r.dvmrp_reachable,
         );
     }
     println!("\n{}", monitor.busiest_sessions("fixw", 8).render());
     println!("{}", monitor.usage_graph("fixw").render(96, 14));
     if !monitor.anomalies.is_empty() {
-        println!("{} anomaly(ies) detected; first: {:?}", monitor.anomalies.len(), monitor.anomalies[0]);
+        println!(
+            "{} anomaly(ies) detected; first: {:?}",
+            monitor.anomalies.len(),
+            monitor.anomalies[0]
+        );
     }
     if let Some(path) = opts.get("html") {
         std::fs::write(path, mantra_core::web::report_html(&monitor, "fixw"))
             .map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `mantra health`: monitor through injected capture failures with the
+/// resilient parallel collector and report per-router collection health.
+pub fn health(opts: &Opts) -> Result<(), String> {
+    let hours = opts.u64_or("hours", 12)?;
+    let fail = opts.f64_or("fail", 0.2)?;
+    let truncate = opts.f64_or("truncate", 0.1)?;
+    let retries = opts.u64_or("retries", 3)?;
+    if !(0.0..=1.0).contains(&fail) || !(0.0..=1.0).contains(&truncate) {
+        return Err("--fail and --truncate must be in [0,1]".into());
+    }
+    if retries == 0 {
+        return Err("--retries must be at least 1".into());
+    }
+    let seed = opts.u64_or("seed", 1998)?;
+    let mut sc = scenario(opts)?;
+    let mut monitor = Monitor::new(MonitorConfig {
+        routers: vec!["fixw".into(), "ucsb-gw".into()],
+        interval: sc.sim.tick(),
+        retry: RetryPolicy {
+            max_attempts: retries as u32,
+            ..RetryPolicy::default()
+        },
+        ..MonitorConfig::default()
+    });
+    let cycles = hours * 3_600 / monitor.cfg.interval.as_secs();
+    eprintln!(
+        "monitoring {hours}h ({cycles} cycles) with {:.0}% login failures, \
+         {:.0}% truncations, {retries} attempts per capture...",
+        fail * 100.0,
+        truncate * 100.0,
+    );
+    let mut now = sc.sim.clock;
+    for i in 0..cycles {
+        now = sc.sim.clock + monitor.cfg.interval;
+        sc.sim.advance_to(now);
+        let access = FlakyAccess::new(&sc.sim, fail, truncate, seed ^ i);
+        monitor.run_cycle_parallel(&access, now);
+    }
+    println!("{}", monitor.health(now).render());
+    for router in &monitor.cfg.routers.clone() {
+        let Some(h) = monitor.router_health(router) else {
+            continue;
+        };
+        let attempts = h.successes + h.failures;
+        if attempts > 0 {
+            println!(
+                "{router}: {:.1}% captured ({} recovered by retry, {} salvaged from partials)",
+                h.successes as f64 / attempts as f64 * 100.0,
+                h.retry_successes,
+                h.salvaged,
+            );
+        }
     }
     Ok(())
 }
@@ -110,7 +179,10 @@ pub fn incident(opts: &Opts) -> Result<(), String> {
     g.overlay(series);
     println!("{}", g.render(96, 14));
     let injection = monitor.anomalies.iter().find(|a| {
-        matches!(a.kind, mantra_core::anomaly::AnomalyKind::RouteInjection { .. })
+        matches!(
+            a.kind,
+            mantra_core::anomaly::AnomalyKind::RouteInjection { .. }
+        )
     });
     match injection {
         Some(a) => println!("diagnosis: {:?} at {}", a.kind, a.at),
@@ -158,9 +230,7 @@ pub fn snmpwalk(opts: &Opts) -> Result<(), String> {
         .map_err(|_| "--oid: malformed OID".to_string())?;
     let mut agent = mantra_snmp::Agent::new("public");
     mantra_snmp::mib::refresh_agent(&mut agent, &sc.sim.net, sc.fixw, sc.sim.clock);
-    let rows = agent
-        .walk(community, &oid)
-        .map_err(|e| e.to_string())?;
+    let rows = agent.walk(community, &oid).map_err(|e| e.to_string())?;
     for (o, v) in &rows {
         println!("{o} = {v:?}");
     }

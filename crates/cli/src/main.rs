@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! mantra monitor  [--seed N] [--native F] [--hours H] [--loss P] [--html FILE]
+//! mantra health   [--seed N] [--fail P] [--truncate P] [--retries N]
 //! mantra incident [--seed N]                 # replay Figure 9 and diagnose
 //! mantra mwatch   [--seed N] [--native F]    # map the internetwork
 //! mantra mtrace   [--seed N] [--native F]    # trace to the busiest sender
@@ -31,6 +32,7 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "monitor" => cmd::monitor(&opts),
+        "health" => cmd::health(&opts),
         "incident" => cmd::incident(&opts),
         "mwatch" => cmd::mwatch(&opts),
         "mtrace" => cmd::mtrace(&opts),

@@ -13,7 +13,10 @@ use rayon::prelude::*;
 use mantra_net::SimTime;
 use mantra_router_cli::TableKind;
 
-use crate::collector::{preprocess, CaptureError};
+use crate::collector::{
+    preprocess, CaptureError, CollectStats, Collector, FlakyAccess, RetryPolicy,
+};
+use crate::monitor::SessionAdapter;
 use crate::processor::{process, ParseStats};
 use crate::stats::ConsistencyReport;
 use crate::tables::Tables;
@@ -24,12 +27,21 @@ use crate::tables::Tables;
 /// layer cannot be a single mutable session.
 pub trait ParallelAccess: Sync {
     /// Captures the raw text of `table` from the named router.
+    fn capture(&self, router: &str, table: TableKind, now: SimTime)
+        -> Result<String, CaptureError>;
+}
+
+/// Shared references forward, so decorators like [`FlakyAccess`] can wrap
+/// a borrowed transport.
+impl<P: ParallelAccess + ?Sized> ParallelAccess for &P {
     fn capture(
         &self,
         router: &str,
         table: TableKind,
         now: SimTime,
-    ) -> Result<String, CaptureError>;
+    ) -> Result<String, CaptureError> {
+        (**self).capture(router, table, now)
+    }
 }
 
 /// The simulator is immutable during capture, so a shared reference is a
@@ -51,6 +63,23 @@ impl ParallelAccess for mantra_sim::Simulation {
     }
 }
 
+/// The failure injector is stateless per capture, so it forwards parallel
+/// captures whenever its transport does.
+impl<A: ParallelAccess> ParallelAccess for FlakyAccess<A> {
+    fn capture(
+        &self,
+        router: &str,
+        table: TableKind,
+        now: SimTime,
+    ) -> Result<String, CaptureError> {
+        if self.roll_login_failure(router, table, now) {
+            return Err(CaptureError::LoginFailed("connection refused".into()));
+        }
+        let full = self.inner().capture(router, table, now)?;
+        self.maybe_truncate(router, table, now, full)
+    }
+}
+
 /// One router's outcome within an aggregate cycle.
 #[derive(Clone, Debug)]
 pub struct RouterCycle {
@@ -62,6 +91,9 @@ pub struct RouterCycle {
     pub parse: ParseStats,
     /// Capture failures this cycle.
     pub capture_failures: usize,
+    /// Collection health accounting. The plain collectors issue one
+    /// attempt per table, so only the resilient path reports retries.
+    pub stats: CollectStats,
 }
 
 /// The combined result of one aggregate collection cycle.
@@ -75,6 +107,58 @@ pub struct AggregateView {
     pub merged: Tables,
     /// Pairwise DVMRP consistency among routers that run DVMRP.
     pub consistency: Vec<(String, String, ConsistencyReport)>,
+}
+
+/// Builds one router's cycle from single-attempt capture results.
+fn cycle_from_captures(
+    router: &str,
+    captures: Vec<Result<crate::collector::Capture, CaptureError>>,
+) -> RouterCycle {
+    let failures = captures.iter().filter(|c| c.is_err()).count();
+    let ok: Vec<_> = captures.into_iter().flatten().collect();
+    let stats = CollectStats {
+        attempts: (ok.len() + failures) as u64,
+        successes: ok.len() as u64,
+        failures: failures as u64,
+        raw_bytes: ok.iter().map(|c| c.raw_bytes as u64).sum(),
+        ..CollectStats::default()
+    };
+    let (tables, parse) = process(&ok);
+    RouterCycle {
+        router: router.to_string(),
+        tables,
+        parse,
+        capture_failures: failures,
+        stats,
+    }
+}
+
+/// Merges per-router cycles (already in configuration order) into the
+/// final aggregate view: union tables plus pairwise DVMRP consistency.
+fn assemble(per_router: Vec<RouterCycle>, now: SimTime) -> AggregateView {
+    let mut merged = Tables::new("aggregate", now);
+    for rc in &per_router {
+        merged.merge(&rc.tables);
+    }
+    let mut consistency = Vec::new();
+    for i in 0..per_router.len() {
+        for j in (i + 1)..per_router.len() {
+            let (a, b) = (&per_router[i], &per_router[j]);
+            if a.tables.reachable_dvmrp_routes() > 0 && b.tables.reachable_dvmrp_routes() > 0 {
+                consistency.push((
+                    a.router.clone(),
+                    b.router.clone(),
+                    ConsistencyReport::between(&a.tables, &b.tables),
+                ));
+            }
+        }
+    }
+    AggregateView {
+        at: now,
+        per_router,
+        merged,
+        consistency,
+    }
 }
 
 /// Collects all tables from all routers concurrently and aggregates.
@@ -97,41 +181,45 @@ pub fn collect_aggregate(
                         .map(|raw| preprocess(router, *kind, &raw, now))
                 })
                 .collect();
-            let failures = captures.iter().filter(|c| c.is_err()).count();
-            let ok: Vec<_> = captures.into_iter().flatten().collect();
-            let (tables, parse) = process(&ok);
+            cycle_from_captures(router, captures)
+        })
+        .collect();
+    assemble(per_router, now)
+}
+
+/// Collects all routers concurrently through the resilient collector:
+/// transient failures retry with deterministic backoff and truncated dumps
+/// salvage, per `retry`. Each [`RouterCycle::stats`] carries the full
+/// health accounting, so the aggregate view reports collection health
+/// alongside the merged tables.
+pub fn collect_aggregate_resilient(
+    access: &impl ParallelAccess,
+    routers: &[String],
+    tables: &[TableKind],
+    now: SimTime,
+    retry: &RetryPolicy,
+) -> AggregateView {
+    let collector = Collector {
+        tables: tables.to_vec(),
+        retry: retry.clone(),
+        ..Collector::default()
+    };
+    let per_router: Vec<RouterCycle> = routers
+        .par_iter()
+        .map(|router| {
+            let mut session = SessionAdapter(access);
+            let (captures, stats) = collector.collect_with(&mut session, router, now);
+            let (tables, parse) = process(&captures);
             RouterCycle {
                 router: router.clone(),
                 tables,
                 parse,
-                capture_failures: failures,
+                capture_failures: stats.failures as usize,
+                stats,
             }
         })
         .collect();
-
-    let mut merged = Tables::new("aggregate", now);
-    for rc in &per_router {
-        merged.merge(&rc.tables);
-    }
-    let mut consistency = Vec::new();
-    for i in 0..per_router.len() {
-        for j in (i + 1)..per_router.len() {
-            let (a, b) = (&per_router[i], &per_router[j]);
-            if a.tables.reachable_dvmrp_routes() > 0 && b.tables.reachable_dvmrp_routes() > 0 {
-                consistency.push((
-                    a.router.clone(),
-                    b.router.clone(),
-                    ConsistencyReport::between(&a.tables, &b.tables),
-                ));
-            }
-        }
-    }
-    AggregateView {
-        at: now,
-        per_router,
-        merged,
-        consistency,
-    }
+    assemble(per_router, now)
 }
 
 /// Sequential reference implementation, used by the ablation bench to
@@ -153,40 +241,10 @@ pub fn collect_aggregate_sequential(
                         .map(|raw| preprocess(router, *kind, &raw, now))
                 })
                 .collect();
-            let failures = captures.iter().filter(|c| c.is_err()).count();
-            let ok: Vec<_> = captures.into_iter().flatten().collect();
-            let (tables, parse) = process(&ok);
-            RouterCycle {
-                router: router.clone(),
-                tables,
-                parse,
-                capture_failures: failures,
-            }
+            cycle_from_captures(router, captures)
         })
         .collect();
-    let mut merged = Tables::new("aggregate", now);
-    for rc in &per_router {
-        merged.merge(&rc.tables);
-    }
-    let mut consistency = Vec::new();
-    for i in 0..per_router.len() {
-        for j in (i + 1)..per_router.len() {
-            let (a, b) = (&per_router[i], &per_router[j]);
-            if a.tables.reachable_dvmrp_routes() > 0 && b.tables.reachable_dvmrp_routes() > 0 {
-                consistency.push((
-                    a.router.clone(),
-                    b.router.clone(),
-                    ConsistencyReport::between(&a.tables, &b.tables),
-                ));
-            }
-        }
-    }
-    AggregateView {
-        at: now,
-        per_router,
-        merged,
-        consistency,
-    }
+    assemble(per_router, now)
 }
 
 /// A streaming collection pipeline: capture workers feed parse workers
@@ -198,7 +256,7 @@ pub fn collect_aggregate_sequential(
 /// router's tables merge, with the router count folded so far — a UI can
 /// paint incrementally.
 pub fn collect_streaming<F>(
-    access: &(impl ParallelAccess + Sync),
+    access: &impl ParallelAccess,
     routers: &[String],
     tables: &[TableKind],
     now: SimTime,
@@ -224,15 +282,7 @@ where
                             .map(|raw| preprocess(router, *kind, &raw, now))
                     })
                     .collect();
-                let failures = captures.iter().filter(|c| c.is_err()).count();
-                let ok: Vec<_> = captures.into_iter().flatten().collect();
-                let (parsed, parse) = process(&ok);
-                let _ = tx.send(RouterCycle {
-                    router: router.clone(),
-                    tables: parsed,
-                    parse,
-                    capture_failures: failures,
-                });
+                let _ = tx.send(cycle_from_captures(router, captures));
             });
         }
         drop(tx);
@@ -251,26 +301,13 @@ where
     // Keep configuration order for the per-router list (completion order
     // is nondeterministic).
     per_router.sort_by_key(|rc| routers.iter().position(|r| *r == rc.router));
-    let merged = merged.into_inner();
-    let mut consistency = Vec::new();
-    for i in 0..per_router.len() {
-        for j in (i + 1)..per_router.len() {
-            let (a, b) = (&per_router[i], &per_router[j]);
-            if a.tables.reachable_dvmrp_routes() > 0 && b.tables.reachable_dvmrp_routes() > 0 {
-                consistency.push((
-                    a.router.clone(),
-                    b.router.clone(),
-                    ConsistencyReport::between(&a.tables, &b.tables),
-                ));
-            }
-        }
-    }
-    AggregateView {
-        at: now,
-        per_router,
-        merged,
-        consistency,
-    }
+    // The live fold above merges in completion order, and merge breaks
+    // ties (same pair seen by two routers) by first arrival — so the
+    // folded view is only for mid-collection observers. `assemble`
+    // rebuilds the final view in configuration order, making the returned
+    // aggregate deterministic and identical to the batch collectors'.
+    drop(merged);
+    assemble(per_router, now)
 }
 
 #[cfg(test)]
@@ -335,12 +372,50 @@ mod tests {
     }
 
     #[test]
+    fn resilient_aggregate_recovers_what_single_attempts_lose() {
+        let mut sc = Scenario::transition_snapshot(25, 0.4);
+        sc.sim.advance_to(sc.sim.clock + SimDuration::hours(5));
+        let now = sc.sim.clock;
+        let routers = vec!["fixw".to_string(), "ucsb-gw".to_string()];
+        let flaky = FlakyAccess::new(&sc.sim, 0.3, 0.3, 42);
+        let baseline = collect_aggregate(&flaky, &routers, &TableKind::ALL, now);
+        let resilient = collect_aggregate_resilient(
+            &flaky,
+            &routers,
+            &TableKind::ALL,
+            now,
+            &RetryPolicy::default(),
+        );
+        let ok = |v: &AggregateView| v.per_router.iter().map(|r| r.stats.successes).sum::<u64>();
+        // First attempts share the same deterministic rolls, so retries
+        // can only add captures.
+        assert!(
+            ok(&resilient) > ok(&baseline),
+            "{} vs {}",
+            ok(&resilient),
+            ok(&baseline)
+        );
+        let recovered: u64 = resilient
+            .per_router
+            .iter()
+            .map(|r| r.stats.retry_successes)
+            .sum();
+        assert!(recovered > 0);
+        // Health accounting reaches the aggregate view.
+        assert!(resilient.per_router.iter().all(|r| r.stats.attempts > 0));
+    }
+
+    #[test]
     fn unknown_router_counts_as_failures_not_panic() {
         let mut sc = Scenario::transition_snapshot(23, 0.0);
         sc.sim.advance_to(sc.sim.clock + SimDuration::hours(1));
         let routers = vec!["fixw".to_string(), "ghost".to_string()];
         let view = collect_aggregate(&sc.sim, &routers, &TableKind::ALL, sc.sim.clock);
-        let ghost = view.per_router.iter().find(|r| r.router == "ghost").unwrap();
+        let ghost = view
+            .per_router
+            .iter()
+            .find(|r| r.router == "ghost")
+            .unwrap();
         assert_eq!(ghost.capture_failures, TableKind::ALL.len());
         assert!(ghost.tables.pairs.is_empty());
         let fixw = view.per_router.iter().find(|r| r.router == "fixw").unwrap();

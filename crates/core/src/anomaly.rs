@@ -95,7 +95,7 @@ impl SpikeDetector {
     fn median(mut xs: Vec<f64>) -> f64 {
         xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         let n = xs.len();
-        if n % 2 == 0 {
+        if n.is_multiple_of(2) {
             (xs[n / 2 - 1] + xs[n / 2]) / 2.0
         } else {
             xs[n / 2]
@@ -249,7 +249,10 @@ mod tests {
         // The spike did not poison the baseline: a return to normal is
         // quiet, another spike still fires.
         assert_eq!(d.observe(1_020.0), None);
-        assert!(matches!(d.observe(3_400.0), Some(AnomalyKind::Spike { .. })));
+        assert!(matches!(
+            d.observe(3_400.0),
+            Some(AnomalyKind::Spike { .. })
+        ));
         // And a crash fires downward.
         assert!(matches!(d.observe(10.0), Some(AnomalyKind::Crash { .. })));
     }

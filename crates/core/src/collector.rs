@@ -10,7 +10,7 @@
 //! with the failure modes real collection suffered (login refusals,
 //! truncated captures).
 
-use mantra_net::{RouterId, SimTime};
+use mantra_net::{RouterId, SimDuration, SimTime};
 use mantra_router_cli::TableKind;
 use mantra_sim::Simulation;
 
@@ -97,8 +97,11 @@ pub fn preprocess(router: &str, kind: TableKind, raw: &str, now: SimTime) -> Cap
         {
             continue;
         }
-        // Prompt lines: `name> ` or `name#command`.
-        if trimmed == format!("{router}>") || trimmed.starts_with(&format!("{router}#")) {
+        // Prompt lines and command echoes, in both the user-exec (`name>`)
+        // and privileged (`name#`) forms: `name>`, `name> command`,
+        // `name#command`.
+        if trimmed.starts_with(&format!("{router}>")) || trimmed.starts_with(&format!("{router}#"))
+        {
             continue;
         }
         // Collapse internal whitespace runs.
@@ -178,22 +181,26 @@ impl<A> FlakyAccess<A> {
         stream.hash(&mut h);
         (h.finish() >> 11) as f64 / (1u64 << 53) as f64
     }
-}
 
-impl<A: RouterAccess> RouterAccess for FlakyAccess<A> {
-    fn capture(
-        &mut self,
+    /// Whether the capture at `now` fails to log in.
+    pub(crate) fn roll_login_failure(&self, router: &str, table: TableKind, now: SimTime) -> bool {
+        self.hash01(router, table, now, 1) < self.login_failure_prob
+    }
+
+    /// Applies the truncation roll to a successfully fetched dump. The cut
+    /// always drops at least the final character, so a "partial" capture is
+    /// never silently the full text.
+    pub(crate) fn maybe_truncate(
+        &self,
         router: &str,
         table: TableKind,
         now: SimTime,
+        full: String,
     ) -> Result<String, CaptureError> {
-        if self.hash01(router, table, now, 1) < self.login_failure_prob {
-            return Err(CaptureError::LoginFailed("connection refused".into()));
-        }
-        let full = self.inner.capture(router, table, now)?;
         let r = self.hash01(router, table, now, 2);
         if r < self.truncation_prob {
             let keep = (full.len() as f64 * (0.1 + 0.8 * r / self.truncation_prob)) as usize;
+            let keep = keep.min(full.len().saturating_sub(1));
             let cut = full
                 .char_indices()
                 .map(|(i, _)| i)
@@ -206,6 +213,135 @@ impl<A: RouterAccess> RouterAccess for FlakyAccess<A> {
         }
         Ok(full)
     }
+
+    /// Read access to the wrapped transport.
+    pub(crate) fn inner(&self) -> &A {
+        &self.inner
+    }
+}
+
+impl<A: RouterAccess> RouterAccess for FlakyAccess<A> {
+    fn capture(
+        &mut self,
+        router: &str,
+        table: TableKind,
+        now: SimTime,
+    ) -> Result<String, CaptureError> {
+        if self.roll_login_failure(router, table, now) {
+            return Err(CaptureError::LoginFailed("connection refused".into()));
+        }
+        let full = self.inner.capture(router, table, now)?;
+        self.maybe_truncate(router, table, now, full)
+    }
+}
+
+/// Bounded-retry policy for transient capture failures.
+///
+/// The paper's cron-driven expect scripts simply lost a cycle when a login
+/// was refused or a dump died mid-transfer; the resilient collector retries
+/// such captures a bounded number of times with exponential backoff. The
+/// jitter is deterministic — keyed on `(salt, router, table, cycle, attempt)`
+/// exactly like [`FlakyAccess`] keys its failure rolls — so any scenario
+/// replays bit-for-bit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Total capture attempts per table per cycle (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base_backoff: SimDuration,
+    /// Upper bound on any single backoff.
+    pub max_backoff: SimDuration,
+    /// Fraction of each backoff randomised away (0.0 = fixed backoff,
+    /// 0.5 = uniform over the upper half of the exponential schedule).
+    pub jitter: f64,
+    /// Jitter hash salt.
+    pub salt: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: SimDuration::secs(2),
+            max_backoff: SimDuration::secs(60),
+            jitter: 0.5,
+            salt: 0x4d414e545241, // "MANTRA"
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The seed behaviour: one attempt, no retries.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The backoff to wait after failed attempt number `attempt` (1-based)
+    /// of capturing `table` from `router` in the cycle that started at
+    /// `cycle`. Always at least one second, so a retried capture lands on
+    /// a fresh timestamp (and [`FlakyAccess`] re-rolls its failures).
+    pub fn backoff(
+        &self,
+        router: &str,
+        table: TableKind,
+        cycle: SimTime,
+        attempt: u32,
+    ) -> SimDuration {
+        use std::hash::{Hash, Hasher};
+        let exp = self
+            .base_backoff
+            .as_secs()
+            .saturating_mul(1u64 << (attempt.min(32) - 1).min(62))
+            .min(self.max_backoff.as_secs());
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.salt.hash(&mut h);
+        router.hash(&mut h);
+        table.hash(&mut h);
+        cycle.as_secs().hash(&mut h);
+        attempt.hash(&mut h);
+        let r = (h.finish() >> 11) as f64 / (1u64 << 53) as f64;
+        let jittered = exp as f64 * (1.0 - self.jitter.clamp(0.0, 1.0) * r);
+        SimDuration::secs((jittered as u64).max(1))
+    }
+}
+
+/// Per-call collection accounting, the raw material for the monitor's
+/// health registry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CollectStats {
+    /// Capture attempts issued (including retries).
+    pub attempts: u64,
+    /// Tables captured in full.
+    pub successes: u64,
+    /// Tables whose final attempt still failed (salvaged or not).
+    pub failures: u64,
+    /// Retry attempts issued (attempts beyond the first per table).
+    pub retries: u64,
+    /// Tables that failed at least once and then captured in full.
+    pub retry_successes: u64,
+    /// Tables recovered from a truncated partial.
+    pub salvaged: u64,
+    /// Raw bytes captured (full and salvaged partials).
+    pub raw_bytes: u64,
+    /// Total backoff waited — the collection latency added by retries.
+    pub backoff: SimDuration,
+}
+
+impl CollectStats {
+    /// Folds another call's accounting into this one.
+    pub fn absorb(&mut self, other: &CollectStats) {
+        self.attempts += other.attempts;
+        self.successes += other.successes;
+        self.failures += other.failures;
+        self.retries += other.retries;
+        self.retry_successes += other.retry_successes;
+        self.salvaged += other.salvaged;
+        self.raw_bytes += other.raw_bytes;
+        self.backoff += other.backoff;
+    }
 }
 
 /// The collector: captures and pre-processes a configured set of tables,
@@ -213,6 +349,8 @@ impl<A: RouterAccess> RouterAccess for FlakyAccess<A> {
 pub struct Collector {
     /// Tables to capture each cycle.
     pub tables: Vec<TableKind>,
+    /// Retry policy applied to transient capture failures.
+    pub retry: RetryPolicy,
     /// Running count of failed captures (exposed for health monitoring).
     pub failures: u64,
     /// Running count of successful captures.
@@ -223,6 +361,7 @@ impl Default for Collector {
     fn default() -> Self {
         Collector {
             tables: TableKind::ALL.to_vec(),
+            retry: RetryPolicy::default(),
             failures: 0,
             successes: 0,
         }
@@ -230,42 +369,115 @@ impl Default for Collector {
 }
 
 impl Collector {
-    /// A collector for the full table set.
+    /// A collector for the full table set with the default retry policy.
     pub fn new() -> Self {
         Collector::default()
     }
 
-    /// Captures every configured table from `router`. Failed captures are
-    /// skipped (counted in [`Collector::failures`]); truncated captures
-    /// are salvaged by pre-processing the partial text, as the real tool
-    /// did with half-transferred dumps.
+    /// A collector with the given retry policy.
+    pub fn with_retry(retry: RetryPolicy) -> Self {
+        Collector {
+            retry,
+            ..Collector::default()
+        }
+    }
+
+    /// Captures every configured table from `router`, retrying transient
+    /// failures per [`Collector::retry`]. Stateless (`&self`) so cycles
+    /// over different routers can run concurrently; the caller folds the
+    /// returned [`CollectStats`] wherever it keeps running counters.
+    ///
+    /// Transient errors ([`CaptureError::LoginFailed`],
+    /// [`CaptureError::Truncated`]) are retried with backoff; permanent
+    /// ones ([`CaptureError::Unsupported`],
+    /// [`CaptureError::UnknownRouter`]) fail immediately. A table whose
+    /// final attempt is still truncated is salvaged from the longest
+    /// partial seen across attempts, as the real tool did with
+    /// half-transferred dumps.
+    pub fn collect_with(
+        &self,
+        access: &mut dyn RouterAccess,
+        router: &str,
+        now: SimTime,
+    ) -> (Vec<Capture>, CollectStats) {
+        let mut out = Vec::with_capacity(self.tables.len());
+        let mut stats = CollectStats::default();
+        let max_attempts = self.retry.max_attempts.max(1);
+        for kind in &self.tables {
+            let kind = *kind;
+            let mut best_partial: Option<String> = None;
+            let mut full: Option<String> = None;
+            let mut waited = SimDuration::ZERO;
+            for attempt in 1..=max_attempts {
+                stats.attempts += 1;
+                if attempt > 1 {
+                    stats.retries += 1;
+                }
+                match access.capture(router, kind, now + waited) {
+                    Ok(raw) => {
+                        if attempt > 1 {
+                            stats.retry_successes += 1;
+                        }
+                        full = Some(raw);
+                        break;
+                    }
+                    Err(CaptureError::Truncated { partial }) => {
+                        if best_partial
+                            .as_ref()
+                            .is_none_or(|b| partial.len() > b.len())
+                        {
+                            best_partial = Some(partial);
+                        }
+                    }
+                    Err(CaptureError::LoginFailed(_)) => {}
+                    // Permanent: retrying cannot help.
+                    Err(CaptureError::Unsupported) | Err(CaptureError::UnknownRouter(_)) => break,
+                }
+                if attempt < max_attempts {
+                    waited += self.retry.backoff(router, kind, now, attempt);
+                }
+            }
+            stats.backoff += waited;
+            match (full, best_partial) {
+                (Some(raw), _) => {
+                    stats.successes += 1;
+                    stats.raw_bytes += raw.len() as u64;
+                    out.push(preprocess(router, kind, &raw, now));
+                }
+                (None, Some(partial)) => {
+                    stats.failures += 1;
+                    let mut cap = preprocess(router, kind, &partial, now);
+                    // The tail line is half-transferred only when the cut
+                    // fell mid-line; a partial ending in a newline lost
+                    // whole lines, not half of one.
+                    if !partial.ends_with('\n') {
+                        cap.lines.pop();
+                    }
+                    if !cap.lines.is_empty() {
+                        stats.salvaged += 1;
+                        stats.raw_bytes += partial.len() as u64;
+                        out.push(cap);
+                    }
+                }
+                (None, None) => {
+                    stats.failures += 1;
+                }
+            }
+        }
+        (out, stats)
+    }
+
+    /// Captures every configured table from `router`, folding the
+    /// accounting into [`Collector::successes`] / [`Collector::failures`].
     pub fn collect(
         &mut self,
         access: &mut dyn RouterAccess,
         router: &str,
         now: SimTime,
     ) -> Vec<Capture> {
-        let mut out = Vec::with_capacity(self.tables.len());
-        for kind in self.tables.clone() {
-            match access.capture(router, kind, now) {
-                Ok(raw) => {
-                    self.successes += 1;
-                    out.push(preprocess(router, kind, &raw, now));
-                }
-                Err(CaptureError::Truncated { partial }) => {
-                    self.failures += 1;
-                    let mut cap = preprocess(router, kind, &partial, now);
-                    // Drop the last (probably half-transferred) line.
-                    cap.lines.pop();
-                    if !cap.lines.is_empty() {
-                        out.push(cap);
-                    }
-                }
-                Err(_) => {
-                    self.failures += 1;
-                }
-            }
-        }
+        let (out, stats) = self.collect_with(access, router, now);
+        self.successes += stats.successes;
+        self.failures += stats.failures;
         out
     }
 }
@@ -328,16 +540,172 @@ mod tests {
         let mut collector = Collector::new();
         let mut captures = Vec::new();
         for i in 0..20 {
-            captures.extend(collector.collect(
-                &mut access,
-                "fixw",
-                now + SimDuration::mins(i),
-            ));
+            captures.extend(collector.collect(&mut access, "fixw", now + SimDuration::mins(i)));
         }
         assert!(collector.failures > 0, "failures injected");
         assert!(collector.successes > 0, "some captures survive");
         // Salvaged truncations still produced clean lines.
         assert!(captures.iter().all(|c| !c.lines.is_empty()));
+    }
+
+    #[test]
+    fn preprocess_strips_user_exec_command_echo() {
+        // Echoes in the user-exec form (`name> command`) must strip like
+        // the privileged form (`name#command`) already did.
+        let raw = "fixw> show ip dvmrp route\nDVMRP Routing Table\nfixw> ";
+        let cap = preprocess("fixw", TableKind::DvmrpRoutes, raw, t0());
+        assert_eq!(cap.lines, vec!["DVMRP Routing Table"]);
+    }
+
+    /// Fails every capture with a login refusal until `fail_first` calls
+    /// have been made for a table, then delegates.
+    struct FailFirst<A> {
+        inner: A,
+        fail_first: u32,
+        calls: std::collections::HashMap<TableKind, u32>,
+    }
+
+    impl<A: RouterAccess> RouterAccess for FailFirst<A> {
+        fn capture(
+            &mut self,
+            router: &str,
+            table: TableKind,
+            now: SimTime,
+        ) -> Result<String, CaptureError> {
+            let c = self.calls.entry(table).or_insert(0);
+            *c += 1;
+            if *c <= self.fail_first {
+                return Err(CaptureError::LoginFailed("refused".into()));
+            }
+            self.inner.capture(router, table, now)
+        }
+    }
+
+    #[test]
+    fn retry_recovers_transient_failures() {
+        let mut sc = Scenario::transition_snapshot(11, 0.3);
+        sc.sim.advance_to(sc.sim.clock + SimDuration::hours(2));
+        let now = sc.sim.clock;
+        let n = TableKind::ALL.len() as u64;
+
+        // Two refusals per table: a 3-attempt policy recovers everything.
+        let mut access = FailFirst {
+            inner: SimAccess::new(&sc.sim),
+            fail_first: 2,
+            calls: Default::default(),
+        };
+        let collector = Collector::new();
+        let (caps, stats) = collector.collect_with(&mut access, "fixw", now);
+        assert_eq!(caps.len() as u64, n);
+        assert_eq!(stats.successes, n);
+        assert_eq!(stats.failures, 0);
+        assert_eq!(stats.retries, 2 * n);
+        assert_eq!(stats.retry_successes, n);
+        assert!(stats.backoff > SimDuration::ZERO);
+
+        // The same access without retries loses every capture.
+        let mut access = FailFirst {
+            inner: SimAccess::new(&sc.sim),
+            fail_first: 2,
+            calls: Default::default(),
+        };
+        let collector = Collector::with_retry(RetryPolicy::none());
+        let (caps, stats) = collector.collect_with(&mut access, "fixw", now);
+        assert!(caps.is_empty());
+        assert_eq!(stats.failures, n);
+        assert_eq!(stats.retries, 0);
+    }
+
+    #[test]
+    fn unknown_router_is_not_retried() {
+        let sc = Scenario::transition_snapshot(12, 0.0);
+        let now = sc.sim.clock;
+        let collector = Collector::new();
+        let mut access = SimAccess::new(&sc.sim);
+        let (caps, stats) = collector.collect_with(&mut access, "ghost", now);
+        assert!(caps.is_empty());
+        assert_eq!(stats.failures, TableKind::ALL.len() as u64);
+        // One attempt per table: permanent errors short-circuit the retry
+        // loop.
+        assert_eq!(stats.attempts, TableKind::ALL.len() as u64);
+        assert_eq!(stats.retries, 0);
+    }
+
+    /// Always returns the same truncated partial.
+    struct AlwaysTruncated(String);
+
+    impl RouterAccess for AlwaysTruncated {
+        fn capture(
+            &mut self,
+            _router: &str,
+            _table: TableKind,
+            _now: SimTime,
+        ) -> Result<String, CaptureError> {
+            Err(CaptureError::Truncated {
+                partial: self.0.clone(),
+            })
+        }
+    }
+
+    #[test]
+    fn salvage_drops_tail_line_only_when_torn() {
+        let collector = Collector::with_retry(RetryPolicy::none());
+
+        // Cut mid-line: the torn tail line goes.
+        let mut access = AlwaysTruncated("alpha one\nbeta tw".into());
+        let (caps, stats) = collector.collect_with(&mut access, "fixw", t0());
+        assert_eq!(stats.salvaged, TableKind::ALL.len() as u64);
+        for cap in &caps {
+            assert_eq!(cap.lines, vec!["alpha one"]);
+        }
+
+        // Cut on a line boundary: every captured line is whole and kept.
+        let mut access = AlwaysTruncated("alpha one\nbeta two\n".into());
+        let (caps, _) = collector.collect_with(&mut access, "fixw", t0());
+        for cap in &caps {
+            assert_eq!(cap.lines, vec!["alpha one", "beta two"]);
+        }
+    }
+
+    #[test]
+    fn truncation_never_returns_full_text() {
+        let mut sc = Scenario::transition_snapshot(13, 0.4);
+        sc.sim.advance_to(sc.sim.clock + SimDuration::hours(4));
+        let now = sc.sim.clock;
+        let mut flaky = FlakyAccess::new(SimAccess::new(&sc.sim), 0.0, 1.0, 5);
+        for i in 0..30 {
+            let t = now + SimDuration::mins(i);
+            let full = SimAccess::new(&sc.sim)
+                .capture("fixw", TableKind::DvmrpRoutes, t)
+                .unwrap();
+            match flaky.capture("fixw", TableKind::DvmrpRoutes, t) {
+                Err(CaptureError::Truncated { partial }) => {
+                    assert!(
+                        partial.len() < full.len(),
+                        "partial must be a strict prefix"
+                    );
+                }
+                other => panic!("expected truncation, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        let q = RetryPolicy {
+            salt: 1,
+            ..RetryPolicy::default()
+        };
+        let mut differs = false;
+        for attempt in 1..=8 {
+            let b = p.backoff("fixw", TableKind::DvmrpRoutes, t0(), attempt);
+            assert_eq!(b, p.backoff("fixw", TableKind::DvmrpRoutes, t0(), attempt));
+            assert!(b.as_secs() >= 1);
+            assert!(b <= p.max_backoff);
+            differs |= b != q.backoff("fixw", TableKind::DvmrpRoutes, t0(), attempt);
+        }
+        assert!(differs, "different salts give different jitter");
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod stats;
 pub mod tables;
 pub mod web;
 
-pub use collector::{CaptureError, Collector, RouterAccess};
-pub use monitor::{Monitor, MonitorConfig};
+pub use collector::{CaptureError, CollectStats, Collector, RetryPolicy, RouterAccess};
+pub use monitor::{Monitor, MonitorConfig, RouterHealth};
 pub use stats::{RouteStats, UsageStats};
 pub use tables::{PairRow, ParticipantRow, RouteRow, SessionRow, Tables};

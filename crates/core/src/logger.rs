@@ -120,10 +120,16 @@ pub fn diff(prev: &SnapshotParts, next: &SnapshotParts) -> TableDelta {
         ..TableDelta::default()
     };
     // Pairs.
-    let prev_pairs: BTreeMap<(GroupAddr, Ip), &PairRow> =
-        prev.pairs.iter().map(|p| ((p.group, p.source), p)).collect();
-    let next_pairs: BTreeMap<(GroupAddr, Ip), &PairRow> =
-        next.pairs.iter().map(|p| ((p.group, p.source), p)).collect();
+    let prev_pairs: BTreeMap<(GroupAddr, Ip), &PairRow> = prev
+        .pairs
+        .iter()
+        .map(|p| ((p.group, p.source), p))
+        .collect();
+    let next_pairs: BTreeMap<(GroupAddr, Ip), &PairRow> = next
+        .pairs
+        .iter()
+        .map(|p| ((p.group, p.source), p))
+        .collect();
     for (k, row) in &next_pairs {
         if prev_pairs.get(k) != Some(row) {
             d.pair_upserts.push((*row).clone());
@@ -293,9 +299,7 @@ impl TableLog {
             .map(|s| s.len())
             .unwrap_or(0);
         // The baseline is what storing the snapshot itself would cost.
-        self.bytes_full_baseline += serde_json::to_string(&parts)
-            .map(|s| s.len())
-            .unwrap_or(0);
+        self.bytes_full_baseline += serde_json::to_string(&parts).map(|s| s.len()).unwrap_or(0);
         let record = match (&self.tail, self.since_full >= self.full_every) {
             (Some(prev), false) => {
                 let delta_record = LogRecord::Delta(diff(prev, &parts));
@@ -406,9 +410,7 @@ impl TableLog {
                     apply(base, d)
                 }
             };
-            log.bytes_full_baseline += serde_json::to_string(&parts)
-                .map(|s| s.len())
-                .unwrap_or(0);
+            log.bytes_full_baseline += serde_json::to_string(&parts).map(|s| s.len()).unwrap_or(0);
             log.records.push(rec);
             log.tail = Some(parts);
         }
@@ -450,9 +452,9 @@ mod tests {
         let s2 = Ip::new(2, 2, 2, 2);
         let snaps = vec![
             snapshot(0, &[(0, s1, 64), (1, s2, 2)]),
-            snapshot(1, &[(0, s1, 80), (1, s2, 2)]),          // rate change
-            snapshot(2, &[(0, s1, 80)]),                       // s2 left
-            snapshot(3, &[(0, s1, 80), (2, s2, 128)]),         // new session
+            snapshot(1, &[(0, s1, 80), (1, s2, 2)]), // rate change
+            snapshot(2, &[(0, s1, 80)]),             // s2 left
+            snapshot(3, &[(0, s1, 80), (2, s2, 128)]), // new session
         ];
         let mut log = TableLog::new(100);
         for s in &snaps {

@@ -72,7 +72,7 @@ impl LifetimeStats {
         let mut v = self.completed.clone();
         v.sort_unstable();
         let m = v.len() / 2;
-        if v.len() % 2 == 0 {
+        if v.len().is_multiple_of(2) {
             (v[m - 1] + v[m]) as f64 / 2.0
         } else {
             v[m] as f64
@@ -84,8 +84,7 @@ impl LifetimeStats {
         if self.completed.is_empty() {
             return 0.0;
         }
-        self.completed.iter().filter(|l| **l <= secs).count() as f64
-            / self.completed.len() as f64
+        self.completed.iter().filter(|l| **l <= secs).count() as f64 / self.completed.len() as f64
     }
 }
 
@@ -184,8 +183,7 @@ impl LongTermTracker {
         if self.routes.is_empty() {
             return 1.0;
         }
-        self.routes.values().filter(|p| p.episodes == 1).count() as f64
-            / self.routes.len() as f64
+        self.routes.values().filter(|p| p.episodes == 1).count() as f64 / self.routes.len() as f64
     }
 }
 
@@ -311,11 +309,7 @@ mod tests {
         tr.observe(&snapshot(0, &[0, 1], &[]));
         tr.observe(&snapshot(1, &[0, 1, 2, 3], &[]));
         tr.observe(&snapshot(2, &[0, 1, 2, 3], &[]));
-        let news: Vec<usize> = tr
-            .new_sessions_per_cycle
-            .iter()
-            .map(|(_, n)| *n)
-            .collect();
+        let news: Vec<usize> = tr.new_sessions_per_cycle.iter().map(|(_, n)| *n).collect();
         assert_eq!(news, vec![2, 2, 0]);
     }
 

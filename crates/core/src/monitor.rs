@@ -10,8 +10,9 @@ use std::collections::BTreeMap;
 
 use mantra_net::{BitRate, GroupAddr, Ip, SimDuration, SimTime};
 
+use crate::aggregate::ParallelAccess;
 use crate::anomaly::{detect_injection, Anomaly, InconsistencyMonitor, SpikeDetector};
-use crate::collector::{Collector, RouterAccess};
+use crate::collector::{CollectStats, Collector, RetryPolicy, RouterAccess};
 use crate::logger::TableLog;
 use crate::longterm::LongTermTracker;
 use crate::output::{Cell, Graph, Table};
@@ -32,6 +33,11 @@ pub struct MonitorConfig {
     pub log_full_every: usize,
     /// Route-injection detector: minimum new routes in one cycle.
     pub injection_min_new: usize,
+    /// Retry policy for transient capture failures.
+    pub retry: RetryPolicy,
+    /// A router is flagged stale after this many intervals without a
+    /// successful capture.
+    pub stale_after_intervals: u64,
 }
 
 impl Default for MonitorConfig {
@@ -42,12 +48,65 @@ impl Default for MonitorConfig {
             threshold: mantra_net::rate::SENDER_THRESHOLD,
             log_full_every: 96, // one full snapshot per day at 15-min cycles
             injection_min_new: 200,
+            retry: RetryPolicy::default(),
+            stale_after_intervals: 4,
+        }
+    }
+}
+
+/// Per-router collection health, accumulated across cycles.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RouterHealth {
+    /// Tables captured in full.
+    pub successes: u64,
+    /// Tables whose final attempt failed (even if salvaged).
+    pub failures: u64,
+    /// Retry attempts issued.
+    pub retries: u64,
+    /// Tables recovered by a retry.
+    pub retry_successes: u64,
+    /// Truncated tables salvaged from partials.
+    pub salvaged: u64,
+    /// Raw bytes captured.
+    pub raw_bytes: u64,
+    /// Cycles this router participated in.
+    pub cycles: u64,
+    /// Last cycle with at least one full capture.
+    pub last_success: Option<SimTime>,
+    /// Last cycle attempted.
+    pub last_attempt: Option<SimTime>,
+    /// Backoff latency added by retries in the latest cycle.
+    pub last_latency: SimDuration,
+}
+
+impl RouterHealth {
+    fn record(&mut self, stats: &CollectStats, now: SimTime) {
+        self.successes += stats.successes;
+        self.failures += stats.failures;
+        self.retries += stats.retries;
+        self.retry_successes += stats.retry_successes;
+        self.salvaged += stats.salvaged;
+        self.raw_bytes += stats.raw_bytes;
+        self.cycles += 1;
+        self.last_attempt = Some(now);
+        if stats.successes > 0 {
+            self.last_success = Some(now);
+        }
+        self.last_latency = stats.backoff;
+    }
+
+    /// Whether the router has gone `stale_after` collection intervals (of
+    /// length `interval`) without a successful capture, judged at `now`.
+    pub fn is_stale(&self, now: SimTime, interval: SimDuration, stale_after: u64) -> bool {
+        match self.last_success {
+            Some(t) => now.since(t) > interval * stale_after,
+            None => self.cycles >= stale_after,
         }
     }
 }
 
 /// What one cycle produced.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CycleReport {
     /// Cycle timestamp.
     pub at: SimTime,
@@ -55,6 +114,29 @@ pub struct CycleReport {
     pub per_router: Vec<(String, UsageStats, RouteStats)>,
     /// Anomalies raised this cycle.
     pub anomalies: Vec<Anomaly>,
+}
+
+/// The stateless per-router output of a cycle's capture half.
+struct RouterWork {
+    tables: Tables,
+    pstats: ParseStats,
+    cstats: CollectStats,
+}
+
+/// Borrows a [`ParallelAccess`] as a throwaway [`RouterAccess`] session —
+/// the parallel cycle opens one per router, mirroring how the real
+/// enhancement opened one expect session per router.
+pub struct SessionAdapter<'a, P: ?Sized>(pub &'a P);
+
+impl<P: ParallelAccess + ?Sized> RouterAccess for SessionAdapter<'_, P> {
+    fn capture(
+        &mut self,
+        router: &str,
+        table: mantra_router_cli::TableKind,
+        now: SimTime,
+    ) -> Result<String, crate::collector::CaptureError> {
+        self.0.capture(router, table, now)
+    }
 }
 
 /// The Mantra orchestrator.
@@ -74,6 +156,7 @@ pub struct Monitor {
     /// paper's Session table carries "the group's name (if available)".
     session_names: BTreeMap<GroupAddr, String>,
     longterm: BTreeMap<String, LongTermTracker>,
+    health: BTreeMap<String, RouterHealth>,
     route_detectors: BTreeMap<String, SpikeDetector>,
     inconsistency: InconsistencyMonitor,
     /// All anomalies raised so far.
@@ -86,9 +169,10 @@ pub struct Monitor {
 impl Monitor {
     /// A monitor with the given configuration.
     pub fn new(cfg: MonitorConfig) -> Self {
+        let collector = Collector::with_retry(cfg.retry.clone());
         Monitor {
             cfg,
-            collector: Collector::new(),
+            collector,
             logs: BTreeMap::new(),
             usage_history: BTreeMap::new(),
             route_history: BTreeMap::new(),
@@ -97,6 +181,7 @@ impl Monitor {
             avg_bw: BTreeMap::new(),
             session_names: BTreeMap::new(),
             longterm: BTreeMap::new(),
+            health: BTreeMap::new(),
             route_detectors: BTreeMap::new(),
             inconsistency: InconsistencyMonitor::default(),
             anomalies: Vec::new(),
@@ -115,7 +200,8 @@ impl Monitor {
         self.collector.failures
     }
 
-    /// One full monitoring cycle at `now`.
+    /// One full monitoring cycle at `now`, polling routers serially over a
+    /// single access session (the paper's original expect-script shape).
     pub fn run_cycle(&mut self, access: &mut dyn RouterAccess, now: SimTime) -> CycleReport {
         self.cycles += 1;
         let mut report = CycleReport {
@@ -126,85 +212,164 @@ impl Monitor {
         let routers = self.cfg.routers.clone();
         let mut this_cycle: Vec<Tables> = Vec::new();
         for router in &routers {
-            let captures = self.collector.collect(access, router, now);
-            let (mut tables, pstats) = process(&captures);
-            if tables.router.is_empty() {
-                tables.router = router.clone();
-                tables.captured_at = now;
+            let work = Self::capture_router(&self.collector, access, router, now);
+            self.merge_router(&mut report, &mut this_cycle, router, work, now);
+        }
+        self.finish_cycle(&mut report, &this_cycle, now);
+        report
+    }
+
+    /// One full monitoring cycle at `now`, fanning the per-router
+    /// capture + pre-process + table-process work across the rayon pool —
+    /// the paper's planned "collect data from multiple routers
+    /// concurrently". The stateful merge (logs, histories, detectors) runs
+    /// serially in configuration order afterwards, so the cycle report and
+    /// the delta logs are byte-identical to [`Monitor::run_cycle`] over
+    /// the same access and timestamps.
+    pub fn run_cycle_parallel<P: ParallelAccess>(
+        &mut self,
+        access: &P,
+        now: SimTime,
+    ) -> CycleReport {
+        use rayon::prelude::*;
+        self.cycles += 1;
+        let mut report = CycleReport {
+            at: now,
+            per_router: Vec::new(),
+            anomalies: Vec::new(),
+        };
+        let routers = self.cfg.routers.clone();
+        let collector = &self.collector;
+        let work: Vec<RouterWork> = routers
+            .par_iter()
+            .map(|router| {
+                let mut session = SessionAdapter(access);
+                Self::capture_router(collector, &mut session, router, now)
+            })
+            .collect();
+        let mut this_cycle: Vec<Tables> = Vec::new();
+        for (router, work) in routers.iter().zip(work) {
+            self.merge_router(&mut report, &mut this_cycle, router, work, now);
+        }
+        self.finish_cycle(&mut report, &this_cycle, now);
+        report
+    }
+
+    /// The stateless half of a cycle for one router: capture (with
+    /// retries), pre-process, table-process. Runs off any thread.
+    fn capture_router(
+        collector: &Collector,
+        access: &mut dyn RouterAccess,
+        router: &str,
+        now: SimTime,
+    ) -> RouterWork {
+        let (captures, cstats) = collector.collect_with(access, router, now);
+        let (mut tables, pstats) = process(&captures);
+        if tables.router.is_empty() {
+            tables.router = router.to_string();
+            tables.captured_at = now;
+        }
+        RouterWork {
+            tables,
+            pstats,
+            cstats,
+        }
+    }
+
+    /// The stateful half of a cycle for one router. Must run in
+    /// configuration order: delta logs, running averages and detectors all
+    /// depend on observation order.
+    fn merge_router(
+        &mut self,
+        report: &mut CycleReport,
+        this_cycle: &mut Vec<Tables>,
+        router: &str,
+        work: RouterWork,
+        now: SimTime,
+    ) {
+        let RouterWork {
+            mut tables,
+            pstats,
+            cstats,
+        } = work;
+        self.collector.successes += cstats.successes;
+        self.collector.failures += cstats.failures;
+        self.health
+            .entry(router.to_string())
+            .or_default()
+            .record(&cstats, now);
+        self.parse_totals = {
+            let mut t = self.parse_totals;
+            t.parsed += pstats.parsed;
+            t.malformed += pstats.malformed;
+            t.skipped += pstats.skipped;
+            t
+        };
+        self.enrich_averages(router, &mut tables);
+        for (g, s) in tables.sessions.iter_mut() {
+            if let Some(name) = self.session_names.get(g) {
+                s.name = Some(name.clone());
             }
-            self.parse_totals = {
-                let mut t = self.parse_totals;
-                t.parsed += pstats.parsed;
-                t.malformed += pstats.malformed;
-                t.skipped += pstats.skipped;
-                t
-            };
-            self.enrich_averages(router, &mut tables);
-            for (g, s) in tables.sessions.iter_mut() {
-                if let Some(name) = self.session_names.get(g) {
-                    s.name = Some(name.clone());
-                }
-            }
-            // Log before analysis: archives store what was observed.
-            self.logs
-                .entry(router.clone())
-                .or_insert_with(|| TableLog::new(self.cfg.log_full_every))
-                .append(&tables);
-            // Long-term trend tracking.
-            self.longterm
-                .entry(router.clone())
+        }
+        // Log before analysis: archives store what was observed.
+        self.logs
+            .entry(router.to_string())
+            .or_insert_with(|| TableLog::new(self.cfg.log_full_every))
+            .append(&tables);
+        // Long-term trend tracking.
+        self.longterm
+            .entry(router.to_string())
+            .or_default()
+            .observe(&tables);
+        // Statistics.
+        let usage = UsageStats::from_tables(&tables, self.cfg.threshold);
+        let routes = RouteStats::from_tables(&tables);
+        // Anomalies: spikes on the route count...
+        let detector = self
+            .route_detectors
+            .entry(router.to_string())
+            .or_insert_with(|| SpikeDetector::new(32, 8.0, 100.0));
+        if let Some(kind) = detector.observe(routes.dvmrp_reachable as f64) {
+            report.anomalies.push(Anomaly {
+                at: now,
+                router: router.to_string(),
+                kind,
+            });
+        }
+        // ...churn and the injection signature against the previous
+        // snapshot...
+        if let Some(prev) = self.prev.get(router) {
+            self.churn_history
+                .entry(router.to_string())
                 .or_default()
-                .observe(&tables);
-            // Statistics.
-            let usage = UsageStats::from_tables(&tables, self.cfg.threshold);
-            let routes = RouteStats::from_tables(&tables);
-            // Anomalies: spikes on the route count...
-            let detector = self
-                .route_detectors
-                .entry(router.clone())
-                .or_insert_with(|| SpikeDetector::new(32, 8.0, 100.0));
-            if let Some(kind) = detector.observe(routes.dvmrp_reachable as f64) {
+                .push((now, RouteChurn::between(prev, &tables)));
+            if let Some(kind) = detect_injection(prev, &tables, self.cfg.injection_min_new) {
                 report.anomalies.push(Anomaly {
                     at: now,
-                    router: router.clone(),
+                    router: router.to_string(),
                     kind,
                 });
             }
-            // ...churn and the injection signature against the previous
-            // snapshot...
-            if let Some(prev) = self.prev.get(router) {
-                self.churn_history
-                    .entry(router.clone())
-                    .or_default()
-                    .push((now, RouteChurn::between(prev, &tables)));
-                if let Some(kind) =
-                    detect_injection(prev, &tables, self.cfg.injection_min_new)
-                {
-                    report.anomalies.push(Anomaly {
-                        at: now,
-                        router: router.clone(),
-                        kind,
-                    });
-                }
-            }
-            self.usage_history
-                .entry(router.clone())
-                .or_default()
-                .push(usage.clone());
-            self.route_history
-                .entry(router.clone())
-                .or_default()
-                .push(routes.clone());
-            report.per_router.push((router.clone(), usage, routes));
-            self.prev.insert(router.clone(), tables.clone());
-            this_cycle.push(tables);
         }
+        self.usage_history
+            .entry(router.to_string())
+            .or_default()
+            .push(usage.clone());
+        self.route_history
+            .entry(router.to_string())
+            .or_default()
+            .push(routes.clone());
+        report.per_router.push((router.to_string(), usage, routes));
+        self.prev.insert(router.to_string(), tables.clone());
+        this_cycle.push(tables);
+    }
+
+    /// Cross-router checks after every router merged.
+    fn finish_cycle(&mut self, report: &mut CycleReport, this_cycle: &[Tables], now: SimTime) {
         // ...and cross-router consistency.
         for i in 0..this_cycle.len() {
             for j in (i + 1)..this_cycle.len() {
-                if let Some((_, kind)) =
-                    self.inconsistency.check(&this_cycle[i], &this_cycle[j])
-                {
+                if let Some((_, kind)) = self.inconsistency.check(&this_cycle[i], &this_cycle[j]) {
                     report.anomalies.push(Anomaly {
                         at: now,
                         router: this_cycle[i].router.clone(),
@@ -214,7 +379,6 @@ impl Monitor {
             }
         }
         self.anomalies.extend(report.anomalies.iter().cloned());
-        report
     }
 
     /// Folds per-pair running averages into the snapshot's `avg_bw`.
@@ -233,6 +397,55 @@ impl Monitor {
     // ------------------------------------------------------------------
     // Result access
     // ------------------------------------------------------------------
+
+    /// Collection health of one router.
+    pub fn router_health(&self, router: &str) -> Option<&RouterHealth> {
+        self.health.get(router)
+    }
+
+    /// The per-router collection-health summary, judged at `now`: capture
+    /// counts, retry effectiveness, salvage counts, volume, the retry
+    /// latency of the latest cycle, last success and staleness.
+    pub fn health(&self, now: SimTime) -> Table {
+        let mut table = Table::new(
+            "Collection health",
+            vec![
+                "router",
+                "ok",
+                "failed",
+                "retries",
+                "recovered",
+                "salvaged",
+                "kbytes",
+                "latency_s",
+                "last_success",
+                "stale",
+            ],
+        );
+        for router in &self.cfg.routers {
+            let Some(h) = self.health.get(router) else {
+                continue;
+            };
+            let stale = h.is_stale(now, self.cfg.interval, self.cfg.stale_after_intervals);
+            table.push_row(vec![
+                Cell::Text(router.clone()),
+                Cell::Num(h.successes as f64),
+                Cell::Num(h.failures as f64),
+                Cell::Num(h.retries as f64),
+                Cell::Num(h.retry_successes as f64),
+                Cell::Num(h.salvaged as f64),
+                Cell::Num(h.raw_bytes as f64 / 1024.0),
+                Cell::Num(h.last_latency.as_secs() as f64),
+                Cell::Text(
+                    h.last_success
+                        .map(|t| t.iso8601())
+                        .unwrap_or_else(|| "never".into()),
+                ),
+                Cell::Text(if stale { "STALE" } else { "ok" }.into()),
+            ]);
+        }
+        table
+    }
 
     /// Usage-statistic history of one router.
     pub fn usage_history(&self, router: &str) -> &[UsageStats] {
@@ -291,12 +504,7 @@ impl Monitor {
     }
 
     /// Extracts a usage time series (`f` picks the metric).
-    pub fn usage_series(
-        &self,
-        router: &str,
-        name: &str,
-        f: impl Fn(&UsageStats) -> f64,
-    ) -> Series {
+    pub fn usage_series(&self, router: &str, name: &str, f: impl Fn(&UsageStats) -> f64) -> Series {
         let mut s = Series::new(name);
         for u in self.usage_history(router) {
             s.push(u.at, f(u));
@@ -305,12 +513,7 @@ impl Monitor {
     }
 
     /// Extracts a route time series.
-    pub fn route_series(
-        &self,
-        router: &str,
-        name: &str,
-        f: impl Fn(&RouteStats) -> f64,
-    ) -> Series {
+    pub fn route_series(&self, router: &str, name: &str, f: impl Fn(&RouteStats) -> f64) -> Series {
         let mut s = Series::new(name);
         for r in self.route_history(router) {
             s.push(r.at, f(r));
@@ -410,7 +613,11 @@ mod tests {
         assert_eq!(replayed.len(), 12);
         assert_eq!(&replayed[11], monitor.latest("fixw").unwrap());
         // Delta logging saved space.
-        assert!(log.savings_ratio() > 0.12, "saved {:.2}", log.savings_ratio());
+        assert!(
+            log.savings_ratio() > 0.12,
+            "saved {:.2}",
+            log.savings_ratio()
+        );
     }
 
     #[test]
@@ -447,6 +654,65 @@ mod tests {
             .map(|r| r[2].as_num().unwrap())
             .collect();
         assert!(vals.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn parallel_cycle_reports_match_serial() {
+        let mk = || Monitor::new(MonitorConfig::default());
+        let run = |parallel: bool| {
+            let mut sc = Scenario::transition_snapshot(35, 0.3);
+            let mut monitor = mk();
+            let mut reports = Vec::new();
+            for _ in 0..6 {
+                let next = sc.sim.clock + monitor.cfg.interval;
+                sc.sim.advance_to(next);
+                if parallel {
+                    let flaky = crate::collector::FlakyAccess::new(&sc.sim, 0.2, 0.2, 5);
+                    reports.push(monitor.run_cycle_parallel(&flaky, next));
+                } else {
+                    let flaky = crate::collector::FlakyAccess::new(&sc.sim, 0.2, 0.2, 5);
+                    let mut session = SessionAdapter(&flaky);
+                    reports.push(monitor.run_cycle(&mut session, next));
+                }
+            }
+            (reports, monitor)
+        };
+        let (serial_reports, serial) = run(false);
+        let (parallel_reports, parallel) = run(true);
+        assert_eq!(serial_reports, parallel_reports);
+        assert_eq!(serial.capture_failures(), parallel.capture_failures());
+        for router in ["fixw", "ucsb-gw"] {
+            assert_eq!(serial.latest(router), parallel.latest(router));
+            assert_eq!(serial.router_health(router), parallel.router_health(router));
+        }
+    }
+
+    #[test]
+    fn health_registry_tracks_success_and_staleness() {
+        let mut sc = Scenario::transition_snapshot(36, 0.2);
+        let mut monitor = Monitor::new(MonitorConfig {
+            routers: vec!["fixw".into(), "ghost".into()],
+            ..MonitorConfig::default()
+        });
+        drive(&mut sc, &mut monitor, 6);
+        let now = sc.sim.clock;
+        let fixw = monitor.router_health("fixw").unwrap();
+        assert_eq!(fixw.cycles, 6);
+        assert!(fixw.successes > 0);
+        assert_eq!(fixw.last_success, Some(now));
+        assert!(!fixw.is_stale(now, monitor.cfg.interval, monitor.cfg.stale_after_intervals));
+        // The ghost router never succeeds and goes stale.
+        let ghost = monitor.router_health("ghost").unwrap();
+        assert_eq!(ghost.successes, 0);
+        assert_eq!(ghost.last_success, None);
+        assert!(ghost.is_stale(now, monitor.cfg.interval, monitor.cfg.stale_after_intervals));
+        // The health table renders both, in configuration order.
+        let table = monitor.health(now);
+        assert_eq!(table.rows.len(), 2);
+        assert_eq!(table.rows[0][0], Cell::Text("fixw".into()));
+        let stale_col = table.columns.iter().position(|c| c == "stale").unwrap();
+        assert_eq!(table.rows[0][stale_col], Cell::Text("ok".into()));
+        assert_eq!(table.rows[1][stale_col], Cell::Text("STALE".into()));
     }
 
     #[test]

@@ -369,8 +369,8 @@ impl Graph {
                 let x = ((t.as_secs() - x_lo) as f64 / (x_hi - x_lo) as f64 * (w - 1) as f64)
                     .round() as usize;
                 let clamped = v.clamp(y_lo, y_hi);
-                let y = ((clamped - y_lo) / (y_hi - y_lo).max(1e-12) * (h - 1) as f64).round()
-                    as usize;
+                let y =
+                    ((clamped - y_lo) / (y_hi - y_lo).max(1e-12) * (h - 1) as f64).round() as usize;
                 grid[h - 1 - y.min(h - 1)][x.min(w - 1)] = glyph;
             }
         }

@@ -452,16 +452,10 @@ mod tests {
         let (tables, st) = process(&[cap(TableKind::ForwardingCache, text)]);
         assert_eq!(st.parsed, 2);
         assert_eq!(tables.pairs.len(), 2);
-        let sg = (
-            "224.2.0.1".parse().unwrap(),
-            "128.111.5.2".parse().unwrap(),
-        );
+        let sg = ("224.2.0.1".parse().unwrap(), "128.111.5.2".parse().unwrap());
         assert_eq!(tables.pairs[&sg].current_bw, BitRate::from_kbps(64));
         assert!(tables.pairs[&sg].forwarding);
-        let pruned = (
-            "224.2.0.2".parse().unwrap(),
-            "128.111.5.3".parse().unwrap(),
-        );
+        let pruned = ("224.2.0.2".parse().unwrap(), "128.111.5.3".parse().unwrap());
         assert!(!tables.pairs[&pruned].forwarding);
         // Derived tables populated.
         assert_eq!(tables.participants.len(), 2);
@@ -474,10 +468,7 @@ mod tests {
         let (tables, st) = process(&[cap(TableKind::ForwardingCache, text)]);
         assert_eq!(st.malformed, 0, "{st:?}");
         assert_eq!(tables.pairs.len(), 2);
-        let sg = (
-            "224.2.0.1".parse().unwrap(),
-            "128.111.5.2".parse().unwrap(),
-        );
+        let sg = ("224.2.0.1".parse().unwrap(), "128.111.5.2".parse().unwrap());
         assert_eq!(tables.pairs[&sg].current_bw, BitRate::from_kbps(64));
         assert_eq!(tables.pairs[&sg].learned_from, LearnedFrom::Pim);
         let star = ("224.2.0.2".parse().unwrap(), Ip::UNSPECIFIED);
@@ -503,10 +494,7 @@ mod tests {
         let (tables, st) = process(&[cap(TableKind::SaCache, text)]);
         assert_eq!(st.parsed, 2, "{st:?}");
         assert_eq!(tables.sa_cache.len(), 2);
-        let key = (
-            "224.2.0.9".parse().unwrap(),
-            "128.3.5.2".parse().unwrap(),
-        );
+        let key = ("224.2.0.9".parse().unwrap(), "128.3.5.2".parse().unwrap());
         assert_eq!(tables.sa_cache[&key], SimTime(t0().as_secs() - 300));
         // SA entries do not fabricate pairs or participants.
         assert!(tables.pairs.is_empty());
@@ -534,7 +522,10 @@ mod tests {
     #[test]
     fn error_responses_parse_to_empty() {
         let (tables, _) = process(&[
-            cap(TableKind::MbgpRoutes, "mrouted: unknown command 'show ip mbgp'\n"),
+            cap(
+                TableKind::MbgpRoutes,
+                "mrouted: unknown command 'show ip mbgp'\n",
+            ),
             cap(TableKind::SaCache, "%MSDP not enabled\n"),
         ]);
         assert!(tables.routes.is_empty());

@@ -324,7 +324,7 @@ impl Series {
         let mut vals: Vec<f64> = self.points.iter().map(|(_, v)| *v).collect();
         vals.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in series"));
         let mid = vals.len() / 2;
-        if vals.len() % 2 == 0 {
+        if vals.len().is_multiple_of(2) {
             (vals[mid - 1] + vals[mid]) / 2.0
         } else {
             vals[mid]
@@ -483,7 +483,7 @@ mod tests {
         route(&mut b, 1, true, 5); // metric change
         route(&mut b, 3, true, 3); // flip to reachable + metric change
         route(&mut b, 4, true, 3); // added
-        // 128.2 removed.
+                                   // 128.2 removed.
         let churn = RouteChurn::between(&a, &b);
         assert_eq!(churn.added, 1);
         assert_eq!(churn.removed, 1);
@@ -526,8 +526,17 @@ mod tests {
     #[test]
     fn classify_individual_sessions() {
         let t = sample();
-        assert_eq!(classify_session(&t, g(0), SENDER_THRESHOLD), SessionClass::Active);
-        assert_eq!(classify_session(&t, g(1), SENDER_THRESHOLD), SessionClass::Inactive);
-        assert_eq!(classify_session(&t, g(9), SENDER_THRESHOLD), SessionClass::Inactive);
+        assert_eq!(
+            classify_session(&t, g(0), SENDER_THRESHOLD),
+            SessionClass::Active
+        );
+        assert_eq!(
+            classify_session(&t, g(1), SENDER_THRESHOLD),
+            SessionClass::Inactive
+        );
+        assert_eq!(
+            classify_session(&t, g(9), SENDER_THRESHOLD),
+            SessionClass::Inactive
+        );
     }
 }

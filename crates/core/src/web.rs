@@ -26,7 +26,10 @@ fn esc(s: &str) -> String {
 pub fn table_html(t: &Table) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "<h3>{}</h3>", esc(&t.title));
-    let _ = writeln!(out, "<table border=\"1\" cellspacing=\"0\" cellpadding=\"4\">");
+    let _ = writeln!(
+        out,
+        "<table border=\"1\" cellspacing=\"0\" cellpadding=\"4\">"
+    );
     let _ = write!(out, "<tr>");
     for c in &t.columns {
         let _ = write!(out, "<th>{}</th>", esc(c));
@@ -58,7 +61,9 @@ pub fn table_html(t: &Table) -> String {
 
 /// Renders a graph as inline SVG with axes, one polyline per series.
 pub fn graph_svg(g: &Graph, width: u32, height: u32) -> String {
-    const COLORS: [&str; 6] = ["#1f4e8c", "#b03a2e", "#1e8449", "#9a7d0a", "#6c3483", "#34495e"];
+    const COLORS: [&str; 6] = [
+        "#1f4e8c", "#b03a2e", "#1e8449", "#9a7d0a", "#6c3483", "#34495e",
+    ];
     let (w, h) = (width.max(200), height.max(120));
     let (ml, mr, mt, mb) = (60.0, 10.0, 24.0, 36.0); // margins
     let plot_w = w as f64 - ml - mr;

@@ -229,7 +229,10 @@ mod tests {
         assert!(GroupAddr::new(Ip::new(10, 0, 0, 1)).is_err());
         let g = GroupAddr::new(Ip::new(224, 2, 0, 9)).unwrap();
         assert_eq!(g.ip(), Ip::new(224, 2, 0, 9));
-        assert_eq!("10.0.0.1".parse::<GroupAddr>(), Err(AddrParseError::NotMulticast));
+        assert_eq!(
+            "10.0.0.1".parse::<GroupAddr>(),
+            Err(AddrParseError::NotMulticast)
+        );
     }
 
     #[test]

@@ -67,7 +67,8 @@ impl Prefix {
         self.net
     }
 
-    /// The prefix length in bits.
+    /// The prefix length in bits (not a container length; see [`Self::is_default`]).
+    #[allow(clippy::len_without_is_empty)]
     pub const fn len(self) -> u8 {
         self.len
     }
@@ -211,7 +212,10 @@ mod tests {
         assert_eq!(p("10.0.0.0/8").netmask().to_string(), "255.0.0.0");
         assert_eq!(p("10.1.0.0/16").netmask().to_string(), "255.255.0.0");
         assert_eq!(Prefix::DEFAULT.netmask().to_string(), "0.0.0.0");
-        assert_eq!(Prefix::host(Ip::new(1, 2, 3, 4)).netmask().to_string(), "255.255.255.255");
+        assert_eq!(
+            Prefix::host(Ip::new(1, 2, 3, 4)).netmask().to_string(),
+            "255.255.255.255"
+        );
     }
 
     #[test]

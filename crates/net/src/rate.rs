@@ -13,9 +13,7 @@ use std::ops::{Add, AddAssign, Mul, Sub};
 use serde::{Deserialize, Serialize};
 
 /// A non-negative data rate in bits per second.
-#[derive(
-    Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct BitRate(pub u64);
 
 /// The paper's classification threshold: a participant sending faster than

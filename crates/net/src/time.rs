@@ -13,9 +13,7 @@ use std::ops::{Add, AddAssign, Sub};
 use serde::{Deserialize, Serialize};
 
 /// A span of simulated time, in whole seconds.
-#[derive(
-    Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SimDuration(pub u64);
 
 impl SimDuration {
@@ -65,6 +63,12 @@ impl Add for SimDuration {
     }
 }
 
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
 /// Multiplying a duration by a count (e.g. `interval * tick_index`).
 impl std::ops::Mul<u64> for SimDuration {
     type Output = SimDuration;
@@ -97,9 +101,7 @@ impl fmt::Debug for SimDuration {
 /// Using real Unix timestamps (rather than seconds-from-scenario-start) keeps
 /// calendar conversion trivial and lets scenario configs anchor themselves to
 /// the paper's actual dates.
-#[derive(
-    Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SimTime(pub u64);
 
 impl SimTime {
@@ -133,7 +135,11 @@ impl SimTime {
     /// Decomposes the time-of-day into `(hour, minute, second)`.
     pub fn hms(self) -> (u32, u32, u32) {
         let rem = self.0 % 86_400;
-        ((rem / 3_600) as u32, ((rem % 3_600) / 60) as u32, (rem % 60) as u32)
+        (
+            (rem / 3_600) as u32,
+            ((rem % 3_600) / 60) as u32,
+            (rem % 60) as u32,
+        )
     }
 
     /// Fractional hour of the day, the x-axis of the paper's Figure 9.
@@ -227,7 +233,13 @@ mod tests {
     #[test]
     fn paper_dates_round_trip() {
         // Collection start, IETF 43 and the Figure 9 incident day.
-        for (y, m, d) in [(1998, 11, 1), (1998, 12, 7), (1998, 10, 14), (1999, 4, 30), (2000, 2, 29)] {
+        for (y, m, d) in [
+            (1998, 11, 1),
+            (1998, 12, 7),
+            (1998, 10, 14),
+            (1999, 4, 30),
+            (2000, 2, 29),
+        ] {
             let t = SimTime::from_ymd(y, m, d);
             assert_eq!(t.ymd(), (y, m, d), "round trip for {y}-{m}-{d}");
         }
@@ -266,7 +278,10 @@ mod tests {
         let i = SimDuration::mins(15);
         assert_eq!(i.as_secs(), 900);
         assert_eq!(i * 4, SimDuration::hours(1));
-        assert_eq!((SimDuration::days(1) + SimDuration::hours(2)).to_string(), "1d02:00:00");
+        assert_eq!(
+            (SimDuration::days(1) + SimDuration::hours(2)).to_string(),
+            "1d02:00:00"
+        );
         assert_eq!(SimDuration::secs(61).to_string(), "00:01:01");
         assert!((SimDuration::days(3).as_days() - 3.0).abs() < 1e-12);
     }

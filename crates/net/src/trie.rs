@@ -318,10 +318,13 @@ mod tests {
 
     #[test]
     fn retain_filters() {
-        let mut t: PrefixTrie<u32> =
-            [(p("10.0.0.0/8"), 1), (p("11.0.0.0/8"), 2), (p("12.0.0.0/8"), 3)]
-                .into_iter()
-                .collect();
+        let mut t: PrefixTrie<u32> = [
+            (p("10.0.0.0/8"), 1),
+            (p("11.0.0.0/8"), 2),
+            (p("12.0.0.0/8"), 3),
+        ]
+        .into_iter()
+        .collect();
         t.retain(|_, v| *v % 2 == 1);
         assert_eq!(t.len(), 2);
         assert!(t.get(p("11.0.0.0/8")).is_none());

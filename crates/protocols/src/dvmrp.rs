@@ -272,8 +272,8 @@ impl DvmrpEngine {
                         continue;
                     }
                     let through_same = r.next_hop == Some(from);
-                    let better = metric < r.metric
-                        || (metric == r.metric && r.state != RouteState::Valid);
+                    let better =
+                        metric < r.metric || (metric == r.metric && r.state != RouteState::Valid);
                     if through_same {
                         // Distance vector: always track the current next
                         // hop, better or worse.
@@ -403,11 +403,7 @@ mod tests {
     }
 
     fn engine(id: u32, locals: &[&str]) -> DvmrpEngine {
-        DvmrpEngine::new(
-            RouterId(id),
-            locals.iter().map(|s| p(s)).collect(),
-            t0(),
-        )
+        DvmrpEngine::new(RouterId(id), locals.iter().map(|s| p(s)).collect(), t0())
     }
 
     #[test]
@@ -425,15 +421,24 @@ mod tests {
     fn learns_and_prefers_better_metric() {
         let mut e = engine(0, &["10.0.0.0/16"]);
         let report = vec![(p("128.111.0.0/16"), 2u32)];
-        assert_eq!(e.handle_report(RouterId(1), IfaceId(0), 1, &report, t0()), 1);
+        assert_eq!(
+            e.handle_report(RouterId(1), IfaceId(0), 1, &report, t0()),
+            1
+        );
         assert_eq!(e.rib.get(p("128.111.0.0/16")).unwrap().metric, 3);
         // Worse offer from another neighbor is ignored.
         let worse = vec![(p("128.111.0.0/16"), 5u32)];
         assert_eq!(e.handle_report(RouterId(2), IfaceId(1), 1, &worse, t0()), 0);
-        assert_eq!(e.rib.get(p("128.111.0.0/16")).unwrap().next_hop, Some(RouterId(1)));
+        assert_eq!(
+            e.rib.get(p("128.111.0.0/16")).unwrap().next_hop,
+            Some(RouterId(1))
+        );
         // Better offer wins.
         let better = vec![(p("128.111.0.0/16"), 1u32)];
-        assert_eq!(e.handle_report(RouterId(2), IfaceId(1), 1, &better, t0()), 1);
+        assert_eq!(
+            e.handle_report(RouterId(2), IfaceId(1), 1, &better, t0()),
+            1
+        );
         let r = e.rib.get(p("128.111.0.0/16")).unwrap();
         assert_eq!((r.metric, r.next_hop), (2, Some(RouterId(2))));
     }
@@ -441,16 +446,34 @@ mod tests {
     #[test]
     fn current_next_hop_metric_increase_is_adopted() {
         let mut e = engine(0, &[]);
-        e.handle_report(RouterId(1), IfaceId(0), 1, &[(p("128.111.0.0/16"), 2)], t0());
+        e.handle_report(
+            RouterId(1),
+            IfaceId(0),
+            1,
+            &[(p("128.111.0.0/16"), 2)],
+            t0(),
+        );
         // Same neighbor now reports a worse metric — must follow it.
-        e.handle_report(RouterId(1), IfaceId(0), 1, &[(p("128.111.0.0/16"), 9)], t0());
+        e.handle_report(
+            RouterId(1),
+            IfaceId(0),
+            1,
+            &[(p("128.111.0.0/16"), 9)],
+            t0(),
+        );
         assert_eq!(e.rib.get(p("128.111.0.0/16")).unwrap().metric, 10);
     }
 
     #[test]
     fn poison_reverse_in_reports() {
         let mut e = engine(0, &["10.0.0.0/16"]);
-        e.handle_report(RouterId(1), IfaceId(0), 1, &[(p("128.111.0.0/16"), 2)], t0());
+        e.handle_report(
+            RouterId(1),
+            IfaceId(0),
+            1,
+            &[(p("128.111.0.0/16"), 2)],
+            t0(),
+        );
         let to_learned_from: Vec<_> = e.report_for(RouterId(1));
         let poisoned = to_learned_from
             .iter()
@@ -464,16 +487,30 @@ mod tests {
             .unwrap();
         assert_eq!(plain.1, 3);
         // Local route advertised at its metric to everyone.
-        assert!(to_learned_from.iter().any(|(q, m)| *q == p("10.0.0.0/16") && *m == 1));
+        assert!(to_learned_from
+            .iter()
+            .any(|(q, m)| *q == p("10.0.0.0/16") && *m == 1));
     }
 
     #[test]
     fn poisoned_advert_withdraws_route_through_that_neighbor() {
         let mut e = engine(0, &[]);
-        e.handle_report(RouterId(1), IfaceId(0), 1, &[(p("128.111.0.0/16"), 2)], t0());
+        e.handle_report(
+            RouterId(1),
+            IfaceId(0),
+            1,
+            &[(p("128.111.0.0/16"), 2)],
+            t0(),
+        );
         assert_eq!(e.rib.reachable_count(), 1);
         // Upstream now says unreachable.
-        e.handle_report(RouterId(1), IfaceId(0), 1, &[(p("128.111.0.0/16"), INFINITY)], t0());
+        e.handle_report(
+            RouterId(1),
+            IfaceId(0),
+            1,
+            &[(p("128.111.0.0/16"), INFINITY)],
+            t0(),
+        );
         assert_eq!(e.rib.reachable_count(), 0);
         assert_eq!(e.rib.len(), 1, "holddown keeps the entry");
     }
@@ -481,7 +518,13 @@ mod tests {
     #[test]
     fn expiry_and_garbage_collection() {
         let mut e = engine(0, &["10.0.0.0/16"]);
-        e.handle_report(RouterId(1), IfaceId(0), 1, &[(p("128.111.0.0/16"), 2)], t0());
+        e.handle_report(
+            RouterId(1),
+            IfaceId(0),
+            1,
+            &[(p("128.111.0.0/16"), 2)],
+            t0(),
+        );
         // Not yet expired.
         let (ex, del) = e.tick(t0() + SimDuration::secs(100));
         assert_eq!((ex, del), (0, 0));
@@ -517,8 +560,20 @@ mod tests {
     #[test]
     fn neighbor_down_withdraws_learned_routes() {
         let mut e = engine(0, &["10.0.0.0/16"]);
-        e.handle_report(RouterId(1), IfaceId(0), 1, &[(p("128.111.0.0/16"), 2), (p("128.112.0.0/16"), 2)], t0());
-        e.handle_report(RouterId(2), IfaceId(1), 1, &[(p("128.113.0.0/16"), 2)], t0());
+        e.handle_report(
+            RouterId(1),
+            IfaceId(0),
+            1,
+            &[(p("128.111.0.0/16"), 2), (p("128.112.0.0/16"), 2)],
+            t0(),
+        );
+        e.handle_report(
+            RouterId(2),
+            IfaceId(1),
+            1,
+            &[(p("128.113.0.0/16"), 2)],
+            t0(),
+        );
         assert_eq!(e.neighbor_down(RouterId(1), t0()), 2);
         assert_eq!(e.rib.reachable_count(), 2); // local + via r2
         assert!(e.rib.get(p("128.113.0.0/16")).unwrap().is_reachable());
@@ -528,7 +583,13 @@ mod tests {
     fn rpf_lookup_uses_longest_reachable_prefix() {
         let mut e = engine(0, &[]);
         e.handle_report(RouterId(1), IfaceId(0), 1, &[(p("128.0.0.0/8"), 3)], t0());
-        e.handle_report(RouterId(2), IfaceId(1), 1, &[(p("128.111.0.0/16"), 3)], t0());
+        e.handle_report(
+            RouterId(2),
+            IfaceId(1),
+            1,
+            &[(p("128.111.0.0/16"), 3)],
+            t0(),
+        );
         let r = e.rib.rpf(Ip::new(128, 111, 41, 7)).unwrap();
         assert_eq!(r.next_hop, Some(RouterId(2)));
         let r = e.rib.rpf(Ip::new(128, 5, 0, 1)).unwrap();
@@ -542,7 +603,10 @@ mod tests {
         let leak: Vec<Prefix> = (0..100u32)
             .map(|i| Prefix::new(Ip(Ip::new(192, 0, 0, 0).0 + (i << 8)), 24).unwrap())
             .collect();
-        assert_eq!(e.inject(leak.clone(), 1, RouterId(9), IfaceId(0), t0()), 100);
+        assert_eq!(
+            e.inject(leak.clone(), 1, RouterId(9), IfaceId(0), t0()),
+            100
+        );
         assert_eq!(e.rib.len(), 101);
         // Re-injecting is idempotent.
         assert_eq!(e.inject(leak, 1, RouterId(9), IfaceId(0), t0()), 0);
@@ -569,7 +633,13 @@ mod tests {
     fn engine_honours_custom_timers() {
         let mut e = engine(0, &[]);
         e.timers = DvmrpTimers::scaled_to(SimDuration::mins(15));
-        e.handle_report(RouterId(1), IfaceId(0), 1, &[(p("128.111.0.0/16"), 2)], t0());
+        e.handle_report(
+            RouterId(1),
+            IfaceId(0),
+            1,
+            &[(p("128.111.0.0/16"), 2)],
+            t0(),
+        );
         // Classic expiry (140 s) would have fired; scaled expiry has not.
         let (ex, _) = e.tick(t0() + SimDuration::secs(1000));
         assert_eq!(ex, 0);

@@ -82,7 +82,10 @@ impl MbgpEngine {
                 let mut path = Vec::with_capacity(r.as_path.len() + 1);
                 path.push(self.domain);
                 path.extend_from_slice(&r.as_path);
-                MbgpAdvert { prefix: p, as_path: path }
+                MbgpAdvert {
+                    prefix: p,
+                    as_path: path,
+                }
             })
             .collect()
     }
@@ -255,19 +258,28 @@ mod tests {
         let q = p("128.112.0.0/16");
         e.session_sync(
             RouterId(5),
-            vec![MbgpAdvert { prefix: q, as_path: vec![DomainId(2), DomainId(3)] }],
+            vec![MbgpAdvert {
+                prefix: q,
+                as_path: vec![DomainId(2), DomainId(3)],
+            }],
             t0(),
         );
         e.session_sync(
             RouterId(7),
-            vec![MbgpAdvert { prefix: q, as_path: vec![DomainId(4)] }],
+            vec![MbgpAdvert {
+                prefix: q,
+                as_path: vec![DomainId(4)],
+            }],
             t0(),
         );
         assert_eq!(e.rib().get(q).unwrap().peer, Some(RouterId(7)));
         // Equal length: lowest peer id wins.
         e.session_sync(
             RouterId(3),
-            vec![MbgpAdvert { prefix: q, as_path: vec![DomainId(6)] }],
+            vec![MbgpAdvert {
+                prefix: q,
+                as_path: vec![DomainId(6)],
+            }],
             t0(),
         );
         assert_eq!(e.rib().get(q).unwrap().peer, Some(RouterId(3)));
@@ -278,7 +290,10 @@ mod tests {
         let mut e = MbgpEngine::new(RouterId(0), DomainId(1), vec![p("128.111.0.0/16")], t0());
         e.session_sync(
             RouterId(5),
-            vec![MbgpAdvert { prefix: p("128.111.0.0/16"), as_path: vec![DomainId(2)] }],
+            vec![MbgpAdvert {
+                prefix: p("128.111.0.0/16"),
+                as_path: vec![DomainId(2)],
+            }],
             t0(),
         );
         assert_eq!(e.rib().get(p("128.111.0.0/16")).unwrap().peer, None);
@@ -290,7 +305,10 @@ mod tests {
         let q = p("128.112.0.0/16");
         e.session_sync(
             RouterId(5),
-            vec![MbgpAdvert { prefix: q, as_path: vec![DomainId(2)] }],
+            vec![MbgpAdvert {
+                prefix: q,
+                as_path: vec![DomainId(2)],
+            }],
             t0(),
         );
         assert_eq!(e.route_count(), 1);
@@ -305,13 +323,19 @@ mod tests {
         let mut e = MbgpEngine::new(RouterId(0), DomainId(1), vec![], t0());
         e.session_sync(
             RouterId(5),
-            vec![MbgpAdvert { prefix: p("128.112.0.0/16"), as_path: vec![DomainId(2)] }],
+            vec![MbgpAdvert {
+                prefix: p("128.112.0.0/16"),
+                as_path: vec![DomainId(2)],
+            }],
             t0(),
         );
         // Next sync no longer carries the prefix: implicit withdrawal.
         e.session_sync(
             RouterId(5),
-            vec![MbgpAdvert { prefix: p("128.113.0.0/16"), as_path: vec![DomainId(2)] }],
+            vec![MbgpAdvert {
+                prefix: p("128.113.0.0/16"),
+                as_path: vec![DomainId(2)],
+            }],
             t0(),
         );
         assert!(e.rib().get(p("128.112.0.0/16")).is_none());
@@ -322,7 +346,10 @@ mod tests {
     fn selection_timestamp_preserved_for_stable_routes() {
         let mut e = MbgpEngine::new(RouterId(0), DomainId(1), vec![], t0());
         let q = p("128.112.0.0/16");
-        let advert = vec![MbgpAdvert { prefix: q, as_path: vec![DomainId(2)] }];
+        let advert = vec![MbgpAdvert {
+            prefix: q,
+            as_path: vec![DomainId(2)],
+        }];
         e.session_sync(RouterId(5), advert.clone(), t0());
         let later = t0() + mantra_net::SimDuration::hours(1);
         let changes = e.session_sync(RouterId(5), advert, later);

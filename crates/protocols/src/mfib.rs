@@ -139,7 +139,7 @@ impl ForwardingEntry {
         let bytes = rate.bytes_over(seconds);
         self.bytes += bytes;
         // Model ~500-byte datagrams, the MBone audio/video sweet spot.
-        self.packets += bytes / 500 + u64::from(bytes % 500 != 0 && bytes > 0);
+        self.packets += bytes / 500 + u64::from(!bytes.is_multiple_of(500) && bytes > 0);
         self.rate = BitRate((self.rate.bps() + rate.bps()) / 2);
         if rate > BitRate::ZERO {
             self.last_active = now;
@@ -292,7 +292,11 @@ mod tests {
         assert!(e.is_pruned());
         e.oifs.push(IfaceId(1));
         assert!(!e.is_pruned());
-        e.account_traffic(BitRate::from_kbps(8), 10, now() + mantra_net::SimDuration::secs(10));
+        e.account_traffic(
+            BitRate::from_kbps(8),
+            10,
+            now() + mantra_net::SimDuration::secs(10),
+        );
         assert_eq!(e.bytes, 10_000);
         assert_eq!(e.packets, 20);
         assert_eq!(e.rate, BitRate::from_kbps(4)); // EWMA from 0
@@ -318,10 +322,30 @@ mod tests {
         let mut m = Mfib::new();
         let s1 = Ip::new(1, 0, 0, 1);
         let s2 = Ip::new(2, 0, 0, 1);
-        m.entry(SourceGroup::sg(s1, g(0)), IfaceId(0), EntryOrigin::Dvmrp, now());
-        m.entry(SourceGroup::sg(s2, g(0)), IfaceId(0), EntryOrigin::Dvmrp, now());
-        m.entry(SourceGroup::sg(s1, g(1)), IfaceId(0), EntryOrigin::Dvmrp, now());
-        m.entry(SourceGroup::star_g(g(2)), IfaceId(0), EntryOrigin::PimSm, now());
+        m.entry(
+            SourceGroup::sg(s1, g(0)),
+            IfaceId(0),
+            EntryOrigin::Dvmrp,
+            now(),
+        );
+        m.entry(
+            SourceGroup::sg(s2, g(0)),
+            IfaceId(0),
+            EntryOrigin::Dvmrp,
+            now(),
+        );
+        m.entry(
+            SourceGroup::sg(s1, g(1)),
+            IfaceId(0),
+            EntryOrigin::Dvmrp,
+            now(),
+        );
+        m.entry(
+            SourceGroup::star_g(g(2)),
+            IfaceId(0),
+            EntryOrigin::PimSm,
+            now(),
+        );
         assert_eq!(m.len(), 4);
         assert_eq!(m.group_count(), 3);
         assert_eq!(m.source_count(), 2);
@@ -332,8 +356,18 @@ mod tests {
         let mut m = Mfib::new();
         let t0 = now();
         let t1 = t0 + mantra_net::SimDuration::mins(10);
-        m.entry(SourceGroup::sg(Ip::new(1, 0, 0, 1), g(0)), IfaceId(0), EntryOrigin::Dvmrp, t0);
-        let e = m.entry(SourceGroup::sg(Ip::new(2, 0, 0, 1), g(1)), IfaceId(0), EntryOrigin::Dvmrp, t0);
+        m.entry(
+            SourceGroup::sg(Ip::new(1, 0, 0, 1), g(0)),
+            IfaceId(0),
+            EntryOrigin::Dvmrp,
+            t0,
+        );
+        let e = m.entry(
+            SourceGroup::sg(Ip::new(2, 0, 0, 1), g(1)),
+            IfaceId(0),
+            EntryOrigin::Dvmrp,
+            t0,
+        );
         e.account_traffic(BitRate::from_kbps(100), 60, t1);
         assert_eq!(m.expire_idle(t0 + mantra_net::SimDuration::mins(5)), 1);
         assert_eq!(m.len(), 1);
@@ -344,7 +378,12 @@ mod tests {
     fn total_rate_excludes_wildcards() {
         let mut m = Mfib::new();
         let t = now();
-        let e = m.entry(SourceGroup::sg(Ip::new(1, 0, 0, 1), g(0)), IfaceId(0), EntryOrigin::PimSm, t);
+        let e = m.entry(
+            SourceGroup::sg(Ip::new(1, 0, 0, 1), g(0)),
+            IfaceId(0),
+            EntryOrigin::PimSm,
+            t,
+        );
         e.rate = BitRate::from_kbps(64);
         let e = m.entry(SourceGroup::star_g(g(0)), IfaceId(0), EntryOrigin::PimSm, t);
         e.rate = BitRate::from_kbps(999);
@@ -355,8 +394,18 @@ mod tests {
     fn iteration_is_ordered() {
         let mut m = Mfib::new();
         let t = now();
-        m.entry(SourceGroup::sg(Ip::new(9, 0, 0, 1), g(5)), IfaceId(0), EntryOrigin::Dvmrp, t);
-        m.entry(SourceGroup::sg(Ip::new(1, 0, 0, 1), g(5)), IfaceId(0), EntryOrigin::Dvmrp, t);
+        m.entry(
+            SourceGroup::sg(Ip::new(9, 0, 0, 1), g(5)),
+            IfaceId(0),
+            EntryOrigin::Dvmrp,
+            t,
+        );
+        m.entry(
+            SourceGroup::sg(Ip::new(1, 0, 0, 1), g(5)),
+            IfaceId(0),
+            EntryOrigin::Dvmrp,
+            t,
+        );
         let keys: Vec<Ip> = m.iter().map(|e| e.key.source).collect();
         assert_eq!(keys, vec![Ip::new(1, 0, 0, 1), Ip::new(9, 0, 0, 1)]);
     }

@@ -66,17 +66,14 @@ impl MsdpEngine {
 
     /// Originates (or re-originates) an SA for a locally registered source.
     pub fn originate(&mut self, source: Ip, group: GroupAddr, now: SimTime) {
-        let e = self
-            .cache
-            .entry((group, source))
-            .or_insert(SaEntry {
-                source,
-                group,
-                origin_rp: self.router,
-                accepted_from: None,
-                first_seen: now,
-                last_refresh: now,
-            });
+        let e = self.cache.entry((group, source)).or_insert(SaEntry {
+            source,
+            group,
+            origin_rp: self.router,
+            accepted_from: None,
+            first_seen: now,
+            last_refresh: now,
+        });
         e.origin_rp = self.router;
         e.accepted_from = None;
         e.last_refresh = now;
@@ -195,20 +192,34 @@ mod tests {
         let mut c = MsdpEngine::new(RouterId(3));
         a.originate(Ip::new(128, 111, 1, 9), g(5), t0());
         // a -> b -> c
-        assert_eq!(b.handle_sa(RouterId(1), &a.sa_for_peer(RouterId(2)), t0()), 1);
-        assert_eq!(c.handle_sa(RouterId(2), &b.sa_for_peer(RouterId(3)), t0()), 1);
+        assert_eq!(
+            b.handle_sa(RouterId(1), &a.sa_for_peer(RouterId(2)), t0()),
+            1
+        );
+        assert_eq!(
+            c.handle_sa(RouterId(2), &b.sa_for_peer(RouterId(3)), t0()),
+            1
+        );
         assert_eq!(c.sources_for(g(5)), vec![Ip::new(128, 111, 1, 9)]);
         // b does not echo back to a (split horizon)...
         assert!(b.sa_for_peer(RouterId(1)).is_empty());
         // ...and a drops SAs about itself even if they arrive.
-        let echo = [SaMessage { source: Ip::new(128, 111, 1, 9), group: g(5), origin_rp: RouterId(1) }];
+        let echo = [SaMessage {
+            source: Ip::new(128, 111, 1, 9),
+            group: g(5),
+            origin_rp: RouterId(1),
+        }];
         assert_eq!(a.handle_sa(RouterId(3), &echo, t0()), 0);
     }
 
     #[test]
     fn non_rpf_peer_cannot_refresh() {
         let mut b = MsdpEngine::new(RouterId(2));
-        let sa = [SaMessage { source: Ip::new(1, 1, 1, 1), group: g(0), origin_rp: RouterId(1) }];
+        let sa = [SaMessage {
+            source: Ip::new(1, 1, 1, 1),
+            group: g(0),
+            origin_rp: RouterId(1),
+        }];
         b.handle_sa(RouterId(1), &sa, t0());
         // A copy via another peer neither duplicates nor refreshes.
         let later = t0() + SimDuration::secs(100);
@@ -220,7 +231,11 @@ mod tests {
     #[test]
     fn expiry_without_refresh() {
         let mut b = MsdpEngine::new(RouterId(2));
-        let sa = [SaMessage { source: Ip::new(1, 1, 1, 1), group: g(0), origin_rp: RouterId(1) }];
+        let sa = [SaMessage {
+            source: Ip::new(1, 1, 1, 1),
+            group: g(0),
+            origin_rp: RouterId(1),
+        }];
         b.handle_sa(RouterId(1), &sa, t0());
         assert_eq!(b.expire(t0() + SimDuration::secs(100)), 0);
         // RPF peer refresh extends the lifetime.

@@ -65,11 +65,7 @@ fn dvmrp_routes(net: &Network, router: RouterId, now: SimTime) -> String {
     };
     let mut out = String::new();
     let entries: Vec<_> = engine.rib.iter().collect();
-    let _ = writeln!(
-        out,
-        "DVMRP Routing Table - {} entries",
-        entries.len()
-    );
+    let _ = writeln!(out, "DVMRP Routing Table - {} entries", entries.len());
     for r in entries {
         let (gw, flags) = match (r.next_hop, r.state) {
             (_, RouteState::Holddown { .. }) => ("unreachable".to_string(), "H"),
@@ -142,7 +138,11 @@ fn mroute(net: &Network, router: RouterId, now: SimTime) -> String {
                 .collect::<Vec<_>>()
                 .join(", ")
         };
-        let _ = writeln!(out, "  Incoming interface: Vif{}, Outgoing: {oifs}", e.iif.0);
+        let _ = writeln!(
+            out,
+            "  Incoming interface: Vif{}, Outgoing: {oifs}",
+            e.iif.0
+        );
         let _ = writeln!(
             out,
             "  Pkt count {}, bytes {}, rate {} kbps",
@@ -167,10 +167,7 @@ fn igmp_groups(net: &Network, router: RouterId, now: SimTime) -> String {
             group.to_string(),
             iface.0,
             uptime(now.since(m.since)),
-            m.members
-                .first()
-                .map(|h| h.to_string())
-                .unwrap_or_default(),
+            m.members.first().map(|h| h.to_string()).unwrap_or_default(),
         );
     }
     out
@@ -240,7 +237,10 @@ mod tests {
     #[test]
     fn uptime_formats() {
         assert_eq!(uptime(SimDuration::secs(4 * 3600 + 23 * 60)), "04:23:00");
-        assert_eq!(uptime(SimDuration::days(3) + SimDuration::hours(4)), "3d04h");
+        assert_eq!(
+            uptime(SimDuration::days(3) + SimDuration::hours(4)),
+            "3d04h"
+        );
     }
 
     #[test]

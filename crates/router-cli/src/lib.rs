@@ -96,8 +96,7 @@ mod tests {
     #[test]
     fn render_styles_follow_suites() {
         let mut sc = Scenario::transition_snapshot(1, 0.5);
-        sc.sim
-            .advance_to(sc.sim.clock + SimDuration::hours(6));
+        sc.sim.advance_to(sc.sim.clock + SimDuration::hours(6));
         let now = sc.sim.clock;
         // FIXW is a border: IOS style.
         let fixw_dump = render(&sc.sim.net, sc.fixw, TableKind::DvmrpRoutes, now);
@@ -115,8 +114,7 @@ mod tests {
     #[test]
     fn all_kinds_render_without_panicking() {
         let mut sc = Scenario::transition_snapshot(2, 0.4);
-        sc.sim
-            .advance_to(sc.sim.clock + SimDuration::hours(12));
+        sc.sim.advance_to(sc.sim.clock + SimDuration::hours(12));
         let now = sc.sim.clock;
         for kind in TableKind::ALL {
             for r in [sc.fixw, sc.ucsb] {

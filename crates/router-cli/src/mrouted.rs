@@ -64,7 +64,11 @@ fn routes(net: &Network, router: RouterId, now: SimTime) -> String {
 fn cache(net: &Network, router: RouterId, now: SimTime) -> String {
     let mut out = String::new();
     let mfib = &net.mfib[router.index()];
-    let _ = writeln!(out, "Multicast Routing Cache Table ({} entries)", mfib.len());
+    let _ = writeln!(
+        out,
+        "Multicast Routing Cache Table ({} entries)",
+        mfib.len()
+    );
     let _ = writeln!(
         out,
         " Origin             Mcast-group        CTmr  Age   Ptmr  Rate    IVif  Forwvifs"

@@ -154,8 +154,12 @@ impl AppLayerMonitor {
         let listener = self.listener;
         let reachable = |router: RouterId| -> bool {
             router == listener
-                || dv_tree.as_ref().is_some_and(|t| t[router.index()].is_some())
-                || sp_tree.as_ref().is_some_and(|t| t[router.index()].is_some())
+                || dv_tree
+                    .as_ref()
+                    .is_some_and(|t| t[router.index()].is_some())
+                || sp_tree
+                    .as_ref()
+                    .is_some_and(|t| t[router.index()].is_some())
         };
         let mut out = Vec::new();
         for session in sim.sessions.iter() {
@@ -256,8 +260,7 @@ mod tests {
 
     fn observed(native: f64, compliance: f64) -> (AppLayerView, Scenario) {
         let mut sc = Scenario::transition_snapshot(88, native);
-        sc.sim
-            .advance_to(sc.sim.clock + SimDuration::hours(12));
+        sc.sim.advance_to(sc.sim.clock + SimDuration::hours(12));
         let cfg = AppLayerConfig {
             rtcp_compliance: compliance,
             ..AppLayerConfig::default()
@@ -306,13 +309,8 @@ mod tests {
     #[test]
     fn connectivity_break_blinds_the_app_layer() {
         let mut sc = Scenario::transition_snapshot(89, 0.0);
-        sc.sim
-            .advance_to(sc.sim.clock + SimDuration::hours(6));
-        let mut mon = AppLayerMonitor::new(
-            sc.ucsb,
-            AppLayerConfig::default(),
-            SimRng::seeded(9),
-        );
+        sc.sim.advance_to(sc.sim.clock + SimDuration::hours(6));
+        let mut mon = AppLayerMonitor::new(sc.ucsb, AppLayerConfig::default(), SimRng::seeded(9));
         let healthy = mon.observe(&sc.sim, sc.sim.clock);
         // Cut the campus off from FIXW.
         let link = sc.sim.net.topo.link_between(sc.fixw, sc.ucsb).unwrap().id;
@@ -339,13 +337,8 @@ mod tests {
     #[test]
     fn advertisement_and_compliance_are_sticky() {
         let mut sc = Scenario::transition_snapshot(90, 0.0);
-        sc.sim
-            .advance_to(sc.sim.clock + SimDuration::hours(3));
-        let mut mon = AppLayerMonitor::new(
-            sc.ucsb,
-            AppLayerConfig::default(),
-            SimRng::seeded(2),
-        );
+        sc.sim.advance_to(sc.sim.clock + SimDuration::hours(3));
+        let mut mon = AppLayerMonitor::new(sc.ucsb, AppLayerConfig::default(), SimRng::seeded(2));
         let now = sc.sim.clock;
         let a = mon.observe(&sc.sim, now);
         let b = mon.observe(&sc.sim, now);

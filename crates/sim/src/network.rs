@@ -289,11 +289,7 @@ impl Network {
         let peerings = self.mbgp_peerings.clone();
         for (a, b) in peerings {
             // Skip sessions over down links.
-            let link_up = self
-                .topo
-                .link_between(a, b)
-                .map(|l| l.up)
-                .unwrap_or(false);
+            let link_up = self.topo.link_between(a, b).map(|l| l.up).unwrap_or(false);
             if !link_up {
                 if let Some(e) = self.mbgp[a.index()].as_mut() {
                     e.session_down(b, now);
@@ -407,8 +403,7 @@ impl Network {
                 continue;
             }
             let router = RouterId(i as u32);
-            let report: Vec<(Prefix, u32)> =
-                self.injected[i].iter().map(|p| (*p, 1)).collect();
+            let report: Vec<(Prefix, u32)> = self.injected[i].iter().map(|p| (*p, 1)).collect();
             if let Some(e) = self.dvmrp[i].as_mut() {
                 e.handle_report(router, IfaceId(0), 0, &report, now);
             }
@@ -427,8 +422,7 @@ impl Network {
         match filter {
             LinkFilter::Any => true,
             LinkFilter::Dvmrp => {
-                self.topo.router(l.a.router).suite.dvmrp
-                    && self.topo.router(l.b.router).suite.dvmrp
+                self.topo.router(l.a.router).suite.dvmrp && self.topo.router(l.b.router).suite.dvmrp
             }
             LinkFilter::Sparse => {
                 self.topo.router(l.a.router).suite.pim_sm
@@ -600,7 +594,11 @@ mod tests {
         let mut net = Network::new(r.topo, t0(), DvmrpTimers::default(), 0);
         // round(6 × 0.5) = 3 native indices, but index 0 is always the
         // DVMRP UCSB domain, leaving two native borders.
-        assert_eq!(net.mbgp_peerings.len(), 2, "one MBGP session per native border");
+        assert_eq!(
+            net.mbgp_peerings.len(),
+            2,
+            "one MBGP session per native border"
+        );
         // MSDP: FIXW hub + 2 native RPs = 2 spokes.
         assert_eq!(net.msdp_peerings.len(), 2);
         let mut rng = SimRng::seeded(5);
@@ -611,7 +609,11 @@ mod tests {
         }
         // FIXW's MBGP RIB carries the native domains' prefixes.
         let fixw_mbgp = net.mbgp[r.fixw.index()].as_ref().unwrap();
-        assert!(fixw_mbgp.route_count() >= 3, "rib = {}", fixw_mbgp.route_count());
+        assert!(
+            fixw_mbgp.route_count() >= 3,
+            "rib = {}",
+            fixw_mbgp.route_count()
+        );
         // And a native border's RIB learned FIXW-side routes transitively.
         let native_border = net
             .topo
@@ -620,7 +622,13 @@ mod tests {
             .find(|d| d.protocol == mantra_topology::DomainProtocol::NativeSparse)
             .and_then(|d| d.border)
             .unwrap();
-        assert!(net.mbgp[native_border.index()].as_ref().unwrap().route_count() >= 3);
+        assert!(
+            net.mbgp[native_border.index()]
+                .as_ref()
+                .unwrap()
+                .route_count()
+                >= 3
+        );
     }
 
     #[test]

@@ -121,7 +121,8 @@ impl Simulation {
         // Recurring machinery.
         let first_arrival = sim.cfg.start + sim.workload.next_arrival_delay(sim.cfg.start);
         sim.queue.schedule(first_arrival, Event::SessionArrival);
-        sim.queue.schedule(sim.cfg.start + sim.cfg.tick, Event::Tick);
+        sim.queue
+            .schedule(sim.cfg.start + sim.cfg.tick, Event::Tick);
         sim
     }
 
@@ -180,7 +181,8 @@ impl Simulation {
             Event::SessionArrival => {
                 for plan in self.workload.draw_sessions(now) {
                     let at = now + plan.start_offset;
-                    self.queue.schedule(at, Event::SessionCreate(Box::new(plan)));
+                    self.queue
+                        .schedule(at, Event::SessionCreate(Box::new(plan)));
                 }
                 let next = now + self.workload.next_arrival_delay(now);
                 if next <= self.cfg.end {
@@ -319,7 +321,13 @@ impl Scenario {
         // mrouted throughout, as it did historically).
         for (i, d) in member_domains.iter().enumerate().skip(1) {
             let when = SimTime::from_ymd(1999, 2, 1) + SimDuration::days(10 * (i as u64 - 1));
-            sim.schedule(when, Event::MigrateDomain { domain: *d, full: false });
+            sim.schedule(
+                when,
+                Event::MigrateDomain {
+                    domain: *d,
+                    full: false,
+                },
+            );
         }
         Scenario { sim, fixw, ucsb }
     }
@@ -356,17 +364,32 @@ impl Scenario {
         // Phase 1 (Feb–Jul 1999): migrate to native, borders keep DVMRP.
         for (i, d) in member_domains.iter().enumerate().skip(1) {
             let when = SimTime::from_ymd(1999, 2, 1) + SimDuration::days(14 * (i as u64 - 1));
-            sim.schedule(when, Event::MigrateDomain { domain: *d, full: false });
+            sim.schedule(
+                when,
+                Event::MigrateDomain {
+                    domain: *d,
+                    full: false,
+                },
+            );
         }
         // Phase 2 (Jan–Oct 2000): decommission DVMRP border by border;
         // UCSB goes last.
         for (i, d) in member_domains.iter().enumerate().skip(1) {
             let when = SimTime::from_ymd(2000, 1, 15) + SimDuration::days(20 * (i as u64 - 1));
-            sim.schedule(when, Event::MigrateDomain { domain: *d, full: true });
+            sim.schedule(
+                when,
+                Event::MigrateDomain {
+                    domain: *d,
+                    full: true,
+                },
+            );
         }
         sim.schedule(
             SimTime::from_ymd(2000, 10, 1),
-            Event::MigrateDomain { domain: member_domains[0], full: true },
+            Event::MigrateDomain {
+                domain: member_domains[0],
+                full: true,
+            },
         );
         Scenario { sim, fixw, ucsb }
     }
@@ -447,7 +470,11 @@ mod tests {
         assert_eq!(sc.sim.clock, day1);
         assert!(sc.sim.ticks_run() >= 90);
         // Ground truth: sessions exist.
-        assert!(sc.sim.sessions.len() > 10, "sessions {}", sc.sim.sessions.len());
+        assert!(
+            sc.sim.sessions.len() > 10,
+            "sessions {}",
+            sc.sim.sessions.len()
+        );
         // FIXW's MFIB sees flood-and-prune state for remote sessions.
         let mfib = &sc.sim.net.mfib[sc.fixw.index()];
         assert!(mfib.len() > 10, "fixw mfib {}", mfib.len());

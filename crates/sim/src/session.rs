@@ -253,9 +253,6 @@ mod tests {
         assert_eq!(reg.get(g1).unwrap().senders(th).count(), 1);
         assert_eq!(reg.get(g2).unwrap().senders(th).count(), 0);
         assert_eq!(reg.active_count(th), 1);
-        assert_eq!(
-            reg.get(g1).unwrap().total_rate(),
-            BitRate::from_bps(64_900)
-        );
+        assert_eq!(reg.get(g1).unwrap().total_rate(), BitRate::from_bps(64_900));
     }
 }

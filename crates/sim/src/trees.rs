@@ -119,7 +119,10 @@ impl TreeBuilder {
                     e.rate = BitRate(e.rate.bps() / 2);
                 }
             }
-            let cutoff = SimTime(now.as_secs().saturating_sub(dt.as_secs() * CACHE_IDLE_TICKS));
+            let cutoff = SimTime(
+                now.as_secs()
+                    .saturating_sub(dt.as_secs() * CACHE_IDLE_TICKS),
+            );
             mfib.expire_idle(cutoff);
         }
     }
@@ -183,7 +186,15 @@ impl TreeBuilder {
                     })
                 };
                 if has_dvmrp_members {
-                    self.dvmrp_flood(net, group, p, border, members, monitored, EntryOrigin::Dvmrp);
+                    self.dvmrp_flood(
+                        net,
+                        group,
+                        p,
+                        border,
+                        members,
+                        monitored,
+                        EntryOrigin::Dvmrp,
+                    );
                     break;
                 }
             }
@@ -410,39 +421,36 @@ impl TreeBuilder {
         let tree = self.sparse_tree(net, entry).clone();
         let monitored_set: std::collections::BTreeSet<RouterId> =
             monitored.iter().copied().collect();
-        let mark =
-            |builder: &mut TreeBuilder, router: RouterId, iif: IfaceId, oif: Option<IfaceId>, rate: BitRate| {
-                if !monitored_set.contains(&router) {
-                    return;
-                }
-                let w = builder.desired.get_mut(&router).expect("monitored");
-                let d = w.entry(key).or_insert(Desired {
-                    iif,
-                    oifs: Default::default(),
-                    origin: if net.topo.router(p.router).suite.pim_sm {
-                        EntryOrigin::PimSm
-                    } else {
-                        EntryOrigin::Msdp
-                    },
-                    rate: BitRate::ZERO,
-                });
-                d.iif = iif;
-                if let Some(o) = oif {
-                    d.oifs.insert(o);
-                }
-                if rate > d.rate {
-                    d.rate = rate;
-                }
-            };
+        let mark = |builder: &mut TreeBuilder,
+                    router: RouterId,
+                    iif: IfaceId,
+                    oif: Option<IfaceId>,
+                    rate: BitRate| {
+            if !monitored_set.contains(&router) {
+                return;
+            }
+            let w = builder.desired.get_mut(&router).expect("monitored");
+            let d = w.entry(key).or_insert(Desired {
+                iif,
+                oifs: Default::default(),
+                origin: if net.topo.router(p.router).suite.pim_sm {
+                    EntryOrigin::PimSm
+                } else {
+                    EntryOrigin::Msdp
+                },
+                rate: BitRate::ZERO,
+            });
+            d.iif = iif;
+            if let Some(o) = oif {
+                d.oifs.insert(o);
+            }
+            if rate > d.rate {
+                d.rate = rate;
+            }
+        };
         for (t, leaf) in interested {
             if t == entry {
-                mark(
-                    self,
-                    entry,
-                    entry_iif.unwrap_or(IfaceId(0)),
-                    leaf,
-                    p.rate,
-                );
+                mark(self, entry, entry_iif.unwrap_or(IfaceId(0)), leaf, p.rate);
                 continue;
             }
             // The interested router itself.
@@ -493,9 +501,9 @@ impl TreeBuilder {
             };
             let tree = self.sparse_tree(net, rp).clone();
             let mark = |builder: &mut TreeBuilder,
-                            router: RouterId,
-                            iif: IfaceId,
-                            oif: Option<IfaceId>| {
+                        router: RouterId,
+                        iif: IfaceId,
+                        oif: Option<IfaceId>| {
                 if !monitored_set.contains(&router) {
                     return;
                 }
@@ -562,10 +570,6 @@ impl TreeBuilder {
     }
 
     fn all_borders(&self, net: &Network) -> Vec<RouterId> {
-        net.topo
-            .domains()
-            .iter()
-            .filter_map(|d| d.border)
-            .collect()
+        net.topo.domains().iter().filter_map(|d| d.border).collect()
     }
 }

@@ -7,7 +7,7 @@
 //! * storms of short-lived single-member sessions pushing the count past
 //!   500 with >85 % single-member share,
 //! * >65 % of sessions with ≤2 participants, while <6 % of sessions hold
-//!   ~80 % of participants (Zipf-skewed membership),
+//!   > ~80 % of participants (Zipf-skewed membership),
 //! * aggregate sender bandwidth around 4 Mbps with σ ≈ 2 Mbps
 //!   (log-normal per-sender rates),
 //! * every participant also emits sub-threshold control traffic
@@ -189,8 +189,7 @@ impl Workload {
     /// A long-lived broadcast channel: one or two sustained senders and a
     /// large, sticky audience drawn from many domains.
     fn channel_session(&mut self) -> SessionPlan {
-        let lifetime =
-            SimDuration::secs(self.rng.pareto(86_400.0, 1.2, 14.0 * 86_400.0) as u64);
+        let lifetime = SimDuration::secs(self.rng.pareto(86_400.0, 1.2, 14.0 * 86_400.0) as u64);
         let mut participants = Vec::new();
         let senders = if self.rng.chance(0.3) { 2 } else { 1 };
         for _ in 0..senders {
@@ -325,7 +324,8 @@ impl Workload {
             let stay = if self.rng.chance(0.5) {
                 lifetime.as_secs() as f64 // stays to the end
             } else {
-                self.rng.pareto(600.0, 1.1, lifetime.as_secs().max(601) as f64)
+                self.rng
+                    .pareto(600.0, 1.1, lifetime.as_secs().max(601) as f64)
             };
             participants.push(ParticipantPlan {
                 join_offset: SimDuration::secs(join as u64),
@@ -353,8 +353,7 @@ impl Workload {
         let a = self.pick_attachment();
         (0..n)
             .map(|i| {
-                let lifetime =
-                    SimDuration::secs(self.rng.pareto(180.0, 1.4, 3_600.0) as u64);
+                let lifetime = SimDuration::secs(self.rng.pareto(180.0, 1.4, 3_600.0) as u64);
                 let rate = self.control_rate();
                 SessionPlan {
                     kind: SessionKind::Experimental,
@@ -389,24 +388,45 @@ impl Workload {
                 leaf_addr: a.addr,
             });
         }
-        for _ in 0..audience {
-            let a = self.pick_attachment();
-            // Most of the audience arrives in the first third of the event;
-            // half stay essentially to the end, the rest churn.
-            let join = self.rng.unit() * duration.as_secs() as f64 * 0.35;
-            let leave = if self.rng.chance(0.5) {
-                duration.as_secs() as f64
+        // `audience` is the event's *concurrent* audience level: the crowd
+        // ramps in over the first third, and although individual viewers
+        // churn, a departing viewer's slot refills (as the MBone's IETF
+        // broadcasts held their density through the event). Half the slots
+        // hold a single viewer to the end; the other half rotate through a
+        // chain of viewers with heavy-tailed stays and short vacancies.
+        // The ramp is stratified so the event delivers its advertised
+        // audience rather than a noisy sample of it.
+        let end = duration.as_secs() as f64;
+        for i in 0..audience {
+            let join = (i as f64 + 0.5) / audience as f64 * end * 0.35;
+            if i % 2 == 0 {
+                let a = self.pick_attachment();
+                participants.push(ParticipantPlan {
+                    join_offset: SimDuration::secs(join as u64),
+                    leave_offset: duration,
+                    rate: self.control_rate(),
+                    router: a.router,
+                    iface: a.iface,
+                    leaf_addr: a.addr,
+                });
             } else {
-                join + self.rng.pareto(7_200.0, 1.1, duration.as_secs() as f64)
-            };
-            participants.push(ParticipantPlan {
-                join_offset: SimDuration::secs(join as u64),
-                leave_offset: SimDuration::secs(leave as u64),
-                rate: self.control_rate(),
-                router: a.router,
-                iface: a.iface,
-                leaf_addr: a.addr,
-            });
+                let mut t = join;
+                while t < end {
+                    let stay = self.rng.pareto(7_200.0, 1.1, end.max(7_201.0));
+                    let leave = (t + stay).min(end);
+                    let a = self.pick_attachment();
+                    participants.push(ParticipantPlan {
+                        join_offset: SimDuration::secs(t as u64),
+                        leave_offset: SimDuration::secs(leave as u64),
+                        rate: self.control_rate(),
+                        router: a.router,
+                        iface: a.iface,
+                        leaf_addr: a.addr,
+                    });
+                    // Brief vacancy before the slot refills.
+                    t = leave + self.rng.exp(120.0).min(900.0);
+                }
+            }
         }
         SessionPlan {
             kind: SessionKind::Broadcast,
@@ -541,13 +561,28 @@ mod tests {
         let mut w = workload();
         let plan = w.broadcast_event(SimDuration::days(5), 200);
         assert_eq!(plan.kind, SessionKind::Broadcast);
-        assert_eq!(plan.participants.len(), 204);
+        // Churning slots refill, so the plan holds at least one viewer per
+        // audience slot plus the senders.
+        assert!(
+            plan.participants.len() >= 204,
+            "{}",
+            plan.participants.len()
+        );
         let senders = plan
             .participants
             .iter()
             .filter(|p| p.rate.is_sender(mantra_net::rate::SENDER_THRESHOLD))
             .count();
         assert_eq!(senders, 4);
+        // The advertised audience is concurrent: mid-event, nearly every
+        // slot is occupied.
+        let mid = SimDuration::days(5).as_secs() / 2;
+        let present = plan
+            .participants
+            .iter()
+            .filter(|p| p.join_offset.as_secs() <= mid && p.leave_offset.as_secs() > mid)
+            .count();
+        assert!(present >= 190, "concurrent audience {present}");
         // Audience comes from more than one domain's leaves.
         let routers: std::collections::BTreeSet<RouterId> =
             plan.participants.iter().map(|p| p.router).collect();

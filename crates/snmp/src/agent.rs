@@ -124,7 +124,10 @@ mod tests {
 
     fn agent() -> Agent {
         let mut a = Agent::new("public");
-        a.bind(oid("1.3.6.1.2.1.1.1.0"), SnmpValue::OctetString("fixw".into()));
+        a.bind(
+            oid("1.3.6.1.2.1.1.1.0"),
+            SnmpValue::OctetString("fixw".into()),
+        );
         a.bind(oid("1.3.6.1.2.1.83.1.1.2.1"), SnmpValue::Counter(10));
         a.bind(oid("1.3.6.1.2.1.83.1.1.2.2"), SnmpValue::Counter(20));
         a.bind(oid("1.3.6.1.2.1.83.1.1.2.3"), SnmpValue::Counter(30));

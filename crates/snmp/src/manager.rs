@@ -122,7 +122,10 @@ impl SnmpCollector {
                     // period agents.
                     forwarding.insert(
                         (group, source),
-                        value.as_ip().map(|ip| !ip.is_unspecified()).unwrap_or(false),
+                        value
+                            .as_ip()
+                            .map(|ip| !ip.is_unspecified())
+                            .unwrap_or(false),
                     );
                 }
                 _ => {}
@@ -145,10 +148,7 @@ impl SnmpCollector {
                 learned_from: LearnedFrom::Dvmrp,
             });
         }
-        self.prev_octets = octets
-            .into_iter()
-            .map(|(k, v)| (k, (v, now)))
-            .collect();
+        self.prev_octets = octets.into_iter().map(|(k, v)| (k, (v, now))).collect();
 
         // dvmrpRouteTable → routes.
         let entry = dvmrp_route_entry();
@@ -158,10 +158,8 @@ impl SnmpCollector {
         for (oid, value) in &rows {
             let suffix = oid.suffix(&entry).expect("walk is bounded");
             let col = suffix[0];
-            let (Some(net), Some(mask)) = (
-                oid.ip_at(entry.len() + 1),
-                oid.ip_at(entry.len() + 5),
-            ) else {
+            let (Some(net), Some(mask)) = (oid.ip_at(entry.len() + 1), oid.ip_at(entry.len() + 5))
+            else {
                 continue;
             };
             let len = mask.0.count_ones() as u8;
@@ -183,7 +181,10 @@ impl SnmpCollector {
             }
         }
         for (prefix, metric) in metrics {
-            let nh = upstream.get(&prefix).copied().filter(|ip| !ip.is_unspecified());
+            let nh = upstream
+                .get(&prefix)
+                .copied()
+                .filter(|ip| !ip.is_unspecified());
             tables.add_route(RouteRow {
                 prefix,
                 next_hop: nh,

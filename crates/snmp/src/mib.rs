@@ -120,7 +120,10 @@ pub fn refresh_agent(agent: &mut Agent, net: &Network, router: RouterId, now: Si
             .get(e.iif.index())
             .map(|i| i.addr)
             .unwrap_or(mantra_net::Ip::UNSPECIFIED);
-        agent.bind(col(mroute_columns::UPSTREAM), SnmpValue::IpAddress(upstream));
+        agent.bind(
+            col(mroute_columns::UPSTREAM),
+            SnmpValue::IpAddress(upstream),
+        );
         agent.bind(
             col(mroute_columns::IIF),
             SnmpValue::Integer(i64::from(e.iif.0) + 1),
@@ -168,7 +171,10 @@ pub fn refresh_agent(agent: &mut Agent, net: &Network, router: RouterId, now: Si
             } else {
                 0
             };
-            agent.bind(col(dvmrp_columns::EXPIRY), SnmpValue::TimeTicks(expiry * 100));
+            agent.bind(
+                col(dvmrp_columns::EXPIRY),
+                SnmpValue::TimeTicks(expiry * 100),
+            );
         }
     }
 
@@ -239,7 +245,10 @@ mod tests {
             assert!(rows.is_empty(), "subtree {missing} must be absent");
         }
         // Even though the router itself *does* have an SA cache.
-        assert!(sc.sim.net.msdp[sc.fixw.index()].as_ref().unwrap().len() > 0);
+        assert!(!sc.sim.net.msdp[sc.fixw.index()]
+            .as_ref()
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

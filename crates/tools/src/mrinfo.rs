@@ -53,7 +53,11 @@ impl MrinfoReport {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "{} ({}) [version {}]:", self.addr, self.router, self.version);
+        let _ = writeln!(
+            out,
+            "{} ({}) [version {}]:",
+            self.addr, self.router, self.version
+        );
         for i in &self.ifaces {
             let flags = if i.flags.is_empty() {
                 String::new()
@@ -65,7 +69,9 @@ impl MrinfoReport {
                 "  {} -> {} ({}) [{}/{}]{}",
                 i.local,
                 i.remote,
-                i.neighbor.map(|n| n.to_string()).unwrap_or_else(|| "local".into()),
+                i.neighbor
+                    .map(|n| n.to_string())
+                    .unwrap_or_else(|| "local".into()),
                 i.metric,
                 i.threshold,
                 flags,
@@ -141,7 +147,12 @@ mod tests {
 
     fn net() -> (Network, RouterId, RouterId) {
         let r = mbone_1998(&TopologyConfig::default());
-        let net = Network::new(r.topo, SimTime::from_ymd(1998, 11, 1), DvmrpTimers::default(), 0);
+        let net = Network::new(
+            r.topo,
+            SimTime::from_ymd(1998, 11, 1),
+            DvmrpTimers::default(),
+            0,
+        );
         (net, r.fixw, r.ucsb)
     }
 

@@ -40,7 +40,11 @@ impl TreeNode {
     /// Routers with local members in the subtree.
     pub fn member_routers(&self) -> usize {
         usize::from(self.has_members)
-            + self.children.iter().map(TreeNode::member_routers).sum::<usize>()
+            + self
+                .children
+                .iter()
+                .map(TreeNode::member_routers)
+                .sum::<usize>()
     }
 
     /// Indented rendering like the original tool's output.
@@ -141,7 +145,12 @@ mod tests {
             .expect("sessions exist");
         let tree = mrtree(&sc.sim.net, part.router, part.addr, group);
         // Converged DVMRP: the broadcast tree reaches every router.
-        assert_eq!(tree.size(), sc.sim.net.topo.router_count(), "{}", tree.render(&sc.sim.net));
+        assert_eq!(
+            tree.size(),
+            sc.sim.net.topo.router_count(),
+            "{}",
+            tree.render(&sc.sim.net)
+        );
         assert!(tree.depth() >= 3, "hub topology has at least 3 levels");
         // The source router is the root.
         assert_eq!(tree.router, part.router);
@@ -194,7 +203,10 @@ mod tests {
             .iter()
             .find(|e| !e.key.is_wildcard())
             .map(|e| e.key);
-        if let Some(e) = key.and_then(|k| sc.sim.net.mfib[sc.fixw.index()].get(&k)).cloned().as_ref()
+        if let Some(e) = key
+            .and_then(|k| sc.sim.net.mfib[sc.fixw.index()].get(&k))
+            .cloned()
+            .as_ref()
         {
             // Root the tree at the true first-hop: walk mtrace backwards.
             let trace = crate::mtrace::mtrace(&sc.sim.net, sc.fixw, e.key.source, e.key.group);

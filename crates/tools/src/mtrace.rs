@@ -65,7 +65,10 @@ impl Mtrace {
     pub fn render(&self, source: Ip, group: GroupAddr) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "mtrace from receiver toward {source} for group {group}");
+        let _ = writeln!(
+            out,
+            "mtrace from receiver toward {source} for group {group}"
+        );
         for (i, h) in self.hops.iter().enumerate() {
             let state = if h.has_state {
                 match h.sg_packets {
@@ -101,26 +104,28 @@ pub fn mtrace(net: &Network, receiver: RouterId, source: Ip, group: GroupAddr) -
         }
         visited[cur.index()] = true;
         // RPF lookup at this hop: DVMRP first, MBGP for sparse borders.
-        let (protocol, metric, next): (&'static str, u32, Option<RouterId>) =
-            if let Some(route) = net.dvmrp[cur.index()].as_ref().and_then(|e| e.rib.rpf(source)) {
-                ("DVMRP", route.metric, route.next_hop)
-            } else if let Some(route) = net.mbgp[cur.index()].as_ref().and_then(|e| e.rpf(source)) {
-                ("MBGP", route.path_len() as u32, route.peer)
-            } else if net
-                .topo
-                .router(cur)
-                .leaf_ifaces()
-                .any(|i| mantra_net::Prefix::new(i.addr, 24).map(|p| p.contains(source)).unwrap_or(false))
-            {
-                // Directly attached source subnet.
-                ("LOCAL", 1, None)
-            } else {
-                hops.push(hop_report(net, cur, source, group, "NONE", 0));
-                return Mtrace {
-                    hops,
-                    outcome: MtraceOutcome::NoRoute { at: cur },
-                };
+        let (protocol, metric, next): (&'static str, u32, Option<RouterId>) = if let Some(route) =
+            net.dvmrp[cur.index()]
+                .as_ref()
+                .and_then(|e| e.rib.rpf(source))
+        {
+            ("DVMRP", route.metric, route.next_hop)
+        } else if let Some(route) = net.mbgp[cur.index()].as_ref().and_then(|e| e.rpf(source)) {
+            ("MBGP", route.path_len() as u32, route.peer)
+        } else if net.topo.router(cur).leaf_ifaces().any(|i| {
+            mantra_net::Prefix::new(i.addr, 24)
+                .map(|p| p.contains(source))
+                .unwrap_or(false)
+        }) {
+            // Directly attached source subnet.
+            ("LOCAL", 1, None)
+        } else {
+            hops.push(hop_report(net, cur, source, group, "NONE", 0));
+            return Mtrace {
+                hops,
+                outcome: MtraceOutcome::NoRoute { at: cur },
             };
+        };
         hops.push(hop_report(net, cur, source, group, protocol, metric));
         match next {
             None => {
@@ -231,7 +236,15 @@ mod tests {
             .sim
             .net
             .topo
-            .link_between(sc.fixw, sc.sim.net.topo.domain(sc.sim.net.topo.router(part.router).domain).border.unwrap())
+            .link_between(
+                sc.fixw,
+                sc.sim
+                    .net
+                    .topo
+                    .domain(sc.sim.net.topo.router(part.router).domain)
+                    .border
+                    .unwrap(),
+            )
             .map(|l| l.id);
         if let Some(link) = link {
             let t = sc.sim.clock;

@@ -30,8 +30,7 @@ impl MwatchReport {
 
     /// Total live tunnels among discovered routers (each counted once).
     pub fn tunnel_count(&self) -> usize {
-        let discovered: BTreeSet<RouterId> =
-            self.routers.iter().map(|r| r.router).collect();
+        let discovered: BTreeSet<RouterId> = self.routers.iter().map(|r| r.router).collect();
         let mut n = 0;
         for r in &self.routers {
             for i in &r.ifaces {

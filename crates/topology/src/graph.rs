@@ -82,13 +82,7 @@ impl Topology {
     /// Connects two routers, creating an interface on each and the link
     /// between them. Interface addresses are derived from the link index so
     /// reference topologies don't have to plan an addressing scheme.
-    pub fn connect(
-        &mut self,
-        x: RouterId,
-        y: RouterId,
-        kind: LinkKind,
-        metric: u32,
-    ) -> LinkId {
+    pub fn connect(&mut self, x: RouterId, y: RouterId, kind: LinkKind, metric: u32) -> LinkId {
         let id = LinkId(self.links.len() as u32);
         // Point-to-point /30-style addressing out of 10.128/9, keyed by link.
         let base = Ip(Ip::new(10, 128, 0, 0).0 + id.0 * 4);
@@ -282,11 +276,10 @@ impl Topology {
         }
         for (ri, adj) in self.adjacency.iter().enumerate() {
             for l in adj {
-                if !self
-                    .links
-                    .get(l.index())
-                    .is_some_and(|l| l.joins(RouterId(ri as u32), l.a.router) || l.joins(RouterId(ri as u32), l.b.router))
-                {
+                if !self.links.get(l.index()).is_some_and(|l| {
+                    l.joins(RouterId(ri as u32), l.a.router)
+                        || l.joins(RouterId(ri as u32), l.b.router)
+                }) {
                     return Err(format!("adjacency of router {ri} references bad link"));
                 }
             }
@@ -345,7 +338,10 @@ mod tests {
         let d = t.router(a).domain;
         t.migrate_domain_to_sparse(d);
         assert_eq!(t.domain(d).protocol, DomainProtocol::NativeSparse);
-        assert!(t.router(a).suite.pim_sm && t.router(a).suite.dvmrp, "border keeps DVMRP");
+        assert!(
+            t.router(a).suite.pim_sm && t.router(a).suite.dvmrp,
+            "border keeps DVMRP"
+        );
         assert!(t.router(b).suite.pim_sm && !t.router(b).suite.dvmrp);
         // The intra-domain tunnel is torn down.
         assert!(!t.link_between(a, b).unwrap().up);

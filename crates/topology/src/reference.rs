@@ -57,8 +57,7 @@ impl Default for TopologyConfig {
 
 /// The /16 a member domain originates, derived from its index.
 pub fn domain_prefix(i: usize) -> Prefix {
-    Prefix::new(Ip(Ip::new(128, 0, 0, 0).0 + ((i as u32 % 256) << 16)), 16)
-        .expect("valid /16")
+    Prefix::new(Ip(Ip::new(128, 0, 0, 0).0 + ((i as u32 % 256) << 16)), 16).expect("valid /16")
 }
 
 /// A leaf-subnet /24 inside a domain.
@@ -88,12 +87,7 @@ fn build_member_domain(
         DomainProtocol::NativeSparse => ProtocolSuite::native_sparse(true),
     };
     let base = domain_prefix(idx).network();
-    let border = t.add_router(
-        format!("{name}-gw"),
-        Ip(base.0 + 1),
-        d,
-        border_suite,
-    );
+    let border = t.add_router(format!("{name}-gw"), Ip(base.0 + 1), d, border_suite);
     t.set_border(border);
     let intra_kind = if protocol == DomainProtocol::Dvmrp {
         LinkKind::Tunnel
@@ -102,13 +96,13 @@ fn build_member_domain(
     };
     let mut leaf_no = 0usize;
     for r in 0..cfg.routers_per_domain {
-        let router = t.add_router(
-            format!("{name}-r{r}"),
-            Ip(base.0 + 10 + r as u32),
-            d,
-            suite,
+        let router = t.add_router(format!("{name}-r{r}"), Ip(base.0 + 10 + r as u32), d, suite);
+        t.connect(
+            border,
+            router,
+            intra_kind,
+            if intra_kind == LinkKind::Tunnel { 3 } else { 1 },
         );
-        t.connect(border, router, intra_kind, if intra_kind == LinkKind::Tunnel { 3 } else { 1 });
         for _ in 0..cfg.leaves_per_router {
             let p = leaf_prefix(idx, leaf_no);
             leaf_no += 1;
@@ -141,10 +135,7 @@ pub fn transition_internetwork(cfg: &TopologyConfig) -> ReferenceTopology {
     })
 }
 
-fn build(
-    cfg: &TopologyConfig,
-    protocol_of: impl Fn(usize) -> DomainProtocol,
-) -> ReferenceTopology {
+fn build(cfg: &TopologyConfig, protocol_of: impl Fn(usize) -> DomainProtocol) -> ReferenceTopology {
     let mut t = Topology::new();
     let any_native = (0..cfg.domains).any(|i| protocol_of(i) == DomainProtocol::NativeSparse);
     let exchange = t.add_domain("fixw-exchange", DomainProtocol::Dvmrp);
@@ -248,7 +239,11 @@ mod tests {
         for d in r.topo.domains() {
             if d.protocol == DomainProtocol::NativeSparse {
                 let b = r.topo.router(d.border.unwrap());
-                assert!(b.suite.rp && b.suite.msdp, "native border {} is an RP", b.name);
+                assert!(
+                    b.suite.rp && b.suite.msdp,
+                    "native border {} is an RP",
+                    b.name
+                );
             }
         }
     }

@@ -36,7 +36,10 @@ fn main() {
         let view = app.observe(&sc.sim, now);
         let net = mantra.usage_history("ucsb-gw").last().cloned();
         println!("\n--- {label} ({now}) ---");
-        println!("{:<26} {:>9} {:>11} {:>9}", "", "truth", "app-layer", "Mantra");
+        println!(
+            "{:<26} {:>9} {:>11} {:>9}",
+            "", "truth", "app-layer", "Mantra"
+        );
         println!(
             "{:<26} {:>9} {:>11} {:>9}",
             "sessions",
@@ -56,7 +59,10 @@ fn main() {
             .last()
             .map(|r| r.dvmrp_reachable)
             .unwrap_or(0);
-        println!("{:<26} {:>9} {:>11} {:>9}", "reachable networks", "-", "-", routes);
+        println!(
+            "{:<26} {:>9} {:>11} {:>9}",
+            "reachable networks", "-", "-", routes
+        );
     };
 
     // Twelve healthy hours.
@@ -71,7 +77,8 @@ fn main() {
     // Cut the campus uplink.
     let link = sc.sim.net.topo.link_between(sc.fixw, sc.ucsb).unwrap().id;
     let t = sc.sim.clock + SimDuration::mins(1);
-    sc.sim.schedule(t, mantra::sim::Event::SetLink { link, up: false });
+    sc.sim
+        .schedule(t, mantra::sim::Event::SetLink { link, up: false });
     for _ in 0..8 {
         let next = sc.sim.clock + mantra.cfg.interval;
         sc.sim.advance_to(next);
@@ -85,6 +92,8 @@ fn main() {
     println!("    it whether the MBone shrank or its own connectivity broke;");
     println!("  - Mantra's session view narrows too (the router really has less state),");
     println!("    but the route-table collapse pinpoints the failure itself;");
-    println!("  - and RTCP under-counts even on the healthy network ({}% compliance).",
-        (AppLayerConfig::default().rtcp_compliance * 100.0) as u32);
+    println!(
+        "  - and RTCP under-counts even on the healthy network ({}% compliance).",
+        (AppLayerConfig::default().rtcp_compliance * 100.0) as u32
+    );
 }

@@ -63,12 +63,23 @@ fn main() {
         cli.routes_of(LearnedFrom::Mbgp).count(),
         snmp.routes_of(LearnedFrom::Mbgp).count(),
     );
-    row("MSDP SA-cache entries", cli.sa_cache.len(), snmp.sa_cache.len());
-    let senders = |t: &mantra::core::tables::Tables| {
-        t.senders(mantra::net::rate::SENDER_THRESHOLD).len()
-    };
-    row("senders classified (1st poll)", senders(&cli), senders(&first_poll));
-    row("senders classified (2nd poll)", senders(&cli), senders(&snmp));
+    row(
+        "MSDP SA-cache entries",
+        cli.sa_cache.len(),
+        snmp.sa_cache.len(),
+    );
+    let senders =
+        |t: &mantra::core::tables::Tables| t.senders(mantra::net::rate::SENDER_THRESHOLD).len();
+    row(
+        "senders classified (1st poll)",
+        senders(&cli),
+        senders(&first_poll),
+    );
+    row(
+        "senders classified (2nd poll)",
+        senders(&cli),
+        senders(&snmp),
+    );
 
     println!("\nnotes:");
     println!(

@@ -49,16 +49,12 @@ fn main() {
     incidents.date_mode = DateMode::HourOfDay;
     for a in &monitor.anomalies {
         let (kind, magnitude, detail) = match &a.kind {
-            AnomalyKind::Spike { value, baseline } => (
-                "spike",
-                *value,
-                format!("baseline {baseline:.0} routes"),
-            ),
-            AnomalyKind::Crash { value, baseline } => (
-                "crash",
-                *value,
-                format!("baseline {baseline:.0} routes"),
-            ),
+            AnomalyKind::Spike { value, baseline } => {
+                ("spike", *value, format!("baseline {baseline:.0} routes"))
+            }
+            AnomalyKind::Crash { value, baseline } => {
+                ("crash", *value, format!("baseline {baseline:.0} routes"))
+            }
             AnomalyKind::RouteInjection {
                 new_routes,
                 gateway,
@@ -72,11 +68,9 @@ fn main() {
                     gateway.map(|g| g.to_string()).unwrap_or_default()
                 ),
             ),
-            AnomalyKind::Inconsistency { peer, similarity } => (
-                "inconsistency",
-                *similarity,
-                format!("vs {peer}"),
-            ),
+            AnomalyKind::Inconsistency { peer, similarity } => {
+                ("inconsistency", *similarity, format!("vs {peer}"))
+            }
         };
         incidents.push_row(vec![
             Cell::Time(a.at),

@@ -70,7 +70,11 @@ fn main() {
     sc.sim.net.on_link_change(link, false, now);
     println!("\n*** tunnel fixw <-> {victim_name} cut ***\n");
     let info = mrinfo(&sc.sim.net, sc.fixw).unwrap();
-    let down = info.ifaces.iter().filter(|i| i.flags.contains(&"down")).count();
+    let down = info
+        .ifaces
+        .iter()
+        .filter(|i| i.flags.contains(&"down"))
+        .count();
     println!("mrinfo: {down} interface(s) now flagged down at fixw");
     let map2 = mwatch(&sc.sim.net, sc.ucsb);
     println!(
@@ -79,5 +83,9 @@ fn main() {
         map2.router_count()
     );
     let tree2 = mrtree(&sc.sim.net, part.router, part.addr, group);
-    println!("mrtree: delivery tree {} -> {} routers", tree.size(), tree2.size());
+    println!(
+        "mrtree: delivery tree {} -> {} routers",
+        tree.size(),
+        tree2.size()
+    );
 }

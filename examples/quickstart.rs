@@ -37,12 +37,22 @@ fn main() {
     let usage = monitor.usage_history("fixw").last().expect("cycles ran");
     let routes = monitor.route_history("fixw").last().expect("cycles ran");
     println!("at {} FIXW sees:", usage.at);
-    println!("  {} sessions ({} active)", usage.sessions, usage.active_sessions);
-    println!("  {} participants ({} senders)", usage.participants, usage.senders);
-    println!("  {} through the router, saving ~{:.1}x vs unicast",
-        usage.total_bandwidth, usage.bandwidth_saved_multiple);
-    println!("  {} reachable DVMRP routes, {} MBGP routes, {} MSDP SAs\n",
-        routes.dvmrp_reachable, routes.mbgp_routes, usage.sa_entries);
+    println!(
+        "  {} sessions ({} active)",
+        usage.sessions, usage.active_sessions
+    );
+    println!(
+        "  {} participants ({} senders)",
+        usage.participants, usage.senders
+    );
+    println!(
+        "  {} through the router, saving ~{:.1}x vs unicast",
+        usage.total_bandwidth, usage.bandwidth_saved_multiple
+    );
+    println!(
+        "  {} reachable DVMRP routes, {} MBGP routes, {} MSDP SAs\n",
+        routes.dvmrp_reachable, routes.mbgp_routes, usage.sa_entries
+    );
 
     // The interactive-table interface: busiest sessions, sorted, top 8.
     println!("{}", monitor.busiest_sessions("fixw", 8).render());

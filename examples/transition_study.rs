@@ -62,22 +62,41 @@ fn main() {
     println!("running the post-transition world (80% native sparse)...");
     let after = run_world("1999 native sparse", 0.8);
 
-    println!("\n{:<22} {:>14} {:>14}", "metric", before.label, after.label);
+    println!(
+        "\n{:<22} {:>14} {:>14}",
+        "metric", before.label, after.label
+    );
     println!("{}", "-".repeat(54));
     let row = |name: &str, a: f64, b: f64| {
         println!("{name:<22} {a:>14.1} {b:>14.1}");
     };
-    row("sessions (truth)", before.sessions_truth, after.sessions_truth);
-    row("sessions seen @FIXW", before.sessions_seen, after.sessions_seen);
+    row(
+        "sessions (truth)",
+        before.sessions_truth,
+        after.sessions_truth,
+    );
+    row(
+        "sessions seen @FIXW",
+        before.sessions_seen,
+        after.sessions_seen,
+    );
     row(
         "visibility %",
         100.0 * before.sessions_seen / before.sessions_truth,
         100.0 * after.sessions_seen / after.sessions_truth,
     );
-    row("participants @FIXW", before.participants_seen, after.participants_seen);
+    row(
+        "participants @FIXW",
+        before.participants_seen,
+        after.participants_seen,
+    );
     row("% senders", before.pct_senders, after.pct_senders);
     row("% active sessions", before.pct_active, after.pct_active);
-    row("stddev(sessions)", before.session_stddev, after.session_stddev);
+    row(
+        "stddev(sessions)",
+        before.session_stddev,
+        after.session_stddev,
+    );
 
     println!("\npaper findings checked:");
     println!(
@@ -90,12 +109,12 @@ fn main() {
     );
     println!(
         "  [{}] sparse filtering hides part of the global session population",
-        mark(after.sessions_seen / after.sessions_truth
-            < before.sessions_seen / before.sessions_truth)
+        mark(
+            after.sessions_seen / after.sessions_truth
+                < before.sessions_seen / before.sessions_truth
+        )
     );
-    println!(
-        "  => single-point monitoring no longer measures global usage; see the",
-    );
+    println!("  => single-point monitoring no longer measures global usage; see the",);
     println!("     multi_router_aggregation example for the paper's proposed fix.");
 }
 

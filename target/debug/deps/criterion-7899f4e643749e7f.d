@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-7899f4e643749e7f.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-7899f4e643749e7f: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-734d97988a44e197.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-734d97988a44e197: tests/determinism.rs
+
+tests/determinism.rs:

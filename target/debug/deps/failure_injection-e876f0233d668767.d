@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-e876f0233d668767.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-e876f0233d668767: tests/failure_injection.rs
+
+tests/failure_injection.rs:

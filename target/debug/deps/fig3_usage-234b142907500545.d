@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_usage-234b142907500545.d: crates/bench/src/bin/fig3_usage.rs
+
+/root/repo/target/debug/deps/fig3_usage-234b142907500545: crates/bench/src/bin/fig3_usage.rs
+
+crates/bench/src/bin/fig3_usage.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_usage-acc7ba1615781c77.d: crates/bench/src/bin/fig3_usage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_usage-acc7ba1615781c77.rmeta: crates/bench/src/bin/fig3_usage.rs Cargo.toml
+
+crates/bench/src/bin/fig3_usage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_density-525e531ccaefc44a.d: crates/bench/src/bin/fig4_density.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_density-525e531ccaefc44a.rmeta: crates/bench/src/bin/fig4_density.rs Cargo.toml
+
+crates/bench/src/bin/fig4_density.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

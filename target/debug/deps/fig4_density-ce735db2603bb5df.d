@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_density-ce735db2603bb5df.d: crates/bench/src/bin/fig4_density.rs
+
+/root/repo/target/debug/deps/fig4_density-ce735db2603bb5df: crates/bench/src/bin/fig4_density.rs
+
+crates/bench/src/bin/fig4_density.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_bandwidth-71e5e1b2a567653c.d: crates/bench/src/bin/fig5_bandwidth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_bandwidth-71e5e1b2a567653c.rmeta: crates/bench/src/bin/fig5_bandwidth.rs Cargo.toml
+
+crates/bench/src/bin/fig5_bandwidth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

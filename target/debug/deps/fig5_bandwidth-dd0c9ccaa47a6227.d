@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_bandwidth-dd0c9ccaa47a6227.d: crates/bench/src/bin/fig5_bandwidth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_bandwidth-dd0c9ccaa47a6227.rmeta: crates/bench/src/bin/fig5_bandwidth.rs Cargo.toml
+
+crates/bench/src/bin/fig5_bandwidth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

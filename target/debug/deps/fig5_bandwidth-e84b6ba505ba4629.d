@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_bandwidth-e84b6ba505ba4629.d: crates/bench/src/bin/fig5_bandwidth.rs
+
+/root/repo/target/debug/deps/fig5_bandwidth-e84b6ba505ba4629: crates/bench/src/bin/fig5_bandwidth.rs
+
+crates/bench/src/bin/fig5_bandwidth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_percent_active-461a2b8a4a92ad19.d: crates/bench/src/bin/fig6_percent_active.rs
+
+/root/repo/target/debug/deps/fig6_percent_active-461a2b8a4a92ad19: crates/bench/src/bin/fig6_percent_active.rs
+
+crates/bench/src/bin/fig6_percent_active.rs:

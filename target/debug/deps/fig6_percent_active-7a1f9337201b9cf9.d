@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_percent_active-7a1f9337201b9cf9.d: crates/bench/src/bin/fig6_percent_active.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_percent_active-7a1f9337201b9cf9.rmeta: crates/bench/src/bin/fig6_percent_active.rs Cargo.toml
+
+crates/bench/src/bin/fig6_percent_active.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

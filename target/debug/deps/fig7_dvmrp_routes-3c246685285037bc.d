@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_dvmrp_routes-3c246685285037bc.d: crates/bench/src/bin/fig7_dvmrp_routes.rs
+
+/root/repo/target/debug/deps/fig7_dvmrp_routes-3c246685285037bc: crates/bench/src/bin/fig7_dvmrp_routes.rs
+
+crates/bench/src/bin/fig7_dvmrp_routes.rs:

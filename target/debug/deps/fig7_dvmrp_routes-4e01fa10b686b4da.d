@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_dvmrp_routes-4e01fa10b686b4da.d: crates/bench/src/bin/fig7_dvmrp_routes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_dvmrp_routes-4e01fa10b686b4da.rmeta: crates/bench/src/bin/fig7_dvmrp_routes.rs Cargo.toml
+
+crates/bench/src/bin/fig7_dvmrp_routes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_dvmrp_longterm-cceb344193964439.d: crates/bench/src/bin/fig8_dvmrp_longterm.rs
+
+/root/repo/target/debug/deps/fig8_dvmrp_longterm-cceb344193964439: crates/bench/src/bin/fig8_dvmrp_longterm.rs
+
+crates/bench/src/bin/fig8_dvmrp_longterm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_dvmrp_longterm-e5b20f8ddfffb345.d: crates/bench/src/bin/fig8_dvmrp_longterm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_dvmrp_longterm-e5b20f8ddfffb345.rmeta: crates/bench/src/bin/fig8_dvmrp_longterm.rs Cargo.toml
+
+crates/bench/src/bin/fig8_dvmrp_longterm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

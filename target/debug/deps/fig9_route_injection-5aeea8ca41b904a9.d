@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_route_injection-5aeea8ca41b904a9.d: crates/bench/src/bin/fig9_route_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_route_injection-5aeea8ca41b904a9.rmeta: crates/bench/src/bin/fig9_route_injection.rs Cargo.toml
+
+crates/bench/src/bin/fig9_route_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

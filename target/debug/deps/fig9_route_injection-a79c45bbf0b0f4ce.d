@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_route_injection-a79c45bbf0b0f4ce.d: crates/bench/src/bin/fig9_route_injection.rs
+
+/root/repo/target/debug/deps/fig9_route_injection-a79c45bbf0b0f4ce: crates/bench/src/bin/fig9_route_injection.rs
+
+crates/bench/src/bin/fig9_route_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure_shapes-4e6d97368618bed0.d: tests/figure_shapes.rs
+
+/root/repo/target/debug/deps/figure_shapes-4e6d97368618bed0: tests/figure_shapes.rs
+
+tests/figure_shapes.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mantra-684678fd8ff79955.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/cmd.rs
+
+/root/repo/target/debug/deps/mantra-684678fd8ff79955: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/cmd.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/cmd.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mantra-707e9185932b28ee.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmantra-707e9185932b28ee.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmantra-707e9185932b28ee.rmeta: src/lib.rs
+
+src/lib.rs:

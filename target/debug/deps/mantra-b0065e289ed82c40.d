@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mantra-b0065e289ed82c40.d: src/lib.rs
+
+/root/repo/target/debug/deps/mantra-b0065e289ed82c40: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mantra-da55850c613b20fa.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmantra-da55850c613b20fa.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

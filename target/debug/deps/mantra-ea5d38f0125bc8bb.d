@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mantra-ea5d38f0125bc8bb.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmantra-ea5d38f0125bc8bb.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

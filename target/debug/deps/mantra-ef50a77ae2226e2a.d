@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mantra-ef50a77ae2226e2a.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/cmd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmantra-ef50a77ae2226e2a.rmeta: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/cmd.rs Cargo.toml
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/cmd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

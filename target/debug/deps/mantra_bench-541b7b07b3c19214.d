@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mantra_bench-541b7b07b3c19214.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmantra_bench-541b7b07b3c19214.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmantra_bench-541b7b07b3c19214.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mantra_bench-596bc89ebb407d63.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmantra_bench-596bc89ebb407d63.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mantra_bench-c8d93fc1ee26a5ed.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/mantra_bench-c8d93fc1ee26a5ed: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

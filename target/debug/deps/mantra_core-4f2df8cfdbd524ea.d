@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/mantra_core-4f2df8cfdbd524ea.d: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/anomaly.rs crates/core/src/collector.rs crates/core/src/logger.rs crates/core/src/longterm.rs crates/core/src/monitor.rs crates/core/src/output.rs crates/core/src/processor.rs crates/core/src/stats.rs crates/core/src/tables.rs crates/core/src/web.rs
+
+/root/repo/target/debug/deps/mantra_core-4f2df8cfdbd524ea: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/anomaly.rs crates/core/src/collector.rs crates/core/src/logger.rs crates/core/src/longterm.rs crates/core/src/monitor.rs crates/core/src/output.rs crates/core/src/processor.rs crates/core/src/stats.rs crates/core/src/tables.rs crates/core/src/web.rs
+
+crates/core/src/lib.rs:
+crates/core/src/aggregate.rs:
+crates/core/src/anomaly.rs:
+crates/core/src/collector.rs:
+crates/core/src/logger.rs:
+crates/core/src/longterm.rs:
+crates/core/src/monitor.rs:
+crates/core/src/output.rs:
+crates/core/src/processor.rs:
+crates/core/src/stats.rs:
+crates/core/src/tables.rs:
+crates/core/src/web.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/mantra_core-645b4af996379fbf.d: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/anomaly.rs crates/core/src/collector.rs crates/core/src/logger.rs crates/core/src/longterm.rs crates/core/src/monitor.rs crates/core/src/output.rs crates/core/src/processor.rs crates/core/src/stats.rs crates/core/src/tables.rs crates/core/src/web.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmantra_core-645b4af996379fbf.rmeta: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/anomaly.rs crates/core/src/collector.rs crates/core/src/logger.rs crates/core/src/longterm.rs crates/core/src/monitor.rs crates/core/src/output.rs crates/core/src/processor.rs crates/core/src/stats.rs crates/core/src/tables.rs crates/core/src/web.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/aggregate.rs:
+crates/core/src/anomaly.rs:
+crates/core/src/collector.rs:
+crates/core/src/logger.rs:
+crates/core/src/longterm.rs:
+crates/core/src/monitor.rs:
+crates/core/src/output.rs:
+crates/core/src/processor.rs:
+crates/core/src/stats.rs:
+crates/core/src/tables.rs:
+crates/core/src/web.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

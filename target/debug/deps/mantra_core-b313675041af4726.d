@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/mantra_core-b313675041af4726.d: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/anomaly.rs crates/core/src/collector.rs crates/core/src/logger.rs crates/core/src/longterm.rs crates/core/src/monitor.rs crates/core/src/output.rs crates/core/src/processor.rs crates/core/src/stats.rs crates/core/src/tables.rs crates/core/src/web.rs
+
+/root/repo/target/debug/deps/libmantra_core-b313675041af4726.rlib: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/anomaly.rs crates/core/src/collector.rs crates/core/src/logger.rs crates/core/src/longterm.rs crates/core/src/monitor.rs crates/core/src/output.rs crates/core/src/processor.rs crates/core/src/stats.rs crates/core/src/tables.rs crates/core/src/web.rs
+
+/root/repo/target/debug/deps/libmantra_core-b313675041af4726.rmeta: crates/core/src/lib.rs crates/core/src/aggregate.rs crates/core/src/anomaly.rs crates/core/src/collector.rs crates/core/src/logger.rs crates/core/src/longterm.rs crates/core/src/monitor.rs crates/core/src/output.rs crates/core/src/processor.rs crates/core/src/stats.rs crates/core/src/tables.rs crates/core/src/web.rs
+
+crates/core/src/lib.rs:
+crates/core/src/aggregate.rs:
+crates/core/src/anomaly.rs:
+crates/core/src/collector.rs:
+crates/core/src/logger.rs:
+crates/core/src/longterm.rs:
+crates/core/src/monitor.rs:
+crates/core/src/output.rs:
+crates/core/src/processor.rs:
+crates/core/src/stats.rs:
+crates/core/src/tables.rs:
+crates/core/src/web.rs:

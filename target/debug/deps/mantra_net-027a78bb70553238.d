@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mantra_net-027a78bb70553238.d: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/id.rs crates/net/src/prefix.rs crates/net/src/rate.rs crates/net/src/time.rs crates/net/src/trie.rs
+
+/root/repo/target/debug/deps/mantra_net-027a78bb70553238: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/id.rs crates/net/src/prefix.rs crates/net/src/rate.rs crates/net/src/time.rs crates/net/src/trie.rs
+
+crates/net/src/lib.rs:
+crates/net/src/addr.rs:
+crates/net/src/id.rs:
+crates/net/src/prefix.rs:
+crates/net/src/rate.rs:
+crates/net/src/time.rs:
+crates/net/src/trie.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mantra_net-54ac788210f93cc8.d: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/id.rs crates/net/src/prefix.rs crates/net/src/rate.rs crates/net/src/time.rs crates/net/src/trie.rs
+
+/root/repo/target/debug/deps/libmantra_net-54ac788210f93cc8.rlib: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/id.rs crates/net/src/prefix.rs crates/net/src/rate.rs crates/net/src/time.rs crates/net/src/trie.rs
+
+/root/repo/target/debug/deps/libmantra_net-54ac788210f93cc8.rmeta: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/id.rs crates/net/src/prefix.rs crates/net/src/rate.rs crates/net/src/time.rs crates/net/src/trie.rs
+
+crates/net/src/lib.rs:
+crates/net/src/addr.rs:
+crates/net/src/id.rs:
+crates/net/src/prefix.rs:
+crates/net/src/rate.rs:
+crates/net/src/time.rs:
+crates/net/src/trie.rs:

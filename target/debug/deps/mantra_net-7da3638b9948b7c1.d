@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mantra_net-7da3638b9948b7c1.d: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/id.rs crates/net/src/prefix.rs crates/net/src/rate.rs crates/net/src/time.rs crates/net/src/trie.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmantra_net-7da3638b9948b7c1.rmeta: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/id.rs crates/net/src/prefix.rs crates/net/src/rate.rs crates/net/src/time.rs crates/net/src/trie.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/addr.rs:
+crates/net/src/id.rs:
+crates/net/src/prefix.rs:
+crates/net/src/rate.rs:
+crates/net/src/time.rs:
+crates/net/src/trie.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mantra_protocols-23c06b59f06435de.d: crates/protocols/src/lib.rs crates/protocols/src/dvmrp.rs crates/protocols/src/igmp.rs crates/protocols/src/mbgp.rs crates/protocols/src/mfib.rs crates/protocols/src/msdp.rs crates/protocols/src/pim.rs
+
+/root/repo/target/debug/deps/libmantra_protocols-23c06b59f06435de.rlib: crates/protocols/src/lib.rs crates/protocols/src/dvmrp.rs crates/protocols/src/igmp.rs crates/protocols/src/mbgp.rs crates/protocols/src/mfib.rs crates/protocols/src/msdp.rs crates/protocols/src/pim.rs
+
+/root/repo/target/debug/deps/libmantra_protocols-23c06b59f06435de.rmeta: crates/protocols/src/lib.rs crates/protocols/src/dvmrp.rs crates/protocols/src/igmp.rs crates/protocols/src/mbgp.rs crates/protocols/src/mfib.rs crates/protocols/src/msdp.rs crates/protocols/src/pim.rs
+
+crates/protocols/src/lib.rs:
+crates/protocols/src/dvmrp.rs:
+crates/protocols/src/igmp.rs:
+crates/protocols/src/mbgp.rs:
+crates/protocols/src/mfib.rs:
+crates/protocols/src/msdp.rs:
+crates/protocols/src/pim.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mantra_protocols-42527af6381b8dd1.d: crates/protocols/src/lib.rs crates/protocols/src/dvmrp.rs crates/protocols/src/igmp.rs crates/protocols/src/mbgp.rs crates/protocols/src/mfib.rs crates/protocols/src/msdp.rs crates/protocols/src/pim.rs
+
+/root/repo/target/debug/deps/mantra_protocols-42527af6381b8dd1: crates/protocols/src/lib.rs crates/protocols/src/dvmrp.rs crates/protocols/src/igmp.rs crates/protocols/src/mbgp.rs crates/protocols/src/mfib.rs crates/protocols/src/msdp.rs crates/protocols/src/pim.rs
+
+crates/protocols/src/lib.rs:
+crates/protocols/src/dvmrp.rs:
+crates/protocols/src/igmp.rs:
+crates/protocols/src/mbgp.rs:
+crates/protocols/src/mfib.rs:
+crates/protocols/src/msdp.rs:
+crates/protocols/src/pim.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mantra_protocols-c366a481845346e6.d: crates/protocols/src/lib.rs crates/protocols/src/dvmrp.rs crates/protocols/src/igmp.rs crates/protocols/src/mbgp.rs crates/protocols/src/mfib.rs crates/protocols/src/msdp.rs crates/protocols/src/pim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmantra_protocols-c366a481845346e6.rmeta: crates/protocols/src/lib.rs crates/protocols/src/dvmrp.rs crates/protocols/src/igmp.rs crates/protocols/src/mbgp.rs crates/protocols/src/mfib.rs crates/protocols/src/msdp.rs crates/protocols/src/pim.rs Cargo.toml
+
+crates/protocols/src/lib.rs:
+crates/protocols/src/dvmrp.rs:
+crates/protocols/src/igmp.rs:
+crates/protocols/src/mbgp.rs:
+crates/protocols/src/mfib.rs:
+crates/protocols/src/msdp.rs:
+crates/protocols/src/pim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mantra_router_cli-438178c892e9a479.d: crates/router-cli/src/lib.rs crates/router-cli/src/ios.rs crates/router-cli/src/mrouted.rs
+
+/root/repo/target/debug/deps/mantra_router_cli-438178c892e9a479: crates/router-cli/src/lib.rs crates/router-cli/src/ios.rs crates/router-cli/src/mrouted.rs
+
+crates/router-cli/src/lib.rs:
+crates/router-cli/src/ios.rs:
+crates/router-cli/src/mrouted.rs:

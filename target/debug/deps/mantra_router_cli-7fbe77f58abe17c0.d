@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mantra_router_cli-7fbe77f58abe17c0.d: crates/router-cli/src/lib.rs crates/router-cli/src/ios.rs crates/router-cli/src/mrouted.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmantra_router_cli-7fbe77f58abe17c0.rmeta: crates/router-cli/src/lib.rs crates/router-cli/src/ios.rs crates/router-cli/src/mrouted.rs Cargo.toml
+
+crates/router-cli/src/lib.rs:
+crates/router-cli/src/ios.rs:
+crates/router-cli/src/mrouted.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

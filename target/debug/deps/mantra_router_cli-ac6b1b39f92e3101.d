@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mantra_router_cli-ac6b1b39f92e3101.d: crates/router-cli/src/lib.rs crates/router-cli/src/ios.rs crates/router-cli/src/mrouted.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmantra_router_cli-ac6b1b39f92e3101.rmeta: crates/router-cli/src/lib.rs crates/router-cli/src/ios.rs crates/router-cli/src/mrouted.rs Cargo.toml
+
+crates/router-cli/src/lib.rs:
+crates/router-cli/src/ios.rs:
+crates/router-cli/src/mrouted.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mantra_router_cli-fafdb2b4fe8aebd0.d: crates/router-cli/src/lib.rs crates/router-cli/src/ios.rs crates/router-cli/src/mrouted.rs
+
+/root/repo/target/debug/deps/libmantra_router_cli-fafdb2b4fe8aebd0.rlib: crates/router-cli/src/lib.rs crates/router-cli/src/ios.rs crates/router-cli/src/mrouted.rs
+
+/root/repo/target/debug/deps/libmantra_router_cli-fafdb2b4fe8aebd0.rmeta: crates/router-cli/src/lib.rs crates/router-cli/src/ios.rs crates/router-cli/src/mrouted.rs
+
+crates/router-cli/src/lib.rs:
+crates/router-cli/src/ios.rs:
+crates/router-cli/src/mrouted.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/mantra_sim-74a6d80fc942f90c.d: crates/sim/src/lib.rs crates/sim/src/applayer.rs crates/sim/src/event.rs crates/sim/src/network.rs crates/sim/src/rng.rs crates/sim/src/scenario.rs crates/sim/src/session.rs crates/sim/src/trees.rs crates/sim/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmantra_sim-74a6d80fc942f90c.rmeta: crates/sim/src/lib.rs crates/sim/src/applayer.rs crates/sim/src/event.rs crates/sim/src/network.rs crates/sim/src/rng.rs crates/sim/src/scenario.rs crates/sim/src/session.rs crates/sim/src/trees.rs crates/sim/src/workload.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/applayer.rs:
+crates/sim/src/event.rs:
+crates/sim/src/network.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/session.rs:
+crates/sim/src/trees.rs:
+crates/sim/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mantra_sim-a61218d1eb3abe82.d: crates/sim/src/lib.rs crates/sim/src/applayer.rs crates/sim/src/event.rs crates/sim/src/network.rs crates/sim/src/rng.rs crates/sim/src/scenario.rs crates/sim/src/session.rs crates/sim/src/trees.rs crates/sim/src/workload.rs
+
+/root/repo/target/debug/deps/libmantra_sim-a61218d1eb3abe82.rlib: crates/sim/src/lib.rs crates/sim/src/applayer.rs crates/sim/src/event.rs crates/sim/src/network.rs crates/sim/src/rng.rs crates/sim/src/scenario.rs crates/sim/src/session.rs crates/sim/src/trees.rs crates/sim/src/workload.rs
+
+/root/repo/target/debug/deps/libmantra_sim-a61218d1eb3abe82.rmeta: crates/sim/src/lib.rs crates/sim/src/applayer.rs crates/sim/src/event.rs crates/sim/src/network.rs crates/sim/src/rng.rs crates/sim/src/scenario.rs crates/sim/src/session.rs crates/sim/src/trees.rs crates/sim/src/workload.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/applayer.rs:
+crates/sim/src/event.rs:
+crates/sim/src/network.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/session.rs:
+crates/sim/src/trees.rs:
+crates/sim/src/workload.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mantra_snmp-344c07fce4339e4c.d: crates/snmp/src/lib.rs crates/snmp/src/agent.rs crates/snmp/src/manager.rs crates/snmp/src/mib.rs crates/snmp/src/oid.rs crates/snmp/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmantra_snmp-344c07fce4339e4c.rmeta: crates/snmp/src/lib.rs crates/snmp/src/agent.rs crates/snmp/src/manager.rs crates/snmp/src/mib.rs crates/snmp/src/oid.rs crates/snmp/src/types.rs Cargo.toml
+
+crates/snmp/src/lib.rs:
+crates/snmp/src/agent.rs:
+crates/snmp/src/manager.rs:
+crates/snmp/src/mib.rs:
+crates/snmp/src/oid.rs:
+crates/snmp/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

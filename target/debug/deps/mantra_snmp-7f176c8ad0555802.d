@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mantra_snmp-7f176c8ad0555802.d: crates/snmp/src/lib.rs crates/snmp/src/agent.rs crates/snmp/src/manager.rs crates/snmp/src/mib.rs crates/snmp/src/oid.rs crates/snmp/src/types.rs
+
+/root/repo/target/debug/deps/mantra_snmp-7f176c8ad0555802: crates/snmp/src/lib.rs crates/snmp/src/agent.rs crates/snmp/src/manager.rs crates/snmp/src/mib.rs crates/snmp/src/oid.rs crates/snmp/src/types.rs
+
+crates/snmp/src/lib.rs:
+crates/snmp/src/agent.rs:
+crates/snmp/src/manager.rs:
+crates/snmp/src/mib.rs:
+crates/snmp/src/oid.rs:
+crates/snmp/src/types.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mantra_snmp-a53b7c1066608c60.d: crates/snmp/src/lib.rs crates/snmp/src/agent.rs crates/snmp/src/manager.rs crates/snmp/src/mib.rs crates/snmp/src/oid.rs crates/snmp/src/types.rs
+
+/root/repo/target/debug/deps/libmantra_snmp-a53b7c1066608c60.rlib: crates/snmp/src/lib.rs crates/snmp/src/agent.rs crates/snmp/src/manager.rs crates/snmp/src/mib.rs crates/snmp/src/oid.rs crates/snmp/src/types.rs
+
+/root/repo/target/debug/deps/libmantra_snmp-a53b7c1066608c60.rmeta: crates/snmp/src/lib.rs crates/snmp/src/agent.rs crates/snmp/src/manager.rs crates/snmp/src/mib.rs crates/snmp/src/oid.rs crates/snmp/src/types.rs
+
+crates/snmp/src/lib.rs:
+crates/snmp/src/agent.rs:
+crates/snmp/src/manager.rs:
+crates/snmp/src/mib.rs:
+crates/snmp/src/oid.rs:
+crates/snmp/src/types.rs:

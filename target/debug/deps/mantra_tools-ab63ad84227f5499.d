@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mantra_tools-ab63ad84227f5499.d: crates/tools/src/lib.rs crates/tools/src/mrinfo.rs crates/tools/src/mrtree.rs crates/tools/src/mtrace.rs crates/tools/src/mwatch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmantra_tools-ab63ad84227f5499.rmeta: crates/tools/src/lib.rs crates/tools/src/mrinfo.rs crates/tools/src/mrtree.rs crates/tools/src/mtrace.rs crates/tools/src/mwatch.rs Cargo.toml
+
+crates/tools/src/lib.rs:
+crates/tools/src/mrinfo.rs:
+crates/tools/src/mrtree.rs:
+crates/tools/src/mtrace.rs:
+crates/tools/src/mwatch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

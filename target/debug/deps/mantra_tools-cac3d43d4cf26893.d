@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mantra_tools-cac3d43d4cf26893.d: crates/tools/src/lib.rs crates/tools/src/mrinfo.rs crates/tools/src/mrtree.rs crates/tools/src/mtrace.rs crates/tools/src/mwatch.rs
+
+/root/repo/target/debug/deps/libmantra_tools-cac3d43d4cf26893.rlib: crates/tools/src/lib.rs crates/tools/src/mrinfo.rs crates/tools/src/mrtree.rs crates/tools/src/mtrace.rs crates/tools/src/mwatch.rs
+
+/root/repo/target/debug/deps/libmantra_tools-cac3d43d4cf26893.rmeta: crates/tools/src/lib.rs crates/tools/src/mrinfo.rs crates/tools/src/mrtree.rs crates/tools/src/mtrace.rs crates/tools/src/mwatch.rs
+
+crates/tools/src/lib.rs:
+crates/tools/src/mrinfo.rs:
+crates/tools/src/mrtree.rs:
+crates/tools/src/mtrace.rs:
+crates/tools/src/mwatch.rs:

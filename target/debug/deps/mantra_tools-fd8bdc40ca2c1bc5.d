@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mantra_tools-fd8bdc40ca2c1bc5.d: crates/tools/src/lib.rs crates/tools/src/mrinfo.rs crates/tools/src/mrtree.rs crates/tools/src/mtrace.rs crates/tools/src/mwatch.rs
+
+/root/repo/target/debug/deps/mantra_tools-fd8bdc40ca2c1bc5: crates/tools/src/lib.rs crates/tools/src/mrinfo.rs crates/tools/src/mrtree.rs crates/tools/src/mtrace.rs crates/tools/src/mwatch.rs
+
+crates/tools/src/lib.rs:
+crates/tools/src/mrinfo.rs:
+crates/tools/src/mrtree.rs:
+crates/tools/src/mtrace.rs:
+crates/tools/src/mwatch.rs:

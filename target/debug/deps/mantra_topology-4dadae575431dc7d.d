@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/mantra_topology-4dadae575431dc7d.d: crates/topology/src/lib.rs crates/topology/src/domain.rs crates/topology/src/graph.rs crates/topology/src/link.rs crates/topology/src/reference.rs crates/topology/src/router.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmantra_topology-4dadae575431dc7d.rmeta: crates/topology/src/lib.rs crates/topology/src/domain.rs crates/topology/src/graph.rs crates/topology/src/link.rs crates/topology/src/reference.rs crates/topology/src/router.rs Cargo.toml
+
+crates/topology/src/lib.rs:
+crates/topology/src/domain.rs:
+crates/topology/src/graph.rs:
+crates/topology/src/link.rs:
+crates/topology/src/reference.rs:
+crates/topology/src/router.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mantra_topology-52a008fbf87bafbf.d: crates/topology/src/lib.rs crates/topology/src/domain.rs crates/topology/src/graph.rs crates/topology/src/link.rs crates/topology/src/reference.rs crates/topology/src/router.rs
+
+/root/repo/target/debug/deps/mantra_topology-52a008fbf87bafbf: crates/topology/src/lib.rs crates/topology/src/domain.rs crates/topology/src/graph.rs crates/topology/src/link.rs crates/topology/src/reference.rs crates/topology/src/router.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/domain.rs:
+crates/topology/src/graph.rs:
+crates/topology/src/link.rs:
+crates/topology/src/reference.rs:
+crates/topology/src/router.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mantra_topology-bc070e1c8272509b.d: crates/topology/src/lib.rs crates/topology/src/domain.rs crates/topology/src/graph.rs crates/topology/src/link.rs crates/topology/src/reference.rs crates/topology/src/router.rs
+
+/root/repo/target/debug/deps/libmantra_topology-bc070e1c8272509b.rlib: crates/topology/src/lib.rs crates/topology/src/domain.rs crates/topology/src/graph.rs crates/topology/src/link.rs crates/topology/src/reference.rs crates/topology/src/router.rs
+
+/root/repo/target/debug/deps/libmantra_topology-bc070e1c8272509b.rmeta: crates/topology/src/lib.rs crates/topology/src/domain.rs crates/topology/src/graph.rs crates/topology/src/link.rs crates/topology/src/reference.rs crates/topology/src/router.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/domain.rs:
+crates/topology/src/graph.rs:
+crates/topology/src/link.rs:
+crates/topology/src/reference.rs:
+crates/topology/src/router.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_end_to_end-bab78b5d938a3f0d.d: tests/pipeline_end_to_end.rs
+
+/root/repo/target/debug/deps/pipeline_end_to_end-bab78b5d938a3f0d: tests/pipeline_end_to_end.rs
+
+tests/pipeline_end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_net-371849aaaa511f5b.d: crates/net/tests/prop_net.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_net-371849aaaa511f5b.rmeta: crates/net/tests/prop_net.rs Cargo.toml
+
+crates/net/tests/prop_net.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_net-61fb08b5bd389f90.d: crates/net/tests/prop_net.rs
+
+/root/repo/target/debug/deps/prop_net-61fb08b5bd389f90: crates/net/tests/prop_net.rs
+
+crates/net/tests/prop_net.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_parser-63b223b183f06242.d: tests/prop_parser.rs
+
+/root/repo/target/debug/deps/prop_parser-63b223b183f06242: tests/prop_parser.rs
+
+tests/prop_parser.rs:

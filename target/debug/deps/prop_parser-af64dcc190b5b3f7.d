@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_parser-af64dcc190b5b3f7.d: tests/prop_parser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_parser-af64dcc190b5b3f7.rmeta: tests/prop_parser.rs Cargo.toml
+
+tests/prop_parser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_pipeline-b1866ed45d406ea7.d: tests/prop_pipeline.rs
+
+/root/repo/target/debug/deps/prop_pipeline-b1866ed45d406ea7: tests/prop_pipeline.rs
+
+tests/prop_pipeline.rs:

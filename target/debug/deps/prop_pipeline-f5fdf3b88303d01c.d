@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_pipeline-f5fdf3b88303d01c.d: tests/prop_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_pipeline-f5fdf3b88303d01c.rmeta: tests/prop_pipeline.rs Cargo.toml
+
+tests/prop_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_protocols-3321a6f9f144aa25.d: tests/prop_protocols.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_protocols-3321a6f9f144aa25.rmeta: tests/prop_protocols.rs Cargo.toml
+
+tests/prop_protocols.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

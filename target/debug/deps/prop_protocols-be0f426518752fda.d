@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_protocols-be0f426518752fda.d: tests/prop_protocols.rs
+
+/root/repo/target/debug/deps/prop_protocols-be0f426518752fda: tests/prop_protocols.rs
+
+tests/prop_protocols.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-0688009077cb7caf.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-0688009077cb7caf.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-0688009077cb7caf.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-2c933eb8bf7ebc69.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-2c933eb8bf7ebc69.rlib: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-2c933eb8bf7ebc69.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-d8a2c93df4b4fe2c.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/rayon-d8a2c93df4b4fe2c: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sap_names-316822edcf0b3028.d: tests/sap_names.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsap_names-316822edcf0b3028.rmeta: tests/sap_names.rs Cargo.toml
+
+tests/sap_names.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

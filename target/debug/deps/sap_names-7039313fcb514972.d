@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sap_names-7039313fcb514972.d: tests/sap_names.rs
+
+/root/repo/target/debug/deps/sap_names-7039313fcb514972: tests/sap_names.rs
+
+tests/sap_names.rs:

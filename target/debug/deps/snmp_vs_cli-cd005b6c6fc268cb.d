@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/snmp_vs_cli-cd005b6c6fc268cb.d: tests/snmp_vs_cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnmp_vs_cli-cd005b6c6fc268cb.rmeta: tests/snmp_vs_cli.rs Cargo.toml
+
+tests/snmp_vs_cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/snmp_vs_cli-f1de9361a86e3e65.d: tests/snmp_vs_cli.rs
+
+/root/repo/target/debug/deps/snmp_vs_cli-f1de9361a86e3e65: tests/snmp_vs_cli.rs
+
+tests/snmp_vs_cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tools_integration-1620b96622a8aebb.d: tests/tools_integration.rs
+
+/root/repo/target/debug/deps/tools_integration-1620b96622a8aebb: tests/tools_integration.rs
+
+tests/tools_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tools_integration-6afd71ca9b96f277.d: tests/tools_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtools_integration-6afd71ca9b96f277.rmeta: tests/tools_integration.rs Cargo.toml
+
+tests/tools_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/app_vs_network_layer-0deae6ac6eb6ba14.d: examples/app_vs_network_layer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libapp_vs_network_layer-0deae6ac6eb6ba14.rmeta: examples/app_vs_network_layer.rs Cargo.toml
+
+examples/app_vs_network_layer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

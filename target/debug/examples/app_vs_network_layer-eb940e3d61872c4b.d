@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/app_vs_network_layer-eb940e3d61872c4b.d: examples/app_vs_network_layer.rs
+
+/root/repo/target/debug/examples/app_vs_network_layer-eb940e3d61872c4b: examples/app_vs_network_layer.rs
+
+examples/app_vs_network_layer.rs:

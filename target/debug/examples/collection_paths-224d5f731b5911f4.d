@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/collection_paths-224d5f731b5911f4.d: examples/collection_paths.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcollection_paths-224d5f731b5911f4.rmeta: examples/collection_paths.rs Cargo.toml
+
+examples/collection_paths.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/collection_paths-7a136b8f316dc386.d: examples/collection_paths.rs
+
+/root/repo/target/debug/examples/collection_paths-7a136b8f316dc386: examples/collection_paths.rs
+
+examples/collection_paths.rs:

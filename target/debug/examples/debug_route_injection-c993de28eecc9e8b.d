@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/debug_route_injection-c993de28eecc9e8b.d: examples/debug_route_injection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdebug_route_injection-c993de28eecc9e8b.rmeta: examples/debug_route_injection.rs Cargo.toml
+
+examples/debug_route_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

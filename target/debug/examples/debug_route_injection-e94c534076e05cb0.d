@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/debug_route_injection-e94c534076e05cb0.d: examples/debug_route_injection.rs
+
+/root/repo/target/debug/examples/debug_route_injection-e94c534076e05cb0: examples/debug_route_injection.rs
+
+examples/debug_route_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/diagnostic_toolbox-9023d86ed14af6b5.d: examples/diagnostic_toolbox.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdiagnostic_toolbox-9023d86ed14af6b5.rmeta: examples/diagnostic_toolbox.rs Cargo.toml
+
+examples/diagnostic_toolbox.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/diagnostic_toolbox-efdd24903a0d222e.d: examples/diagnostic_toolbox.rs
+
+/root/repo/target/debug/examples/diagnostic_toolbox-efdd24903a0d222e: examples/diagnostic_toolbox.rs
+
+examples/diagnostic_toolbox.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_router_aggregation-5baad92294af4930.d: examples/multi_router_aggregation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_router_aggregation-5baad92294af4930.rmeta: examples/multi_router_aggregation.rs Cargo.toml
+
+examples/multi_router_aggregation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_router_aggregation-dca052b69ceb0250.d: examples/multi_router_aggregation.rs
+
+/root/repo/target/debug/examples/multi_router_aggregation-dca052b69ceb0250: examples/multi_router_aggregation.rs
+
+examples/multi_router_aggregation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-52a5dd051bf1483d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-52a5dd051bf1483d: examples/quickstart.rs
+
+examples/quickstart.rs:

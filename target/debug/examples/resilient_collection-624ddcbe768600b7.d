@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/resilient_collection-624ddcbe768600b7.d: examples/resilient_collection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libresilient_collection-624ddcbe768600b7.rmeta: examples/resilient_collection.rs Cargo.toml
+
+examples/resilient_collection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resilient_collection-7908c9de8a457749.d: examples/resilient_collection.rs
+
+/root/repo/target/debug/examples/resilient_collection-7908c9de8a457749: examples/resilient_collection.rs
+
+examples/resilient_collection.rs:

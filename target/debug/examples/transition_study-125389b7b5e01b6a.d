@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/transition_study-125389b7b5e01b6a.d: examples/transition_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtransition_study-125389b7b5e01b6a.rmeta: examples/transition_study.rs Cargo.toml
+
+examples/transition_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/transition_study-68d6ca996a1d7c80.d: examples/transition_study.rs
+
+/root/repo/target/debug/examples/transition_study-68d6ca996a1d7c80: examples/transition_study.rs
+
+examples/transition_study.rs:

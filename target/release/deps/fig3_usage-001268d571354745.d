@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_usage-001268d571354745.d: crates/bench/src/bin/fig3_usage.rs
+
+/root/repo/target/release/deps/fig3_usage-001268d571354745: crates/bench/src/bin/fig3_usage.rs
+
+crates/bench/src/bin/fig3_usage.rs:

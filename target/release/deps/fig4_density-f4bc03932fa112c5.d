@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_density-f4bc03932fa112c5.d: crates/bench/src/bin/fig4_density.rs
+
+/root/repo/target/release/deps/fig4_density-f4bc03932fa112c5: crates/bench/src/bin/fig4_density.rs
+
+crates/bench/src/bin/fig4_density.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_bandwidth-4b803b72f0d4564b.d: crates/bench/src/bin/fig5_bandwidth.rs
+
+/root/repo/target/release/deps/fig5_bandwidth-4b803b72f0d4564b: crates/bench/src/bin/fig5_bandwidth.rs
+
+crates/bench/src/bin/fig5_bandwidth.rs:

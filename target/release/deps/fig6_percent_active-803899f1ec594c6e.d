@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_percent_active-803899f1ec594c6e.d: crates/bench/src/bin/fig6_percent_active.rs
+
+/root/repo/target/release/deps/fig6_percent_active-803899f1ec594c6e: crates/bench/src/bin/fig6_percent_active.rs
+
+crates/bench/src/bin/fig6_percent_active.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_dvmrp_routes-c85c8eb168c8701f.d: crates/bench/src/bin/fig7_dvmrp_routes.rs
+
+/root/repo/target/release/deps/fig7_dvmrp_routes-c85c8eb168c8701f: crates/bench/src/bin/fig7_dvmrp_routes.rs
+
+crates/bench/src/bin/fig7_dvmrp_routes.rs:

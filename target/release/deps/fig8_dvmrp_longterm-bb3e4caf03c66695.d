@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_dvmrp_longterm-bb3e4caf03c66695.d: crates/bench/src/bin/fig8_dvmrp_longterm.rs
+
+/root/repo/target/release/deps/fig8_dvmrp_longterm-bb3e4caf03c66695: crates/bench/src/bin/fig8_dvmrp_longterm.rs
+
+crates/bench/src/bin/fig8_dvmrp_longterm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_route_injection-a5651a210f5fdf34.d: crates/bench/src/bin/fig9_route_injection.rs
+
+/root/repo/target/release/deps/fig9_route_injection-a5651a210f5fdf34: crates/bench/src/bin/fig9_route_injection.rs
+
+crates/bench/src/bin/fig9_route_injection.rs:

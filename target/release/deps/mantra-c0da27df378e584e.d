@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mantra-c0da27df378e584e.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/cmd.rs
+
+/root/repo/target/release/deps/mantra-c0da27df378e584e: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/cmd.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/cmd.rs:

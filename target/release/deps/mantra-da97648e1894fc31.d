@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mantra-da97648e1894fc31.d: src/lib.rs
+
+/root/repo/target/release/deps/libmantra-da97648e1894fc31.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmantra-da97648e1894fc31.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mantra_bench-8fc8ba37a6c0f15f.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmantra_bench-8fc8ba37a6c0f15f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmantra_bench-8fc8ba37a6c0f15f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mantra_net-46b0db56d53637b8.d: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/id.rs crates/net/src/prefix.rs crates/net/src/rate.rs crates/net/src/time.rs crates/net/src/trie.rs
+
+/root/repo/target/release/deps/libmantra_net-46b0db56d53637b8.rlib: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/id.rs crates/net/src/prefix.rs crates/net/src/rate.rs crates/net/src/time.rs crates/net/src/trie.rs
+
+/root/repo/target/release/deps/libmantra_net-46b0db56d53637b8.rmeta: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/id.rs crates/net/src/prefix.rs crates/net/src/rate.rs crates/net/src/time.rs crates/net/src/trie.rs
+
+crates/net/src/lib.rs:
+crates/net/src/addr.rs:
+crates/net/src/id.rs:
+crates/net/src/prefix.rs:
+crates/net/src/rate.rs:
+crates/net/src/time.rs:
+crates/net/src/trie.rs:

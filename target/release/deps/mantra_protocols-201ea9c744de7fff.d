@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mantra_protocols-201ea9c744de7fff.d: crates/protocols/src/lib.rs crates/protocols/src/dvmrp.rs crates/protocols/src/igmp.rs crates/protocols/src/mbgp.rs crates/protocols/src/mfib.rs crates/protocols/src/msdp.rs crates/protocols/src/pim.rs
+
+/root/repo/target/release/deps/libmantra_protocols-201ea9c744de7fff.rlib: crates/protocols/src/lib.rs crates/protocols/src/dvmrp.rs crates/protocols/src/igmp.rs crates/protocols/src/mbgp.rs crates/protocols/src/mfib.rs crates/protocols/src/msdp.rs crates/protocols/src/pim.rs
+
+/root/repo/target/release/deps/libmantra_protocols-201ea9c744de7fff.rmeta: crates/protocols/src/lib.rs crates/protocols/src/dvmrp.rs crates/protocols/src/igmp.rs crates/protocols/src/mbgp.rs crates/protocols/src/mfib.rs crates/protocols/src/msdp.rs crates/protocols/src/pim.rs
+
+crates/protocols/src/lib.rs:
+crates/protocols/src/dvmrp.rs:
+crates/protocols/src/igmp.rs:
+crates/protocols/src/mbgp.rs:
+crates/protocols/src/mfib.rs:
+crates/protocols/src/msdp.rs:
+crates/protocols/src/pim.rs:

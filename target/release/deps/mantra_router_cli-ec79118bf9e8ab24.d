@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mantra_router_cli-ec79118bf9e8ab24.d: crates/router-cli/src/lib.rs crates/router-cli/src/ios.rs crates/router-cli/src/mrouted.rs
+
+/root/repo/target/release/deps/libmantra_router_cli-ec79118bf9e8ab24.rlib: crates/router-cli/src/lib.rs crates/router-cli/src/ios.rs crates/router-cli/src/mrouted.rs
+
+/root/repo/target/release/deps/libmantra_router_cli-ec79118bf9e8ab24.rmeta: crates/router-cli/src/lib.rs crates/router-cli/src/ios.rs crates/router-cli/src/mrouted.rs
+
+crates/router-cli/src/lib.rs:
+crates/router-cli/src/ios.rs:
+crates/router-cli/src/mrouted.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mantra_sim-968605441e0f339a.d: crates/sim/src/lib.rs crates/sim/src/applayer.rs crates/sim/src/event.rs crates/sim/src/network.rs crates/sim/src/rng.rs crates/sim/src/scenario.rs crates/sim/src/session.rs crates/sim/src/trees.rs crates/sim/src/workload.rs
+
+/root/repo/target/release/deps/libmantra_sim-968605441e0f339a.rlib: crates/sim/src/lib.rs crates/sim/src/applayer.rs crates/sim/src/event.rs crates/sim/src/network.rs crates/sim/src/rng.rs crates/sim/src/scenario.rs crates/sim/src/session.rs crates/sim/src/trees.rs crates/sim/src/workload.rs
+
+/root/repo/target/release/deps/libmantra_sim-968605441e0f339a.rmeta: crates/sim/src/lib.rs crates/sim/src/applayer.rs crates/sim/src/event.rs crates/sim/src/network.rs crates/sim/src/rng.rs crates/sim/src/scenario.rs crates/sim/src/session.rs crates/sim/src/trees.rs crates/sim/src/workload.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/applayer.rs:
+crates/sim/src/event.rs:
+crates/sim/src/network.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/session.rs:
+crates/sim/src/trees.rs:
+crates/sim/src/workload.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mantra_snmp-c8601f789e1d88e7.d: crates/snmp/src/lib.rs crates/snmp/src/agent.rs crates/snmp/src/manager.rs crates/snmp/src/mib.rs crates/snmp/src/oid.rs crates/snmp/src/types.rs
+
+/root/repo/target/release/deps/libmantra_snmp-c8601f789e1d88e7.rlib: crates/snmp/src/lib.rs crates/snmp/src/agent.rs crates/snmp/src/manager.rs crates/snmp/src/mib.rs crates/snmp/src/oid.rs crates/snmp/src/types.rs
+
+/root/repo/target/release/deps/libmantra_snmp-c8601f789e1d88e7.rmeta: crates/snmp/src/lib.rs crates/snmp/src/agent.rs crates/snmp/src/manager.rs crates/snmp/src/mib.rs crates/snmp/src/oid.rs crates/snmp/src/types.rs
+
+crates/snmp/src/lib.rs:
+crates/snmp/src/agent.rs:
+crates/snmp/src/manager.rs:
+crates/snmp/src/mib.rs:
+crates/snmp/src/oid.rs:
+crates/snmp/src/types.rs:

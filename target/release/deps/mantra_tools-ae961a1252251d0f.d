@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mantra_tools-ae961a1252251d0f.d: crates/tools/src/lib.rs crates/tools/src/mrinfo.rs crates/tools/src/mrtree.rs crates/tools/src/mtrace.rs crates/tools/src/mwatch.rs
+
+/root/repo/target/release/deps/libmantra_tools-ae961a1252251d0f.rlib: crates/tools/src/lib.rs crates/tools/src/mrinfo.rs crates/tools/src/mrtree.rs crates/tools/src/mtrace.rs crates/tools/src/mwatch.rs
+
+/root/repo/target/release/deps/libmantra_tools-ae961a1252251d0f.rmeta: crates/tools/src/lib.rs crates/tools/src/mrinfo.rs crates/tools/src/mrtree.rs crates/tools/src/mtrace.rs crates/tools/src/mwatch.rs
+
+crates/tools/src/lib.rs:
+crates/tools/src/mrinfo.rs:
+crates/tools/src/mrtree.rs:
+crates/tools/src/mtrace.rs:
+crates/tools/src/mwatch.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/mantra_topology-5fb4065f10a82541.d: crates/topology/src/lib.rs crates/topology/src/domain.rs crates/topology/src/graph.rs crates/topology/src/link.rs crates/topology/src/reference.rs crates/topology/src/router.rs
+
+/root/repo/target/release/deps/libmantra_topology-5fb4065f10a82541.rlib: crates/topology/src/lib.rs crates/topology/src/domain.rs crates/topology/src/graph.rs crates/topology/src/link.rs crates/topology/src/reference.rs crates/topology/src/router.rs
+
+/root/repo/target/release/deps/libmantra_topology-5fb4065f10a82541.rmeta: crates/topology/src/lib.rs crates/topology/src/domain.rs crates/topology/src/graph.rs crates/topology/src/link.rs crates/topology/src/reference.rs crates/topology/src/router.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/domain.rs:
+crates/topology/src/graph.rs:
+crates/topology/src/link.rs:
+crates/topology/src/reference.rs:
+crates/topology/src/router.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/resilient_collection-8b19116e4774b260.d: examples/resilient_collection.rs
+
+/root/repo/target/release/examples/resilient_collection-8b19116e4774b260: examples/resilient_collection.rs
+
+examples/resilient_collection.rs:

@@ -67,7 +67,8 @@ fn workload_is_isolated_from_fault_randomness() {
 fn rendered_cli_output_is_deterministic() {
     let render = || {
         let mut sc = Scenario::transition_snapshot(888, 0.5);
-        sc.sim.advance_to(sc.sim.clock + mantra::net::SimDuration::hours(4));
+        sc.sim
+            .advance_to(sc.sim.clock + mantra::net::SimDuration::hours(4));
         let now = sc.sim.clock;
         mantra::router_cli::render(
             &sc.sim.net,

@@ -109,7 +109,11 @@ fn fig5_shape_bandwidth_and_savings() {
         "bandwidth is spiky: cv {:.2}",
         bw.stddev() / bw.mean()
     );
-    assert!(saved.mean() > 1.0, "multicast saves bandwidth: {:.2}", saved.mean());
+    assert!(
+        saved.mean() > 1.0,
+        "multicast saves bandwidth: {:.2}",
+        saved.mean()
+    );
 }
 
 /// Figure 6: the transition raises the sender share and cuts variance.
@@ -152,7 +156,11 @@ fn fig7_shape_instability_and_inconsistency() {
     let end = sc.sim.clock + SimDuration::days(2);
     drive_until(&mut sc, &mut monitor, end);
     let fixw = monitor.route_series("fixw", "f", |r| r.dvmrp_reachable as f64);
-    assert!(fixw.stddev() > 1.0, "unstable routes: stddev {}", fixw.stddev());
+    assert!(
+        fixw.stddev() > 1.0,
+        "unstable routes: stddev {}",
+        fixw.stddev()
+    );
     // Some cycle saw the two routers disagree.
     let churn_events: usize = monitor
         .churn_history("fixw")
@@ -216,7 +224,10 @@ fn fig9_shape_injection_spike_detected_and_recovers() {
     );
     // Recovered by end of day.
     let final_v = routes.points.last().unwrap().1;
-    assert!(final_v < baseline * 1.5, "recovered: {final_v} vs {baseline}");
+    assert!(
+        final_v < baseline * 1.5,
+        "recovered: {final_v} vs {baseline}"
+    );
     // Detectors fired with the right classification.
     assert!(monitor
         .anomalies

@@ -30,8 +30,7 @@ fn monitored_tables_track_ground_truth() {
     // The DVMRP world floods everything; modulo cache lag the exchange
     // point's session count brackets the ground truth.
     assert!(
-        seen.sessions as f64 > 0.5 * truth as f64
-            && (seen.sessions as f64) < 2.5 * truth as f64,
+        seen.sessions as f64 > 0.5 * truth as f64 && (seen.sessions as f64) < 2.5 * truth as f64,
         "seen {} vs truth {truth}",
         seen.sessions
     );

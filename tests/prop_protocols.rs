@@ -37,7 +37,7 @@ proptest! {
         // Diameter is 4 (leaf → border → fixw → border → leaf): a handful
         // of rounds suffices.
         for _ in 0..8 {
-            now = now + SimDuration::secs(60);
+            now += SimDuration::secs(60);
             net.routing_round(now, 0.0, &mut rng);
         }
         // Expected prefixes: per domain, each internal router has `leaves`
@@ -69,19 +69,19 @@ proptest! {
         let mut rng = SimRng::seeded(seed);
         let mut now = t0();
         for _ in 0..6 {
-            now = now + SimDuration::secs(60);
+            now += SimDuration::secs(60);
             net.routing_round(now, 0.0, &mut rng);
         }
         let fixed_point = net.dvmrp_route_count(r.fixw);
         // Lossy period.
         for _ in 0..20 {
-            now = now + SimDuration::secs(60);
+            now += SimDuration::secs(60);
             net.routing_round(now, f64::from(loss_pct) / 100.0, &mut rng);
             prop_assert!(net.dvmrp_route_count(r.fixw) <= fixed_point);
         }
         // Recovery.
         for _ in 0..10 {
-            now = now + SimDuration::secs(60);
+            now += SimDuration::secs(60);
             net.routing_round(now, 0.0, &mut rng);
         }
         prop_assert_eq!(net.dvmrp_route_count(r.fixw), fixed_point);
@@ -142,7 +142,7 @@ proptest! {
                 .as_mut()
                 .unwrap()
                 .originate(src, group, now);
-            now = now + SimDuration::secs(60);
+            now += SimDuration::secs(60);
             net.routing_round(now, 0.0, &mut rng);
         }
         for rp in &rps {

@@ -40,14 +40,14 @@ fn both_paths_agree_where_mibs_exist() {
     refresh_agent(&mut agent, &sc.sim.net, sc.fixw, now);
     let snmp = mantra::snmp::snmp_collect(&agent, "fixw", now).unwrap();
     // DVMRP: identical route sets.
-    assert_eq!(
-        cli.reachable_dvmrp_routes(),
-        snmp.reachable_dvmrp_routes()
-    );
+    assert_eq!(cli.reachable_dvmrp_routes(), snmp.reachable_dvmrp_routes());
     // Forwarding pairs: SNMP sees every (S,G) the CLI sees (the CLI also
     // renders (*,G) entries that RFC 2932-era agents skipped).
     for key in snmp.pairs.keys() {
-        assert!(cli.pairs.contains_key(key), "SNMP pair {key:?} missing in CLI view");
+        assert!(
+            cli.pairs.contains_key(key),
+            "SNMP pair {key:?} missing in CLI view"
+        );
     }
 }
 
@@ -89,7 +89,10 @@ fn snmp_sender_classification_lags_a_poll_behind() {
     sc.sim.advance_to(later);
     refresh_agent(&mut agent, &sc.sim.net, sc.fixw, later);
     let second = snmp.collect(&agent, "fixw", later).unwrap();
-    assert!(second.senders(th).len() > 0, "rates appear after two polls");
+    assert!(
+        !second.senders(th).is_empty(),
+        "rates appear after two polls"
+    );
 }
 
 #[test]

@@ -81,7 +81,10 @@ fn mrtree_agrees_with_mantra_on_fixw_state() {
         node.children.iter().find_map(|c| find(c, r))
     }
     let fixw_state = find(&tree, sc.fixw).expect("fixw is on the broadcast tree");
-    assert!(fixw_state, "mrtree sees the same (S,G) state Mantra scrapes");
+    assert!(
+        fixw_state,
+        "mrtree sees the same (S,G) state Mantra scrapes"
+    );
 }
 
 #[test]
@@ -110,8 +113,8 @@ fn inconsistent_routing_shows_up_as_trace_failures() {
         .iter()
         .flat_map(|s| s.participants.values().map(move |p| (s.group, p.clone())))
         .find(|(_, p)| {
-            p.router != sc.fixw && sc.sim.net.topo.router(p.router).domain
-                != sc.sim.net.topo.router(sc.fixw).domain
+            p.router != sc.fixw
+                && sc.sim.net.topo.router(p.router).domain != sc.sim.net.topo.router(sc.fixw).domain
         })
         .expect("remote participant");
     let border = sc

@@ -1,0 +1,111 @@
+//! Crossbeam-shaped channels and scoped threads built on std.
+//!
+//! `channel::unbounded` wraps `std::sync::mpsc`; `thread::scope` wraps
+//! `std::thread::scope`, adapting crossbeam's closure signature (workers
+//! receive a `&Scope` argument). Worker panics propagate when the std
+//! scope joins, so the caller's `.expect(...)` site still halts the
+//! process on a poisoned cycle rather than deadlocking.
+
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, SendError};
+
+    pub struct Sender<T>(std::sync::mpsc::Sender<T>);
+
+    pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, std::sync::mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+
+        pub fn iter(&self) -> std::sync::mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+pub mod thread {
+    /// Wrapper around `std::thread::Scope` so spawned closures can take
+    /// the crossbeam-style `&Scope` argument and spawn further work.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope handle; all spawned threads are joined before
+    /// returning. A worker panic re-raises on join (std scope semantics),
+    /// so `Err` is never constructed — the signature exists for drop-in
+    /// compatibility with crossbeam's fallible API.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fan_in_over_channel() {
+        let (tx, rx) = super::channel::unbounded::<usize>();
+        let total: usize = super::thread::scope(|scope| {
+            for i in 0..8 {
+                let tx = tx.clone();
+                scope.spawn(move |_| tx.send(i).unwrap());
+            }
+            drop(tx);
+            let mut sum = 0;
+            while let Ok(v) = rx.recv() {
+                sum += v;
+            }
+            sum
+        })
+        .unwrap();
+        assert_eq!(total, (0..8).sum());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let out = super::thread::scope(|scope| {
+            let h = scope.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21);
+                h2.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+}

@@ -1,0 +1,118 @@
+//! Order-preserving parallel iteration with rayon's call shape.
+//!
+//! Supports the `slice.par_iter().map(f).collect()` pipeline this
+//! workspace uses. Work is split into contiguous chunks across scoped
+//! threads (one per available core, capped by item count), and results
+//! are reassembled in input order — callers relying on rayon's
+//! order-preserving `collect` see identical output.
+
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Sync + 'a;
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        parallel_map(self.items, self.f).into_iter().collect()
+    }
+}
+
+/// Maps `f` over `items` on scoped threads, preserving input order.
+pub fn parallel_map<'a, T, R, F>(items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    let chunk = n.div_ceil(workers);
+    let fr = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || part.iter().map(fr).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rayon worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_parallelism() {
+        let xs: Vec<u64> = (0..8).collect();
+        let sums: Vec<u64> = xs
+            .par_iter()
+            .map(|x| {
+                let inner: Vec<u64> = (0..4u64).collect::<Vec<_>>();
+                let mapped: Vec<u64> = inner.par_iter().map(|y| x * 10 + y).collect();
+                mapped.iter().sum()
+            })
+            .collect();
+        assert_eq!(sums[1], 10 + 11 + 12 + 13);
+    }
+}

@@ -1,0 +1,452 @@
+//! A self-contained, offline subset of `serde`.
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! handful of external crates it depends on are vendored as minimal
+//! first-party implementations (see `vendor/README.md`). This crate keeps
+//! serde's public *shape* — `Serialize`/`Deserialize` traits, the
+//! `ser`/`de` modules, and `#[derive(Serialize, Deserialize)]` — but routes
+//! everything through one concrete tree type, [`Value`]. Serializers
+//! consume a `Value`; deserializers produce one. That is all the workspace
+//! needs: `serde_json` (also vendored) renders and parses `Value`s, and the
+//! derive macro emits `Value`-building code.
+//!
+//! Fidelity notes, relative to real serde:
+//! * Formats are self-consistent, not wire-compatible with serde_json
+//!   proper (maps serialize as entry lists, enums as externally tagged).
+//! * There is no zero-copy deserialization; the `'de` lifetime exists only
+//!   so downstream trait bounds written against real serde still compile.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The single data model everything serializes through.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A negative integer.
+    I64(i64),
+    /// A non-negative integer.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (field order is preserved).
+    Map(Vec<(String, Value)>),
+}
+
+/// Serialization: the trait and the `Value`-producing serializer.
+pub mod ser {
+    use super::{Serialize, Value};
+
+    /// Mirrors `serde::ser::Serializer` closely enough for generic
+    /// helper functions (`fn serialize<S: Serializer>(...)`) to compile.
+    pub trait Serializer: Sized {
+        /// What a successful serialization yields.
+        type Ok;
+        /// The error type.
+        type Error;
+
+        /// Consumes a fully-built value tree.
+        fn serialize_value(self, v: Value) -> Result<Self::Ok, Self::Error>;
+
+        /// Serializes an iterator as a sequence.
+        fn collect_seq<I>(self, iter: I) -> Result<Self::Ok, Self::Error>
+        where
+            I: IntoIterator,
+            I::Item: Serialize,
+        {
+            let items = iter.into_iter().map(|x| to_value(&x)).collect();
+            self.serialize_value(Value::Seq(items))
+        }
+    }
+
+    /// An error that cannot occur (serializing to a `Value` is total).
+    #[derive(Debug)]
+    pub enum Impossible {}
+
+    /// The serializer that builds a [`Value`].
+    pub struct ValueSerializer;
+
+    impl Serializer for ValueSerializer {
+        type Ok = Value;
+        type Error = Impossible;
+
+        fn serialize_value(self, v: Value) -> Result<Value, Impossible> {
+            Ok(v)
+        }
+    }
+
+    /// Serializes anything into a [`Value`] (infallible).
+    pub fn to_value<T: Serialize + ?Sized>(t: &T) -> Value {
+        match t.serialize(ValueSerializer) {
+            Ok(v) => v,
+            Err(e) => match e {},
+        }
+    }
+}
+
+/// Deserialization: the trait, the `Value`-consuming deserializer and its
+/// error type.
+pub mod de {
+    use super::Value;
+
+    /// The concrete deserialization error.
+    #[derive(Debug)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Mirrors `serde::de::Deserializer`: hands the impl a value tree.
+    pub trait Deserializer<'de>: Sized {
+        /// The error type.
+        type Error;
+
+        /// Yields the value to deserialize from.
+        fn take_value(self) -> Result<Value, Self::Error>;
+
+        /// Builds an error from a message (serde's `Error::custom`).
+        fn custom(msg: String) -> Self::Error;
+    }
+
+    /// A deserializer over an owned [`Value`].
+    pub struct ValueDeserializer(pub Value);
+
+    impl<'de> Deserializer<'de> for ValueDeserializer {
+        type Error = Error;
+
+        fn take_value(self) -> Result<Value, Error> {
+            Ok(self.0)
+        }
+
+        fn custom(msg: String) -> Error {
+            Error(msg)
+        }
+    }
+
+    /// Deserializes a sub-value on behalf of an outer deserializer `D`,
+    /// converting the error type. The derive macro and container impls
+    /// route every field/element through this.
+    pub fn field<'de, T, D>(v: Value) -> Result<T, D::Error>
+    where
+        T: super::Deserialize<'de>,
+        D: Deserializer<'de>,
+    {
+        T::deserialize(ValueDeserializer(v)).map_err(|e| D::custom(e.0))
+    }
+}
+
+/// A type that can serialize itself.
+pub trait Serialize {
+    /// Serializes `self` into `serializer`.
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A type that can deserialize itself.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes from `deserializer`.
+    fn deserialize<D: de::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Deserializes a `T` from an owned [`Value`].
+pub fn from_value<T>(v: Value) -> Result<T, de::Error>
+where
+    T: for<'de> Deserialize<'de>,
+{
+    T::deserialize(de::ValueDeserializer(v))
+}
+
+// ---------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Bool(*self))
+    }
+}
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::U64(*self as u64))
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                if v >= 0 {
+                    s.serialize_value(Value::U64(v as u64))
+                } else {
+                    s.serialize_value(Value::I64(v))
+                }
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::F64(f64::from(*self)))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::F64(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => s.serialize_value(Value::Null),
+            Some(v) => v.serialize(s),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.collect_seq(self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.collect_seq(self.iter())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.collect_seq(self.iter())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::Seq(vec![$(ser::to_value(&self.$n)),+]))
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.collect_seq(self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize<S: ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.collect_seq(self.iter())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(D::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! de_unsigned {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let n: u64 = match d.take_value()? {
+                    Value::U64(n) => n,
+                    Value::I64(n) if n >= 0 => n as u64,
+                    Value::F64(f) if f >= 0.0 && f.fract() == 0.0 => f as u64,
+                    other => return Err(D::custom(format!("expected unsigned int, got {other:?}"))),
+                };
+                <$t>::try_from(n).map_err(|_| D::custom(format!("{n} out of range")))
+            }
+        }
+    )*};
+}
+de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! de_signed {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let n: i64 = match d.take_value()? {
+                    Value::I64(n) => n,
+                    Value::U64(n) => i64::try_from(n)
+                        .map_err(|_| D::custom(format!("{n} out of range")))?,
+                    Value::F64(f) if f.fract() == 0.0 => f as i64,
+                    other => return Err(D::custom(format!("expected int, got {other:?}"))),
+                };
+                <$t>::try_from(n).map_err(|_| D::custom(format!("{n} out of range")))
+            }
+        }
+    )*};
+}
+de_signed!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::F64(f) => Ok(f),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            other => Err(D::custom(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|f| f as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(D::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(D::custom(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(None),
+            v => Ok(Some(de::field::<T, D>(v)?)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Seq(items) => items.into_iter().map(|v| de::field::<T, D>(v)).collect(),
+            other => Err(D::custom(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items = Vec::<T>::deserialize(d)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| D::custom(format!("expected array of {N}, got {len} items")))
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal; $($n:tt $t:ident),+))*) => {$(
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<__D: de::Deserializer<'de>>(d: __D) -> Result<Self, __D::Error> {
+                match d.take_value()? {
+                    Value::Seq(items) if items.len() == $len => {
+                        let mut it = items.into_iter();
+                        Ok(($({
+                            let _ = $n; // positional marker
+                            de::field::<$t, __D>(it.next().expect("length checked"))?
+                        },)+))
+                    }
+                    other => Err(__D::custom(format!(
+                        "expected {}-tuple, got {other:?}", $len
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+    (5; 0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let entries = Vec::<(K, V)>::deserialize(d)?;
+        Ok(entries.into_iter().collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items = Vec::<T>::deserialize(d)?;
+        Ok(items.into_iter().collect())
+    }
+}

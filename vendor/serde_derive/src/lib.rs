@@ -1,0 +1,590 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde subset.
+//!
+//! Implemented directly on `proc_macro` token trees (no `syn`/`quote`,
+//! which are unavailable offline). The parser covers the item shapes this
+//! workspace actually derives on: named structs, tuple structs, unit
+//! structs, enums with unit/tuple/struct variants, a single layer of type
+//! generics, and the `#[serde(with = "module")]` field attribute. Output
+//! is generated as source text and re-parsed, which keeps the codegen
+//! readable and the error surface small.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we learned about the item being derived.
+struct Input {
+    name: String,
+    /// Type-parameter identifiers (lifetimes are not supported).
+    params: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named-field struct.
+    Struct(Vec<Field>),
+    /// Tuple struct with this many fields.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum.
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    /// Payload of `#[serde(with = "...")]`, if present.
+    with: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    shape: VarShape,
+}
+
+enum VarShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Outer attributes and visibility.
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let is_enum = match toks.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => false,
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => true,
+        other => panic!("serde_derive: expected struct or enum, got {other:?}"),
+    };
+    i += 1;
+
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    // Generic parameters: collect idents in parameter position at depth 1.
+    let mut params = Vec::new();
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            i += 1;
+            let mut depth = 1usize;
+            let mut expect_param = true;
+            while depth > 0 {
+                match toks.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        depth += 1;
+                        expect_param = false;
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                        depth -= 1;
+                        expect_param = false;
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                        expect_param = true;
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                        // Lifetime parameter: skip its ident, stay in
+                        // expect_param state only until the ident.
+                        i += 1; // consume the ident after the tick
+                        expect_param = false;
+                    }
+                    Some(TokenTree::Ident(id)) => {
+                        if expect_param && depth == 1 {
+                            params.push(id.to_string());
+                        }
+                        expect_param = false;
+                    }
+                    None => panic!("serde_derive: unterminated generics on {name}"),
+                    _ => {
+                        expect_param = false;
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+
+    // Skip a where-clause if present: everything up to the body group.
+    while let Some(tok) = toks.get(i) {
+        match tok {
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Brace || g.delimiter() == Delimiter::Parenthesis =>
+            {
+                break;
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => i += 1,
+        }
+    }
+
+    let kind = match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Kind::Enum(parse_variants(g.stream()))
+            } else {
+                Kind::Struct(parse_fields(g.stream()))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Kind::Tuple(count_top_level(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Unit,
+        None => Kind::Unit,
+        other => panic!("serde_derive: unexpected token in {name}: {other:?}"),
+    };
+
+    Input { name, params, kind }
+}
+
+/// Splits a token stream on commas that are outside `<...>` (delimiter
+/// groups are atomic tokens, but angle brackets are plain puncts and need
+/// manual depth tracking).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(tok);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn count_top_level(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+/// Parses one named field's tokens: attrs, visibility, `name : type`.
+fn parse_field(tokens: &[TokenTree]) -> Field {
+    let mut with = None;
+    let mut i = 0;
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if let Some(w) = parse_serde_with(g.stream()) {
+                        with = Some(w);
+                    }
+                }
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                return Field {
+                    name: id.to_string(),
+                    with,
+                };
+            }
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        }
+    }
+}
+
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level(stream)
+        .iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| parse_field(chunk))
+        .collect()
+}
+
+/// Extracts `with = "path"` from the contents of a `#[serde(...)]`
+/// attribute's bracket group, if that is what this attribute is.
+fn parse_serde_with(stream: TokenStream) -> Option<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    match toks.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match toks.get(1) {
+        Some(TokenTree::Group(g)) => g.stream(),
+        _ => return None,
+    };
+    let inner: Vec<TokenTree> = inner.into_iter().collect();
+    let mut i = 0;
+    while i < inner.len() {
+        if let TokenTree::Ident(id) = &inner[i] {
+            if id.to_string() == "with" {
+                if let Some(TokenTree::Literal(lit)) = inner.get(i + 2) {
+                    let raw = lit.to_string();
+                    return Some(raw.trim_matches('"').to_string());
+                }
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .iter()
+        .filter(|chunk| !chunk.is_empty())
+        .map(|chunk| {
+            let mut i = 0;
+            // Skip attributes (e.g. `#[default]` used by derive(Default)).
+            while let Some(TokenTree::Punct(p)) = chunk.get(i) {
+                if p.as_char() == '#' {
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            let name = match chunk.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected variant name, got {other:?}"),
+            };
+            i += 1;
+            let shape = match chunk.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VarShape::Tuple(count_top_level(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VarShape::Struct(parse_fields(g.stream()))
+                }
+                _ => VarShape::Unit,
+            };
+            Variant { name, shape }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------
+
+fn ser_impl_header(input: &Input) -> String {
+    if input.params.is_empty() {
+        format!("impl serde::Serialize for {}", input.name)
+    } else {
+        let bounds: Vec<String> = input
+            .params
+            .iter()
+            .map(|p| format!("{p}: serde::Serialize"))
+            .collect();
+        format!(
+            "impl<{}> serde::Serialize for {}<{}>",
+            bounds.join(", "),
+            input.name,
+            input.params.join(", ")
+        )
+    }
+}
+
+fn de_impl_header(input: &Input) -> String {
+    if input.params.is_empty() {
+        format!("impl<'de> serde::Deserialize<'de> for {}", input.name)
+    } else {
+        let bounds: Vec<String> = input
+            .params
+            .iter()
+            .map(|p| format!("{p}: serde::Deserialize<'de>"))
+            .collect();
+        format!(
+            "impl<'de, {}> serde::Deserialize<'de> for {}<{}>",
+            bounds.join(", "),
+            input.name,
+            input.params.join(", ")
+        )
+    }
+}
+
+/// Expression producing the `serde::Value` for one field access path.
+fn ser_field_expr(access: &str, with: &Option<String>) -> String {
+    match with {
+        None => format!("serde::ser::to_value({access})"),
+        Some(path) => format!(
+            "match {path}::serialize({access}, serde::ser::ValueSerializer) \
+             {{ Ok(__v) => __v, Err(_) => serde::Value::Null }}"
+        ),
+    }
+}
+
+/// Expression deserializing one field from the `serde::Value` in `var`.
+fn de_field_expr(var: &str, with: &Option<String>) -> String {
+    match with {
+        None => format!("serde::de::field::<_, __D>({var})?"),
+        Some(path) => format!(
+            "{path}::deserialize(serde::de::ValueDeserializer({var}))\
+             .map_err(|__e| __D::custom(__e.0))?"
+        ),
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let body = match &input.kind {
+        Kind::Unit => "__s.serialize_value(serde::Value::Null)".to_string(),
+        Kind::Tuple(1) => format!("__s.serialize_value({})", ser_field_expr("&self.0", &None)),
+        Kind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| ser_field_expr(&format!("&self.{i}"), &None))
+                .collect();
+            format!(
+                "__s.serialize_value(serde::Value::Seq(vec![{}]))",
+                items.join(", ")
+            )
+        }
+        Kind::Struct(fields) => {
+            let pushes: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__m.push((\"{0}\".to_string(), {1}));",
+                        f.name,
+                        ser_field_expr(&format!("&self.{}", f.name), &f.with)
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __m: Vec<(String, serde::Value)> = Vec::new();\n{}\n\
+                 __s.serialize_value(serde::Value::Map(__m))",
+                pushes.join("\n")
+            )
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    let tname = &input.name;
+                    match &v.shape {
+                        VarShape::Unit => format!(
+                            "{tname}::{vname} => __s.serialize_value(\
+                             serde::Value::Str(\"{vname}\".to_string())),"
+                        ),
+                        VarShape::Tuple(1) => format!(
+                            "{tname}::{vname}(__x0) => __s.serialize_value(\
+                             serde::Value::Map(vec![(\"{vname}\".to_string(), {})])),",
+                            ser_field_expr("__x0", &None)
+                        ),
+                        VarShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| ser_field_expr(&format!("__x{i}"), &None))
+                                .collect();
+                            format!(
+                                "{tname}::{vname}({}) => __s.serialize_value(\
+                                 serde::Value::Map(vec![(\"{vname}\".to_string(), \
+                                 serde::Value::Seq(vec![{}]))])),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VarShape::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{0}\".to_string(), {1})",
+                                        f.name,
+                                        ser_field_expr(&f.name, &f.with)
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{tname}::{vname} {{ {} }} => __s.serialize_value(\
+                                 serde::Value::Map(vec![(\"{vname}\".to_string(), \
+                                 serde::Value::Map(vec![{}]))])),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{}\n}}", arms.join("\n"))
+        }
+    };
+    format!(
+        "{} {{\n fn serialize<__S: serde::ser::Serializer>(&self, __s: __S) \
+         -> Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}",
+        ser_impl_header(input)
+    )
+}
+
+/// Generates the shared named-fields decoding snippet: binds each field
+/// name from a `Vec<(String, serde::Value)>` called `__map`, then builds
+/// `ctor { field, ... }`.
+fn de_named_fields(ctx: &str, fields: &[Field], ctor: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        out.push_str(&format!(
+            "let mut __f_{}: Option<serde::Value> = None;\n",
+            f.name
+        ));
+    }
+    out.push_str("for (__k, __val) in __map {\nmatch __k.as_str() {\n");
+    for f in fields {
+        out.push_str(&format!("\"{0}\" => __f_{0} = Some(__val),\n", f.name));
+    }
+    out.push_str("_ => {}\n}\n}\n");
+    for f in fields {
+        out.push_str(&format!(
+            "let {0} = match __f_{0} {{ Some(__v) => {1}, None => return Err(__D::custom(\
+             \"missing field {0} in {ctx}\".to_string())) }};\n",
+            f.name,
+            de_field_expr("__v", &f.with)
+        ));
+    }
+    let names: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+    out.push_str(&format!("Ok({ctor} {{ {} }})", names.join(", ")));
+    out
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Unit => format!("let _ = __d.take_value()?; Ok({name})"),
+        Kind::Tuple(1) => format!(
+            "let __v = __d.take_value()?; Ok({name}({}))",
+            de_field_expr("__v", &None)
+        ),
+        Kind::Tuple(n) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|_| de_field_expr("__it.next().expect(\"length checked\")", &None))
+                .collect();
+            format!(
+                "match __d.take_value()? {{\n\
+                 serde::Value::Seq(__items) if __items.len() == {n} => {{\n\
+                 let mut __it = __items.into_iter();\n\
+                 Ok({name}({}))\n}}\n\
+                 __other => Err(__D::custom(format!(\
+                 \"expected {n}-element seq for {name}, got {{__other:?}}\"))),\n}}",
+                gets.join(", ")
+            )
+        }
+        Kind::Struct(fields) => format!(
+            "let __map = match __d.take_value()? {{\n\
+             serde::Value::Map(__m) => __m,\n\
+             __other => return Err(__D::custom(format!(\
+             \"expected map for {name}, got {{__other:?}}\"))),\n}};\n{}",
+            de_named_fields(name, fields, name)
+        ),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VarShape::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VarShape::Unit => None,
+                        VarShape::Tuple(1) => Some(format!(
+                            "\"{vname}\" => Ok({name}::{vname}({})),",
+                            de_field_expr("__payload", &None)
+                        )),
+                        VarShape::Tuple(n) => {
+                            let gets: Vec<String> = (0..*n)
+                                .map(|_| {
+                                    de_field_expr("__it.next().expect(\"length checked\")", &None)
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => match __payload {{\n\
+                                 serde::Value::Seq(__items) if __items.len() == {n} => {{\n\
+                                 let mut __it = __items.into_iter();\n\
+                                 Ok({name}::{vname}({}))\n}}\n\
+                                 __other => Err(__D::custom(format!(\
+                                 \"bad payload for {name}::{vname}: {{__other:?}}\"))),\n}},",
+                                gets.join(", ")
+                            ))
+                        }
+                        VarShape::Struct(fields) => Some(format!(
+                            "\"{vname}\" => match __payload {{\n\
+                             serde::Value::Map(__map) => {{\n{}\n}}\n\
+                             __other => Err(__D::custom(format!(\
+                             \"bad payload for {name}::{vname}: {{__other:?}}\"))),\n}},",
+                            de_named_fields(
+                                &format!("{name}::{vname}"),
+                                fields,
+                                &format!("{name}::{vname}")
+                            )
+                        )),
+                    }
+                })
+                .collect();
+            format!(
+                "match __d.take_value()? {{\n\
+                 serde::Value::Str(__s) => match __s.as_str() {{\n{}\n\
+                 __other => Err(__D::custom(format!(\
+                 \"unknown variant {{__other}} of {name}\"))),\n}},\n\
+                 serde::Value::Map(mut __m) if __m.len() == 1 => {{\n\
+                 let (__k, __payload) = __m.remove(0);\n\
+                 match __k.as_str() {{\n{}\n\
+                 __other => Err(__D::custom(format!(\
+                 \"unknown variant {{__other}} of {name}\"))),\n}}\n}}\n\
+                 __other => Err(__D::custom(format!(\
+                 \"expected variant tag for {name}, got {{__other:?}}\"))),\n}}",
+                unit_arms.join("\n"),
+                payload_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "{} {{\n fn deserialize<__D: serde::de::Deserializer<'de>>(__d: __D) \
+         -> Result<Self, __D::Error> {{\n{body}\n}}\n}}",
+        de_impl_header(input)
+    )
+}

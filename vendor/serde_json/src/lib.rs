@@ -1,0 +1,348 @@
+//! JSON rendering/parsing over the vendored serde `Value` model.
+//!
+//! Supports exactly what the workspace uses: `to_string` and `from_str`.
+//! Numbers parse to U64/I64 when integral and F64 otherwise; floats render
+//! via `{}` formatting, which round-trips through Rust's shortest-repr
+//! float printing.
+
+use serde::{Deserialize, Serialize, Value};
+
+#[derive(Debug)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&serde::ser::to_value(value), &mut out);
+    Ok(out)
+}
+
+pub fn from_str<T: for<'de> Deserialize<'de>>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing data at byte {}", p.pos)));
+    }
+    serde::from_value(v).map_err(|e| Error(e.0))
+}
+
+// ---------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------
+
+fn render(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => {
+            if x.is_finite() {
+                let s = x.to_string();
+                out.push_str(&s);
+                // Ensure floats stay floats on re-parse.
+                if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => render_string(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_string(k, out);
+                out.push(':');
+                render(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected {:?} at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => return Err(Error(format!("bad array at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let val = self.value()?;
+                    entries.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        _ => return Err(Error(format!("bad object at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            other => Err(Error(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error("bad \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error("bad \\u escape".into()))?;
+                            // Surrogate pairs are not needed by our own
+                            // writer (it only \u-escapes control chars).
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("bad \\u codepoint".into()))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(Error(format!("bad escape at byte {}", self.pos))),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error("invalid utf-8".into()))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(Error("unterminated string".into())),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| Error(format!("bad float {text:?}")))
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            stripped
+                .parse::<u64>()
+                .map(|_| ())
+                .and_then(|()| text.parse::<i64>().map(Value::I64))
+                .or_else(|_| text.parse::<i64>().map(Value::I64))
+                .map_err(|_| Error(format!("bad integer {text:?}")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|_| Error(format!("bad integer {text:?}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_value_shapes() {
+        let v = Value::Map(vec![
+            ("a".to_string(), Value::U64(7)),
+            (
+                "b".to_string(),
+                Value::Seq(vec![Value::Bool(true), Value::Null]),
+            ),
+            ("c".to_string(), Value::Str("x\n\"y\"".to_string())),
+            ("d".to_string(), Value::F64(1.5)),
+            ("e".to_string(), Value::I64(-3)),
+        ]);
+        let mut s = String::new();
+        render(&v, &mut s);
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        let back = p.value().unwrap();
+        assert_eq!(format!("{v:?}"), format!("{back:?}"));
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        let xs: Vec<(String, u64)> = vec![("r1".into(), 10), ("r2".into(), 20)];
+        let s = to_string(&xs).unwrap();
+        let back: Vec<(String, u64)> = from_str(&s).unwrap();
+        assert_eq!(xs, back);
+    }
+
+    #[test]
+    fn whole_floats_stay_floats() {
+        let s = to_string(&vec![2.0f64]).unwrap();
+        assert_eq!(s, "[2.0]");
+        let back: Vec<f64> = from_str(&s).unwrap();
+        assert_eq!(back, vec![2.0]);
+    }
+}
