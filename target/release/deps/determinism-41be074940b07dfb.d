@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-41be074940b07dfb.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-41be074940b07dfb: tests/determinism.rs
+
+tests/determinism.rs:

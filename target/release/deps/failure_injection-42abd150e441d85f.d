@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_injection-42abd150e441d85f.d: tests/failure_injection.rs
+
+/root/repo/target/release/deps/failure_injection-42abd150e441d85f: tests/failure_injection.rs
+
+tests/failure_injection.rs:

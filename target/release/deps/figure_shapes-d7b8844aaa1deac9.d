@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figure_shapes-d7b8844aaa1deac9.d: tests/figure_shapes.rs
+
+/root/repo/target/release/deps/figure_shapes-d7b8844aaa1deac9: tests/figure_shapes.rs
+
+tests/figure_shapes.rs:

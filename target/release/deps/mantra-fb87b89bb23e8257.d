@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mantra-fb87b89bb23e8257.d: src/lib.rs
+
+/root/repo/target/release/deps/mantra-fb87b89bb23e8257: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline_end_to_end-71c4c0991bda4197.d: tests/pipeline_end_to_end.rs
+
+/root/repo/target/release/deps/pipeline_end_to_end-71c4c0991bda4197: tests/pipeline_end_to_end.rs
+
+tests/pipeline_end_to_end.rs:

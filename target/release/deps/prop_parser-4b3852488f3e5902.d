@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_parser-4b3852488f3e5902.d: tests/prop_parser.rs
+
+/root/repo/target/release/deps/prop_parser-4b3852488f3e5902: tests/prop_parser.rs
+
+tests/prop_parser.rs:

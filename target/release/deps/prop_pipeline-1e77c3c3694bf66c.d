@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_pipeline-1e77c3c3694bf66c.d: tests/prop_pipeline.rs
+
+/root/repo/target/release/deps/prop_pipeline-1e77c3c3694bf66c: tests/prop_pipeline.rs
+
+tests/prop_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_protocols-9875bb28d02b1c64.d: tests/prop_protocols.rs
+
+/root/repo/target/release/deps/prop_protocols-9875bb28d02b1c64: tests/prop_protocols.rs
+
+tests/prop_protocols.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sap_names-fca1257957b161e4.d: tests/sap_names.rs
+
+/root/repo/target/release/deps/sap_names-fca1257957b161e4: tests/sap_names.rs
+
+tests/sap_names.rs:

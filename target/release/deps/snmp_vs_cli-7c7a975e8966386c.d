@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/snmp_vs_cli-7c7a975e8966386c.d: tests/snmp_vs_cli.rs
+
+/root/repo/target/release/deps/snmp_vs_cli-7c7a975e8966386c: tests/snmp_vs_cli.rs
+
+tests/snmp_vs_cli.rs:

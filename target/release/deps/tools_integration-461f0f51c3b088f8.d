@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tools_integration-461f0f51c3b088f8.d: tests/tools_integration.rs
+
+/root/repo/target/release/deps/tools_integration-461f0f51c3b088f8: tests/tools_integration.rs
+
+tests/tools_integration.rs:

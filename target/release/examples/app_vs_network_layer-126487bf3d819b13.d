@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/app_vs_network_layer-126487bf3d819b13.d: examples/app_vs_network_layer.rs
+
+/root/repo/target/release/examples/app_vs_network_layer-126487bf3d819b13: examples/app_vs_network_layer.rs
+
+examples/app_vs_network_layer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/collection_paths-26cc28b83f808a64.d: examples/collection_paths.rs
+
+/root/repo/target/release/examples/collection_paths-26cc28b83f808a64: examples/collection_paths.rs
+
+examples/collection_paths.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/debug_route_injection-905329a89aab6982.d: examples/debug_route_injection.rs
+
+/root/repo/target/release/examples/debug_route_injection-905329a89aab6982: examples/debug_route_injection.rs
+
+examples/debug_route_injection.rs:

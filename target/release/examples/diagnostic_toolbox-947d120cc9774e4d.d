@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/diagnostic_toolbox-947d120cc9774e4d.d: examples/diagnostic_toolbox.rs
+
+/root/repo/target/release/examples/diagnostic_toolbox-947d120cc9774e4d: examples/diagnostic_toolbox.rs
+
+examples/diagnostic_toolbox.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/multi_router_aggregation-3a466d9b06bb1edb.d: examples/multi_router_aggregation.rs
+
+/root/repo/target/release/examples/multi_router_aggregation-3a466d9b06bb1edb: examples/multi_router_aggregation.rs
+
+examples/multi_router_aggregation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-d91610e4354887a9.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-d91610e4354887a9: examples/quickstart.rs
+
+examples/quickstart.rs:

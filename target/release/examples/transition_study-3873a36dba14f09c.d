@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/transition_study-3873a36dba14f09c.d: examples/transition_study.rs
+
+/root/repo/target/release/examples/transition_study-3873a36dba14f09c: examples/transition_study.rs
+
+examples/transition_study.rs:
