@@ -7,17 +7,21 @@
 //! * `ablation_interval_*` — collection-interval sweep (cost side; the
 //!   fidelity side lives in the figure binaries),
 //! * `ablation_aggregate_*` — sequential vs rayon multi-router
-//!   collection, the paper's announced enhancement.
+//!   collection, the paper's announced enhancement,
+//! * `ablation_interning_*` — BTreeMap-keyed reference delta diffing vs
+//!   the interned [`TableStore`] merge-join on a 50-router × 96-cycle
+//!   day of snapshots.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use mantra_bench::{drive_for, monitor_for};
 use mantra_core::aggregate::{collect_aggregate, collect_aggregate_sequential};
-use mantra_core::logger::{SnapshotParts, TableLog};
+use mantra_core::logger::{diff_reference, diff_with, SnapshotParts, TableLog};
 use mantra_core::stats::UsageStats;
-use mantra_core::tables::Tables;
-use mantra_net::{BitRate, SimDuration};
+use mantra_core::store::TableStore;
+use mantra_core::tables::{LearnedFrom, PairRow, RouteRow, Tables};
+use mantra_net::{BitRate, GroupAddr, Ip, Prefix, SimDuration, SimTime};
 use mantra_router_cli::TableKind;
 use mantra_sim::Scenario;
 
@@ -161,6 +165,82 @@ fn ablation_aggregate(c: &mut Criterion) {
     group.finish();
 }
 
+/// Deterministic synthetic snapshot streams: `routers` routers, `cycles`
+/// 15-minute cycles each, with slow pair churn and route flapping — the
+/// shape of a day of multi-router collection without simulator cost.
+fn synthetic_streams(routers: usize, cycles: usize) -> Vec<Vec<SnapshotParts>> {
+    (0..routers)
+        .map(|r| {
+            (0..cycles)
+                .map(|c| {
+                    let at = SimTime(SimTime::from_ymd(1999, 3, 1).as_secs() + c as u64 * 900);
+                    let mut t = Tables::new(format!("r{r}"), at);
+                    for k in 0..40u32 {
+                        t.add_pair(PairRow {
+                            source: Ip::new(10, r as u8, 0, (k % 24) as u8 + 1),
+                            group: GroupAddr::from_index((k + c as u32 / 8) % 64),
+                            current_bw: BitRate::from_bps(
+                                1_000 + ((c as u64 * 37 + k as u64 * 13) % 7) * 500,
+                            ),
+                            avg_bw: BitRate::from_bps(0),
+                            forwarding: !(k + c as u32).is_multiple_of(5),
+                            learned_from: LearnedFrom::Dvmrp,
+                        });
+                    }
+                    for k in 0..60u32 {
+                        t.add_route(RouteRow {
+                            prefix: Prefix::new(Ip::new(128, (k % 200) as u8, 0, 0), 16).unwrap(),
+                            next_hop: Some(Ip::new(10, r as u8, 0, 1)),
+                            metric: 1 + (k + c as u32) % 30,
+                            uptime: None,
+                            reachable: !(k + c as u32 / 4).is_multiple_of(11),
+                            learned_from: LearnedFrom::Dvmrp,
+                        });
+                    }
+                    SnapshotParts::from_tables(&t)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn ablation_interning(c: &mut Criterion) {
+    // One day of 15-minute cycles across 50 routers, diffed consecutively
+    // — the monitor's hot loop, isolated.
+    let streams = synthetic_streams(50, 96);
+    let mut group = c.benchmark_group("ablation_interning");
+    group.sample_size(10);
+    group.bench_function("btreemap_reference", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for stream in &streams {
+                for w in stream.windows(2) {
+                    let d = diff_reference(&w[0], &w[1]);
+                    total += d.pair_upserts.len() + d.route_upserts.len();
+                }
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("interned_store", |b| {
+        b.iter(|| {
+            // One store for the whole fleet, as the monitor holds it: keys
+            // hash once on first sight, then every diff is a merge-join
+            // over dense ids.
+            let mut store = TableStore::default();
+            let mut total = 0usize;
+            for stream in &streams {
+                for w in stream.windows(2) {
+                    let d = diff_with(&mut store, &w[0], &w[1]);
+                    total += d.pair_upserts.len() + d.route_upserts.len();
+                }
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
 fn ablation_report_loss(c: &mut Criterion) {
     // Route-count instability as a function of DVMRP report loss — the
     // mechanism behind Figure 7, quantified. Criterion measures the run
@@ -202,6 +282,6 @@ criterion_group! {
     name = ablations;
     config = Criterion::default();
     targets = ablation_logger, ablation_threshold, ablation_interval,
-              ablation_aggregate, ablation_report_loss
+              ablation_aggregate, ablation_interning, ablation_report_loss
 }
 criterion_main!(ablations);

@@ -138,6 +138,7 @@ pub fn health(opts: &Opts) -> Result<(), String> {
         monitor.run_cycle_parallel(&access, now);
     }
     println!("{}", monitor.health(now).render());
+    println!("\n{}", monitor.stage_table().render());
     for router in &monitor.cfg.routers.clone() {
         let Some(h) = monitor.router_health(router) else {
             continue;

@@ -17,8 +17,10 @@ use crate::collector::{
     preprocess, CaptureError, CollectStats, Collector, FlakyAccess, RetryPolicy,
 };
 use crate::monitor::SessionAdapter;
-use crate::processor::{process, ParseStats};
+use crate::pipeline::parse_router;
+use crate::processor::ParseStats;
 use crate::stats::ConsistencyReport;
+use crate::store::TableStore;
 use crate::tables::Tables;
 
 /// Thread-safe router access for concurrent collection. Unlike
@@ -109,10 +111,13 @@ pub struct AggregateView {
     pub consistency: Vec<(String, String, ConsistencyReport)>,
 }
 
-/// Builds one router's cycle from single-attempt capture results.
+/// Builds one router's cycle from single-attempt capture results. The
+/// snapshot is stamped through [`parse_router`], so a router that lost
+/// every capture still yields an addressed (empty) snapshot.
 fn cycle_from_captures(
     router: &str,
     captures: Vec<Result<crate::collector::Capture, CaptureError>>,
+    now: SimTime,
 ) -> RouterCycle {
     let failures = captures.iter().filter(|c| c.is_err()).count();
     let ok: Vec<_> = captures.into_iter().flatten().collect();
@@ -123,7 +128,7 @@ fn cycle_from_captures(
         raw_bytes: ok.iter().map(|c| c.raw_bytes as u64).sum(),
         ..CollectStats::default()
     };
-    let (tables, parse) = process(&ok);
+    let (tables, parse) = parse_router(router, &ok, now);
     RouterCycle {
         router: router.to_string(),
         tables,
@@ -141,6 +146,7 @@ fn assemble(per_router: Vec<RouterCycle>, now: SimTime) -> AggregateView {
         merged.merge(&rc.tables);
     }
     let mut consistency = Vec::new();
+    let mut store = TableStore::default();
     for i in 0..per_router.len() {
         for j in (i + 1)..per_router.len() {
             let (a, b) = (&per_router[i], &per_router[j]);
@@ -148,7 +154,7 @@ fn assemble(per_router: Vec<RouterCycle>, now: SimTime) -> AggregateView {
                 consistency.push((
                     a.router.clone(),
                     b.router.clone(),
-                    ConsistencyReport::between(&a.tables, &b.tables),
+                    ConsistencyReport::between_with(&mut store, &a.tables, &b.tables),
                 ));
             }
         }
@@ -181,7 +187,7 @@ pub fn collect_aggregate(
                         .map(|raw| preprocess(router, *kind, &raw, now))
                 })
                 .collect();
-            cycle_from_captures(router, captures)
+            cycle_from_captures(router, captures, now)
         })
         .collect();
     assemble(per_router, now)
@@ -209,7 +215,7 @@ pub fn collect_aggregate_resilient(
         .map(|router| {
             let mut session = SessionAdapter(access);
             let (captures, stats) = collector.collect_with(&mut session, router, now);
-            let (tables, parse) = process(&captures);
+            let (tables, parse) = parse_router(router, &captures, now);
             RouterCycle {
                 router: router.clone(),
                 tables,
@@ -241,7 +247,7 @@ pub fn collect_aggregate_sequential(
                         .map(|raw| preprocess(router, *kind, &raw, now))
                 })
                 .collect();
-            cycle_from_captures(router, captures)
+            cycle_from_captures(router, captures, now)
         })
         .collect();
     assemble(per_router, now)
@@ -282,7 +288,7 @@ where
                             .map(|raw| preprocess(router, *kind, &raw, now))
                     })
                     .collect();
-                let _ = tx.send(cycle_from_captures(router, captures));
+                let _ = tx.send(cycle_from_captures(router, captures, now));
             });
         }
         drop(tx);

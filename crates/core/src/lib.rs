@@ -26,7 +26,11 @@
 //! * [`aggregate`] — the paper's announced next step: concurrent
 //!   multi-router collection with aggregated, real-time results
 //!   (parallelised with rayon),
-//! * [`monitor`] — the orchestrator tying the whole cycle together,
+//! * [`store`] — interned identifier tables mapping router names, hosts,
+//!   groups and route keys to dense ids for the hot path,
+//! * [`pipeline`] — the staged cycle: typed Capture → Parse → Enrich →
+//!   Log → Analyse stages with per-stage instrumentation,
+//! * [`monitor`] — the orchestrator driving the pipeline,
 //! * [`web`] — the web presentation layer (static HTML + SVG reports,
 //!   standing in for the paper's Java applets).
 
@@ -37,12 +41,16 @@ pub mod logger;
 pub mod longterm;
 pub mod monitor;
 pub mod output;
+pub mod pipeline;
 pub mod processor;
 pub mod stats;
+pub mod store;
 pub mod tables;
 pub mod web;
 
 pub use collector::{CaptureError, CollectStats, Collector, RetryPolicy, RouterAccess};
 pub use monitor::{Monitor, MonitorConfig, RouterHealth};
+pub use pipeline::{PipelineMetrics, Stage, StageKind, StageMetrics};
 pub use stats::{RouteStats, UsageStats};
+pub use store::TableStore;
 pub use tables::{PairRow, ParticipantRow, RouteRow, SessionRow, Tables};

@@ -19,6 +19,7 @@ use serde::{Deserialize, Serialize};
 
 use mantra_net::{GroupAddr, Ip, Prefix, SimTime};
 
+use crate::store::{in_key_order, Interner, TableStore};
 use crate::tables::{LearnedFrom, PairRow, RouteRow, SessionRow, Tables};
 
 /// What one cycle stores.
@@ -112,8 +113,199 @@ impl SnapshotParts {
     }
 }
 
-/// Computes the delta taking `prev` to `next`.
+/// Diffs one keyed section through the interner: one marking pass over
+/// `prev`, one comparison pass over `next`, no map construction. Upserts
+/// come out in `next` key order and removals in `prev` key order —
+/// byte-identical to what the `BTreeMap`-based reference emits.
+fn diff_section<T, K>(
+    interner: &mut Interner<K>,
+    prev: &[T],
+    next: &[T],
+    key: impl Fn(&T) -> K,
+    upserts: &mut Vec<T>,
+    removals: &mut Vec<K>,
+) where
+    T: Clone + PartialEq,
+    K: Ord + Copy + Eq + std::hash::Hash,
+{
+    let prev_s = in_key_order(prev, &key);
+    let next_s = in_key_order(next, &key);
+    interner.begin_pass();
+    for (i, row) in prev_s.iter().enumerate() {
+        let id = interner.intern(&key(row));
+        interner.mark(id, i as u32);
+    }
+    for row in &next_s {
+        let id = interner.intern(&key(row));
+        interner.see(id);
+        match interner.marked(id) {
+            Some(i) if prev_s[i as usize] == *row => {}
+            _ => upserts.push((*row).clone()),
+        }
+    }
+    for row in &prev_s {
+        let id = interner.get(&key(row)).expect("marked in the prev pass");
+        if !interner.seen(id) {
+            removals.push(key(row));
+        }
+    }
+}
+
+/// Applies one keyed section as a two-pointer merge of the key-sorted base
+/// and upsert lists: upserts win on key collision, removals filter the
+/// merged stream, output stays key-sorted. Semantics match the reference
+/// exactly, including a key in both upserts and removals ending removed.
+fn apply_section<T, K>(
+    interner: &mut Interner<K>,
+    base: &[T],
+    upserts: &[T],
+    removals: &[K],
+    key: impl Fn(&T) -> K,
+    out: &mut Vec<T>,
+) where
+    T: Clone,
+    K: Ord + Copy + Eq + std::hash::Hash,
+{
+    let base_s = in_key_order(base, &key);
+    let ups_s = in_key_order(upserts, &key);
+    interner.begin_pass();
+    for k in removals {
+        let id = interner.intern(k);
+        interner.see(id);
+    }
+    let (mut i, mut j) = (0, 0);
+    while i < base_s.len() || j < ups_s.len() {
+        let take_upsert = match (base_s.get(i), ups_s.get(j)) {
+            (Some(b), Some(u)) => key(u) <= key(b),
+            (None, Some(_)) => true,
+            _ => false,
+        };
+        let row: &T = if take_upsert {
+            if base_s.get(i).is_some_and(|b| key(b) == key(ups_s[j])) {
+                i += 1; // upsert overwrites the base row
+            }
+            let r = ups_s[j];
+            j += 1;
+            r
+        } else {
+            let r = base_s[i];
+            i += 1;
+            r
+        };
+        let removed = interner.get(&key(row)).is_some_and(|id| interner.seen(id));
+        if !removed {
+            out.push(row.clone());
+        }
+    }
+}
+
+/// Computes the delta taking `prev` to `next`, interning keys through
+/// `store`. Reusing one store across cycles makes every later diff a pure
+/// lookup-and-compare pass — the hot path of multi-router monitoring.
+/// Output is byte-identical to [`diff_reference`].
+pub fn diff_with(store: &mut TableStore, prev: &SnapshotParts, next: &SnapshotParts) -> TableDelta {
+    let mut d = TableDelta {
+        captured_at: next.captured_at,
+        ..TableDelta::default()
+    };
+    diff_section(
+        &mut store.pairs,
+        &prev.pairs,
+        &next.pairs,
+        |p| (p.group, p.source),
+        &mut d.pair_upserts,
+        &mut d.pair_removals,
+    );
+    diff_section(
+        &mut store.routes,
+        &prev.routes,
+        &next.routes,
+        |r| (r.learned_from, r.prefix),
+        &mut d.route_upserts,
+        &mut d.route_removals,
+    );
+    diff_section(
+        &mut store.pairs,
+        &prev.sa_cache,
+        &next.sa_cache,
+        |(g, s, _)| (*g, *s),
+        &mut d.sa_upserts,
+        &mut d.sa_removals,
+    );
+    diff_section(
+        &mut store.groups,
+        &prev.member_only_sessions,
+        &next.member_only_sessions,
+        |s| s.group,
+        &mut d.session_upserts,
+        &mut d.session_removals,
+    );
+    d
+}
+
+/// Applies a delta to `base` through `store`, producing the next
+/// snapshot's parts. Output is byte-identical to [`apply_reference`].
+pub fn apply_with(
+    store: &mut TableStore,
+    base: &SnapshotParts,
+    delta: &TableDelta,
+) -> SnapshotParts {
+    let mut next = SnapshotParts {
+        captured_at: delta.captured_at,
+        router: base.router.clone(),
+        ..SnapshotParts::default()
+    };
+    apply_section(
+        &mut store.pairs,
+        &base.pairs,
+        &delta.pair_upserts,
+        &delta.pair_removals,
+        |p| (p.group, p.source),
+        &mut next.pairs,
+    );
+    apply_section(
+        &mut store.routes,
+        &base.routes,
+        &delta.route_upserts,
+        &delta.route_removals,
+        |r| (r.learned_from, r.prefix),
+        &mut next.routes,
+    );
+    apply_section(
+        &mut store.pairs,
+        &base.sa_cache,
+        &delta.sa_upserts,
+        &delta.sa_removals,
+        |(g, s, _)| (*g, *s),
+        &mut next.sa_cache,
+    );
+    apply_section(
+        &mut store.groups,
+        &base.member_only_sessions,
+        &delta.session_upserts,
+        &delta.session_removals,
+        |s| s.group,
+        &mut next.member_only_sessions,
+    );
+    next
+}
+
+/// Computes the delta taking `prev` to `next` (throwaway interner — reuse
+/// a [`TableStore`] via [`diff_with`] on hot paths).
 pub fn diff(prev: &SnapshotParts, next: &SnapshotParts) -> TableDelta {
+    diff_with(&mut TableStore::default(), prev, next)
+}
+
+/// Applies a delta to `base` (throwaway interner — reuse a [`TableStore`]
+/// via [`apply_with`] on hot paths).
+pub fn apply(base: &SnapshotParts, delta: &TableDelta) -> SnapshotParts {
+    apply_with(&mut TableStore::default(), base, delta)
+}
+
+/// The pre-interning `BTreeMap`-based diff, kept as the behavioural
+/// reference: property tests assert [`diff_with`] matches it and the
+/// ablation bench measures the interning win against it.
+pub fn diff_reference(prev: &SnapshotParts, next: &SnapshotParts) -> TableDelta {
     use std::collections::BTreeMap;
     let mut d = TableDelta {
         captured_at: next.captured_at,
@@ -206,8 +398,9 @@ pub fn diff(prev: &SnapshotParts, next: &SnapshotParts) -> TableDelta {
     d
 }
 
-/// Applies a delta to `base`, producing the next snapshot's parts.
-pub fn apply(base: &SnapshotParts, delta: &TableDelta) -> SnapshotParts {
+/// The pre-interning `BTreeMap`-based apply, kept as the behavioural
+/// reference for [`apply_with`].
+pub fn apply_reference(base: &SnapshotParts, delta: &TableDelta) -> SnapshotParts {
     use std::collections::BTreeMap;
     let mut pairs: BTreeMap<(GroupAddr, Ip), PairRow> = base
         .pairs
@@ -269,6 +462,8 @@ pub struct TableLog {
     records: Vec<LogRecord>,
     tail: Option<SnapshotParts>,
     since_full: usize,
+    /// Interner reused across appends when the caller does not share one.
+    scratch: TableStore,
     /// A full snapshot is stored every this many records (bounds replay
     /// cost and the blast radius of a corrupt record).
     pub full_every: usize,
@@ -293,6 +488,15 @@ impl TableLog {
     /// and actually smaller than the full record — on tiny tables the
     /// delta framing can cost more than the data.
     pub fn append(&mut self, tables: &Tables) {
+        let mut store = std::mem::take(&mut self.scratch);
+        self.append_with(&mut store, tables);
+        self.scratch = store;
+    }
+
+    /// [`TableLog::append`] interning through a caller-owned store, so one
+    /// store can serve every router's log (the monitor shares its
+    /// pipeline-wide [`TableStore`] here).
+    pub fn append_with(&mut self, store: &mut TableStore, tables: &Tables) {
         let parts = SnapshotParts::from_tables(tables);
         let full_record = LogRecord::Full(parts.clone());
         let full_size = serde_json::to_string(&full_record)
@@ -302,7 +506,7 @@ impl TableLog {
         self.bytes_full_baseline += serde_json::to_string(&parts).map(|s| s.len()).unwrap_or(0);
         let record = match (&self.tail, self.since_full >= self.full_every) {
             (Some(prev), false) => {
-                let delta_record = LogRecord::Delta(diff(prev, &parts));
+                let delta_record = LogRecord::Delta(diff_with(store, prev, &parts));
                 let delta_size = serde_json::to_string(&delta_record)
                     .map(|s| s.len())
                     .unwrap_or(usize::MAX);
@@ -345,6 +549,7 @@ impl TableLog {
 
     /// Replays the log, returning every snapshot in order.
     pub fn replay(&self) -> Vec<Tables> {
+        let mut store = TableStore::default();
         let mut out = Vec::with_capacity(self.records.len());
         let mut cur: Option<SnapshotParts> = None;
         for rec in &self.records {
@@ -352,7 +557,7 @@ impl TableLog {
                 LogRecord::Full(p) => p.clone(),
                 LogRecord::Delta(d) => {
                     let base = cur.as_ref().expect("delta requires a base snapshot");
-                    apply(base, d)
+                    apply_with(&mut store, base, d)
                 }
             };
             out.push(parts.rebuild());
@@ -407,7 +612,10 @@ impl TableLog {
                         )
                     })?;
                     log.since_full += 1;
-                    apply(base, d)
+                    let mut store = std::mem::take(&mut log.scratch);
+                    let parts = apply_with(&mut store, base, d);
+                    log.scratch = store;
+                    parts
                 }
             };
             log.bytes_full_baseline += serde_json::to_string(&parts).map(|s| s.len()).unwrap_or(0);
@@ -463,6 +671,32 @@ mod tests {
         let replayed = log.replay();
         assert_eq!(replayed, snaps);
         assert_eq!(log.last().unwrap(), snaps[3]);
+    }
+
+    #[test]
+    fn interned_diff_apply_match_reference_across_cycles() {
+        let s1 = Ip::new(1, 1, 1, 1);
+        let s2 = Ip::new(2, 2, 2, 2);
+        let snaps = [
+            snapshot(0, &[(0, s1, 64), (1, s2, 2)]),
+            snapshot(1, &[(0, s1, 80), (1, s2, 2)]),
+            snapshot(2, &[(0, s1, 80)]),
+            snapshot(3, &[(0, s1, 80), (2, s2, 128)]),
+        ];
+        let parts: Vec<SnapshotParts> = snaps.iter().map(SnapshotParts::from_tables).collect();
+        // One store reused across every cycle, as the monitor does.
+        let mut store = TableStore::default();
+        for w in parts.windows(2) {
+            let fast = diff_with(&mut store, &w[0], &w[1]);
+            let slow = diff_reference(&w[0], &w[1]);
+            assert_eq!(
+                serde_json::to_string(&fast).unwrap(),
+                serde_json::to_string(&slow).unwrap()
+            );
+            let applied = apply_with(&mut store, &w[0], &fast);
+            assert_eq!(applied, apply_reference(&w[0], &slow));
+            assert_eq!(applied, w[1]);
+        }
     }
 
     #[test]

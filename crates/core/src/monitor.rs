@@ -1,23 +1,29 @@
 //! The monitoring orchestrator: Figure 1's pipeline, end to end.
 //!
-//! One [`Monitor`] owns the collector, the per-router delta logs, the
-//! statistics histories and the anomaly detectors. Each call to
-//! [`Monitor::run_cycle`] performs one full monitoring cycle against a
-//! [`RouterAccess`]: capture → pre-process → table-process → enrich →
-//! log → analyse.
+//! One [`Monitor`] owns the collector, the shared interning
+//! [`TableStore`], the per-router state (delta logs, statistics
+//! histories, anomaly detectors) and the per-stage metrics registry.
+//! Each call to [`Monitor::run_cycle`] threads one full monitoring cycle
+//! through the typed stages of [`crate::pipeline`]:
+//! capture → parse → enrich → log → analyse.
 
 use std::collections::BTreeMap;
 
-use mantra_net::{BitRate, GroupAddr, Ip, SimDuration, SimTime};
+use mantra_net::{BitRate, GroupAddr, SimDuration, SimTime};
 
 use crate::aggregate::ParallelAccess;
-use crate::anomaly::{detect_injection, Anomaly, InconsistencyMonitor, SpikeDetector};
+use crate::anomaly::{Anomaly, InconsistencyMonitor};
 use crate::collector::{CollectStats, Collector, RetryPolicy, RouterAccess};
 use crate::logger::TableLog;
 use crate::longterm::LongTermTracker;
 use crate::output::{Cell, Graph, Table};
-use crate::processor::{process, ParseStats};
+use crate::pipeline::{
+    AnalyseStage, CaptureStage, EnrichStage, LogStage, ParallelCaptureStage, ParseStage,
+    PipelineMetrics, RawCycle, RouterState,
+};
+use crate::processor::ParseStats;
 use crate::stats::{RouteChurn, RouteStats, Series, UsageStats};
+use crate::store::TableStore;
 use crate::tables::Tables;
 
 /// Monitor configuration.
@@ -80,7 +86,7 @@ pub struct RouterHealth {
 }
 
 impl RouterHealth {
-    fn record(&mut self, stats: &CollectStats, now: SimTime) {
+    pub(crate) fn record(&mut self, stats: &CollectStats, now: SimTime) {
         self.successes += stats.successes;
         self.failures += stats.failures;
         self.retries += stats.retries;
@@ -116,13 +122,6 @@ pub struct CycleReport {
     pub anomalies: Vec<Anomaly>,
 }
 
-/// The stateless per-router output of a cycle's capture half.
-struct RouterWork {
-    tables: Tables,
-    pstats: ParseStats,
-    cstats: CollectStats,
-}
-
 /// Borrows a [`ParallelAccess`] as a throwaway [`RouterAccess`] session —
 /// the parallel cycle opens one per router, mirroring how the real
 /// enhancement opened one expect session per router.
@@ -139,30 +138,24 @@ impl<P: ParallelAccess + ?Sized> RouterAccess for SessionAdapter<'_, P> {
     }
 }
 
-/// The Mantra orchestrator.
+/// The Mantra orchestrator: a thin driver over the staged pipeline.
 pub struct Monitor {
     /// Configuration.
     pub cfg: MonitorConfig,
     collector: Collector,
-    logs: BTreeMap<String, TableLog>,
-    usage_history: BTreeMap<String, Vec<UsageStats>>,
-    route_history: BTreeMap<String, Vec<RouteStats>>,
-    churn_history: BTreeMap<String, Vec<(SimTime, RouteChurn)>>,
-    prev: BTreeMap<String, Tables>,
-    /// Running `(sum_bps, samples)` per pair, for the Pair table's
-    /// average-bandwidth column.
-    avg_bw: BTreeMap<(String, GroupAddr, Ip), (u64, u64)>,
+    /// Shared interning store; every stage's keys become dense ids here.
+    store: TableStore,
+    /// Per-router state, indexed by interned router id.
+    state: Vec<RouterState>,
     /// Session names learned from an external directory (SAP/sdr); the
     /// paper's Session table carries "the group's name (if available)".
     session_names: BTreeMap<GroupAddr, String>,
-    longterm: BTreeMap<String, LongTermTracker>,
-    health: BTreeMap<String, RouterHealth>,
-    route_detectors: BTreeMap<String, SpikeDetector>,
     inconsistency: InconsistencyMonitor,
     /// All anomalies raised so far.
     pub anomalies: Vec<Anomaly>,
     /// Cumulative parse accounting.
     pub parse_totals: ParseStats,
+    metrics: PipelineMetrics,
     cycles: u64,
 }
 
@@ -173,19 +166,13 @@ impl Monitor {
         Monitor {
             cfg,
             collector,
-            logs: BTreeMap::new(),
-            usage_history: BTreeMap::new(),
-            route_history: BTreeMap::new(),
-            churn_history: BTreeMap::new(),
-            prev: BTreeMap::new(),
-            avg_bw: BTreeMap::new(),
+            store: TableStore::default(),
+            state: Vec::new(),
             session_names: BTreeMap::new(),
-            longterm: BTreeMap::new(),
-            health: BTreeMap::new(),
-            route_detectors: BTreeMap::new(),
             inconsistency: InconsistencyMonitor::default(),
             anomalies: Vec::new(),
             parse_totals: ParseStats::default(),
+            metrics: PipelineMetrics::default(),
             cycles: 0,
         }
     }
@@ -200,198 +187,95 @@ impl Monitor {
         self.collector.failures
     }
 
+    /// The state of one router, if it has participated in a cycle.
+    fn state_of(&self, router: &str) -> Option<&RouterState> {
+        self.store
+            .routers
+            .get(&router.to_string())
+            .map(|id| &self.state[id as usize])
+    }
+
     /// One full monitoring cycle at `now`, polling routers serially over a
     /// single access session (the paper's original expect-script shape).
     pub fn run_cycle(&mut self, access: &mut dyn RouterAccess, now: SimTime) -> CycleReport {
-        self.cycles += 1;
-        let mut report = CycleReport {
-            at: now,
-            per_router: Vec::new(),
-            anomalies: Vec::new(),
+        let raw = {
+            let mut stage = CaptureStage {
+                collector: &self.collector,
+                routers: &self.cfg.routers,
+                access,
+            };
+            self.metrics.run(&mut stage, now)
         };
-        let routers = self.cfg.routers.clone();
-        let mut this_cycle: Vec<Tables> = Vec::new();
-        for router in &routers {
-            let work = Self::capture_router(&self.collector, access, router, now);
-            self.merge_router(&mut report, &mut this_cycle, router, work, now);
-        }
-        self.finish_cycle(&mut report, &this_cycle, now);
-        report
+        self.drive(raw, false)
     }
 
-    /// One full monitoring cycle at `now`, fanning the per-router
-    /// capture + pre-process + table-process work across the rayon pool —
-    /// the paper's planned "collect data from multiple routers
-    /// concurrently". The stateful merge (logs, histories, detectors) runs
-    /// serially in configuration order afterwards, so the cycle report and
-    /// the delta logs are byte-identical to [`Monitor::run_cycle`] over
-    /// the same access and timestamps.
+    /// One full monitoring cycle at `now`, fanning the per-router capture
+    /// and parse work across the rayon pool — the paper's planned
+    /// "collect data from multiple routers concurrently". The stateful
+    /// stages run serially in configuration order afterwards, so the
+    /// cycle report and the delta logs are byte-identical to
+    /// [`Monitor::run_cycle`] over the same access and timestamps.
     pub fn run_cycle_parallel<P: ParallelAccess>(
         &mut self,
         access: &P,
         now: SimTime,
     ) -> CycleReport {
-        use rayon::prelude::*;
+        let raw = {
+            let mut stage = ParallelCaptureStage {
+                collector: &self.collector,
+                routers: &self.cfg.routers,
+                access,
+            };
+            self.metrics.run(&mut stage, now)
+        };
+        self.drive(raw, true)
+    }
+
+    /// Threads one captured cycle through the parse → enrich → log →
+    /// analyse stages, folding the totals the artifacts carry.
+    fn drive(&mut self, raw: RawCycle, parallel_parse: bool) -> CycleReport {
         self.cycles += 1;
-        let mut report = CycleReport {
-            at: now,
-            per_router: Vec::new(),
-            anomalies: Vec::new(),
+        for rc in &raw.routers {
+            self.collector.successes += rc.stats.successes;
+            self.collector.failures += rc.stats.failures;
+        }
+        let parsed = self.metrics.run(
+            &mut ParseStage {
+                parallel: parallel_parse,
+            },
+            raw,
+        );
+        for pr in &parsed.routers {
+            self.parse_totals.merge(pr.parse);
+        }
+        let enriched = {
+            let mut stage = EnrichStage {
+                store: &mut self.store,
+                state: &mut self.state,
+                session_names: &self.session_names,
+                log_full_every: self.cfg.log_full_every,
+            };
+            self.metrics.run(&mut stage, parsed)
         };
-        let routers = self.cfg.routers.clone();
-        let collector = &self.collector;
-        let work: Vec<RouterWork> = routers
-            .par_iter()
-            .map(|router| {
-                let mut session = SessionAdapter(access);
-                Self::capture_router(collector, &mut session, router, now)
-            })
-            .collect();
-        let mut this_cycle: Vec<Tables> = Vec::new();
-        for (router, work) in routers.iter().zip(work) {
-            self.merge_router(&mut report, &mut this_cycle, router, work, now);
-        }
-        self.finish_cycle(&mut report, &this_cycle, now);
-        report
-    }
-
-    /// The stateless half of a cycle for one router: capture (with
-    /// retries), pre-process, table-process. Runs off any thread.
-    fn capture_router(
-        collector: &Collector,
-        access: &mut dyn RouterAccess,
-        router: &str,
-        now: SimTime,
-    ) -> RouterWork {
-        let (captures, cstats) = collector.collect_with(access, router, now);
-        let (mut tables, pstats) = process(&captures);
-        if tables.router.is_empty() {
-            tables.router = router.to_string();
-            tables.captured_at = now;
-        }
-        RouterWork {
-            tables,
-            pstats,
-            cstats,
-        }
-    }
-
-    /// The stateful half of a cycle for one router. Must run in
-    /// configuration order: delta logs, running averages and detectors all
-    /// depend on observation order.
-    fn merge_router(
-        &mut self,
-        report: &mut CycleReport,
-        this_cycle: &mut Vec<Tables>,
-        router: &str,
-        work: RouterWork,
-        now: SimTime,
-    ) {
-        let RouterWork {
-            mut tables,
-            pstats,
-            cstats,
-        } = work;
-        self.collector.successes += cstats.successes;
-        self.collector.failures += cstats.failures;
-        self.health
-            .entry(router.to_string())
-            .or_default()
-            .record(&cstats, now);
-        self.parse_totals = {
-            let mut t = self.parse_totals;
-            t.parsed += pstats.parsed;
-            t.malformed += pstats.malformed;
-            t.skipped += pstats.skipped;
-            t
+        let logged = {
+            let mut stage = LogStage {
+                store: &mut self.store,
+                state: &mut self.state,
+            };
+            self.metrics.run(&mut stage, enriched)
         };
-        self.enrich_averages(router, &mut tables);
-        for (g, s) in tables.sessions.iter_mut() {
-            if let Some(name) = self.session_names.get(g) {
-                s.name = Some(name.clone());
-            }
-        }
-        // Log before analysis: archives store what was observed.
-        self.logs
-            .entry(router.to_string())
-            .or_insert_with(|| TableLog::new(self.cfg.log_full_every))
-            .append(&tables);
-        // Long-term trend tracking.
-        self.longterm
-            .entry(router.to_string())
-            .or_default()
-            .observe(&tables);
-        // Statistics.
-        let usage = UsageStats::from_tables(&tables, self.cfg.threshold);
-        let routes = RouteStats::from_tables(&tables);
-        // Anomalies: spikes on the route count...
-        let detector = self
-            .route_detectors
-            .entry(router.to_string())
-            .or_insert_with(|| SpikeDetector::new(32, 8.0, 100.0));
-        if let Some(kind) = detector.observe(routes.dvmrp_reachable as f64) {
-            report.anomalies.push(Anomaly {
-                at: now,
-                router: router.to_string(),
-                kind,
-            });
-        }
-        // ...churn and the injection signature against the previous
-        // snapshot...
-        if let Some(prev) = self.prev.get(router) {
-            self.churn_history
-                .entry(router.to_string())
-                .or_default()
-                .push((now, RouteChurn::between(prev, &tables)));
-            if let Some(kind) = detect_injection(prev, &tables, self.cfg.injection_min_new) {
-                report.anomalies.push(Anomaly {
-                    at: now,
-                    router: router.to_string(),
-                    kind,
-                });
-            }
-        }
-        self.usage_history
-            .entry(router.to_string())
-            .or_default()
-            .push(usage.clone());
-        self.route_history
-            .entry(router.to_string())
-            .or_default()
-            .push(routes.clone());
-        report.per_router.push((router.to_string(), usage, routes));
-        self.prev.insert(router.to_string(), tables.clone());
-        this_cycle.push(tables);
-    }
-
-    /// Cross-router checks after every router merged.
-    fn finish_cycle(&mut self, report: &mut CycleReport, this_cycle: &[Tables], now: SimTime) {
-        // ...and cross-router consistency.
-        for i in 0..this_cycle.len() {
-            for j in (i + 1)..this_cycle.len() {
-                if let Some((_, kind)) = self.inconsistency.check(&this_cycle[i], &this_cycle[j]) {
-                    report.anomalies.push(Anomaly {
-                        at: now,
-                        router: this_cycle[i].router.clone(),
-                        kind,
-                    });
-                }
-            }
-        }
+        let report = {
+            let mut stage = AnalyseStage {
+                store: &mut self.store,
+                state: &mut self.state,
+                threshold: self.cfg.threshold,
+                injection_min_new: self.cfg.injection_min_new,
+                inconsistency: &mut self.inconsistency,
+            };
+            self.metrics.run(&mut stage, logged)
+        };
         self.anomalies.extend(report.anomalies.iter().cloned());
-    }
-
-    /// Folds per-pair running averages into the snapshot's `avg_bw`.
-    fn enrich_averages(&mut self, router: &str, tables: &mut Tables) {
-        for ((g, s), pair) in tables.pairs.iter_mut() {
-            let e = self
-                .avg_bw
-                .entry((router.to_string(), *g, *s))
-                .or_insert((0, 0));
-            e.0 += pair.current_bw.bps();
-            e.1 += 1;
-            pair.avg_bw = BitRate(e.0 / e.1);
-        }
+        report
     }
 
     // ------------------------------------------------------------------
@@ -400,7 +284,7 @@ impl Monitor {
 
     /// Collection health of one router.
     pub fn router_health(&self, router: &str) -> Option<&RouterHealth> {
-        self.health.get(router)
+        self.state_of(router).map(|s| &s.health)
     }
 
     /// The per-router collection-health summary, judged at `now`: capture
@@ -423,7 +307,7 @@ impl Monitor {
             ],
         );
         for router in &self.cfg.routers {
-            let Some(h) = self.health.get(router) else {
+            let Some(h) = self.router_health(router) else {
                 continue;
             };
             let stale = h.is_stale(now, self.cfg.interval, self.cfg.stale_after_intervals);
@@ -447,38 +331,51 @@ impl Monitor {
         table
     }
 
+    /// The pipeline's per-stage metrics registry.
+    pub fn pipeline(&self) -> &PipelineMetrics {
+        &self.metrics
+    }
+
+    /// The per-stage pipeline summary table: invocations, items handled,
+    /// wall-clock time and accumulated simulated latency per stage.
+    pub fn stage_table(&self) -> Table {
+        self.metrics.table()
+    }
+
+    /// The shared interning store.
+    pub fn store(&self) -> &TableStore {
+        &self.store
+    }
+
     /// Usage-statistic history of one router.
     pub fn usage_history(&self, router: &str) -> &[UsageStats] {
-        self.usage_history
-            .get(router)
-            .map(Vec::as_slice)
+        self.state_of(router)
+            .map(|s| s.usage.as_slice())
             .unwrap_or(&[])
     }
 
     /// Route-statistic history of one router.
     pub fn route_history(&self, router: &str) -> &[RouteStats] {
-        self.route_history
-            .get(router)
-            .map(Vec::as_slice)
+        self.state_of(router)
+            .map(|s| s.routes.as_slice())
             .unwrap_or(&[])
     }
 
     /// Route-churn history of one router.
     pub fn churn_history(&self, router: &str) -> &[(SimTime, RouteChurn)] {
-        self.churn_history
-            .get(router)
-            .map(Vec::as_slice)
+        self.state_of(router)
+            .map(|s| s.churn.as_slice())
             .unwrap_or(&[])
     }
 
     /// The delta log of one router.
     pub fn log(&self, router: &str) -> Option<&TableLog> {
-        self.logs.get(router)
+        self.state_of(router).map(|s| &s.log)
     }
 
     /// The long-term trend tracker of one router.
     pub fn longterm(&self, router: &str) -> Option<&LongTermTracker> {
-        self.longterm.get(router)
+        self.state_of(router).map(|s| &s.longterm)
     }
 
     /// Feeds session names from an external directory (e.g. a SAP
@@ -492,15 +389,15 @@ impl Monitor {
     /// Writes every router's archive to `dir` as `<router>.jsonl`.
     pub fn export_archives(&self, dir: &std::path::Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
-        for (router, log) in &self.logs {
-            log.save(&dir.join(format!("{router}.jsonl")))?;
+        for st in &self.state {
+            st.log.save(&dir.join(format!("{}.jsonl", st.name)))?;
         }
         Ok(())
     }
 
     /// The latest snapshot of one router.
     pub fn latest(&self, router: &str) -> Option<&Tables> {
-        self.prev.get(router)
+        self.state_of(router).and_then(|s| s.prev.as_ref())
     }
 
     /// Extracts a usage time series (`f` picks the metric).
@@ -583,6 +480,7 @@ impl Monitor {
 mod tests {
     use super::*;
     use crate::collector::SimAccess;
+    use crate::pipeline::StageKind;
     use mantra_sim::Scenario;
 
     /// Drives a scenario and the monitor in lock-step.
@@ -618,6 +516,13 @@ mod tests {
             "saved {:.2}",
             log.savings_ratio()
         );
+        // Every stage ran once per cycle and spent visible wall time.
+        for kind in StageKind::ALL {
+            let m = monitor.pipeline().stage(kind);
+            assert_eq!(m.invocations, 12, "{kind:?}");
+            assert!(m.wall_nanos > 0, "{kind:?}");
+        }
+        assert_eq!(monitor.stage_table().rows.len(), StageKind::ALL.len());
     }
 
     #[test]
@@ -684,6 +589,14 @@ mod tests {
         for router in ["fixw", "ucsb-gw"] {
             assert_eq!(serial.latest(router), parallel.latest(router));
             assert_eq!(serial.router_health(router), parallel.router_health(router));
+        }
+        // Both paths account the same items per stage (wall time differs).
+        for kind in StageKind::ALL {
+            let s = serial.pipeline().stage(kind);
+            let p = parallel.pipeline().stage(kind);
+            assert_eq!(s.invocations, p.invocations, "{kind:?}");
+            assert_eq!(s.items, p.items, "{kind:?}");
+            assert_eq!(s.sim_latency, p.sim_latency, "{kind:?}");
         }
     }
 

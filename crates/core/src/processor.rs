@@ -20,19 +20,41 @@ pub struct ParseStats {
     pub malformed: usize,
     /// Header/decoration lines skipped by design.
     pub skipped: usize,
+    /// Captures rejected whole because the batch mixed routers — the
+    /// snapshot would otherwise be silently stamped with the first
+    /// capture's router and mislabel every other router's rows.
+    pub rejected_mixed: usize,
 }
 
 impl ParseStats {
-    fn merge(&mut self, other: ParseStats) {
+    /// Folds another capture batch's accounting into this one.
+    pub fn merge(&mut self, other: ParseStats) {
         self.parsed += other.parsed;
         self.malformed += other.malformed;
         self.skipped += other.skipped;
+        self.rejected_mixed += other.rejected_mixed;
     }
 }
 
 /// Processes a batch of captures (one collection cycle for one router)
 /// into a table snapshot.
+///
+/// A batch spanning more than one router is rejected outright: the
+/// resulting snapshot is empty and [`ParseStats::rejected_mixed`] counts
+/// every capture in the batch, so the mislabelling is observable instead
+/// of silent.
 pub fn process(captures: &[Capture]) -> (Tables, ParseStats) {
+    if let Some(first) = captures.first() {
+        if captures.iter().any(|c| c.router != first.router) {
+            return (
+                Tables::default(),
+                ParseStats {
+                    rejected_mixed: captures.len(),
+                    ..ParseStats::default()
+                },
+            );
+        }
+    }
     let mut tables = Tables::new(
         captures.first().map(|c| c.router.as_str()).unwrap_or(""),
         captures.first().map(|c| c.captured_at).unwrap_or_default(),
@@ -517,6 +539,32 @@ mod tests {
         assert_eq!(st.parsed, 1);
         assert_eq!(st.malformed, 1);
         assert_eq!(tables.routes.len(), 1);
+    }
+
+    #[test]
+    fn mixed_router_batches_are_rejected_not_mislabelled() {
+        let a = preprocess(
+            "fixw",
+            TableKind::DvmrpRoutes,
+            "DVMRP Routing Table (1 entries)\n 128.111.0.0/16 10.128.0.2 3 25 1 1*\n",
+            t0(),
+        );
+        let b = preprocess(
+            "ucsb-gw",
+            TableKind::DvmrpRoutes,
+            "DVMRP Routing Table (1 entries)\n 10.5.0.0/24 direct 1 0 0 1*\n",
+            t0(),
+        );
+        let (tables, st) = process(&[a.clone(), b]);
+        assert_eq!(st.rejected_mixed, 2);
+        assert_eq!(st.parsed, 0);
+        assert!(tables.routes.is_empty());
+        assert!(tables.router.is_empty());
+        // A single-router batch is unaffected.
+        let (tables, st) = process(&[a]);
+        assert_eq!(st.rejected_mixed, 0);
+        assert_eq!(st.parsed, 1);
+        assert_eq!(tables.router, "fixw");
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! Interned identifier tables for the hot monitoring path.
+//!
+//! Every cycle the monitor diffs snapshots, folds running averages and
+//! counts distinct hosts/groups — all keyed by `String` router names,
+//! `Ip`/`GroupAddr` pairs or `(LearnedFrom, Prefix)` route keys. Doing
+//! that through `BTreeMap` rebuilds clones every key every cycle. The
+//! [`TableStore`] maps each key to a dense `u32` id once; after that,
+//! membership tests and per-key scratch state are array indexing.
+//!
+//! Ids are assigned in first-seen order and never change, so per-router
+//! state can live in plain `Vec`s indexed by id. Set-style passes (diff,
+//! distinct counting) use epoch-stamped scratch marks: [`Interner::begin_pass`]
+//! invalidates all marks in O(1), so a pass never allocates or clears.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+use mantra_net::{GroupAddr, Ip, Prefix};
+
+use crate::tables::LearnedFrom;
+
+/// A fast multiply-rotate hasher (the FxHash construction) for the
+/// interner maps. Keys here are short — a router name, a pair of `u32`
+/// addresses, a route key — so per-call hashing overhead dominates; a
+/// SipHash-class hasher costs more than the `BTreeMap` lookups interning
+/// replaces. Not DoS-resistant, which is fine: keys come from router
+/// tables this process parsed, not from untrusted map insertions.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while let Some(chunk) = bytes.first_chunk::<8>() {
+            self.add(u64::from_le_bytes(*chunk));
+            bytes = &bytes[8..];
+        }
+        if let Some(chunk) = bytes.first_chunk::<4>() {
+            self.add(u64::from(u32::from_le_bytes(*chunk)));
+            bytes = &bytes[4..];
+        }
+        for &b in bytes {
+            self.add(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+}
+
+type FxBuild = BuildHasherDefault<FxHasher>;
+
+/// A map from keys to dense `u32` ids, with per-id scratch marks.
+///
+/// Two independent scratch channels are provided per pass: a value mark
+/// ([`Interner::mark`]/[`Interner::marked`], carrying a `u32` payload such
+/// as an index) and a presence flag ([`Interner::see`]/[`Interner::seen`]).
+/// Both reset lazily when [`Interner::begin_pass`] bumps the epoch.
+#[derive(Clone, Debug)]
+pub struct Interner<K> {
+    map: HashMap<K, u32, FxBuild>,
+    keys: Vec<K>,
+    epoch: u32,
+    mark_epoch: Vec<u32>,
+    mark_val: Vec<u32>,
+    seen_epoch: Vec<u32>,
+}
+
+impl<K> Default for Interner<K> {
+    fn default() -> Self {
+        Interner {
+            map: HashMap::default(),
+            keys: Vec::new(),
+            epoch: 0,
+            mark_epoch: Vec::new(),
+            mark_val: Vec::new(),
+            seen_epoch: Vec::new(),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone> Interner<K> {
+    /// The id for `key`, interning it on first sight.
+    pub fn intern(&mut self, key: &K) -> u32 {
+        if let Some(&id) = self.map.get(key) {
+            return id;
+        }
+        let id = self.keys.len() as u32;
+        self.map.insert(key.clone(), id);
+        self.keys.push(key.clone());
+        self.mark_epoch.push(0);
+        self.mark_val.push(0);
+        self.seen_epoch.push(0);
+        id
+    }
+
+    /// The id for `key` when already interned.
+    pub fn get(&self, key: &K) -> Option<u32> {
+        self.map.get(key).copied()
+    }
+
+    /// The key behind an id.
+    pub fn resolve(&self, id: u32) -> &K {
+        &self.keys[id as usize]
+    }
+
+    /// Number of interned keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Starts a new scratch pass: all marks and presence flags from prior
+    /// passes become invisible, in O(1).
+    pub fn begin_pass(&mut self) {
+        if self.epoch == u32::MAX {
+            // Epoch wrapped (after ~4 billion passes): hard-reset the
+            // stamps so stale marks cannot alias the new epoch.
+            self.mark_epoch.iter_mut().for_each(|e| *e = 0);
+            self.seen_epoch.iter_mut().for_each(|e| *e = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Marks `id` with a payload for the current pass.
+    pub fn mark(&mut self, id: u32, val: u32) {
+        self.mark_epoch[id as usize] = self.epoch;
+        self.mark_val[id as usize] = val;
+    }
+
+    /// The payload marked on `id` this pass, if any.
+    pub fn marked(&self, id: u32) -> Option<u32> {
+        let i = id as usize;
+        (self.epoch > 0 && self.mark_epoch[i] == self.epoch).then(|| self.mark_val[i])
+    }
+
+    /// Flags `id` as present this pass.
+    pub fn see(&mut self, id: u32) {
+        self.seen_epoch[id as usize] = self.epoch;
+    }
+
+    /// Whether `id` was flagged present this pass.
+    pub fn seen(&self, id: u32) -> bool {
+        self.epoch > 0 && self.seen_epoch[id as usize] == self.epoch
+    }
+}
+
+/// The shared interning tables for one monitor: routers, participant
+/// hosts, session groups, `(S,G)` pair keys, route keys and bare prefixes.
+///
+/// One store serves every stage of the pipeline, so a key pays its hash
+/// exactly once per lifetime and thereafter costs an array index.
+#[derive(Clone, Debug, Default)]
+pub struct TableStore {
+    /// Router names.
+    pub routers: Interner<String>,
+    /// Participant host addresses.
+    pub hosts: Interner<Ip>,
+    /// Session group addresses.
+    pub groups: Interner<GroupAddr>,
+    /// `(group, source)` pair keys.
+    pub pairs: Interner<(GroupAddr, Ip)>,
+    /// `(protocol, prefix)` route keys.
+    pub routes: Interner<(LearnedFrom, Prefix)>,
+    /// Bare prefixes, for cross-router consistency sets.
+    pub prefixes: Interner<Prefix>,
+}
+
+/// Borrows `items` in strict key order: a cheap `Vec` of references when
+/// the input is already sorted and duplicate-free (the common case —
+/// snapshot parts come out of `BTreeMap` iteration), otherwise a stable
+/// sort with last-occurrence-wins deduplication, matching what collecting
+/// into a `BTreeMap` would have produced.
+pub fn in_key_order<T, K: Ord>(items: &[T], key: impl Fn(&T) -> K) -> Vec<&T> {
+    let sorted = items.windows(2).all(|w| key(&w[0]) < key(&w[1]));
+    if sorted {
+        return items.iter().collect();
+    }
+    let mut v: Vec<&T> = items.iter().collect();
+    v.sort_by_key(|a| key(a));
+    let mut out: Vec<&T> = Vec::with_capacity(v.len());
+    for t in v {
+        match out.last_mut() {
+            Some(last) if key(last) == key(t) => *last = t,
+            _ => out.push(t),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_stable_and_dense() {
+        let mut i: Interner<String> = Interner::default();
+        let a = i.intern(&"fixw".to_string());
+        let b = i.intern(&"ucsb-gw".to_string());
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(i.intern(&"fixw".to_string()), a);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(b), "ucsb-gw");
+        assert_eq!(i.get(&"ghost".to_string()), None);
+    }
+
+    #[test]
+    fn marks_reset_per_pass_in_constant_time() {
+        let mut i: Interner<u32> = Interner::default();
+        let a = i.intern(&7);
+        let b = i.intern(&9);
+        assert_eq!(i.marked(a), None, "no pass started yet");
+        i.begin_pass();
+        i.mark(a, 42);
+        i.see(b);
+        assert_eq!(i.marked(a), Some(42));
+        assert!(i.seen(b));
+        assert!(!i.seen(a));
+        i.begin_pass();
+        assert_eq!(i.marked(a), None);
+        assert!(!i.seen(b));
+    }
+
+    #[test]
+    fn key_order_fast_path_and_fallback_agree() {
+        let sorted = vec![1u32, 3, 5, 9];
+        let refs = in_key_order(&sorted, |x| *x);
+        assert_eq!(refs, sorted.iter().collect::<Vec<_>>());
+        // Unsorted with a duplicate: last occurrence wins, output sorted.
+        let messy = vec![5u32, 1, 5, 3];
+        let refs: Vec<u32> = in_key_order(&messy, |x| *x).into_iter().copied().collect();
+        assert_eq!(refs, vec![1, 3, 5]);
+        // Last-wins is observable through identity: pair (key, payload).
+        let messy = vec![(5u32, 'a'), (1, 'b'), (5, 'c')];
+        let refs: Vec<(u32, char)> = in_key_order(&messy, |x| x.0).into_iter().copied().collect();
+        assert_eq!(refs, vec![(1, 'b'), (5, 'c')]);
+    }
+}

@@ -16,7 +16,7 @@ use mantra_net::{BitRate, GroupAddr, Ip, Prefix, SimDuration, SimTime};
 
 /// Which protocol a table row was learned from (the Session table records
 /// "the protocol that first advertised" each session).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum LearnedFrom {
     /// DVMRP forwarding/routing state.
     Dvmrp,

@@ -209,6 +209,7 @@ pub fn report_html(monitor: &Monitor, router: &str) -> String {
     let _ = writeln!(out, "{}", graph_svg(&routes, 860, 240));
     let _ = writeln!(out, "{}", table_html(&monitor.busiest_sessions(router, 10)));
     let _ = writeln!(out, "{}", table_html(&monitor.top_senders(router, 10)));
+    let _ = writeln!(out, "{}", table_html(&monitor.stage_table()));
     if let Some(lt) = monitor.longterm(router) {
         let _ = writeln!(
             out,
@@ -301,5 +302,6 @@ mod tests {
         assert!(html.matches("<svg").count() == 2);
         assert!(html.contains("Busiest sessions"));
         assert!(html.contains("route stability"));
+        assert!(html.contains("Pipeline stages"));
     }
 }

@@ -1,8 +1,8 @@
 //! End-to-end pipeline tests: simulated routers → CLI scrape → parse →
 //! log → statistics, across crates.
 
-use mantra::core::collector::SimAccess;
-use mantra::core::{Monitor, MonitorConfig};
+use mantra::core::collector::{FlakyAccess, SimAccess};
+use mantra::core::{Monitor, MonitorConfig, StageKind};
 use mantra::net::rate::SENDER_THRESHOLD;
 use mantra::net::{SimDuration, SimTime};
 use mantra::sim::Scenario;
@@ -139,6 +139,59 @@ fn uptime_reported_by_ios_survives_the_pipeline() {
     // Two hours in, stable routes should have accumulated about that much
     // uptime on average.
     assert!(mean <= SimDuration::hours(13).as_secs() as f64);
+}
+
+#[test]
+fn stage_metrics_sum_to_cycle_totals() {
+    let mut sc = Scenario::transition_snapshot(108, 0.3);
+    let mut monitor = Monitor::new(MonitorConfig {
+        routers: vec!["fixw".into(), "ucsb-gw".into()],
+        interval: sc.sim.tick(),
+        ..MonitorConfig::default()
+    });
+    let cycles = 10u64;
+    for i in 0..cycles {
+        let next = sc.sim.clock + monitor.cfg.interval;
+        sc.sim.advance_to(next);
+        // Failure injection so retries accumulate simulated backoff
+        // latency into the Capture stage.
+        let access = FlakyAccess::new(&sc.sim, 0.2, 0.2, 200 + i);
+        monitor.run_cycle_parallel(&access, next);
+    }
+    // Every stage ran exactly once per cycle and spent visible wall time.
+    for kind in StageKind::ALL {
+        let m = monitor.pipeline().stage(kind);
+        assert_eq!(m.invocations, cycles, "{kind:?}");
+        assert!(m.wall_nanos > 0, "{kind:?} must report non-zero time");
+    }
+    // Capture items reconcile with the health registry's capture totals
+    // (one item per table whose final attempt succeeded or failed).
+    let health_totals: u64 = monitor
+        .cfg
+        .routers
+        .clone()
+        .iter()
+        .filter_map(|r| monitor.router_health(r))
+        .map(|h| h.successes + h.failures)
+        .sum();
+    let capture = monitor.pipeline().stage(StageKind::Capture);
+    assert_eq!(capture.items, health_totals);
+    assert!(
+        capture.sim_latency > SimDuration::ZERO,
+        "retries under failure injection add simulated backoff"
+    );
+    // Parse items reconcile with the cumulative parse accounting.
+    let pt = monitor.parse_totals;
+    let parse = monitor.pipeline().stage(StageKind::Parse);
+    assert_eq!(
+        parse.items,
+        (pt.parsed + pt.malformed + pt.skipped + pt.rejected_mixed) as u64
+    );
+    // Downstream stages handle one snapshot per router per cycle.
+    let snapshots = cycles * monitor.cfg.routers.len() as u64;
+    for kind in [StageKind::Enrich, StageKind::Log, StageKind::Analyse] {
+        assert_eq!(monitor.pipeline().stage(kind).items, snapshots, "{kind:?}");
+    }
 }
 
 #[test]

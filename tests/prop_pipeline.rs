@@ -5,9 +5,12 @@
 
 use proptest::prelude::*;
 
-use mantra::core::logger::TableLog;
+use mantra::core::logger::{
+    apply_reference, apply_with, diff_reference, diff_with, SnapshotParts, TableLog,
+};
 use mantra::core::output::{Cell, ColumnOp, Table};
 use mantra::core::stats::UsageStats;
+use mantra::core::store::TableStore;
 use mantra::core::tables::{LearnedFrom, PairRow, RouteRow, Tables};
 use mantra::net::{BitRate, GroupAddr, Ip, Prefix, SimTime};
 
@@ -92,6 +95,31 @@ proptest! {
         // The logger picks the smaller representation per record, so the
         // only overhead over the full baseline is the record framing.
         prop_assert!(log.bytes_stored <= log.bytes_full_baseline + 16 * log.len());
+    }
+
+    /// The interned diff/apply fast path produces byte-identical deltas
+    /// and round-trips to the same snapshots as the reference
+    /// implementation, for arbitrary snapshot streams through one store
+    /// reused across the whole stream (the monitor's usage pattern).
+    #[test]
+    fn interned_delta_codec_matches_reference(
+        streams in proptest::collection::vec((0u64..100).prop_flat_map(arb_snapshot), 2..10),
+    ) {
+        let mut store = TableStore::default();
+        let parts: Vec<SnapshotParts> =
+            streams.iter().map(SnapshotParts::from_tables).collect();
+        for w in parts.windows(2) {
+            let fast = diff_with(&mut store, &w[0], &w[1]);
+            let slow = diff_reference(&w[0], &w[1]);
+            // Delta records must serialise identically, or archives would
+            // change shape under the interned path.
+            prop_assert_eq!(format!("{fast:?}"), format!("{slow:?}"));
+            let applied = apply_with(&mut store, &w[0], &fast);
+            prop_assert_eq!(&applied, &apply_reference(&w[0], &slow));
+            // And applying the delta reconstructs the next snapshot
+            // exactly (delta then rebuild is lossless).
+            prop_assert_eq!(applied.rebuild(), w[1].rebuild());
+        }
     }
 
     /// Raising the sender threshold never increases senders or active
