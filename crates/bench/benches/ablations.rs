@@ -10,13 +10,16 @@
 //!   collection, the paper's announced enhancement,
 //! * `ablation_interning_*` — BTreeMap-keyed reference delta diffing vs
 //!   the interned [`TableStore`] merge-join on a 50-router × 96-cycle
-//!   day of snapshots.
+//!   day of snapshots,
+//! * `ablation_archive_*` — memory vs on-disk archive backend: write a
+//!   50-router × 96-cycle day through each and stream it back.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use mantra_bench::{drive_for, monitor_for};
 use mantra_core::aggregate::{collect_aggregate, collect_aggregate_sequential};
+use mantra_core::archive::FileBackend;
 use mantra_core::logger::{diff_reference, diff_with, SnapshotParts, TableLog};
 use mantra_core::stats::UsageStats;
 use mantra_core::store::TableStore;
@@ -169,21 +172,33 @@ fn ablation_aggregate(c: &mut Criterion) {
 /// 15-minute cycles each, with slow pair churn and route flapping — the
 /// shape of a day of multi-router collection without simulator cost.
 fn synthetic_streams(routers: usize, cycles: usize) -> Vec<Vec<SnapshotParts>> {
+    synthetic_streams_with_churn(routers, cycles, 1)
+}
+
+/// Like [`synthetic_streams`], but row contents only change every `calm`
+/// cycles: with `calm > 1` most consecutive snapshots diff to small (often
+/// empty) deltas, the shape of a quiet production day.
+fn synthetic_streams_with_churn(
+    routers: usize,
+    cycles: usize,
+    calm: usize,
+) -> Vec<Vec<SnapshotParts>> {
     (0..routers)
         .map(|r| {
             (0..cycles)
                 .map(|c| {
+                    let v = (c / calm) as u32;
                     let at = SimTime(SimTime::from_ymd(1999, 3, 1).as_secs() + c as u64 * 900);
                     let mut t = Tables::new(format!("r{r}"), at);
                     for k in 0..40u32 {
                         t.add_pair(PairRow {
                             source: Ip::new(10, r as u8, 0, (k % 24) as u8 + 1),
-                            group: GroupAddr::from_index((k + c as u32 / 8) % 64),
+                            group: GroupAddr::from_index((k + v / 8) % 64),
                             current_bw: BitRate::from_bps(
-                                1_000 + ((c as u64 * 37 + k as u64 * 13) % 7) * 500,
+                                1_000 + ((u64::from(v) * 37 + k as u64 * 13) % 7) * 500,
                             ),
                             avg_bw: BitRate::from_bps(0),
-                            forwarding: !(k + c as u32).is_multiple_of(5),
+                            forwarding: !(k + v).is_multiple_of(5),
                             learned_from: LearnedFrom::Dvmrp,
                         });
                     }
@@ -191,9 +206,9 @@ fn synthetic_streams(routers: usize, cycles: usize) -> Vec<Vec<SnapshotParts>> {
                         t.add_route(RouteRow {
                             prefix: Prefix::new(Ip::new(128, (k % 200) as u8, 0, 0), 16).unwrap(),
                             next_hop: Some(Ip::new(10, r as u8, 0, 1)),
-                            metric: 1 + (k + c as u32) % 30,
+                            metric: 1 + (k + v) % 30,
                             uptime: None,
-                            reachable: !(k + c as u32 / 4).is_multiple_of(11),
+                            reachable: !(k + v / 4).is_multiple_of(11),
                             learned_from: LearnedFrom::Dvmrp,
                         });
                     }
@@ -241,6 +256,69 @@ fn ablation_interning(c: &mut Criterion) {
     group.finish();
 }
 
+fn ablation_archive(c: &mut Criterion) {
+    // A 50-router day pushed through the storage path: append every cycle
+    // to a delta log on each backend, then stream the whole archive back
+    // with `replay_iter`. Calm churn (rows change every 8 cycles) keeps
+    // the record mix delta-heavy, as on a quiet production day.
+    let streams: Vec<Vec<Tables>> = synthetic_streams_with_churn(50, 96, 8)
+        .into_iter()
+        .map(|stream| stream.iter().map(SnapshotParts::rebuild).collect())
+        .collect();
+    let dir = std::env::temp_dir().join(format!("mantra-bench-archive-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench tmp dir");
+    let mut group = c.benchmark_group("ablation_archive");
+    group.sample_size(10);
+    group.bench_function("memory_write_replay", |b| {
+        b.iter(|| {
+            let mut snapshots = 0usize;
+            for stream in &streams {
+                let mut log = TableLog::new(96);
+                for s in stream {
+                    log.append(s);
+                }
+                snapshots += log.replay_iter().filter(|t| t.is_ok()).count();
+            }
+            black_box(snapshots)
+        })
+    });
+    group.bench_function("file_write_replay", |b| {
+        b.iter(|| {
+            let mut snapshots = 0usize;
+            for (r, stream) in streams.iter().enumerate() {
+                let path = dir.join(format!("r{r}.marc"));
+                let backend = FileBackend::create(&path).expect("create archive");
+                let mut log = TableLog::with_backend(Box::new(backend), 96);
+                for s in stream {
+                    log.append(s);
+                }
+                assert!(log.backend_error().is_none());
+                snapshots += log.replay_iter().filter(|t| t.is_ok()).count();
+            }
+            black_box(snapshots)
+        })
+    });
+    group.finish();
+
+    // Storage accounting for one router-day, printed once.
+    let mut mem = TableLog::new(96);
+    let path = dir.join("report.marc");
+    let backend = FileBackend::create(&path).expect("create archive");
+    let mut file = TableLog::with_backend(Box::new(backend), 96);
+    for s in &streams[0] {
+        mem.append(s);
+        file.append(s);
+    }
+    let fs = file.archive_stats();
+    println!(
+        "[ablation_archive] one router-day: payload={}B frames={}B \
+         ({} records, {} checkpoints, {} fsyncs)",
+        mem.bytes_stored, fs.bytes, fs.records, fs.checkpoints, fs.fsyncs
+    );
+    drop(file);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn ablation_report_loss(c: &mut Criterion) {
     // Route-count instability as a function of DVMRP report loss — the
     // mechanism behind Figure 7, quantified. Criterion measures the run
@@ -282,6 +360,7 @@ criterion_group! {
     name = ablations;
     config = Criterion::default();
     targets = ablation_logger, ablation_threshold, ablation_interval,
-              ablation_aggregate, ablation_interning, ablation_report_loss
+              ablation_aggregate, ablation_interning, ablation_archive,
+              ablation_report_loss
 }
 criterion_main!(ablations);

@@ -1,7 +1,11 @@
 //! The subcommand implementations.
 
+use std::path::{Path, PathBuf};
+
+use mantra_core::archive::{replay_summary_line, FORMAT_VERSION};
 use mantra_core::collector::{FlakyAccess, SimAccess};
-use mantra_core::{Monitor, MonitorConfig, RetryPolicy};
+use mantra_core::logger::TableLog;
+use mantra_core::{ArchiveSpec, FileBackend, Monitor, MonitorConfig, RetryPolicy};
 use mantra_net::SimDuration;
 use mantra_sim::Scenario;
 
@@ -13,9 +17,13 @@ mantra — router-based multicast monitoring (simulated 1998-2000 internetwork)
 
 USAGE:
   mantra monitor  [--seed N] [--native F] [--hours H] [--loss P] [--html FILE]
+                  [--archive-dir DIR]
   mantra health   [--seed N] [--native F] [--hours H] [--fail P] [--truncate P]
                   [--retries N]
   mantra incident [--seed N]
+  mantra archive  info    --path FILE
+  mantra archive  replay  --path FILE
+  mantra archive  compact --path FILE --out FILE [--full-every N]
   mantra mwatch   [--seed N] [--native F]
   mantra mtrace   [--seed N] [--native F]
   mantra snmpwalk [--seed N] [--native F] [--oid OID] [--community STR]
@@ -26,6 +34,10 @@ OPTIONS:
   --hours H       hours of simulated monitoring (default 12)
   --loss P        DVMRP report loss probability (default 0.02)
   --html FILE     also write an HTML report
+  --archive-dir DIR  persist per-router table logs as .marc archives in DIR
+  --path FILE     archive to inspect (.marc binary or legacy .jsonl)
+  --out FILE      destination archive for `archive compact`
+  --full-every N  full-snapshot checkpoint cadence when rewriting (default 96)
   --fail P        injected login-failure probability (default 0.2)
   --truncate P    injected truncation probability (default 0.1)
   --retries N     capture attempts per table per cycle (default 3)
@@ -53,10 +65,19 @@ fn warmed(opts: &Opts, hours: u64) -> Result<Scenario, String> {
 /// `mantra monitor`: run the full pipeline and print Mantra's output.
 pub fn monitor(opts: &Opts) -> Result<(), String> {
     let hours = opts.u64_or("hours", 12)?;
+    let archive_dir = opts.get("archive-dir").map(PathBuf::from);
+    let archive = match &archive_dir {
+        Some(dir) => ArchiveSpec::File {
+            dir: dir.clone(),
+            fsync_every: 0,
+        },
+        None => ArchiveSpec::Memory,
+    };
     let mut sc = scenario(opts)?;
     let mut monitor = Monitor::new(MonitorConfig {
         routers: vec!["fixw".into(), "ucsb-gw".into()],
         interval: sc.sim.tick(),
+        archive,
         ..MonitorConfig::default()
     });
     let cycles = hours * 3_600 / monitor.cfg.interval.as_secs();
@@ -91,11 +112,110 @@ pub fn monitor(opts: &Opts) -> Result<(), String> {
             monitor.anomalies[0]
         );
     }
+    if let Some(dir) = &archive_dir {
+        println!("\n{}", monitor.archive_table().render());
+        eprintln!("archives written under {}", dir.display());
+    }
     if let Some(path) = opts.get("html") {
         std::fs::write(path, mantra_core::web::report_html(&monitor, "fixw"))
             .map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote {path}");
     }
+    Ok(())
+}
+
+/// `mantra archive`: inspect, replay, or rewrite an on-disk table archive.
+pub fn archive(sub: &str, opts: &Opts) -> Result<(), String> {
+    match sub {
+        "info" => archive_info(opts),
+        "replay" => archive_replay(opts),
+        "compact" => archive_compact(opts),
+        other => Err(format!(
+            "unknown archive subcommand '{other}' (expected info, replay or compact)"
+        )),
+    }
+}
+
+fn required_path<'a>(opts: &'a Opts, key: &str) -> Result<&'a Path, String> {
+    opts.get(key)
+        .map(Path::new)
+        .ok_or_else(|| format!("--{key} FILE is required"))
+}
+
+fn load_archive(path: &Path, full_every: usize) -> Result<TableLog, String> {
+    TableLog::load(path, full_every).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn archive_info(opts: &Opts) -> Result<(), String> {
+    let path = required_path(opts, "path")?;
+    let log = load_archive(path, opts.u64_or("full-every", 96)? as usize)?;
+    let stats = log.archive_stats();
+    let format = match log.backend_kind() {
+        "file" => format!("MANTRARC v{FORMAT_VERSION} (binary, length-prefixed)"),
+        _ => "JSON-lines (legacy)".to_string(),
+    };
+    println!("archive:     {}", path.display());
+    println!("format:      {format}");
+    println!(
+        "records:     {} ({} checkpoints)",
+        stats.records, stats.checkpoints
+    );
+    println!("stored:      {} bytes", stats.bytes);
+    if stats.recovered_bytes > 0 {
+        println!(
+            "recovered:   {} bytes of corrupt tail dropped on open",
+            stats.recovered_bytes
+        );
+    }
+    if let Some(t) = log.last() {
+        println!("tail:        {} at {}", t.router, t.captured_at.iso8601());
+    }
+    Ok(())
+}
+
+fn archive_replay(opts: &Opts) -> Result<(), String> {
+    let path = required_path(opts, "path")?;
+    let log = load_archive(path, opts.u64_or("full-every", 96)? as usize)?;
+    let mut snapshots = 0usize;
+    for (i, tables) in log.replay_iter().enumerate() {
+        let tables = tables.map_err(|e| format!("replay failed at record {i}: {e}"))?;
+        println!("{}", replay_summary_line(i, &tables));
+        snapshots += 1;
+    }
+    eprintln!("{snapshots} snapshot(s) replayed");
+    Ok(())
+}
+
+fn archive_compact(opts: &Opts) -> Result<(), String> {
+    let path = required_path(opts, "path")?;
+    let out = required_path(opts, "out")?;
+    if out == path {
+        return Err("--out must differ from --path".into());
+    }
+    let full_every = opts.u64_or("full-every", 96)? as usize;
+    let src = load_archive(path, full_every)?;
+    let backend =
+        FileBackend::create(out).map_err(|e| format!("creating {}: {e}", out.display()))?;
+    let mut dst = TableLog::with_backend(Box::new(backend), full_every);
+    for (i, tables) in src.replay_iter().enumerate() {
+        let tables = tables.map_err(|e| format!("replay failed at record {i}: {e}"))?;
+        dst.append(&tables);
+    }
+    if let Some(err) = dst.backend_error() {
+        return Err(format!("writing {}: {err}", out.display()));
+    }
+    let before = src.archive_stats();
+    let after = dst.archive_stats();
+    println!(
+        "compacted {} ({} records, {} bytes) into {} ({} records, {} bytes, {} checkpoints)",
+        path.display(),
+        before.records,
+        before.bytes,
+        out.display(),
+        after.records,
+        after.bytes,
+        after.checkpoints,
+    );
     Ok(())
 }
 

@@ -1,0 +1,62 @@
+//! Golden test: a seeded monitor run writes a file archive whose
+//! `mantra archive replay` transcript matches the committed golden file.
+//! Guards both the simulator's determinism and the archive format — a
+//! change to either shows up as a diff against `tests/golden/`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+#[test]
+fn archive_replay_matches_golden() {
+    let dir = std::env::temp_dir().join(format!("mantra-archive-golden-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let bin = env!("CARGO_BIN_EXE_mantra");
+
+    let monitor = Command::new(bin)
+        .args(["monitor", "--seed", "7", "--hours", "2"])
+        .args(["--archive-dir", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        monitor.status.success(),
+        "monitor failed: {}",
+        String::from_utf8_lossy(&monitor.stderr)
+    );
+
+    let archive = dir.join("fixw.marc");
+    let replay = Command::new(bin)
+        .args(["archive", "replay", "--path", archive.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        replay.status.success(),
+        "replay failed: {}",
+        String::from_utf8_lossy(&replay.stderr)
+    );
+    let got = String::from_utf8(replay.stdout).unwrap();
+
+    let golden_path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/archive_replay_fixw.txt");
+    let want = std::fs::read_to_string(&golden_path).unwrap();
+    assert_eq!(
+        got,
+        want,
+        "archive replay diverged from {}",
+        golden_path.display()
+    );
+
+    // `archive info` must read the same file without error.
+    let info = Command::new(bin)
+        .args(["archive", "info", "--path", archive.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(info.status.success());
+    let info_out = String::from_utf8(info.stdout).unwrap();
+    assert!(
+        info_out.contains("MANTRARC v1"),
+        "unexpected info output:\n{info_out}"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,704 @@
+//! Pluggable archive backends for the delta logger.
+//!
+//! The paper's §5 logging design (delta encoding + redundancy
+//! elimination) produces a stream of [`LogRecord`]s per router. Where
+//! that stream lives is this module's concern:
+//!
+//! * [`MemoryBackend`] — the original in-process `Vec<LogRecord>`;
+//!   archives serialise byte-identically to the pre-backend `TableLog`.
+//! * [`FileBackend`] — an append-only on-disk archive: a versioned
+//!   header (magic, format version, interner epoch) followed by
+//!   length-prefixed, CRC-checked record frames. Full-snapshot records
+//!   double as *checkpoints*: replay can start at the last one instead
+//!   of the beginning, and a crash that truncates the tail recovers to
+//!   the last intact record instead of refusing the archive.
+//!
+//! The [`crate::logger::TableLog`] owns one backend behind the
+//! [`ArchiveBackend`] trait and never materialises more than one
+//! snapshot while replaying (see [`crate::logger::ReplayIter`]).
+//!
+//! ## On-disk format (version 1)
+//!
+//! ```text
+//! header  (24 bytes):  magic  b"MANTRARC"          [0..8)
+//!                      format version  u16 LE = 1  [8..10)
+//!                      flags           u16 LE = 0  [10..12)
+//!                      interner epoch  u32 LE = 0  [12..16)
+//!                      reserved        u64 LE = 0  [16..24)
+//! record  (9 + n):     kind   u8  (0 = Full, 1 = Delta)
+//!                      len    u32 LE (payload bytes)
+//!                      crc    u32 LE (CRC-32/IEEE of the payload)
+//!                      payload: the LogRecord as serde_json UTF-8
+//! ```
+//!
+//! The interner epoch is reserved for the planned id-keyed delta records
+//! (ids are only meaningful relative to an interner state); version-1
+//! archives always write 0. Recovery rule: records are scanned from the
+//! header; the first frame that is incomplete, has an unknown kind, or
+//! fails its CRC ends the archive, and opening for append truncates the
+//! file there.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufReader, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::logger::LogRecord;
+
+/// The archive file magic.
+pub const MAGIC: [u8; 8] = *b"MANTRARC";
+/// The on-disk format version this build reads and writes.
+pub const FORMAT_VERSION: u16 = 1;
+/// Header length in bytes.
+pub const HEADER_LEN: u64 = 24;
+/// Record frame header length (kind + len + crc).
+const FRAME_LEN: u64 = 9;
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE), table-driven
+// ---------------------------------------------------------------------
+
+const fn make_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut n = 0;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = make_crc_table();
+
+/// CRC-32 (IEEE 802.3 polynomial) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------
+// Backend trait
+// ---------------------------------------------------------------------
+
+/// Accumulated accounting for one archive.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ArchiveStats {
+    /// Records archived.
+    pub records: u64,
+    /// Full-snapshot records (replay entry points / checkpoints).
+    pub checkpoints: u64,
+    /// Archived bytes: record frames for [`FileBackend`], serialised
+    /// payloads for [`MemoryBackend`].
+    pub bytes: u64,
+    /// `fsync` calls issued (always 0 for the memory backend).
+    pub fsyncs: u64,
+    /// Bytes of truncated/corrupt tail dropped when the archive was
+    /// opened (crash recovery).
+    pub recovered_bytes: u64,
+}
+
+/// A streaming record iterator borrowed from a backend.
+pub type RecordIter<'a> = Box<dyn Iterator<Item = io::Result<LogRecord>> + 'a>;
+
+/// Where a [`crate::logger::TableLog`]'s records live.
+///
+/// `append` receives both the record and its serde_json rendering — the
+/// logger already serialises every candidate record to pick the smaller
+/// representation, so backends reuse that work instead of re-encoding,
+/// and the two backends archive identical payload bytes by construction.
+pub trait ArchiveBackend: fmt::Debug + Send {
+    /// Backend name for metrics ("memory", "file").
+    fn kind(&self) -> &'static str;
+
+    /// Appends one record; `json` is its serialised payload.
+    fn append(&mut self, rec: &LogRecord, json: &str) -> io::Result<()>;
+
+    /// Records archived.
+    fn len(&self) -> usize;
+
+    /// True when nothing has been archived.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Streams every record from the start.
+    fn records(&self) -> RecordIter<'_>;
+
+    /// Streams records starting at index `start`.
+    fn records_from(&self, start: usize) -> RecordIter<'_>;
+
+    /// Index of the last full-snapshot record, if any — the cheapest
+    /// replay entry point for tail access.
+    fn last_checkpoint(&self) -> Option<usize>;
+
+    /// Accounting snapshot.
+    fn stats(&self) -> ArchiveStats;
+
+    /// Forces durability (no-op for memory).
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// MemoryBackend
+// ---------------------------------------------------------------------
+
+/// The original in-process archive: a `Vec` of records.
+#[derive(Debug, Default)]
+pub struct MemoryBackend {
+    records: Vec<LogRecord>,
+    last_checkpoint: Option<usize>,
+    stats: ArchiveStats,
+}
+
+impl ArchiveBackend for MemoryBackend {
+    fn kind(&self) -> &'static str {
+        "memory"
+    }
+
+    fn append(&mut self, rec: &LogRecord, json: &str) -> io::Result<()> {
+        if matches!(rec, LogRecord::Full(_)) {
+            self.last_checkpoint = Some(self.records.len());
+            self.stats.checkpoints += 1;
+        }
+        self.stats.records += 1;
+        self.stats.bytes += json.len() as u64;
+        self.records.push(rec.clone());
+        Ok(())
+    }
+
+    fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    fn records(&self) -> RecordIter<'_> {
+        Box::new(self.records.iter().map(|r| Ok(r.clone())))
+    }
+
+    fn records_from(&self, start: usize) -> RecordIter<'_> {
+        let start = start.min(self.records.len());
+        Box::new(self.records[start..].iter().map(|r| Ok(r.clone())))
+    }
+
+    fn last_checkpoint(&self) -> Option<usize> {
+        self.last_checkpoint
+    }
+
+    fn stats(&self) -> ArchiveStats {
+        self.stats.clone()
+    }
+}
+
+// ---------------------------------------------------------------------
+// FileBackend
+// ---------------------------------------------------------------------
+
+/// An append-only on-disk archive (see the module docs for the format).
+#[derive(Debug)]
+pub struct FileBackend {
+    path: PathBuf,
+    file: File,
+    /// Byte offset of each record's frame, plus the end offset as a
+    /// final sentinel (so `offsets[i + 1] - offsets[i]` is frame size).
+    offsets: Vec<u64>,
+    checkpoints: Vec<usize>,
+    stats: ArchiveStats,
+    /// `fsync` after this many non-checkpoint appends (checkpoints
+    /// always sync); 0 syncs only on checkpoints.
+    pub fsync_every: usize,
+    since_sync: usize,
+}
+
+fn bad_data(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Reads and validates an archive header, returning
+/// `(format_version, interner_epoch)`.
+pub fn read_header(r: &mut impl Read) -> io::Result<(u16, u32)> {
+    let mut header = [0u8; HEADER_LEN as usize];
+    r.read_exact(&mut header)
+        .map_err(|_| bad_data("archive too short for a MANTRARC header".into()))?;
+    if header[0..8] != MAGIC {
+        return Err(bad_data(format!(
+            "unrecognised archive header {:?}: expected magic {:?} (MANTRARC)",
+            &header[0..8],
+            MAGIC
+        )));
+    }
+    let version = u16::from_le_bytes([header[8], header[9]]);
+    if version != FORMAT_VERSION {
+        return Err(bad_data(format!(
+            "archive format version {version}; this build reads version {FORMAT_VERSION}"
+        )));
+    }
+    let epoch = u32::from_le_bytes([header[12], header[13], header[14], header[15]]);
+    Ok((version, epoch))
+}
+
+fn write_header(w: &mut impl Write) -> io::Result<()> {
+    let mut header = [0u8; HEADER_LEN as usize];
+    header[0..8].copy_from_slice(&MAGIC);
+    header[8..10].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    // flags, interner epoch and the reserved word are zero in version 1.
+    w.write_all(&header)
+}
+
+impl FileBackend {
+    /// Creates a fresh archive at `path`, truncating any existing file.
+    pub fn create(path: impl Into<PathBuf>) -> io::Result<FileBackend> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        write_header(&mut file)?;
+        file.sync_all()?;
+        Ok(FileBackend {
+            path,
+            file,
+            offsets: vec![HEADER_LEN],
+            checkpoints: Vec::new(),
+            stats: ArchiveStats {
+                fsyncs: 1,
+                ..ArchiveStats::default()
+            },
+            fsync_every: 0,
+            since_sync: 0,
+        })
+    }
+
+    /// Opens an existing archive for append, creating it if absent.
+    ///
+    /// The record stream is scanned and CRC-validated; a truncated or
+    /// corrupt tail is cut back to the last intact record (the file is
+    /// physically truncated so later appends start from a valid state)
+    /// and accounted in [`ArchiveStats::recovered_bytes`].
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<FileBackend> {
+        let path = path.into();
+        if !path.exists() {
+            return Self::create(path);
+        }
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let file_len = file.seek(SeekFrom::End(0))?;
+        file.seek(SeekFrom::Start(0))?;
+        let mut reader = BufReader::new(&mut file);
+        read_header(&mut reader)?;
+
+        let mut offsets = vec![HEADER_LEN];
+        let mut checkpoints = Vec::new();
+        let mut pos = HEADER_LEN;
+        let mut payload = Vec::new();
+        loop {
+            let mut frame = [0u8; FRAME_LEN as usize];
+            match reader.read_exact(&mut frame) {
+                Ok(()) => {}
+                Err(_) => break, // truncated frame header: end of archive
+            }
+            let kind = frame[0];
+            let len = u64::from(u32::from_le_bytes([frame[1], frame[2], frame[3], frame[4]]));
+            let crc = u32::from_le_bytes([frame[5], frame[6], frame[7], frame[8]]);
+            if kind > 1 || pos + FRAME_LEN + len > file_len {
+                break; // unknown kind or payload runs past EOF
+            }
+            payload.clear();
+            payload.resize(len as usize, 0);
+            if reader.read_exact(&mut payload).is_err() || crc32(&payload) != crc {
+                break; // torn or corrupt payload
+            }
+            if kind == 0 {
+                checkpoints.push(offsets.len() - 1);
+            }
+            pos += FRAME_LEN + len;
+            offsets.push(pos);
+        }
+        drop(reader);
+
+        let recovered = file_len - pos;
+        if recovered > 0 {
+            file.set_len(pos)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::Start(pos))?;
+        let stats = ArchiveStats {
+            records: (offsets.len() - 1) as u64,
+            checkpoints: checkpoints.len() as u64,
+            bytes: pos - HEADER_LEN,
+            fsyncs: u64::from(recovered > 0),
+            recovered_bytes: recovered,
+        };
+        Ok(FileBackend {
+            path,
+            file,
+            offsets,
+            checkpoints,
+            stats,
+            fsync_every: 0,
+            since_sync: 0,
+        })
+    }
+
+    /// The archive's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Byte offsets of every record frame plus the end-of-archive
+    /// sentinel (exposed for truncation tests and tooling).
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+}
+
+/// Streams records from an archive file, yielding at most `remaining`.
+struct FileRecordIter {
+    reader: Option<BufReader<File>>,
+    remaining: usize,
+}
+
+impl FileRecordIter {
+    fn read_one(reader: &mut BufReader<File>) -> io::Result<LogRecord> {
+        let mut frame = [0u8; FRAME_LEN as usize];
+        reader.read_exact(&mut frame)?;
+        let len = u32::from_le_bytes([frame[1], frame[2], frame[3], frame[4]]) as usize;
+        let crc = u32::from_le_bytes([frame[5], frame[6], frame[7], frame[8]]);
+        let mut payload = vec![0u8; len];
+        reader.read_exact(&mut payload)?;
+        if crc32(&payload) != crc {
+            return Err(bad_data("record payload fails its CRC".into()));
+        }
+        let text = std::str::from_utf8(&payload)
+            .map_err(|e| bad_data(format!("record payload is not UTF-8: {e}")))?;
+        serde_json::from_str(text).map_err(|e| bad_data(format!("bad record payload: {e}")))
+    }
+}
+
+impl Iterator for FileRecordIter {
+    type Item = io::Result<LogRecord>;
+
+    fn next(&mut self) -> Option<io::Result<LogRecord>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let reader = self.reader.as_mut()?;
+        self.remaining -= 1;
+        match Self::read_one(reader) {
+            Ok(rec) => Some(Ok(rec)),
+            Err(e) => {
+                self.reader = None; // fuse on error
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+impl ArchiveBackend for FileBackend {
+    fn kind(&self) -> &'static str {
+        "file"
+    }
+
+    fn append(&mut self, rec: &LogRecord, json: &str) -> io::Result<()> {
+        let payload = json.as_bytes();
+        let kind: u8 = match rec {
+            LogRecord::Full(_) => 0,
+            LogRecord::Delta(_) => 1,
+        };
+        let mut frame = Vec::with_capacity(FRAME_LEN as usize + payload.len());
+        frame.push(kind);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)?;
+
+        let idx = self.offsets.len() - 1;
+        let end = self.offsets[idx] + frame.len() as u64;
+        self.offsets.push(end);
+        self.stats.records += 1;
+        self.stats.bytes += frame.len() as u64;
+        let checkpoint = kind == 0;
+        if checkpoint {
+            self.checkpoints.push(idx);
+            self.stats.checkpoints += 1;
+        }
+        self.since_sync += 1;
+        if checkpoint || (self.fsync_every > 0 && self.since_sync >= self.fsync_every) {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn records(&self) -> RecordIter<'_> {
+        self.records_from(0)
+    }
+
+    fn records_from(&self, start: usize) -> RecordIter<'_> {
+        let count = self.len();
+        let start = start.min(count);
+        let reader = File::open(&self.path).and_then(|mut f| {
+            f.seek(SeekFrom::Start(self.offsets[start]))?;
+            Ok(BufReader::new(f))
+        });
+        match reader {
+            Ok(reader) => Box::new(FileRecordIter {
+                reader: Some(reader),
+                remaining: count - start,
+            }),
+            Err(e) => Box::new(std::iter::once(Err(e))),
+        }
+    }
+
+    fn last_checkpoint(&self) -> Option<usize> {
+        self.checkpoints.last().copied()
+    }
+
+    fn stats(&self) -> ArchiveStats {
+        self.stats.clone()
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()?;
+        self.stats.fsyncs += 1;
+        self.since_sync = 0;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Backend selection
+// ---------------------------------------------------------------------
+
+/// How a monitor's per-router archives should be stored.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum ArchiveSpec {
+    /// In-process `Vec` archives (the original behaviour).
+    #[default]
+    Memory,
+    /// On-disk archives, one `<router>.marc` file per router.
+    File {
+        /// Directory holding the archive files (created on demand).
+        dir: PathBuf,
+        /// Extra `fsync` cadence between checkpoints (0 = checkpoints
+        /// only).
+        fsync_every: usize,
+    },
+}
+
+impl ArchiveSpec {
+    /// The archive file path for one router under this spec (file
+    /// backends only). Router names are sanitised into file names.
+    pub fn path_for(dir: &Path, router: &str) -> PathBuf {
+        let safe: String = router
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        dir.join(format!("{safe}.marc"))
+    }
+}
+
+/// One deterministic line summarising a replayed snapshot — the unit the
+/// `mantra archive replay` golden tests diff against.
+pub fn replay_summary_line(index: usize, t: &crate::tables::Tables) -> String {
+    format!(
+        "{index:>4} {} {} sessions={} participants={} pairs={} routes={} sa={}",
+        t.captured_at.iso8601(),
+        t.router,
+        t.sessions.len(),
+        t.participants.len(),
+        t.pairs.len(),
+        t.routes.len(),
+        t.sa_cache.len(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logger::{SnapshotParts, TableDelta};
+
+    fn full_record(n: u64) -> (LogRecord, String) {
+        let parts = SnapshotParts {
+            captured_at: mantra_net::SimTime(n),
+            router: "fixw".into(),
+            ..SnapshotParts::default()
+        };
+        let rec = LogRecord::Full(parts);
+        let json = serde_json::to_string(&rec).unwrap();
+        (rec, json)
+    }
+
+    fn delta_record(n: u64) -> (LogRecord, String) {
+        let rec = LogRecord::Delta(TableDelta {
+            captured_at: mantra_net::SimTime(n),
+            ..TableDelta::default()
+        });
+        let json = serde_json::to_string(&rec).unwrap();
+        (rec, json)
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mantra-archive-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn file_backend_round_trips_records() {
+        let path = tmp("roundtrip.marc");
+        let mut be = FileBackend::create(&path).unwrap();
+        let recs = vec![
+            full_record(0),
+            delta_record(1),
+            delta_record(2),
+            full_record(3),
+        ];
+        for (rec, json) in &recs {
+            be.append(rec, json).unwrap();
+        }
+        assert_eq!(be.len(), 4);
+        assert_eq!(be.last_checkpoint(), Some(3));
+        let back: Vec<LogRecord> = be.records().map(|r| r.unwrap()).collect();
+        assert_eq!(back.len(), 4);
+        for ((orig, _), got) in recs.iter().zip(&back) {
+            assert_eq!(
+                serde_json::to_string(orig).unwrap(),
+                serde_json::to_string(got).unwrap()
+            );
+        }
+        // Reopen resumes with the same view.
+        drop(be);
+        let be = FileBackend::open(&path).unwrap();
+        assert_eq!(be.len(), 4);
+        assert_eq!(be.last_checkpoint(), Some(3));
+        assert_eq!(be.stats().recovered_bytes, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_recovers_to_last_valid_record() {
+        let path = tmp("truncated.marc");
+        let mut be = FileBackend::create(&path).unwrap();
+        for (rec, json) in [full_record(0), delta_record(1), delta_record(2)] {
+            be.append(&rec, &json).unwrap();
+        }
+        let offsets = be.offsets().to_vec();
+        drop(be);
+        // Cut the file mid-way through the last record.
+        let cut = offsets[3] - 3;
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(cut).unwrap();
+        drop(f);
+        let be = FileBackend::open(&path).unwrap();
+        assert_eq!(be.len(), 2, "last record dropped");
+        assert_eq!(be.stats().recovered_bytes, cut - offsets[2]);
+        // And the file was physically truncated to the valid prefix.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), offsets[2]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_payload_ends_the_archive_at_the_last_valid_record() {
+        let path = tmp("corrupt.marc");
+        let mut be = FileBackend::create(&path).unwrap();
+        for (rec, json) in [full_record(0), delta_record(1), delta_record(2)] {
+            be.append(&rec, &json).unwrap();
+        }
+        let offsets = be.offsets().to_vec();
+        drop(be);
+        // Flip a byte inside record 1's payload.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = offsets[1] as usize + FRAME_LEN as usize + 2;
+        bytes[at] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let be = FileBackend::open(&path).unwrap();
+        assert_eq!(be.len(), 1, "records after the corruption are dropped");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unrecognised_headers_are_rejected_with_a_clear_error() {
+        let path = tmp("badmagic.marc");
+        std::fs::write(&path, b"NOTANARCHIVE----------------").unwrap();
+        let err = FileBackend::open(&path).unwrap_err();
+        assert!(err.to_string().contains("MANTRARC"), "{err}");
+        // Wrong version is called out explicitly.
+        let mut header = Vec::new();
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&99u16.to_le_bytes());
+        header.resize(HEADER_LEN as usize, 0);
+        std::fs::write(&path, &header).unwrap();
+        let err = FileBackend::open(&path).unwrap_err();
+        assert!(err.to_string().contains("version 99"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fsyncs_happen_on_checkpoints_and_cadence() {
+        let path = tmp("fsync.marc");
+        let mut be = FileBackend::create(&path).unwrap();
+        let base = be.stats().fsyncs;
+        let (full, full_json) = full_record(0);
+        be.append(&full, &full_json).unwrap();
+        assert_eq!(be.stats().fsyncs, base + 1, "checkpoint syncs");
+        be.fsync_every = 2;
+        for n in 1..=4 {
+            let (d, j) = delta_record(n);
+            be.append(&d, &j).unwrap();
+        }
+        assert_eq!(be.stats().fsyncs, base + 3, "every second delta syncs");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn memory_backend_accounts_checkpoints() {
+        let mut be = MemoryBackend::default();
+        for (rec, json) in [full_record(0), delta_record(1), full_record(2)] {
+            be.append(&rec, &json).unwrap();
+        }
+        assert_eq!(be.len(), 3);
+        assert_eq!(be.last_checkpoint(), Some(2));
+        let s = be.stats();
+        assert_eq!(s.records, 3);
+        assert_eq!(s.checkpoints, 2);
+        assert_eq!(s.fsyncs, 0);
+        assert!(s.bytes > 0);
+        assert_eq!(be.records_from(2).count(), 1);
+    }
+}

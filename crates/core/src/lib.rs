@@ -13,6 +13,9 @@
 //!   (mrouted- or IOS-style) onto the local tables,
 //! * [`logger`] — the data logger: delta encoding and redundancy
 //!   elimination for long-term archives, with lossless reconstruction,
+//! * [`archive`] — where those archives live: pluggable backends behind
+//!   [`archive::ArchiveBackend`], from the in-memory record list to a
+//!   versioned on-disk format with checkpoints and crash recovery,
 //! * [`longterm`] — cross-cycle trend analysis: session/participant/route
 //!   lifetimes, stability and join patterns,
 //! * [`stats`] — the data processor: usage monitoring (sessions,
@@ -36,6 +39,7 @@
 
 pub mod aggregate;
 pub mod anomaly;
+pub mod archive;
 pub mod collector;
 pub mod logger;
 pub mod longterm;
@@ -48,6 +52,7 @@ pub mod store;
 pub mod tables;
 pub mod web;
 
+pub use archive::{ArchiveBackend, ArchiveSpec, ArchiveStats, FileBackend, MemoryBackend};
 pub use collector::{CaptureError, CollectStats, Collector, RetryPolicy, RouterAccess};
 pub use monitor::{Monitor, MonitorConfig, RouterHealth};
 pub use pipeline::{PipelineMetrics, Stage, StageKind, StageMetrics};

@@ -15,11 +15,17 @@
 //! Reconstruction is lossless: replaying a log yields snapshots equal to
 //! the originals, which the property tests assert.
 
+use std::io;
+use std::path::Path;
+
 use serde::{Deserialize, Serialize};
 
 use mantra_net::{GroupAddr, Ip, Prefix, SimTime};
 
-use crate::store::{in_key_order, Interner, TableStore};
+use crate::archive::{
+    ArchiveBackend, ArchiveSpec, ArchiveStats, FileBackend, MemoryBackend, RecordIter, MAGIC,
+};
+use crate::store::{in_key_order, in_key_order_cached, Interner, TableStore};
 use crate::tables::{LearnedFrom, PairRow, RouteRow, SessionRow, Tables};
 
 /// What one cycle stores.
@@ -32,7 +38,7 @@ pub enum LogRecord {
 }
 
 /// The non-derivable parts of a snapshot.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct SnapshotParts {
     /// Capture timestamp.
     pub captured_at: SimTime,
@@ -46,6 +52,90 @@ pub struct SnapshotParts {
     pub sa_cache: Vec<(GroupAddr, Ip, SimTime)>,
     /// Sessions not derivable from pairs (IGMP-membership-only).
     pub member_only_sessions: Vec<SessionRow>,
+    /// Whether every section above is known to be strictly key-sorted
+    /// (true when built from `BTreeMap` iteration or a delta merge).
+    /// A construction-time hint only — diffing skips its per-section
+    /// sortedness re-verification when set; never serialized, and
+    /// ignored by equality.
+    pub presorted: bool,
+}
+
+impl PartialEq for SnapshotParts {
+    fn eq(&self, other: &Self) -> bool {
+        // `presorted` is a derived hint, not data.
+        self.captured_at == other.captured_at
+            && self.router == other.router
+            && self.pairs == other.pairs
+            && self.routes == other.routes
+            && self.sa_cache == other.sa_cache
+            && self.member_only_sessions == other.member_only_sessions
+    }
+}
+
+// Hand-written (not derived) so `presorted` stays out of the archive:
+// the serialized form carries exactly the six data fields in declaration
+// order, byte-identical to the pre-hint derive output, and archives
+// written before the hint existed still load.
+impl Serialize for SnapshotParts {
+    fn serialize<S: serde::ser::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let m = vec![
+            (
+                "captured_at".to_string(),
+                serde::ser::to_value(&self.captured_at),
+            ),
+            ("router".to_string(), serde::ser::to_value(&self.router)),
+            ("pairs".to_string(), serde::ser::to_value(&self.pairs)),
+            ("routes".to_string(), serde::ser::to_value(&self.routes)),
+            ("sa_cache".to_string(), serde::ser::to_value(&self.sa_cache)),
+            (
+                "member_only_sessions".to_string(),
+                serde::ser::to_value(&self.member_only_sessions),
+            ),
+        ];
+        s.serialize_value(serde::Value::Map(m))
+    }
+}
+
+impl<'de> Deserialize<'de> for SnapshotParts {
+    fn deserialize<D: serde::de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let map = match d.take_value()? {
+            serde::Value::Map(m) => m,
+            other => {
+                return Err(D::custom(format!(
+                    "expected map for SnapshotParts, got {other:?}"
+                )))
+            }
+        };
+        let mut fields: [Option<serde::Value>; 6] = Default::default();
+        for (k, v) in map {
+            let slot = match k.as_str() {
+                "captured_at" => 0,
+                "router" => 1,
+                "pairs" => 2,
+                "routes" => 3,
+                "sa_cache" => 4,
+                "member_only_sessions" => 5,
+                _ => continue,
+            };
+            fields[slot] = Some(v);
+        }
+        let mut take = |slot: usize, name: &str| {
+            fields[slot]
+                .take()
+                .ok_or_else(|| D::custom(format!("missing field {name} in SnapshotParts")))
+        };
+        Ok(SnapshotParts {
+            captured_at: serde::de::field::<_, D>(take(0, "captured_at")?)?,
+            router: serde::de::field::<_, D>(take(1, "router")?)?,
+            pairs: serde::de::field::<_, D>(take(2, "pairs")?)?,
+            routes: serde::de::field::<_, D>(take(3, "routes")?)?,
+            sa_cache: serde::de::field::<_, D>(take(4, "sa_cache")?)?,
+            member_only_sessions: serde::de::field::<_, D>(take(5, "member_only_sessions")?)?,
+            // Provenance unknown (archives can be hand-edited), so the
+            // verifying path re-establishes sortedness on first use.
+            presorted: false,
+        })
+    }
 }
 
 /// A delta between consecutive snapshots.
@@ -90,6 +180,10 @@ impl SnapshotParts {
                 .filter(|s| s.density == 0 && s.first_advertised == LearnedFrom::Igmp)
                 .cloned()
                 .collect(),
+            // Every section above is collected from BTreeMap iteration
+            // whose map key equals the section's diff key, so strict
+            // sortedness holds by construction.
+            presorted: true,
         }
     }
 
@@ -119,8 +213,8 @@ impl SnapshotParts {
 /// byte-identical to what the `BTreeMap`-based reference emits.
 fn diff_section<T, K>(
     interner: &mut Interner<K>,
-    prev: &[T],
-    next: &[T],
+    (prev, prev_sorted): (&[T], bool),
+    (next, next_sorted): (&[T], bool),
     key: impl Fn(&T) -> K,
     upserts: &mut Vec<T>,
     removals: &mut Vec<K>,
@@ -128,8 +222,8 @@ fn diff_section<T, K>(
     T: Clone + PartialEq,
     K: Ord + Copy + Eq + std::hash::Hash,
 {
-    let prev_s = in_key_order(prev, &key);
-    let next_s = in_key_order(next, &key);
+    let prev_s = in_key_order_cached(prev, &key, prev_sorted);
+    let next_s = in_key_order_cached(next, &key, next_sorted);
     interner.begin_pass();
     for (i, row) in prev_s.iter().enumerate() {
         let id = interner.intern(&key(row));
@@ -157,7 +251,7 @@ fn diff_section<T, K>(
 /// exactly, including a key in both upserts and removals ending removed.
 fn apply_section<T, K>(
     interner: &mut Interner<K>,
-    base: &[T],
+    (base, base_sorted): (&[T], bool),
     upserts: &[T],
     removals: &[K],
     key: impl Fn(&T) -> K,
@@ -166,7 +260,7 @@ fn apply_section<T, K>(
     T: Clone,
     K: Ord + Copy + Eq + std::hash::Hash,
 {
-    let base_s = in_key_order(base, &key);
+    let base_s = in_key_order_cached(base, &key, base_sorted);
     let ups_s = in_key_order(upserts, &key);
     interner.begin_pass();
     for k in removals {
@@ -210,32 +304,32 @@ pub fn diff_with(store: &mut TableStore, prev: &SnapshotParts, next: &SnapshotPa
     };
     diff_section(
         &mut store.pairs,
-        &prev.pairs,
-        &next.pairs,
+        (&prev.pairs, prev.presorted),
+        (&next.pairs, next.presorted),
         |p| (p.group, p.source),
         &mut d.pair_upserts,
         &mut d.pair_removals,
     );
     diff_section(
         &mut store.routes,
-        &prev.routes,
-        &next.routes,
+        (&prev.routes, prev.presorted),
+        (&next.routes, next.presorted),
         |r| (r.learned_from, r.prefix),
         &mut d.route_upserts,
         &mut d.route_removals,
     );
     diff_section(
         &mut store.pairs,
-        &prev.sa_cache,
-        &next.sa_cache,
+        (&prev.sa_cache, prev.presorted),
+        (&next.sa_cache, next.presorted),
         |(g, s, _)| (*g, *s),
         &mut d.sa_upserts,
         &mut d.sa_removals,
     );
     diff_section(
         &mut store.groups,
-        &prev.member_only_sessions,
-        &next.member_only_sessions,
+        (&prev.member_only_sessions, prev.presorted),
+        (&next.member_only_sessions, next.presorted),
         |s| s.group,
         &mut d.session_upserts,
         &mut d.session_removals,
@@ -253,11 +347,15 @@ pub fn apply_with(
     let mut next = SnapshotParts {
         captured_at: delta.captured_at,
         router: base.router.clone(),
+        // The merge below emits each section in strictly increasing key
+        // order with upserts deduplicated, so the output re-earns the
+        // sortedness hint regardless of the base's provenance.
+        presorted: true,
         ..SnapshotParts::default()
     };
     apply_section(
         &mut store.pairs,
-        &base.pairs,
+        (&base.pairs, base.presorted),
         &delta.pair_upserts,
         &delta.pair_removals,
         |p| (p.group, p.source),
@@ -265,7 +363,7 @@ pub fn apply_with(
     );
     apply_section(
         &mut store.routes,
-        &base.routes,
+        (&base.routes, base.presorted),
         &delta.route_upserts,
         &delta.route_removals,
         |r| (r.learned_from, r.prefix),
@@ -273,7 +371,7 @@ pub fn apply_with(
     );
     apply_section(
         &mut store.pairs,
-        &base.sa_cache,
+        (&base.sa_cache, base.presorted),
         &delta.sa_upserts,
         &delta.sa_removals,
         |(g, s, _)| (*g, *s),
@@ -281,7 +379,7 @@ pub fn apply_with(
     );
     apply_section(
         &mut store.groups,
-        &base.member_only_sessions,
+        (&base.member_only_sessions, base.presorted),
         &delta.session_upserts,
         &delta.session_removals,
         |s| s.group,
@@ -453,13 +551,22 @@ pub fn apply_reference(base: &SnapshotParts, delta: &TableDelta) -> SnapshotPart
         routes: routes.into_values().collect(),
         sa_cache: sa.into_iter().map(|((g, s), t)| (g, s, t)).collect(),
         member_only_sessions: sessions.into_values().collect(),
+        presorted: true, // straight out of BTreeMap iteration
     }
 }
 
 /// The append-only log for one router's snapshot stream.
-#[derive(Debug, Default)]
+///
+/// Where the records live is delegated to an [`ArchiveBackend`]: the
+/// default [`MemoryBackend`] keeps them in process (and serialises
+/// byte-identically to the pre-backend log), while [`FileBackend`] turns
+/// the log into a durable on-disk archive with checkpoints and crash
+/// recovery. Appending is infallible either way — a failing backend
+/// write is counted in [`TableLog::write_errors`] and surfaced through
+/// [`TableLog::backend_error`] rather than panicking mid-cycle.
+#[derive(Debug)]
 pub struct TableLog {
-    records: Vec<LogRecord>,
+    backend: Box<dyn ArchiveBackend>,
     tail: Option<SnapshotParts>,
     since_full: usize,
     /// Interner reused across appends when the caller does not share one.
@@ -467,20 +574,109 @@ pub struct TableLog {
     /// A full snapshot is stored every this many records (bounds replay
     /// cost and the blast radius of a corrupt record).
     pub full_every: usize,
-    /// Bytes the log actually stored (serialised records).
+    /// Payload bytes the log stored (serialised records, before any
+    /// backend framing).
     pub bytes_stored: usize,
     /// Bytes storing every snapshot in full would have cost — the paper's
-    /// baseline for the space-conservation claim.
+    /// baseline for the space-conservation claim. Zero for archives
+    /// reopened from disk (the baseline is not persisted).
     pub bytes_full_baseline: usize,
+    /// Appends the backend failed to persist.
+    pub write_errors: u64,
+    backend_error: Option<String>,
+}
+
+impl Default for TableLog {
+    fn default() -> Self {
+        TableLog {
+            backend: Box::<MemoryBackend>::default(),
+            tail: None,
+            since_full: 0,
+            scratch: TableStore::default(),
+            full_every: 0,
+            bytes_stored: 0,
+            bytes_full_baseline: 0,
+            write_errors: 0,
+            backend_error: None,
+        }
+    }
 }
 
 impl TableLog {
-    /// A log storing a full snapshot every `full_every` records.
+    /// An in-memory log storing a full snapshot every `full_every`
+    /// records.
     pub fn new(full_every: usize) -> Self {
         TableLog {
             full_every: full_every.max(1),
             ..TableLog::default()
         }
+    }
+
+    /// A log writing into a caller-supplied (empty) backend.
+    pub fn with_backend(backend: Box<dyn ArchiveBackend>, full_every: usize) -> Self {
+        TableLog {
+            backend,
+            full_every: full_every.max(1),
+            ..TableLog::default()
+        }
+    }
+
+    /// Opens (or creates) an on-disk archive at `path` for appending.
+    ///
+    /// The tail snapshot and delta cadence are rebuilt by replaying only
+    /// the records from the last checkpoint — a reopened archive keeps
+    /// appending deltas exactly as if the process had never stopped.
+    pub fn open_file(path: &Path, full_every: usize) -> io::Result<TableLog> {
+        let backend = FileBackend::open(path)?;
+        let start = backend.last_checkpoint().unwrap_or(0);
+        let mut store = TableStore::default();
+        let mut tail: Option<SnapshotParts> = None;
+        let mut since_full = 0usize;
+        for rec in backend.records_from(start) {
+            match rec? {
+                LogRecord::Full(p) => {
+                    since_full = 1;
+                    tail = Some(p);
+                }
+                LogRecord::Delta(d) => {
+                    let base = tail.as_ref().ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "archive starts with a delta record",
+                        )
+                    })?;
+                    since_full += 1;
+                    tail = Some(apply_with(&mut store, base, &d));
+                }
+            }
+        }
+        let bytes_stored = backend.stats().bytes as usize;
+        Ok(TableLog {
+            backend: Box::new(backend),
+            tail,
+            since_full,
+            scratch: store,
+            full_every: full_every.max(1),
+            bytes_stored,
+            bytes_full_baseline: 0,
+            write_errors: 0,
+            backend_error: None,
+        })
+    }
+
+    /// The backend's archive accounting.
+    pub fn archive_stats(&self) -> ArchiveStats {
+        self.backend.stats()
+    }
+
+    /// The backend's name ("memory", "file").
+    pub fn backend_kind(&self) -> &'static str {
+        self.backend.kind()
+    }
+
+    /// The last backend write failure, if any.
+    pub fn backend_error(&self) -> Option<&str> {
+        self.backend_error.as_deref()
     }
 
     /// Appends a snapshot, choosing full or delta representation. A delta
@@ -499,43 +695,47 @@ impl TableLog {
     pub fn append_with(&mut self, store: &mut TableStore, tables: &Tables) {
         let parts = SnapshotParts::from_tables(tables);
         let full_record = LogRecord::Full(parts.clone());
-        let full_size = serde_json::to_string(&full_record)
-            .map(|s| s.len())
-            .unwrap_or(0);
+        // The serialised text is kept, not just measured: the backend
+        // archives exactly these bytes, so every backend stores the same
+        // payload the size decision was made on.
+        let full_json = serde_json::to_string(&full_record).unwrap_or_default();
         // The baseline is what storing the snapshot itself would cost.
         self.bytes_full_baseline += serde_json::to_string(&parts).map(|s| s.len()).unwrap_or(0);
-        let record = match (&self.tail, self.since_full >= self.full_every) {
+        let (record, json) = match (&self.tail, self.since_full >= self.full_every) {
             (Some(prev), false) => {
                 let delta_record = LogRecord::Delta(diff_with(store, prev, &parts));
-                let delta_size = serde_json::to_string(&delta_record)
-                    .map(|s| s.len())
-                    .unwrap_or(usize::MAX);
-                if delta_size < full_size {
-                    self.since_full += 1;
-                    (delta_record, delta_size)
-                } else {
-                    self.since_full = 1;
-                    (full_record, full_size)
+                match serde_json::to_string(&delta_record) {
+                    Ok(delta_json) if delta_json.len() < full_json.len() => {
+                        self.since_full += 1;
+                        (delta_record, delta_json)
+                    }
+                    _ => {
+                        self.since_full = 1;
+                        (full_record, full_json)
+                    }
                 }
             }
             _ => {
                 self.since_full = 1;
-                (full_record, full_size)
+                (full_record, full_json)
             }
         };
-        self.bytes_stored += record.1;
-        self.records.push(record.0);
+        self.bytes_stored += json.len();
+        if let Err(e) = self.backend.append(&record, &json) {
+            self.write_errors += 1;
+            self.backend_error = Some(e.to_string());
+        }
         self.tail = Some(parts);
     }
 
     /// Number of stored records.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.backend.len()
     }
 
     /// True when nothing has been appended.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.backend.is_empty()
     }
 
     /// Storage saved relative to storing full snapshots, in `[0, 1)`.
@@ -547,23 +747,27 @@ impl TableLog {
         }
     }
 
-    /// Replays the log, returning every snapshot in order.
-    pub fn replay(&self) -> Vec<Tables> {
-        let mut store = TableStore::default();
-        let mut out = Vec::with_capacity(self.records.len());
-        let mut cur: Option<SnapshotParts> = None;
-        for rec in &self.records {
-            let parts = match rec {
-                LogRecord::Full(p) => p.clone(),
-                LogRecord::Delta(d) => {
-                    let base = cur.as_ref().expect("delta requires a base snapshot");
-                    apply_with(&mut store, base, d)
-                }
-            };
-            out.push(parts.rebuild());
-            cur = Some(parts);
+    /// Streams the log's snapshots in order, holding one current
+    /// snapshot (plus the record being applied) in memory regardless of
+    /// archive length.
+    pub fn replay_iter(&self) -> ReplayIter<'_> {
+        ReplayIter {
+            records: self.backend.records(),
+            store: TableStore::default(),
+            cur: None,
+            done: false,
         }
-        out
+    }
+
+    /// Replays the log, returning every snapshot in order.
+    ///
+    /// Panics on an unreadable archive (a memory archive is always
+    /// readable; for disk archives [`TableLog::replay_iter`] surfaces
+    /// errors per record instead).
+    pub fn replay(&self) -> Vec<Tables> {
+        self.replay_iter()
+            .collect::<io::Result<Vec<Tables>>>()
+            .expect("archive replay failed")
     }
 
     /// Replays only the final snapshot (cheap tail access).
@@ -572,22 +776,51 @@ impl TableLog {
     }
 
     /// Writes the archive to disk as JSON-lines (one record per line) —
-    /// the on-disk shape of Mantra's long-term archives.
-    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+    /// the interchange shape of Mantra's long-term archives, identical
+    /// for every backend.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
         use std::io::Write as _;
         let file = std::fs::File::create(path)?;
         let mut w = std::io::BufWriter::new(file);
-        for rec in &self.records {
-            let line = serde_json::to_string(rec)
-                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        for rec in self.backend.records() {
+            let line = serde_json::to_string(&rec?)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
             writeln!(w, "{line}")?;
         }
         w.flush()
     }
 
-    /// Loads an archive written by [`TableLog::save`]. The reloaded log
-    /// replays identically; appending continues from the reloaded tail.
-    pub fn load(path: &std::path::Path, full_every: usize) -> std::io::Result<TableLog> {
+    /// Loads an archive from disk, sniffing the format: a `MANTRARC`
+    /// header loads through [`FileBackend`] (checkpointed binary
+    /// archives, resuming appends), JSON-lines loads the legacy
+    /// [`TableLog::save`] shape into memory, and anything else is
+    /// rejected with a clear error instead of a JSON parse failure.
+    pub fn load(path: &Path, full_every: usize) -> io::Result<TableLog> {
+        use std::io::Read as _;
+        let mut head = Vec::new();
+        std::fs::File::open(path)?
+            .take(MAGIC.len() as u64)
+            .read_to_end(&mut head)?;
+        if head == MAGIC {
+            return TableLog::open_file(path, full_every);
+        }
+        match head.iter().find(|b| !b.is_ascii_whitespace()) {
+            Some(b'{') | None => TableLog::load_jsonl(path, full_every),
+            Some(_) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "unrecognised archive header in {}: expected a MANTRARC \
+                     binary archive or a JSON-lines archive",
+                    path.display()
+                ),
+            )),
+        }
+    }
+
+    /// Loads a legacy JSON-lines archive written by [`TableLog::save`].
+    /// The reloaded log replays identically; appending continues from
+    /// the reloaded tail.
+    fn load_jsonl(path: &Path, full_every: usize) -> io::Result<TableLog> {
         use std::io::BufRead as _;
         let file = std::fs::File::open(path)?;
         let mut log = TableLog::new(full_every);
@@ -597,7 +830,7 @@ impl TableLog {
                 continue;
             }
             let rec: LogRecord = serde_json::from_str(&line)
-                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
             log.bytes_stored += line.len();
             let parts = match &rec {
                 LogRecord::Full(p) => {
@@ -606,8 +839,8 @@ impl TableLog {
                 }
                 LogRecord::Delta(d) => {
                     let base = log.tail.as_ref().ok_or_else(|| {
-                        std::io::Error::new(
-                            std::io::ErrorKind::InvalidData,
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
                             "archive starts with a delta record",
                         )
                     })?;
@@ -619,10 +852,84 @@ impl TableLog {
                 }
             };
             log.bytes_full_baseline += serde_json::to_string(&parts).map(|s| s.len()).unwrap_or(0);
-            log.records.push(rec);
+            log.backend
+                .append(&rec, &line)
+                .expect("memory append cannot fail");
             log.tail = Some(parts);
         }
         Ok(log)
+    }
+}
+
+/// The streaming replay over a [`TableLog`]'s archive: full records
+/// reset the cursor, delta records advance it, and each step yields the
+/// rebuilt four-table snapshot. Memory use is one snapshot regardless of
+/// how long the archive is — the property that makes FIXW-scale archives
+/// replayable at all.
+pub struct ReplayIter<'a> {
+    records: RecordIter<'a>,
+    store: TableStore,
+    cur: Option<SnapshotParts>,
+    done: bool,
+}
+
+impl Iterator for ReplayIter<'_> {
+    type Item = io::Result<Tables>;
+
+    fn next(&mut self) -> Option<io::Result<Tables>> {
+        if self.done {
+            return None;
+        }
+        let rec = match self.records.next()? {
+            Ok(rec) => rec,
+            Err(e) => {
+                self.done = true;
+                return Some(Err(e));
+            }
+        };
+        let parts = match rec {
+            LogRecord::Full(p) => p,
+            LogRecord::Delta(d) => match self.cur.as_ref() {
+                Some(base) => apply_with(&mut self.store, base, &d),
+                None => {
+                    self.done = true;
+                    return Some(Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "delta record without a base snapshot",
+                    )));
+                }
+            },
+        };
+        let tables = parts.rebuild();
+        self.cur = Some(parts);
+        Some(Ok(tables))
+    }
+}
+
+impl ArchiveSpec {
+    /// Opens the log for one router under this spec. File backends that
+    /// fail to open (unwritable directory, exhausted disk) fall back to
+    /// an in-memory log so a collection cycle never dies on archival —
+    /// the failure is visible through [`TableLog::backend_error`].
+    pub fn open_log(&self, router: &str, full_every: usize) -> TableLog {
+        match self {
+            ArchiveSpec::Memory => TableLog::new(full_every),
+            ArchiveSpec::File { dir, fsync_every } => {
+                match FileBackend::create(ArchiveSpec::path_for(dir, router)) {
+                    Ok(mut backend) => {
+                        backend.fsync_every = *fsync_every;
+                        TableLog::with_backend(Box::new(backend), full_every)
+                    }
+                    Err(e) => {
+                        let mut log = TableLog::new(full_every);
+                        log.write_errors = 1;
+                        log.backend_error =
+                            Some(format!("file archive unavailable, logging to memory: {e}"));
+                        log
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -743,12 +1050,7 @@ mod tests {
             p[0].2 = n; // one rate changes per cycle
             log.append(&snapshot(n, &p));
         }
-        let fulls = log
-            .records
-            .iter()
-            .filter(|r| matches!(r, LogRecord::Full(_)))
-            .count();
-        assert_eq!(fulls, 4, "full at 0, 5, 10, 15");
+        assert_eq!(log.archive_stats().checkpoints, 4, "full at 0, 5, 10, 15");
         assert_eq!(log.replay().len(), 17);
     }
 
@@ -842,5 +1144,88 @@ mod tests {
         assert!(log.last().is_none());
         assert!(log.replay().is_empty());
         assert_eq!(log.savings_ratio(), 0.0);
+        assert_eq!(log.backend_kind(), "memory");
+        assert!(log.backend_error().is_none());
+    }
+
+    fn tmp_dir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mantra-logger-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn file_backed_log_matches_memory_and_reopens() {
+        let s1 = Ip::new(1, 1, 1, 1);
+        let s2 = Ip::new(2, 2, 2, 2);
+        let snaps: Vec<Tables> = (0..9u64)
+            .map(|n| snapshot(n, &[(0, s1, 64 + n), (1, s2, 2)]))
+            .collect();
+        let dir = tmp_dir();
+        let spec = ArchiveSpec::File {
+            dir: dir.clone(),
+            fsync_every: 0,
+        };
+        let mut file_log = spec.open_log("fixw", 3);
+        let mut mem_log = TableLog::new(3);
+        assert_eq!(file_log.backend_kind(), "file");
+        for s in &snaps {
+            file_log.append(s);
+            mem_log.append(s);
+        }
+        assert!(file_log.backend_error().is_none());
+        assert_eq!(file_log.replay(), mem_log.replay());
+        assert_eq!(file_log.bytes_stored, mem_log.bytes_stored);
+        assert_eq!(
+            file_log.archive_stats().checkpoints,
+            mem_log.archive_stats().checkpoints
+        );
+        drop(file_log);
+        // `load` sniffs the binary header and resumes from the last
+        // checkpoint; appending continues seamlessly.
+        let path = ArchiveSpec::path_for(&dir, "fixw");
+        let mut reopened = TableLog::load(&path, 3).unwrap();
+        assert_eq!(reopened.backend_kind(), "file");
+        assert_eq!(reopened.replay(), snaps);
+        assert_eq!(reopened.last().unwrap(), snaps[8]);
+        reopened.append(&snapshot(9, &[(0, s1, 99)]));
+        assert_eq!(reopened.replay().len(), 10);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn replay_iter_streams_the_same_snapshots_as_replay() {
+        let s1 = Ip::new(1, 1, 1, 1);
+        let mut log = TableLog::new(4);
+        for n in 0..11u64 {
+            log.append(&snapshot(n, &[(0, s1, 64 + n), (1, Ip(50 + n as u32), 2)]));
+        }
+        let streamed: Vec<Tables> = log.replay_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(streamed, log.replay());
+    }
+
+    #[test]
+    fn load_rejects_unrecognised_headers() {
+        let path = tmp_dir().join("garbage.bin");
+        std::fs::write(&path, b"\x7fELF not an archive at all").unwrap();
+        let err = TableLog::load(&path, 3).unwrap_err();
+        assert!(
+            err.to_string().contains("unrecognised archive header"),
+            "{err}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unwritable_archive_dir_falls_back_to_memory() {
+        let spec = ArchiveSpec::File {
+            dir: std::path::PathBuf::from("/proc/no-such-dir/archives"),
+            fsync_every: 0,
+        };
+        let mut log = spec.open_log("fixw", 3);
+        assert_eq!(log.backend_kind(), "memory");
+        assert!(log.backend_error().is_some());
+        log.append(&snapshot(0, &[(0, Ip::new(1, 1, 1, 1), 64)]));
+        assert_eq!(log.replay().len(), 1, "collection keeps working");
     }
 }

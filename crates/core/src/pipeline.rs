@@ -22,6 +22,7 @@ use mantra_net::{BitRate, GroupAddr, SimDuration, SimTime};
 
 use crate::aggregate::ParallelAccess;
 use crate::anomaly::{detect_injection, Anomaly, InconsistencyMonitor, SpikeDetector};
+use crate::archive::ArchiveSpec;
 use crate::collector::{Capture, CollectStats, Collector, RouterAccess};
 use crate::logger::TableLog;
 use crate::longterm::LongTermTracker;
@@ -185,10 +186,32 @@ pub struct StageMetrics {
     pub sim_latency: SimDuration,
 }
 
-/// The per-stage metrics registry: one [`StageMetrics`] per [`StageKind`].
+/// Archive accounting aggregated per backend kind, refreshed after each
+/// Log stage from the routers' logs (absolute totals, not increments).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ArchiveMetrics {
+    /// Backend name ("memory", "file").
+    pub backend: &'static str,
+    /// Routers archiving through this backend.
+    pub routers: u64,
+    /// Records archived.
+    pub records: u64,
+    /// Full-snapshot checkpoints among them.
+    pub checkpoints: u64,
+    /// Archived bytes (frames for file archives, payloads for memory).
+    pub bytes: u64,
+    /// `fsync` calls issued.
+    pub fsyncs: u64,
+    /// Appends the backend failed to persist.
+    pub write_errors: u64,
+}
+
+/// The per-stage metrics registry: one [`StageMetrics`] per [`StageKind`],
+/// plus per-backend archive totals.
 #[derive(Clone, Debug, Default)]
 pub struct PipelineMetrics {
     stages: [StageMetrics; 5],
+    archives: Vec<ArchiveMetrics>,
 }
 
 impl PipelineMetrics {
@@ -207,6 +230,39 @@ impl PipelineMetrics {
     /// The accumulated metrics of one stage.
     pub fn stage(&self, kind: StageKind) -> &StageMetrics {
         &self.stages[kind as usize]
+    }
+
+    /// Refreshes the per-backend archive totals from the routers' logs.
+    /// The monitor calls this after every Log stage; values are absolute,
+    /// so repeated refreshes never double-count.
+    pub fn record_archives(&mut self, state: &[RouterState]) {
+        let mut agg: Vec<ArchiveMetrics> = Vec::new();
+        for st in state {
+            let stats = st.log.archive_stats();
+            let kind = st.log.backend_kind();
+            let m = match agg.iter_mut().find(|m| m.backend == kind) {
+                Some(m) => m,
+                None => {
+                    agg.push(ArchiveMetrics {
+                        backend: kind,
+                        ..ArchiveMetrics::default()
+                    });
+                    agg.last_mut().expect("just pushed")
+                }
+            };
+            m.routers += 1;
+            m.records += stats.records;
+            m.checkpoints += stats.checkpoints;
+            m.bytes += stats.bytes;
+            m.fsyncs += stats.fsyncs;
+            m.write_errors += st.log.write_errors;
+        }
+        self.archives = agg;
+    }
+
+    /// The per-backend archive totals, in first-seen backend order.
+    pub fn archives(&self) -> &[ArchiveMetrics] {
+        &self.archives
     }
 
     /// The per-stage summary table.
@@ -260,14 +316,18 @@ pub struct RouterState {
     /// Running `(sum_bps, samples)` per interned `(group, source)` pair,
     /// for the Pair table's average-bandwidth column.
     pub avg_bw: HashMap<u32, (u64, u64)>,
+    /// Archive size after each cycle, `(cycle time, stored bytes)` — the
+    /// growth curve the HTML report charts.
+    pub archive_growth: Vec<(SimTime, u64)>,
 }
 
 impl RouterState {
-    /// Fresh state for a router.
-    pub fn new(name: String, log_full_every: usize) -> Self {
+    /// Fresh state for a router, with its archive opened per `archive`.
+    pub fn new(name: String, log_full_every: usize, archive: &ArchiveSpec) -> Self {
+        let log = archive.open_log(&name, log_full_every);
         RouterState {
             name,
-            log: TableLog::new(log_full_every),
+            log,
             usage: Vec::new(),
             routes: Vec::new(),
             churn: Vec::new(),
@@ -276,6 +336,7 @@ impl RouterState {
             health: RouterHealth::default(),
             detector: SpikeDetector::new(32, 8.0, 100.0),
             avg_bw: HashMap::new(),
+            archive_growth: Vec::new(),
         }
     }
 }
@@ -461,6 +522,8 @@ pub struct EnrichStage<'a> {
     pub session_names: &'a BTreeMap<GroupAddr, String>,
     /// Delta log configuration for freshly seen routers.
     pub log_full_every: usize,
+    /// Archive backend selection for freshly seen routers.
+    pub archive: &'a ArchiveSpec,
 }
 
 impl Stage for EnrichStage<'_> {
@@ -486,7 +549,7 @@ impl Stage for EnrichStage<'_> {
                 let id = self.store.routers.intern(&router);
                 if id as usize == self.state.len() {
                     self.state
-                        .push(RouterState::new(router, self.log_full_every));
+                        .push(RouterState::new(router, self.log_full_every, self.archive));
                 }
                 let st = &mut self.state[id as usize];
                 st.health.record(&stats, at);
@@ -535,6 +598,8 @@ impl Stage for LogStage<'_> {
         for er in &cycle.routers {
             let st = &mut self.state[er.id as usize];
             st.log.append_with(self.store, &er.tables);
+            st.archive_growth
+                .push((cycle.at, st.log.bytes_stored as u64));
             st.longterm.observe(&er.tables);
         }
         LoggedCycle {

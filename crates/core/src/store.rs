@@ -231,6 +231,26 @@ pub fn in_key_order<T, K: Ord>(items: &[T], key: impl Fn(&T) -> K) -> Vec<&T> {
     out
 }
 
+/// [`in_key_order`] with a caller-supplied sortedness hint: when the
+/// caller already knows the input is strictly key-sorted (snapshot parts
+/// carry that knowledge from construction), the per-call verification
+/// scan is skipped entirely. Debug builds cross-check the hint so a
+/// wrongly-flagged section fails loudly instead of corrupting a diff.
+pub fn in_key_order_cached<T, K: Ord>(
+    items: &[T],
+    key: impl Fn(&T) -> K,
+    presorted: bool,
+) -> Vec<&T> {
+    if presorted {
+        debug_assert!(
+            items.windows(2).all(|w| key(&w[0]) < key(&w[1])),
+            "presorted hint set on an unsorted or duplicated section"
+        );
+        return items.iter().collect();
+    }
+    in_key_order(items, key)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,5 +298,27 @@ mod tests {
         let messy = vec![(5u32, 'a'), (1, 'b'), (5, 'c')];
         let refs: Vec<(u32, char)> = in_key_order(&messy, |x| x.0).into_iter().copied().collect();
         assert_eq!(refs, vec![(1, 'b'), (5, 'c')]);
+    }
+
+    #[test]
+    fn cached_key_order_trusts_the_hint_and_verifies_without_it() {
+        let sorted = vec![1u32, 3, 5, 9];
+        let refs = in_key_order_cached(&sorted, |x| *x, true);
+        assert_eq!(refs, sorted.iter().collect::<Vec<_>>());
+        // Unflagged input still goes through the verifying/sorting path.
+        let messy = vec![5u32, 1, 3];
+        let refs: Vec<u32> = in_key_order_cached(&messy, |x| *x, false)
+            .into_iter()
+            .copied()
+            .collect();
+        assert_eq!(refs, vec![1, 3, 5]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "presorted hint")]
+    fn wrong_presorted_hint_fails_loudly_in_debug_builds() {
+        let messy = vec![5u32, 1];
+        let _ = in_key_order_cached(&messy, |x| *x, true);
     }
 }

@@ -207,9 +207,17 @@ pub fn report_html(monitor: &Monitor, router: &str) -> String {
     let mut routes = Graph::new(format!("DVMRP routes at {router}"));
     routes.overlay(monitor.route_series(router, "dvmrp-routes", |r| r.dvmrp_reachable as f64));
     let _ = writeln!(out, "{}", graph_svg(&routes, 860, 240));
+    let mut growth = Graph::new(format!("Archive growth at {router}"));
+    let mut stored = crate::stats::Series::new("stored-kbytes");
+    for (at, bytes) in monitor.archive_growth(router) {
+        stored.push(*at, *bytes as f64 / 1024.0);
+    }
+    growth.overlay(stored);
+    let _ = writeln!(out, "{}", graph_svg(&growth, 860, 200));
     let _ = writeln!(out, "{}", table_html(&monitor.busiest_sessions(router, 10)));
     let _ = writeln!(out, "{}", table_html(&monitor.top_senders(router, 10)));
     let _ = writeln!(out, "{}", table_html(&monitor.stage_table()));
+    let _ = writeln!(out, "{}", table_html(&monitor.archive_table()));
     if let Some(lt) = monitor.longterm(router) {
         let _ = writeln!(
             out,
@@ -299,9 +307,11 @@ mod tests {
         let html = report_html(&monitor, "fixw");
         assert!(html.starts_with("<!DOCTYPE html>"));
         assert!(html.contains("</html>"));
-        assert!(html.matches("<svg").count() == 2);
+        assert!(html.matches("<svg").count() == 3);
+        assert!(html.contains("Archive growth"));
         assert!(html.contains("Busiest sessions"));
         assert!(html.contains("route stability"));
         assert!(html.contains("Pipeline stages"));
+        assert!(html.contains("Archives"));
     }
 }
