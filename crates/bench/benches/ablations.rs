@@ -20,8 +20,9 @@ use std::hint::black_box;
 use mantra_bench::{drive_for, monitor_for};
 use mantra_core::aggregate::{collect_aggregate, collect_aggregate_sequential};
 use mantra_core::archive::FileBackend;
-use mantra_core::logger::{diff_reference, diff_with, SnapshotParts, TableLog};
-use mantra_core::stats::UsageStats;
+use mantra_core::logger::{diff_reference, diff_with, SnapshotParts, TableDelta, TableLog};
+use mantra_core::stats::{RouteStats, UsageStats};
+use mantra_core::stats_stream::IncrementalStats;
 use mantra_core::store::TableStore;
 use mantra_core::tables::{LearnedFrom, PairRow, RouteRow, Tables};
 use mantra_net::{BitRate, GroupAddr, Ip, Prefix, SimDuration, SimTime};
@@ -319,6 +320,82 @@ fn ablation_archive(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+fn ablation_streaming(c: &mut Criterion) {
+    // The Analyse stage's statistics cost, isolated: rebuilding
+    // UsageStats/RouteStats from the full tables every cycle vs folding
+    // the deltas the Log stage already computed into IncrementalStats.
+    // Stormy churn (every row changes every cycle) vs calm (rows change
+    // every 8th cycle): the rebuild's cost tracks table size and is
+    // indifferent to churn; the fold's cost tracks the delta.
+    let threshold = mantra_net::rate::SENDER_THRESHOLD;
+    let mut group = c.benchmark_group("ablation_streaming");
+    group.sample_size(10);
+    for (label, calm) in [("stormy", 1usize), ("calm", 8)] {
+        let parts = synthetic_streams_with_churn(50, 96, calm);
+        let streams: Vec<Vec<Tables>> = parts
+            .iter()
+            .map(|stream| stream.iter().map(SnapshotParts::rebuild).collect())
+            .collect();
+        // Deltas precomputed outside the timed region: in the pipeline
+        // the Log stage has already paid for them.
+        let mut store = TableStore::default();
+        let deltas: Vec<Vec<TableDelta>> = parts
+            .iter()
+            .map(|stream| {
+                stream
+                    .windows(2)
+                    .map(|w| diff_with(&mut store, &w[0], &w[1]))
+                    .collect()
+            })
+            .collect();
+        group.bench_function(format!("full_rebuild_{label}"), |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for stream in &streams {
+                    for t in stream {
+                        let u = UsageStats::from_tables(t, threshold);
+                        let r = RouteStats::from_tables(t);
+                        acc += u.sessions + r.dvmrp_total;
+                    }
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_function(format!("incremental_fold_{label}"), |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for (stream, ds) in streams.iter().zip(&deltas) {
+                    let mut inc = IncrementalStats::default();
+                    inc.reseed(&stream[0], threshold);
+                    acc += inc.usage().sessions + inc.route_stats().dvmrp_total;
+                    for d in ds {
+                        inc.fold(d);
+                        acc += inc.usage().sessions + inc.route_stats().dvmrp_total;
+                    }
+                }
+                black_box(acc)
+            })
+        });
+        // Churn volume per variant, printed once for the record.
+        let rows: usize = deltas
+            .iter()
+            .flatten()
+            .map(|d| {
+                d.pair_upserts.len()
+                    + d.pair_removals.len()
+                    + d.route_upserts.len()
+                    + d.route_removals.len()
+            })
+            .sum();
+        let cycles: usize = deltas.iter().map(Vec::len).sum();
+        println!(
+            "[ablation_streaming] {label}: {:.1} changed rows/delta over {cycles} deltas",
+            rows as f64 / cycles.max(1) as f64
+        );
+    }
+    group.finish();
+}
+
 fn ablation_report_loss(c: &mut Criterion) {
     // Route-count instability as a function of DVMRP report loss — the
     // mechanism behind Figure 7, quantified. Criterion measures the run
@@ -361,6 +438,6 @@ criterion_group! {
     config = Criterion::default();
     targets = ablation_logger, ablation_threshold, ablation_interval,
               ablation_aggregate, ablation_interning, ablation_archive,
-              ablation_report_loss
+              ablation_streaming, ablation_report_loss
 }
 criterion_main!(ablations);

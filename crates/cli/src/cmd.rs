@@ -259,6 +259,20 @@ pub fn health(opts: &Opts) -> Result<(), String> {
     }
     println!("{}", monitor.health(now).render());
     println!("\n{}", monitor.stage_table().render());
+    let degraded: Vec<&str> = monitor
+        .cfg
+        .routers
+        .iter()
+        .filter(|r| monitor.router_health(r).is_some_and(|h| h.archive_degraded))
+        .map(String::as_str)
+        .collect();
+    if !degraded.is_empty() {
+        println!(
+            "WARNING: degraded persistence on {} — archives fell back to memory \
+             or hit write errors; data will not survive a restart",
+            degraded.join(", ")
+        );
+    }
     for router in &monitor.cfg.routers.clone() {
         let Some(h) = monitor.router_health(router) else {
             continue;

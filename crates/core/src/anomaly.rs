@@ -28,6 +28,10 @@ pub struct Anomaly {
     pub at: SimTime,
     /// Which router's data triggered it.
     pub router: String,
+    /// The other router involved, for detections that compare two routers
+    /// (cross-router inconsistency names both sides rather than blaming
+    /// whichever router sorts first). `None` for single-router detections.
+    pub peer: Option<String>,
     /// What was detected.
     pub kind: AnomalyKind,
 }

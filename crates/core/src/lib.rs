@@ -48,6 +48,7 @@ pub mod output;
 pub mod pipeline;
 pub mod processor;
 pub mod stats;
+pub mod stats_stream;
 pub mod store;
 pub mod tables;
 pub mod web;

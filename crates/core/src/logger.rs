@@ -583,6 +583,12 @@ pub struct TableLog {
     pub bytes_full_baseline: usize,
     /// Appends the backend failed to persist.
     pub write_errors: u64,
+    /// True when the requested backend could not be opened and the log
+    /// silently degraded to an in-memory archive — persistence the
+    /// operator asked for is *not* happening, so the health registry and
+    /// archive metrics surface this rather than leaving it buried in
+    /// [`TableLog::backend_error`].
+    pub fell_back: bool,
     backend_error: Option<String>,
 }
 
@@ -597,6 +603,7 @@ impl Default for TableLog {
             bytes_stored: 0,
             bytes_full_baseline: 0,
             write_errors: 0,
+            fell_back: false,
             backend_error: None,
         }
     }
@@ -660,6 +667,7 @@ impl TableLog {
             bytes_stored,
             bytes_full_baseline: 0,
             write_errors: 0,
+            fell_back: false,
             backend_error: None,
         })
     }
@@ -680,19 +688,25 @@ impl TableLog {
     }
 
     /// Appends a snapshot, choosing full or delta representation. A delta
-    /// is used only when it is both due (within the full-snapshot cadence)
-    /// and actually smaller than the full record — on tiny tables the
-    /// delta framing can cost more than the data.
-    pub fn append(&mut self, tables: &Tables) {
+    /// record is used only when it is both due (within the full-snapshot
+    /// cadence) and actually smaller than the full record — on tiny tables
+    /// the delta framing can cost more than the data.
+    ///
+    /// Returns the delta taking the previous snapshot to this one whenever
+    /// a previous snapshot exists — even on cycles that *store* a full
+    /// checkpoint record — so streaming analysers can fold it without
+    /// re-diffing. `None` only for the first append of a fresh log.
+    pub fn append(&mut self, tables: &Tables) -> Option<TableDelta> {
         let mut store = std::mem::take(&mut self.scratch);
-        self.append_with(&mut store, tables);
+        let delta = self.append_with(&mut store, tables);
         self.scratch = store;
+        delta
     }
 
     /// [`TableLog::append`] interning through a caller-owned store, so one
     /// store can serve every router's log (the monitor shares its
     /// pipeline-wide [`TableStore`] here).
-    pub fn append_with(&mut self, store: &mut TableStore, tables: &Tables) {
+    pub fn append_with(&mut self, store: &mut TableStore, tables: &Tables) -> Option<TableDelta> {
         let parts = SnapshotParts::from_tables(tables);
         let full_record = LogRecord::Full(parts.clone());
         // The serialised text is kept, not just measured: the backend
@@ -701,31 +715,31 @@ impl TableLog {
         let full_json = serde_json::to_string(&full_record).unwrap_or_default();
         // The baseline is what storing the snapshot itself would cost.
         self.bytes_full_baseline += serde_json::to_string(&parts).map(|s| s.len()).unwrap_or(0);
-        let (record, json) = match (&self.tail, self.since_full >= self.full_every) {
-            (Some(prev), false) => {
-                let delta_record = LogRecord::Delta(diff_with(store, prev, &parts));
-                match serde_json::to_string(&delta_record) {
-                    Ok(delta_json) if delta_json.len() < full_json.len() => {
-                        self.since_full += 1;
-                        (delta_record, delta_json)
-                    }
-                    _ => {
-                        self.since_full = 1;
-                        (full_record, full_json)
-                    }
+        let delta = self
+            .tail
+            .as_ref()
+            .map(|prev| diff_with(store, prev, &parts));
+        let mut chosen = None;
+        if let (Some(d), false) = (&delta, self.since_full >= self.full_every) {
+            let delta_record = LogRecord::Delta(d.clone());
+            if let Ok(delta_json) = serde_json::to_string(&delta_record) {
+                if delta_json.len() < full_json.len() {
+                    self.since_full += 1;
+                    chosen = Some((delta_record, delta_json));
                 }
             }
-            _ => {
-                self.since_full = 1;
-                (full_record, full_json)
-            }
-        };
+        }
+        let (record, json) = chosen.unwrap_or_else(|| {
+            self.since_full = 1;
+            (full_record, full_json)
+        });
         self.bytes_stored += json.len();
         if let Err(e) = self.backend.append(&record, &json) {
             self.write_errors += 1;
             self.backend_error = Some(e.to_string());
         }
         self.tail = Some(parts);
+        delta
     }
 
     /// Number of stored records.
@@ -923,6 +937,7 @@ impl ArchiveSpec {
                     Err(e) => {
                         let mut log = TableLog::new(full_every);
                         log.write_errors = 1;
+                        log.fell_back = true;
                         log.backend_error =
                             Some(format!("file archive unavailable, logging to memory: {e}"));
                         log

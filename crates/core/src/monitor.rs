@@ -87,6 +87,10 @@ pub struct RouterHealth {
     pub last_attempt: Option<SimTime>,
     /// Backoff latency added by retries in the latest cycle.
     pub last_latency: SimDuration,
+    /// Whether this router's archive has degraded persistence: the log
+    /// fell back to an in-memory backend (e.g. unwritable archive dir)
+    /// or has recorded write errors.
+    pub archive_degraded: bool,
 }
 
 impl RouterHealth {
@@ -236,19 +240,17 @@ impl Monitor {
     }
 
     /// Threads one captured cycle through the parse → enrich → log →
-    /// analyse stages, folding the totals the artifacts carry.
-    fn drive(&mut self, raw: RawCycle, parallel_parse: bool) -> CycleReport {
+    /// analyse stages, folding the totals the artifacts carry. With
+    /// `parallel` set, every stage fans its per-router bodies across the
+    /// rayon pool (per-router state sharded by interned id); the outputs
+    /// are byte-identical to the serial path.
+    fn drive(&mut self, raw: RawCycle, parallel: bool) -> CycleReport {
         self.cycles += 1;
         for rc in &raw.routers {
             self.collector.successes += rc.stats.successes;
             self.collector.failures += rc.stats.failures;
         }
-        let parsed = self.metrics.run(
-            &mut ParseStage {
-                parallel: parallel_parse,
-            },
-            raw,
-        );
+        let parsed = self.metrics.run(&mut ParseStage { parallel }, raw);
         for pr in &parsed.routers {
             self.parse_totals.merge(pr.parse);
         }
@@ -259,6 +261,7 @@ impl Monitor {
                 session_names: &self.session_names,
                 log_full_every: self.cfg.log_full_every,
                 archive: &self.cfg.archive,
+                parallel,
             };
             self.metrics.run(&mut stage, parsed)
         };
@@ -266,6 +269,7 @@ impl Monitor {
             let mut stage = LogStage {
                 store: &mut self.store,
                 state: &mut self.state,
+                parallel,
             };
             let logged = self.metrics.run(&mut stage, enriched);
             self.metrics.record_archives(&self.state);
@@ -273,11 +277,11 @@ impl Monitor {
         };
         let report = {
             let mut stage = AnalyseStage {
-                store: &mut self.store,
                 state: &mut self.state,
                 threshold: self.cfg.threshold,
                 injection_min_new: self.cfg.injection_min_new,
                 inconsistency: &mut self.inconsistency,
+                parallel,
             };
             self.metrics.run(&mut stage, logged)
         };
@@ -311,6 +315,7 @@ impl Monitor {
                 "latency_s",
                 "last_success",
                 "stale",
+                "archive",
             ],
         );
         for router in &self.cfg.routers {
@@ -333,6 +338,7 @@ impl Monitor {
                         .unwrap_or_else(|| "never".into()),
                 ),
                 Cell::Text(if stale { "STALE" } else { "ok" }.into()),
+                Cell::Text(if h.archive_degraded { "degraded" } else { "ok" }.into()),
             ]);
         }
         table
@@ -363,6 +369,7 @@ impl Monitor {
                 "savings_pct",
                 "fsyncs",
                 "errors",
+                "persistence",
             ],
         );
         for router in &self.cfg.routers {
@@ -379,6 +386,7 @@ impl Monitor {
                 Cell::Num(100.0 * st.log.savings_ratio()),
                 Cell::Num(stats.fsyncs as f64),
                 Cell::Num(st.log.write_errors as f64),
+                Cell::Text(if st.log.fell_back { "degraded" } else { "ok" }.into()),
             ]);
         }
         table
@@ -639,6 +647,14 @@ mod tests {
         for router in ["fixw", "ucsb-gw"] {
             assert_eq!(serial.latest(router), parallel.latest(router));
             assert_eq!(serial.router_health(router), parallel.router_health(router));
+            // The fanned-out Log stage stores the same records: the
+            // archives replay to identical snapshot sequences.
+            assert_eq!(
+                serial.log(router).unwrap().replay(),
+                parallel.log(router).unwrap().replay()
+            );
+            assert_eq!(serial.usage_history(router), parallel.usage_history(router));
+            assert_eq!(serial.churn_history(router), parallel.churn_history(router));
         }
         // Both paths account the same items per stage (wall time differs).
         for kind in StageKind::ALL {

@@ -16,21 +16,22 @@
 //! groups and route keys are interned once and handled as dense `u32` ids
 //! everywhere downstream.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
-use mantra_net::{BitRate, GroupAddr, SimDuration, SimTime};
+use mantra_net::{BitRate, GroupAddr, Ip, SimDuration, SimTime};
 
 use crate::aggregate::ParallelAccess;
 use crate::anomaly::{detect_injection, Anomaly, InconsistencyMonitor, SpikeDetector};
 use crate::archive::ArchiveSpec;
 use crate::collector::{Capture, CollectStats, Collector, RouterAccess};
-use crate::logger::TableLog;
+use crate::logger::{TableDelta, TableLog};
 use crate::longterm::LongTermTracker;
 use crate::monitor::{CycleReport, RouterHealth, SessionAdapter};
 use crate::output::{Cell, Table};
 use crate::processor::{process, ParseStats};
 use crate::stats::{RouteChurn, RouteStats, UsageStats};
-use crate::store::TableStore;
+use crate::stats_stream::IncrementalStats;
+use crate::store::{FxHashMap, TableStore};
 use crate::tables::Tables;
 
 // ----------------------------------------------------------------------
@@ -97,13 +98,27 @@ pub struct EnrichedCycle {
     pub routers: Vec<EnrichedRouter>,
 }
 
+/// One router's archived snapshot, carrying the delta the log computed.
+#[derive(Clone, Debug)]
+pub struct LoggedRouter {
+    /// Dense router id in the shared [`TableStore`].
+    pub id: u32,
+    /// The archived snapshot.
+    pub tables: Tables,
+    /// The delta from the router's previous archived snapshot to this
+    /// one, as computed while appending — `None` only for a log's very
+    /// first record. The Analyse stage folds this instead of re-deriving
+    /// per-cycle change from two full snapshots.
+    pub delta: Option<TableDelta>,
+}
+
 /// Log-stage output: the enriched snapshots, now archived.
 #[derive(Clone, Debug)]
 pub struct LoggedCycle {
     /// Cycle timestamp.
     pub at: SimTime,
     /// Per-router snapshots, in configuration order.
-    pub routers: Vec<EnrichedRouter>,
+    pub routers: Vec<LoggedRouter>,
 }
 
 // ----------------------------------------------------------------------
@@ -169,6 +184,13 @@ pub trait Stage {
     fn sim_latency(&self, _out: &Self::Output) -> SimDuration {
         SimDuration::ZERO
     }
+
+    /// Whether this run fans its per-router bodies across the thread
+    /// pool. Metrics account parallel runs separately so the serial and
+    /// fanned-out costs of a stage stay comparable.
+    fn parallel(&self) -> bool {
+        false
+    }
 }
 
 /// Accumulated accounting for one stage.
@@ -182,6 +204,12 @@ pub struct StageMetrics {
     /// invocation, so "this stage ran" is visible even below timer
     /// resolution.
     pub wall_nanos: u64,
+    /// Invocations that fanned per-router work across the thread pool.
+    pub par_invocations: u64,
+    /// Wall-clock nanoseconds spent in those fanned-out invocations — a
+    /// subset of [`StageMetrics::wall_nanos`], so serial and parallel
+    /// cost per stage can be compared directly.
+    pub par_wall_nanos: u64,
     /// Simulated-time latency accumulated (retry backoff, for Capture).
     pub sim_latency: SimDuration,
 }
@@ -204,6 +232,10 @@ pub struct ArchiveMetrics {
     pub fsyncs: u64,
     /// Appends the backend failed to persist.
     pub write_errors: u64,
+    /// Routers whose requested backend could not be opened and whose log
+    /// silently degraded to an in-memory archive — persistence the
+    /// operator configured is not happening for these.
+    pub fallbacks: u64,
 }
 
 /// The per-stage metrics registry: one [`StageMetrics`] per [`StageKind`],
@@ -219,10 +251,15 @@ impl PipelineMetrics {
     pub fn run<S: Stage>(&mut self, stage: &mut S, input: S::Input) -> S::Output {
         let t = std::time::Instant::now();
         let out = stage.run(input);
+        let elapsed = (t.elapsed().as_nanos() as u64).max(1);
         let m = &mut self.stages[stage.kind() as usize];
         m.invocations += 1;
         m.items += stage.items(&out);
-        m.wall_nanos += (t.elapsed().as_nanos() as u64).max(1);
+        m.wall_nanos += elapsed;
+        if stage.parallel() {
+            m.par_invocations += 1;
+            m.par_wall_nanos += elapsed;
+        }
         m.sim_latency += stage.sim_latency(&out);
         out
     }
@@ -256,6 +293,7 @@ impl PipelineMetrics {
             m.bytes += stats.bytes;
             m.fsyncs += stats.fsyncs;
             m.write_errors += st.log.write_errors;
+            m.fallbacks += u64::from(st.log.fell_back);
         }
         self.archives = agg;
     }
@@ -269,15 +307,25 @@ impl PipelineMetrics {
     pub fn table(&self) -> Table {
         let mut table = Table::new(
             "Pipeline stages",
-            vec!["stage", "invocations", "items", "wall_ms", "sim_latency_s"],
+            vec![
+                "stage",
+                "invocations",
+                "par_runs",
+                "items",
+                "wall_ms",
+                "par_ms",
+                "sim_latency_s",
+            ],
         );
         for kind in StageKind::ALL {
             let m = self.stage(kind);
             table.push_row(vec![
                 Cell::Text(kind.as_str().into()),
                 Cell::Num(m.invocations as f64),
+                Cell::Num(m.par_invocations as f64),
                 Cell::Num(m.items as f64),
                 Cell::Num(m.wall_nanos as f64 / 1e6),
+                Cell::Num(m.par_wall_nanos as f64 / 1e6),
                 Cell::Num(m.sim_latency.as_secs() as f64),
             ]);
         }
@@ -313,9 +361,14 @@ pub struct RouterState {
     pub health: RouterHealth,
     /// Route-count spike detector.
     pub detector: SpikeDetector,
-    /// Running `(sum_bps, samples)` per interned `(group, source)` pair,
-    /// for the Pair table's average-bandwidth column.
-    pub avg_bw: HashMap<u32, (u64, u64)>,
+    /// Streaming statistics accumulators, advanced by each cycle's delta
+    /// — the O(churn) replacement for per-cycle full-snapshot passes.
+    pub stream: IncrementalStats,
+    /// Running `(sum_bps, samples)` per `(group, source)` pair, for the
+    /// Pair table's average-bandwidth column. Keyed by address rather
+    /// than interned id so the enrich fan-out never touches the shared
+    /// (serial) interner.
+    pub avg_bw: FxHashMap<(GroupAddr, Ip), (u64, u64)>,
     /// Archive size after each cycle, `(cycle time, stored bytes)` — the
     /// growth curve the HTML report charts.
     pub archive_growth: Vec<(SimTime, u64)>,
@@ -335,9 +388,72 @@ impl RouterState {
             longterm: LongTermTracker::default(),
             health: RouterHealth::default(),
             detector: SpikeDetector::new(32, 8.0, 100.0),
-            avg_bw: HashMap::new(),
+            stream: IncrementalStats::default(),
+            avg_bw: FxHashMap::default(),
             archive_growth: Vec::new(),
         }
+    }
+}
+
+/// Whether every id is in-bounds for `len` states and distinct — the
+/// precondition for handing out one exclusive state reference per cycle
+/// router. Duplicates can only arise from a degenerate configuration
+/// (the same router listed twice in one cycle); those cycles fall back
+/// to the serial path, where aliasing is naturally sequential.
+fn ids_are_distinct(len: usize, ids: impl Iterator<Item = u32>) -> bool {
+    let mut seen = vec![false; len];
+    for id in ids {
+        match seen.get_mut(id as usize) {
+            Some(s) if !*s => *s = true,
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Exclusive references to the cycle routers' states, aligned with
+/// `ids`. Callers must have checked [`ids_are_distinct`] first.
+fn state_refs<'a>(
+    state: &'a mut [RouterState],
+    ids: impl Iterator<Item = u32>,
+) -> Vec<&'a mut RouterState> {
+    let mut slots: Vec<Option<&'a mut RouterState>> = state.iter_mut().map(Some).collect();
+    ids.map(|id| {
+        slots[id as usize]
+            .take()
+            .expect("ids checked distinct and in bounds")
+    })
+    .collect()
+}
+
+/// Runs `body` once per work item against that item's router state — the
+/// per-router fan-out shape shared by the Enrich and Analyse stages.
+/// When `parallel` is set and every item maps to a distinct state slot,
+/// the bodies run concurrently on the thread pool (each state is visited
+/// by exactly one worker, sharded behind its interned id); otherwise
+/// they run serially. Either way results come back in item order and
+/// every state mutation is identical, so the two paths are
+/// byte-equivalent.
+fn run_sharded<W, R>(
+    parallel: bool,
+    state: &mut [RouterState],
+    work: &mut [W],
+    id_of: impl Fn(&W) -> u32,
+    body: impl Fn(&mut RouterState, &mut W) -> R + Sync,
+) -> Vec<R>
+where
+    W: Send,
+    R: Send,
+{
+    if parallel && ids_are_distinct(state.len(), work.iter().map(&id_of)) {
+        let refs = state_refs(state, work.iter().map(&id_of));
+        let mut items: Vec<(&mut RouterState, &mut W)> =
+            refs.into_iter().zip(work.iter_mut()).collect();
+        rayon::parallel_map_mut(&mut items, |item| body(&mut *item.0, &mut *item.1))
+    } else {
+        work.iter_mut()
+            .map(|w| body(&mut state[id_of(w) as usize], w))
+            .collect()
     }
 }
 
@@ -462,6 +578,10 @@ impl<P: ParallelAccess> Stage for ParallelCaptureStage<'_, P> {
     fn sim_latency(&self, out: &RawCycle) -> SimDuration {
         capture_latency(out)
     }
+
+    fn parallel(&self) -> bool {
+        true
+    }
 }
 
 /// Text to table snapshots. Pure per router, so the parallel monitor path
@@ -508,11 +628,34 @@ impl Stage for ParseStage {
             })
             .sum()
     }
+
+    fn parallel(&self) -> bool {
+        self.parallel
+    }
+}
+
+/// One router's enrichment body: folds per-pair running bandwidth
+/// averages into the router's state and overlays externally learned
+/// session names. Touches only this router's state, so the stage can
+/// fan bodies out per router.
+fn enrich_router(st: &mut RouterState, tables: &mut Tables, names: &BTreeMap<GroupAddr, String>) {
+    for ((g, s), pair) in tables.pairs.iter_mut() {
+        let e = st.avg_bw.entry((*g, *s)).or_insert((0, 0));
+        e.0 += pair.current_bw.bps();
+        e.1 += 1;
+        pair.avg_bw = BitRate(e.0 / e.1);
+    }
+    for (g, s) in tables.sessions.iter_mut() {
+        if let Some(name) = names.get(g) {
+            s.name = Some(name.clone());
+        }
+    }
 }
 
 /// Stateful enrichment: interns the router, records collection health,
 /// folds per-pair running bandwidth averages and overlays externally
-/// learned session names.
+/// learned session names. Interning and state creation are a short
+/// serial prologue; the per-router fold fans out.
 pub struct EnrichStage<'a> {
     /// The shared interning store.
     pub store: &'a mut TableStore,
@@ -524,6 +667,8 @@ pub struct EnrichStage<'a> {
     pub log_full_every: usize,
     /// Archive backend selection for freshly seen routers.
     pub archive: &'a ArchiveSpec,
+    /// Whether to fan the per-router bodies across the thread pool.
+    pub parallel: bool,
 }
 
 impl Stage for EnrichStage<'_> {
@@ -536,54 +681,73 @@ impl Stage for EnrichStage<'_> {
 
     fn run(&mut self, parsed: ParsedCycle) -> EnrichedCycle {
         let at = parsed.at;
-        let routers = parsed
-            .routers
-            .into_iter()
-            .map(|pr| {
-                let ParsedRouter {
-                    router,
-                    mut tables,
-                    stats,
-                    ..
-                } = pr;
-                let id = self.store.routers.intern(&router);
-                if id as usize == self.state.len() {
-                    self.state
-                        .push(RouterState::new(router, self.log_full_every, self.archive));
+        // Serial prologue: the router interner and the state vector are
+        // shared across routers, so ids and fresh state slots are
+        // assigned in configuration order before any fan-out.
+        let mut work: Vec<(u32, Tables)> = Vec::with_capacity(parsed.routers.len());
+        for pr in parsed.routers {
+            let ParsedRouter {
+                router,
+                tables,
+                stats,
+                ..
+            } = pr;
+            let id = self.store.routers.intern(&router);
+            if id as usize == self.state.len() {
+                self.state
+                    .push(RouterState::new(router, self.log_full_every, self.archive));
+            }
+            self.state[id as usize].health.record(&stats, at);
+            work.push((id, tables));
+        }
+        let names = self.session_names;
+        let routers = run_sharded(
+            self.parallel,
+            self.state,
+            &mut work,
+            |w| w.0,
+            |st, (id, tables)| {
+                enrich_router(st, tables, names);
+                EnrichedRouter {
+                    id: *id,
+                    tables: std::mem::take(tables),
                 }
-                let st = &mut self.state[id as usize];
-                st.health.record(&stats, at);
-                for ((g, s), pair) in tables.pairs.iter_mut() {
-                    let pid = self.store.pairs.intern(&(*g, *s));
-                    let e = st.avg_bw.entry(pid).or_insert((0, 0));
-                    e.0 += pair.current_bw.bps();
-                    e.1 += 1;
-                    pair.avg_bw = BitRate(e.0 / e.1);
-                }
-                for (g, s) in tables.sessions.iter_mut() {
-                    if let Some(name) = self.session_names.get(g) {
-                        s.name = Some(name.clone());
-                    }
-                }
-                EnrichedRouter { id, tables }
-            })
-            .collect();
+            },
+        );
         EnrichedCycle { at, routers }
     }
 
     fn items(&self, out: &EnrichedCycle) -> u64 {
         out.routers.len() as u64
     }
+
+    fn parallel(&self) -> bool {
+        self.parallel
+    }
+}
+
+/// The post-append tail of one router's Log body: growth curve,
+/// long-term trackers and the persistence-degradation health flag.
+fn finish_log(st: &mut RouterState, at: SimTime, tables: &Tables) {
+    st.archive_growth.push((at, st.log.bytes_stored as u64));
+    st.longterm.observe(tables);
+    // Surface silent archive degradation (memory fallback, failed
+    // appends) where operators look: the health registry.
+    st.health.archive_degraded = st.log.fell_back || st.log.write_errors > 0;
 }
 
 /// Archival: appends each snapshot to its router's delta log (before any
 /// analysis, so archives store exactly what was observed) and feeds the
-/// long-term trackers.
+/// long-term trackers. The computed delta rides along on the output for
+/// the Analyse stage to fold.
 pub struct LogStage<'a> {
-    /// The shared interning store (delta diffing runs through it).
+    /// The shared interning store (serial-path delta diffing runs
+    /// through it).
     pub store: &'a mut TableStore,
     /// Per-router state, indexed by interned router id.
     pub state: &'a mut Vec<RouterState>,
+    /// Whether to fan the per-router bodies across the thread pool.
+    pub parallel: bool,
 }
 
 impl Stage for LogStage<'_> {
@@ -595,30 +759,116 @@ impl Stage for LogStage<'_> {
     }
 
     fn run(&mut self, cycle: EnrichedCycle) -> LoggedCycle {
-        for er in &cycle.routers {
-            let st = &mut self.state[er.id as usize];
-            st.log.append_with(self.store, &er.tables);
-            st.archive_growth
-                .push((cycle.at, st.log.bytes_stored as u64));
-            st.longterm.observe(&er.tables);
-        }
-        LoggedCycle {
-            at: cycle.at,
-            routers: cycle.routers,
-        }
+        let at = cycle.at;
+        let mut work = cycle.routers;
+        let fan_out =
+            self.parallel && ids_are_distinct(self.state.len(), work.iter().map(|er| er.id));
+        let routers: Vec<LoggedRouter> = if fan_out {
+            let refs = state_refs(self.state, work.iter().map(|er| er.id));
+            let mut items: Vec<(&mut RouterState, &mut EnrichedRouter)> =
+                refs.into_iter().zip(work.iter_mut()).collect();
+            rayon::parallel_map_mut(&mut items, |item| {
+                let (st, er) = (&mut *item.0, &mut *item.1);
+                // Each log diffs through its own scratch interner here:
+                // the shared store is a serial resource, and deltas are
+                // store-independent (property-tested), so the archived
+                // bytes are identical to the serial path's.
+                let delta = st.log.append(&er.tables);
+                finish_log(st, at, &er.tables);
+                LoggedRouter {
+                    id: er.id,
+                    tables: std::mem::take(&mut er.tables),
+                    delta,
+                }
+            })
+        } else {
+            work.into_iter()
+                .map(|er| {
+                    let st = &mut self.state[er.id as usize];
+                    let delta = st.log.append_with(self.store, &er.tables);
+                    finish_log(st, at, &er.tables);
+                    LoggedRouter {
+                        id: er.id,
+                        tables: er.tables,
+                        delta,
+                    }
+                })
+                .collect()
+        };
+        LoggedCycle { at, routers }
     }
 
     fn items(&self, out: &LoggedCycle) -> u64 {
         out.routers.len() as u64
     }
+
+    fn parallel(&self) -> bool {
+        self.parallel
+    }
 }
 
-/// Analysis: per-router statistics and anomaly detectors in configuration
-/// order, then cross-router consistency checks, producing the cycle
-/// report. Consumes the snapshots into each router's `prev` slot.
+/// One router's analysis body: advance the streaming accumulators (fold
+/// the logged delta, or reseed from the full snapshot on first sight),
+/// assemble this cycle's statistics and run the single-router anomaly
+/// detectors. Touches only this router's state, so the stage fans bodies
+/// out per router.
+fn analyse_router(
+    st: &mut RouterState,
+    lr: &LoggedRouter,
+    now: SimTime,
+    threshold: BitRate,
+    injection_min_new: usize,
+) -> (String, UsageStats, RouteStats, Vec<Anomaly>) {
+    // O(delta) path: fold the delta the Log stage already computed. A
+    // router's first cycle (or a delta-less append, e.g. an archive
+    // reopened from disk) reseeds from the full snapshot — the O(table)
+    // fallback, after which folding resumes.
+    let changes = match (&lr.delta, st.stream.is_seeded()) {
+        (Some(d), true) => Some(st.stream.fold(d)),
+        _ => {
+            st.stream.reseed(&lr.tables, threshold);
+            None
+        }
+    };
+    let usage = st.stream.usage();
+    let routes = st.stream.route_stats();
+    let mut anomalies = Vec::new();
+    if let Some(kind) = st.detector.observe(routes.dvmrp_reachable as f64) {
+        anomalies.push(Anomaly {
+            at: now,
+            router: st.name.clone(),
+            peer: None,
+            kind,
+        });
+    }
+    if let Some(prev) = &st.prev {
+        let (churn, injection) = match &changes {
+            Some(c) => (c.churn, c.injection(injection_min_new)),
+            None => (
+                RouteChurn::between(prev, &lr.tables),
+                detect_injection(prev, &lr.tables, injection_min_new),
+            ),
+        };
+        st.churn.push((now, churn));
+        if let Some(kind) = injection {
+            anomalies.push(Anomaly {
+                at: now,
+                router: st.name.clone(),
+                peer: None,
+                kind,
+            });
+        }
+    }
+    st.usage.push(usage.clone());
+    st.routes.push(routes.clone());
+    (st.name.clone(), usage, routes, anomalies)
+}
+
+/// Analysis: per-router statistics and anomaly detectors (fanned out per
+/// router), then cross-router consistency checks as a serial barrier
+/// after the join, producing the cycle report. Consumes the snapshots
+/// into each router's `prev` slot.
 pub struct AnalyseStage<'a> {
-    /// The shared interning store (distinct counting runs through it).
-    pub store: &'a mut TableStore,
     /// Per-router state, indexed by interned router id.
     pub state: &'a mut Vec<RouterState>,
     /// Sender classification threshold.
@@ -627,6 +877,8 @@ pub struct AnalyseStage<'a> {
     pub injection_min_new: usize,
     /// Cross-router consistency monitor.
     pub inconsistency: &'a mut InconsistencyMonitor,
+    /// Whether to fan the per-router bodies across the thread pool.
+    pub parallel: bool,
 }
 
 impl Stage for AnalyseStage<'_> {
@@ -639,60 +891,57 @@ impl Stage for AnalyseStage<'_> {
 
     fn run(&mut self, cycle: LoggedCycle) -> CycleReport {
         let now = cycle.at;
+        let threshold = self.threshold;
+        let injection_min_new = self.injection_min_new;
+        let mut work = cycle.routers;
+        let per = run_sharded(
+            self.parallel,
+            self.state,
+            &mut work,
+            |lr| lr.id,
+            |st, lr| analyse_router(st, lr, now, threshold, injection_min_new),
+        );
         let mut report = CycleReport {
             at: now,
-            per_router: Vec::new(),
+            per_router: Vec::with_capacity(per.len()),
             anomalies: Vec::new(),
         };
-        for er in &cycle.routers {
-            let usage = UsageStats::from_tables_with(self.store, &er.tables, self.threshold);
-            let routes = RouteStats::from_tables(&er.tables);
-            let st = &mut self.state[er.id as usize];
-            if let Some(kind) = st.detector.observe(routes.dvmrp_reachable as f64) {
-                report.anomalies.push(Anomaly {
-                    at: now,
-                    router: st.name.clone(),
-                    kind,
-                });
-            }
-            if let Some(prev) = &st.prev {
-                st.churn.push((now, RouteChurn::between(prev, &er.tables)));
-                if let Some(kind) = detect_injection(prev, &er.tables, self.injection_min_new) {
-                    report.anomalies.push(Anomaly {
-                        at: now,
-                        router: st.name.clone(),
-                        kind,
-                    });
-                }
-            }
-            st.usage.push(usage.clone());
-            st.routes.push(routes.clone());
-            report.per_router.push((st.name.clone(), usage, routes));
+        for (name, usage, routes, anomalies) in per {
+            report.anomalies.extend(anomalies);
+            report.per_router.push((name, usage, routes));
         }
-        // Cross-router consistency, every pair once.
-        for i in 0..cycle.routers.len() {
-            for j in (i + 1)..cycle.routers.len() {
-                if let Some((_, kind)) = self
-                    .inconsistency
-                    .check(&cycle.routers[i].tables, &cycle.routers[j].tables)
+        // Cross-router consistency, every pair once — a serial barrier
+        // after the join: the O(n²) sweep needs every pair of snapshots
+        // at once. Both routers are named: the anomaly attributes to the
+        // first and records the second as the peer, instead of blaming
+        // whichever router happened to come first in configuration order
+        // without saying who it diverged from.
+        for i in 0..work.len() {
+            for j in (i + 1)..work.len() {
+                if let Some((_, kind)) = self.inconsistency.check(&work[i].tables, &work[j].tables)
                 {
                     report.anomalies.push(Anomaly {
                         at: now,
-                        router: cycle.routers[i].tables.router.clone(),
+                        router: work[i].tables.router.clone(),
+                        peer: Some(work[j].tables.router.clone()),
                         kind,
                     });
                 }
             }
         }
         // The snapshots become next cycle's baselines — moved, not cloned.
-        for er in cycle.routers {
-            self.state[er.id as usize].prev = Some(er.tables);
+        for lr in work {
+            self.state[lr.id as usize].prev = Some(lr.tables);
         }
         report
     }
 
     fn items(&self, out: &CycleReport) -> u64 {
         out.per_router.len() as u64
+    }
+
+    fn parallel(&self) -> bool {
+        self.parallel
     }
 }
 
@@ -727,6 +976,23 @@ mod tests {
                 SimDuration::secs(3)
             }
         }
+        struct ParDoubler;
+        impl Stage for ParDoubler {
+            type Input = u64;
+            type Output = u64;
+            fn kind(&self) -> StageKind {
+                StageKind::Parse
+            }
+            fn run(&mut self, input: u64) -> u64 {
+                input * 2
+            }
+            fn items(&self, out: &u64) -> u64 {
+                *out
+            }
+            fn parallel(&self) -> bool {
+                true
+            }
+        }
         let mut metrics = PipelineMetrics::default();
         assert_eq!(metrics.run(&mut Doubler, 5), 10);
         assert_eq!(metrics.run(&mut Doubler, 1), 2);
@@ -735,7 +1001,16 @@ mod tests {
         assert_eq!(m.items, 12);
         assert!(m.wall_nanos >= 2, "at least one nano per invocation");
         assert_eq!(m.sim_latency, SimDuration::secs(6));
+        // Serial stages leave the parallel counters untouched…
+        assert_eq!(m.par_invocations, 0);
+        assert_eq!(m.par_wall_nanos, 0);
         assert_eq!(*metrics.stage(StageKind::Capture), StageMetrics::default());
+        // …while a fanned-out run books its wall time in both channels.
+        assert_eq!(metrics.run(&mut ParDoubler, 3), 6);
+        let m = metrics.stage(StageKind::Parse);
+        assert_eq!(m.invocations, 3);
+        assert_eq!(m.par_invocations, 1);
+        assert!(m.par_wall_nanos >= 1 && m.par_wall_nanos <= m.wall_nanos);
         // And the table renders one row per stage.
         assert_eq!(metrics.table().rows.len(), StageKind::ALL.len());
     }

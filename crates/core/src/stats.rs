@@ -326,6 +326,11 @@ pub struct Series {
     pub name: String,
     /// `(time, value)` points in time order.
     pub points: Vec<(SimTime, f64)>,
+    /// Points that arrived out of time order and had to be sorted in.
+    /// `window()`, `median()` and delta plots all assume time order, so a
+    /// violation is repaired (sorted insert) and counted rather than left
+    /// to silently corrupt them.
+    pub out_of_order: u64,
 }
 
 impl Series {
@@ -334,13 +339,28 @@ impl Series {
         Series {
             name: name.into(),
             points: Vec::new(),
+            out_of_order: 0,
         }
     }
 
-    /// Appends a point (times must be non-decreasing).
-    pub fn push(&mut self, at: SimTime, value: f64) {
-        debug_assert!(self.points.last().map(|(t, _)| *t <= at).unwrap_or(true));
-        self.points.push((at, value));
+    /// Appends a point. Times are expected non-decreasing; a point older
+    /// than the current tail is sorted into place (after any points with
+    /// the same timestamp, preserving arrival order among equals) and
+    /// counted in [`Series::out_of_order`]. Returns `true` when the point
+    /// was in order, `false` when it had to be repaired.
+    pub fn push(&mut self, at: SimTime, value: f64) -> bool {
+        match self.points.last() {
+            Some((t, _)) if *t > at => {
+                self.out_of_order += 1;
+                let idx = self.points.partition_point(|(t, _)| *t <= at);
+                self.points.insert(idx, (at, value));
+                false
+            }
+            _ => {
+                self.points.push((at, value));
+                true
+            }
+        }
     }
 
     /// Number of points.
@@ -417,6 +437,7 @@ impl Series {
                 .copied()
                 .filter(|(t, _)| *t >= from && *t <= to)
                 .collect(),
+            out_of_order: self.out_of_order,
         }
     }
 }
@@ -607,6 +628,34 @@ mod tests {
         assert_eq!(s.min().unwrap().1, 2.0);
         let w = s.window(SimTime(t0().as_secs() + 2), SimTime(t0().as_secs() + 4));
         assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn series_repairs_out_of_order_points() {
+        let mut s = Series::new("routes");
+        assert!(s.push(SimTime(100), 1.0));
+        assert!(s.push(SimTime(300), 3.0));
+        // A late point is sorted into place and counted, not appended.
+        assert!(!s.push(SimTime(200), 2.0));
+        assert_eq!(s.out_of_order, 1);
+        let times: Vec<u64> = s.points.iter().map(|(t, _)| t.as_secs()).collect();
+        assert_eq!(times, vec![100, 200, 300]);
+        // Window and median see the repaired order.
+        assert_eq!(s.window(SimTime(150), SimTime(250)).len(), 1);
+        assert!((s.median() - 2.0).abs() < 1e-9);
+        // Equal timestamps keep arrival order and do not count as
+        // violations.
+        assert!(s.push(SimTime(300), 4.0));
+        assert_eq!(s.out_of_order, 1);
+        // A late duplicate timestamp lands after its equals.
+        assert!(!s.push(SimTime(200), 2.5));
+        assert_eq!(
+            s.points
+                .iter()
+                .map(|(t, v)| (t.as_secs(), *v))
+                .collect::<Vec<_>>(),
+            vec![(100, 1.0), (200, 2.0), (200, 2.5), (300, 3.0), (300, 4.0)]
+        );
     }
 
     #[test]

@@ -203,6 +203,17 @@ pub fn report_html(monitor: &Monitor, router: &str) -> String {
         monitor.capture_failures(),
         monitor.anomalies.len()
     );
+    let archives = monitor.pipeline().archives();
+    let fallbacks: u64 = archives.iter().map(|a| a.fallbacks).sum();
+    let write_errors: u64 = archives.iter().map(|a| a.write_errors).sum();
+    if fallbacks > 0 || write_errors > 0 {
+        let _ = writeln!(
+            out,
+            "<p><strong>Degraded persistence:</strong> {fallbacks} archive(s) fell back to \
+             in-memory storage and {write_errors} write error(s) were recorded — data on the \
+             affected routers will not survive a restart.</p>"
+        );
+    }
     let _ = writeln!(out, "{}", graph_svg(&monitor.usage_graph(router), 860, 300));
     let mut routes = Graph::new(format!("DVMRP routes at {router}"));
     routes.overlay(monitor.route_series(router, "dvmrp-routes", |r| r.dvmrp_reachable as f64));
@@ -313,5 +324,59 @@ mod tests {
         assert!(html.contains("route stability"));
         assert!(html.contains("Pipeline stages"));
         assert!(html.contains("Archives"));
+        // Healthy archives raise no persistence warning.
+        assert!(!html.contains("Degraded persistence"));
+    }
+
+    #[test]
+    fn unwritable_archive_dir_surfaces_degraded_persistence() {
+        use crate::archive::ArchiveSpec;
+        use crate::collector::SimAccess;
+        use crate::output::Cell;
+        use crate::{Monitor, MonitorConfig};
+        let mut sc = mantra_sim::Scenario::transition_snapshot(42, 0.2);
+        // A path under a regular file can never become a directory, so
+        // every router's archive falls back to the in-memory backend.
+        let bogus = std::env::temp_dir().join(format!("mantra-web-flat-{}", std::process::id()));
+        std::fs::write(&bogus, b"not a dir").unwrap();
+        let mut monitor = Monitor::new(MonitorConfig {
+            routers: vec!["fixw".into()],
+            interval: sc.sim.tick(),
+            archive: ArchiveSpec::File {
+                dir: bogus.join("archives"),
+                fsync_every: 0,
+            },
+            ..MonitorConfig::default()
+        });
+        for _ in 0..3 {
+            let next = sc.sim.clock + monitor.cfg.interval;
+            sc.sim.advance_to(next);
+            let mut access = SimAccess::new(&sc.sim);
+            monitor.run_cycle(&mut access, next);
+        }
+        // Monitoring kept going on the fallback backend…
+        assert_eq!(monitor.usage_history("fixw").len(), 3);
+        assert_eq!(monitor.log("fixw").unwrap().replay().len(), 3);
+        // …and the degradation is visible everywhere an operator looks:
+        // the aggregated archive metrics,
+        let archives = monitor.pipeline().archives();
+        assert!(archives.iter().any(|a| a.fallbacks > 0), "{archives:?}");
+        // the per-router health registry and table,
+        assert!(monitor.router_health("fixw").unwrap().archive_degraded);
+        let health = monitor.health(sc.sim.clock);
+        let col = health.columns.iter().position(|c| c == "archive").unwrap();
+        assert_eq!(health.rows[0][col], Cell::Text("degraded".into()));
+        // the archive table,
+        let table = monitor.archive_table();
+        let col = table
+            .columns
+            .iter()
+            .position(|c| c == "persistence")
+            .unwrap();
+        assert_eq!(table.rows[0][col], Cell::Text("degraded".into()));
+        // and the HTML report.
+        let html = report_html(&monitor, "fixw");
+        assert!(html.contains("Degraded persistence"));
+        std::fs::remove_file(&bogus).unwrap();
     }
 }

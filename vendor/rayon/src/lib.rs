@@ -91,6 +91,38 @@ where
     })
 }
 
+/// Maps `f` over `items` through exclusive references on scoped threads,
+/// preserving input order — the fan-out shape for per-item mutable state
+/// (each item is visited by exactly one worker, so no synchronisation is
+/// needed around the mutation).
+pub fn parallel_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut T) -> R + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.iter_mut().map(&f).collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    let chunk = n.div_ceil(workers);
+    let fr = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk)
+            .map(|part| scope.spawn(move || part.iter_mut().map(fr).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rayon worker panicked"))
+            .collect()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -100,6 +132,17 @@ mod tests {
         let xs: Vec<u64> = (0..1000).collect();
         let doubled: Vec<u64> = xs.par_iter().map(|x| x * 2).collect();
         assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mutable_map_preserves_order_and_mutates() {
+        let mut xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = crate::parallel_map_mut(&mut xs, |x| {
+            *x += 1;
+            *x * 2
+        });
+        assert_eq!(xs, (1..=1000).collect::<Vec<_>>());
+        assert_eq!(doubled, (1..=1000).map(|x| x * 2).collect::<Vec<_>>());
     }
 
     #[test]
