@@ -11,15 +11,17 @@
 //! * `ablation_interning_*` — BTreeMap-keyed reference delta diffing vs
 //!   the interned [`TableStore`] merge-join on a 50-router × 96-cycle
 //!   day of snapshots,
-//! * `ablation_archive_*` — memory vs on-disk archive backend: write a
-//!   50-router × 96-cycle day through each and stream it back.
+//! * `ablation_archive_*` — memory vs on-disk archive backends (MANTRARC
+//!   v1 JSON payloads vs v2 id-keyed records): write a 50-router ×
+//!   96-cycle day through each, stream it back, and compare bytes on
+//!   disk.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use mantra_bench::{drive_for, monitor_for};
 use mantra_core::aggregate::{collect_aggregate, collect_aggregate_sequential};
-use mantra_core::archive::FileBackend;
+use mantra_core::archive::{FileBackend, FileBackendV2};
 use mantra_core::logger::{diff_reference, diff_with, SnapshotParts, TableDelta, TableLog};
 use mantra_core::stats::{RouteStats, UsageStats};
 use mantra_core::stats_stream::IncrementalStats;
@@ -283,7 +285,7 @@ fn ablation_archive(c: &mut Criterion) {
             black_box(snapshots)
         })
     });
-    group.bench_function("file_write_replay", |b| {
+    group.bench_function("file_v1_write_replay", |b| {
         b.iter(|| {
             let mut snapshots = 0usize;
             for (r, stream) in streams.iter().enumerate() {
@@ -299,24 +301,51 @@ fn ablation_archive(c: &mut Criterion) {
             black_box(snapshots)
         })
     });
+    group.bench_function("file_v2_write_replay", |b| {
+        b.iter(|| {
+            let mut snapshots = 0usize;
+            for (r, stream) in streams.iter().enumerate() {
+                let path = dir.join(format!("r{r}-v2.marc"));
+                let backend = FileBackendV2::create(&path).expect("create archive");
+                let mut log = TableLog::with_backend(Box::new(backend), 96);
+                for s in stream {
+                    log.append(s);
+                }
+                assert!(log.backend_error().is_none());
+                snapshots += log.replay_iter().filter(|t| t.is_ok()).count();
+            }
+            black_box(snapshots)
+        })
+    });
     group.finish();
 
-    // Storage accounting for one router-day, printed once.
-    let mut mem = TableLog::new(96);
-    let path = dir.join("report.marc");
-    let backend = FileBackend::create(&path).expect("create archive");
-    let mut file = TableLog::with_backend(Box::new(backend), 96);
-    for s in &streams[0] {
-        mem.append(s);
-        file.append(s);
+    // Bytes-on-disk across the whole fleet-day, printed once: the v2
+    // id-keyed encoding must land strictly below v1's JSON payloads.
+    let (mut mem_b, mut v1_b, mut v2_b) = (0u64, 0u64, 0u64);
+    for (r, stream) in streams.iter().enumerate() {
+        let mut mem = TableLog::new(96);
+        let v1 = FileBackend::create(dir.join(format!("acct-{r}-v1.marc"))).expect("v1");
+        let mut v1 = TableLog::with_backend(Box::new(v1), 96);
+        let v2 = FileBackendV2::create(dir.join(format!("acct-{r}-v2.marc"))).expect("v2");
+        let mut v2 = TableLog::with_backend(Box::new(v2), 96);
+        for s in stream {
+            mem.append(s);
+            v1.append(s);
+            v2.append(s);
+        }
+        mem_b += mem.bytes_stored as u64;
+        v1_b += v1.archive_stats().bytes;
+        v2_b += v2.archive_stats().bytes;
     }
-    let fs = file.archive_stats();
-    println!(
-        "[ablation_archive] one router-day: payload={}B frames={}B \
-         ({} records, {} checkpoints, {} fsyncs)",
-        mem.bytes_stored, fs.bytes, fs.records, fs.checkpoints, fs.fsyncs
+    assert!(
+        v2_b < v1_b,
+        "v2 must be smaller on disk: v2={v2_b}B v1={v1_b}B"
     );
-    drop(file);
+    println!(
+        "[ablation_archive] fleet-day on disk: json-payload={mem_b}B v1-frames={v1_b}B \
+         v2-frames={v2_b}B (v2/v1 = {:.1}%)",
+        100.0 * v2_b as f64 / v1_b as f64
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -2,11 +2,11 @@
 
 use std::path::{Path, PathBuf};
 
-use mantra_core::archive::{replay_summary_line, FORMAT_VERSION};
+use mantra_core::archive::replay_summary_line;
 use mantra_core::collector::{FlakyAccess, SimAccess};
-use mantra_core::logger::TableLog;
-use mantra_core::{ArchiveSpec, FileBackend, Monitor, MonitorConfig, RetryPolicy};
-use mantra_net::SimDuration;
+use mantra_core::logger::{compact_archive, CompactOptions, TableLog};
+use mantra_core::{ArchiveSpec, Monitor, MonitorConfig, RetryPolicy, SyncPolicy};
+use mantra_net::{SimDuration, SimTime};
 use mantra_sim::Scenario;
 
 use crate::args::Opts;
@@ -17,13 +17,14 @@ mantra — router-based multicast monitoring (simulated 1998-2000 internetwork)
 
 USAGE:
   mantra monitor  [--seed N] [--native F] [--hours H] [--loss P] [--html FILE]
-                  [--archive-dir DIR]
+                  [--archive-dir DIR] [--fsync-every N] [--fsync-bytes B]
   mantra health   [--seed N] [--native F] [--hours H] [--fail P] [--truncate P]
                   [--retries N]
   mantra incident [--seed N]
   mantra archive  info    --path FILE
   mantra archive  replay  --path FILE
   mantra archive  compact --path FILE --out FILE [--full-every N]
+                  [--drop-before TS]
   mantra mwatch   [--seed N] [--native F]
   mantra mtrace   [--seed N] [--native F]
   mantra snmpwalk [--seed N] [--native F] [--oid OID] [--community STR]
@@ -35,9 +36,13 @@ OPTIONS:
   --loss P        DVMRP report loss probability (default 0.02)
   --html FILE     also write an HTML report
   --archive-dir DIR  persist per-router table logs as .marc archives in DIR
+  --fsync-every N batch fsync: sync after every N appends (0 = checkpoints only)
+  --fsync-bytes B batch fsync: sync after B unsynced bytes (0 = checkpoints only)
   --path FILE     archive to inspect (.marc binary or legacy .jsonl)
   --out FILE      destination archive for `archive compact`
   --full-every N  full-snapshot checkpoint cadence when rewriting (default 96)
+  --drop-before TS  compaction: drop snapshots captured before TS — either raw
+                  Unix seconds or ISO `YYYY-MM-DD[THH:MM:SS]`
   --fail P        injected login-failure probability (default 0.2)
   --truncate P    injected truncation probability (default 0.1)
   --retries N     capture attempts per table per cycle (default 3)
@@ -69,7 +74,11 @@ pub fn monitor(opts: &Opts) -> Result<(), String> {
     let archive = match &archive_dir {
         Some(dir) => ArchiveSpec::File {
             dir: dir.clone(),
-            fsync_every: 0,
+            sync: SyncPolicy {
+                on_checkpoint: true,
+                every_records: opts.u64_or("fsync-every", 0)? as usize,
+                every_bytes: opts.u64_or("fsync-bytes", 0)?,
+            },
         },
         None => ArchiveSpec::Memory,
     };
@@ -150,12 +159,20 @@ fn archive_info(opts: &Opts) -> Result<(), String> {
     let path = required_path(opts, "path")?;
     let log = load_archive(path, opts.u64_or("full-every", 96)? as usize)?;
     let stats = log.archive_stats();
-    let format = match log.backend_kind() {
-        "file" => format!("MANTRARC v{FORMAT_VERSION} (binary, length-prefixed)"),
-        _ => "JSON-lines (legacy)".to_string(),
+    let info = log.describe();
+    let format = match info.format_version {
+        0 => "JSON-lines (legacy)".to_string(),
+        1 => "MANTRARC v1 (binary, length-prefixed, JSON payloads)".to_string(),
+        v => format!("MANTRARC v{v} (binary, id-keyed, embedded dictionary)"),
     };
     println!("archive:     {}", path.display());
     println!("format:      {format}");
+    if info.format_version >= 2 {
+        println!(
+            "dictionary:  epoch {}, {} interned entries",
+            info.epoch, info.dict_entries
+        );
+    }
     println!(
         "records:     {} ({} checkpoints)",
         stats.records, stats.checkpoints
@@ -186,6 +203,46 @@ fn archive_replay(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses a `--drop-before` timestamp: raw Unix seconds, `YYYY-MM-DD`,
+/// or `YYYY-MM-DDTHH:MM:SS` (UTC).
+fn parse_sim_time(s: &str) -> Result<SimTime, String> {
+    if let Ok(secs) = s.parse::<u64>() {
+        return Ok(SimTime(secs));
+    }
+    let bad = || format!("'{s}': expected Unix seconds or YYYY-MM-DD[THH:MM:SS]");
+    let (date, time) = match s.split_once('T') {
+        Some((d, t)) => (d, Some(t)),
+        None => (s, None),
+    };
+    let mut ymd = date.split('-').map(|p| p.parse::<u32>().map_err(|_| bad()));
+    let mut next_ymd = || ymd.next().unwrap_or_else(|| Err(bad()));
+    let (y, m, d) = (next_ymd()?, next_ymd()?, next_ymd()?);
+    let (hh, mm, ss) = match time {
+        None => (0, 0, 0),
+        Some(t) => {
+            let mut hms = t.split(':').map(|p| p.parse::<u32>().map_err(|_| bad()));
+            let mut next = || hms.next().unwrap_or_else(|| Err(bad()));
+            let out = (next()?, next()?, next()?);
+            if hms.next().is_some() {
+                return Err(bad());
+            }
+            out
+        }
+    };
+    if ymd.next().is_some() {
+        return Err(bad());
+    }
+    // Range checks up front: SimTime::from_ymd_hms panics pre-1970 and
+    // silently wraps out-of-range fields.
+    if !(1970..=9999).contains(&y) || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return Err(bad());
+    }
+    if hh > 23 || mm > 59 || ss > 59 {
+        return Err(bad());
+    }
+    Ok(SimTime::from_ymd_hms(y as i32, m, d, hh, mm, ss))
+}
+
 fn archive_compact(opts: &Opts) -> Result<(), String> {
     let path = required_path(opts, "path")?;
     let out = required_path(opts, "out")?;
@@ -193,19 +250,21 @@ fn archive_compact(opts: &Opts) -> Result<(), String> {
         return Err("--out must differ from --path".into());
     }
     let full_every = opts.u64_or("full-every", 96)? as usize;
+    let drop_before = opts.get("drop-before").map(parse_sim_time).transpose()?;
     let src = load_archive(path, full_every)?;
-    let backend =
-        FileBackend::create(out).map_err(|e| format!("creating {}: {e}", out.display()))?;
-    let mut dst = TableLog::with_backend(Box::new(backend), full_every);
-    for (i, tables) in src.replay_iter().enumerate() {
-        let tables = tables.map_err(|e| format!("replay failed at record {i}: {e}"))?;
-        dst.append(&tables);
-    }
-    if let Some(err) = dst.backend_error() {
-        return Err(format!("writing {}: {err}", out.display()));
-    }
+    let (dst, dropped) = compact_archive(
+        &src,
+        out,
+        &CompactOptions {
+            full_every,
+            drop_before,
+            sync: SyncPolicy::default(),
+        },
+    )
+    .map_err(|e| format!("compacting into {}: {e}", out.display()))?;
     let before = src.archive_stats();
     let after = dst.archive_stats();
+    let info = dst.describe();
     println!(
         "compacted {} ({} records, {} bytes) into {} ({} records, {} bytes, {} checkpoints)",
         path.display(),
@@ -216,6 +275,13 @@ fn archive_compact(opts: &Opts) -> Result<(), String> {
         after.bytes,
         after.checkpoints,
     );
+    println!(
+        "format:      MANTRARC v{}, dictionary epoch {} ({} entries)",
+        info.format_version, info.epoch, info.dict_entries
+    );
+    if dropped > 0 {
+        println!("dropped:     {dropped} snapshot(s) before the --drop-before cutoff");
+    }
     Ok(())
 }
 

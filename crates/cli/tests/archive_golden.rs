@@ -46,7 +46,8 @@ fn archive_replay_matches_golden() {
         golden_path.display()
     );
 
-    // `archive info` must read the same file without error.
+    // `archive info` must read the same file without error, and a fresh
+    // monitor run writes the v2 dictionary format.
     let info = Command::new(bin)
         .args(["archive", "info", "--path", archive.to_str().unwrap()])
         .output()
@@ -54,9 +55,40 @@ fn archive_replay_matches_golden() {
     assert!(info.status.success());
     let info_out = String::from_utf8(info.stdout).unwrap();
     assert!(
-        info_out.contains("MANTRARC v1"),
+        info_out.contains("MANTRARC v2"),
         "unexpected info output:\n{info_out}"
     );
+    assert!(
+        info_out.contains("dictionary:  epoch 1"),
+        "unexpected info output:\n{info_out}"
+    );
+
+    // Compacting with --drop-before rewrites to a smaller archive at the
+    // next dictionary epoch; the cutoff here predates every record, so
+    // nothing is dropped and replay transcripts stay identical.
+    let compacted = dir.join("fixw-compact.marc");
+    let compact = Command::new(bin)
+        .args(["archive", "compact", "--path", archive.to_str().unwrap()])
+        .args(["--out", compacted.to_str().unwrap()])
+        .args(["--drop-before", "1990-01-01"])
+        .output()
+        .unwrap();
+    assert!(
+        compact.status.success(),
+        "compact failed: {}",
+        String::from_utf8_lossy(&compact.stderr)
+    );
+    let compact_out = String::from_utf8(compact.stdout).unwrap();
+    assert!(
+        compact_out.contains("dictionary epoch 2"),
+        "unexpected compact output:\n{compact_out}"
+    );
+    let replay2 = Command::new(bin)
+        .args(["archive", "replay", "--path", compacted.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(replay2.status.success());
+    assert_eq!(String::from_utf8(replay2.stdout).unwrap(), got);
 
     std::fs::remove_dir_all(&dir).unwrap();
 }

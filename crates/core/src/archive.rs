@@ -31,28 +31,66 @@
 //!                      payload: the LogRecord as serde_json UTF-8
 //! ```
 //!
-//! The interner epoch is reserved for the planned id-keyed delta records
-//! (ids are only meaningful relative to an interner state); version-1
-//! archives always write 0. Recovery rule: records are scanned from the
-//! header; the first frame that is incomplete, has an unknown kind, or
-//! fails its CRC ends the archive, and opening for append truncates the
-//! file there.
+//! Version-1 archives always write interner epoch 0. Recovery rule:
+//! records are scanned from the header; the first frame that is
+//! incomplete, has an unknown kind, or fails its CRC ends the archive,
+//! and opening for append truncates the file there.
+//!
+//! ## On-disk format (version 2)
+//!
+//! Version 2 ([`FileBackendV2`]) keeps the 24-byte header (format
+//! version 2, interner epoch ≥ 1) and the 9-byte frame shape, but the
+//! payloads change from JSON to an id-keyed binary encoding:
+//!
+//! ```text
+//! frame   (9 + n):     kind   u8  (0 = Full, 1 = Delta, 2 = Dict)
+//!                      len    u32 LE (payload bytes)
+//!                      crc    u32 LE (CRC-32/IEEE of kind ‖ payload)
+//!                      payload (binary, LEB128 varints)
+//! ```
+//!
+//! Strings, addresses, groups and prefixes are interned into an
+//! archive-local [`ArchiveDict`] (built on [`crate::store::Interner`],
+//! ids dense and first-seen ordered); record payloads carry the u32 ids.
+//! Whenever an append interns new keys, the new dictionary entries are
+//! persisted *before* the record in a kind-2 dictionary segment, so the
+//! archive is always self-describing — replay never needs the live
+//! `TableStore`. Each segment is stamped with the archive's interner
+//! epoch and the per-table id watermark it extends; a segment whose
+//! epoch or watermark does not match the reader's state ends the
+//! archive (compaction bumps the epoch precisely so stale v2 payloads
+//! can never be resolved against the wrong dictionary). Record payloads
+//! begin with a varint sequence number checked against the record
+//! index, so spliced, duplicated or dropped frames are detected even
+//! when their CRCs are individually intact. The v2 CRC also covers the
+//! frame's kind byte, so a Full/Delta flip cannot survive validation.
+//! Recovery matches v1: the first bad frame ends the archive.
 
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufReader, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-use crate::logger::LogRecord;
+use mantra_net::{BitRate, GroupAddr, Ip, Prefix, SimDuration, SimTime};
+
+use crate::logger::{LogRecord, SnapshotParts, TableDelta};
+use crate::store::Interner;
+use crate::tables::{LearnedFrom, PairRow, RouteRow, SessionRow};
 
 /// The archive file magic.
 pub const MAGIC: [u8; 8] = *b"MANTRARC";
-/// The on-disk format version this build reads and writes.
+/// The original JSON-payload on-disk format version.
 pub const FORMAT_VERSION: u16 = 1;
+/// The id-keyed binary on-disk format version.
+pub const FORMAT_VERSION_V2: u16 = 2;
 /// Header length in bytes.
 pub const HEADER_LEN: u64 = 24;
 /// Record frame header length (kind + len + crc).
 const FRAME_LEN: u64 = 9;
+/// Frame kinds shared by both formats; `KIND_DICT` is v2-only.
+const KIND_FULL: u8 = 0;
+const KIND_DELTA: u8 = 1;
+const KIND_DICT: u8 = 2;
 
 // ---------------------------------------------------------------------
 // CRC-32 (IEEE), table-driven
@@ -80,13 +118,23 @@ const fn make_crc_table() -> [u32; 256] {
 
 static CRC_TABLE: [u32; 256] = make_crc_table();
 
-/// CRC-32 (IEEE 802.3 polynomial) of `bytes`.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut c = 0xFFFF_FFFFu32;
+fn crc32_update(mut c: u32, bytes: &[u8]) -> u32 {
     for &b in bytes {
         c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
     }
-    c ^ 0xFFFF_FFFF
+    c
+}
+
+/// CRC-32 (IEEE 802.3 polynomial) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, bytes) ^ 0xFFFF_FFFF
+}
+
+/// The v2 frame CRC: covers the kind byte as well as the payload, so a
+/// bit flip that turns a Delta frame into a Full frame (or vice versa)
+/// fails validation instead of silently re-basing replay.
+fn crc32_v2(kind: u8, payload: &[u8]) -> u32 {
+    crc32_update(crc32_update(0xFFFF_FFFF, &[kind]), payload) ^ 0xFFFF_FFFF
 }
 
 // ---------------------------------------------------------------------
@@ -108,6 +156,65 @@ pub struct ArchiveStats {
     /// Bytes of truncated/corrupt tail dropped when the archive was
     /// opened (crash recovery).
     pub recovered_bytes: u64,
+    /// Appends accepted since the last `fsync` — the records a power
+    /// loss right now could cost. Always 0 for the memory backend
+    /// (nothing is durable either way) and immediately after a sync.
+    pub pending_appends: u64,
+}
+
+/// Identity of an archive's on-disk format, from [`ArchiveBackend::describe`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArchiveInfo {
+    /// MANTRARC format version; 0 for in-memory (no on-disk format).
+    pub format_version: u16,
+    /// The interner epoch stamped in the header (v2; v1 writes 0).
+    /// Compaction bumps it so stale id-keyed payloads cannot be
+    /// resolved against the rewritten dictionary.
+    pub epoch: u32,
+    /// Entries in the embedded dictionary (v2 only).
+    pub dict_entries: u64,
+}
+
+/// When a file backend issues `fsync`. Checkpoints mark replay entry
+/// points, so syncing there bounds loss to one delta chain; the record
+/// and byte cadences trade durability for throughput on high-router-count
+/// deployments where per-append syncing would serialise the fleet on the
+/// disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SyncPolicy {
+    /// Sync whenever a full-snapshot (checkpoint) record is appended.
+    pub on_checkpoint: bool,
+    /// Also sync after this many appends since the last sync (0 = off).
+    pub every_records: usize,
+    /// Also sync once this many bytes accumulate since the last sync
+    /// (0 = off).
+    pub every_bytes: u64,
+}
+
+impl Default for SyncPolicy {
+    fn default() -> Self {
+        SyncPolicy {
+            on_checkpoint: true,
+            every_records: 0,
+            every_bytes: 0,
+        }
+    }
+}
+
+impl SyncPolicy {
+    /// A record-cadence policy (checkpoints still sync).
+    pub fn every_records(n: usize) -> Self {
+        SyncPolicy {
+            every_records: n,
+            ..SyncPolicy::default()
+        }
+    }
+
+    fn due(&self, checkpoint: bool, since_records: usize, since_bytes: u64) -> bool {
+        (checkpoint && self.on_checkpoint)
+            || (self.every_records > 0 && since_records >= self.every_records)
+            || (self.every_bytes > 0 && since_bytes >= self.every_bytes)
+    }
 }
 
 /// A streaming record iterator borrowed from a backend.
@@ -146,6 +253,12 @@ pub trait ArchiveBackend: fmt::Debug + Send {
 
     /// Accounting snapshot.
     fn stats(&self) -> ArchiveStats;
+
+    /// Format identity (version/epoch/dictionary size). The default
+    /// covers backends with no on-disk format (memory).
+    fn describe(&self) -> ArchiveInfo {
+        ArchiveInfo::default()
+    }
 
     /// Forces durability (no-op for memory).
     fn sync(&mut self) -> io::Result<()> {
@@ -217,18 +330,29 @@ pub struct FileBackend {
     offsets: Vec<u64>,
     checkpoints: Vec<usize>,
     stats: ArchiveStats,
-    /// `fsync` after this many non-checkpoint appends (checkpoints
-    /// always sync); 0 syncs only on checkpoints.
-    pub fsync_every: usize,
+    /// When this backend fsyncs.
+    pub sync: SyncPolicy,
     since_sync: usize,
+    bytes_since_sync: u64,
 }
 
 fn bad_data(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
-/// Reads and validates an archive header, returning
-/// `(format_version, interner_epoch)`.
+/// The error an unsupported (future) format version produces — raised by
+/// whatever opens the archive, never silently degraded to legacy-JSONL
+/// sniffing.
+pub fn unsupported_version(version: u16) -> io::Error {
+    bad_data(format!(
+        "MANTRARC archive with unsupported format version {version}; this \
+         build reads versions {FORMAT_VERSION} and {FORMAT_VERSION_V2} \
+         (is the archive from a newer build?)"
+    ))
+}
+
+/// Reads and validates an archive header's magic, returning
+/// `(format_version, interner_epoch)` for the caller to dispatch on.
 pub fn read_header(r: &mut impl Read) -> io::Result<(u16, u32)> {
     let mut header = [0u8; HEADER_LEN as usize];
     r.read_exact(&mut header)
@@ -241,20 +365,16 @@ pub fn read_header(r: &mut impl Read) -> io::Result<(u16, u32)> {
         )));
     }
     let version = u16::from_le_bytes([header[8], header[9]]);
-    if version != FORMAT_VERSION {
-        return Err(bad_data(format!(
-            "archive format version {version}; this build reads version {FORMAT_VERSION}"
-        )));
-    }
     let epoch = u32::from_le_bytes([header[12], header[13], header[14], header[15]]);
     Ok((version, epoch))
 }
 
-fn write_header(w: &mut impl Write) -> io::Result<()> {
+fn write_header(w: &mut impl Write, version: u16, epoch: u32) -> io::Result<()> {
     let mut header = [0u8; HEADER_LEN as usize];
     header[0..8].copy_from_slice(&MAGIC);
-    header[8..10].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
-    // flags, interner epoch and the reserved word are zero in version 1.
+    header[8..10].copy_from_slice(&version.to_le_bytes());
+    // flags and the reserved word are zero in both versions.
+    header[12..16].copy_from_slice(&epoch.to_le_bytes());
     w.write_all(&header)
 }
 
@@ -273,7 +393,7 @@ impl FileBackend {
             .create(true)
             .truncate(true)
             .open(&path)?;
-        write_header(&mut file)?;
+        write_header(&mut file, FORMAT_VERSION, 0)?;
         file.sync_all()?;
         Ok(FileBackend {
             path,
@@ -284,8 +404,9 @@ impl FileBackend {
                 fsyncs: 1,
                 ..ArchiveStats::default()
             },
-            fsync_every: 0,
+            sync: SyncPolicy::default(),
             since_sync: 0,
+            bytes_since_sync: 0,
         })
     }
 
@@ -304,7 +425,16 @@ impl FileBackend {
         let file_len = file.seek(SeekFrom::End(0))?;
         file.seek(SeekFrom::Start(0))?;
         let mut reader = BufReader::new(&mut file);
-        read_header(&mut reader)?;
+        let (version, _) = read_header(&mut reader)?;
+        if version != FORMAT_VERSION {
+            return Err(if version == FORMAT_VERSION_V2 {
+                bad_data(format!(
+                    "archive is MANTRARC v{version}; open it through FileBackendV2"
+                ))
+            } else {
+                unsupported_version(version)
+            });
+        }
 
         let mut offsets = vec![HEADER_LEN];
         let mut checkpoints = Vec::new();
@@ -347,6 +477,7 @@ impl FileBackend {
             bytes: pos - HEADER_LEN,
             fsyncs: u64::from(recovered > 0),
             recovered_bytes: recovered,
+            pending_appends: 0,
         };
         Ok(FileBackend {
             path,
@@ -354,8 +485,9 @@ impl FileBackend {
             offsets,
             checkpoints,
             stats,
-            fsync_every: 0,
+            sync: SyncPolicy::default(),
             since_sync: 0,
+            bytes_since_sync: 0,
         })
     }
 
@@ -421,8 +553,8 @@ impl ArchiveBackend for FileBackend {
     fn append(&mut self, rec: &LogRecord, json: &str) -> io::Result<()> {
         let payload = json.as_bytes();
         let kind: u8 = match rec {
-            LogRecord::Full(_) => 0,
-            LogRecord::Delta(_) => 1,
+            LogRecord::Full(_) => KIND_FULL,
+            LogRecord::Delta(_) => KIND_DELTA,
         };
         let mut frame = Vec::with_capacity(FRAME_LEN as usize + payload.len());
         frame.push(kind);
@@ -436,13 +568,18 @@ impl ArchiveBackend for FileBackend {
         self.offsets.push(end);
         self.stats.records += 1;
         self.stats.bytes += frame.len() as u64;
-        let checkpoint = kind == 0;
+        let checkpoint = kind == KIND_FULL;
         if checkpoint {
             self.checkpoints.push(idx);
             self.stats.checkpoints += 1;
         }
         self.since_sync += 1;
-        if checkpoint || (self.fsync_every > 0 && self.since_sync >= self.fsync_every) {
+        self.bytes_since_sync += frame.len() as u64;
+        self.stats.pending_appends = self.since_sync as u64;
+        if self
+            .sync
+            .due(checkpoint, self.since_sync, self.bytes_since_sync)
+        {
             self.sync()?;
         }
         Ok(())
@@ -480,11 +617,970 @@ impl ArchiveBackend for FileBackend {
         self.stats.clone()
     }
 
+    fn describe(&self) -> ArchiveInfo {
+        ArchiveInfo {
+            format_version: FORMAT_VERSION,
+            epoch: 0,
+            dict_entries: 0,
+        }
+    }
+
     fn sync(&mut self) -> io::Result<()> {
         self.file.sync_data()?;
         self.stats.fsyncs += 1;
         self.since_sync = 0;
+        self.bytes_since_sync = 0;
+        self.stats.pending_appends = 0;
         Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// MANTRARC v2: varint primitives
+// ---------------------------------------------------------------------
+
+fn put_uv(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// A bounds-checked cursor over one untrusted payload. Every read can
+/// fail cleanly — decode paths must never panic, whatever the bytes.
+struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cur { buf, pos: 0 }
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| bad_data("payload truncated".into()))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn bytes(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| bad_data("payload truncated".into()))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn uv(&mut self) -> io::Result<u64> {
+        let mut v = 0u64;
+        for shift in (0..64).step_by(7) {
+            let b = self.u8()?;
+            let low = u64::from(b & 0x7F);
+            if shift == 63 && low > 1 {
+                break; // would overflow u64
+            }
+            v |= low << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(bad_data("varint overflows u64".into()))
+    }
+
+    fn uv32(&mut self) -> io::Result<u32> {
+        u32::try_from(self.uv()?).map_err(|_| bad_data("varint overflows u32".into()))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn expect_done(&self) -> io::Result<()> {
+        if self.done() {
+            Ok(())
+        } else {
+            Err(bad_data("trailing bytes after payload".into()))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// MANTRARC v2: the embedded dictionary
+// ---------------------------------------------------------------------
+
+/// The archive-local interning dictionary for one v2 archive: router
+/// names and session names, host addresses, group addresses and route
+/// prefixes, each with dense first-seen-ordered u32 ids (the same
+/// [`Interner`] the live [`crate::store::TableStore`] uses — but owned by
+/// the archive, so replaying needs nothing but the file).
+///
+/// The writer persists new entries incrementally: whenever an append
+/// interns keys the archive has not seen, a kind-2 dictionary segment
+/// carrying exactly `keys()[watermark..]` is framed ahead of the record.
+/// Readers rebuild the dictionary by applying segments in file order,
+/// validating that each segment's epoch matches the header and that its
+/// per-table base equals the current table length.
+#[derive(Clone, Debug, Default)]
+pub struct ArchiveDict {
+    /// The archive's interner epoch (also stamped in the file header and
+    /// in every segment). Compaction writes a fresh dictionary under a
+    /// bumped epoch.
+    pub epoch: u32,
+    strings: Interner<String>,
+    ips: Interner<Ip>,
+    groups: Interner<GroupAddr>,
+    prefixes: Interner<Prefix>,
+}
+
+/// Per-table id watermarks: entries below these are already on disk.
+type DictMark = [usize; 4];
+
+impl ArchiveDict {
+    fn with_epoch(epoch: u32) -> Self {
+        ArchiveDict {
+            epoch,
+            ..ArchiveDict::default()
+        }
+    }
+
+    /// Total interned entries across all tables.
+    pub fn len(&self) -> usize {
+        self.strings.len() + self.ips.len() + self.groups.len() + self.prefixes.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn watermark(&self) -> DictMark {
+        [
+            self.strings.len(),
+            self.ips.len(),
+            self.groups.len(),
+            self.prefixes.len(),
+        ]
+    }
+
+    /// Encodes the entries interned since `since` as one dictionary
+    /// segment payload, or `None` when there are none.
+    fn encode_new_entries(&self, since: DictMark) -> Option<Vec<u8>> {
+        if self.watermark() == since {
+            return None;
+        }
+        let [s, i, g, p] = since;
+        let mut out = Vec::new();
+        put_uv(&mut out, u64::from(self.epoch));
+        let strings = &self.strings.keys()[s..];
+        put_uv(&mut out, s as u64);
+        put_uv(&mut out, strings.len() as u64);
+        for st in strings {
+            put_uv(&mut out, st.len() as u64);
+            out.extend_from_slice(st.as_bytes());
+        }
+        let ips = &self.ips.keys()[i..];
+        put_uv(&mut out, i as u64);
+        put_uv(&mut out, ips.len() as u64);
+        for ip in ips {
+            put_uv(&mut out, u64::from(ip.0));
+        }
+        let groups = &self.groups.keys()[g..];
+        put_uv(&mut out, g as u64);
+        put_uv(&mut out, groups.len() as u64);
+        for gr in groups {
+            put_uv(&mut out, u64::from(gr.ip().0));
+        }
+        let prefixes = &self.prefixes.keys()[p..];
+        put_uv(&mut out, p as u64);
+        put_uv(&mut out, prefixes.len() as u64);
+        for pf in prefixes {
+            put_uv(&mut out, u64::from(pf.network().0));
+            out.push(pf.len());
+        }
+        Some(out)
+    }
+
+    /// Applies one dictionary segment, validating its epoch stamp and
+    /// that each table extends exactly from its current length.
+    fn apply_segment(&mut self, payload: &[u8]) -> io::Result<()> {
+        let mut c = Cur::new(payload);
+        let epoch = c.uv32()?;
+        if epoch != self.epoch {
+            return Err(bad_data(format!(
+                "dictionary segment epoch {epoch} does not match archive epoch {}",
+                self.epoch
+            )));
+        }
+        fn check_base<K: Eq + std::hash::Hash + Clone>(
+            interner: &Interner<K>,
+            base: u64,
+        ) -> io::Result<()> {
+            if base != interner.len() as u64 {
+                return Err(bad_data(format!(
+                    "dictionary segment base {base} does not extend table of {}",
+                    interner.len()
+                )));
+            }
+            Ok(())
+        }
+        fn fresh<K: Eq + std::hash::Hash + Clone>(
+            interner: &mut Interner<K>,
+            key: &K,
+        ) -> io::Result<()> {
+            let expect = interner.len() as u32;
+            if interner.intern(key) != expect {
+                return Err(bad_data("duplicate dictionary entry".into()));
+            }
+            Ok(())
+        }
+        check_base(&self.strings, c.uv()?)?;
+        for _ in 0..c.uv()? {
+            let len = c.uv()? as usize;
+            let s = std::str::from_utf8(c.bytes(len)?)
+                .map_err(|e| bad_data(format!("dictionary string is not UTF-8: {e}")))?;
+            fresh(&mut self.strings, &s.to_string())?;
+        }
+        check_base(&self.ips, c.uv()?)?;
+        for _ in 0..c.uv()? {
+            fresh(&mut self.ips, &Ip(c.uv32()?))?;
+        }
+        check_base(&self.groups, c.uv()?)?;
+        for _ in 0..c.uv()? {
+            let g = GroupAddr::new(Ip(c.uv32()?))
+                .map_err(|e| bad_data(format!("dictionary group is not multicast: {e:?}")))?;
+            fresh(&mut self.groups, &g)?;
+        }
+        check_base(&self.prefixes, c.uv()?)?;
+        for _ in 0..c.uv()? {
+            let net = Ip(c.uv32()?);
+            let len = c.u8()?;
+            let p = Prefix::new(net, len)
+                .map_err(|e| bad_data(format!("dictionary prefix invalid: {e:?}")))?;
+            fresh(&mut self.prefixes, &p)?;
+        }
+        c.expect_done()
+    }
+
+    fn str_at(&self, id: u32) -> io::Result<&String> {
+        self.strings
+            .keys()
+            .get(id as usize)
+            .ok_or_else(|| bad_data(format!("string id {id} not in dictionary")))
+    }
+
+    fn ip_at(&self, id: u32) -> io::Result<Ip> {
+        self.ips
+            .keys()
+            .get(id as usize)
+            .copied()
+            .ok_or_else(|| bad_data(format!("address id {id} not in dictionary")))
+    }
+
+    fn group_at(&self, id: u32) -> io::Result<GroupAddr> {
+        self.groups
+            .keys()
+            .get(id as usize)
+            .copied()
+            .ok_or_else(|| bad_data(format!("group id {id} not in dictionary")))
+    }
+
+    fn prefix_at(&self, id: u32) -> io::Result<Prefix> {
+        self.prefixes
+            .keys()
+            .get(id as usize)
+            .copied()
+            .ok_or_else(|| bad_data(format!("prefix id {id} not in dictionary")))
+    }
+}
+
+// ---------------------------------------------------------------------
+// MANTRARC v2: record codec
+// ---------------------------------------------------------------------
+
+fn lf_code(lf: LearnedFrom) -> u8 {
+    match lf {
+        LearnedFrom::Dvmrp => 0,
+        LearnedFrom::Pim => 1,
+        LearnedFrom::Msdp => 2,
+        LearnedFrom::Mbgp => 3,
+        LearnedFrom::Igmp => 4,
+    }
+}
+
+fn lf_from(code: u8) -> io::Result<LearnedFrom> {
+    Ok(match code {
+        0 => LearnedFrom::Dvmrp,
+        1 => LearnedFrom::Pim,
+        2 => LearnedFrom::Msdp,
+        3 => LearnedFrom::Mbgp,
+        4 => LearnedFrom::Igmp,
+        c => return Err(bad_data(format!("unknown protocol code {c}"))),
+    })
+}
+
+const PAIR_FORWARDING: u8 = 0x80;
+const ROUTE_NEXT_HOP: u8 = 0x20;
+const ROUTE_UPTIME: u8 = 0x40;
+const ROUTE_REACHABLE: u8 = 0x80;
+const SESSION_NAMED: u8 = 0x80;
+const LF_MASK: u8 = 0x07;
+
+fn flags_lf(flags: u8, allowed: u8) -> io::Result<LearnedFrom> {
+    if flags & !(LF_MASK | allowed) != 0 {
+        return Err(bad_data(format!("unknown flag bits 0x{flags:02x}")));
+    }
+    lf_from(flags & LF_MASK)
+}
+
+fn enc_pair(out: &mut Vec<u8>, d: &mut ArchiveDict, p: &PairRow) {
+    put_uv(out, u64::from(d.ips.intern(&p.source)));
+    put_uv(out, u64::from(d.groups.intern(&p.group)));
+    put_uv(out, p.current_bw.bps());
+    put_uv(out, p.avg_bw.bps());
+    out.push(lf_code(p.learned_from) | if p.forwarding { PAIR_FORWARDING } else { 0 });
+}
+
+fn dec_pair(c: &mut Cur, d: &ArchiveDict) -> io::Result<PairRow> {
+    let source = d.ip_at(c.uv32()?)?;
+    let group = d.group_at(c.uv32()?)?;
+    let current_bw = BitRate::from_bps(c.uv()?);
+    let avg_bw = BitRate::from_bps(c.uv()?);
+    let flags = c.u8()?;
+    Ok(PairRow {
+        source,
+        group,
+        current_bw,
+        avg_bw,
+        forwarding: flags & PAIR_FORWARDING != 0,
+        learned_from: flags_lf(flags, PAIR_FORWARDING)?,
+    })
+}
+
+fn enc_route(out: &mut Vec<u8>, d: &mut ArchiveDict, r: &RouteRow) {
+    let mut flags = lf_code(r.learned_from);
+    if r.next_hop.is_some() {
+        flags |= ROUTE_NEXT_HOP;
+    }
+    if r.uptime.is_some() {
+        flags |= ROUTE_UPTIME;
+    }
+    if r.reachable {
+        flags |= ROUTE_REACHABLE;
+    }
+    put_uv(out, u64::from(d.prefixes.intern(&r.prefix)));
+    out.push(flags);
+    if let Some(nh) = r.next_hop {
+        put_uv(out, u64::from(d.ips.intern(&nh)));
+    }
+    put_uv(out, u64::from(r.metric));
+    if let Some(up) = r.uptime {
+        put_uv(out, up.as_secs());
+    }
+}
+
+fn dec_route(c: &mut Cur, d: &ArchiveDict) -> io::Result<RouteRow> {
+    let prefix = d.prefix_at(c.uv32()?)?;
+    let flags = c.u8()?;
+    let learned_from = flags_lf(flags, ROUTE_NEXT_HOP | ROUTE_UPTIME | ROUTE_REACHABLE)?;
+    let next_hop = if flags & ROUTE_NEXT_HOP != 0 {
+        Some(d.ip_at(c.uv32()?)?)
+    } else {
+        None
+    };
+    let metric = c.uv32()?;
+    let uptime = if flags & ROUTE_UPTIME != 0 {
+        Some(SimDuration::secs(c.uv()?))
+    } else {
+        None
+    };
+    Ok(RouteRow {
+        prefix,
+        next_hop,
+        metric,
+        uptime,
+        reachable: flags & ROUTE_REACHABLE != 0,
+        learned_from,
+    })
+}
+
+fn enc_session(out: &mut Vec<u8>, d: &mut ArchiveDict, s: &SessionRow) {
+    let mut flags = lf_code(s.first_advertised);
+    if s.name.is_some() {
+        flags |= SESSION_NAMED;
+    }
+    put_uv(out, u64::from(d.groups.intern(&s.group)));
+    out.push(flags);
+    if let Some(name) = &s.name {
+        put_uv(out, u64::from(d.strings.intern(name)));
+    }
+    put_uv(out, u64::from(s.density));
+    put_uv(out, s.bandwidth.bps());
+    put_uv(out, s.first_seen.as_secs());
+}
+
+fn dec_session(c: &mut Cur, d: &ArchiveDict) -> io::Result<SessionRow> {
+    let group = d.group_at(c.uv32()?)?;
+    let flags = c.u8()?;
+    let first_advertised = flags_lf(flags, SESSION_NAMED)?;
+    let name = if flags & SESSION_NAMED != 0 {
+        Some(d.str_at(c.uv32()?)?.clone())
+    } else {
+        None
+    };
+    Ok(SessionRow {
+        group,
+        name,
+        density: c.uv32()?,
+        bandwidth: BitRate::from_bps(c.uv()?),
+        first_advertised,
+        first_seen: SimTime(c.uv()?),
+    })
+}
+
+fn enc_sa(out: &mut Vec<u8>, d: &mut ArchiveDict, (g, s, at): &(GroupAddr, Ip, SimTime)) {
+    put_uv(out, u64::from(d.groups.intern(g)));
+    put_uv(out, u64::from(d.ips.intern(s)));
+    put_uv(out, at.as_secs());
+}
+
+fn dec_sa(c: &mut Cur, d: &ArchiveDict) -> io::Result<(GroupAddr, Ip, SimTime)> {
+    Ok((
+        d.group_at(c.uv32()?)?,
+        d.ip_at(c.uv32()?)?,
+        SimTime(c.uv()?),
+    ))
+}
+
+fn enc_section<T>(
+    out: &mut Vec<u8>,
+    d: &mut ArchiveDict,
+    items: &[T],
+    enc: impl Fn(&mut Vec<u8>, &mut ArchiveDict, &T),
+) {
+    put_uv(out, items.len() as u64);
+    for item in items {
+        enc(out, d, item);
+    }
+}
+
+fn dec_section<T>(
+    c: &mut Cur,
+    d: &ArchiveDict,
+    dec: impl Fn(&mut Cur, &ArchiveDict) -> io::Result<T>,
+) -> io::Result<Vec<T>> {
+    let n = c.uv()?;
+    // No `with_capacity(n)`: a corrupt count must not drive allocation;
+    // the cursor runs out of bytes long before a hostile count completes.
+    let mut out = Vec::new();
+    for _ in 0..n {
+        out.push(dec(c, d)?);
+    }
+    Ok(out)
+}
+
+/// Encodes one record as its v2 payload, interning keys into `dict`.
+/// `seq` is the record's index in the archive, embedded (and CRC'd) so
+/// readers can detect spliced or duplicated frames.
+fn encode_record_v2(rec: &LogRecord, dict: &mut ArchiveDict, seq: u64) -> (u8, Vec<u8>) {
+    let mut out = Vec::new();
+    put_uv(&mut out, seq);
+    match rec {
+        LogRecord::Full(p) => {
+            put_uv(&mut out, p.captured_at.as_secs());
+            put_uv(&mut out, u64::from(dict.strings.intern(&p.router)));
+            enc_section(&mut out, dict, &p.pairs, enc_pair);
+            enc_section(&mut out, dict, &p.routes, enc_route);
+            enc_section(&mut out, dict, &p.sa_cache, enc_sa);
+            enc_section(&mut out, dict, &p.member_only_sessions, enc_session);
+            (KIND_FULL, out)
+        }
+        LogRecord::Delta(del) => {
+            put_uv(&mut out, del.captured_at.as_secs());
+            enc_section(&mut out, dict, &del.pair_upserts, enc_pair);
+            enc_section(&mut out, dict, &del.pair_removals, |o, d, (g, s)| {
+                put_uv(o, u64::from(d.groups.intern(g)));
+                put_uv(o, u64::from(d.ips.intern(s)));
+            });
+            enc_section(&mut out, dict, &del.route_upserts, enc_route);
+            enc_section(&mut out, dict, &del.route_removals, |o, d, (lf, p)| {
+                o.push(lf_code(*lf));
+                put_uv(o, u64::from(d.prefixes.intern(p)));
+            });
+            enc_section(&mut out, dict, &del.sa_upserts, enc_sa);
+            enc_section(&mut out, dict, &del.sa_removals, |o, d, (g, s)| {
+                put_uv(o, u64::from(d.groups.intern(g)));
+                put_uv(o, u64::from(d.ips.intern(s)));
+            });
+            enc_section(&mut out, dict, &del.session_upserts, enc_session);
+            enc_section(&mut out, dict, &del.session_removals, |o, d, g| {
+                put_uv(o, u64::from(d.groups.intern(g)));
+            });
+            (KIND_DELTA, out)
+        }
+    }
+}
+
+/// Decodes one v2 record payload, validating its embedded sequence
+/// number against `expect_seq`.
+fn decode_record_v2(
+    kind: u8,
+    payload: &[u8],
+    dict: &ArchiveDict,
+    expect_seq: u64,
+) -> io::Result<LogRecord> {
+    let mut c = Cur::new(payload);
+    let seq = c.uv()?;
+    if seq != expect_seq {
+        return Err(bad_data(format!(
+            "record sequence {seq} where {expect_seq} was expected \
+             (spliced or duplicated frame)"
+        )));
+    }
+    let rec = match kind {
+        KIND_FULL => LogRecord::Full(SnapshotParts {
+            captured_at: SimTime(c.uv()?),
+            router: dict.str_at(c.uv32()?)?.clone(),
+            pairs: dec_section(&mut c, dict, dec_pair)?,
+            routes: dec_section(&mut c, dict, dec_route)?,
+            sa_cache: dec_section(&mut c, dict, dec_sa)?,
+            member_only_sessions: dec_section(&mut c, dict, dec_session)?,
+            // Provenance is the file, not construction: let the first
+            // use re-verify sortedness, exactly like the JSON decoder.
+            presorted: false,
+        }),
+        KIND_DELTA => LogRecord::Delta(TableDelta {
+            captured_at: SimTime(c.uv()?),
+            pair_upserts: dec_section(&mut c, dict, dec_pair)?,
+            pair_removals: dec_section(&mut c, dict, |c, d| {
+                Ok((d.group_at(c.uv32()?)?, d.ip_at(c.uv32()?)?))
+            })?,
+            route_upserts: dec_section(&mut c, dict, dec_route)?,
+            route_removals: dec_section(&mut c, dict, |c, d| {
+                Ok((lf_from(c.u8()?)?, d.prefix_at(c.uv32()?)?))
+            })?,
+            sa_upserts: dec_section(&mut c, dict, dec_sa)?,
+            sa_removals: dec_section(&mut c, dict, |c, d| {
+                Ok((d.group_at(c.uv32()?)?, d.ip_at(c.uv32()?)?))
+            })?,
+            session_upserts: dec_section(&mut c, dict, dec_session)?,
+            session_removals: dec_section(&mut c, dict, |c, d| d.group_at(c.uv32()?))?,
+        }),
+        k => return Err(bad_data(format!("unknown record kind {k}"))),
+    };
+    c.expect_done()?;
+    Ok(rec)
+}
+
+// ---------------------------------------------------------------------
+// FileBackendV2
+// ---------------------------------------------------------------------
+
+/// The id-keyed v2 on-disk archive (see the module docs for the format).
+///
+/// Same durability model as [`FileBackend`] — append-only frames, CRC
+/// validation, torn-tail truncation on open — with record payloads
+/// binary-encoded against an embedded [`ArchiveDict`] instead of JSON.
+#[derive(Debug)]
+pub struct FileBackendV2 {
+    path: PathBuf,
+    file: File,
+    /// Byte offset of each *record* frame (dictionary frames sit between
+    /// them), plus the end-of-archive offset as a final sentinel.
+    offsets: Vec<u64>,
+    /// `(start, end)` offsets of dictionary frames, in file order.
+    dict_frames: Vec<(u64, u64)>,
+    checkpoints: Vec<usize>,
+    dict: ArchiveDict,
+    /// Dictionary entries already persisted in segments.
+    persisted: DictMark,
+    end: u64,
+    stats: ArchiveStats,
+    /// When this backend fsyncs.
+    pub sync: SyncPolicy,
+    since_sync: usize,
+    bytes_since_sync: u64,
+}
+
+fn frame_bytes(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(FRAME_LEN as usize + payload.len());
+    frame.push(kind);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32_v2(kind, payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+impl FileBackendV2 {
+    /// Creates a fresh v2 archive at `path` (epoch 1), truncating any
+    /// existing file.
+    pub fn create(path: impl Into<PathBuf>) -> io::Result<FileBackendV2> {
+        Self::create_with_epoch(path, 1)
+    }
+
+    /// Creates a fresh v2 archive under a caller-chosen interner epoch —
+    /// compaction writes the rewrite under `source epoch + 1` so records
+    /// from the old archive can never be resolved against the new
+    /// dictionary.
+    pub fn create_with_epoch(path: impl Into<PathBuf>, epoch: u32) -> io::Result<FileBackendV2> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        write_header(&mut file, FORMAT_VERSION_V2, epoch)?;
+        file.sync_all()?;
+        Ok(FileBackendV2 {
+            path,
+            file,
+            offsets: vec![HEADER_LEN],
+            dict_frames: Vec::new(),
+            checkpoints: Vec::new(),
+            dict: ArchiveDict::with_epoch(epoch),
+            persisted: [0; 4],
+            end: HEADER_LEN,
+            stats: ArchiveStats {
+                fsyncs: 1,
+                ..ArchiveStats::default()
+            },
+            sync: SyncPolicy::default(),
+            since_sync: 0,
+            bytes_since_sync: 0,
+        })
+    }
+
+    /// Opens an existing v2 archive for append, creating it if absent.
+    ///
+    /// Scanning validates each frame's CRC, rebuilds the dictionary from
+    /// its segments (epoch- and watermark-checked) and verifies every
+    /// record's sequence number; the first bad frame ends the archive
+    /// and the file is truncated there
+    /// ([`ArchiveStats::recovered_bytes`]).
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<FileBackendV2> {
+        let path = path.into();
+        if !path.exists() {
+            return Self::create(path);
+        }
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let file_len = file.seek(SeekFrom::End(0))?;
+        file.seek(SeekFrom::Start(0))?;
+        let mut reader = BufReader::new(&mut file);
+        let (version, epoch) = read_header(&mut reader)?;
+        if version != FORMAT_VERSION_V2 {
+            return Err(if version == FORMAT_VERSION {
+                bad_data(format!(
+                    "archive is MANTRARC v{version}; open it through FileBackend"
+                ))
+            } else {
+                unsupported_version(version)
+            });
+        }
+
+        let mut offsets = vec![HEADER_LEN];
+        let mut dict_frames = Vec::new();
+        let mut checkpoints = Vec::new();
+        let mut dict = ArchiveDict::with_epoch(epoch);
+        let mut persisted = [0; 4];
+        let mut pos = HEADER_LEN;
+        let mut payload = Vec::new();
+        loop {
+            let mut frame = [0u8; FRAME_LEN as usize];
+            if reader.read_exact(&mut frame).is_err() {
+                break; // truncated frame header: end of archive
+            }
+            let kind = frame[0];
+            let len = u64::from(u32::from_le_bytes([frame[1], frame[2], frame[3], frame[4]]));
+            let crc = u32::from_le_bytes([frame[5], frame[6], frame[7], frame[8]]);
+            if kind > KIND_DICT || pos + FRAME_LEN + len > file_len {
+                break; // unknown kind or payload runs past EOF
+            }
+            payload.clear();
+            payload.resize(len as usize, 0);
+            if reader.read_exact(&mut payload).is_err() || crc32_v2(kind, &payload) != crc {
+                break; // torn or corrupt payload
+            }
+            if kind == KIND_DICT {
+                if dict.apply_segment(&payload).is_err() {
+                    break; // stale epoch / out-of-order segment
+                }
+                persisted = dict.watermark();
+                dict_frames.push((pos, pos + FRAME_LEN + len));
+                pos += FRAME_LEN + len;
+                continue;
+            }
+            // Validate the embedded sequence number without decoding the
+            // whole record.
+            let expect = (offsets.len() - 1) as u64;
+            match Cur::new(&payload).uv() {
+                Ok(seq) if seq == expect => {}
+                _ => break, // spliced/duplicated frame
+            }
+            if kind == KIND_FULL {
+                checkpoints.push(offsets.len() - 1);
+            }
+            pos += FRAME_LEN + len;
+            offsets.push(pos);
+        }
+        drop(reader);
+
+        let recovered = file_len - pos;
+        if recovered > 0 {
+            file.set_len(pos)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::Start(pos))?;
+        let stats = ArchiveStats {
+            records: (offsets.len() - 1) as u64,
+            checkpoints: checkpoints.len() as u64,
+            bytes: pos - HEADER_LEN,
+            fsyncs: u64::from(recovered > 0),
+            recovered_bytes: recovered,
+            pending_appends: 0,
+        };
+        Ok(FileBackendV2 {
+            path,
+            file,
+            offsets,
+            dict_frames,
+            checkpoints,
+            dict,
+            persisted,
+            end: pos,
+            stats,
+            sync: SyncPolicy::default(),
+            since_sync: 0,
+            bytes_since_sync: 0,
+        })
+    }
+
+    /// The archive's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Byte offsets of every record frame plus the end-of-archive
+    /// sentinel. Dictionary frames occupy the gaps (see
+    /// [`FileBackendV2::dict_frames`]), so consecutive offsets are not
+    /// necessarily adjacent.
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// `(start, end)` byte spans of the dictionary frames, in file order
+    /// (exposed for corruption/crash tests and tooling).
+    pub fn dict_frames(&self) -> &[(u64, u64)] {
+        &self.dict_frames
+    }
+
+    /// The embedded dictionary (exposed for `archive info` and tests).
+    pub fn dict(&self) -> &ArchiveDict {
+        &self.dict
+    }
+}
+
+impl ArchiveBackend for FileBackendV2 {
+    fn kind(&self) -> &'static str {
+        "file"
+    }
+
+    fn append(&mut self, rec: &LogRecord, _json: &str) -> io::Result<()> {
+        let seq = (self.offsets.len() - 1) as u64;
+        let (kind, payload) = encode_record_v2(rec, &mut self.dict, seq);
+        // New dictionary entries ride ahead of the record that needs
+        // them, in the same write.
+        let mut buf = Vec::new();
+        if let Some(seg) = self.dict.encode_new_entries(self.persisted) {
+            buf = frame_bytes(KIND_DICT, &seg);
+        }
+        let dict_len = buf.len() as u64;
+        buf.extend_from_slice(&frame_bytes(kind, &payload));
+        // A failed earlier write leaves the cursor wherever the OS
+        // stopped; re-seek so a retried append lands at the logical end.
+        self.file.seek(SeekFrom::Start(self.end))?;
+        self.file.write_all(&buf)?;
+
+        if dict_len > 0 {
+            self.dict_frames.push((self.end, self.end + dict_len));
+            self.persisted = self.dict.watermark();
+        }
+        let idx = self.offsets.len() - 1;
+        self.end += buf.len() as u64;
+        self.offsets.push(self.end);
+        self.stats.records += 1;
+        self.stats.bytes += buf.len() as u64;
+        let checkpoint = kind == KIND_FULL;
+        if checkpoint {
+            self.checkpoints.push(idx);
+            self.stats.checkpoints += 1;
+        }
+        self.since_sync += 1;
+        self.bytes_since_sync += buf.len() as u64;
+        self.stats.pending_appends = self.since_sync as u64;
+        if self
+            .sync
+            .due(checkpoint, self.since_sync, self.bytes_since_sync)
+        {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn records(&self) -> RecordIter<'_> {
+        self.records_from(0)
+    }
+
+    fn records_from(&self, start: usize) -> RecordIter<'_> {
+        let count = self.len();
+        let start = start.min(count);
+        let start_off = self.offsets[start];
+        let made = File::open(&self.path).and_then(|mut f| {
+            // Preload the dictionary segments written before the start
+            // offset — mid-archive entry points (checkpoint resume) need
+            // every id interned so far.
+            let mut dict = ArchiveDict::with_epoch(self.dict.epoch);
+            let mut payload = Vec::new();
+            for &(s, e) in self.dict_frames.iter().filter(|(s, _)| *s < start_off) {
+                f.seek(SeekFrom::Start(s))?;
+                let mut frame = [0u8; FRAME_LEN as usize];
+                f.read_exact(&mut frame)?;
+                let len = u32::from_le_bytes([frame[1], frame[2], frame[3], frame[4]]) as usize;
+                let crc = u32::from_le_bytes([frame[5], frame[6], frame[7], frame[8]]);
+                if s + FRAME_LEN + len as u64 != e {
+                    return Err(bad_data("dictionary frame span changed on disk".into()));
+                }
+                payload.clear();
+                payload.resize(len, 0);
+                f.read_exact(&mut payload)?;
+                if crc32_v2(KIND_DICT, &payload) != crc {
+                    return Err(bad_data("dictionary segment fails its CRC".into()));
+                }
+                dict.apply_segment(&payload)?;
+            }
+            f.seek(SeekFrom::Start(start_off))?;
+            Ok(FileRecordIterV2 {
+                reader: Some(BufReader::new(f)),
+                remaining: count - start,
+                next_seq: start as u64,
+                dict,
+                file_end: self.end,
+                pos: start_off,
+            })
+        });
+        match made {
+            Ok(iter) => Box::new(iter),
+            Err(e) => Box::new(std::iter::once(Err(e))),
+        }
+    }
+
+    fn last_checkpoint(&self) -> Option<usize> {
+        self.checkpoints.last().copied()
+    }
+
+    fn stats(&self) -> ArchiveStats {
+        self.stats.clone()
+    }
+
+    fn describe(&self) -> ArchiveInfo {
+        ArchiveInfo {
+            format_version: FORMAT_VERSION_V2,
+            epoch: self.dict.epoch,
+            dict_entries: self.dict.len() as u64,
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()?;
+        self.stats.fsyncs += 1;
+        self.since_sync = 0;
+        self.bytes_since_sync = 0;
+        self.stats.pending_appends = 0;
+        Ok(())
+    }
+}
+
+/// Streams records from a v2 archive, applying inline dictionary
+/// segments and validating CRCs and sequence numbers as it goes.
+struct FileRecordIterV2 {
+    reader: Option<BufReader<File>>,
+    remaining: usize,
+    next_seq: u64,
+    dict: ArchiveDict,
+    /// Logical end of the archive when the iterator was created; frames
+    /// are bounded against it so a corrupt length cannot drive reads or
+    /// allocation past the archive.
+    file_end: u64,
+    pos: u64,
+}
+
+impl FileRecordIterV2 {
+    fn read_one(&mut self) -> io::Result<LogRecord> {
+        let reader = self.reader.as_mut().expect("checked by next()");
+        loop {
+            let mut frame = [0u8; FRAME_LEN as usize];
+            reader.read_exact(&mut frame)?;
+            let kind = frame[0];
+            let len = u64::from(u32::from_le_bytes([frame[1], frame[2], frame[3], frame[4]]));
+            let crc = u32::from_le_bytes([frame[5], frame[6], frame[7], frame[8]]);
+            if kind > KIND_DICT {
+                return Err(bad_data(format!("unknown record kind {kind}")));
+            }
+            if self.pos + FRAME_LEN + len > self.file_end {
+                return Err(bad_data("record frame runs past the archive".into()));
+            }
+            let mut payload = vec![0u8; len as usize];
+            reader.read_exact(&mut payload)?;
+            if crc32_v2(kind, &payload) != crc {
+                return Err(bad_data("record payload fails its CRC".into()));
+            }
+            self.pos += FRAME_LEN + len;
+            if kind == KIND_DICT {
+                self.dict.apply_segment(&payload)?;
+                continue;
+            }
+            let rec = decode_record_v2(kind, &payload, &self.dict, self.next_seq)?;
+            self.next_seq += 1;
+            return Ok(rec);
+        }
+    }
+}
+
+impl Iterator for FileRecordIterV2 {
+    type Item = io::Result<LogRecord>;
+
+    fn next(&mut self) -> Option<io::Result<LogRecord>> {
+        if self.remaining == 0 || self.reader.is_none() {
+            return None;
+        }
+        self.remaining -= 1;
+        match self.read_one() {
+            Ok(rec) => Some(Ok(rec)),
+            Err(e) => {
+                self.reader = None; // fuse on error
+                Some(Err(e))
+            }
+        }
     }
 }
 
@@ -498,13 +1594,14 @@ pub enum ArchiveSpec {
     /// In-process `Vec` archives (the original behaviour).
     #[default]
     Memory,
-    /// On-disk archives, one `<router>.marc` file per router.
+    /// On-disk archives (MANTRARC v2), one `<router>.marc` file per
+    /// router.
     File {
         /// Directory holding the archive files (created on demand).
         dir: PathBuf,
-        /// Extra `fsync` cadence between checkpoints (0 = checkpoints
-        /// only).
-        fsync_every: usize,
+        /// When the backends fsync (checkpoints, record cadence, byte
+        /// cadence).
+        sync: SyncPolicy,
     },
 }
 
@@ -658,13 +1755,16 @@ mod tests {
         std::fs::write(&path, b"NOTANARCHIVE----------------").unwrap();
         let err = FileBackend::open(&path).unwrap_err();
         assert!(err.to_string().contains("MANTRARC"), "{err}");
-        // Wrong version is called out explicitly.
+        // An unknown (future) version is called out explicitly, by both
+        // readers.
         let mut header = Vec::new();
         header.extend_from_slice(&MAGIC);
         header.extend_from_slice(&99u16.to_le_bytes());
         header.resize(HEADER_LEN as usize, 0);
         std::fs::write(&path, &header).unwrap();
         let err = FileBackend::open(&path).unwrap_err();
+        assert!(err.to_string().contains("version 99"), "{err}");
+        let err = FileBackendV2::open(&path).unwrap_err();
         assert!(err.to_string().contains("version 99"), "{err}");
         std::fs::remove_file(&path).unwrap();
     }
@@ -677,13 +1777,265 @@ mod tests {
         let (full, full_json) = full_record(0);
         be.append(&full, &full_json).unwrap();
         assert_eq!(be.stats().fsyncs, base + 1, "checkpoint syncs");
-        be.fsync_every = 2;
+        assert_eq!(be.stats().pending_appends, 0);
+        be.sync = SyncPolicy::every_records(2);
         for n in 1..=4 {
             let (d, j) = delta_record(n);
             be.append(&d, &j).unwrap();
         }
         assert_eq!(be.stats().fsyncs, base + 3, "every second delta syncs");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn byte_cadence_and_pending_appends_account_durability() {
+        let path = tmp("fsync-bytes.marc");
+        let mut be = FileBackendV2::create(&path).unwrap();
+        be.sync = SyncPolicy {
+            on_checkpoint: false,
+            every_records: 0,
+            every_bytes: 1, // every append crosses the byte threshold
+        };
+        let (full, j) = full_record(0);
+        be.append(&full, &j).unwrap();
+        assert_eq!(be.stats().fsyncs, 2, "create + byte-cadence sync");
+        assert_eq!(be.stats().pending_appends, 0);
+        be.sync = SyncPolicy {
+            on_checkpoint: false,
+            every_records: 0,
+            every_bytes: 0,
+        };
+        for n in 1..=3 {
+            let (d, j) = delta_record(n);
+            be.append(&d, &j).unwrap();
+        }
+        assert_eq!(be.stats().fsyncs, 2, "no further syncs");
+        assert_eq!(be.stats().pending_appends, 3, "three records at risk");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    fn rich_full(n: u64) -> (LogRecord, String) {
+        use crate::tables::{PairRow, RouteRow, SessionRow};
+        let g = GroupAddr::from_index;
+        let parts = SnapshotParts {
+            captured_at: SimTime(n),
+            router: "fixw".into(),
+            pairs: vec![PairRow {
+                source: Ip::new(10, 0, 0, 1),
+                group: g(1),
+                current_bw: BitRate::from_kbps(64 + n),
+                avg_bw: BitRate::from_kbps(60),
+                forwarding: n.is_multiple_of(2),
+                learned_from: LearnedFrom::Pim,
+            }],
+            routes: vec![
+                RouteRow {
+                    prefix: Prefix::new(Ip::new(128, 9, 0, 0), 16).unwrap(),
+                    next_hop: Some(Ip::new(10, 0, 0, 2)),
+                    metric: 3,
+                    uptime: Some(SimDuration::secs(900 * n)),
+                    reachable: true,
+                    learned_from: LearnedFrom::Dvmrp,
+                },
+                RouteRow {
+                    prefix: Prefix::new(Ip::new(192, 168, 0, 0), 24).unwrap(),
+                    next_hop: None,
+                    metric: 1,
+                    uptime: None,
+                    reachable: false,
+                    learned_from: LearnedFrom::Mbgp,
+                },
+            ],
+            sa_cache: vec![(g(1), Ip::new(10, 0, 0, 1), SimTime(n))],
+            member_only_sessions: vec![SessionRow {
+                group: g(2),
+                name: Some("sap announce".into()),
+                density: 4,
+                bandwidth: BitRate::from_kbps(2),
+                first_advertised: LearnedFrom::Igmp,
+                first_seen: SimTime(n),
+            }],
+            presorted: false,
+        };
+        let rec = LogRecord::Full(parts);
+        let json = serde_json::to_string(&rec).unwrap();
+        (rec, json)
+    }
+
+    fn rich_delta(n: u64) -> (LogRecord, String) {
+        let g = GroupAddr::from_index;
+        let rec = LogRecord::Delta(TableDelta {
+            captured_at: SimTime(n),
+            pair_upserts: Vec::new(),
+            pair_removals: vec![(g(1), Ip::new(10, 0, 0, 1))],
+            route_upserts: Vec::new(),
+            route_removals: vec![(
+                LearnedFrom::Mbgp,
+                Prefix::new(Ip::new(192, 168, 0, 0), 24).unwrap(),
+            )],
+            sa_upserts: vec![(g(3), Ip::new(10, 0, 9, 9), SimTime(n))],
+            sa_removals: vec![(g(1), Ip::new(10, 0, 0, 1))],
+            session_upserts: Vec::new(),
+            session_removals: vec![g(2)],
+        });
+        let json = serde_json::to_string(&rec).unwrap();
+        (rec, json)
+    }
+
+    fn json_of(rec: &LogRecord) -> String {
+        serde_json::to_string(rec).unwrap()
+    }
+
+    /// Start of record `i`'s own frame: append batches may lead with a
+    /// dictionary frame, so skip it when one sits at the batch offset.
+    fn rec_frame_start(be: &FileBackendV2, i: usize) -> u64 {
+        let s = be.offsets()[i];
+        be.dict_frames()
+            .iter()
+            .find(|&&(ds, _)| ds == s)
+            .map_or(s, |&(_, e)| e)
+    }
+
+    #[test]
+    fn v2_backend_round_trips_records_and_reopens() {
+        let path = tmp("v2-roundtrip.marc");
+        let mut be = FileBackendV2::create(&path).unwrap();
+        let recs = vec![rich_full(0), rich_delta(1), rich_delta(2), rich_full(3)];
+        for (rec, json) in &recs {
+            be.append(rec, json).unwrap();
+        }
+        assert_eq!(be.len(), 4);
+        assert_eq!(be.last_checkpoint(), Some(3));
+        assert!(
+            !be.dict_frames().is_empty(),
+            "new keys force dictionary segments"
+        );
+        let back: Vec<LogRecord> = be.records().map(|r| r.unwrap()).collect();
+        for ((orig, _), got) in recs.iter().zip(&back) {
+            assert_eq!(json_of(orig), json_of(got));
+        }
+        // Mid-archive entry (checkpoint resume) preloads the dictionary.
+        let tail: Vec<LogRecord> = be.records_from(3).map(|r| r.unwrap()).collect();
+        assert_eq!(tail.len(), 1);
+        assert_eq!(json_of(&tail[0]), json_of(&recs[3].0));
+        let info = be.describe();
+        assert_eq!(info.format_version, FORMAT_VERSION_V2);
+        assert_eq!(info.epoch, 1);
+        assert!(info.dict_entries > 0);
+        drop(be);
+        let be = FileBackendV2::open(&path).unwrap();
+        assert_eq!(be.len(), 4);
+        assert_eq!(be.last_checkpoint(), Some(3));
+        assert_eq!(be.stats().recovered_bytes, 0);
+        let back: Vec<LogRecord> = be.records().map(|r| r.unwrap()).collect();
+        assert_eq!(json_of(&back[2]), json_of(&recs[2].0));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn v2_truncated_tail_recovers_to_last_valid_record() {
+        let path = tmp("v2-truncated.marc");
+        let mut be = FileBackendV2::create(&path).unwrap();
+        for (rec, json) in [rich_full(0), rich_delta(1), rich_delta(2)] {
+            be.append(&rec, &json).unwrap();
+        }
+        let offsets = be.offsets().to_vec();
+        drop(be);
+        let cut = offsets[3] - 3;
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(cut).unwrap();
+        drop(f);
+        let be = FileBackendV2::open(&path).unwrap();
+        assert_eq!(be.len(), 2, "last record dropped");
+        assert!(be.stats().recovered_bytes > 0);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), offsets[2]);
+        // Appending after recovery keeps the archive self-consistent.
+        let mut be = be;
+        let (rec, json) = rich_delta(9);
+        be.append(&rec, &json).unwrap();
+        let back: Vec<LogRecord> = be.records().map(|r| r.unwrap()).collect();
+        assert_eq!(back.len(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn v2_kind_flip_is_caught_by_the_frame_crc() {
+        let path = tmp("v2-kindflip.marc");
+        let mut be = FileBackendV2::create(&path).unwrap();
+        for (rec, json) in [rich_full(0), rich_delta(1), rich_delta(2)] {
+            be.append(&rec, &json).unwrap();
+        }
+        let at = rec_frame_start(&be, 1) as usize;
+        drop(be);
+        // Flip record 1's kind byte from Delta to Full; the payload CRC
+        // alone would still pass, but the v2 CRC covers the kind.
+        let mut bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes[at], KIND_DELTA);
+        bytes[at] = KIND_FULL;
+        std::fs::write(&path, &bytes).unwrap();
+        let be = FileBackendV2::open(&path).unwrap();
+        assert_eq!(be.len(), 1, "the flipped frame ends the archive");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn v2_duplicated_record_frame_is_caught_by_its_sequence_number() {
+        let path = tmp("v2-dup.marc");
+        let mut be = FileBackendV2::create(&path).unwrap();
+        for (rec, json) in [rich_full(0), rich_delta(1)] {
+            be.append(&rec, &json).unwrap();
+        }
+        let span = (rec_frame_start(&be, 1) as usize, be.offsets()[2] as usize);
+        drop(be);
+        // Append a byte-exact copy of the last record frame (without its
+        // dictionary frame): CRC-valid, but its sequence number repeats.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let dup = bytes[span.0..span.1].to_vec();
+        bytes.extend_from_slice(&dup);
+        std::fs::write(&path, &bytes).unwrap();
+        let be = FileBackendV2::open(&path).unwrap();
+        assert_eq!(be.len(), 2, "the duplicated frame is dropped");
+        assert!(be.stats().recovered_bytes > 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn v2_epoch_mismatched_dictionary_segment_ends_the_archive() {
+        let path = tmp("v2-epoch.marc");
+        let mut be = FileBackendV2::create_with_epoch(&path, 7).unwrap();
+        let (rec, json) = rich_full(0);
+        be.append(&rec, &json).unwrap();
+        assert_eq!(be.describe().epoch, 7);
+        drop(be);
+        // Rewrite the header epoch: every dictionary segment is now
+        // stamped with the wrong epoch and replay must refuse the ids.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[12..16].copy_from_slice(&8u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let be = FileBackendV2::open(&path).unwrap();
+        assert_eq!(be.len(), 0, "stale-epoch ids are never resolved");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn v2_payloads_are_smaller_than_v1_for_the_same_records() {
+        let p1 = tmp("size-v1.marc");
+        let p2 = tmp("size-v2.marc");
+        let mut v1 = FileBackend::create(&p1).unwrap();
+        let mut v2 = FileBackendV2::create(&p2).unwrap();
+        for n in 0..8 {
+            let (rec, json) = if n == 0 { rich_full(n) } else { rich_delta(n) };
+            v1.append(&rec, &json).unwrap();
+            v2.append(&rec, &json).unwrap();
+        }
+        assert!(
+            v2.stats().bytes < v1.stats().bytes,
+            "v2 {} bytes should undercut v1 {} bytes",
+            v2.stats().bytes,
+            v1.stats().bytes
+        );
+        std::fs::remove_file(&p1).unwrap();
+        std::fs::remove_file(&p2).unwrap();
     }
 
     #[test]

@@ -53,7 +53,10 @@ pub mod store;
 pub mod tables;
 pub mod web;
 
-pub use archive::{ArchiveBackend, ArchiveSpec, ArchiveStats, FileBackend, MemoryBackend};
+pub use archive::{
+    ArchiveBackend, ArchiveDict, ArchiveInfo, ArchiveSpec, ArchiveStats, FileBackend,
+    FileBackendV2, MemoryBackend, SyncPolicy,
+};
 pub use collector::{CaptureError, CollectStats, Collector, RetryPolicy, RouterAccess};
 pub use monitor::{Monitor, MonitorConfig, RouterHealth};
 pub use pipeline::{PipelineMetrics, Stage, StageKind, StageMetrics};

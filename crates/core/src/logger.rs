@@ -23,7 +23,9 @@ use serde::{Deserialize, Serialize};
 use mantra_net::{GroupAddr, Ip, Prefix, SimTime};
 
 use crate::archive::{
-    ArchiveBackend, ArchiveSpec, ArchiveStats, FileBackend, MemoryBackend, RecordIter, MAGIC,
+    read_header, unsupported_version, ArchiveBackend, ArchiveInfo, ArchiveSpec, ArchiveStats,
+    FileBackend, FileBackendV2, MemoryBackend, RecordIter, SyncPolicy, FORMAT_VERSION,
+    FORMAT_VERSION_V2, MAGIC,
 };
 use crate::store::{in_key_order, in_key_order_cached, Interner, TableStore};
 use crate::tables::{LearnedFrom, PairRow, RouteRow, SessionRow, Tables};
@@ -628,13 +630,33 @@ impl TableLog {
         }
     }
 
-    /// Opens (or creates) an on-disk archive at `path` for appending.
+    /// Opens (or creates) an on-disk archive at `path` for appending,
+    /// dispatching on the header's format version: existing v1 archives
+    /// keep appending JSON frames through [`FileBackend`], v2 archives
+    /// (and fresh files) go through [`FileBackendV2`], and an unknown
+    /// version fails loudly instead of guessing.
     ///
     /// The tail snapshot and delta cadence are rebuilt by replaying only
     /// the records from the last checkpoint — a reopened archive keeps
     /// appending deltas exactly as if the process had never stopped.
     pub fn open_file(path: &Path, full_every: usize) -> io::Result<TableLog> {
-        let backend = FileBackend::open(path)?;
+        let backend: Box<dyn ArchiveBackend> = if path.exists() {
+            let (version, _) = read_header(&mut std::fs::File::open(path)?)?;
+            match version {
+                FORMAT_VERSION => Box::new(FileBackend::open(path)?),
+                FORMAT_VERSION_V2 => Box::new(FileBackendV2::open(path)?),
+                v => return Err(unsupported_version(v)),
+            }
+        } else {
+            Box::new(FileBackendV2::create(path)?)
+        };
+        Self::resume(backend, full_every)
+    }
+
+    /// Rebuilds the in-memory tail state (last snapshot, delta cadence)
+    /// from an already-opened backend by replaying from its last
+    /// checkpoint.
+    fn resume(backend: Box<dyn ArchiveBackend>, full_every: usize) -> io::Result<TableLog> {
         let start = backend.last_checkpoint().unwrap_or(0);
         let mut store = TableStore::default();
         let mut tail: Option<SnapshotParts> = None;
@@ -659,7 +681,7 @@ impl TableLog {
         }
         let bytes_stored = backend.stats().bytes as usize;
         Ok(TableLog {
-            backend: Box::new(backend),
+            backend,
             tail,
             since_full,
             scratch: store,
@@ -675,6 +697,11 @@ impl TableLog {
     /// The backend's archive accounting.
     pub fn archive_stats(&self) -> ArchiveStats {
         self.backend.stats()
+    }
+
+    /// The backend's format identity (version/epoch/dictionary size).
+    pub fn describe(&self) -> ArchiveInfo {
+        self.backend.describe()
     }
 
     /// The backend's name ("memory", "file").
@@ -805,10 +832,12 @@ impl TableLog {
     }
 
     /// Loads an archive from disk, sniffing the format: a `MANTRARC`
-    /// header loads through [`FileBackend`] (checkpointed binary
-    /// archives, resuming appends), JSON-lines loads the legacy
-    /// [`TableLog::save`] shape into memory, and anything else is
-    /// rejected with a clear error instead of a JSON parse failure.
+    /// header dispatches on its format version ([`FileBackend`] for v1,
+    /// [`FileBackendV2`] for v2, a clear unsupported-version error for
+    /// anything newer — never a fallback to JSONL sniffing), JSON-lines
+    /// loads the legacy [`TableLog::save`] shape into memory, and
+    /// anything else is rejected with a clear error instead of a JSON
+    /// parse failure.
     pub fn load(path: &Path, full_every: usize) -> io::Result<TableLog> {
         use std::io::Read as _;
         let mut head = Vec::new();
@@ -928,10 +957,10 @@ impl ArchiveSpec {
     pub fn open_log(&self, router: &str, full_every: usize) -> TableLog {
         match self {
             ArchiveSpec::Memory => TableLog::new(full_every),
-            ArchiveSpec::File { dir, fsync_every } => {
-                match FileBackend::create(ArchiveSpec::path_for(dir, router)) {
+            ArchiveSpec::File { dir, sync } => {
+                match FileBackendV2::create(ArchiveSpec::path_for(dir, router)) {
                     Ok(mut backend) => {
-                        backend.fsync_every = *fsync_every;
+                        backend.sync = *sync;
                         TableLog::with_backend(Box::new(backend), full_every)
                     }
                     Err(e) => {
@@ -946,6 +975,66 @@ impl ArchiveSpec {
             }
         }
     }
+}
+
+/// Policies for [`compact_archive`].
+#[derive(Clone, Debug)]
+pub struct CompactOptions {
+    /// Checkpoint cadence of the rewritten archive — compaction is also
+    /// a re-checkpointing pass, so replay-entry density can be chosen
+    /// independently of what the source archive used.
+    pub full_every: usize,
+    /// Drop snapshots captured before this time (a retention policy:
+    /// fleet-day archives are compacted with the already-summarised
+    /// prefix dropped).
+    pub drop_before: Option<SimTime>,
+    /// Fsync cadence for the rewrite.
+    pub sync: SyncPolicy,
+}
+
+impl Default for CompactOptions {
+    fn default() -> Self {
+        CompactOptions {
+            full_every: 96,
+            drop_before: None,
+            sync: SyncPolicy::default(),
+        }
+    }
+}
+
+/// Rewrites `src` as a fresh MANTRARC v2 archive at `out`, returning the
+/// rewritten log and how many snapshots the retention policy dropped.
+///
+/// The rewrite replays the source and re-appends, so it re-checkpoints
+/// on the new cadence, re-chooses full-vs-delta per record, and builds a
+/// brand-new dictionary containing only keys the surviving records
+/// reference — dead entries (routers renamed away, sessions long gone,
+/// everything referenced only by dropped snapshots) are garbage
+/// collected. The new archive's interner epoch is the source's epoch
+/// plus one, so v2 payloads salvaged from the old file can never be
+/// resolved against the new dictionary.
+pub fn compact_archive(
+    src: &TableLog,
+    out: &Path,
+    opts: &CompactOptions,
+) -> io::Result<(TableLog, usize)> {
+    let epoch = src.describe().epoch.saturating_add(1);
+    let mut backend = FileBackendV2::create_with_epoch(out, epoch)?;
+    backend.sync = opts.sync;
+    let mut dst = TableLog::with_backend(Box::new(backend), opts.full_every);
+    let mut dropped = 0usize;
+    for tables in src.replay_iter() {
+        let tables = tables?;
+        if opts.drop_before.is_some_and(|ts| tables.captured_at < ts) {
+            dropped += 1;
+            continue;
+        }
+        dst.append(&tables);
+        if let Some(e) = dst.backend_error() {
+            return Err(io::Error::other(format!("compaction write failed: {e}")));
+        }
+    }
+    Ok((dst, dropped))
 }
 
 #[cfg(test)]
@@ -1179,9 +1268,10 @@ mod tests {
         let dir = tmp_dir();
         let spec = ArchiveSpec::File {
             dir: dir.clone(),
-            fsync_every: 0,
+            sync: SyncPolicy::default(),
         };
         let mut file_log = spec.open_log("fixw", 3);
+        assert_eq!(file_log.describe().format_version, FORMAT_VERSION_V2);
         let mut mem_log = TableLog::new(3);
         assert_eq!(file_log.backend_kind(), "file");
         for s in &snaps {
@@ -1232,10 +1322,76 @@ mod tests {
     }
 
     #[test]
+    fn load_fails_loudly_on_unknown_mantrarc_versions() {
+        // A future v3 archive must be refused with a version error, not
+        // fall through to legacy-JSONL sniffing (which would report a
+        // bewildering JSON parse failure on binary data).
+        let path = tmp_dir().join("future.marc");
+        let mut header = Vec::new();
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&3u16.to_le_bytes());
+        header.resize(24, 0);
+        std::fs::write(&path, &header).unwrap();
+        let err = TableLog::load(&path, 3).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unsupported format version 3"), "{msg}");
+        assert!(msg.contains("versions 1 and 2"), "{msg}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compaction_drops_old_snapshots_gcs_the_dictionary_and_bumps_the_epoch() {
+        let dir = tmp_dir();
+        let spec = ArchiveSpec::File {
+            dir: dir.clone(),
+            sync: SyncPolicy::default(),
+        };
+        let mut log = spec.open_log("fixw-compact", 3);
+        // Tables big enough that deltas beat full records; early cycles
+        // reference hosts that later disappear entirely.
+        let base: Vec<(u32, Ip, u64)> = (0..40u32).map(|i| (i, Ip(0x0a00_0000 + i), 64)).collect();
+        for n in 0..10u64 {
+            let mut pairs = base.clone();
+            pairs[0].2 = 64 + n; // one rate changes per cycle
+            if n < 4 {
+                pairs.push((90 + n as u32, Ip(0x0909_0900 + n as u32), 8));
+            }
+            log.append(&snapshot(n, &pairs));
+        }
+        let out = dir.join("fixw-compacted.marc");
+        let (compacted, dropped) = compact_archive(
+            &log,
+            &out,
+            &CompactOptions {
+                full_every: 4,
+                drop_before: Some(t(4)),
+                sync: SyncPolicy::default(),
+            },
+        )
+        .unwrap();
+        assert_eq!(dropped, 4);
+        assert_eq!(compacted.replay(), log.replay()[4..].to_vec());
+        assert_eq!(compacted.describe().epoch, log.describe().epoch + 1);
+        assert!(
+            compacted.describe().dict_entries < log.describe().dict_entries,
+            "keys referenced only by dropped snapshots are GC'd \
+             ({} vs {})",
+            compacted.describe().dict_entries,
+            log.describe().dict_entries
+        );
+        // The rewrite re-checkpoints on its own cadence and reloads.
+        assert_eq!(compacted.archive_stats().checkpoints, 2);
+        let reloaded = TableLog::load(&out, 4).unwrap();
+        assert_eq!(reloaded.replay(), compacted.replay());
+        std::fs::remove_file(&out).unwrap();
+        std::fs::remove_file(ArchiveSpec::path_for(&dir, "fixw-compact")).unwrap();
+    }
+
+    #[test]
     fn unwritable_archive_dir_falls_back_to_memory() {
         let spec = ArchiveSpec::File {
             dir: std::path::PathBuf::from("/proc/no-such-dir/archives"),
-            fsync_every: 0,
+            sync: SyncPolicy::default(),
         };
         let mut log = spec.open_log("fixw", 3);
         assert_eq!(log.backend_kind(), "memory");

@@ -363,11 +363,15 @@ impl Monitor {
             vec![
                 "router",
                 "backend",
+                "v",
+                "epoch",
+                "dict",
                 "records",
                 "checkpoints",
                 "kbytes",
                 "savings_pct",
                 "fsyncs",
+                "pending",
                 "errors",
                 "persistence",
             ],
@@ -377,14 +381,19 @@ impl Monitor {
                 continue;
             };
             let stats = st.log.archive_stats();
+            let info = st.log.describe();
             table.push_row(vec![
                 Cell::Text(router.clone()),
                 Cell::Text(st.log.backend_kind().into()),
+                Cell::Num(info.format_version as f64),
+                Cell::Num(info.epoch as f64),
+                Cell::Num(info.dict_entries as f64),
                 Cell::Num(stats.records as f64),
                 Cell::Num(stats.checkpoints as f64),
                 Cell::Num(stats.bytes as f64 / 1024.0),
                 Cell::Num(100.0 * st.log.savings_ratio()),
                 Cell::Num(stats.fsyncs as f64),
+                Cell::Num(stats.pending_appends as f64),
                 Cell::Num(st.log.write_errors as f64),
                 Cell::Text(if st.log.fell_back { "degraded" } else { "ok" }.into()),
             ]);
@@ -537,6 +546,7 @@ impl Monitor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::archive::SyncPolicy;
     use crate::collector::SimAccess;
     use crate::pipeline::StageKind;
     use mantra_sim::Scenario;
@@ -674,7 +684,7 @@ mod tests {
         let mut monitor = Monitor::new(MonitorConfig {
             archive: ArchiveSpec::File {
                 dir: dir.clone(),
-                fsync_every: 0,
+                sync: SyncPolicy::default(),
             },
             ..MonitorConfig::default()
         });

@@ -230,6 +230,13 @@ pub struct ArchiveMetrics {
     pub bytes: u64,
     /// `fsync` calls issued.
     pub fsyncs: u64,
+    /// Appends accepted since the last `fsync` across this backend's
+    /// routers — with batched fsync cadences this is the fleet's current
+    /// power-loss exposure in records.
+    pub pending_appends: u64,
+    /// Embedded dictionary entries across this backend's archives
+    /// (MANTRARC v2).
+    pub dict_entries: u64,
     /// Appends the backend failed to persist.
     pub write_errors: u64,
     /// Routers whose requested backend could not be opened and whose log
@@ -292,6 +299,8 @@ impl PipelineMetrics {
             m.checkpoints += stats.checkpoints;
             m.bytes += stats.bytes;
             m.fsyncs += stats.fsyncs;
+            m.pending_appends += stats.pending_appends;
+            m.dict_entries += st.log.describe().dict_entries;
             m.write_errors += st.log.write_errors;
             m.fallbacks += u64::from(st.log.fell_back);
         }
@@ -729,7 +738,11 @@ impl Stage for EnrichStage<'_> {
 /// The post-append tail of one router's Log body: growth curve,
 /// long-term trackers and the persistence-degradation health flag.
 fn finish_log(st: &mut RouterState, at: SimTime, tables: &Tables) {
-    st.archive_growth.push((at, st.log.bytes_stored as u64));
+    // Chart what's actually on disk (frame + header bytes), not the
+    // logger's JSON accounting — for v2 archives the two diverge, and
+    // the growth curve should reflect real storage cost. Memory
+    // backends report the same number either way.
+    st.archive_growth.push((at, st.log.archive_stats().bytes));
     st.longterm.observe(tables);
     // Surface silent archive degradation (memory fallback, failed
     // appends) where operators look: the health registry.

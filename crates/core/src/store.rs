@@ -150,6 +150,15 @@ impl<K: Eq + Hash + Clone> Interner<K> {
         &self.keys[id as usize]
     }
 
+    /// Every interned key, indexed by id — ids are assigned densely in
+    /// first-seen order and never change, so `keys()[id]` is stable for
+    /// the interner's lifetime. This is the export the archive dictionary
+    /// builds on: persisting `keys()[watermark..]` after each batch of
+    /// interns writes exactly the new entries, in id order.
+    pub fn keys(&self) -> &[K] {
+        &self.keys
+    }
+
     /// Number of interned keys.
     pub fn len(&self) -> usize {
         self.keys.len()

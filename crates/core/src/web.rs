@@ -214,6 +214,13 @@ pub fn report_html(monitor: &Monitor, router: &str) -> String {
              affected routers will not survive a restart.</p>"
         );
     }
+    let fsyncs: u64 = archives.iter().map(|a| a.fsyncs).sum();
+    let pending: u64 = archives.iter().map(|a| a.pending_appends).sum();
+    let _ = writeln!(
+        out,
+        "<p>Durability: {fsyncs} fsync(s) issued; {pending} append(s) pending since the \
+         last fsync (lost on power failure).</p>"
+    );
     let _ = writeln!(out, "{}", graph_svg(&monitor.usage_graph(router), 860, 300));
     let mut routes = Graph::new(format!("DVMRP routes at {router}"));
     routes.overlay(monitor.route_series(router, "dvmrp-routes", |r| r.dvmrp_reachable as f64));
@@ -324,6 +331,7 @@ mod tests {
         assert!(html.contains("route stability"));
         assert!(html.contains("Pipeline stages"));
         assert!(html.contains("Archives"));
+        assert!(html.contains("Durability:"));
         // Healthy archives raise no persistence warning.
         assert!(!html.contains("Degraded persistence"));
     }
@@ -344,7 +352,7 @@ mod tests {
             interval: sc.sim.tick(),
             archive: ArchiveSpec::File {
                 dir: bogus.join("archives"),
-                fsync_every: 0,
+                sync: crate::archive::SyncPolicy::default(),
             },
             ..MonitorConfig::default()
         });

@@ -1,0 +1,156 @@
+//! Golden v1 fixture archives: committed MANTRARC v1 files that pin the
+//! legacy on-disk format forever. The v2-capable reader must keep
+//! replaying them byte-identically to a memory archive fed the same
+//! stream, and `v1 → compact → v2` must preserve every row while
+//! shrinking the file.
+//!
+//! The fixture stream is regenerated deterministically in-test (no
+//! committed JSON), so a drift in either the fixture bytes or the reader
+//! shows up as a replay diff. To rewrite the fixtures after a deliberate
+//! format change:
+//!
+//! ```text
+//! cargo test --test archive_fixtures -- --ignored regenerate
+//! ```
+
+use std::path::PathBuf;
+
+use mantra::core::archive::FileBackend;
+use mantra::core::logger::{compact_archive, CompactOptions, TableLog};
+use mantra::core::tables::{LearnedFrom, PairRow, RouteRow, Tables};
+use mantra::net::{BitRate, GroupAddr, Ip, Prefix, SimTime};
+
+const FULL_EVERY: usize = 4;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("tests/data/{name}"))
+}
+
+/// The canonical fixture stream: 10 cycles over a small multicast fleet
+/// with per-cycle bandwidth drift, pair churn and a route flap — every
+/// record kind and both full/delta encodings appear.
+fn fixture_stream() -> Vec<Tables> {
+    (0..10u64)
+        .map(|n| {
+            let at = SimTime(SimTime::from_ymd(1999, 2, 15).as_secs() + n * 900);
+            let mut t = Tables::new("fixw", at);
+            for g in 0..10u32 {
+                t.add_pair(PairRow {
+                    source: Ip(0x0a14_0000 + g),
+                    group: GroupAddr::from_index(g),
+                    current_bw: BitRate::from_bps(2_000 + 131 * n * u64::from(g == 1)),
+                    avg_bw: BitRate::from_bps(2_000),
+                    forwarding: g % 3 != 0,
+                    learned_from: if g % 2 == 0 {
+                        LearnedFrom::Dvmrp
+                    } else {
+                        LearnedFrom::Pim
+                    },
+                });
+            }
+            // Churn: a pair that joins halfway through.
+            if n >= 5 {
+                t.add_pair(PairRow {
+                    source: Ip(0x0a14_0100 + n as u32),
+                    group: GroupAddr::from_index(30 + n as u32),
+                    current_bw: BitRate::from_bps(750),
+                    avg_bw: BitRate::from_bps(750),
+                    forwarding: true,
+                    learned_from: LearnedFrom::Msdp,
+                });
+            }
+            for i in 0..6u32 {
+                // One prefix flaps reachability every other cycle.
+                let reachable = i != 2 || n % 2 == 0;
+                t.add_route(RouteRow {
+                    prefix: Prefix::new(Ip(Ip::new(128, 111, 0, 0).0 + (i << 8)), 24).unwrap(),
+                    next_hop: Some(Ip::new(10, 20, 0, 1)),
+                    metric: 1 + i,
+                    uptime: None,
+                    reachable,
+                    learned_from: LearnedFrom::Dvmrp,
+                });
+            }
+            t
+        })
+        .collect()
+}
+
+/// Rewrites the committed fixtures. Run explicitly (`-- --ignored`)
+/// after a deliberate v1 writer change — never from CI.
+#[test]
+#[ignore = "regenerates the committed fixtures in tests/data/"]
+fn regenerate() {
+    let path = fixture_path("fixw-v1.marc");
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    let _ = std::fs::remove_file(&path);
+    let backend = FileBackend::create(&path).unwrap();
+    let mut log = TableLog::with_backend(Box::new(backend), FULL_EVERY);
+    for s in &fixture_stream() {
+        log.append(s);
+    }
+    assert_eq!(log.backend_error(), None);
+    eprintln!("wrote {}", path.display());
+}
+
+#[test]
+fn v1_fixture_replays_byte_identically_to_memory() {
+    let streams = fixture_stream();
+    let log = TableLog::load(&fixture_path("fixw-v1.marc"), FULL_EVERY).unwrap();
+    assert_eq!(log.backend_kind(), "file");
+    assert_eq!(log.describe().format_version, 1);
+    assert_eq!(log.archive_stats().recovered_bytes, 0);
+
+    let mut mem = TableLog::new(FULL_EVERY);
+    for s in &streams {
+        mem.append(s);
+    }
+    // Same rows, same record kinds, same logical payload bytes: the v1
+    // reader in the v2-capable build loses nothing.
+    assert_eq!(log.replay(), streams);
+    assert_eq!(log.replay(), mem.replay());
+    // The fixture stores exactly the memory log's JSON payloads plus the
+    // fixed 9-byte v1 frame header per record — pinning both the payload
+    // bytes and the frame overhead.
+    let stats = log.archive_stats();
+    assert_eq!(stats.bytes, mem.bytes_stored as u64 + 9 * stats.records);
+    assert_eq!(stats.checkpoints, mem.archive_stats().checkpoints);
+}
+
+#[test]
+fn v1_fixture_compacts_to_an_equivalent_smaller_v2_archive() {
+    let src = TableLog::load(&fixture_path("fixw-v1.marc"), FULL_EVERY).unwrap();
+    let out = std::env::temp_dir().join(format!(
+        "mantra-fixture-compact-{}.marc",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&out);
+    let (dst, dropped) = compact_archive(
+        &src,
+        &out,
+        &CompactOptions {
+            full_every: FULL_EVERY,
+            ..CompactOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(dropped, 0);
+    assert_eq!(dst.replay(), src.replay());
+    // The rewrite bumps the dictionary epoch past the v1 source's 0 and
+    // lands in the id-keyed format, which is strictly smaller on disk.
+    let info = dst.describe();
+    assert_eq!(info.format_version, 2);
+    assert_eq!(info.epoch, 1);
+    assert!(info.dict_entries > 0);
+    assert!(
+        dst.archive_stats().bytes < src.archive_stats().bytes,
+        "v2 {} bytes vs v1 {} bytes",
+        dst.archive_stats().bytes,
+        src.archive_stats().bytes
+    );
+    // And the compacted archive reloads through the format sniffer.
+    drop(dst);
+    let reloaded = TableLog::load(&out, FULL_EVERY).unwrap();
+    assert_eq!(reloaded.replay(), src.replay());
+    std::fs::remove_file(&out).unwrap();
+}

@@ -17,6 +17,17 @@ pub mod test_runner {
         pub fn with_cases(cases: u32) -> Self {
             ProptestConfig { cases }
         }
+
+        /// The case count actually run: the `PROPTEST_CASES` environment
+        /// variable overrides the configured count when set (matching
+        /// upstream proptest), so CI can rerun the same suites at higher
+        /// case counts without code changes.
+        pub fn effective_cases(&self) -> u32 {
+            match std::env::var("PROPTEST_CASES") {
+                Ok(v) => v.trim().parse().unwrap_or(self.cases),
+                Err(_) => self.cases,
+            }
+        }
     }
 
     impl Default for ProptestConfig {
@@ -423,7 +434,7 @@ macro_rules! __proptest_items {
                 concat!(module_path!(), "::", stringify!($name)),
             );
             let __strategy = ( $($strat,)+ );
-            for __case in 0..__config.cases {
+            for __case in 0..__config.effective_cases() {
                 let ( $($arg,)+ ) =
                     $crate::strategy::Strategy::generate(&__strategy, &mut __rng);
                 $body
