@@ -5,7 +5,9 @@ use std::path::{Path, PathBuf};
 use mantra_core::archive::replay_summary_line;
 use mantra_core::collector::{FlakyAccess, SimAccess};
 use mantra_core::logger::{compact_archive, CompactOptions, TableLog};
-use mantra_core::{ArchiveSpec, Monitor, MonitorConfig, RetryPolicy, SyncPolicy};
+use mantra_core::{
+    ArchiveSpec, BackpressureMode, Monitor, MonitorConfig, RetryPolicy, SyncPolicy, WriterConfig,
+};
 use mantra_net::{SimDuration, SimTime};
 use mantra_sim::Scenario;
 
@@ -18,6 +20,7 @@ mantra — router-based multicast monitoring (simulated 1998-2000 internetwork)
 USAGE:
   mantra monitor  [--seed N] [--native F] [--hours H] [--loss P] [--html FILE]
                   [--archive-dir DIR] [--fsync-every N] [--fsync-bytes B]
+                  [--archive-writer sync|block|shed] [--archive-queue N]
   mantra health   [--seed N] [--native F] [--hours H] [--fail P] [--truncate P]
                   [--retries N]
   mantra incident [--seed N]
@@ -38,6 +41,10 @@ OPTIONS:
   --archive-dir DIR  persist per-router table logs as .marc archives in DIR
   --fsync-every N batch fsync: sync after every N appends (0 = checkpoints only)
   --fsync-bytes B batch fsync: sync after B unsynced bytes (0 = checkpoints only)
+  --archive-writer M  archive I/O mode: sync (default, writes on the collection
+                  path), block (writer thread, full queue blocks), or shed
+                  (writer thread, full queue drops the record — loudly)
+  --archive-queue N  writer-thread queue capacity in records (default 64)
   --path FILE     archive to inspect (.marc binary or legacy .jsonl)
   --out FILE      destination archive for `archive compact`
   --full-every N  full-snapshot checkpoint cadence when rewriting (default 96)
@@ -55,8 +62,12 @@ fn scenario(opts: &Opts) -> Result<Scenario, String> {
     if !(0.0..=1.0).contains(&native) {
         return Err("--native must be in [0,1]".into());
     }
+    let loss = opts.f64_or("loss", 0.02)?;
+    if !(0.0..=1.0).contains(&loss) {
+        return Err("--loss must be in [0,1]".into());
+    }
     let mut sc = Scenario::transition_snapshot(seed, native);
-    sc.sim.set_report_loss(opts.f64_or("loss", 0.02)?);
+    sc.sim.set_report_loss(loss);
     Ok(sc)
 }
 
@@ -71,15 +82,38 @@ fn warmed(opts: &Opts, hours: u64) -> Result<Scenario, String> {
 pub fn monitor(opts: &Opts) -> Result<(), String> {
     let hours = opts.u64_or("hours", 12)?;
     let archive_dir = opts.get("archive-dir").map(PathBuf::from);
+    // Validated whether or not --archive-dir is given: a typo'd mode must
+    // error, not silently monitor without the writer the user asked for.
+    let writer_mode = match opts.get("archive-writer").unwrap_or("sync") {
+        "sync" => None,
+        "block" => Some(BackpressureMode::Block),
+        "shed" => Some(BackpressureMode::Shed),
+        other => {
+            return Err(format!(
+                "--archive-writer '{other}': expected sync, block or shed"
+            ))
+        }
+    };
+    let capacity = opts.u64_or("archive-queue", 64)?.max(1) as usize;
     let archive = match &archive_dir {
-        Some(dir) => ArchiveSpec::File {
-            dir: dir.clone(),
-            sync: SyncPolicy {
+        Some(dir) => {
+            let sync = SyncPolicy {
                 on_checkpoint: true,
                 every_records: opts.u64_or("fsync-every", 0)? as usize,
                 every_bytes: opts.u64_or("fsync-bytes", 0)?,
-            },
-        },
+            };
+            match writer_mode {
+                None => ArchiveSpec::File {
+                    dir: dir.clone(),
+                    sync,
+                },
+                Some(mode) => ArchiveSpec::Threaded {
+                    dir: dir.clone(),
+                    sync,
+                    writer: WriterConfig { capacity, mode },
+                },
+            }
+        }
         None => ArchiveSpec::Memory,
     };
     let mut sc = scenario(opts)?;
@@ -237,6 +271,23 @@ fn parse_sim_time(s: &str) -> Result<SimTime, String> {
     if !(1970..=9999).contains(&y) || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
         return Err(bad());
     }
+    let leap = y % 4 == 0 && (y % 100 != 0 || y % 400 == 0);
+    let days_in_month = match m {
+        2 => {
+            if leap {
+                29
+            } else {
+                28
+            }
+        }
+        4 | 6 | 9 | 11 => 30,
+        _ => 31,
+    };
+    if d > days_in_month {
+        return Err(format!(
+            "'{s}': {y:04}-{m:02} has {days_in_month} days, not {d}"
+        ));
+    }
     if hh > 23 || mm > 59 || ss > 59 {
         return Err(bad());
     }
@@ -334,8 +385,9 @@ pub fn health(opts: &Opts) -> Result<(), String> {
         .collect();
     if !degraded.is_empty() {
         println!(
-            "WARNING: degraded persistence on {} — archives fell back to memory \
-             or hit write errors; data will not survive a restart",
+            "WARNING: degraded persistence on {} — archives fell back to memory, \
+             hit write/replay errors, or shed records on a full writer queue; \
+             the archived data is incomplete or will not survive a restart",
             degraded.join(", ")
         );
     }
@@ -437,4 +489,55 @@ pub fn snmpwalk(opts: &Opts) -> Result<(), String> {
     }
     eprintln!("{} bindings", rows.len());
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_sim_time_accepts_valid_forms() {
+        assert_eq!(parse_sim_time("0").unwrap(), SimTime(0));
+        assert_eq!(parse_sim_time("907113600").unwrap(), SimTime(907_113_600));
+        assert_eq!(
+            parse_sim_time("1970-01-01").unwrap(),
+            SimTime::from_ymd_hms(1970, 1, 1, 0, 0, 0)
+        );
+        assert_eq!(
+            parse_sim_time("1998-10-14T06:30:00").unwrap(),
+            SimTime::from_ymd_hms(1998, 10, 14, 6, 30, 0)
+        );
+        // Leap days: every fourth year, and century years divisible by
+        // 400.
+        assert!(parse_sim_time("2024-02-29").is_ok());
+        assert!(parse_sim_time("2000-02-29").is_ok());
+        // Long and short month boundaries.
+        assert!(parse_sim_time("2026-01-31").is_ok());
+        assert!(parse_sim_time("2026-04-30").is_ok());
+    }
+
+    #[test]
+    fn parse_sim_time_rejects_invalid_calendar_dates() {
+        // Days that don't exist in their month.
+        let e = parse_sim_time("2026-02-30").unwrap_err();
+        assert!(e.contains("2026-02 has 28 days"), "{e}");
+        assert!(parse_sim_time("2026-04-31").is_err());
+        assert!(parse_sim_time("2026-06-31").is_err());
+        // Non-leap years: plain, and the 100-not-400 century rule.
+        assert!(parse_sim_time("2023-02-29").is_err());
+        assert!(parse_sim_time("2100-02-29").is_err());
+        // Out-of-range fields.
+        assert!(parse_sim_time("2026-13-01").is_err());
+        assert!(parse_sim_time("2026-00-10").is_err());
+        assert!(parse_sim_time("2026-01-00").is_err());
+        assert!(parse_sim_time("2026-01-32").is_err());
+        assert!(parse_sim_time("1969-12-31").is_err());
+        assert!(parse_sim_time("2026-01-01T24:00:00").is_err());
+        assert!(parse_sim_time("2026-01-01T12:60:00").is_err());
+        // Malformed shapes.
+        assert!(parse_sim_time("2026-01").is_err());
+        assert!(parse_sim_time("2026-01-01-01").is_err());
+        assert!(parse_sim_time("2026-01-01T12:00").is_err());
+        assert!(parse_sim_time("not-a-date").is_err());
+    }
 }

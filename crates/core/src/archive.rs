@@ -66,10 +66,14 @@
 //! frame's kind byte, so a Full/Delta flip cannot survive validation.
 //! Recovery matches v1: the first bad frame ends the archive.
 
+use std::collections::VecDeque;
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufReader, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
 
 use mantra_net::{BitRate, GroupAddr, Ip, Prefix, SimDuration, SimTime};
 
@@ -159,7 +163,30 @@ pub struct ArchiveStats {
     /// Appends accepted since the last `fsync` — the records a power
     /// loss right now could cost. Always 0 for the memory backend
     /// (nothing is durable either way) and immediately after a sync.
+    /// For a [`ThreadedBackend`] this also counts records still queued
+    /// for the writer thread: they are exposure exactly like unsynced
+    /// frames.
     pub pending_appends: u64,
+    /// Appends the backend itself failed to persist (failed frame
+    /// writes, failed torn-tail heals). The logger-level
+    /// [`crate::logger::TableLog::write_errors`] counts the errors *it*
+    /// observed; this counts them where they happened, which for a
+    /// threaded writer includes failures the logger only learns about a
+    /// cycle later.
+    pub write_errors: u64,
+    /// Records currently queued for a writer thread (buffered plus
+    /// in-flight). Always 0 for synchronous backends.
+    pub queue_depth: u64,
+    /// The deepest the writer queue has ever been (buffered plus
+    /// in-flight). Always 0 for synchronous backends.
+    pub queue_high_water: u64,
+    /// Wall-clock nanoseconds the *collection path* spent blocked on a
+    /// full writer queue ([`BackpressureMode::Block`]).
+    pub blocked_nanos: u64,
+    /// Records dropped instead of written: shed on a full queue
+    /// ([`BackpressureMode::Shed`]) or skipped by the writer thread to
+    /// keep the delta chain replayable after an append failure.
+    pub dropped_records: u64,
 }
 
 /// Identity of an archive's on-disk format, from [`ArchiveBackend::describe`].
@@ -334,6 +361,15 @@ pub struct FileBackend {
     pub sync: SyncPolicy,
     since_sync: usize,
     bytes_since_sync: u64,
+    /// A frame write failed mid-way: bytes past the logical end may be
+    /// on disk, and the OS cursor is wherever the failure left it. The
+    /// next append or sync re-truncates to the logical end before doing
+    /// anything else, so a transient failure never corrupts the stream
+    /// or silently drops the records written after it.
+    torn: bool,
+    /// Fault injection: the next append writes only this many bytes of
+    /// its frame, then fails (see [`FileBackend::inject_torn_write`]).
+    fail_next: Option<usize>,
 }
 
 fn bad_data(msg: String) -> io::Error {
@@ -407,6 +443,8 @@ impl FileBackend {
             sync: SyncPolicy::default(),
             since_sync: 0,
             bytes_since_sync: 0,
+            torn: false,
+            fail_next: None,
         })
     }
 
@@ -477,7 +515,7 @@ impl FileBackend {
             bytes: pos - HEADER_LEN,
             fsyncs: u64::from(recovered > 0),
             recovered_bytes: recovered,
-            pending_appends: 0,
+            ..ArchiveStats::default()
         };
         Ok(FileBackend {
             path,
@@ -488,6 +526,8 @@ impl FileBackend {
             sync: SyncPolicy::default(),
             since_sync: 0,
             bytes_since_sync: 0,
+            torn: false,
+            fail_next: None,
         })
     }
 
@@ -500,6 +540,29 @@ impl FileBackend {
     /// sentinel (exposed for truncation tests and tooling).
     pub fn offsets(&self) -> &[u64] {
         &self.offsets
+    }
+
+    /// Fault injection for tests: the next `append` writes only
+    /// `partial` bytes of its frame, then fails as a torn write. The
+    /// backend must heal (re-truncate to the logical end) on the append
+    /// or sync after that.
+    #[doc(hidden)]
+    pub fn inject_torn_write(&mut self, partial: usize) {
+        self.fail_next = Some(partial);
+    }
+
+    /// Cuts a torn tail back to the logical end of the record stream
+    /// and repositions the cursor there, so the next frame lands where
+    /// bookkeeping says it will.
+    fn heal(&mut self) -> io::Result<()> {
+        if !self.torn {
+            return Ok(());
+        }
+        let end = *self.offsets.last().expect("offsets sentinel");
+        self.file.set_len(end)?;
+        self.file.seek(SeekFrom::Start(end))?;
+        self.torn = false;
+        Ok(())
     }
 }
 
@@ -551,6 +614,10 @@ impl ArchiveBackend for FileBackend {
     }
 
     fn append(&mut self, rec: &LogRecord, json: &str) -> io::Result<()> {
+        if let Err(e) = self.heal() {
+            self.stats.write_errors += 1;
+            return Err(e);
+        }
         let payload = json.as_bytes();
         let kind: u8 = match rec {
             LogRecord::Full(_) => KIND_FULL,
@@ -561,7 +628,22 @@ impl ArchiveBackend for FileBackend {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(payload).to_le_bytes());
         frame.extend_from_slice(payload);
-        self.file.write_all(&frame)?;
+        if let Some(partial) = self.fail_next.take() {
+            let partial = partial.min(frame.len());
+            let _ = self.file.write_all(&frame[..partial]);
+            self.torn = partial > 0;
+            self.stats.write_errors += 1;
+            return Err(io::Error::other("injected write failure (torn frame)"));
+        }
+        if let Err(e) = self.file.write_all(&frame) {
+            // Some unknown prefix of the frame may be on disk; mark the
+            // tail torn so the next append/sync re-truncates before
+            // writing. Bookkeeping stays at the last good record, so
+            // pending_appends never claims the lost bytes were synced.
+            self.torn = true;
+            self.stats.write_errors += 1;
+            return Err(e);
+        }
 
         let idx = self.offsets.len() - 1;
         let end = self.offsets[idx] + frame.len() as u64;
@@ -626,6 +708,10 @@ impl ArchiveBackend for FileBackend {
     }
 
     fn sync(&mut self) -> io::Result<()> {
+        if let Err(e) = self.heal() {
+            self.stats.write_errors += 1;
+            return Err(e);
+        }
         self.file.sync_data()?;
         self.stats.fsyncs += 1;
         self.since_sync = 0;
@@ -1211,6 +1297,13 @@ pub struct FileBackendV2 {
     pub sync: SyncPolicy,
     since_sync: usize,
     bytes_since_sync: u64,
+    /// A frame write failed mid-way; see [`FileBackend`]'s field of the
+    /// same name. Healed (re-truncated to `end`) on the next append or
+    /// sync.
+    torn: bool,
+    /// Fault injection: the next append writes only this many bytes,
+    /// then fails (see [`FileBackendV2::inject_torn_write`]).
+    fail_next: Option<usize>,
 }
 
 fn frame_bytes(kind: u8, payload: &[u8]) -> Vec<u8> {
@@ -1264,6 +1357,8 @@ impl FileBackendV2 {
             sync: SyncPolicy::default(),
             since_sync: 0,
             bytes_since_sync: 0,
+            torn: false,
+            fail_next: None,
         })
     }
 
@@ -1353,7 +1448,7 @@ impl FileBackendV2 {
             bytes: pos - HEADER_LEN,
             fsyncs: u64::from(recovered > 0),
             recovered_bytes: recovered,
-            pending_appends: 0,
+            ..ArchiveStats::default()
         };
         Ok(FileBackendV2 {
             path,
@@ -1368,6 +1463,8 @@ impl FileBackendV2 {
             sync: SyncPolicy::default(),
             since_sync: 0,
             bytes_since_sync: 0,
+            torn: false,
+            fail_next: None,
         })
     }
 
@@ -1394,6 +1491,26 @@ impl FileBackendV2 {
     pub fn dict(&self) -> &ArchiveDict {
         &self.dict
     }
+
+    /// Fault injection for tests: the next `append` writes only
+    /// `partial` bytes of its combined dict+record buffer, then fails
+    /// as a torn write.
+    #[doc(hidden)]
+    pub fn inject_torn_write(&mut self, partial: usize) {
+        self.fail_next = Some(partial);
+    }
+
+    /// Cuts a torn tail back to the logical end (`self.end`) and
+    /// repositions the cursor there.
+    fn heal(&mut self) -> io::Result<()> {
+        if !self.torn {
+            return Ok(());
+        }
+        self.file.set_len(self.end)?;
+        self.file.seek(SeekFrom::Start(self.end))?;
+        self.torn = false;
+        Ok(())
+    }
 }
 
 impl ArchiveBackend for FileBackendV2 {
@@ -1402,10 +1519,16 @@ impl ArchiveBackend for FileBackendV2 {
     }
 
     fn append(&mut self, rec: &LogRecord, _json: &str) -> io::Result<()> {
+        if let Err(e) = self.heal() {
+            self.stats.write_errors += 1;
+            return Err(e);
+        }
         let seq = (self.offsets.len() - 1) as u64;
         let (kind, payload) = encode_record_v2(rec, &mut self.dict, seq);
         // New dictionary entries ride ahead of the record that needs
-        // them, in the same write.
+        // them, in the same write. `persisted` only advances after the
+        // write succeeds, so entries lost to a torn frame are re-emitted
+        // with the next record.
         let mut buf = Vec::new();
         if let Some(seg) = self.dict.encode_new_entries(self.persisted) {
             buf = frame_bytes(KIND_DICT, &seg);
@@ -1414,8 +1537,22 @@ impl ArchiveBackend for FileBackendV2 {
         buf.extend_from_slice(&frame_bytes(kind, &payload));
         // A failed earlier write leaves the cursor wherever the OS
         // stopped; re-seek so a retried append lands at the logical end.
-        self.file.seek(SeekFrom::Start(self.end))?;
-        self.file.write_all(&buf)?;
+        if let Err(e) = self.file.seek(SeekFrom::Start(self.end)) {
+            self.stats.write_errors += 1;
+            return Err(e);
+        }
+        if let Some(partial) = self.fail_next.take() {
+            let partial = partial.min(buf.len());
+            let _ = self.file.write_all(&buf[..partial]);
+            self.torn = partial > 0;
+            self.stats.write_errors += 1;
+            return Err(io::Error::other("injected write failure (torn frame)"));
+        }
+        if let Err(e) = self.file.write_all(&buf) {
+            self.torn = true;
+            self.stats.write_errors += 1;
+            return Err(e);
+        }
 
         if dict_len > 0 {
             self.dict_frames.push((self.end, self.end + dict_len));
@@ -1511,6 +1648,10 @@ impl ArchiveBackend for FileBackendV2 {
     }
 
     fn sync(&mut self) -> io::Result<()> {
+        if let Err(e) = self.heal() {
+            self.stats.write_errors += 1;
+            return Err(e);
+        }
         self.file.sync_data()?;
         self.stats.fsyncs += 1;
         self.since_sync = 0;
@@ -1585,6 +1726,375 @@ impl Iterator for FileRecordIterV2 {
 }
 
 // ---------------------------------------------------------------------
+// ThreadedBackend: per-router writer thread with bounded backpressure
+// ---------------------------------------------------------------------
+
+/// What an append does when the writer queue is full.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackpressureMode {
+    /// Wait for the writer to free a slot; the wait is accounted in
+    /// [`ArchiveStats::blocked_nanos`]. Collection slows but no record
+    /// is ever lost. The default.
+    #[default]
+    Block,
+    /// Fail the append immediately ([`ArchiveStats::dropped_records`]).
+    /// Collection keeps its cadence; the logger records the error and
+    /// health reports `archive_degraded` — loss is loud, never silent.
+    Shed,
+}
+
+/// Configuration for a [`ThreadedBackend`] writer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WriterConfig {
+    /// Maximum records outstanding (queued plus in-flight) before
+    /// backpressure applies.
+    pub capacity: usize,
+    /// What a full queue does to the appender.
+    pub mode: BackpressureMode,
+}
+
+impl Default for WriterConfig {
+    fn default() -> Self {
+        WriterConfig {
+            capacity: 64,
+            mode: BackpressureMode::Block,
+        }
+    }
+}
+
+/// std mutexes poison on panic; the writer protocol has no partially-
+/// updated invariants worth preserving across one, so clear it —
+/// matching the vendored parking_lot semantics used elsewhere.
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn wait_clean<'a, T>(c: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    c.wait(g).unwrap_or_else(|p| p.into_inner())
+}
+
+/// The bounded queue between the collection path and the writer thread.
+#[derive(Debug)]
+struct WriterQueue {
+    buf: VecDeque<(LogRecord, String)>,
+    /// Records drained from `buf` that the writer is currently applying.
+    /// They still count against capacity and `queue_depth`.
+    in_flight: usize,
+    shutdown: bool,
+    /// A writer-side failure waiting to be reported: surfaced by the
+    /// *next* `append` (or `sync`), since the append that queued the
+    /// failing record already returned `Ok`.
+    deferred_error: Option<String>,
+}
+
+/// Snapshot of the inner backend's observable state, refreshed by the
+/// writer thread after each batch so `stats()`/`describe()` never block
+/// behind a slow disk.
+#[derive(Debug)]
+struct WriterMirror {
+    stats: ArchiveStats,
+    info: ArchiveInfo,
+}
+
+#[derive(Debug)]
+struct WriterShared {
+    q: Mutex<WriterQueue>,
+    /// Signalled when capacity frees up (blocking appenders wait here).
+    not_full: Condvar,
+    /// Signalled when records are queued or shutdown is requested.
+    not_empty: Condvar,
+    /// Signalled when the queue is fully drained (barriers wait here).
+    idle: Condvar,
+    backend: Mutex<Box<dyn ArchiveBackend>>,
+    mirror: Mutex<WriterMirror>,
+    high_water: AtomicU64,
+    blocked_nanos: AtomicU64,
+    dropped: AtomicU64,
+    /// Append failures the writer observed. The inner backend may also
+    /// count them in its own stats ([`ArchiveStats::write_errors`]);
+    /// `stats()` reports the max of the two so backends that predate the
+    /// field still surface their failures.
+    write_errors: AtomicU64,
+}
+
+/// Wraps any [`ArchiveBackend`] behind a dedicated writer thread and a
+/// bounded queue: `append` on the collection path becomes an enqueue,
+/// and frame writes plus fsync batching happen off-path.
+///
+/// Ordering and content are preserved — the queue drains FIFO into the
+/// inner backend, so after a drain barrier the archive is byte-identical
+/// to what the inner backend would have produced synchronously. Reads
+/// (`len`, `records`, `last_checkpoint`, `sync`) drain first and are
+/// therefore barriers; `stats`/`describe` read a writer-maintained
+/// mirror and never block behind the disk.
+///
+/// When an apply fails inside the writer, the error is *deferred*: the
+/// next `append`/`sync` returns it (the logger then counts it and
+/// forces a full snapshot). Until the next Full record arrives, queued
+/// Deltas are skipped and counted in
+/// [`ArchiveStats::dropped_records`] — they would replay against a base
+/// the archive never stored, so dropping them keeps the stream a valid,
+/// replayable prefix-plus-resume rather than a corrupt chain.
+pub struct ThreadedBackend {
+    shared: Arc<WriterShared>,
+    cfg: WriterConfig,
+    kind: &'static str,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl fmt::Debug for ThreadedBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadedBackend")
+            .field("kind", &self.kind)
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ThreadedBackend {
+    /// Moves `inner` onto a new writer thread behind a bounded queue.
+    pub fn spawn(inner: Box<dyn ArchiveBackend>, cfg: WriterConfig) -> ThreadedBackend {
+        let kind = match inner.kind() {
+            "memory" => "memory+writer",
+            "file" => "file+writer",
+            "failing" => "failing+writer",
+            _ => "threaded",
+        };
+        let mirror = WriterMirror {
+            stats: inner.stats(),
+            info: inner.describe(),
+        };
+        let shared = Arc::new(WriterShared {
+            q: Mutex::new(WriterQueue {
+                buf: VecDeque::new(),
+                in_flight: 0,
+                shutdown: false,
+                deferred_error: None,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            idle: Condvar::new(),
+            backend: Mutex::new(inner),
+            mirror: Mutex::new(mirror),
+            high_water: AtomicU64::new(0),
+            blocked_nanos: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+        });
+        let worker = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("mantra-archive-writer".into())
+            .spawn(move || Self::writer_loop(&worker))
+            .expect("spawn archive writer thread");
+        ThreadedBackend {
+            shared,
+            cfg: WriterConfig {
+                capacity: cfg.capacity.max(1),
+                mode: cfg.mode,
+            },
+            kind,
+            handle: Some(handle),
+        }
+    }
+
+    fn writer_loop(shared: &WriterShared) {
+        // After a failed apply the archive is missing that record; any
+        // queued Delta would replay against the wrong base, so skip (and
+        // count) Deltas until the logger's forced Full re-anchors the
+        // chain.
+        let mut skipping = false;
+        loop {
+            let batch: Vec<(LogRecord, String)> = {
+                let mut q = lock_clean(&shared.q);
+                while q.buf.is_empty() && !q.shutdown {
+                    q = wait_clean(&shared.not_empty, q);
+                }
+                if q.buf.is_empty() {
+                    return; // shutdown with everything drained
+                }
+                let batch: Vec<_> = q.buf.drain(..).collect();
+                q.in_flight = batch.len();
+                batch
+            };
+            let mut backend = lock_clean(&shared.backend);
+            for (rec, json) in &batch {
+                if skipping {
+                    if matches!(rec, LogRecord::Full(_)) {
+                        skipping = false;
+                    } else {
+                        shared.dropped.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                }
+                if let Err(e) = backend.append(rec, json) {
+                    shared.write_errors.fetch_add(1, Ordering::Relaxed);
+                    skipping = true;
+                    let mut q = lock_clean(&shared.q);
+                    q.deferred_error = Some(e.to_string());
+                }
+            }
+            {
+                let mut m = lock_clean(&shared.mirror);
+                m.stats = backend.stats();
+                m.info = backend.describe();
+            }
+            drop(backend);
+            let mut q = lock_clean(&shared.q);
+            q.in_flight = 0;
+            shared.not_full.notify_all();
+            if q.buf.is_empty() {
+                shared.idle.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until every queued record has been applied to the inner
+    /// backend — the drain barrier behind reads, `sync` and shutdown.
+    fn drain(&self) {
+        let mut q = lock_clean(&self.shared.q);
+        while !q.buf.is_empty() || q.in_flight > 0 {
+            q = wait_clean(&self.shared.idle, q);
+        }
+    }
+
+    /// Runs `f` against the (drained, quiescent) inner backend and
+    /// refreshes the stats mirror afterwards.
+    fn with_drained<R>(&self, f: impl FnOnce(&mut dyn ArchiveBackend) -> R) -> R {
+        self.drain();
+        let mut backend = lock_clean(&self.shared.backend);
+        let out = f(backend.as_mut());
+        let mut m = lock_clean(&self.shared.mirror);
+        m.stats = backend.stats();
+        m.info = backend.describe();
+        out
+    }
+
+    /// Records shed or skipped so far (exposed for tests and tooling).
+    pub fn dropped_records(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Wall-clock nanoseconds appends spent blocked on a full queue.
+    pub fn blocked_nanos(&self) -> u64 {
+        self.shared.blocked_nanos.load(Ordering::Relaxed)
+    }
+}
+
+impl ArchiveBackend for ThreadedBackend {
+    fn kind(&self) -> &'static str {
+        self.kind
+    }
+
+    fn append(&mut self, rec: &LogRecord, json: &str) -> io::Result<()> {
+        let shared = &self.shared;
+        let mut q = lock_clean(&shared.q);
+        if let Some(msg) = q.deferred_error.take() {
+            // Report the writer-side failure where the logger can see
+            // it. This record is not enqueued — the logger treats the
+            // Err as "not persisted" and forces the next record Full,
+            // which re-anchors the delta chain.
+            shared.dropped.fetch_add(1, Ordering::Relaxed);
+            return Err(io::Error::other(format!("archive writer: {msg}")));
+        }
+        while q.buf.len() + q.in_flight >= self.cfg.capacity {
+            match self.cfg.mode {
+                BackpressureMode::Shed => {
+                    shared.dropped.fetch_add(1, Ordering::Relaxed);
+                    return Err(io::Error::other(format!(
+                        "archive writer queue full ({} records); record shed",
+                        self.cfg.capacity
+                    )));
+                }
+                BackpressureMode::Block => {
+                    let start = Instant::now();
+                    q = wait_clean(&shared.not_full, q);
+                    shared
+                        .blocked_nanos
+                        .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                }
+            }
+        }
+        q.buf.push_back((rec.clone(), json.to_owned()));
+        let depth = (q.buf.len() + q.in_flight) as u64;
+        shared.high_water.fetch_max(depth, Ordering::Relaxed);
+        drop(q);
+        shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    fn len(&self) -> usize {
+        self.with_drained(|b| b.len())
+    }
+
+    fn records(&self) -> RecordIter<'_> {
+        self.records_from(0)
+    }
+
+    fn records_from(&self, start: usize) -> RecordIter<'_> {
+        // Drain, then materialise under the backend lock: the iterator
+        // must not hold the lock (or borrow the backend) while the
+        // caller consumes it.
+        let items: Vec<io::Result<LogRecord>> =
+            self.with_drained(|b| b.records_from(start).collect());
+        Box::new(items.into_iter())
+    }
+
+    fn last_checkpoint(&self) -> Option<usize> {
+        self.with_drained(|b| b.last_checkpoint())
+    }
+
+    fn stats(&self) -> ArchiveStats {
+        // Non-draining: the mirror (refreshed after every batch) plus a
+        // live queue overlay. Monitoring must never stall behind a slow
+        // disk — that is the point of the writer thread.
+        let mut stats = lock_clean(&self.shared.mirror).stats.clone();
+        let q = lock_clean(&self.shared.q);
+        let depth = (q.buf.len() + q.in_flight) as u64;
+        drop(q);
+        stats.queue_depth = depth;
+        stats.queue_high_water = self.shared.high_water.load(Ordering::Relaxed);
+        stats.blocked_nanos = self.shared.blocked_nanos.load(Ordering::Relaxed);
+        stats.dropped_records = self.shared.dropped.load(Ordering::Relaxed);
+        stats.write_errors = stats
+            .write_errors
+            .max(self.shared.write_errors.load(Ordering::Relaxed));
+        // Queued records are not on disk, let alone synced: they are
+        // power-loss exposure and count as pending.
+        stats.pending_appends += depth;
+        stats
+    }
+
+    fn describe(&self) -> ArchiveInfo {
+        lock_clean(&self.shared.mirror).info
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let r = self.with_drained(|b| b.sync());
+        let deferred = lock_clean(&self.shared.q).deferred_error.take();
+        match deferred {
+            Some(msg) => Err(io::Error::other(format!("archive writer: {msg}"))),
+            None => r,
+        }
+    }
+}
+
+impl Drop for ThreadedBackend {
+    fn drop(&mut self) {
+        {
+            let mut q = lock_clean(&self.shared.q);
+            q.shutdown = true;
+        }
+        self.shared.not_empty.notify_all();
+        if let Some(handle) = self.handle.take() {
+            // The writer drains everything still queued before exiting,
+            // so dropping the backend is a durability barrier, not a
+            // data loss event.
+            let _ = handle.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Backend selection
 // ---------------------------------------------------------------------
 
@@ -1602,6 +2112,19 @@ pub enum ArchiveSpec {
         /// When the backends fsync (checkpoints, record cadence, byte
         /// cadence).
         sync: SyncPolicy,
+    },
+    /// On-disk archives behind a per-router writer thread
+    /// ([`ThreadedBackend`]): `append` on the collection path becomes a
+    /// bounded enqueue and frame writes + fsync batching happen
+    /// off-path.
+    Threaded {
+        /// Directory holding the archive files (created on demand).
+        dir: PathBuf,
+        /// When the backends fsync (checkpoints, record cadence, byte
+        /// cadence) — applied by the writer thread, off-path.
+        sync: SyncPolicy,
+        /// Queue capacity and full-queue policy.
+        writer: WriterConfig,
     },
 }
 
@@ -2052,5 +2575,154 @@ mod tests {
         assert_eq!(s.fsyncs, 0);
         assert!(s.bytes > 0);
         assert_eq!(be.records_from(2).count(), 1);
+    }
+
+    #[test]
+    fn torn_write_heals_on_next_append_v1() {
+        let path = tmp("torn-heal-v1.marc");
+        let mut be = FileBackend::create(&path).unwrap();
+        be.sync = SyncPolicy::every_records(1);
+        let (rec0, json0) = full_record(0);
+        be.append(&rec0, &json0).unwrap();
+        let good_len = std::fs::metadata(&path).unwrap().len();
+
+        // ENOSPC-style failure: 5 bytes of the frame land, then the
+        // write fails.
+        be.inject_torn_write(5);
+        let (rec1, json1) = delta_record(1);
+        let err = be.append(&rec1, &json1).unwrap_err();
+        assert!(err.to_string().contains("torn frame"), "{err}");
+        let s = be.stats();
+        assert_eq!(s.write_errors, 1);
+        assert_eq!(s.records, 1, "failed record must not be counted");
+        // The torn bytes are on disk but bookkeeping never claims them:
+        // the record they belonged to is lost, and pending_appends only
+        // covers records the backend actually framed.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), good_len + 5);
+        assert_eq!(s.pending_appends, 0);
+
+        // Next append heals: tail re-truncated, new frame lands at the
+        // logical end, stream replays cleanly.
+        let (rec2, json2) = full_record(2);
+        be.append(&rec2, &json2).unwrap();
+        assert_eq!(be.len(), 2);
+        let back: Vec<LogRecord> = be.records().map(|r| r.unwrap()).collect();
+        assert_eq!(back.len(), 2);
+        drop(be);
+        let be = FileBackend::open(&path).unwrap();
+        assert_eq!(be.len(), 2);
+        assert_eq!(be.stats().recovered_bytes, 0, "heal already cut the tail");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_write_heals_on_sync_v2() {
+        let path = tmp("torn-heal-v2.marc");
+        let mut be = FileBackendV2::create(&path).unwrap();
+        let (rec0, json0) = rich_full(0);
+        be.append(&rec0, &json0).unwrap();
+        let good_len = std::fs::metadata(&path).unwrap().len();
+
+        be.inject_torn_write(7);
+        let (rec1, json1) = rich_delta(1);
+        assert!(be.append(&rec1, &json1).is_err());
+        assert_eq!(be.stats().write_errors, 1);
+        assert!(std::fs::metadata(&path).unwrap().len() > good_len);
+
+        // Sync heals the tail even with no intervening append.
+        be.sync().unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), good_len);
+        assert_eq!(be.stats().pending_appends, 0);
+
+        // And appends keep working; sequence numbers stay dense.
+        let (rec2, json2) = rich_full(2);
+        be.append(&rec2, &json2).unwrap();
+        let back: Vec<LogRecord> = be.records().map(|r| r.unwrap()).collect();
+        assert_eq!(back.len(), 2);
+        drop(be);
+        let be = FileBackendV2::open(&path).unwrap();
+        assert_eq!(be.len(), 2);
+        assert_eq!(be.stats().recovered_bytes, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn threaded_backend_matches_serial_and_drains_on_drop() {
+        let serial_path = tmp("threaded-serial.marc");
+        let threaded_path = tmp("threaded-writer.marc");
+        let recs: Vec<_> = (0..10)
+            .map(|n| {
+                if n % 4 == 0 {
+                    rich_full(n)
+                } else {
+                    rich_delta(n)
+                }
+            })
+            .collect();
+
+        let mut serial = FileBackendV2::create(&serial_path).unwrap();
+        for (rec, json) in &recs {
+            serial.append(rec, json).unwrap();
+        }
+        serial.sync().unwrap();
+        drop(serial);
+
+        let inner = Box::new(FileBackendV2::create(&threaded_path).unwrap());
+        let mut be = ThreadedBackend::spawn(inner, WriterConfig::default());
+        assert_eq!(be.kind(), "file+writer");
+        for (rec, json) in &recs {
+            be.append(rec, json).unwrap();
+        }
+        // len() is a drain barrier: all 10 records are applied after it.
+        assert_eq!(be.len(), 10);
+        assert_eq!(be.last_checkpoint(), Some(8));
+        be.sync().unwrap();
+        let s = be.stats();
+        assert_eq!(s.records, 10);
+        assert_eq!(s.queue_depth, 0);
+        assert!(s.queue_high_water >= 1);
+        assert_eq!(s.dropped_records, 0);
+        assert_eq!(s.pending_appends, 0);
+        drop(be);
+
+        assert_eq!(
+            std::fs::read(&serial_path).unwrap(),
+            std::fs::read(&threaded_path).unwrap(),
+            "threaded archive must be byte-identical to serial"
+        );
+        std::fs::remove_file(&serial_path).unwrap();
+        std::fs::remove_file(&threaded_path).unwrap();
+    }
+
+    #[test]
+    fn threaded_backend_defers_writer_errors_to_next_append() {
+        let path = tmp("threaded-defer.marc");
+        let mut inner = Box::new(FileBackendV2::create(&path).unwrap());
+        inner.inject_torn_write(3);
+        let mut be = ThreadedBackend::spawn(inner, WriterConfig::default());
+
+        // This append enqueues fine; the failure happens on the writer
+        // thread when the frame is applied.
+        let (rec0, json0) = rich_full(0);
+        be.append(&rec0, &json0).unwrap();
+        be.drain();
+
+        // The next append surfaces the deferred error.
+        let (rec1, json1) = rich_delta(1);
+        let err = be.append(&rec1, &json1).unwrap_err();
+        assert!(err.to_string().contains("archive writer"), "{err}");
+        let s = be.stats();
+        assert!(s.write_errors >= 1);
+        assert!(
+            s.dropped_records >= 1,
+            "the erroring append sheds its record"
+        );
+
+        // A Full record re-anchors the chain and lands cleanly.
+        let (rec2, json2) = rich_full(2);
+        be.append(&rec2, &json2).unwrap();
+        assert_eq!(be.len(), 1, "only the re-anchoring full survives");
+        drop(be);
+        std::fs::remove_file(&path).unwrap();
     }
 }

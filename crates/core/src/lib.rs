@@ -54,8 +54,8 @@ pub mod tables;
 pub mod web;
 
 pub use archive::{
-    ArchiveBackend, ArchiveDict, ArchiveInfo, ArchiveSpec, ArchiveStats, FileBackend,
-    FileBackendV2, MemoryBackend, SyncPolicy,
+    ArchiveBackend, ArchiveDict, ArchiveInfo, ArchiveSpec, ArchiveStats, BackpressureMode,
+    FileBackend, FileBackendV2, MemoryBackend, SyncPolicy, ThreadedBackend, WriterConfig,
 };
 pub use collector::{CaptureError, CollectStats, Collector, RetryPolicy, RouterAccess};
 pub use monitor::{Monitor, MonitorConfig, RouterHealth};

@@ -15,6 +15,7 @@
 //! Reconstruction is lossless: replaying a log yields snapshots equal to
 //! the originals, which the property tests assert.
 
+use std::cell::{Cell, RefCell};
 use std::io;
 use std::path::Path;
 
@@ -24,8 +25,8 @@ use mantra_net::{GroupAddr, Ip, Prefix, SimTime};
 
 use crate::archive::{
     read_header, unsupported_version, ArchiveBackend, ArchiveInfo, ArchiveSpec, ArchiveStats,
-    FileBackend, FileBackendV2, MemoryBackend, RecordIter, SyncPolicy, FORMAT_VERSION,
-    FORMAT_VERSION_V2, MAGIC,
+    FileBackend, FileBackendV2, MemoryBackend, RecordIter, SyncPolicy, ThreadedBackend,
+    FORMAT_VERSION, FORMAT_VERSION_V2, MAGIC,
 };
 use crate::store::{in_key_order, in_key_order_cached, Interner, TableStore};
 use crate::tables::{LearnedFrom, PairRow, RouteRow, SessionRow, Tables};
@@ -592,6 +593,12 @@ pub struct TableLog {
     /// [`TableLog::backend_error`].
     pub fell_back: bool,
     backend_error: Option<String>,
+    /// Archive reads that failed during [`TableLog::replay`]. Interior
+    /// mutability because replay takes `&self`; surfaced through
+    /// [`TableLog::replay_errors`] and the `archive_degraded` health
+    /// flag instead of panicking the monitor.
+    replay_errors: Cell<u64>,
+    replay_error: RefCell<Option<String>>,
 }
 
 impl Default for TableLog {
@@ -607,6 +614,8 @@ impl Default for TableLog {
             write_errors: 0,
             fell_back: false,
             backend_error: None,
+            replay_errors: Cell::new(0),
+            replay_error: RefCell::new(None),
         }
     }
 }
@@ -691,6 +700,8 @@ impl TableLog {
             write_errors: 0,
             fell_back: false,
             backend_error: None,
+            replay_errors: Cell::new(0),
+            replay_error: RefCell::new(None),
         })
     }
 
@@ -764,6 +775,11 @@ impl TableLog {
         if let Err(e) = self.backend.append(&record, &json) {
             self.write_errors += 1;
             self.backend_error = Some(e.to_string());
+            // The record never reached the archive; a delta stored after
+            // it would replay against a base the archive doesn't have.
+            // Exhaust the cadence so the next append stores a full
+            // snapshot and re-anchors the chain.
+            self.since_full = self.full_every;
         }
         self.tail = Some(parts);
         delta
@@ -802,13 +818,57 @@ impl TableLog {
 
     /// Replays the log, returning every snapshot in order.
     ///
-    /// Panics on an unreadable archive (a memory archive is always
-    /// readable; for disk archives [`TableLog::replay_iter`] surfaces
-    /// errors per record instead).
+    /// An unreadable record ends the replay at the last clean snapshot
+    /// instead of panicking: the error is counted in
+    /// [`TableLog::replay_errors`] (which feeds the `archive_degraded`
+    /// health flag) and kept in [`TableLog::last_replay_error`]. Callers
+    /// that need the error itself use [`TableLog::try_replay`] or
+    /// [`TableLog::replay_iter`].
     pub fn replay(&self) -> Vec<Tables> {
-        self.replay_iter()
-            .collect::<io::Result<Vec<Tables>>>()
-            .expect("archive replay failed")
+        let mut out = Vec::new();
+        for step in self.replay_iter() {
+            match step {
+                Ok(tables) => out.push(tables),
+                Err(e) => {
+                    self.note_replay_error(&e);
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Replays the log, propagating the first archive read error (still
+    /// counted in [`TableLog::replay_errors`], so health degrades even
+    /// when the caller handles the error).
+    pub fn try_replay(&self) -> io::Result<Vec<Tables>> {
+        let mut out = Vec::new();
+        for step in self.replay_iter() {
+            match step {
+                Ok(tables) => out.push(tables),
+                Err(e) => {
+                    self.note_replay_error(&e);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn note_replay_error(&self, e: &io::Error) {
+        self.replay_errors.set(self.replay_errors.get() + 1);
+        *self.replay_error.borrow_mut() = Some(e.to_string());
+    }
+
+    /// Archive read failures observed by [`TableLog::replay`] /
+    /// [`TableLog::try_replay`].
+    pub fn replay_errors(&self) -> u64 {
+        self.replay_errors.get()
+    }
+
+    /// The most recent replay failure, if any.
+    pub fn last_replay_error(&self) -> Option<String> {
+        self.replay_error.borrow().clone()
     }
 
     /// Replays only the final snapshot (cheap tail access).
@@ -955,6 +1015,13 @@ impl ArchiveSpec {
     /// an in-memory log so a collection cycle never dies on archival —
     /// the failure is visible through [`TableLog::backend_error`].
     pub fn open_log(&self, router: &str, full_every: usize) -> TableLog {
+        fn fallback(full_every: usize, e: io::Error) -> TableLog {
+            let mut log = TableLog::new(full_every);
+            log.write_errors = 1;
+            log.fell_back = true;
+            log.backend_error = Some(format!("file archive unavailable, logging to memory: {e}"));
+            log
+        }
         match self {
             ArchiveSpec::Memory => TableLog::new(full_every),
             ArchiveSpec::File { dir, sync } => {
@@ -963,14 +1030,17 @@ impl ArchiveSpec {
                         backend.sync = *sync;
                         TableLog::with_backend(Box::new(backend), full_every)
                     }
-                    Err(e) => {
-                        let mut log = TableLog::new(full_every);
-                        log.write_errors = 1;
-                        log.fell_back = true;
-                        log.backend_error =
-                            Some(format!("file archive unavailable, logging to memory: {e}"));
-                        log
+                    Err(e) => fallback(full_every, e),
+                }
+            }
+            ArchiveSpec::Threaded { dir, sync, writer } => {
+                match FileBackendV2::create(ArchiveSpec::path_for(dir, router)) {
+                    Ok(mut backend) => {
+                        backend.sync = *sync;
+                        let threaded = ThreadedBackend::spawn(Box::new(backend), *writer);
+                        TableLog::with_backend(Box::new(threaded), full_every)
                     }
+                    Err(e) => fallback(full_every, e),
                 }
             }
         }

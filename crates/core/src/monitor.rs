@@ -372,6 +372,10 @@ impl Monitor {
                 "savings_pct",
                 "fsyncs",
                 "pending",
+                "queue",
+                "q_peak",
+                "blk_ms",
+                "dropped",
                 "errors",
                 "persistence",
             ],
@@ -382,6 +386,9 @@ impl Monitor {
             };
             let stats = st.log.archive_stats();
             let info = st.log.describe();
+            let errors = st.log.write_errors.max(stats.write_errors) + st.log.replay_errors();
+            let degraded =
+                st.log.fell_back || stats.dropped_records > 0 || st.log.replay_errors() > 0;
             table.push_row(vec![
                 Cell::Text(router.clone()),
                 Cell::Text(st.log.backend_kind().into()),
@@ -394,8 +401,12 @@ impl Monitor {
                 Cell::Num(100.0 * st.log.savings_ratio()),
                 Cell::Num(stats.fsyncs as f64),
                 Cell::Num(stats.pending_appends as f64),
-                Cell::Num(st.log.write_errors as f64),
-                Cell::Text(if st.log.fell_back { "degraded" } else { "ok" }.into()),
+                Cell::Num(stats.queue_depth as f64),
+                Cell::Num(stats.queue_high_water as f64),
+                Cell::Num(stats.blocked_nanos as f64 / 1e6),
+                Cell::Num(stats.dropped_records as f64),
+                Cell::Num(errors as f64),
+                Cell::Text(if degraded { "degraded" } else { "ok" }.into()),
             ]);
         }
         table

@@ -243,6 +243,20 @@ pub struct ArchiveMetrics {
     /// silently degraded to an in-memory archive — persistence the
     /// operator configured is not happening for these.
     pub fallbacks: u64,
+    /// Records currently sitting in writer-thread queues (threaded
+    /// backends only) — part of the fleet's power-loss exposure.
+    pub queue_depth: u64,
+    /// The deepest any single router's writer queue has been.
+    pub queue_high_water: u64,
+    /// Wall-clock nanoseconds collection spent blocked on full writer
+    /// queues (backpressure in `Block` mode).
+    pub blocked_nanos: u64,
+    /// Records shed on full queues or skipped to keep delta chains
+    /// replayable after a writer-side failure — loud loss, never silent.
+    pub dropped_records: u64,
+    /// Archive read failures observed while replaying these routers'
+    /// logs.
+    pub replay_errors: u64,
 }
 
 /// The per-stage metrics registry: one [`StageMetrics`] per [`StageKind`],
@@ -301,8 +315,17 @@ impl PipelineMetrics {
             m.fsyncs += stats.fsyncs;
             m.pending_appends += stats.pending_appends;
             m.dict_entries += st.log.describe().dict_entries;
-            m.write_errors += st.log.write_errors;
+            // The log counts errors it observed; the backend counts
+            // errors where they happened (a threaded writer's failures
+            // reach the log a cycle late, if at all). Take the max so
+            // neither view under-reports.
+            m.write_errors += st.log.write_errors.max(stats.write_errors);
             m.fallbacks += u64::from(st.log.fell_back);
+            m.queue_depth += stats.queue_depth;
+            m.queue_high_water = m.queue_high_water.max(stats.queue_high_water);
+            m.blocked_nanos += stats.blocked_nanos;
+            m.dropped_records += stats.dropped_records;
+            m.replay_errors += st.log.replay_errors();
         }
         self.archives = agg;
     }
@@ -745,8 +768,14 @@ fn finish_log(st: &mut RouterState, at: SimTime, tables: &Tables) {
     st.archive_growth.push((at, st.log.archive_stats().bytes));
     st.longterm.observe(tables);
     // Surface silent archive degradation (memory fallback, failed
-    // appends) where operators look: the health registry.
-    st.health.archive_degraded = st.log.fell_back || st.log.write_errors > 0;
+    // appends, shed records, unreadable replays) where operators look:
+    // the health registry.
+    let stats = st.log.archive_stats();
+    st.health.archive_degraded = st.log.fell_back
+        || st.log.write_errors > 0
+        || stats.write_errors > 0
+        || stats.dropped_records > 0
+        || st.log.replay_errors() > 0;
 }
 
 /// Archival: appends each snapshot to its router's delta log (before any

@@ -206,20 +206,26 @@ pub fn report_html(monitor: &Monitor, router: &str) -> String {
     let archives = monitor.pipeline().archives();
     let fallbacks: u64 = archives.iter().map(|a| a.fallbacks).sum();
     let write_errors: u64 = archives.iter().map(|a| a.write_errors).sum();
-    if fallbacks > 0 || write_errors > 0 {
+    let dropped: u64 = archives.iter().map(|a| a.dropped_records).sum();
+    let replay_errors: u64 = archives.iter().map(|a| a.replay_errors).sum();
+    if fallbacks > 0 || write_errors > 0 || dropped > 0 || replay_errors > 0 {
         let _ = writeln!(
             out,
             "<p><strong>Degraded persistence:</strong> {fallbacks} archive(s) fell back to \
-             in-memory storage and {write_errors} write error(s) were recorded — data on the \
-             affected routers will not survive a restart.</p>"
+             in-memory storage, {write_errors} write error(s), {dropped} dropped record(s) \
+             and {replay_errors} replay error(s) were recorded — data on the affected \
+             routers is incomplete or will not survive a restart.</p>"
         );
     }
     let fsyncs: u64 = archives.iter().map(|a| a.fsyncs).sum();
     let pending: u64 = archives.iter().map(|a| a.pending_appends).sum();
+    let queued: u64 = archives.iter().map(|a| a.queue_depth).sum();
+    let blocked_ms: f64 = archives.iter().map(|a| a.blocked_nanos).sum::<u64>() as f64 / 1e6;
     let _ = writeln!(
         out,
         "<p>Durability: {fsyncs} fsync(s) issued; {pending} append(s) pending since the \
-         last fsync (lost on power failure).</p>"
+         last fsync (lost on power failure), {queued} of them still queued for writer \
+         threads; collection spent {blocked_ms:.1} ms blocked on full writer queues.</p>"
     );
     let _ = writeln!(out, "{}", graph_svg(&monitor.usage_graph(router), 860, 300));
     let mut routes = Graph::new(format!("DVMRP routes at {router}"));
