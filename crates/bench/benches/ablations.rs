@@ -16,7 +16,10 @@
 //!   96-cycle day through each, stream it back, and compare bytes on
 //!   disk,
 //! * `ablation_log_*` — Log-stage on-path wall time with fsync-per-record
-//!   persistence, synchronous writes vs the per-router writer thread.
+//!   persistence, synchronous writes vs the per-router writer thread,
+//! * `ablation_fleet_*` — one sharded fleet-monitor cycle end-to-end at
+//!   three fleet sizes (50 → 500 → 2000 routers, 4 shards), over the
+//!   fleet-scale scenario with every router monitored.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -32,6 +35,7 @@ use mantra_core::stats::{RouteStats, UsageStats};
 use mantra_core::stats_stream::IncrementalStats;
 use mantra_core::store::TableStore;
 use mantra_core::tables::{LearnedFrom, PairRow, RouteRow, Tables};
+use mantra_core::{FleetMonitor, MonitorConfig};
 use mantra_net::{BitRate, GroupAddr, Ip, Prefix, SimDuration, SimTime};
 use mantra_router_cli::TableKind;
 use mantra_sim::Scenario;
@@ -537,6 +541,83 @@ fn ablation_streaming(c: &mut Criterion) {
     group.finish();
 }
 
+/// A warmed fleet over the fleet-scale scenario, ready to cycle.
+fn fleet_for(seed: u64, target: usize, shards: usize) -> (Scenario, FleetMonitor) {
+    let sc = Scenario::fleet_snapshot(seed, target, 0.5);
+    let routers: Vec<String> = sc
+        .sim
+        .monitored
+        .iter()
+        .map(|id| sc.sim.net.topo.router(*id).name.clone())
+        .collect();
+    let fleet = FleetMonitor::new(
+        MonitorConfig {
+            routers,
+            interval: sc.sim.tick(),
+            ..MonitorConfig::default()
+        },
+        shards,
+    );
+    (sc, fleet)
+}
+
+fn ablation_fleet(c: &mut Criterion) {
+    // The sharded fleet monitor end-to-end: one collection cycle —
+    // advance the world one tick, capture every router across 4 shards
+    // concurrently, merge through the aggregation tier — at three fleet
+    // sizes spanning the scale-out roadmap (50 → 500 → 2000 routers).
+    let mut group = c.benchmark_group("ablation_fleet");
+    group.sample_size(10);
+    for target in [50usize, 500, 2000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(target),
+            &target,
+            |b, &target| {
+                let (mut sc, mut fleet) = fleet_for(23, target, 4);
+                // Warm one cycle: steady-state deltas, not the first full
+                // snapshots, are what scale-out costs.
+                let next = sc.sim.clock + fleet.cfg.interval;
+                sc.sim.advance_to(next);
+                fleet.run_cycle(&sc.sim, next);
+                b.iter(|| {
+                    let next = sc.sim.clock + fleet.cfg.interval;
+                    sc.sim.advance_to(next);
+                    black_box(fleet.run_cycle(&sc.sim, next))
+                });
+            },
+        );
+    }
+    group.finish();
+
+    // The exactness claim, asserted once on the bench path too: a
+    // 4-shard fleet and an unsharded one over identical worlds produce
+    // identical global statistics and anomaly streams.
+    let run = |shards: usize| {
+        let (mut sc, mut fleet) = fleet_for(23, 50, shards);
+        for _ in 0..3 {
+            let next = sc.sim.clock + fleet.cfg.interval;
+            sc.sim.advance_to(next);
+            fleet.run_cycle(&sc.sim, next);
+        }
+        (
+            fleet.usage_history().to_vec(),
+            fleet.route_history().to_vec(),
+            fleet.anomalies.clone(),
+        )
+    };
+    let (u1, r1, a1) = run(1);
+    let (u4, r4, a4) = run(4);
+    assert_eq!(u1, u4, "sharded usage must be bit-identical");
+    assert_eq!(r1, r4, "sharded route stats must be bit-identical");
+    assert_eq!(a1.len(), a4.len(), "sharded anomaly stream must match");
+    println!(
+        "[ablation_fleet] shards 1 vs 4 over 3 cycles: identical global stats \
+         ({} participants, {} anomalies)",
+        u1.last().map_or(0, |u| u.participants),
+        a1.len()
+    );
+}
+
 fn ablation_report_loss(c: &mut Criterion) {
     // Route-count instability as a function of DVMRP report loss — the
     // mechanism behind Figure 7, quantified. Criterion measures the run
@@ -579,6 +660,7 @@ criterion_group! {
     config = Criterion::default();
     targets = ablation_logger, ablation_threshold, ablation_interval,
               ablation_aggregate, ablation_interning, ablation_archive,
-              ablation_log, ablation_streaming, ablation_report_loss
+              ablation_log, ablation_streaming, ablation_fleet,
+              ablation_report_loss
 }
 criterion_main!(ablations);

@@ -6,7 +6,8 @@ use mantra_core::archive::replay_summary_line;
 use mantra_core::collector::{FlakyAccess, SimAccess};
 use mantra_core::logger::{compact_archive, CompactOptions, TableLog};
 use mantra_core::{
-    ArchiveSpec, BackpressureMode, Monitor, MonitorConfig, RetryPolicy, SyncPolicy, WriterConfig,
+    ArchiveSpec, BackpressureMode, FleetMonitor, Monitor, MonitorConfig, RetryPolicy, SyncPolicy,
+    WriterConfig,
 };
 use mantra_net::{SimDuration, SimTime};
 use mantra_sim::Scenario;
@@ -21,6 +22,7 @@ USAGE:
   mantra monitor  [--seed N] [--native F] [--hours H] [--loss P] [--html FILE]
                   [--archive-dir DIR] [--fsync-every N] [--fsync-bytes B]
                   [--archive-writer sync|block|shed] [--archive-queue N]
+                  [--fleet R] [--shards N] [--table-rows N]
   mantra health   [--seed N] [--native F] [--hours H] [--fail P] [--truncate P]
                   [--retries N]
   mantra incident [--seed N]
@@ -45,6 +47,12 @@ OPTIONS:
                   path), block (writer thread, full queue blocks), or shed
                   (writer thread, full queue drops the record — loudly)
   --archive-queue N  writer-thread queue capacity in records (default 64)
+  --fleet R       fleet mode: monitor a fleet-scale scenario of ~R routers
+                  (all of them), sharded across --shards monitors
+  --shards N      monitor shards for fleet mode (default 1; implies --fleet 50
+                  when --fleet is absent)
+  --table-rows N  fleet tables degrade to the worst N rows + a totals footer
+                  (default 64)
   --path FILE     archive to inspect (.marc binary or legacy .jsonl)
   --out FILE      destination archive for `archive compact`
   --full-every N  full-snapshot checkpoint cadence when rewriting (default 96)
@@ -116,6 +124,9 @@ pub fn monitor(opts: &Opts) -> Result<(), String> {
         }
         None => ArchiveSpec::Memory,
     };
+    if opts.get("fleet").is_some() || opts.get("shards").is_some() {
+        return monitor_fleet(opts, archive, archive_dir.as_deref());
+    }
     let mut sc = scenario(opts)?;
     let mut monitor = Monitor::new(MonitorConfig {
         routers: vec!["fixw".into(), "ucsb-gw".into()],
@@ -161,6 +172,94 @@ pub fn monitor(opts: &Opts) -> Result<(), String> {
     }
     if let Some(path) = opts.get("html") {
         std::fs::write(path, mantra_core::web::report_html(&monitor, "fixw"))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `mantra monitor --fleet R [--shards N]`: the sharded fleet path over
+/// the fleet-scale scenario, every router monitored. Everything printed
+/// to stdout is shard-invariant — the fleet-smoke CI job diffs a
+/// `--shards 1` run against a `--shards 4` run and expects no output
+/// difference, which is exactly the aggregation tier's exactness claim.
+fn monitor_fleet(
+    opts: &Opts,
+    archive: ArchiveSpec,
+    archive_dir: Option<&Path>,
+) -> Result<(), String> {
+    let hours = opts.u64_or("hours", 12)?;
+    let seed = opts.u64_or("seed", 1998)?;
+    let native = opts.f64_or("native", 0.4)?;
+    if !(0.0..=1.0).contains(&native) {
+        return Err("--native must be in [0,1]".into());
+    }
+    let loss = opts.f64_or("loss", 0.02)?;
+    if !(0.0..=1.0).contains(&loss) {
+        return Err("--loss must be in [0,1]".into());
+    }
+    let target = opts.u64_or("fleet", 50)? as usize;
+    if target < 3 {
+        return Err("--fleet must be at least 3 routers".into());
+    }
+    let shards = opts.u64_or("shards", 1)?.max(1) as usize;
+    let table_rows = opts.u64_or("table-rows", 64)?.max(1) as usize;
+    let mut sc = Scenario::fleet_snapshot(seed, target, native);
+    sc.sim.set_report_loss(loss);
+    let routers: Vec<String> = sc
+        .sim
+        .monitored
+        .iter()
+        .map(|id| sc.sim.net.topo.router(*id).name.clone())
+        .collect();
+    let mut fleet = FleetMonitor::new(
+        MonitorConfig {
+            routers,
+            interval: sc.sim.tick(),
+            archive,
+            table_detail_limit: table_rows,
+            ..MonitorConfig::default()
+        },
+        shards,
+    );
+    let cycles = hours * 3_600 / fleet.cfg.interval.as_secs();
+    eprintln!(
+        "monitoring {} routers across {} shard(s), {hours}h of simulated time ({cycles} cycles)...",
+        fleet.cfg.routers.len(),
+        fleet.shard_count(),
+    );
+    let mut now = sc.sim.clock;
+    for _ in 0..cycles {
+        now = sc.sim.clock + fleet.cfg.interval;
+        sc.sim.advance_to(now);
+        fleet.run_cycle(&sc.sim, now);
+    }
+    if let (Some(u), Some(r)) = (fleet.usage_history().last(), fleet.route_history().last()) {
+        println!(
+            "fleet: {} sessions ({} active), {} participants ({} senders), {}, {} DVMRP routes",
+            u.sessions,
+            u.active_sessions,
+            u.participants,
+            u.senders,
+            u.total_bandwidth,
+            r.dvmrp_reachable,
+        );
+    }
+    println!("{} anomaly(ies) fleet-wide", fleet.anomalies.len());
+    // The shard column stays off stdout (it is the one shard-dependent
+    // value); the HTML report keeps it.
+    let mut health = fleet.health(now);
+    health.drop_column("shard");
+    println!("\n{}", health.render());
+    if let Some(dir) = archive_dir {
+        let mut archives = fleet.archive_table();
+        archives.drop_column("shard");
+        println!("{}", archives.render());
+        eprintln!("archives written under {}", dir.display());
+    }
+    println!("{}", fleet.usage_graph().render(96, 14));
+    if let Some(path) = opts.get("html") {
+        std::fs::write(path, mantra_core::web::fleet_report_html(&fleet, now))
             .map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote {path}");
     }

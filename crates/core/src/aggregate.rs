@@ -20,7 +20,6 @@ use crate::monitor::SessionAdapter;
 use crate::pipeline::parse_router;
 use crate::processor::ParseStats;
 use crate::stats::ConsistencyReport;
-use crate::store::TableStore;
 use crate::tables::Tables;
 
 /// Thread-safe router access for concurrent collection. Unlike
@@ -145,16 +144,24 @@ fn assemble(per_router: Vec<RouterCycle>, now: SimTime) -> AggregateView {
     for rc in &per_router {
         merged.merge(&rc.tables);
     }
+    // Pairwise DVMRP consistency through the group-by-key join: each
+    // pair of *distinct* reachable-set views is merged once, and router
+    // pairs sharing a view read the memoised report (identical to the
+    // old per-pair `between_with` sweep — the reports are pure set
+    // functions of the two views).
     let mut consistency = Vec::new();
-    let mut store = TableStore::default();
+    let views: Vec<&Tables> = per_router.iter().map(|rc| &rc.tables).collect();
+    let mut matrix = crate::stats::ConsistencyMatrix::build(&views, 1);
     for i in 0..per_router.len() {
+        if !matrix.eligible(i) {
+            continue;
+        }
         for j in (i + 1)..per_router.len() {
-            let (a, b) = (&per_router[i], &per_router[j]);
-            if a.tables.reachable_dvmrp_routes() > 0 && b.tables.reachable_dvmrp_routes() > 0 {
+            if let Some(report) = matrix.report(i, j) {
                 consistency.push((
-                    a.router.clone(),
-                    b.router.clone(),
-                    ConsistencyReport::between_with(&mut store, &a.tables, &b.tables),
+                    per_router[i].router.clone(),
+                    per_router[j].router.clone(),
+                    report,
                 ));
             }
         }

@@ -215,6 +215,59 @@ impl InconsistencyMonitor {
             None
         }
     }
+
+    /// All pairwise inconsistency anomalies among `views`, in `(i, j)`
+    /// order with `i < j`, through the [`ConsistencyMatrix`] group-by
+    /// join — each distinct pair of reachable-set views is merged once
+    /// instead of once per router pair. Output is identical to
+    /// [`InconsistencyMonitor::sweep_reference`], the kept O(n²) loop
+    /// over [`InconsistencyMonitor::check`].
+    pub fn sweep(&self, views: &[&Tables], now: SimTime) -> Vec<Anomaly> {
+        let mut matrix = crate::stats::ConsistencyMatrix::build(views, self.min_routes);
+        let mut out = Vec::new();
+        for i in 0..views.len() {
+            if !matrix.eligible(i) {
+                continue;
+            }
+            for j in (i + 1)..views.len() {
+                let Some(report) = matrix.report(i, j) else {
+                    continue;
+                };
+                let similarity = report.similarity();
+                if similarity < self.min_similarity {
+                    out.push(Anomaly {
+                        at: now,
+                        router: views[i].router.clone(),
+                        peer: Some(views[j].router.clone()),
+                        kind: AnomalyKind::Inconsistency {
+                            peer: views[j].router.clone(),
+                            similarity,
+                        },
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// The behavioural reference for [`InconsistencyMonitor::sweep`]:
+    /// every pair compared in full through [`InconsistencyMonitor::check`].
+    pub fn sweep_reference(&self, views: &[&Tables], now: SimTime) -> Vec<Anomaly> {
+        let mut out = Vec::new();
+        for i in 0..views.len() {
+            for j in (i + 1)..views.len() {
+                if let Some((_, kind)) = self.check(views[i], views[j]) {
+                    out.push(Anomaly {
+                        at: now,
+                        router: views[i].router.clone(),
+                        peer: Some(views[j].router.clone()),
+                        kind,
+                    });
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -338,5 +391,29 @@ mod tests {
         let tiny_a = table_with_routes(5, gw);
         let tiny_b = table_with_routes(1, gw);
         assert!(mon.check(&tiny_a, &tiny_b).is_none());
+    }
+
+    #[test]
+    fn sweep_matches_pairwise_reference() {
+        let gw = Ip::new(10, 0, 0, 1);
+        // A fleet with three distinct views (100, 60, 98 routes), a
+        // duplicate view, and a below-floor table mixed in.
+        let mut views: Vec<Tables> = Vec::new();
+        for (i, n) in [100u32, 60, 98, 60, 5].into_iter().enumerate() {
+            let mut t = table_with_routes(n, gw);
+            t.router = format!("r{i}");
+            views.push(t);
+        }
+        let refs: Vec<&Tables> = views.iter().collect();
+        let mon = InconsistencyMonitor::default();
+        let joined = mon.sweep(&refs, t0());
+        let reference = mon.sweep_reference(&refs, t0());
+        assert_eq!(joined, reference);
+        // The divergent pairs fire; make sure the sweep found some.
+        assert!(!joined.is_empty());
+        // An all-identical fleet is silent.
+        let same: Vec<Tables> = (0..4).map(|_| table_with_routes(50, gw)).collect();
+        let same_refs: Vec<&Tables> = same.iter().collect();
+        assert!(mon.sweep(&same_refs, t0()).is_empty());
     }
 }

@@ -34,6 +34,9 @@
 //! * [`pipeline`] — the staged cycle: typed Capture → Parse → Enrich →
 //!   Log → Analyse stages with per-stage instrumentation,
 //! * [`monitor`] — the orchestrator driving the pipeline,
+//! * [`fleet`] — the sharded fleet: N monitors over disjoint router
+//!   subsets driven concurrently, merged through an exact (integer-sum)
+//!   aggregation tier with a global consistency join,
 //! * [`web`] — the web presentation layer (static HTML + SVG reports,
 //!   standing in for the paper's Java applets).
 
@@ -41,6 +44,7 @@ pub mod aggregate;
 pub mod anomaly;
 pub mod archive;
 pub mod collector;
+pub mod fleet;
 pub mod logger;
 pub mod longterm;
 pub mod monitor;
@@ -58,8 +62,10 @@ pub use archive::{
     FileBackend, FileBackendV2, MemoryBackend, SyncPolicy, ThreadedBackend, WriterConfig,
 };
 pub use collector::{CaptureError, CollectStats, Collector, RetryPolicy, RouterAccess};
+pub use fleet::FleetMonitor;
 pub use monitor::{Monitor, MonitorConfig, RouterHealth};
 pub use pipeline::{PipelineMetrics, Stage, StageKind, StageMetrics};
-pub use stats::{RouteStats, UsageStats};
+pub use stats::{ConsistencyMatrix, RouteStats, UsageStats};
+pub use stats_stream::{IncrementalStats, StatsTotals};
 pub use store::TableStore;
 pub use tables::{PairRow, ParticipantRow, RouteRow, SessionRow, Tables};

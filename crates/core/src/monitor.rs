@@ -47,6 +47,14 @@ pub struct MonitorConfig {
     /// A router is flagged stale after this many intervals without a
     /// successful capture.
     pub stale_after_intervals: u64,
+    /// Whether the Analyse stage runs the cross-router consistency sweep.
+    /// A fleet shard turns this off: [`crate::fleet::FleetMonitor`] sweeps
+    /// globally so cross-shard pairs are not missed.
+    pub cross_router_checks: bool,
+    /// Above this many rows, the per-router health and archive tables
+    /// condense to the worst offenders plus a totals footer instead of
+    /// printing one row per router (fleet-scale readability).
+    pub table_detail_limit: usize,
 }
 
 impl Default for MonitorConfig {
@@ -60,6 +68,8 @@ impl Default for MonitorConfig {
             injection_min_new: 200,
             retry: RetryPolicy::default(),
             stale_after_intervals: 4,
+            cross_router_checks: true,
+            table_detail_limit: 64,
         }
     }
 }
@@ -281,6 +291,7 @@ impl Monitor {
                 threshold: self.cfg.threshold,
                 injection_min_new: self.cfg.injection_min_new,
                 inconsistency: &mut self.inconsistency,
+                cross_router: self.cfg.cross_router_checks,
                 parallel,
             };
             self.metrics.run(&mut stage, logged)
@@ -318,11 +329,18 @@ impl Monitor {
                 "archive",
             ],
         );
+        let (mut ok, mut failed, mut retries, mut stale_n, mut degraded_n) =
+            (0u64, 0u64, 0u64, 0usize, 0usize);
         for router in &self.cfg.routers {
             let Some(h) = self.router_health(router) else {
                 continue;
             };
             let stale = h.is_stale(now, self.cfg.interval, self.cfg.stale_after_intervals);
+            ok += h.successes;
+            failed += h.failures;
+            retries += h.retries;
+            stale_n += usize::from(stale);
+            degraded_n += usize::from(h.archive_degraded);
             table.push_row(vec![
                 Cell::Text(router.clone()),
                 Cell::Num(h.successes as f64),
@@ -341,6 +359,17 @@ impl Monitor {
                 Cell::Text(if h.archive_degraded { "degraded" } else { "ok" }.into()),
             ]);
         }
+        let n = table.rows.len();
+        table.condense(
+            self.cfg.table_detail_limit,
+            "failed",
+            format!(
+                "{} of {n} routers shown (worst by failures); fleet totals: \
+                 ok {ok}, failed {failed}, retries {retries}, {stale_n} stale, \
+                 {degraded_n} degraded archives",
+                self.cfg.table_detail_limit.min(n),
+            ),
+        );
         table
     }
 
@@ -380,6 +409,8 @@ impl Monitor {
                 "persistence",
             ],
         );
+        let (mut records, mut kbytes, mut fsyncs, mut dropped, mut errors_n, mut degraded_n) =
+            (0u64, 0.0f64, 0u64, 0u64, 0u64, 0usize);
         for router in &self.cfg.routers {
             let Some(st) = self.state_of(router) else {
                 continue;
@@ -389,6 +420,12 @@ impl Monitor {
             let errors = st.log.write_errors.max(stats.write_errors) + st.log.replay_errors();
             let degraded =
                 st.log.fell_back || stats.dropped_records > 0 || st.log.replay_errors() > 0;
+            records += stats.records;
+            kbytes += stats.bytes as f64 / 1024.0;
+            fsyncs += stats.fsyncs;
+            dropped += stats.dropped_records;
+            errors_n += errors;
+            degraded_n += usize::from(degraded);
             table.push_row(vec![
                 Cell::Text(router.clone()),
                 Cell::Text(st.log.backend_kind().into()),
@@ -409,6 +446,17 @@ impl Monitor {
                 Cell::Text(if degraded { "degraded" } else { "ok" }.into()),
             ]);
         }
+        let n = table.rows.len();
+        table.condense(
+            self.cfg.table_detail_limit,
+            "errors",
+            format!(
+                "{} of {n} archives shown (worst by errors); fleet totals: \
+                 {records} records, {kbytes:.0} kbytes, {fsyncs} fsyncs, \
+                 {dropped} dropped, {errors_n} errors, {degraded_n} degraded",
+                self.cfg.table_detail_limit.min(n),
+            ),
+        );
         table
     }
 
@@ -423,6 +471,32 @@ impl Monitor {
     /// The shared interning store.
     pub fn store(&self) -> &TableStore {
         &self.store
+    }
+
+    /// This monitor's partial sum of every router's streaming integer
+    /// accumulators — the shard-level contribution the fleet's
+    /// aggregation tier composes by exact integer summation.
+    pub fn stream_totals(&self) -> crate::stats_stream::StatsTotals {
+        let mut acc = crate::stats_stream::StatsTotals::default();
+        for st in &self.state {
+            acc.absorb(&st.stream.totals());
+        }
+        acc
+    }
+
+    /// Summed route churn across this monitor's routers for the cycle at
+    /// `at` (routers without a churn entry for that cycle — e.g. their
+    /// first — contribute nothing).
+    pub fn cycle_churn(&self, at: SimTime) -> RouteChurn {
+        let mut acc = RouteChurn::default();
+        for st in &self.state {
+            if let Some((t, churn)) = st.churn.last() {
+                if *t == at {
+                    acc.absorb(churn);
+                }
+            }
+        }
+        acc
     }
 
     /// Usage-statistic history of one router.

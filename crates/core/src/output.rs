@@ -113,6 +113,10 @@ pub struct Table {
     pub rows: Vec<Vec<Cell>>,
     /// Active date display mode.
     pub date_mode: DateMode,
+    /// Summary line shown after the rows — set by [`Table::condense`]
+    /// when a fleet-scale table collapses to its worst offenders.
+    #[serde(default)]
+    pub footer: Option<String>,
 }
 
 impl Table {
@@ -123,6 +127,7 @@ impl Table {
             columns: columns.into_iter().map(String::from).collect(),
             rows: Vec::new(),
             date_mode: DateMode::Iso,
+            footer: None,
         }
     }
 
@@ -182,6 +187,7 @@ impl Table {
                 .cloned()
                 .collect(),
             date_mode: self.date_mode,
+            footer: None,
         }
     }
 
@@ -202,6 +208,31 @@ impl Table {
     /// Keeps only the first `n` rows (after a sort: top-N views).
     pub fn truncate(&mut self, n: usize) {
         self.rows.truncate(n);
+    }
+
+    /// Removes a column and its cells; unknown names are a no-op.
+    pub fn drop_column(&mut self, name: &str) {
+        let Some(i) = self.column_index(name) else {
+            return;
+        };
+        self.columns.remove(i);
+        for row in &mut self.rows {
+            row.remove(i);
+        }
+    }
+
+    /// Fleet-scale degradation: when the table has more than `keep` rows,
+    /// keeps the top `keep` ranked descending by `rank_by` (stable, so
+    /// ties stay in insertion order — the worst offenders float up) and
+    /// records `summary` as the footer line. Tables at or under the
+    /// threshold are left untouched.
+    pub fn condense(&mut self, keep: usize, rank_by: &str, summary: impl Into<String>) {
+        if self.rows.len() <= keep {
+            return;
+        }
+        self.sort_by(rank_by, false);
+        self.rows.truncate(keep);
+        self.footer = Some(summary.into());
     }
 
     /// Renders as aligned ASCII.
@@ -246,6 +277,9 @@ impl Table {
                 .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
                 .collect();
             let _ = writeln!(out, "{}", line.join("  "));
+        }
+        if let Some(footer) = &self.footer {
+            let _ = writeln!(out, "-- {footer}");
         }
         out
     }

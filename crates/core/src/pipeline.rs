@@ -919,6 +919,10 @@ pub struct AnalyseStage<'a> {
     pub injection_min_new: usize,
     /// Cross-router consistency monitor.
     pub inconsistency: &'a mut InconsistencyMonitor,
+    /// Whether to run the cross-router consistency sweep. A fleet shard
+    /// disables it — the fleet tier sweeps globally so cross-shard pairs
+    /// are not missed (and within-shard pairs not double-reported).
+    pub cross_router: bool,
     /// Whether to fan the per-router bodies across the thread pool.
     pub parallel: bool,
 }
@@ -952,24 +956,19 @@ impl Stage for AnalyseStage<'_> {
             report.anomalies.extend(anomalies);
             report.per_router.push((name, usage, routes));
         }
-        // Cross-router consistency, every pair once — a serial barrier
-        // after the join: the O(n²) sweep needs every pair of snapshots
-        // at once. Both routers are named: the anomaly attributes to the
-        // first and records the second as the peer, instead of blaming
-        // whichever router happened to come first in configuration order
-        // without saying who it diverged from.
-        for i in 0..work.len() {
-            for j in (i + 1)..work.len() {
-                if let Some((_, kind)) = self.inconsistency.check(&work[i].tables, &work[j].tables)
-                {
-                    report.anomalies.push(Anomaly {
-                        at: now,
-                        router: work[i].tables.router.clone(),
-                        peer: Some(work[j].tables.router.clone()),
-                        kind,
-                    });
-                }
-            }
+        // Cross-router consistency — a serial barrier after the join,
+        // since the sweep needs every snapshot at once. The group-by-key
+        // join compares each pair of *distinct* reachable-set views once
+        // (property-tested identical to the O(n²) pairwise reference).
+        // Both routers are named: the anomaly attributes to the first and
+        // records the second as the peer, instead of blaming whichever
+        // router happened to come first in configuration order without
+        // saying who it diverged from.
+        if self.cross_router {
+            let views: Vec<&Tables> = work.iter().map(|lr| &lr.tables).collect();
+            report
+                .anomalies
+                .extend(self.inconsistency.sweep(&views, now));
         }
         // The snapshots become next cycle's baselines — moved, not cloned.
         for lr in work {

@@ -246,6 +246,16 @@ impl RouteChurn {
     pub fn total(&self) -> usize {
         self.added + self.removed + self.changed + self.reachability_flips
     }
+
+    /// Adds another churn count into this one — integer sums, so fleet
+    /// aggregation across routers and shards is exact and
+    /// order-independent.
+    pub fn absorb(&mut self, other: &RouteChurn) {
+        self.added += other.added;
+        self.removed += other.removed;
+        self.changed += other.changed;
+        self.reachability_flips += other.reachability_flips;
+    }
 }
 
 /// Cross-router consistency: how much two routers' DVMRP views differ —
@@ -315,6 +325,129 @@ impl ConsistencyReport {
         } else {
             self.shared as f64 / union as f64
         }
+    }
+}
+
+/// All-pairs consistency over a fleet of snapshots as a group-by-key hash
+/// join: the key is each router's reachable DVMRP prefix set, so routers
+/// with identical views share one group and every *distinct pair of
+/// views* is merged exactly once (memoised sorted-merge), instead of
+/// re-walking both route tables for each of the O(n²) router pairs.
+///
+/// In a consistent fleet most routers agree, so the number of distinct
+/// views G stays far below n and the set-comparison cost drops from
+/// O(n²·p) to O(n·p + G²·p); a fully divergent fleet (G = n) degrades to
+/// the pairwise cost, never worse. Because the key is the view itself,
+/// groups built on different shards compose: joining the shards' snapshot
+/// lists and rebuilding is exactly the single-fleet join.
+pub struct ConsistencyMatrix {
+    /// Group id per input snapshot, `None` when the snapshot's reachable
+    /// set is below the caller's floor and every pair involving it is
+    /// skipped.
+    group_of: Vec<Option<u32>>,
+    /// Each distinct reachable set, sorted (route-table iteration order).
+    group_sets: Vec<Vec<Prefix>>,
+    /// Memoised reports per unordered group pair `(lo, hi)`, lo-first.
+    cache: crate::store::FxHashMap<(u32, u32), ConsistencyReport>,
+}
+
+impl ConsistencyMatrix {
+    /// Groups `views` by reachable DVMRP prefix set. Views with fewer
+    /// than `min_routes` reachable routes are excluded (tiny tables make
+    /// similarity meaningless — the [`crate::anomaly::InconsistencyMonitor`]
+    /// floor).
+    pub fn build(views: &[&Tables], min_routes: usize) -> Self {
+        let mut ids: crate::store::FxHashMap<Vec<Prefix>, u32> = Default::default();
+        let mut group_sets: Vec<Vec<Prefix>> = Vec::new();
+        let mut group_of = Vec::with_capacity(views.len());
+        for t in views {
+            let set: Vec<Prefix> = t
+                .routes_of(LearnedFrom::Dvmrp)
+                .filter(|r| r.reachable)
+                .map(|r| r.prefix)
+                .collect();
+            if set.len() < min_routes {
+                group_of.push(None);
+                continue;
+            }
+            let next = group_sets.len() as u32;
+            let id = match ids.entry(set) {
+                std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    group_sets.push(e.key().clone());
+                    e.insert(next);
+                    next
+                }
+            };
+            group_of.push(Some(id));
+        }
+        ConsistencyMatrix {
+            group_of,
+            group_sets,
+            cache: Default::default(),
+        }
+    }
+
+    /// Number of distinct reachable-set views among the eligible inputs.
+    pub fn distinct_views(&self) -> usize {
+        self.group_sets.len()
+    }
+
+    /// Whether input `i` cleared the `min_routes` floor.
+    pub fn eligible(&self, i: usize) -> bool {
+        self.group_of[i].is_some()
+    }
+
+    /// The report for input pair `(i, j)`, oriented `i`-first — identical
+    /// to [`ConsistencyReport::between`] on the two snapshots — or `None`
+    /// when either side is below the floor.
+    pub fn report(&mut self, i: usize, j: usize) -> Option<ConsistencyReport> {
+        let (gi, gj) = (self.group_of[i]?, self.group_of[j]?);
+        if gi == gj {
+            return Some(ConsistencyReport {
+                only_first: 0,
+                only_second: 0,
+                shared: self.group_sets[gi as usize].len(),
+            });
+        }
+        let (lo, hi) = (gi.min(gj), gi.max(gj));
+        let sets = &self.group_sets;
+        let r = *self
+            .cache
+            .entry((lo, hi))
+            .or_insert_with(|| merge_report(&sets[lo as usize], &sets[hi as usize]));
+        Some(if gi == lo {
+            r
+        } else {
+            ConsistencyReport {
+                only_first: r.only_second,
+                only_second: r.only_first,
+                shared: r.shared,
+            }
+        })
+    }
+}
+
+/// [`ConsistencyReport`] of two sorted, deduplicated prefix sets by
+/// linear merge.
+fn merge_report(a: &[Prefix], b: &[Prefix]) -> ConsistencyReport {
+    let mut shared = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                shared += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    ConsistencyReport {
+        only_first: a.len() - shared,
+        only_second: b.len() - shared,
+        shared,
     }
 }
 

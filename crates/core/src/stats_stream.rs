@@ -228,72 +228,41 @@ impl IncrementalStats {
         changes
     }
 
+    /// This router's contribution to a fleet's totals: the integer
+    /// accumulators [`IncrementalStats::usage`]/[`IncrementalStats::route_stats`]
+    /// assemble from, with no derived ratios — so shard partial sums
+    /// compose exactly (see [`StatsTotals::absorb`]).
+    pub fn totals(&self) -> StatsTotals {
+        StatsTotals {
+            at: self.at,
+            density_hist: self.density_hist.clone(),
+            sessions: self.sessions,
+            participants: self.participants,
+            senders: self.senders,
+            active_sessions: self.active_sessions,
+            total_density: self.total_density,
+            total_bw_bps: self.total_bw_bps,
+            unicast_bw_bps: self.unicast_bw_bps,
+            sa_entries: self.sa.len(),
+            dvmrp_total: self.dvmrp_total,
+            dvmrp_reachable: self.dvmrp_reachable,
+            mbgp_total: self.mbgp_total,
+            uptime_sum: self.uptime_sum,
+            uptime_count: self.uptime_count,
+        }
+    }
+
     /// Assembles the current cycle's usage statistics from the
     /// accumulators — the same integer sums [`UsageStats::from_tables`]
     /// computes, divided the same way, so the output is bit-identical.
     pub fn usage(&self) -> UsageStats {
-        let sessions = self.sessions;
-        let avg_density = if sessions == 0 {
-            0.0
-        } else {
-            self.total_density as f64 / sessions as f64
-        };
-        let hist_count = |d: u32| self.density_hist.get(&d).copied().unwrap_or(0);
-        let single = hist_count(1);
-        let le2 = hist_count(0) + hist_count(1) + hist_count(2);
-        let top6 = {
-            let take = (sessions * 6).div_ceil(100).max(usize::from(sessions > 0));
-            let mut left = take;
-            let mut top = 0u64;
-            for (&density, &n) in self.density_hist.iter().rev() {
-                let k = n.min(left);
-                top += u64::from(density) * k as u64;
-                left -= k;
-                if left == 0 {
-                    break;
-                }
-            }
-            if self.total_density == 0 {
-                0.0
-            } else {
-                top as f64 / self.total_density as f64
-            }
-        };
-        let saved = if self.total_bw_bps == 0 {
-            0.0
-        } else {
-            self.unicast_bw_bps as f64 / self.total_bw_bps as f64
-        };
-        UsageStats {
-            at: self.at,
-            sessions,
-            participants: self.participants,
-            active_sessions: self.active_sessions,
-            senders: self.senders,
-            avg_density,
-            single_member_fraction: frac(single, sessions),
-            le2_density_fraction: frac(le2, sessions),
-            top6pct_participant_share: top6,
-            total_bandwidth: BitRate(self.total_bw_bps),
-            bandwidth_saved_multiple: saved,
-            sa_entries: self.sa.len(),
-        }
+        self.totals().usage()
     }
 
     /// Assembles the current cycle's route statistics, bit-identical to
     /// [`RouteStats::from_tables`].
     pub fn route_stats(&self) -> RouteStats {
-        RouteStats {
-            at: self.at,
-            dvmrp_total: self.dvmrp_total,
-            dvmrp_reachable: self.dvmrp_reachable,
-            mbgp_routes: self.mbgp_total,
-            mean_uptime_secs: if self.uptime_count == 0 {
-                None
-            } else {
-                Some(self.uptime_sum as f64 / self.uptime_count as f64)
-            },
-        }
+        self.totals().route_stats()
     }
 
     // ------------------------------------------------------------------
@@ -527,6 +496,129 @@ fn frac(num: usize, den: usize) -> f64 {
         0.0
     } else {
         num as f64 / den as f64
+    }
+}
+
+/// The aggregation tier's unit of composition: pure integer accumulators
+/// (counts, sums, the density histogram), no derived ratios.
+///
+/// Integer addition is associative and commutative, so summing per-router
+/// totals per shard and then summing the shard partials gives *exactly*
+/// the sum over all routers, regardless of partition — every division
+/// (average density, bandwidth-saved multiple, uptime mean) happens once,
+/// at assembly, on identical integers. That is the whole exactness
+/// argument for sharded aggregation: a fleet's global
+/// [`UsageStats`]/[`RouteStats`] are bit-identical to the single-monitor
+/// computation because the f64 operations see the same operands in the
+/// same order. The semantic is router-observations summed across the
+/// fleet (a session with state at three routers contributes three times),
+/// the same reading the per-router figures already have.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsTotals {
+    at: SimTime,
+    density_hist: BTreeMap<u32, usize>,
+    sessions: usize,
+    participants: usize,
+    senders: usize,
+    active_sessions: usize,
+    total_density: u64,
+    total_bw_bps: u64,
+    unicast_bw_bps: u64,
+    sa_entries: usize,
+    dvmrp_total: usize,
+    dvmrp_reachable: usize,
+    mbgp_total: usize,
+    uptime_sum: u64,
+    uptime_count: usize,
+}
+
+impl StatsTotals {
+    /// Adds another partial sum into this one. `at` takes the later of
+    /// the two timestamps (within one cycle they are equal).
+    pub fn absorb(&mut self, other: &StatsTotals) {
+        self.at = self.at.max(other.at);
+        for (&d, &n) in &other.density_hist {
+            *self.density_hist.entry(d).or_insert(0) += n;
+        }
+        self.sessions += other.sessions;
+        self.participants += other.participants;
+        self.senders += other.senders;
+        self.active_sessions += other.active_sessions;
+        self.total_density += other.total_density;
+        self.total_bw_bps += other.total_bw_bps;
+        self.unicast_bw_bps += other.unicast_bw_bps;
+        self.sa_entries += other.sa_entries;
+        self.dvmrp_total += other.dvmrp_total;
+        self.dvmrp_reachable += other.dvmrp_reachable;
+        self.mbgp_total += other.mbgp_total;
+        self.uptime_sum += other.uptime_sum;
+        self.uptime_count += other.uptime_count;
+    }
+
+    /// Assembles usage statistics — every ratio divided here, once, from
+    /// the summed integers.
+    pub fn usage(&self) -> UsageStats {
+        let sessions = self.sessions;
+        let avg_density = if sessions == 0 {
+            0.0
+        } else {
+            self.total_density as f64 / sessions as f64
+        };
+        let hist_count = |d: u32| self.density_hist.get(&d).copied().unwrap_or(0);
+        let single = hist_count(1);
+        let le2 = hist_count(0) + hist_count(1) + hist_count(2);
+        let top6 = {
+            let take = (sessions * 6).div_ceil(100).max(usize::from(sessions > 0));
+            let mut left = take;
+            let mut top = 0u64;
+            for (&density, &n) in self.density_hist.iter().rev() {
+                let k = n.min(left);
+                top += u64::from(density) * k as u64;
+                left -= k;
+                if left == 0 {
+                    break;
+                }
+            }
+            if self.total_density == 0 {
+                0.0
+            } else {
+                top as f64 / self.total_density as f64
+            }
+        };
+        let saved = if self.total_bw_bps == 0 {
+            0.0
+        } else {
+            self.unicast_bw_bps as f64 / self.total_bw_bps as f64
+        };
+        UsageStats {
+            at: self.at,
+            sessions,
+            participants: self.participants,
+            active_sessions: self.active_sessions,
+            senders: self.senders,
+            avg_density,
+            single_member_fraction: frac(single, sessions),
+            le2_density_fraction: frac(le2, sessions),
+            top6pct_participant_share: top6,
+            total_bandwidth: BitRate(self.total_bw_bps),
+            bandwidth_saved_multiple: saved,
+            sa_entries: self.sa_entries,
+        }
+    }
+
+    /// Assembles route statistics from the summed integers.
+    pub fn route_stats(&self) -> RouteStats {
+        RouteStats {
+            at: self.at,
+            dvmrp_total: self.dvmrp_total,
+            dvmrp_reachable: self.dvmrp_reachable,
+            mbgp_routes: self.mbgp_total,
+            mean_uptime_secs: if self.uptime_count == 0 {
+                None
+            } else {
+                Some(self.uptime_sum as f64 / self.uptime_count as f64)
+            },
+        }
     }
 }
 

@@ -56,6 +56,9 @@ pub fn table_html(t: &Table) -> String {
         let _ = writeln!(out, "</tr>");
     }
     let _ = writeln!(out, "</table>");
+    if let Some(f) = &t.footer {
+        let _ = writeln!(out, "<p><em>{}</em></p>", esc(f));
+    }
     out
 }
 
@@ -255,6 +258,68 @@ pub fn report_html(monitor: &Monitor, router: &str) -> String {
     out
 }
 
+/// Renders the fleet-wide monitoring report: one page for the whole
+/// sharded fleet, built from the aggregation tier's global outputs
+/// rather than any single shard's view.
+pub fn fleet_report_html(fleet: &crate::fleet::FleetMonitor, now: SimTime) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "<!DOCTYPE html>");
+    let _ = writeln!(
+        out,
+        "<html><head><meta charset=\"utf-8\"><title>Mantra fleet report</title></head><body>"
+    );
+    let _ = writeln!(
+        out,
+        "<h1>Mantra fleet report — {} routers, {} shards</h1>",
+        fleet.cfg.routers.len(),
+        fleet.shard_count()
+    );
+    let _ = writeln!(
+        out,
+        "<p>{} cycles, {} capture failures, {} anomalies fleet-wide.</p>",
+        fleet.cycles(),
+        fleet.capture_failures(),
+        fleet.anomalies.len()
+    );
+    let _ = writeln!(out, "{}", graph_svg(&fleet.usage_graph(), 860, 300));
+    let mut routes = Graph::new("Fleet DVMRP routes (global)");
+    let mut reachable = crate::stats::Series::new("dvmrp-reachable");
+    let mut total = crate::stats::Series::new("dvmrp-total");
+    for r in fleet.route_history() {
+        reachable.push(r.at, r.dvmrp_reachable as f64);
+        total.push(r.at, r.dvmrp_total as f64);
+    }
+    routes.overlay(reachable).overlay(total);
+    let _ = writeln!(out, "{}", graph_svg(&routes, 860, 240));
+    let _ = writeln!(out, "{}", table_html(&fleet.health(now)));
+    let _ = writeln!(out, "{}", table_html(&fleet.archive_table()));
+    let divergent = fleet.consistency_view();
+    if divergent.is_empty() {
+        let _ = writeln!(out, "<p>Route consistency: no divergent router pairs.</p>");
+    } else {
+        let _ = writeln!(
+            out,
+            "<p>Route consistency: {} divergent router pair(s):</p><ul>",
+            divergent.len()
+        );
+        for (a, b, r) in &divergent {
+            let _ = writeln!(
+                out,
+                "<li>{} vs {}: similarity {:.2} ({} shared, {} only-first, {} only-second)</li>",
+                esc(a),
+                esc(b),
+                r.similarity(),
+                r.shared,
+                r.only_first,
+                r.only_second
+            );
+        }
+        let _ = writeln!(out, "</ul>");
+    }
+    let _ = writeln!(out, "</body></html>");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +339,51 @@ mod tests {
         assert!(html.contains("x&lt;y&gt;&amp;&quot;z&quot;"));
         assert_eq!(html.matches("<tr>").count(), html.matches("</tr>").count());
         assert_eq!(html.matches("<tr>").count(), 2);
+    }
+
+    #[test]
+    fn table_html_renders_condensed_footer() {
+        let mut table = Table::new("Big", vec!["name", "v"]);
+        for i in 0..4 {
+            table.push_row(vec![Cell::Text(format!("r{i}")), Cell::Num(i as f64)]);
+        }
+        table.condense(2, "v", "2 of 4 shown; totals: <6>");
+        let html = table_html(&table);
+        assert_eq!(html.matches("<tr>").count(), 3);
+        assert!(html.contains("2 of 4 shown; totals: &lt;6&gt;"));
+    }
+
+    #[test]
+    fn fleet_report_page_is_complete() {
+        use crate::{FleetMonitor, MonitorConfig};
+        let mut sc = mantra_sim::Scenario::transition_snapshot(41, 0.3);
+        let mut fleet = FleetMonitor::new(
+            MonitorConfig {
+                routers: vec!["fixw".into(), "ucsb-gw".into()],
+                interval: sc.sim.tick(),
+                table_detail_limit: 1,
+                ..MonitorConfig::default()
+            },
+            2,
+        );
+        for _ in 0..4 {
+            let next = sc.sim.clock + fleet.cfg.interval;
+            sc.sim.advance_to(next);
+            fleet.run_cycle(&sc.sim, next);
+        }
+        let html = fleet_report_html(&fleet, sc.sim.clock);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("</html>"));
+        assert_eq!(html.matches("<svg").count(), 2);
+        assert!(html.contains("2 routers, 2 shards"));
+        assert!(html.contains("Fleet usage"));
+        assert!(html.contains("Fleet DVMRP routes"));
+        assert!(html.contains("Fleet collection health"));
+        assert!(html.contains("Fleet archives"));
+        assert!(html.contains("Route consistency:"));
+        // detail limit 1 → both fleet tables condensed with footers.
+        assert!(html.contains("of 2 routers shown"));
+        assert!(html.contains("of 2 archives shown"));
     }
 
     #[test]

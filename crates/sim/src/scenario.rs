@@ -15,7 +15,8 @@
 use mantra_net::{RouterId, SimDuration, SimTime};
 use mantra_protocols::dvmrp::DvmrpTimers;
 use mantra_topology::reference::{
-    mbone_1998, transition_internetwork, ucsb_campus, ReferenceTopology, TopologyConfig,
+    fleet_internetwork, mbone_1998, transition_internetwork, ucsb_campus, ReferenceTopology,
+    TopologyConfig,
 };
 use mantra_topology::ProtocolSuite;
 
@@ -433,6 +434,31 @@ impl Scenario {
         Scenario { sim, fixw, ucsb }
     }
 
+    /// The fleet-scale world: a transition internetwork sized to roughly
+    /// `target_routers` routers (see `fleet_internetwork`), every router
+    /// monitored, driven by the fleet-scale workload preset. This is the
+    /// scenario behind the sharded-monitor evaluation — coarse hourly
+    /// ticks over a 30-day window keep a 2000-router run tractable while
+    /// the workload accumulates participant joins into the millions.
+    pub fn fleet_snapshot(seed: u64, target_routers: usize, native_fraction: f64) -> Scenario {
+        let r = fleet_internetwork(target_routers, native_fraction);
+        let start = SimTime::from_ymd(1999, 3, 1);
+        let cfg = SimConfig {
+            seed,
+            start,
+            end: start + SimDuration::days(30),
+            tick: SimDuration::hours(1),
+            report_loss: 0.02,
+            // Fleet domains advertise fewer synthetic extras: table realism
+            // comes from the domain count itself at this scale.
+            extra_prefixes_per_domain: 4,
+        };
+        let monitored: Vec<RouterId> = r.topo.routers().iter().map(|router| router.id).collect();
+        let (fixw, ucsb) = (r.fixw, r.ucsb);
+        let sim = Simulation::new(r, monitored, cfg, WorkloadConfig::fleet_scale(1.0));
+        Scenario { sim, fixw, ucsb }
+    }
+
     /// A mid-transition snapshot world (used by examples/tests): part of
     /// the infrastructure native from the start.
     pub fn transition_snapshot(seed: u64, native_fraction: f64) -> Scenario {
@@ -532,6 +558,22 @@ mod tests {
         assert!(
             dvmrp_share > native_share + 0.1,
             "sparse filtering must reduce visibility: {dvmrp_share:.2} vs {native_share:.2}"
+        );
+    }
+
+    #[test]
+    fn fleet_snapshot_monitors_every_router() {
+        let mut sc = Scenario::fleet_snapshot(13, 50, 0.5);
+        assert_eq!(sc.sim.monitored.len(), sc.sim.net.topo.router_count());
+        assert_eq!(sc.sim.net.topo.router_count(), 49);
+        let start = SimTime::from_ymd(1999, 3, 1);
+        sc.sim.advance_to(start + SimDuration::hours(6));
+        assert!(sc.sim.ticks_run() >= 6);
+        // The fleet workload is dense: hundreds of sessions within hours.
+        assert!(
+            sc.sim.sessions.len() > 200,
+            "sessions {}",
+            sc.sim.sessions.len()
         );
     }
 

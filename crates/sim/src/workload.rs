@@ -97,6 +97,27 @@ impl Default for WorkloadConfig {
     }
 }
 
+impl WorkloadConfig {
+    /// Fleet-scale calibration: the FIXW-era rates multiplied up for an
+    /// internetwork of hundreds of domains, with a steeper Zipf skew so
+    /// audiences pile into the popular domains. At `audience_scale` 1.0
+    /// a 30-day horizon accumulates over a million participant joins in
+    /// expectation (counting only each session kind's guaranteed-minimum
+    /// membership — the heavy Zipf/Pareto tails push the realised count
+    /// into the millions); the scale knob multiplies every arrival rate.
+    pub fn fleet_scale(audience_scale: f64) -> Self {
+        let s = audience_scale.max(0.1);
+        WorkloadConfig {
+            experimental_per_hour: 1_000.0 * s,
+            content_per_hour: 200.0 * s,
+            channels_per_hour: 6.0 * s,
+            storms_per_day: 12.0 * s,
+            domain_skew: 1.1,
+            ..WorkloadConfig::default()
+        }
+    }
+}
+
 /// One leaf-subnet attachment point.
 #[derive(Clone, Copy, Debug)]
 pub struct Attachment {
@@ -117,6 +138,11 @@ pub struct Workload {
     cfg: WorkloadConfig,
     rng: SimRng,
     attachments: Vec<Attachment>,
+    /// Attachment indices per domain rank, so a pick is O(1) instead of
+    /// a scan over every leaf in the internetwork (fleet topologies have
+    /// thousands). Ranks with no leaves (the exchange domain) hold an
+    /// empty list.
+    by_domain: Vec<Vec<usize>>,
 }
 
 impl Workload {
@@ -139,10 +165,16 @@ impl Workload {
             !attachments.is_empty(),
             "workload requires at least one leaf subnet"
         );
+        let n_dom = attachments.iter().map(|a| a.domain_rank).max().unwrap_or(0) + 1;
+        let mut by_domain = vec![Vec::new(); n_dom];
+        for (i, a) in attachments.iter().enumerate() {
+            by_domain[a.domain_rank].push(i);
+        }
         Workload {
             cfg,
             rng,
             attachments,
+            by_domain,
         }
     }
 
@@ -230,31 +262,18 @@ impl Workload {
     }
 
     fn pick_attachment(&mut self) -> Attachment {
-        // Zipf over domain ranks, then uniform over that domain's leaves.
-        let n_dom = self
-            .attachments
-            .iter()
-            .map(|a| a.domain_rank)
-            .max()
-            .unwrap_or(0)
-            + 1;
-        let dom = self.rng.zipf(n_dom, self.cfg.domain_skew);
-        let in_dom: Vec<usize> = self
-            .attachments
-            .iter()
-            .enumerate()
-            .filter(|(_, a)| a.domain_rank == dom)
-            .map(|(i, _)| i)
-            .collect();
-        let pool = if in_dom.is_empty() {
-            0..self.attachments.len()
-        } else {
-            0..in_dom.len()
-        };
-        let idx = self.rng.index(pool.end);
+        // Zipf over domain ranks, then uniform over that domain's leaves
+        // (uniform over every leaf when the drawn rank has none). The RNG
+        // call sequence — one zipf, one index over the same pool size —
+        // matches the original scan-based implementation exactly, so
+        // seeded scenarios reproduce bit-identically.
+        let dom = self.rng.zipf(self.by_domain.len(), self.cfg.domain_skew);
+        let in_dom = &self.by_domain[dom];
         if in_dom.is_empty() {
+            let idx = self.rng.index(self.attachments.len());
             self.attachments[idx]
         } else {
+            let idx = self.rng.index(in_dom.len());
             self.attachments[in_dom[idx]]
         }
     }
@@ -536,6 +555,40 @@ mod tests {
         assert!(storm.iter().all(|s| s.participants[0].router == r0));
         // Short-lived.
         assert!(storm.iter().all(|s| s.lifetime <= SimDuration::hours(1)));
+    }
+
+    #[test]
+    fn attachment_index_covers_every_leaf() {
+        let w = workload();
+        let indexed: usize = w.by_domain.iter().map(Vec::len).sum();
+        assert_eq!(indexed, w.attachments.len());
+        for (rank, idxs) in w.by_domain.iter().enumerate() {
+            for &i in idxs {
+                assert_eq!(w.attachments[i].domain_rank, rank);
+            }
+        }
+        // Rank count matches the zipf pool of the old scan-based pick.
+        let max_rank = w.attachments.iter().map(|a| a.domain_rank).max().unwrap();
+        assert_eq!(w.by_domain.len(), max_rank + 1);
+    }
+
+    #[test]
+    fn fleet_preset_expected_joins_reach_millions() {
+        let c = WorkloadConfig::fleet_scale(1.0);
+        let hours = 30.0 * 24.0;
+        // Guaranteed-minimum membership per kind: experimental and
+        // content sessions seat at least one participant, a channel at
+        // least 30 audience + 1 sender, a storm at least 300
+        // single-member sessions.
+        let expected = c.experimental_per_hour * hours
+            + c.content_per_hour * hours
+            + c.channels_per_hour * hours * 31.0
+            + c.storms_per_day * 30.0 * 300.0;
+        assert!(expected >= 1.0e6, "expected joins {expected:.0}");
+        // The scale knob multiplies arrivals.
+        let c3 = WorkloadConfig::fleet_scale(3.0);
+        assert!((c3.experimental_per_hour / c.experimental_per_hour - 3.0).abs() < 1e-9);
+        assert!(c.domain_skew > WorkloadConfig::default().domain_skew);
     }
 
     #[test]

@@ -179,6 +179,40 @@ fn build(cfg: &TopologyConfig, protocol_of: impl Fn(usize) -> DomainProtocol) ->
     }
 }
 
+/// Size knobs hitting a target fleet-wide router count.
+///
+/// The router count of a reference internetwork is
+/// `1 + domains * (1 + routers_per_domain)`. Up to ~2000 routers the
+/// fleet grows by adding domains of 8 routers each; past that the
+/// domain count pins at 250 (the /16 address plan wraps at 256 domain
+/// indices) and domains grow internally instead. The achieved count is
+/// within a domain's size of `target_routers`.
+pub fn fleet_config(target_routers: usize, native_fraction: f64) -> TopologyConfig {
+    let target = target_routers.max(3);
+    let mut routers_per_domain = 7usize;
+    let per_domain = routers_per_domain + 1;
+    let mut domains = (target - 1 + per_domain / 2) / per_domain;
+    if domains > 250 {
+        domains = 250;
+        routers_per_domain = (target - 1).div_ceil(domains).saturating_sub(1).max(1);
+    }
+    TopologyConfig {
+        domains: domains.max(1),
+        routers_per_domain,
+        leaves_per_router: 1,
+        native_fraction,
+    }
+}
+
+/// A fleet-scale transition internetwork sized to roughly
+/// `target_routers` routers (see [`fleet_config`] for the sizing rule):
+/// hundreds of member domains hanging off the FIXW exchange, the leading
+/// `native_fraction` of them already native sparse-mode. This is the
+/// 1k–10k-router shape the sharded fleet monitor is evaluated on.
+pub fn fleet_internetwork(target_routers: usize, native_fraction: f64) -> ReferenceTopology {
+    transition_internetwork(&fleet_config(target_routers, native_fraction))
+}
+
 /// The standalone UCSB campus: a gateway `mrouted` plus internal routers and
 /// leaf subnets, no exchange point. Used for the single-router Figure 9
 /// scenario.
@@ -264,6 +298,31 @@ mod tests {
         assert!(gw.suite.dvmrp);
         // Gateway has one leaf plus tunnels to the 4 internal routers.
         assert_eq!(gw.tunnel_count(), 4);
+    }
+
+    #[test]
+    fn fleet_sizing_tracks_target() {
+        for target in [50usize, 500, 2000, 10_000] {
+            let cfg = fleet_config(target, 0.5);
+            assert!(cfg.domains <= 250, "address plan wraps past 250 domains");
+            let routers = 1 + cfg.domains * (1 + cfg.routers_per_domain);
+            let err = routers.abs_diff(target) as f64 / target as f64;
+            assert!(err < 0.05, "target {target} → {routers} routers");
+        }
+        // The built topology matches the sizing formula and validates.
+        let r = fleet_internetwork(500, 0.5);
+        r.topo.validate().unwrap();
+        assert_eq!(r.topo.router_count(), 497);
+        assert_eq!(r.member_domains.len(), 62);
+        let native = r
+            .topo
+            .domains()
+            .iter()
+            .filter(|d| d.protocol == DomainProtocol::NativeSparse)
+            .count();
+        // round(62 * 0.5) = 31 leading domains, minus UCSB at index 0
+        // which stays DVMRP throughout.
+        assert_eq!(native, 30);
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Property tests for the sharded fleet monitor: for ANY shard count and
+//! ANY router→shard partition, the fleet's global outputs — per-cycle
+//! reports, usage/route statistics, anomaly stream, per-router histories
+//! and archived snapshots — are bit-identical to a single monolithic
+//! [`Monitor`] over the same fleet. This is the aggregation tier's
+//! exactness claim (integer partial sums compose associatively; the
+//! global consistency join visits each pair once), checked end-to-end
+//! through the live simulator rather than on synthetic tables.
+
+use proptest::prelude::*;
+
+use mantra::core::anomaly::InconsistencyMonitor;
+use mantra::core::collector::SimAccess;
+use mantra::core::logger::TableLog;
+use mantra::core::tables::{LearnedFrom, RouteRow, Tables};
+use mantra::core::{ArchiveSpec, FleetMonitor, Monitor, MonitorConfig, SyncPolicy};
+use mantra::net::{Ip, Prefix, SimTime};
+use mantra::sim::Scenario;
+
+/// A small fleet world: every router monitored, dense fleet workload.
+/// Target 10 sizes to one 8-router domain plus the exchange → 9 routers.
+fn world(seed: u64) -> (Scenario, Vec<String>) {
+    let sc = Scenario::fleet_snapshot(seed, 10, 0.5);
+    let routers: Vec<String> = sc
+        .sim
+        .monitored
+        .iter()
+        .map(|id| sc.sim.net.topo.router(*id).name.clone())
+        .collect();
+    (sc, routers)
+}
+
+fn cfg_for(routers: Vec<String>, sc: &Scenario, archive: ArchiveSpec) -> MonitorConfig {
+    MonitorConfig {
+        routers,
+        interval: sc.sim.tick(),
+        archive,
+        ..MonitorConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Any assignment of 9 routers to up to 4 shards (empty shards, a
+    /// single mega-shard, singleton shards — whatever proptest draws)
+    /// reproduces the single monitor bit for bit, cycle by cycle.
+    #[test]
+    fn any_partition_matches_single_monitor(
+        assignment in proptest::collection::vec(0usize..4, 9..10),
+        seed in 0u64..20,
+    ) {
+        let (mut sc_fleet, routers) = world(seed);
+        let (mut sc_single, _) = world(seed);
+        let mut fleet = FleetMonitor::with_assignment(
+            cfg_for(routers.clone(), &sc_fleet, ArchiveSpec::Memory),
+            &assignment,
+        );
+        let mut single = Monitor::new(cfg_for(routers.clone(), &sc_single, ArchiveSpec::Memory));
+        for _ in 0..3 {
+            let next = sc_fleet.sim.clock + fleet.cfg.interval;
+            sc_fleet.sim.advance_to(next);
+            let fr = fleet.run_cycle(&sc_fleet.sim, next);
+            sc_single.sim.advance_to(next);
+            let mut access = SimAccess::new(&sc_single.sim);
+            let sr = single.run_cycle(&mut access, next);
+            // The merged cycle report re-interleaves to the single
+            // monitor's exact shape.
+            prop_assert_eq!(&fr, &sr);
+            // Global statistics compose exactly from shard partial sums.
+            prop_assert_eq!(
+                fleet.usage_history().last().unwrap(),
+                &single.stream_totals().usage()
+            );
+            prop_assert_eq!(
+                fleet.route_history().last().unwrap(),
+                &single.stream_totals().route_stats()
+            );
+            prop_assert_eq!(
+                &fleet.churn_history().last().unwrap().1,
+                &single.cycle_churn(next)
+            );
+        }
+        // The fleet-wide anomaly stream matches, and so does every
+        // router's per-shard history and archived snapshot stream.
+        prop_assert_eq!(&fleet.anomalies, &single.anomalies);
+        for r in &routers {
+            let shard = fleet.monitor_of(r).expect("router owned by a shard");
+            prop_assert_eq!(shard.usage_history(r), single.usage_history(r));
+            prop_assert_eq!(shard.route_history(r), single.route_history(r));
+            let f_log = shard.log(r).expect("shard archive").replay();
+            let s_log = single.log(r).expect("single archive").replay();
+            prop_assert_eq!(f_log, s_log);
+        }
+    }
+
+    /// The group-by-key consistency join raises exactly the anomalies of
+    /// the O(n²) pairwise reference sweep, for arbitrary route views and
+    /// several detector tunings.
+    #[test]
+    fn sweep_matches_pairwise_reference(
+        views_raw in proptest::collection::vec(
+            proptest::collection::vec((0u32..50, any::<bool>()), 0..40),
+            2..8,
+        ),
+    ) {
+        let views: Vec<Tables> = views_raw
+            .iter()
+            .enumerate()
+            .map(|(i, routes)| {
+                let mut t = Tables::new(format!("r{i}"), SimTime::from_ymd(1999, 3, 1));
+                for (k, reachable) in routes {
+                    t.add_route(RouteRow {
+                        prefix: Prefix::new(Ip(Ip::new(128, 0, 0, 0).0 + (k << 16)), 16)
+                            .unwrap(),
+                        next_hop: Some(Ip::new(10, 0, 0, 1)),
+                        metric: 1,
+                        uptime: None,
+                        reachable: *reachable,
+                        learned_from: LearnedFrom::Dvmrp,
+                    });
+                }
+                t
+            })
+            .collect();
+        let refs: Vec<&Tables> = views.iter().collect();
+        let now = SimTime::from_ymd(1999, 3, 1);
+        for (min_similarity, min_routes) in [(0.85, 20), (0.99, 1), (0.5, 5)] {
+            let m = InconsistencyMonitor { min_similarity, min_routes };
+            prop_assert_eq!(m.sweep(&refs, now), m.sweep_reference(&refs, now));
+        }
+    }
+}
+
+/// On-disk archives: shards writing `<router>.marc` files into one
+/// shared directory replay to the same snapshot streams a single monitor
+/// archives — from disk, through fresh `TableLog::load`s.
+#[test]
+fn sharded_file_archives_replay_identically() {
+    let base = std::env::temp_dir().join(format!("mantra-prop-fleet-{}", std::process::id()));
+    let (dir_fleet, dir_single) = (base.join("fleet"), base.join("single"));
+    let spec = |dir: &std::path::Path| ArchiveSpec::File {
+        dir: dir.to_path_buf(),
+        sync: SyncPolicy::default(),
+    };
+    let (mut sc_fleet, routers) = world(5);
+    let (mut sc_single, _) = world(5);
+    let mut fleet = FleetMonitor::new(cfg_for(routers.clone(), &sc_fleet, spec(&dir_fleet)), 3);
+    let mut single = Monitor::new(cfg_for(routers.clone(), &sc_single, spec(&dir_single)));
+    for _ in 0..4 {
+        let next = sc_fleet.sim.clock + fleet.cfg.interval;
+        sc_fleet.sim.advance_to(next);
+        fleet.run_cycle(&sc_fleet.sim, next);
+        sc_single.sim.advance_to(next);
+        let mut access = SimAccess::new(&sc_single.sim);
+        single.run_cycle(&mut access, next);
+    }
+    // No shard hit a write error or fell back to memory.
+    for shard in fleet.shards() {
+        assert!(shard.pipeline().archives().iter().all(|a| a.fallbacks == 0));
+    }
+    for r in &routers {
+        let f = TableLog::load(&ArchiveSpec::path_for(&dir_fleet, r), 96).expect("fleet archive");
+        let s = TableLog::load(&ArchiveSpec::path_for(&dir_single, r), 96).expect("single archive");
+        assert_eq!(f.replay(), s.replay(), "archive divergence at {r}");
+        assert_eq!(f.replay().len(), 4);
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
