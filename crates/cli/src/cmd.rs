@@ -475,6 +475,17 @@ pub fn health(opts: &Opts) -> Result<(), String> {
     }
     println!("{}", monitor.health(now).render());
     println!("\n{}", monitor.stage_table().render());
+    println!("\n{}", monitor.parse_table().render());
+    if monitor.parse_degraded() {
+        let s = monitor.parse_last;
+        println!(
+            "WARNING: degraded parse — {} of {} row-like lines malformed in the last \
+             cycle (threshold {}%); CLI output formats may have drifted",
+            s.malformed,
+            s.parsed + s.malformed,
+            mantra_core::monitor::DEGRADED_PARSE_PCT,
+        );
+    }
     let degraded: Vec<&str> = monitor
         .cfg
         .routers

@@ -54,8 +54,26 @@ pub trait RouterAccess {
     ) -> Result<String, CaptureError>;
 }
 
+/// One effective line of a capture: a byte range into either the raw
+/// capture buffer or the rewrite arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct LineSpan {
+    start: u32,
+    end: u32,
+    /// Whether the range indexes the arena (a line that had to be
+    /// rewritten, e.g. CR-pagination overwrite) instead of the raw buffer.
+    arena: bool,
+}
+
 /// A cleaned capture ready for the table processor.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// The raw capture is kept as a single buffer; pre-processing selects the
+/// effective lines as byte *spans* into it instead of copying each line
+/// into an owned `String`. The rare line that cannot be represented as a
+/// contiguous slice of the raw bytes — a carriage-return pagination
+/// overwrite that leaves residue from the overwritten text — is composed
+/// once into a small per-capture arena and its span points there.
+#[derive(Clone, Debug)]
 pub struct Capture {
     /// The router the capture came from.
     pub router: String,
@@ -63,58 +81,238 @@ pub struct Capture {
     pub kind: TableKind,
     /// Capture timestamp.
     pub captured_at: SimTime,
-    /// Pre-processed lines: no banners, prompts, pagination, blank lines
-    /// or repeated whitespace.
-    pub lines: Vec<String>,
+    /// The raw capture, unmodified.
+    raw: Box<[u8]>,
+    /// Rewritten lines (CR-overwrite residue), appended back to back.
+    arena: Vec<u8>,
+    /// Effective lines in capture order: no banners, prompts, pagination
+    /// artifacts or blank lines. Leading/trailing ASCII whitespace is
+    /// trimmed; interior runs are preserved (the field scanner tolerates
+    /// them).
+    spans: Vec<LineSpan>,
     /// Size of the raw capture, for storage accounting.
     pub raw_bytes: usize,
 }
 
-/// Pre-processes a raw capture: the paper's "removing unwanted
-/// information, excess white-spaces and delimiters".
-pub fn preprocess(router: &str, kind: TableKind, raw: &str, now: SimTime) -> Capture {
-    let mut lines = Vec::new();
-    for physical in raw.split('\n') {
-        // Terminal pagination rewrites the line with carriage returns;
-        // the last CR-segment is what remains on screen.
-        let mut effective = "";
-        for seg in physical.split('\r') {
-            if seg.trim_start().starts_with("--More--") {
-                continue;
-            }
-            if !seg.trim().is_empty() {
-                effective = seg;
-            }
-        }
-        let trimmed = effective.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        // Telnet/session noise.
-        if trimmed.starts_with("Trying ")
-            || trimmed.starts_with("Connected to")
-            || trimmed.starts_with("Escape character")
-        {
-            continue;
-        }
-        // Prompt lines and command echoes, in both the user-exec (`name>`)
-        // and privileged (`name#`) forms: `name>`, `name> command`,
-        // `name#command`.
-        if trimmed.starts_with(&format!("{router}>")) || trimmed.starts_with(&format!("{router}#"))
-        {
-            continue;
-        }
-        // Collapse internal whitespace runs.
-        let collapsed = trimmed.split_whitespace().collect::<Vec<_>>().join(" ");
-        lines.push(collapsed);
+impl Capture {
+    /// The bytes of effective line `i`.
+    pub fn line(&self, i: usize) -> &[u8] {
+        let s = self.spans[i];
+        let buf: &[u8] = if s.arena { &self.arena } else { &self.raw };
+        &buf[s.start as usize..s.end as usize]
     }
+
+    /// Iterates the effective lines as byte slices, in capture order.
+    pub fn lines(&self) -> impl Iterator<Item = &[u8]> {
+        self.spans.iter().map(move |s| {
+            let buf: &[u8] = if s.arena { &self.arena } else { &self.raw };
+            &buf[s.start as usize..s.end as usize]
+        })
+    }
+
+    /// Number of effective lines.
+    pub fn line_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when pre-processing kept no lines.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Drops the final effective line (the salvage path uses this to shed
+    /// a torn tail line). The underlying bytes stay in the buffer; only
+    /// the span is forgotten.
+    pub fn pop_line(&mut self) {
+        self.spans.pop();
+    }
+
+    /// The effective lines as owned text, lossily decoded — for tests,
+    /// debugging and the kept reference parser; the hot path stays on
+    /// [`Capture::lines`].
+    pub fn text_lines(&self) -> Vec<String> {
+        self.lines()
+            .map(|l| String::from_utf8_lossy(l).into_owned())
+            .collect()
+    }
+}
+
+/// Captures compare by what the processor sees: origin, timestamp, size
+/// accounting and effective line bytes — not by how the spans happen to
+/// partition between the raw buffer and the arena.
+impl PartialEq for Capture {
+    fn eq(&self, other: &Self) -> bool {
+        self.router == other.router
+            && self.kind == other.kind
+            && self.captured_at == other.captured_at
+            && self.raw_bytes == other.raw_bytes
+            && self.line_count() == other.line_count()
+            && self.lines().eq(other.lines())
+    }
+}
+
+impl Eq for Capture {}
+
+/// Pre-processes a raw capture: the paper's "removing unwanted
+/// information, excess white-spaces and delimiters". Delegates to
+/// [`preprocess_bytes`]; text callers pay one buffer copy, nothing
+/// per line.
+pub fn preprocess(router: &str, kind: TableKind, raw: &str, now: SimTime) -> Capture {
+    preprocess_bytes(router, kind, raw.as_bytes().to_vec(), now)
+}
+
+/// ASCII whitespace as the capture scanner sees it (plus vertical tab,
+/// which terminals treat as blank).
+#[inline]
+fn is_ws(b: u8) -> bool {
+    b.is_ascii_whitespace() || b == 0x0b
+}
+
+/// Trims ASCII whitespace from both ends of a range into `buf`.
+#[inline]
+fn trim_range(buf: &[u8], mut start: usize, mut end: usize) -> (usize, usize) {
+    while start < end && is_ws(buf[start]) {
+        start += 1;
+    }
+    while end > start && is_ws(buf[end - 1]) {
+        end -= 1;
+    }
+    (start, end)
+}
+
+/// Pre-processes a raw capture in a single pass over its bytes, selecting
+/// effective lines as spans into the buffer.
+///
+/// Per physical line (split on `\n`), carriage returns replay as a
+/// terminal would: a `--More--` pagination segment is never printed, a
+/// CR-segment at least as long as what is on screen replaces it wholly
+/// (still a span into the raw buffer — the common case), and a *shorter*
+/// segment overwrites only a prefix, leaving residue from the overwritten
+/// text; that composed line is the one escape into the per-capture arena.
+/// Surviving lines are ASCII-trimmed, then telnet/session noise
+/// (`Trying `/`Connected to`/`Escape character`) and prompt echoes
+/// (`name>` / `name#`) drop. Interior whitespace runs are preserved; the
+/// parsers' field scanners tolerate them.
+pub fn preprocess_bytes(router: &str, kind: TableKind, raw: Vec<u8>, now: SimTime) -> Capture {
+    enum Buf {
+        /// A contiguous range of the raw buffer.
+        Span(usize, usize),
+        /// A line composed by a partial CR overwrite.
+        Owned(Vec<u8>),
+    }
+    let raw: Box<[u8]> = raw.into_boxed_slice();
+    let rbytes = raw.len();
+    let mut spans: Vec<LineSpan> = Vec::new();
+    let mut arena: Vec<u8> = Vec::new();
+    let prompt = router.as_bytes();
+
+    let mut line_start = 0usize;
+    loop {
+        let line_end = raw[line_start..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map_or(rbytes, |p| line_start + p);
+
+        // Replay carriage returns within the physical line.
+        let mut cur = Buf::Span(line_start, line_start);
+        let mut seg_start = line_start;
+        loop {
+            let seg_end = raw[seg_start..line_end]
+                .iter()
+                .position(|&b| b == b'\r')
+                .map_or(line_end, |p| seg_start + p);
+            let seg = &raw[seg_start..seg_end];
+            let shown = seg.iter().position(|&b| !is_ws(b)).unwrap_or(seg.len());
+            if seg[shown..].starts_with(b"--More--") {
+                // The pager's own marker: erased before anything else
+                // prints, so it never reaches the screen.
+            } else {
+                let cur_len = match &cur {
+                    Buf::Span(s, e) => e - s,
+                    Buf::Owned(v) => v.len(),
+                };
+                if seg.len() >= cur_len {
+                    cur = Buf::Span(seg_start, seg_end);
+                } else if !seg.is_empty() {
+                    // Partial overwrite: compose the residue line.
+                    let mut v = match cur {
+                        Buf::Span(s, e) => raw[s..e].to_vec(),
+                        Buf::Owned(v) => v,
+                    };
+                    v[..seg.len()].copy_from_slice(seg);
+                    cur = Buf::Owned(v);
+                }
+            }
+            if seg_end == line_end {
+                break;
+            }
+            seg_start = seg_end + 1;
+        }
+
+        // Trim, then filter session noise and prompt echoes.
+        let kept = match cur {
+            Buf::Span(s, e) => {
+                let (s, e) = trim_range(&raw, s, e);
+                let line = &raw[s..e];
+                keep_line(line, prompt).then_some(LineSpan {
+                    start: s as u32,
+                    end: e as u32,
+                    arena: false,
+                })
+            }
+            Buf::Owned(v) => {
+                let (s, e) = trim_range(&v, 0, v.len());
+                let line = &v[s..e];
+                keep_line(line, prompt).then(|| {
+                    let start = arena.len() as u32;
+                    arena.extend_from_slice(line);
+                    LineSpan {
+                        start,
+                        end: arena.len() as u32,
+                        arena: true,
+                    }
+                })
+            }
+        };
+        spans.extend(kept);
+
+        if line_end == rbytes {
+            break;
+        }
+        line_start = line_end + 1;
+    }
+
     Capture {
         router: router.to_string(),
         kind,
         captured_at: now,
-        lines,
-        raw_bytes: raw.len(),
+        raw,
+        arena,
+        spans,
+        raw_bytes: rbytes,
     }
+}
+
+/// Whether a trimmed effective line survives pre-processing: drops blank
+/// lines, telnet/session noise and prompt/command echoes in both the
+/// user-exec (`name>`) and privileged (`name#`) forms.
+fn keep_line(line: &[u8], prompt: &[u8]) -> bool {
+    if line.is_empty() {
+        return false;
+    }
+    if line.starts_with(b"Trying ")
+        || line.starts_with(b"Connected to")
+        || line.starts_with(b"Escape character")
+    {
+        return false;
+    }
+    if line.len() > prompt.len()
+        && line.starts_with(prompt)
+        && matches!(line[prompt.len()], b'>' | b'#')
+    {
+        return false;
+    }
+    true
 }
 
 /// The simulator-backed access: resolves router names against the
@@ -451,9 +649,9 @@ impl Collector {
                     // fell mid-line; a partial ending in a newline lost
                     // whole lines, not half of one.
                     if !partial.ends_with('\n') {
-                        cap.lines.pop();
+                        cap.pop_line();
                     }
-                    if !cap.lines.is_empty() {
+                    if !cap.is_empty() {
                         stats.salvaged += 1;
                         stats.raw_bytes += partial.len() as u64;
                         out.push(cap);
@@ -497,23 +695,37 @@ mod tests {
         let raw = "Trying 1.2.3.4...\r\nConnected to ucsb-gw.\r\nEscape character is '^]'.\r\n\r\nDVMRP Routing Table (2 entries)\n Origin-Subnet      From-Gateway\n 10.0.0.0/8     \t  10.1.2.3\n --More-- \r        \r 11.0.0.0/8       direct\n\r\nucsb-gw> ";
         let cap = preprocess("ucsb-gw", TableKind::DvmrpRoutes, raw, t0());
         assert_eq!(
-            cap.lines,
+            cap.text_lines(),
             vec![
                 "DVMRP Routing Table (2 entries)",
-                "Origin-Subnet From-Gateway",
-                "10.0.0.0/8 10.1.2.3",
-                "11.0.0.0/8 direct",
+                "Origin-Subnet      From-Gateway",
+                "10.0.0.0/8     \t  10.1.2.3",
+                "11.0.0.0/8       direct",
             ]
         );
         assert_eq!(cap.raw_bytes, raw.len());
     }
 
     #[test]
+    fn preprocess_composes_cr_overwrite_residue() {
+        // A shorter CR segment overwrites only a prefix of what is on
+        // screen, leaving residue from the longer text — the one case the
+        // span representation must materialise into the arena.
+        let raw = "524288 bytes\rHello\ntail line\n";
+        let cap = preprocess("r", TableKind::DvmrpRoutes, raw, t0());
+        assert_eq!(cap.text_lines(), vec!["Hello8 bytes", "tail line"]);
+        // An equal-or-longer rewrite stays a pure span (wholesale replace).
+        let raw = "--More-- \r        \rfresh text\n";
+        let cap = preprocess("r", TableKind::DvmrpRoutes, raw, t0());
+        assert_eq!(cap.text_lines(), vec!["fresh text"]);
+    }
+
+    #[test]
     fn preprocess_strips_ios_command_echo() {
         let raw = "fixw#show ip mroute count\nIP Multicast Statistics\n3 routes using 456 bytes of memory\nfixw> ";
         let cap = preprocess("fixw", TableKind::ForwardingCache, raw, t0());
-        assert_eq!(cap.lines[0], "IP Multicast Statistics");
-        assert_eq!(cap.lines.len(), 2);
+        assert_eq!(cap.line(0), b"IP Multicast Statistics");
+        assert_eq!(cap.line_count(), 2);
     }
 
     #[test]
@@ -545,7 +757,7 @@ mod tests {
         assert!(collector.failures > 0, "failures injected");
         assert!(collector.successes > 0, "some captures survive");
         // Salvaged truncations still produced clean lines.
-        assert!(captures.iter().all(|c| !c.lines.is_empty()));
+        assert!(captures.iter().all(|c| !c.is_empty()));
     }
 
     #[test]
@@ -554,7 +766,7 @@ mod tests {
         // the privileged form (`name#command`) already did.
         let raw = "fixw> show ip dvmrp route\nDVMRP Routing Table\nfixw> ";
         let cap = preprocess("fixw", TableKind::DvmrpRoutes, raw, t0());
-        assert_eq!(cap.lines, vec!["DVMRP Routing Table"]);
+        assert_eq!(cap.text_lines(), vec!["DVMRP Routing Table"]);
     }
 
     /// Fails every capture with a login refusal until `fail_first` calls
@@ -656,14 +868,14 @@ mod tests {
         let (caps, stats) = collector.collect_with(&mut access, "fixw", t0());
         assert_eq!(stats.salvaged, TableKind::ALL.len() as u64);
         for cap in &caps {
-            assert_eq!(cap.lines, vec!["alpha one"]);
+            assert_eq!(cap.text_lines(), vec!["alpha one"]);
         }
 
         // Cut on a line boundary: every captured line is whole and kept.
         let mut access = AlwaysTruncated("alpha one\nbeta two\n".into());
         let (caps, _) = collector.collect_with(&mut access, "fixw", t0());
         for cap in &caps {
-            assert_eq!(cap.lines, vec!["alpha one", "beta two"]);
+            assert_eq!(cap.text_lines(), vec!["alpha one", "beta two"]);
         }
     }
 

@@ -34,8 +34,9 @@ use mantra_net::SimTime;
 use crate::aggregate::ParallelAccess;
 use crate::anomaly::{Anomaly, InconsistencyMonitor};
 use crate::collector::RouterAccess;
-use crate::monitor::{CycleReport, Monitor, MonitorConfig};
+use crate::monitor::{parse_accounting_table, parse_degraded, CycleReport, Monitor, MonitorConfig};
 use crate::output::{Cell, Graph, Table};
+use crate::processor::ParseStats;
 use crate::stats::{ConsistencyMatrix, ConsistencyReport, RouteChurn, RouteStats, UsageStats};
 use crate::stats_stream::StatsTotals;
 use crate::store::FxHashMap;
@@ -145,6 +146,36 @@ impl FleetMonitor {
     /// Capture failures summed across shards.
     pub fn capture_failures(&self) -> u64 {
         self.shards.iter().map(Monitor::capture_failures).sum()
+    }
+
+    /// Parse accounting summed exactly across shards (all-time totals).
+    /// Integer sums compose, so the result is shard-count invariant.
+    pub fn parse_totals(&self) -> ParseStats {
+        let mut total = ParseStats::default();
+        for shard in &self.shards {
+            total.merge(shard.parse_totals);
+        }
+        total
+    }
+
+    /// Parse accounting for the most recent fleet cycle.
+    pub fn parse_last(&self) -> ParseStats {
+        let mut total = ParseStats::default();
+        for shard in &self.shards {
+            total.merge(shard.parse_last);
+        }
+        total
+    }
+
+    /// Whether the last fleet cycle's malformed share crossed
+    /// [`crate::monitor::DEGRADED_PARSE_PCT`].
+    pub fn parse_degraded(&self) -> bool {
+        parse_degraded(&self.parse_last())
+    }
+
+    /// The fleet-wide per-table parse accounting table.
+    pub fn parse_table(&self) -> Table {
+        parse_accounting_table(&self.parse_totals(), "Parse accounting (fleet)")
     }
 
     /// One fleet cycle at `now`: every shard runs its own (internally

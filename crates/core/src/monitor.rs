@@ -173,9 +173,16 @@ pub struct Monitor {
     pub anomalies: Vec<Anomaly>,
     /// Cumulative parse accounting.
     pub parse_totals: ParseStats,
+    /// Parse accounting of the latest cycle only, for degradation checks.
+    pub parse_last: ParseStats,
     metrics: PipelineMetrics,
     cycles: u64,
 }
+
+/// A cycle whose malformed lines exceed this percentage of its row-like
+/// lines (parsed + malformed) is flagged as degraded parsing — typically a
+/// CLI format drift or a router spewing garbage mid-dump.
+pub const DEGRADED_PARSE_PCT: f64 = 5.0;
 
 impl Monitor {
     /// A monitor with the given configuration.
@@ -190,6 +197,7 @@ impl Monitor {
             inconsistency: InconsistencyMonitor::default(),
             anomalies: Vec::new(),
             parse_totals: ParseStats::default(),
+            parse_last: ParseStats::default(),
             metrics: PipelineMetrics::default(),
             cycles: 0,
         }
@@ -261,8 +269,10 @@ impl Monitor {
             self.collector.failures += rc.stats.failures;
         }
         let parsed = self.metrics.run(&mut ParseStage { parallel }, raw);
+        self.parse_last = ParseStats::default();
         for pr in &parsed.routers {
             self.parse_totals.merge(pr.parse);
+            self.parse_last.merge(pr.parse);
         }
         let enriched = {
             let mut stage = EnrichStage {
@@ -371,6 +381,17 @@ impl Monitor {
             ),
         );
         table
+    }
+
+    /// Whether the latest cycle's parsing is degraded: malformed lines
+    /// exceeded [`DEGRADED_PARSE_PCT`] of its row-like lines.
+    pub fn parse_degraded(&self) -> bool {
+        parse_degraded(&self.parse_last)
+    }
+
+    /// The per-table-kind parse accounting summary over all cycles so far.
+    pub fn parse_table(&self) -> Table {
+        parse_accounting_table(&self.parse_totals, "Parse accounting")
     }
 
     /// The pipeline's per-stage metrics registry.
@@ -626,6 +647,55 @@ impl Monitor {
         table.truncate(n);
         table
     }
+}
+
+/// Whether a cycle's accounting crosses the [`DEGRADED_PARSE_PCT`]
+/// malformed threshold.
+pub fn parse_degraded(stats: &ParseStats) -> bool {
+    let rows = stats.parsed + stats.malformed;
+    rows > 0 && (stats.malformed as f64 / rows as f64) * 100.0 > DEGRADED_PARSE_PCT
+}
+
+/// Renders parse accounting as a per-table-kind summary: parsed, malformed
+/// and skipped line counts plus the malformed percentage, with a totals
+/// row. Shared by the single monitor, the fleet aggregation tier, the CLI
+/// and the HTML report.
+pub fn parse_accounting_table(stats: &ParseStats, title: impl Into<String>) -> Table {
+    let mut table = Table::new(
+        title,
+        vec!["table", "parsed", "malformed", "skipped", "malformed_pct"],
+    );
+    let pct = |k: &crate::processor::KindStats| {
+        let rows = k.parsed + k.malformed;
+        if rows == 0 {
+            0.0
+        } else {
+            (k.malformed as f64 / rows as f64) * 100.0
+        }
+    };
+    for kind in mantra_router_cli::TableKind::ALL {
+        let k = stats.kind(kind);
+        table.push_row(vec![
+            Cell::Text(kind.label().to_string()),
+            Cell::Num(k.parsed as f64),
+            Cell::Num(k.malformed as f64),
+            Cell::Num(k.skipped as f64),
+            Cell::Num(pct(&k)),
+        ]);
+    }
+    let total = crate::processor::KindStats {
+        parsed: stats.parsed,
+        malformed: stats.malformed,
+        skipped: stats.skipped,
+    };
+    table.push_row(vec![
+        Cell::Text("(total)".to_string()),
+        Cell::Num(total.parsed as f64),
+        Cell::Num(total.malformed as f64),
+        Cell::Num(total.skipped as f64),
+        Cell::Num(pct(&total)),
+    ]);
+    table
 }
 
 #[cfg(test)]

@@ -724,7 +724,7 @@ impl Stage for EnrichStage<'_> {
                 stats,
                 ..
             } = pr;
-            let id = self.store.routers.intern(&router);
+            let id = self.store.routers.intern_str(&router);
             if id as usize == self.state.len() {
                 self.state
                     .push(RouterState::new(router, self.log_full_every, self.archive));

@@ -4,12 +4,42 @@
 //! output) from the capture's header line, tolerates unknown lines (real
 //! dumps contain decorations the period tools simply skipped), and
 //! accounts what it skipped so collection health is observable.
+//!
+//! The hot path parses `&[u8]` fields straight off the capture buffer
+//! ([`Capture`] keeps lines as spans, not `String`s): field splitting
+//! tolerates runs of spaces/tabs, and integers, addresses, prefixes and
+//! uptimes decode directly from bytes. The previous string-materialising
+//! parser is kept as [`reference`] and property-tested byte-identical
+//! against this path (see `tests/prop_parse.rs`); the two stay in
+//! lock-step because every anchor the parsers match on is pure ASCII, and
+//! ASCII bytes can neither appear inside a multi-byte UTF-8 sequence nor
+//! be introduced by lossy decoding.
 
 use mantra_net::{BitRate, GroupAddr, Ip, Prefix, SimDuration, SimTime};
 use mantra_router_cli::TableKind;
 
 use crate::collector::Capture;
 use crate::tables::{LearnedFrom, PairRow, RouteRow, Tables};
+
+/// Per-table-kind parse accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KindStats {
+    /// Rows successfully mapped into local tables.
+    pub parsed: usize,
+    /// Lines that looked like rows but failed to parse.
+    pub malformed: usize,
+    /// Header/decoration lines skipped by design.
+    pub skipped: usize,
+}
+
+impl KindStats {
+    /// Folds another accounting into this one.
+    pub fn merge(&mut self, other: KindStats) {
+        self.parsed += other.parsed;
+        self.malformed += other.malformed;
+        self.skipped += other.skipped;
+    }
+}
 
 /// Per-capture parse accounting.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -24,6 +54,9 @@ pub struct ParseStats {
     /// snapshot would otherwise be silently stamped with the first
     /// capture's router and mislabel every other router's rows.
     pub rejected_mixed: usize,
+    /// The same parsed/malformed/skipped accounting attributed per table
+    /// kind, indexed by [`TableKind::index`].
+    pub per_kind: [KindStats; TableKind::ALL.len()],
 }
 
 impl ParseStats {
@@ -33,17 +66,31 @@ impl ParseStats {
         self.malformed += other.malformed;
         self.skipped += other.skipped;
         self.rejected_mixed += other.rejected_mixed;
+        for (mine, theirs) in self.per_kind.iter_mut().zip(other.per_kind) {
+            mine.merge(theirs);
+        }
+    }
+
+    /// The accounting attributed to one table kind.
+    pub fn kind(&self, kind: TableKind) -> KindStats {
+        self.per_kind[kind.index()]
+    }
+
+    /// Folds one capture's accounting in under its table kind.
+    fn absorb_kind(&mut self, kind: TableKind, s: KindStats) {
+        self.parsed += s.parsed;
+        self.malformed += s.malformed;
+        self.skipped += s.skipped;
+        self.per_kind[kind.index()].merge(s);
     }
 }
 
-/// Processes a batch of captures (one collection cycle for one router)
-/// into a table snapshot.
-///
-/// A batch spanning more than one router is rejected outright: the
-/// resulting snapshot is empty and [`ParseStats::rejected_mixed`] counts
-/// every capture in the batch, so the mislabelling is observable instead
-/// of silent.
-pub fn process(captures: &[Capture]) -> (Tables, ParseStats) {
+/// The shared batch skeleton: mixed-router rejection, snapshot stamping
+/// and per-kind attribution are identical for both parser families.
+fn process_with(
+    captures: &[Capture],
+    mut parse_one: impl FnMut(&Capture, &mut Tables) -> KindStats,
+) -> (Tables, ParseStats) {
     if let Some(first) = captures.first() {
         if captures.iter().any(|c| c.router != first.router) {
             return (
@@ -61,50 +108,163 @@ pub fn process(captures: &[Capture]) -> (Tables, ParseStats) {
     );
     let mut stats = ParseStats::default();
     for cap in captures {
-        let s = match cap.kind {
-            TableKind::DvmrpRoutes => parse_dvmrp_routes(cap, &mut tables),
-            TableKind::ForwardingCache => parse_forwarding(cap, &mut tables),
-            TableKind::IgmpGroups => parse_igmp(cap, &mut tables),
-            TableKind::MbgpRoutes => parse_mbgp(cap, &mut tables),
-            TableKind::SaCache => parse_sa_cache(cap, &mut tables),
-        };
-        stats.merge(s);
+        let s = parse_one(cap, &mut tables);
+        stats.absorb_kind(cap.kind, s);
     }
     (tables, stats)
 }
 
-/// Parses `hh:mm:ss` or `NdHHh` IOS uptimes.
-fn parse_uptime(s: &str) -> Option<SimDuration> {
-    if let Some((d, rest)) = s.split_once('d') {
-        let days: u64 = d.parse().ok()?;
-        let hours: u64 = rest.strip_suffix('h')?.parse().ok()?;
+/// Processes a batch of captures (one collection cycle for one router)
+/// into a table snapshot, parsing fields directly off the capture bytes.
+///
+/// A batch spanning more than one router is rejected outright: the
+/// resulting snapshot is empty and [`ParseStats::rejected_mixed`] counts
+/// every capture in the batch, so the mislabelling is observable instead
+/// of silent.
+pub fn process(captures: &[Capture]) -> (Tables, ParseStats) {
+    process_with(captures, |cap, tables| match cap.kind {
+        TableKind::DvmrpRoutes => parse_dvmrp_routes(cap, tables),
+        TableKind::ForwardingCache => parse_forwarding(cap, tables),
+        TableKind::IgmpGroups => parse_igmp(cap, tables),
+        TableKind::MbgpRoutes => parse_mbgp(cap, tables),
+        TableKind::SaCache => parse_sa_cache(cap, tables),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Byte-slice parsing primitives
+// ---------------------------------------------------------------------
+
+/// Iterator over whitespace-separated fields of a line, tolerant of runs
+/// of spaces and tabs — the byte twin of `str::split_ascii_whitespace`.
+struct Fields<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Iterator for Fields<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        let start = self.rest.iter().position(|b| !b.is_ascii_whitespace())?;
+        let rest = &self.rest[start..];
+        let end = rest
+            .iter()
+            .position(u8::is_ascii_whitespace)
+            .unwrap_or(rest.len());
+        self.rest = &rest[end..];
+        Some(&rest[..end])
+    }
+}
+
+/// Splits a line into whitespace-run-separated fields.
+fn fields(line: &[u8]) -> Fields<'_> {
+    Fields { rest: line }
+}
+
+/// Trims ASCII whitespace from both ends.
+fn trim(mut s: &[u8]) -> &[u8] {
+    while let [first, rest @ ..] = s {
+        if !first.is_ascii_whitespace() {
+            break;
+        }
+        s = rest;
+    }
+    while let [rest @ .., last] = s {
+        if !last.is_ascii_whitespace() {
+            break;
+        }
+        s = rest;
+    }
+    s
+}
+
+/// First occurrence of `needle` in `hay` (`needle` must be non-empty).
+fn find(hay: &[u8], needle: &[u8]) -> Option<usize> {
+    hay.windows(needle.len()).position(|w| w == needle)
+}
+
+/// Decimal `u32` off bytes, mirroring `str::parse::<u32>`: an optional
+/// leading `+`, then one or more ASCII digits, overflow rejected.
+fn parse_u32(s: &[u8]) -> Option<u32> {
+    let digits = s.strip_prefix(b"+").unwrap_or(s);
+    if digits.is_empty() {
+        return None;
+    }
+    let mut v: u32 = 0;
+    for &b in digits {
+        if !b.is_ascii_digit() {
+            return None;
+        }
+        v = v.checked_mul(10)?.checked_add(u32::from(b - b'0'))?;
+    }
+    Some(v)
+}
+
+/// Decimal `u64` off bytes, mirroring `str::parse::<u64>`.
+fn parse_u64(s: &[u8]) -> Option<u64> {
+    let digits = s.strip_prefix(b"+").unwrap_or(s);
+    if digits.is_empty() {
+        return None;
+    }
+    let mut v: u64 = 0;
+    for &b in digits {
+        if !b.is_ascii_digit() {
+            return None;
+        }
+        v = v.checked_mul(10)?.checked_add(u64::from(b - b'0'))?;
+    }
+    Some(v)
+}
+
+/// `f64` off bytes. Floats are rare (one mrouted rate column), so this
+/// validates UTF-8 in place and defers to `str::parse` — still zero-copy,
+/// and exactly the grammar the reference parser accepts.
+fn parse_f64(s: &[u8]) -> Option<f64> {
+    std::str::from_utf8(s).ok()?.parse().ok()
+}
+
+/// Parses `hh:mm:ss` or `NdHHh` IOS uptimes off bytes; the byte twin of
+/// [`reference::parse_uptime`].
+fn parse_uptime_bytes(s: &[u8]) -> Option<SimDuration> {
+    if let Some(d) = s.iter().position(|&b| b == b'd') {
+        let days = parse_u64(&s[..d])?;
+        let hours = parse_u64(s[d + 1..].strip_suffix(b"h")?)?;
         return Some(SimDuration::days(days) + SimDuration::hours(hours));
     }
-    let mut parts = s.split(':');
-    let h: u64 = parts.next()?.parse().ok()?;
-    let m: u64 = parts.next()?.parse().ok()?;
-    let sec: u64 = parts.next()?.parse().ok()?;
+    let mut parts = s.split(|&b| b == b':');
+    let h = parse_u64(parts.next()?)?;
+    let m = parse_u64(parts.next()?)?;
+    let sec = parse_u64(parts.next()?)?;
     if parts.next().is_some() {
         return None;
     }
     Some(SimDuration::secs(h * 3_600 + m * 60 + sec))
 }
 
+/// Splits `(src, grp)…` into trimmed source and group texts plus the
+/// remainder after the closing parenthesis.
+fn split_pair_head(line: &[u8]) -> Option<(&[u8], &[u8], &[u8])> {
+    let inner = line.strip_prefix(b"(")?;
+    let comma = inner.iter().position(|&b| b == b',')?;
+    let src = trim(&inner[..comma]);
+    let rest = &inner[comma + 1..];
+    let paren = rest.iter().position(|&b| b == b')')?;
+    let grp = trim(&rest[..paren]);
+    Some((src, grp, &rest[paren + 1..]))
+}
+
 // ---------------------------------------------------------------------
 // DVMRP route tables
 // ---------------------------------------------------------------------
 
-fn parse_dvmrp_routes(cap: &Capture, tables: &mut Tables) -> ParseStats {
-    let mut st = ParseStats::default();
-    let ios = cap
-        .lines
-        .first()
-        .is_some_and(|l| l.contains("DVMRP Routing Table -"));
-    for line in &cap.lines {
-        if line.starts_with("DVMRP Routing Table")
-            || line.starts_with("Origin-Subnet")
-            || line.starts_with('%')
-            || line.starts_with("mrouted:")
+fn parse_dvmrp_routes(cap: &Capture, tables: &mut Tables) -> KindStats {
+    let mut st = KindStats::default();
+    let ios = cap.line_count() > 0 && find(cap.line(0), b"DVMRP Routing Table -").is_some();
+    for line in cap.lines() {
+        if line.starts_with(b"DVMRP Routing Table")
+            || line.starts_with(b"Origin-Subnet")
+            || line.starts_with(b"%")
+            || line.starts_with(b"mrouted:")
         {
             st.skipped += 1;
             continue;
@@ -126,15 +286,15 @@ fn parse_dvmrp_routes(cap: &Capture, tables: &mut Tables) -> ParseStats {
 }
 
 /// `128.111.0.0/16 10.128.0.2 3 25 1 1*` or gateway `direct` / `--`.
-fn parse_mrouted_route_row(line: &str) -> Option<RouteRow> {
-    let mut f = line.split(' ');
-    let prefix: Prefix = f.next()?.parse().ok()?;
+fn parse_mrouted_route_row(line: &[u8]) -> Option<RouteRow> {
+    let mut f = fields(line);
+    let prefix = Prefix::parse_bytes(f.next()?).ok()?;
     let gw = f.next()?;
-    let metric: u32 = f.next()?.parse().ok()?;
+    let metric = parse_u32(f.next()?)?;
     let (next_hop, reachable) = match gw {
-        "direct" => (None, true),
-        "--" => (None, false),
-        other => (Some(other.parse().ok()?), true),
+        b"direct" => (None, true),
+        b"--" => (None, false),
+        other => (Some(Ip::parse_bytes(other).ok()?), true),
     };
     Some(RouteRow {
         prefix,
@@ -148,31 +308,29 @@ fn parse_mrouted_route_row(line: &str) -> Option<RouteRow> {
 
 /// `10.3.0.0/16 [1/3] via 10.128.0.6 uptime 04:23:00` or
 /// `… directly connected uptime …` / `… unreachable uptime … H`.
-fn parse_ios_dvmrp_row(line: &str) -> Option<RouteRow> {
-    let mut f = line.split(' ');
-    let prefix: Prefix = f.next()?.parse().ok()?;
+fn parse_ios_dvmrp_row(line: &[u8]) -> Option<RouteRow> {
+    let mut f = fields(line);
+    let prefix = Prefix::parse_bytes(f.next()?).ok()?;
     let bracket = f.next()?; // [ad/metric]
-    let metric: u32 = bracket
-        .strip_prefix('[')?
-        .strip_suffix(']')?
-        .split_once('/')?
-        .1
-        .parse()
-        .ok()?;
+    let ad_metric = bracket.strip_prefix(b"[")?.strip_suffix(b"]")?;
+    let slash = ad_metric.iter().position(|&b| b == b'/')?;
+    let metric = parse_u32(&ad_metric[slash + 1..])?;
     let kind = f.next()?;
     let (next_hop, reachable) = match kind {
-        "via" => (Some(f.next()?.parse().ok()?), true),
-        "directly" => {
+        b"via" => (Some(Ip::parse_bytes(f.next()?).ok()?), true),
+        b"directly" => {
             f.next()?; // "connected"
             (None, true)
         }
-        "unreachable" => (None, false),
+        b"unreachable" => (None, false),
         _ => return None,
     };
     let mut uptime = None;
-    let rest: Vec<&str> = f.collect();
-    if let Some(pos) = rest.iter().position(|w| *w == "uptime") {
-        uptime = rest.get(pos + 1).and_then(|u| parse_uptime(u));
+    while let Some(w) = f.next() {
+        if w == b"uptime" {
+            uptime = f.next().and_then(parse_uptime_bytes);
+            break;
+        }
     }
     Some(RouteRow {
         prefix,
@@ -188,11 +346,8 @@ fn parse_ios_dvmrp_row(line: &str) -> Option<RouteRow> {
 // Forwarding caches
 // ---------------------------------------------------------------------
 
-fn parse_forwarding(cap: &Capture, tables: &mut Tables) -> ParseStats {
-    let ios = cap
-        .lines
-        .first()
-        .is_some_and(|l| l.starts_with("IP Multicast Statistics"));
+fn parse_forwarding(cap: &Capture, tables: &mut Tables) -> KindStats {
+    let ios = cap.line_count() > 0 && cap.line(0).starts_with(b"IP Multicast Statistics");
     if ios {
         parse_ios_mroute(cap, tables)
     } else {
@@ -202,28 +357,33 @@ fn parse_forwarding(cap: &Capture, tables: &mut Tables) -> ParseStats {
 
 /// mrouted cache rows:
 /// `1.2.3.4 224.2.0.5 150 4m 0 3.2k 1 2 3` (oifs) or trailing `P`.
-fn parse_mrouted_cache(cap: &Capture, tables: &mut Tables) -> ParseStats {
-    let mut st = ParseStats::default();
-    for line in &cap.lines {
-        if line.starts_with("Multicast Routing Cache")
-            || line.starts_with("Origin")
-            || line.starts_with("mrouted:")
+fn parse_mrouted_cache(cap: &Capture, tables: &mut Tables) -> KindStats {
+    let mut st = KindStats::default();
+    for line in cap.lines() {
+        if line.starts_with(b"Multicast Routing Cache")
+            || line.starts_with(b"Origin")
+            || line.starts_with(b"mrouted:")
         {
             st.skipped += 1;
             continue;
         }
         let row = (|| {
-            let mut f = line.split(' ');
-            let source: Ip = f.next()?.parse().ok()?;
-            let group: GroupAddr = f.next()?.parse().ok()?;
+            let mut f = fields(line);
+            let source = Ip::parse_bytes(f.next()?).ok()?;
+            let group = GroupAddr::parse_bytes(f.next()?).ok()?;
             let _ctmr = f.next()?;
             let _age = f.next()?;
             let _ptmr = f.next()?;
-            let rate_s = f.next()?;
-            let kbps: f64 = rate_s.strip_suffix('k')?.parse().ok()?;
+            let kbps = parse_f64(f.next()?.strip_suffix(b"k")?)?;
             let _ivif = f.next()?;
-            let fw: Vec<&str> = f.collect();
-            let forwarding = !(fw.is_empty() || fw == ["P"]);
+            // Remaining fields are the outgoing vif list; a bare `P` (or
+            // nothing) marks a pruned entry.
+            let fw0 = f.next();
+            let forwarding = match fw0 {
+                None => false,
+                Some(b"P") => f.next().is_some(),
+                Some(_) => true,
+            };
             Some(PairRow {
                 source,
                 group,
@@ -246,32 +406,33 @@ fn parse_mrouted_cache(cap: &Capture, tables: &mut Tables) -> ParseStats {
 
 /// IOS `show ip mroute count` blocks: header pair line, interface line,
 /// counter line.
-fn parse_ios_mroute(cap: &Capture, tables: &mut Tables) -> ParseStats {
-    let mut st = ParseStats::default();
+fn parse_ios_mroute(cap: &Capture, tables: &mut Tables) -> KindStats {
+    let mut st = KindStats::default();
     let mut pending: Option<(Ip, GroupAddr, bool, LearnedFrom)> = None;
     let mut pending_forwarding = true;
-    for line in &cap.lines {
-        if line.starts_with('(') {
+    for line in cap.lines() {
+        if line.starts_with(b"(") {
             // `(1.2.3.4, 224.2.0.5), uptime 00:01:02, flags: SP`
             let row = (|| {
-                let inner = line.strip_prefix('(')?;
-                let (src_s, rest) = inner.split_once(',')?;
-                let (grp_s, rest) = rest.trim_start().split_once(')')?;
-                let source = if src_s == "*" {
+                let (src_s, grp_s, rest) = split_pair_head(line)?;
+                let source = if src_s == b"*" {
                     Ip::UNSPECIFIED
                 } else {
-                    src_s.parse().ok()?
+                    Ip::parse_bytes(src_s).ok()?
                 };
-                let group: GroupAddr = grp_s.parse().ok()?;
-                let flags = rest.split("flags:").nth(1).unwrap_or("").trim();
-                let learned = if flags.contains('M') {
+                let group = GroupAddr::parse_bytes(grp_s).ok()?;
+                let flags = match find(rest, b"flags:") {
+                    Some(p) => trim(&rest[p + b"flags:".len()..]),
+                    None => &b""[..],
+                };
+                let learned = if flags.contains(&b'M') {
                     LearnedFrom::Msdp
-                } else if flags.contains('S') {
+                } else if flags.contains(&b'S') {
                     LearnedFrom::Pim
                 } else {
                     LearnedFrom::Dvmrp
                 };
-                let pruned = flags.contains('P');
+                let pruned = flags.contains(&b'P');
                 Some((source, group, pruned, learned))
             })();
             match row {
@@ -282,23 +443,25 @@ fn parse_ios_mroute(cap: &Capture, tables: &mut Tables) -> ParseStats {
                 }
                 None => st.malformed += 1,
             }
-        } else if line.starts_with("Incoming interface:") {
-            if line.ends_with("Outgoing: Null") {
+        } else if line.starts_with(b"Incoming interface:") {
+            if line.ends_with(b"Outgoing: Null") {
                 pending_forwarding = false;
             }
             st.skipped += 1;
-        } else if line.starts_with("Pkt count") {
+        } else if line.starts_with(b"Pkt count") {
             // `Pkt count 123, bytes 4567, rate 12 kbps`
             let Some((source, group, _pruned, learned)) = pending.take() else {
                 st.malformed += 1;
                 continue;
             };
-            let kbps: u64 = line
-                .split("rate ")
-                .nth(1)
-                .and_then(|r| r.split(' ').next())
-                .and_then(|n| n.parse().ok())
-                .unwrap_or(0);
+            let mut kbps = 0u64;
+            let mut f = fields(line);
+            while let Some(w) = f.next() {
+                if w == b"rate" {
+                    kbps = f.next().and_then(parse_u64).unwrap_or(0);
+                    break;
+                }
+            }
             tables.add_pair(PairRow {
                 source,
                 group,
@@ -319,19 +482,19 @@ fn parse_ios_mroute(cap: &Capture, tables: &mut Tables) -> ParseStats {
 // IGMP, MBGP, MSDP
 // ---------------------------------------------------------------------
 
-fn parse_igmp(cap: &Capture, tables: &mut Tables) -> ParseStats {
-    let mut st = ParseStats::default();
-    for line in &cap.lines {
+fn parse_igmp(cap: &Capture, tables: &mut Tables) -> KindStats {
+    let mut st = KindStats::default();
+    for line in cap.lines() {
         // mrouted: `0 224.2.0.5 3 12s ago`; IOS: `224.2.0.5 Vif2 00:01:02 h3`.
-        let mut fields = line.split(' ');
-        let first = match fields.next() {
-            Some(f) => f,
+        let mut f = fields(line);
+        let first = match f.next() {
+            Some(w) => w,
             None => continue,
         };
-        let group: Option<GroupAddr> = if first.parse::<u32>().is_ok() {
-            fields.next().and_then(|g| g.parse().ok())
+        let group: Option<GroupAddr> = if parse_u32(first).is_some() {
+            f.next().and_then(|g| GroupAddr::parse_bytes(g).ok())
         } else {
-            first.parse().ok()
+            GroupAddr::parse_bytes(first).ok()
         };
         match group {
             Some(g) => {
@@ -357,18 +520,18 @@ fn parse_igmp(cap: &Capture, tables: &mut Tables) -> ParseStats {
     st
 }
 
-fn parse_mbgp(cap: &Capture, tables: &mut Tables) -> ParseStats {
-    let mut st = ParseStats::default();
-    for line in &cap.lines {
-        let Some(rest) = line.strip_prefix("*> ") else {
+fn parse_mbgp(cap: &Capture, tables: &mut Tables) -> KindStats {
+    let mut st = KindStats::default();
+    for line in cap.lines() {
+        let mut f = fields(line);
+        if f.next() != Some(b"*>") {
             st.skipped += 1;
             continue;
-        };
+        }
         let row = (|| {
-            let mut f = rest.split(' ');
-            let prefix: Prefix = f.next()?.parse().ok()?;
-            let nh: Ip = f.next()?.parse().ok()?;
-            let hops = f.filter(|w| *w != "i").count() as u32;
+            let prefix = Prefix::parse_bytes(f.next()?).ok()?;
+            let nh = Ip::parse_bytes(f.next()?).ok()?;
+            let hops = f.filter(|w| *w != b"i").count() as u32;
             Some(RouteRow {
                 prefix,
                 next_hop: if nh.is_unspecified() { None } else { Some(nh) },
@@ -389,24 +552,28 @@ fn parse_mbgp(cap: &Capture, tables: &mut Tables) -> ParseStats {
     st
 }
 
-fn parse_sa_cache(cap: &Capture, tables: &mut Tables) -> ParseStats {
-    let mut st = ParseStats::default();
-    for line in &cap.lines {
-        if !line.starts_with('(') {
+fn parse_sa_cache(cap: &Capture, tables: &mut Tables) -> KindStats {
+    let mut st = KindStats::default();
+    for line in cap.lines() {
+        if !line.starts_with(b"(") {
             st.skipped += 1;
             continue;
         }
         let entry = (|| {
-            let inner = line.strip_prefix('(')?;
-            let (src_s, rest) = inner.split_once(',')?;
-            let (grp_s, rest) = rest.trim_start().split_once(')')?;
-            let source: Ip = src_s.parse().ok()?;
-            let group: GroupAddr = grp_s.parse().ok()?;
-            let learned = rest
-                .split("learned ")
-                .nth(1)
-                .and_then(parse_uptime)
-                .unwrap_or(SimDuration::ZERO);
+            let (src_s, grp_s, rest) = split_pair_head(line)?;
+            let source = Ip::parse_bytes(src_s).ok()?;
+            let group = GroupAddr::parse_bytes(grp_s).ok()?;
+            let mut learned = SimDuration::ZERO;
+            let mut f = fields(rest);
+            while let Some(w) = f.next() {
+                if w == b"learned" {
+                    learned = f
+                        .next()
+                        .and_then(parse_uptime_bytes)
+                        .unwrap_or(SimDuration::ZERO);
+                    break;
+                }
+            }
             Some((group, source, learned))
         })();
         match entry {
@@ -419,6 +586,376 @@ fn parse_sa_cache(cap: &Capture, tables: &mut Tables) -> ParseStats {
         }
     }
     st
+}
+
+// ---------------------------------------------------------------------
+// Reference parser (string-materialising)
+// ---------------------------------------------------------------------
+
+/// The kept string parser: each capture's lines are materialised as owned
+/// `String`s (lossily decoded) and every row parses through `str` APIs.
+///
+/// This is the pre-refactor implementation, preserved as the oracle the
+/// zero-copy path is property-tested against — same dialect detection,
+/// same row grammars, same accounting — and as the baseline the
+/// `ablation_parse` bench measures the refactor's win over.
+pub mod reference {
+    use super::*;
+
+    /// Processes a batch of captures exactly like [`super::process`], but
+    /// through owned strings.
+    pub fn process(captures: &[Capture]) -> (Tables, ParseStats) {
+        process_with(captures, |cap, tables| {
+            let lines = cap.text_lines();
+            match cap.kind {
+                TableKind::DvmrpRoutes => parse_dvmrp_routes(&lines, tables),
+                TableKind::ForwardingCache => parse_forwarding(&lines, tables),
+                TableKind::IgmpGroups => parse_igmp(cap, &lines, tables),
+                TableKind::MbgpRoutes => parse_mbgp(&lines, tables),
+                TableKind::SaCache => parse_sa_cache(cap, &lines, tables),
+            }
+        })
+    }
+
+    /// Parses `hh:mm:ss` or `NdHHh` IOS uptimes.
+    pub(crate) fn parse_uptime(s: &str) -> Option<SimDuration> {
+        if let Some((d, rest)) = s.split_once('d') {
+            let days: u64 = d.parse().ok()?;
+            let hours: u64 = rest.strip_suffix('h')?.parse().ok()?;
+            return Some(SimDuration::days(days) + SimDuration::hours(hours));
+        }
+        let mut parts = s.split(':');
+        let h: u64 = parts.next()?.parse().ok()?;
+        let m: u64 = parts.next()?.parse().ok()?;
+        let sec: u64 = parts.next()?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(SimDuration::secs(h * 3_600 + m * 60 + sec))
+    }
+
+    /// Splits `(src, grp)…` into trimmed source and group texts plus the
+    /// remainder after the closing parenthesis.
+    fn split_pair_head(line: &str) -> Option<(&str, &str, &str)> {
+        let inner = line.strip_prefix('(')?;
+        let (src_s, rest) = inner.split_once(',')?;
+        let (grp_s, rest) = rest.split_once(')')?;
+        Some((src_s.trim(), grp_s.trim(), rest))
+    }
+
+    fn parse_dvmrp_routes(lines: &[String], tables: &mut Tables) -> KindStats {
+        let mut st = KindStats::default();
+        let ios = lines
+            .first()
+            .is_some_and(|l| l.contains("DVMRP Routing Table -"));
+        for line in lines {
+            if line.starts_with("DVMRP Routing Table")
+                || line.starts_with("Origin-Subnet")
+                || line.starts_with('%')
+                || line.starts_with("mrouted:")
+            {
+                st.skipped += 1;
+                continue;
+            }
+            let parsed = if ios {
+                parse_ios_dvmrp_row(line)
+            } else {
+                parse_mrouted_route_row(line)
+            };
+            match parsed {
+                Some(row) => {
+                    tables.add_route(row);
+                    st.parsed += 1;
+                }
+                None => st.malformed += 1,
+            }
+        }
+        st
+    }
+
+    fn parse_mrouted_route_row(line: &str) -> Option<RouteRow> {
+        let mut f = line.split_ascii_whitespace();
+        let prefix: Prefix = f.next()?.parse().ok()?;
+        let gw = f.next()?;
+        let metric: u32 = f.next()?.parse().ok()?;
+        let (next_hop, reachable) = match gw {
+            "direct" => (None, true),
+            "--" => (None, false),
+            other => (Some(other.parse().ok()?), true),
+        };
+        Some(RouteRow {
+            prefix,
+            next_hop,
+            metric,
+            uptime: None,
+            reachable,
+            learned_from: LearnedFrom::Dvmrp,
+        })
+    }
+
+    fn parse_ios_dvmrp_row(line: &str) -> Option<RouteRow> {
+        let mut f = line.split_ascii_whitespace();
+        let prefix: Prefix = f.next()?.parse().ok()?;
+        let bracket = f.next()?; // [ad/metric]
+        let metric: u32 = bracket
+            .strip_prefix('[')?
+            .strip_suffix(']')?
+            .split_once('/')?
+            .1
+            .parse()
+            .ok()?;
+        let kind = f.next()?;
+        let (next_hop, reachable) = match kind {
+            "via" => (Some(f.next()?.parse().ok()?), true),
+            "directly" => {
+                f.next()?; // "connected"
+                (None, true)
+            }
+            "unreachable" => (None, false),
+            _ => return None,
+        };
+        let mut uptime = None;
+        while let Some(w) = f.next() {
+            if w == "uptime" {
+                uptime = f.next().and_then(parse_uptime);
+                break;
+            }
+        }
+        Some(RouteRow {
+            prefix,
+            next_hop,
+            metric,
+            uptime,
+            reachable,
+            learned_from: LearnedFrom::Dvmrp,
+        })
+    }
+
+    fn parse_forwarding(lines: &[String], tables: &mut Tables) -> KindStats {
+        let ios = lines
+            .first()
+            .is_some_and(|l| l.starts_with("IP Multicast Statistics"));
+        if ios {
+            parse_ios_mroute(lines, tables)
+        } else {
+            parse_mrouted_cache(lines, tables)
+        }
+    }
+
+    fn parse_mrouted_cache(lines: &[String], tables: &mut Tables) -> KindStats {
+        let mut st = KindStats::default();
+        for line in lines {
+            if line.starts_with("Multicast Routing Cache")
+                || line.starts_with("Origin")
+                || line.starts_with("mrouted:")
+            {
+                st.skipped += 1;
+                continue;
+            }
+            let row = (|| {
+                let mut f = line.split_ascii_whitespace();
+                let source: Ip = f.next()?.parse().ok()?;
+                let group: GroupAddr = f.next()?.parse().ok()?;
+                let _ctmr = f.next()?;
+                let _age = f.next()?;
+                let _ptmr = f.next()?;
+                let kbps: f64 = f.next()?.strip_suffix('k')?.parse().ok()?;
+                let _ivif = f.next()?;
+                let fw0 = f.next();
+                let forwarding = match fw0 {
+                    None => false,
+                    Some("P") => f.next().is_some(),
+                    Some(_) => true,
+                };
+                Some(PairRow {
+                    source,
+                    group,
+                    current_bw: BitRate::from_bps((kbps * 1_000.0) as u64),
+                    avg_bw: BitRate::from_bps((kbps * 1_000.0) as u64),
+                    forwarding,
+                    learned_from: LearnedFrom::Dvmrp,
+                })
+            })();
+            match row {
+                Some(r) => {
+                    tables.add_pair(r);
+                    st.parsed += 1;
+                }
+                None => st.malformed += 1,
+            }
+        }
+        st
+    }
+
+    fn parse_ios_mroute(lines: &[String], tables: &mut Tables) -> KindStats {
+        let mut st = KindStats::default();
+        let mut pending: Option<(Ip, GroupAddr, bool, LearnedFrom)> = None;
+        let mut pending_forwarding = true;
+        for line in lines {
+            if line.starts_with('(') {
+                let row = (|| {
+                    let (src_s, grp_s, rest) = split_pair_head(line)?;
+                    let source = if src_s == "*" {
+                        Ip::UNSPECIFIED
+                    } else {
+                        src_s.parse().ok()?
+                    };
+                    let group: GroupAddr = grp_s.parse().ok()?;
+                    let flags = match rest.find("flags:") {
+                        Some(p) => rest[p + "flags:".len()..].trim(),
+                        None => "",
+                    };
+                    let learned = if flags.contains('M') {
+                        LearnedFrom::Msdp
+                    } else if flags.contains('S') {
+                        LearnedFrom::Pim
+                    } else {
+                        LearnedFrom::Dvmrp
+                    };
+                    let pruned = flags.contains('P');
+                    Some((source, group, pruned, learned))
+                })();
+                match row {
+                    Some((s, g, pruned, learned)) => {
+                        pending = Some((s, g, pruned, learned));
+                        pending_forwarding = !pruned;
+                        st.parsed += 1;
+                    }
+                    None => st.malformed += 1,
+                }
+            } else if line.starts_with("Incoming interface:") {
+                if line.ends_with("Outgoing: Null") {
+                    pending_forwarding = false;
+                }
+                st.skipped += 1;
+            } else if line.starts_with("Pkt count") {
+                let Some((source, group, _pruned, learned)) = pending.take() else {
+                    st.malformed += 1;
+                    continue;
+                };
+                let mut kbps = 0u64;
+                let mut f = line.split_ascii_whitespace();
+                while let Some(w) = f.next() {
+                    if w == "rate" {
+                        kbps = f.next().and_then(|n| n.parse().ok()).unwrap_or(0);
+                        break;
+                    }
+                }
+                tables.add_pair(PairRow {
+                    source,
+                    group,
+                    current_bw: BitRate::from_kbps(kbps),
+                    avg_bw: BitRate::from_kbps(kbps),
+                    forwarding: pending_forwarding,
+                    learned_from: learned,
+                });
+                st.parsed += 1;
+            } else {
+                st.skipped += 1;
+            }
+        }
+        st
+    }
+
+    fn parse_igmp(cap: &Capture, lines: &[String], tables: &mut Tables) -> KindStats {
+        let mut st = KindStats::default();
+        for line in lines {
+            let mut f = line.split_ascii_whitespace();
+            let first = match f.next() {
+                Some(w) => w,
+                None => continue,
+            };
+            let group: Option<GroupAddr> = if first.parse::<u32>().is_ok() {
+                f.next().and_then(|g| g.parse().ok())
+            } else {
+                first.parse().ok()
+            };
+            match group {
+                Some(g) => {
+                    let at = cap.captured_at;
+                    tables
+                        .sessions
+                        .entry(g)
+                        .or_insert_with(|| crate::tables::SessionRow {
+                            group: g,
+                            name: None,
+                            density: 0,
+                            bandwidth: BitRate::ZERO,
+                            first_advertised: LearnedFrom::Igmp,
+                            first_seen: at,
+                        });
+                    st.parsed += 1;
+                }
+                None => st.skipped += 1,
+            }
+        }
+        st
+    }
+
+    fn parse_mbgp(lines: &[String], tables: &mut Tables) -> KindStats {
+        let mut st = KindStats::default();
+        for line in lines {
+            let mut f = line.split_ascii_whitespace();
+            if f.next() != Some("*>") {
+                st.skipped += 1;
+                continue;
+            }
+            let row = (|| {
+                let prefix: Prefix = f.next()?.parse().ok()?;
+                let nh: Ip = f.next()?.parse().ok()?;
+                let hops = f.filter(|w| *w != "i").count() as u32;
+                Some(RouteRow {
+                    prefix,
+                    next_hop: if nh.is_unspecified() { None } else { Some(nh) },
+                    metric: hops,
+                    uptime: None,
+                    reachable: true,
+                    learned_from: LearnedFrom::Mbgp,
+                })
+            })();
+            match row {
+                Some(r) => {
+                    tables.add_route(r);
+                    st.parsed += 1;
+                }
+                None => st.malformed += 1,
+            }
+        }
+        st
+    }
+
+    fn parse_sa_cache(cap: &Capture, lines: &[String], tables: &mut Tables) -> KindStats {
+        let mut st = KindStats::default();
+        for line in lines {
+            if !line.starts_with('(') {
+                st.skipped += 1;
+                continue;
+            }
+            let entry = (|| {
+                let (src_s, grp_s, rest) = split_pair_head(line)?;
+                let source: Ip = src_s.parse().ok()?;
+                let group: GroupAddr = grp_s.parse().ok()?;
+                let mut learned = SimDuration::ZERO;
+                let mut f = rest.split_ascii_whitespace();
+                while let Some(w) = f.next() {
+                    if w == "learned" {
+                        learned = f.next().and_then(parse_uptime).unwrap_or(SimDuration::ZERO);
+                        break;
+                    }
+                }
+                Some((group, source, learned))
+            })();
+            match entry {
+                Some((g, s, ago)) => {
+                    let first = SimTime(cap.captured_at.as_secs().saturating_sub(ago.as_secs()));
+                    tables.sa_cache.insert((g, s), first);
+                    st.parsed += 1;
+                }
+                None => st.malformed += 1,
+            }
+        }
+        st
+    }
 }
 
 #[cfg(test)]
@@ -434,21 +971,68 @@ mod tests {
         preprocess("r", kind, text, t0())
     }
 
+    /// Every raw text a unit test below feeds the parsers, for the
+    /// byte-vs-reference agreement check.
+    const UNIT_CORPUS: &[(TableKind, &str)] = &[
+        (TableKind::DvmrpRoutes, "DVMRP Routing Table (3 entries)\n Origin-Subnet      From-Gateway       Metric  Tmr  In-Vif  Out-Vifs\n 128.111.0.0/16   10.128.0.2     3   25  1  1*\n 10.5.0.0/24   direct   1   0   0  1*\n 10.9.0.0/24   --   32  140  1  1*\n"),
+        (TableKind::DvmrpRoutes, "DVMRP Routing Table - 3 entries\n128.111.0.0/16 [1/3] via 10.128.0.6 uptime 04:23:00  \n10.5.0.0/24 [1/1] directly connected uptime 3d04h C\n10.9.0.0/24 [1/32] unreachable uptime 00:02:20 H\n"),
+        (TableKind::ForwardingCache, "Multicast Routing Cache Table (2 entries)\n Origin Mcast-group CTmr Age Ptmr Rate IVif Forwvifs\n 128.111.5.2 224.2.0.1 150 4m 0 64.0k 1 2 3\n 128.111.5.3 224.2.0.2 150 9m 0 0.8k 1 P\n"),
+        (TableKind::ForwardingCache, "IP Multicast Statistics\n2 routes using 304 bytes of memory\nFlags: D - Dense, S - Sparse, C - Connected, P - Pruned, M - MSDP created entry\n(128.111.5.2, 224.2.0.1), uptime 00:10:00, flags: S\n  Incoming interface: Vif1, Outgoing: Vif2, Vif3\n  Pkt count 1000, bytes 500000, rate 64 kbps\n(*, 224.2.0.2), uptime 01:00:00, flags: SP\n  Incoming interface: Vif1, Outgoing: Null\n  Pkt count 0, bytes 0, rate 0 kbps\n"),
+        (TableKind::MbgpRoutes, "MBGP table version is 4, local router ID is 198.32.136.1\n   Network            Next Hop          Path\n*> 128.3.0.0/16 10.128.0.9 65002 65003 i\n*> 128.4.0.0/16 0.0.0.0  i\n"),
+        (TableKind::SaCache, "MSDP Source-Active Cache - 2 entries\n(128.3.5.2, 224.2.0.9), RP 198.32.136.1, learned 00:05:00\n(128.4.5.2, 224.2.0.9), RP 198.32.136.9, learned 3d00h\n"),
+        (TableKind::IgmpGroups, "Virtual Interface Table, Groups (1)\n Vif Group Members Reported\n 0 224.2.0.7 3 12s ago\n"),
+        (TableKind::DvmrpRoutes, "DVMRP Routing Table (2 entries)\n totally bogus line here\n 128.111.0.0/16 10.128.0.2 3 25 1 1*\n"),
+        (TableKind::MbgpRoutes, "mrouted: unknown command 'show ip mbgp'\n"),
+        (TableKind::SaCache, "%MSDP not enabled\n"),
+    ];
+
     #[test]
     fn uptime_parsing() {
-        assert_eq!(parse_uptime("04:23:07"), Some(SimDuration::secs(15_787)));
+        for s in ["04:23:07", "3d04h", "garbage", "1:2", "", "1:2:3:4", "d04h"] {
+            assert_eq!(
+                parse_uptime_bytes(s.as_bytes()),
+                reference::parse_uptime(s),
+                "{s:?}"
+            );
+        }
         assert_eq!(
-            parse_uptime("3d04h"),
+            parse_uptime_bytes(b"04:23:07"),
+            Some(SimDuration::secs(15_787))
+        );
+        assert_eq!(
+            parse_uptime_bytes(b"3d04h"),
             Some(SimDuration::days(3) + SimDuration::hours(4))
         );
-        assert_eq!(parse_uptime("garbage"), None);
-        assert_eq!(parse_uptime("1:2"), None);
+        assert_eq!(parse_uptime_bytes(b"garbage"), None);
+        assert_eq!(parse_uptime_bytes(b"1:2"), None);
+    }
+
+    #[test]
+    fn byte_integer_parsers_mirror_str_parse() {
+        for s in [
+            "0",
+            "42",
+            "+7",
+            "007",
+            "",
+            "+",
+            "4 2",
+            "-1",
+            "4294967295",
+            "4294967296",
+        ] {
+            assert_eq!(parse_u32(s.as_bytes()), s.parse::<u32>().ok(), "{s:?}");
+            assert_eq!(parse_u64(s.as_bytes()), s.parse::<u64>().ok(), "{s:?}");
+        }
+        assert_eq!(
+            parse_u64(b"18446744073709551616"),
+            "18446744073709551616".parse::<u64>().ok()
+        );
     }
 
     #[test]
     fn mrouted_route_table() {
-        let text = "DVMRP Routing Table (3 entries)\n Origin-Subnet      From-Gateway       Metric  Tmr  In-Vif  Out-Vifs\n 128.111.0.0/16   10.128.0.2     3   25  1  1*\n 10.5.0.0/24   direct   1   0   0  1*\n 10.9.0.0/24   --   32  140  1  1*\n";
-        let (tables, st) = process(&[cap(TableKind::DvmrpRoutes, text)]);
+        let (tables, st) = process(&[cap(TableKind::DvmrpRoutes, UNIT_CORPUS[0].1)]);
         assert_eq!(st.parsed, 3);
         assert_eq!(st.malformed, 0);
         assert_eq!(tables.routes.len(), 3);
@@ -456,12 +1040,31 @@ mod tests {
         let r = &tables.routes[&(LearnedFrom::Dvmrp, "128.111.0.0/16".parse().unwrap())];
         assert_eq!(r.next_hop, Some(Ip::new(10, 128, 0, 2)));
         assert_eq!(r.metric, 3);
+        // Accounting attributed under the capture's kind.
+        assert_eq!(st.kind(TableKind::DvmrpRoutes).parsed, 3);
+        assert_eq!(st.kind(TableKind::DvmrpRoutes).skipped, st.skipped);
+        assert_eq!(st.kind(TableKind::MbgpRoutes), KindStats::default());
+    }
+
+    #[test]
+    fn fields_tolerate_space_and_tab_runs() {
+        // Raw captures space columns unevenly and sometimes with tabs; the
+        // field scanner must not depend on single-space separators.
+        let text = "DVMRP Routing Table (2 entries)\n 128.111.0.0/16 \t 10.128.0.2\t\t3   25  1  1*\n 10.5.0.0/24\tdirect\t1  0  0  1*\n";
+        let (tables, st) = process(&[cap(TableKind::DvmrpRoutes, text)]);
+        assert_eq!(st.parsed, 2, "{st:?}");
+        assert_eq!(st.malformed, 0);
+        assert_eq!(tables.routes.len(), 2);
+        let mb = "*> \t128.3.0.0/16 \t 10.128.0.9   65002\t65003 i\n";
+        let (tables, st) = process(&[cap(TableKind::MbgpRoutes, mb)]);
+        assert_eq!(st.parsed, 1, "{st:?}");
+        let r = &tables.routes[&(LearnedFrom::Mbgp, "128.3.0.0/16".parse().unwrap())];
+        assert_eq!(r.metric, 2);
     }
 
     #[test]
     fn ios_dvmrp_table() {
-        let text = "DVMRP Routing Table - 3 entries\n128.111.0.0/16 [1/3] via 10.128.0.6 uptime 04:23:00  \n10.5.0.0/24 [1/1] directly connected uptime 3d04h C\n10.9.0.0/24 [1/32] unreachable uptime 00:02:20 H\n";
-        let (tables, st) = process(&[cap(TableKind::DvmrpRoutes, text)]);
+        let (tables, st) = process(&[cap(TableKind::DvmrpRoutes, UNIT_CORPUS[1].1)]);
         assert_eq!(st.parsed, 3, "{st:?}");
         assert_eq!(tables.reachable_dvmrp_routes(), 2);
         let r = &tables.routes[&(LearnedFrom::Dvmrp, "128.111.0.0/16".parse().unwrap())];
@@ -470,8 +1073,7 @@ mod tests {
 
     #[test]
     fn mrouted_cache() {
-        let text = "Multicast Routing Cache Table (2 entries)\n Origin Mcast-group CTmr Age Ptmr Rate IVif Forwvifs\n 128.111.5.2 224.2.0.1 150 4m 0 64.0k 1 2 3\n 128.111.5.3 224.2.0.2 150 9m 0 0.8k 1 P\n";
-        let (tables, st) = process(&[cap(TableKind::ForwardingCache, text)]);
+        let (tables, st) = process(&[cap(TableKind::ForwardingCache, UNIT_CORPUS[2].1)]);
         assert_eq!(st.parsed, 2);
         assert_eq!(tables.pairs.len(), 2);
         let sg = ("224.2.0.1".parse().unwrap(), "128.111.5.2".parse().unwrap());
@@ -486,8 +1088,7 @@ mod tests {
 
     #[test]
     fn ios_mroute_blocks() {
-        let text = "IP Multicast Statistics\n2 routes using 304 bytes of memory\nFlags: D - Dense, S - Sparse, C - Connected, P - Pruned, M - MSDP created entry\n(128.111.5.2, 224.2.0.1), uptime 00:10:00, flags: S\n  Incoming interface: Vif1, Outgoing: Vif2, Vif3\n  Pkt count 1000, bytes 500000, rate 64 kbps\n(*, 224.2.0.2), uptime 01:00:00, flags: SP\n  Incoming interface: Vif1, Outgoing: Null\n  Pkt count 0, bytes 0, rate 0 kbps\n";
-        let (tables, st) = process(&[cap(TableKind::ForwardingCache, text)]);
+        let (tables, st) = process(&[cap(TableKind::ForwardingCache, UNIT_CORPUS[3].1)]);
         assert_eq!(st.malformed, 0, "{st:?}");
         assert_eq!(tables.pairs.len(), 2);
         let sg = ("224.2.0.1".parse().unwrap(), "128.111.5.2".parse().unwrap());
@@ -501,8 +1102,7 @@ mod tests {
 
     #[test]
     fn mbgp_table() {
-        let text = "MBGP table version is 4, local router ID is 198.32.136.1\n   Network            Next Hop          Path\n*> 128.3.0.0/16 10.128.0.9 65002 65003 i\n*> 128.4.0.0/16 0.0.0.0  i\n";
-        let (tables, st) = process(&[cap(TableKind::MbgpRoutes, text)]);
+        let (tables, st) = process(&[cap(TableKind::MbgpRoutes, UNIT_CORPUS[4].1)]);
         assert_eq!(st.parsed, 2, "{st:?}");
         let r = &tables.routes[&(LearnedFrom::Mbgp, "128.3.0.0/16".parse().unwrap())];
         assert_eq!(r.metric, 2, "AS-path length as metric");
@@ -512,8 +1112,7 @@ mod tests {
 
     #[test]
     fn sa_cache_table() {
-        let text = "MSDP Source-Active Cache - 2 entries\n(128.3.5.2, 224.2.0.9), RP 198.32.136.1, learned 00:05:00\n(128.4.5.2, 224.2.0.9), RP 198.32.136.9, learned 3d00h\n";
-        let (tables, st) = process(&[cap(TableKind::SaCache, text)]);
+        let (tables, st) = process(&[cap(TableKind::SaCache, UNIT_CORPUS[5].1)]);
         assert_eq!(st.parsed, 2, "{st:?}");
         assert_eq!(tables.sa_cache.len(), 2);
         let key = ("224.2.0.9".parse().unwrap(), "128.3.5.2".parse().unwrap());
@@ -525,19 +1124,19 @@ mod tests {
 
     #[test]
     fn igmp_creates_sessions_without_participants() {
-        let mrouted = "Virtual Interface Table, Groups (1)\n Vif Group Members Reported\n 0 224.2.0.7 3 12s ago\n";
-        let (tables, st) = process(&[cap(TableKind::IgmpGroups, mrouted)]);
+        let (tables, st) = process(&[cap(TableKind::IgmpGroups, UNIT_CORPUS[6].1)]);
         assert!(st.parsed >= 1);
         assert!(tables.sessions.contains_key(&"224.2.0.7".parse().unwrap()));
         assert!(tables.participants.is_empty());
+        assert_eq!(st.kind(TableKind::IgmpGroups).parsed, st.parsed);
     }
 
     #[test]
     fn malformed_rows_are_counted_not_fatal() {
-        let text = "DVMRP Routing Table (2 entries)\n totally bogus line here\n 128.111.0.0/16 10.128.0.2 3 25 1 1*\n";
-        let (tables, st) = process(&[cap(TableKind::DvmrpRoutes, text)]);
+        let (tables, st) = process(&[cap(TableKind::DvmrpRoutes, UNIT_CORPUS[7].1)]);
         assert_eq!(st.parsed, 1);
         assert_eq!(st.malformed, 1);
+        assert_eq!(st.kind(TableKind::DvmrpRoutes).malformed, 1);
         assert_eq!(tables.routes.len(), 1);
     }
 
@@ -558,6 +1157,7 @@ mod tests {
         let (tables, st) = process(&[a.clone(), b]);
         assert_eq!(st.rejected_mixed, 2);
         assert_eq!(st.parsed, 0);
+        assert_eq!(st.per_kind, <[KindStats; 5]>::default());
         assert!(tables.routes.is_empty());
         assert!(tables.router.is_empty());
         // A single-router batch is unaffected.
@@ -570,13 +1170,27 @@ mod tests {
     #[test]
     fn error_responses_parse_to_empty() {
         let (tables, _) = process(&[
-            cap(
-                TableKind::MbgpRoutes,
-                "mrouted: unknown command 'show ip mbgp'\n",
-            ),
-            cap(TableKind::SaCache, "%MSDP not enabled\n"),
+            cap(TableKind::MbgpRoutes, UNIT_CORPUS[8].1),
+            cap(TableKind::SaCache, UNIT_CORPUS[9].1),
         ]);
         assert!(tables.routes.is_empty());
         assert!(tables.sa_cache.is_empty());
+    }
+
+    #[test]
+    fn byte_and_reference_parsers_agree_on_unit_corpus() {
+        let captures: Vec<Capture> = UNIT_CORPUS.iter().map(|(k, text)| cap(*k, text)).collect();
+        // Per capture and as one batch per kind grouping.
+        for c in &captures {
+            let batch = [c.clone()];
+            let (bt, bs) = process(&batch);
+            let (rt, rs) = reference::process(&batch);
+            assert_eq!(bt, rt, "tables diverge on {:?}", c.kind);
+            assert_eq!(bs, rs, "stats diverge on {:?}", c.kind);
+        }
+        let (bt, bs) = process(&captures);
+        let (rt, rs) = reference::process(&captures);
+        assert_eq!(bt, rt);
+        assert_eq!(bs, rs);
     }
 }

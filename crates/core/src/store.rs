@@ -131,9 +131,14 @@ impl<K: Eq + Hash + Clone> Interner<K> {
         if let Some(&id) = self.map.get(key) {
             return id;
         }
+        self.push_new(key.clone())
+    }
+
+    /// Inserts a key known to be absent and returns its fresh id.
+    fn push_new(&mut self, key: K) -> u32 {
         let id = self.keys.len() as u32;
         self.map.insert(key.clone(), id);
-        self.keys.push(key.clone());
+        self.keys.push(key);
         self.mark_epoch.push(0);
         self.mark_val.push(0);
         self.seen_epoch.push(0);
@@ -205,6 +210,30 @@ impl<K: Eq + Hash + Clone> Interner<K> {
     }
 }
 
+impl Interner<String> {
+    /// The id for a textual key, cloning into an owned `String` only on
+    /// first sight. The lookup borrows the map's keys as `str`, so the
+    /// hash is computed over exactly the bytes [`Interner::intern`] would
+    /// hash — the two paths always agree on ids.
+    pub fn intern_str(&mut self, key: &str) -> u32 {
+        if let Some(&id) = self.map.get(key) {
+            return id;
+        }
+        self.push_new(key.to_string())
+    }
+
+    /// The id for a key taken straight off a capture buffer. Valid UTF-8
+    /// interns without any intermediate allocation; invalid bytes are
+    /// lossily decoded first, matching what the string path would have
+    /// stored for the same capture.
+    pub fn intern_bytes(&mut self, key: &[u8]) -> u32 {
+        match std::str::from_utf8(key) {
+            Ok(s) => self.intern_str(s),
+            Err(_) => self.intern_str(&String::from_utf8_lossy(key)),
+        }
+    }
+}
+
 /// The shared interning tables for one monitor: routers, participant
 /// hosts, session groups, `(S,G)` pair keys, route keys and bare prefixes.
 ///
@@ -224,6 +253,44 @@ pub struct TableStore {
     pub routes: Interner<(LearnedFrom, Prefix)>,
     /// Bare prefixes, for cross-router consistency sets.
     pub prefixes: Interner<Prefix>,
+}
+
+impl TableStore {
+    /// Interns a router name straight off capture bytes.
+    pub fn intern_router_bytes(&mut self, name: &[u8]) -> u32 {
+        self.routers.intern_bytes(name)
+    }
+
+    /// Interns a participant host from dotted-quad bytes, when they parse.
+    pub fn intern_host_bytes(&mut self, addr: &[u8]) -> Option<u32> {
+        let ip = Ip::parse_bytes(addr).ok()?;
+        Some(self.hosts.intern(&ip))
+    }
+
+    /// Interns a session group from dotted-quad bytes, when class-D.
+    pub fn intern_group_bytes(&mut self, group: &[u8]) -> Option<u32> {
+        let g = GroupAddr::parse_bytes(group).ok()?;
+        Some(self.groups.intern(&g))
+    }
+
+    /// Interns a `(group, source)` pair key from dotted-quad bytes.
+    pub fn intern_pair_bytes(&mut self, group: &[u8], source: &[u8]) -> Option<u32> {
+        let g = GroupAddr::parse_bytes(group).ok()?;
+        let s = Ip::parse_bytes(source).ok()?;
+        Some(self.pairs.intern(&(g, s)))
+    }
+
+    /// Interns a `(protocol, prefix)` route key from `net/len` bytes.
+    pub fn intern_route_bytes(&mut self, learned: LearnedFrom, prefix: &[u8]) -> Option<u32> {
+        let p = Prefix::parse_bytes(prefix).ok()?;
+        Some(self.routes.intern(&(learned, p)))
+    }
+
+    /// Interns a bare prefix from `net/len` bytes.
+    pub fn intern_prefix_bytes(&mut self, prefix: &[u8]) -> Option<u32> {
+        let p = Prefix::parse_bytes(prefix).ok()?;
+        Some(self.prefixes.intern(&p))
+    }
 }
 
 /// Borrows `items` in strict key order: a cheap `Vec` of references when
@@ -283,6 +350,62 @@ mod tests {
         assert_eq!(i.len(), 2);
         assert_eq!(i.resolve(b), "ucsb-gw");
         assert_eq!(i.get(&"ghost".to_string()), None);
+    }
+
+    #[test]
+    fn byte_and_str_interning_are_hash_compatible() {
+        let mut i: Interner<String> = Interner::default();
+        let a = i.intern(&"fixw".to_string());
+        assert_eq!(i.intern_str("fixw"), a, "str lookup hits the same slot");
+        assert_eq!(i.intern_bytes(b"fixw"), a, "byte lookup hits the same slot");
+        let b = i.intern_bytes(b"ucsb-gw");
+        assert_eq!(
+            i.intern(&"ucsb-gw".to_string()),
+            b,
+            "byte-first interning is visible to the owned path"
+        );
+        assert_eq!(i.len(), 2);
+        // Invalid UTF-8 interns its lossy decoding, so replaying the same
+        // bytes (or the decoded text) is stable.
+        let c = i.intern_bytes(b"bad\xffname");
+        assert_eq!(i.intern_bytes(b"bad\xffname"), c);
+        assert_eq!(i.intern_str("bad\u{fffd}name"), c);
+        assert_eq!(i.len(), 3);
+    }
+
+    #[test]
+    fn table_store_interns_typed_keys_from_bytes() {
+        use mantra_net::{GroupAddr, Ip, Prefix};
+
+        let mut store = TableStore::default();
+        let r = store.intern_router_bytes(b"fixw");
+        assert_eq!(store.routers.intern_str("fixw"), r);
+
+        let h = store.intern_host_bytes(b"10.1.2.3").unwrap();
+        assert_eq!(store.hosts.intern(&Ip::new(10, 1, 2, 3)), h);
+        assert_eq!(store.intern_host_bytes(b"10.1.2"), None);
+
+        let g = store.intern_group_bytes(b"224.2.0.9").unwrap();
+        let group: GroupAddr = "224.2.0.9".parse().unwrap();
+        assert_eq!(store.groups.intern(&group), g);
+        assert_eq!(store.intern_group_bytes(b"10.0.0.1"), None, "not class-D");
+
+        let p = store.intern_pair_bytes(b"224.2.0.9", b"10.1.2.3").unwrap();
+        assert_eq!(store.pairs.intern(&(group, Ip::new(10, 1, 2, 3))), p);
+
+        let prefix: Prefix = "128.111.0.0/16".parse().unwrap();
+        let rt = store
+            .intern_route_bytes(crate::tables::LearnedFrom::Dvmrp, b"128.111.0.0/16")
+            .unwrap();
+        assert_eq!(
+            store
+                .routes
+                .intern(&(crate::tables::LearnedFrom::Dvmrp, prefix)),
+            rt
+        );
+        let px = store.intern_prefix_bytes(b"128.111.0.0/16").unwrap();
+        assert_eq!(store.prefixes.intern(&prefix), px);
+        assert_eq!(store.intern_prefix_bytes(b"128.111.0.0"), None);
     }
 
     #[test]

@@ -220,6 +220,18 @@ pub fn report_html(monitor: &Monitor, router: &str) -> String {
              routers is incomplete or will not survive a restart.</p>"
         );
     }
+    if monitor.parse_degraded() {
+        let s = monitor.parse_last;
+        let _ = writeln!(
+            out,
+            "<p><strong>Degraded parse:</strong> {} of {} row-like lines were malformed in \
+             the last cycle (threshold {}%) — CLI output formats may have drifted; the \
+             tables below undercount the affected routers.</p>",
+            s.malformed,
+            s.parsed + s.malformed,
+            crate::monitor::DEGRADED_PARSE_PCT
+        );
+    }
     let fsyncs: u64 = archives.iter().map(|a| a.fsyncs).sum();
     let pending: u64 = archives.iter().map(|a| a.pending_appends).sum();
     let queued: u64 = archives.iter().map(|a| a.queue_depth).sum();
@@ -244,6 +256,7 @@ pub fn report_html(monitor: &Monitor, router: &str) -> String {
     let _ = writeln!(out, "{}", table_html(&monitor.busiest_sessions(router, 10)));
     let _ = writeln!(out, "{}", table_html(&monitor.top_senders(router, 10)));
     let _ = writeln!(out, "{}", table_html(&monitor.stage_table()));
+    let _ = writeln!(out, "{}", table_html(&monitor.parse_table()));
     let _ = writeln!(out, "{}", table_html(&monitor.archive_table()));
     if let Some(lt) = monitor.longterm(router) {
         let _ = writeln!(
@@ -291,7 +304,19 @@ pub fn fleet_report_html(fleet: &crate::fleet::FleetMonitor, now: SimTime) -> St
     }
     routes.overlay(reachable).overlay(total);
     let _ = writeln!(out, "{}", graph_svg(&routes, 860, 240));
+    if fleet.parse_degraded() {
+        let s = fleet.parse_last();
+        let _ = writeln!(
+            out,
+            "<p><strong>Degraded parse:</strong> {} of {} row-like lines were malformed in \
+             the last fleet cycle (threshold {}%).</p>",
+            s.malformed,
+            s.parsed + s.malformed,
+            crate::monitor::DEGRADED_PARSE_PCT
+        );
+    }
     let _ = writeln!(out, "{}", table_html(&fleet.health(now)));
+    let _ = writeln!(out, "{}", table_html(&fleet.parse_table()));
     let _ = writeln!(out, "{}", table_html(&fleet.archive_table()));
     let divergent = fleet.consistency_view();
     if divergent.is_empty() {
@@ -379,7 +404,10 @@ mod tests {
         assert!(html.contains("Fleet usage"));
         assert!(html.contains("Fleet DVMRP routes"));
         assert!(html.contains("Fleet collection health"));
+        assert!(html.contains("Parse accounting (fleet)"));
         assert!(html.contains("Fleet archives"));
+        // Live simulator output parses cleanly — no degraded-parse banner.
+        assert!(!html.contains("Degraded parse"));
         assert!(html.contains("Route consistency:"));
         // detail limit 1 → both fleet tables condensed with footers.
         assert!(html.contains("of 2 routers shown"));
@@ -446,10 +474,13 @@ mod tests {
         assert!(html.contains("Busiest sessions"));
         assert!(html.contains("route stability"));
         assert!(html.contains("Pipeline stages"));
+        assert!(html.contains("Parse accounting"));
         assert!(html.contains("Archives"));
         assert!(html.contains("Durability:"));
-        // Healthy archives raise no persistence warning.
+        // Healthy archives raise no persistence warning, and live
+        // simulator output parses cleanly.
         assert!(!html.contains("Degraded persistence"));
+        assert!(!html.contains("Degraded parse"));
     }
 
     #[test]

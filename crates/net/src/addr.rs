@@ -57,6 +57,37 @@ impl Ip {
     pub const fn is_unspecified(self) -> bool {
         self.0 == 0
     }
+
+    /// Parses dotted-quad text straight off a byte slice, without a UTF-8
+    /// round trip. [`Ip::from_str`] delegates here, so the two paths are
+    /// identical by construction: non-empty runs of at most three ASCII
+    /// digits, values `0..=255`, exactly four dot-separated fields
+    /// (leading zeros allowed, as in `1.2.3.004`).
+    pub fn parse_bytes(s: &[u8]) -> Result<Self, AddrParseError> {
+        let mut octets = [0u8; 4];
+        let mut n = 0;
+        for part in s.split(|&b| b == b'.') {
+            if n == 4 {
+                return Err(AddrParseError::BadShape);
+            }
+            if part.is_empty() || part.len() > 3 || !part.iter().all(u8::is_ascii_digit) {
+                return Err(AddrParseError::BadOctet);
+            }
+            let mut v: u32 = 0;
+            for &b in part {
+                v = v * 10 + u32::from(b - b'0');
+            }
+            if v > 255 {
+                return Err(AddrParseError::BadOctet);
+            }
+            octets[n] = v as u8;
+            n += 1;
+        }
+        if n != 4 {
+            return Err(AddrParseError::BadShape);
+        }
+        Ok(Ip::new(octets[0], octets[1], octets[2], octets[3]))
+    }
 }
 
 impl fmt::Display for Ip {
@@ -99,26 +130,7 @@ impl FromStr for Ip {
     type Err = AddrParseError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let mut octets = [0u8; 4];
-        let mut n = 0;
-        for part in s.split('.') {
-            if n == 4 {
-                return Err(AddrParseError::BadShape);
-            }
-            if part.is_empty() || part.len() > 3 || !part.bytes().all(|b| b.is_ascii_digit()) {
-                return Err(AddrParseError::BadOctet);
-            }
-            let v: u32 = part.parse().map_err(|_| AddrParseError::BadOctet)?;
-            if v > 255 {
-                return Err(AddrParseError::BadOctet);
-            }
-            octets[n] = v as u8;
-            n += 1;
-        }
-        if n != 4 {
-            return Err(AddrParseError::BadShape);
-        }
-        Ok(Ip::new(octets[0], octets[1], octets[2], octets[3]))
+        Ip::parse_bytes(s.as_bytes())
     }
 }
 
@@ -154,6 +166,13 @@ impl GroupAddr {
     /// True for link-local groups (`224.0.0/24`).
     pub const fn is_link_local(self) -> bool {
         self.0.is_link_local_multicast()
+    }
+
+    /// Parses a dotted-quad group address straight off a byte slice; the
+    /// [`GroupAddr::from_str`] impl delegates here. Class-D validation is
+    /// identical to [`GroupAddr::new`].
+    pub fn parse_bytes(s: &[u8]) -> Result<Self, AddrParseError> {
+        GroupAddr::new(Ip::parse_bytes(s)?)
     }
 
     /// Deterministically maps an index to a globally-scoped group address in

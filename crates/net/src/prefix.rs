@@ -125,6 +125,32 @@ impl Prefix {
         Some((left, right))
     }
 
+    /// Parses `net/len` text straight off a byte slice, without a UTF-8
+    /// round trip. [`Prefix::from_str`] delegates here, so the two paths
+    /// accept exactly the same spellings: the first `/` splits address
+    /// from length, the length is decimal with an optional leading `+`
+    /// (as `str::parse::<u8>` accepts), and host bits canonicalise away.
+    pub fn parse_bytes(s: &[u8]) -> Result<Self, PrefixError> {
+        let slash = s
+            .iter()
+            .position(|&b| b == b'/')
+            .ok_or(PrefixError::BadShape)?;
+        let net = Ip::parse_bytes(&s[..slash]).map_err(PrefixError::BadAddr)?;
+        let len_b = &s[slash + 1..];
+        let digits = len_b.strip_prefix(b"+").unwrap_or(len_b);
+        if digits.is_empty() || !digits.iter().all(u8::is_ascii_digit) {
+            return Err(PrefixError::BadShape);
+        }
+        let mut len: u32 = 0;
+        for &b in digits {
+            len = len * 10 + u32::from(b - b'0');
+            if len > 255 {
+                return Err(PrefixError::BadShape);
+            }
+        }
+        Prefix::new(net, len as u8)
+    }
+
     /// Attempts to aggregate two sibling prefixes into their parent.
     ///
     /// DVMRP route aggregation (a cause of the paper's "inconsistent state"
@@ -167,10 +193,7 @@ impl FromStr for Prefix {
     type Err = PrefixError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (net, len) = s.split_once('/').ok_or(PrefixError::BadShape)?;
-        let net: Ip = net.parse().map_err(PrefixError::BadAddr)?;
-        let len: u8 = len.parse().map_err(|_| PrefixError::BadShape)?;
-        Prefix::new(net, len)
+        Prefix::parse_bytes(s.as_bytes())
     }
 }
 

@@ -120,3 +120,39 @@ proptest! {
         prop_assert_eq!(SimTime::from_ymd_hms(y, m, d, hh, mm, ss), t);
     }
 }
+
+// ---------------------------------------------------------------------
+// Byte-slice parsers vs the `FromStr` path
+// ---------------------------------------------------------------------
+
+use mantra_net::addr::GroupAddr;
+
+proptest! {
+    /// `Ip::parse_bytes` and `str::parse::<Ip>` accept and reject exactly
+    /// the same inputs over arbitrary ASCII-ish junk.
+    #[test]
+    fn ip_bytes_and_str_parsers_agree(s in "[0-9+.a-f ]{0,18}") {
+        prop_assert_eq!(Ip::parse_bytes(s.as_bytes()), s.parse::<Ip>());
+    }
+
+    /// Same agreement for group addresses, including class-D rejection.
+    #[test]
+    fn group_bytes_and_str_parsers_agree(s in "2[0-9.]{0,14}") {
+        prop_assert_eq!(GroupAddr::parse_bytes(s.as_bytes()), s.parse::<GroupAddr>());
+    }
+
+    /// Same agreement for prefixes, over junk with slashes and signs.
+    #[test]
+    fn prefix_bytes_and_str_parsers_agree(s in "[0-9+./]{0,22}") {
+        prop_assert_eq!(Prefix::parse_bytes(s.as_bytes()), s.parse::<Prefix>());
+    }
+
+    /// The byte parser round-trips every display form.
+    #[test]
+    fn byte_parsers_round_trip_display(v in any::<u32>(), len in 0u8..=32) {
+        let ip = Ip(v);
+        prop_assert_eq!(Ip::parse_bytes(ip.to_string().as_bytes()), Ok(ip));
+        let p = Prefix::new(ip, len).unwrap();
+        prop_assert_eq!(Prefix::parse_bytes(p.to_string().as_bytes()), Ok(p));
+    }
+}

@@ -49,6 +49,18 @@ impl TableKind {
         TableKind::SaCache,
     ];
 
+    /// The kind's position in [`TableKind::ALL`], for per-kind accounting
+    /// arrays.
+    pub const fn index(self) -> usize {
+        match self {
+            TableKind::DvmrpRoutes => 0,
+            TableKind::ForwardingCache => 1,
+            TableKind::IgmpGroups => 2,
+            TableKind::MbgpRoutes => 3,
+            TableKind::SaCache => 4,
+        }
+    }
+
     /// A short label used in logs and archive paths.
     pub fn label(self) -> &'static str {
         match self {

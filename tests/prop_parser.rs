@@ -85,7 +85,7 @@ proptest! {
         let (kind, raw) = &dumps[which % dumps.len()];
         let now = SimTime::from_ymd(1999, 3, 1);
         let once = preprocess("fixw", *kind, raw, now);
-        let again = preprocess("fixw", *kind, &once.lines.join("\n"), now);
-        prop_assert_eq!(&once.lines, &again.lines);
+        let again = preprocess("fixw", *kind, &once.text_lines().join("\n"), now);
+        prop_assert_eq!(once.text_lines(), again.text_lines());
     }
 }
