@@ -9,6 +9,7 @@ use mantra_core::{
     ArchiveSpec, BackpressureMode, FleetMonitor, Monitor, MonitorConfig, RetryPolicy, SyncPolicy,
     WriterConfig,
 };
+use mantra_daemon::Engine;
 use mantra_net::{SimDuration, SimTime};
 use mantra_sim::Scenario;
 
@@ -25,6 +26,9 @@ USAGE:
                   [--fleet R] [--shards N] [--table-rows N]
   mantra health   [--seed N] [--native F] [--hours H] [--fail P] [--truncate P]
                   [--retries N]
+  mantra daemon   [--addr HOST:PORT] [--seed N] [--native F] [--loss P]
+                  [--archive-dir DIR] [--cycles N] [--tick-ms MS] [--refresh S]
+                  [--fleet R] [--shards N] [archive writer flags as monitor]
   mantra incident [--seed N]
   mantra archive  info    --path FILE
   mantra archive  replay  --path FILE
@@ -58,6 +62,14 @@ OPTIONS:
   --full-every N  full-snapshot checkpoint cadence when rewriting (default 96)
   --drop-before TS  compaction: drop snapshots captured before TS — either raw
                   Unix seconds or ISO `YYYY-MM-DD[THH:MM:SS]`
+  --addr HOST:PORT  daemon bind address (default 127.0.0.1:4617; port 0 picks
+                  an ephemeral port, printed on startup)
+  --cycles N      daemon: stop collecting after N cycles but keep serving
+                  queries (default 0 = collect forever)
+  --tick-ms MS    daemon: wall-clock pause between collection cycles
+                  (default 250)
+  --refresh S     daemon: live-report auto-refresh cadence in seconds
+                  (default 2)
   --fail P        injected login-failure probability (default 0.2)
   --truncate P    injected truncation probability (default 0.1)
   --retries N     capture attempts per table per cycle (default 3)
@@ -86,9 +98,9 @@ fn warmed(opts: &Opts, hours: u64) -> Result<Scenario, String> {
     Ok(sc)
 }
 
-/// `mantra monitor`: run the full pipeline and print Mantra's output.
-pub fn monitor(opts: &Opts) -> Result<(), String> {
-    let hours = opts.u64_or("hours", 12)?;
+/// Resolves the archive flags shared by `monitor` and `daemon` into an
+/// [`ArchiveSpec`] (plus the directory, when on disk).
+fn archive_spec(opts: &Opts) -> Result<(ArchiveSpec, Option<PathBuf>), String> {
     let archive_dir = opts.get("archive-dir").map(PathBuf::from);
     // Validated whether or not --archive-dir is given: a typo'd mode must
     // error, not silently monitor without the writer the user asked for.
@@ -124,6 +136,13 @@ pub fn monitor(opts: &Opts) -> Result<(), String> {
         }
         None => ArchiveSpec::Memory,
     };
+    Ok((archive, archive_dir))
+}
+
+/// `mantra monitor`: run the full pipeline and print Mantra's output.
+pub fn monitor(opts: &Opts) -> Result<(), String> {
+    let hours = opts.u64_or("hours", 12)?;
+    let (archive, archive_dir) = archive_spec(opts)?;
     if opts.get("fleet").is_some() || opts.get("shards").is_some() {
         return monitor_fleet(opts, archive, archive_dir.as_deref());
     }
@@ -266,6 +285,102 @@ fn monitor_fleet(
     Ok(())
 }
 
+/// `mantra daemon`: run mantrad — collection on a tick thread, concurrent
+/// HTTP/1.1 + JSON queries (health, usage, anomalies, parse accounting,
+/// time-travel archive replay) until SIGTERM/SIGINT.
+pub fn daemon(opts: &Opts) -> Result<(), String> {
+    use std::time::Duration;
+
+    let (archive, archive_dir) = archive_spec(opts)?;
+    let addr = opts.get("addr").unwrap_or("127.0.0.1:4617").to_string();
+    let cycles = opts.u64_or("cycles", 0)?;
+    let cfg = mantra_daemon::DaemonConfig {
+        addr,
+        refresh_secs: opts.u64_or("refresh", 2)?.max(1),
+        tick: Duration::from_millis(opts.u64_or("tick-ms", 250)?),
+        max_cycles: (cycles > 0).then_some(cycles),
+        ..mantra_daemon::DaemonConfig::default()
+    };
+    if archive_dir.is_none() {
+        eprintln!("note: archives are in-memory (no --archive-dir); /replay has nothing to serve");
+    }
+    type Tick = Box<dyn FnMut(&mut Engine) -> SimTime + Send>;
+    let fleet_mode = opts.get("fleet").is_some() || opts.get("shards").is_some();
+    let (cfg, engine, tick): (_, Engine, Tick) = if fleet_mode {
+        let seed = opts.u64_or("seed", 1998)?;
+        let native = opts.f64_or("native", 0.4)?;
+        let loss = opts.f64_or("loss", 0.02)?;
+        if !(0.0..=1.0).contains(&native) || !(0.0..=1.0).contains(&loss) {
+            return Err("--native and --loss must be in [0,1]".into());
+        }
+        let target = opts.u64_or("fleet", 50)? as usize;
+        let shards = opts.u64_or("shards", 1)?.max(1) as usize;
+        let table_rows = opts.u64_or("table-rows", 64)?.max(1) as usize;
+        let mut sc = Scenario::fleet_snapshot(seed, target, native);
+        sc.sim.set_report_loss(loss);
+        let routers: Vec<String> = sc
+            .sim
+            .monitored
+            .iter()
+            .map(|id| sc.sim.net.topo.router(*id).name.clone())
+            .collect();
+        let router = routers.first().cloned().unwrap_or_default();
+        let fleet = FleetMonitor::new(
+            MonitorConfig {
+                routers,
+                interval: sc.sim.tick(),
+                archive,
+                table_detail_limit: table_rows,
+                ..MonitorConfig::default()
+            },
+            shards,
+        );
+        let interval = fleet.cfg.interval;
+        let tick: Tick = Box::new(move |engine| {
+            let next = sc.sim.clock + interval;
+            sc.sim.advance_to(next);
+            if let Engine::Fleet(f) = engine {
+                f.run_cycle(&sc.sim, next);
+            }
+            next
+        });
+        let cfg = mantra_daemon::DaemonConfig { router, ..cfg };
+        (cfg, Engine::Fleet(fleet), tick)
+    } else {
+        let mut sc = scenario(opts)?;
+        let monitor = Monitor::new(MonitorConfig {
+            routers: vec!["fixw".into(), "ucsb-gw".into()],
+            interval: sc.sim.tick(),
+            archive,
+            ..MonitorConfig::default()
+        });
+        let interval = monitor.cfg.interval;
+        let tick: Tick = Box::new(move |engine| {
+            let next = sc.sim.clock + interval;
+            sc.sim.advance_to(next);
+            if let Engine::Single(m) = engine {
+                let mut access = SimAccess::new(&sc.sim);
+                m.run_cycle(&mut access, next);
+            }
+            next
+        });
+        (cfg, Engine::Single(monitor), tick)
+    };
+    let handle =
+        mantra_daemon::spawn(cfg, engine, tick).map_err(|e| format!("starting mantrad: {e}"))?;
+    mantra_daemon::install_signal_handlers();
+    eprintln!("mantrad listening on http://{}", handle.addr());
+    if cycles > 0 {
+        eprintln!("collection stops after {cycles} cycle(s); queries keep serving");
+    }
+    while !mantra_daemon::shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("mantrad: shutdown signal received, exiting");
+    handle.stop();
+    Ok(())
+}
+
 /// `mantra archive`: inspect, replay, or rewrite an on-disk table archive.
 pub fn archive(sub: &str, opts: &Opts) -> Result<(), String> {
     match sub {
@@ -284,8 +399,11 @@ fn required_path<'a>(opts: &'a Opts, key: &str) -> Result<&'a Path, String> {
         .ok_or_else(|| format!("--{key} FILE is required"))
 }
 
+/// Opens an archive for inspection without ever writing to it — `info`
+/// and `replay` are read paths, so they must not heal (truncate) a torn
+/// tail out from under a process still appending to the file.
 fn load_archive(path: &Path, full_every: usize) -> Result<TableLog, String> {
-    TableLog::load(path, full_every).map_err(|e| format!("{}: {e}", path.display()))
+    TableLog::load_read_only(path, full_every).map_err(|e| format!("{}: {e}", path.display()))
 }
 
 fn archive_info(opts: &Opts) -> Result<(), String> {
@@ -337,60 +455,10 @@ fn archive_replay(opts: &Opts) -> Result<(), String> {
 }
 
 /// Parses a `--drop-before` timestamp: raw Unix seconds, `YYYY-MM-DD`,
-/// or `YYYY-MM-DDTHH:MM:SS` (UTC).
+/// or `YYYY-MM-DDTHH:MM:SS` (UTC). Now shared with the daemon's `at=` and
+/// `since=` query parameters via [`SimTime::parse`].
 fn parse_sim_time(s: &str) -> Result<SimTime, String> {
-    if let Ok(secs) = s.parse::<u64>() {
-        return Ok(SimTime(secs));
-    }
-    let bad = || format!("'{s}': expected Unix seconds or YYYY-MM-DD[THH:MM:SS]");
-    let (date, time) = match s.split_once('T') {
-        Some((d, t)) => (d, Some(t)),
-        None => (s, None),
-    };
-    let mut ymd = date.split('-').map(|p| p.parse::<u32>().map_err(|_| bad()));
-    let mut next_ymd = || ymd.next().unwrap_or_else(|| Err(bad()));
-    let (y, m, d) = (next_ymd()?, next_ymd()?, next_ymd()?);
-    let (hh, mm, ss) = match time {
-        None => (0, 0, 0),
-        Some(t) => {
-            let mut hms = t.split(':').map(|p| p.parse::<u32>().map_err(|_| bad()));
-            let mut next = || hms.next().unwrap_or_else(|| Err(bad()));
-            let out = (next()?, next()?, next()?);
-            if hms.next().is_some() {
-                return Err(bad());
-            }
-            out
-        }
-    };
-    if ymd.next().is_some() {
-        return Err(bad());
-    }
-    // Range checks up front: SimTime::from_ymd_hms panics pre-1970 and
-    // silently wraps out-of-range fields.
-    if !(1970..=9999).contains(&y) || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
-        return Err(bad());
-    }
-    let leap = y % 4 == 0 && (y % 100 != 0 || y % 400 == 0);
-    let days_in_month = match m {
-        2 => {
-            if leap {
-                29
-            } else {
-                28
-            }
-        }
-        4 | 6 | 9 | 11 => 30,
-        _ => 31,
-    };
-    if d > days_in_month {
-        return Err(format!(
-            "'{s}': {y:04}-{m:02} has {days_in_month} days, not {d}"
-        ));
-    }
-    if hh > 23 || mm > 59 || ss > 59 {
-        return Err(bad());
-    }
-    Ok(SimTime::from_ymd_hms(y as i32, m, d, hh, mm, ss))
+    SimTime::parse(s)
 }
 
 fn archive_compact(opts: &Opts) -> Result<(), String> {
@@ -476,6 +544,15 @@ pub fn health(opts: &Opts) -> Result<(), String> {
     println!("{}", monitor.health(now).render());
     println!("\n{}", monitor.stage_table().render());
     println!("\n{}", monitor.parse_table().render());
+    let cache = monitor.query_cache().stats();
+    println!(
+        "\nquery cache: {} hit(s), {} miss(es), {} eviction(s), {} entr{} resident",
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        cache.entries,
+        if cache.entries == 1 { "y" } else { "ies" }
+    );
     if monitor.parse_degraded() {
         let s = monitor.parse_last;
         println!(

@@ -4,6 +4,7 @@
 //! mantra monitor  [--seed N] [--native F] [--hours H] [--loss P] [--html FILE]
 //!                 [--archive-dir DIR]
 //! mantra health   [--seed N] [--fail P] [--truncate P] [--retries N]
+//! mantra daemon   [--addr HOST:PORT] [--archive-dir DIR] [--cycles N]
 //! mantra incident [--seed N]                 # replay Figure 9 and diagnose
 //! mantra archive  info|replay|compact ...    # inspect on-disk archives
 //! mantra mwatch   [--seed N] [--native F]    # map the internetwork
@@ -51,6 +52,7 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "monitor" => cmd::monitor(&opts),
+        "daemon" => cmd::daemon(&opts),
         "archive" => cmd::archive(subcmd.expect("parsed above"), &opts),
         "health" => cmd::health(&opts),
         "incident" => cmd::incident(&opts),

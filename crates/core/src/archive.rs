@@ -77,9 +77,9 @@ use std::time::Instant;
 
 use mantra_net::{BitRate, GroupAddr, Ip, Prefix, SimDuration, SimTime};
 
-use crate::logger::{LogRecord, SnapshotParts, TableDelta};
-use crate::store::Interner;
-use crate::tables::{LearnedFrom, PairRow, RouteRow, SessionRow};
+use crate::logger::{apply_with, LogRecord, SnapshotParts, TableDelta};
+use crate::store::{Interner, TableStore};
+use crate::tables::{LearnedFrom, PairRow, RouteRow, SessionRow, Tables};
 
 /// The archive file magic.
 pub const MAGIC: [u8; 8] = *b"MANTRARC";
@@ -370,10 +370,20 @@ pub struct FileBackend {
     /// Fault injection: the next append writes only this many bytes of
     /// its frame, then fails (see [`FileBackend::inject_torn_write`]).
     fail_next: Option<usize>,
+    /// Opened through [`OpenMode::ReadOnly`]: appends fail and sync is a
+    /// no-op, so the file is never written through this handle.
+    read_only: bool,
 }
 
 fn bad_data(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn read_only_error() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::PermissionDenied,
+        "archive opened read-only (OpenMode::ReadOnly): appends are not allowed",
+    )
 }
 
 /// The error an unsupported (future) format version produces — raised by
@@ -414,6 +424,27 @@ fn write_header(w: &mut impl Write, version: u16, epoch: u32) -> io::Result<()> 
     w.write_all(&header)
 }
 
+/// How a file-backed archive is opened.
+///
+/// The distinction matters because open-time crash recovery *writes*:
+/// the owning writer heals a torn tail by physically truncating the
+/// file back to the last intact frame. A concurrent observer (the
+/// daemon's query path, `mantra archive info|replay`) must never do
+/// that — what looks like a torn tail to a reader is often a live
+/// writer's in-flight frame, and truncating it corrupts the archive
+/// out from under its owner.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OpenMode {
+    /// Exclusive owner: heals a torn or corrupt tail by truncating the
+    /// file so later appends start from a valid state.
+    #[default]
+    ReadWrite,
+    /// Observer: clamps to the last intact frame *in memory* and never
+    /// writes — the file is byte-identical before and after the open,
+    /// and appends through the backend fail.
+    ReadOnly,
+}
+
 impl FileBackend {
     /// Creates a fresh archive at `path`, truncating any existing file.
     pub fn create(path: impl Into<PathBuf>) -> io::Result<FileBackend> {
@@ -445,6 +476,7 @@ impl FileBackend {
             bytes_since_sync: 0,
             torn: false,
             fail_next: None,
+            read_only: false,
         })
     }
 
@@ -455,11 +487,35 @@ impl FileBackend {
     /// physically truncated so later appends start from a valid state)
     /// and accounted in [`ArchiveStats::recovered_bytes`].
     pub fn open(path: impl Into<PathBuf>) -> io::Result<FileBackend> {
+        Self::open_with(path, OpenMode::ReadWrite)
+    }
+
+    /// Opens an existing archive without ever writing to it: a torn or
+    /// corrupt tail is clamped to the last intact record in memory
+    /// (still accounted in [`ArchiveStats::recovered_bytes`]) and the
+    /// file stays byte-identical. Appends fail. Safe to run against an
+    /// archive another process is actively writing.
+    pub fn open_read_only(path: impl Into<PathBuf>) -> io::Result<FileBackend> {
+        Self::open_with(path, OpenMode::ReadOnly)
+    }
+
+    /// Opens an existing archive in the given [`OpenMode`], creating it
+    /// if absent (read-write mode only).
+    pub fn open_with(path: impl Into<PathBuf>, mode: OpenMode) -> io::Result<FileBackend> {
         let path = path.into();
         if !path.exists() {
+            if mode == OpenMode::ReadOnly {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("no archive at {}", path.display()),
+                ));
+            }
             return Self::create(path);
         }
-        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(mode == OpenMode::ReadWrite)
+            .open(&path)?;
         let file_len = file.seek(SeekFrom::End(0))?;
         file.seek(SeekFrom::Start(0))?;
         let mut reader = BufReader::new(&mut file);
@@ -504,7 +560,8 @@ impl FileBackend {
         drop(reader);
 
         let recovered = file_len - pos;
-        if recovered > 0 {
+        let healed = recovered > 0 && mode == OpenMode::ReadWrite;
+        if healed {
             file.set_len(pos)?;
             file.sync_all()?;
         }
@@ -513,7 +570,7 @@ impl FileBackend {
             records: (offsets.len() - 1) as u64,
             checkpoints: checkpoints.len() as u64,
             bytes: pos - HEADER_LEN,
-            fsyncs: u64::from(recovered > 0),
+            fsyncs: u64::from(healed),
             recovered_bytes: recovered,
             ..ArchiveStats::default()
         };
@@ -528,6 +585,7 @@ impl FileBackend {
             bytes_since_sync: 0,
             torn: false,
             fail_next: None,
+            read_only: mode == OpenMode::ReadOnly,
         })
     }
 
@@ -614,6 +672,10 @@ impl ArchiveBackend for FileBackend {
     }
 
     fn append(&mut self, rec: &LogRecord, json: &str) -> io::Result<()> {
+        if self.read_only {
+            self.stats.write_errors += 1;
+            return Err(read_only_error());
+        }
         if let Err(e) = self.heal() {
             self.stats.write_errors += 1;
             return Err(e);
@@ -708,6 +770,12 @@ impl ArchiveBackend for FileBackend {
     }
 
     fn sync(&mut self) -> io::Result<()> {
+        if self.read_only {
+            // Nothing this handle wrote can be pending; never touch the
+            // file (sync_data on another process's live archive is
+            // harmless but pointless).
+            return Ok(());
+        }
         if let Err(e) = self.heal() {
             self.stats.write_errors += 1;
             return Err(e);
@@ -1304,6 +1372,9 @@ pub struct FileBackendV2 {
     /// Fault injection: the next append writes only this many bytes,
     /// then fails (see [`FileBackendV2::inject_torn_write`]).
     fail_next: Option<usize>,
+    /// Opened through [`OpenMode::ReadOnly`]: appends fail and sync is a
+    /// no-op, so the file is never written through this handle.
+    read_only: bool,
 }
 
 fn frame_bytes(kind: u8, payload: &[u8]) -> Vec<u8> {
@@ -1359,6 +1430,7 @@ impl FileBackendV2 {
             bytes_since_sync: 0,
             torn: false,
             fail_next: None,
+            read_only: false,
         })
     }
 
@@ -1370,11 +1442,35 @@ impl FileBackendV2 {
     /// and the file is truncated there
     /// ([`ArchiveStats::recovered_bytes`]).
     pub fn open(path: impl Into<PathBuf>) -> io::Result<FileBackendV2> {
+        Self::open_with(path, OpenMode::ReadWrite)
+    }
+
+    /// Opens an existing v2 archive without ever writing to it: a torn
+    /// or corrupt tail is clamped to the last intact record in memory
+    /// (still accounted in [`ArchiveStats::recovered_bytes`]) and the
+    /// file stays byte-identical. Appends fail. Safe to run against an
+    /// archive another process is actively writing.
+    pub fn open_read_only(path: impl Into<PathBuf>) -> io::Result<FileBackendV2> {
+        Self::open_with(path, OpenMode::ReadOnly)
+    }
+
+    /// Opens an existing v2 archive in the given [`OpenMode`], creating
+    /// it if absent (read-write mode only).
+    pub fn open_with(path: impl Into<PathBuf>, mode: OpenMode) -> io::Result<FileBackendV2> {
         let path = path.into();
         if !path.exists() {
+            if mode == OpenMode::ReadOnly {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("no archive at {}", path.display()),
+                ));
+            }
             return Self::create(path);
         }
-        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(mode == OpenMode::ReadWrite)
+            .open(&path)?;
         let file_len = file.seek(SeekFrom::End(0))?;
         file.seek(SeekFrom::Start(0))?;
         let mut reader = BufReader::new(&mut file);
@@ -1437,7 +1533,8 @@ impl FileBackendV2 {
         drop(reader);
 
         let recovered = file_len - pos;
-        if recovered > 0 {
+        let healed = recovered > 0 && mode == OpenMode::ReadWrite;
+        if healed {
             file.set_len(pos)?;
             file.sync_all()?;
         }
@@ -1446,7 +1543,7 @@ impl FileBackendV2 {
             records: (offsets.len() - 1) as u64,
             checkpoints: checkpoints.len() as u64,
             bytes: pos - HEADER_LEN,
-            fsyncs: u64::from(recovered > 0),
+            fsyncs: u64::from(healed),
             recovered_bytes: recovered,
             ..ArchiveStats::default()
         };
@@ -1465,6 +1562,7 @@ impl FileBackendV2 {
             bytes_since_sync: 0,
             torn: false,
             fail_next: None,
+            read_only: mode == OpenMode::ReadOnly,
         })
     }
 
@@ -1519,6 +1617,10 @@ impl ArchiveBackend for FileBackendV2 {
     }
 
     fn append(&mut self, rec: &LogRecord, _json: &str) -> io::Result<()> {
+        if self.read_only {
+            self.stats.write_errors += 1;
+            return Err(read_only_error());
+        }
         if let Err(e) = self.heal() {
             self.stats.write_errors += 1;
             return Err(e);
@@ -1648,6 +1750,11 @@ impl ArchiveBackend for FileBackendV2 {
     }
 
     fn sync(&mut self) -> io::Result<()> {
+        if self.read_only {
+            // Nothing this handle wrote can be pending; never touch the
+            // file.
+            return Ok(());
+        }
         if let Err(e) = self.heal() {
             self.stats.write_errors += 1;
             return Err(e);
@@ -2143,6 +2250,511 @@ impl ArchiveSpec {
             })
             .collect();
         dir.join(format!("{safe}.marc"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// ArchiveReader: concurrent read-only replay over a live v2 archive
+// ---------------------------------------------------------------------
+
+/// A read-only scanner over a v2 `.marc` that tolerates a concurrent
+/// writer.
+///
+/// On open (and on every [`ArchiveReader::refresh`]) it snapshots the
+/// *logical end*: the last intact frame at or before the file length
+/// observed at the start of the scan. Everything before that point is
+/// immutable — the format is append-only and every record payload
+/// embeds its sequence number, so a frame that validates at index `i`
+/// can only ever be record `i` — which makes replaying the snapshot
+/// prefix consistent even while the writer keeps appending past it. A
+/// torn tail (usually the writer's in-flight frame) simply ends the
+/// prefix; the next refresh picks the frame up once it completes. The
+/// file is never written, and no state is shared with the owning
+/// backend: the reader works entirely from the bytes on disk.
+///
+/// The scan also indexes `captured_at` per record (both record kinds
+/// embed it right after the sequence number, so no full decode is
+/// needed) and the checkpoint positions, which is what makes
+/// time-travel queries ([`ArchiveReader::state_at`]) O(records since
+/// checkpoint) instead of O(archive).
+#[derive(Debug)]
+pub struct ArchiveReader {
+    path: PathBuf,
+    epoch: u32,
+    dict: ArchiveDict,
+    /// Byte offset of each intact record frame, plus the logical end as
+    /// a final sentinel. Dictionary frames occupy the gaps.
+    offsets: Vec<u64>,
+    /// Record indices of Full records — the checkpoint index.
+    checkpoints: Vec<usize>,
+    /// `captured_at` of each record, in record order.
+    times: Vec<SimTime>,
+    /// Logical end: one past the last intact frame.
+    end: u64,
+}
+
+impl ArchiveReader {
+    /// Opens `path` read-only and scans the intact prefix. Fails on v1
+    /// archives (open those through [`FileBackend::open_read_only`];
+    /// only v2's embedded sequence numbers make concurrent reads safe
+    /// against frame splices).
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<ArchiveReader> {
+        let path = path.into();
+        let mut file = File::open(&path)?;
+        let (version, epoch) = read_header(&mut file)?;
+        if version != FORMAT_VERSION_V2 {
+            return Err(if version == FORMAT_VERSION {
+                bad_data(
+                    "archive is MANTRARC v1; concurrent reads need v2 \
+                     (open it through FileBackend::open_read_only instead)"
+                        .into(),
+                )
+            } else {
+                unsupported_version(version)
+            });
+        }
+        let mut rd = ArchiveReader {
+            path,
+            epoch,
+            dict: ArchiveDict::with_epoch(epoch),
+            offsets: vec![HEADER_LEN],
+            checkpoints: Vec::new(),
+            times: Vec::new(),
+            end: HEADER_LEN,
+        };
+        rd.refresh()?;
+        Ok(rd)
+    }
+
+    /// Re-snapshots the logical end, scanning only the bytes appended
+    /// since the last refresh. Returns how many new records became
+    /// visible. If the archive was rewritten underneath (the interner
+    /// epoch changed, or the file shrank — compaction does both), the
+    /// reader starts over from the header.
+    pub fn refresh(&mut self) -> io::Result<usize> {
+        let mut file = File::open(&self.path)?;
+        let file_len = file.seek(SeekFrom::End(0))?;
+        file.seek(SeekFrom::Start(0))?;
+        let (version, epoch) = read_header(&mut file)?;
+        if version != FORMAT_VERSION_V2 {
+            return Err(unsupported_version(version));
+        }
+        if epoch != self.epoch || file_len < self.end {
+            self.epoch = epoch;
+            self.dict = ArchiveDict::with_epoch(epoch);
+            self.offsets = vec![HEADER_LEN];
+            self.checkpoints.clear();
+            self.times.clear();
+            self.end = HEADER_LEN;
+        }
+        let before = self.len();
+        let mut pos = self.end;
+        file.seek(SeekFrom::Start(pos))?;
+        let mut reader = BufReader::new(file);
+        let mut payload = Vec::new();
+        loop {
+            let mut frame = [0u8; FRAME_LEN as usize];
+            if reader.read_exact(&mut frame).is_err() {
+                break; // truncated frame header: end of snapshot
+            }
+            let kind = frame[0];
+            let len = u64::from(u32::from_le_bytes([frame[1], frame[2], frame[3], frame[4]]));
+            let crc = u32::from_le_bytes([frame[5], frame[6], frame[7], frame[8]]);
+            if kind > KIND_DICT || pos + FRAME_LEN + len > file_len {
+                break; // unknown kind, or frame past the length snapshot
+            }
+            payload.clear();
+            payload.resize(len as usize, 0);
+            if reader.read_exact(&mut payload).is_err() || crc32_v2(kind, &payload) != crc {
+                break; // torn or corrupt payload (often a write in flight)
+            }
+            if kind == KIND_DICT {
+                if self.dict.apply_segment(&payload).is_err() {
+                    break; // stale epoch / out-of-order segment
+                }
+                pos += FRAME_LEN + len;
+                self.end = pos;
+                continue;
+            }
+            // Both record kinds lead with `seq, captured_at` varints:
+            // validate the sequence number and index the timestamp
+            // without decoding the body.
+            let mut c = Cur::new(&payload);
+            let expect = (self.offsets.len() - 1) as u64;
+            match c.uv() {
+                Ok(seq) if seq == expect => {}
+                _ => break, // spliced/duplicated frame
+            }
+            let at = match c.uv() {
+                Ok(secs) => SimTime(secs),
+                Err(_) => break,
+            };
+            if kind == KIND_FULL {
+                self.checkpoints.push(self.offsets.len() - 1);
+            }
+            self.times.push(at);
+            pos += FRAME_LEN + len;
+            self.offsets.push(pos);
+            self.end = pos;
+        }
+        Ok(self.len() - before)
+    }
+
+    /// The archive's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The archive's interner epoch (changes when the file is rewritten
+    /// by compaction — cache keys include it for exactly that reason).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Records in the current snapshot prefix.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the snapshot prefix holds no records yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `captured_at` of every record in the snapshot, in record order.
+    pub fn times(&self) -> &[SimTime] {
+        &self.times
+    }
+
+    /// Record indices of the Full (checkpoint) records.
+    pub fn checkpoints(&self) -> &[usize] {
+        &self.checkpoints
+    }
+
+    /// How many leading records were captured at or before `at`.
+    /// Capture times are non-decreasing in record order, so this is the
+    /// prefix length a time-travel query replays.
+    pub fn records_at_or_before(&self, at: SimTime) -> usize {
+        self.times.partition_point(|t| *t <= at)
+    }
+
+    /// Streams decoded records `start..start + limit` from the
+    /// snapshot. Dictionary frames are skipped — the reader's dictionary
+    /// already contains every entry in the prefix, and within an epoch
+    /// the dictionary is append-only, so decoding an early record
+    /// against the full dictionary resolves identically.
+    fn records_range(&self, start: usize, limit: usize) -> ReaderRecords<'_> {
+        let start = start.min(self.len());
+        let limit = limit.min(self.len() - start);
+        let pos = self.offsets[start];
+        let reader = File::open(&self.path).and_then(|mut f| {
+            f.seek(SeekFrom::Start(pos))?;
+            Ok(BufReader::new(f))
+        });
+        ReaderRecords {
+            rd: self,
+            reader: reader.ok(),
+            next: start as u64,
+            remaining: limit,
+            pos,
+        }
+    }
+
+    /// Replays the first `count` records into full table snapshots —
+    /// `count` capped to the snapshot prefix. The daemon's time-travel
+    /// endpoint replays `records_at_or_before(at)` records.
+    pub fn replay_prefix(&self, count: usize) -> ReaderReplay<'_> {
+        ReaderReplay {
+            records: self.records_range(0, count),
+            store: TableStore::default(),
+            tail: None,
+            done: false,
+        }
+    }
+
+    /// Replays every record in the snapshot prefix.
+    pub fn replay(&self) -> ReaderReplay<'_> {
+        self.replay_prefix(self.len())
+    }
+
+    /// The deterministic [`replay_summary_line`] for the first `count`
+    /// records — the unit daemon `/replay` responses are built from,
+    /// byte-identical to `mantra archive replay` over the same prefix.
+    pub fn summary_lines(&self, count: usize) -> io::Result<Vec<String>> {
+        let mut lines = Vec::new();
+        for (i, t) in self.replay_prefix(count).enumerate() {
+            lines.push(replay_summary_line(i, &t?));
+        }
+        Ok(lines)
+    }
+
+    /// The table state as of `at`: the last snapshot captured at or
+    /// before it, or `None` if the archive starts later. Replay starts
+    /// at the last checkpoint not after `at` (the checkpoint index),
+    /// not at the beginning.
+    pub fn state_at(&self, at: SimTime) -> io::Result<Option<Tables>> {
+        let count = self.records_at_or_before(at);
+        if count == 0 {
+            return Ok(None);
+        }
+        let start = self
+            .checkpoints
+            .iter()
+            .rev()
+            .find(|&&c| c < count)
+            .copied()
+            .unwrap_or(0);
+        let mut store = TableStore::default();
+        let mut tail: Option<SnapshotParts> = None;
+        for rec in self.records_range(start, count - start) {
+            match rec? {
+                LogRecord::Full(p) => tail = Some(p),
+                LogRecord::Delta(d) => match tail.as_ref() {
+                    Some(base) => tail = Some(apply_with(&mut store, base, &d)),
+                    None => {
+                        return Err(bad_data(
+                            "replay starts with a delta record (no checkpoint before it)".into(),
+                        ))
+                    }
+                },
+            }
+        }
+        Ok(tail.map(|p| p.rebuild()))
+    }
+}
+
+/// Streams decoded records from an [`ArchiveReader`]'s snapshot prefix.
+struct ReaderRecords<'a> {
+    rd: &'a ArchiveReader,
+    reader: Option<BufReader<File>>,
+    next: u64,
+    remaining: usize,
+    pos: u64,
+}
+
+impl ReaderRecords<'_> {
+    fn read_one(&mut self) -> io::Result<LogRecord> {
+        let reader = self.reader.as_mut().expect("checked by next()");
+        loop {
+            let mut frame = [0u8; FRAME_LEN as usize];
+            reader.read_exact(&mut frame)?;
+            let kind = frame[0];
+            let len = u64::from(u32::from_le_bytes([frame[1], frame[2], frame[3], frame[4]]));
+            let crc = u32::from_le_bytes([frame[5], frame[6], frame[7], frame[8]]);
+            if kind > KIND_DICT {
+                return Err(bad_data(format!("unknown record kind {kind}")));
+            }
+            if self.pos + FRAME_LEN + len > self.rd.end {
+                return Err(bad_data(
+                    "record frame runs past the snapshot's logical end \
+                     (file changed under the reader; refresh and retry)"
+                        .into(),
+                ));
+            }
+            let mut payload = vec![0u8; len as usize];
+            reader.read_exact(&mut payload)?;
+            if crc32_v2(kind, &payload) != crc {
+                return Err(bad_data("record payload fails its CRC".into()));
+            }
+            self.pos += FRAME_LEN + len;
+            if kind == KIND_DICT {
+                // Already folded into `rd.dict` during the scan.
+                continue;
+            }
+            let rec = decode_record_v2(kind, &payload, &self.rd.dict, self.next)?;
+            self.next += 1;
+            return Ok(rec);
+        }
+    }
+}
+
+impl Iterator for ReaderRecords<'_> {
+    type Item = io::Result<LogRecord>;
+
+    fn next(&mut self) -> Option<io::Result<LogRecord>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        if self.reader.is_none() {
+            self.remaining = 0;
+            return Some(Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "archive file disappeared under the reader",
+            )));
+        }
+        self.remaining -= 1;
+        match self.read_one() {
+            Ok(rec) => Some(Ok(rec)),
+            Err(e) => {
+                self.reader = None; // fuse on error
+                self.remaining = 0;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Replays an [`ArchiveReader`] record stream into full table
+/// snapshots, one per record (the reader-side analogue of
+/// [`crate::logger::ReplayIter`]).
+pub struct ReaderReplay<'a> {
+    records: ReaderRecords<'a>,
+    store: TableStore,
+    tail: Option<SnapshotParts>,
+    done: bool,
+}
+
+impl Iterator for ReaderReplay<'_> {
+    type Item = io::Result<Tables>;
+
+    fn next(&mut self) -> Option<io::Result<Tables>> {
+        if self.done {
+            return None;
+        }
+        let rec = match self.records.next()? {
+            Ok(rec) => rec,
+            Err(e) => {
+                self.done = true;
+                return Some(Err(e));
+            }
+        };
+        match rec {
+            LogRecord::Full(p) => self.tail = Some(p),
+            LogRecord::Delta(d) => match self.tail.as_ref() {
+                Some(base) => self.tail = Some(apply_with(&mut self.store, base, &d)),
+                None => {
+                    self.done = true;
+                    return Some(Err(bad_data("archive starts with a delta record".into())));
+                }
+            },
+        }
+        Some(Ok(self.tail.as_ref().expect("just set").rebuild()))
+    }
+}
+
+// ---------------------------------------------------------------------
+// QueryCache: LRU over replay query results
+// ---------------------------------------------------------------------
+
+/// Key identifying one cached replay result: the archive path, the
+/// interner epoch it was read under, and the replayed record range.
+///
+/// The key carries invalidation with it: a seq advance (new records)
+/// changes the range a fresh query computes, and compaction changes the
+/// epoch — either way the stale entry stops being addressed and ages
+/// out of the LRU.
+pub type QueryKey = (PathBuf, u32, (usize, usize));
+
+/// Hit/miss/eviction accounting for a [`QueryCache`], surfaced through
+/// `mantra health` and the HTML report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that had to replay the archive.
+    pub misses: u64,
+    /// Entries displaced by the capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Folds another cache's counters into this one (fleet aggregation).
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.entries += other.entries;
+    }
+}
+
+/// A small LRU over replay query results, shared between the daemon's
+/// HTTP workers. Entries are `Arc`ed so a hit is a clone, not a copy of
+/// the replayed lines.
+#[derive(Debug, Default)]
+pub struct QueryCache {
+    inner: Mutex<CacheInner>,
+}
+
+#[derive(Debug)]
+struct CacheInner {
+    /// Most-recently-used last; linear scans are fine at this capacity.
+    entries: VecDeque<(QueryKey, Arc<Vec<String>>)>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl Default for CacheInner {
+    fn default() -> Self {
+        CacheInner {
+            entries: VecDeque::new(),
+            capacity: QueryCache::DEFAULT_CAPACITY,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+}
+
+impl QueryCache {
+    /// Default entry bound — replay results are a few KB each, so this
+    /// keeps the cache well under a MB while covering a dashboard's
+    /// worth of distinct queries.
+    pub const DEFAULT_CAPACITY: usize = 64;
+
+    /// A cache bounded to `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> QueryCache {
+        QueryCache {
+            inner: Mutex::new(CacheInner {
+                capacity: capacity.max(1),
+                ..CacheInner::default()
+            }),
+        }
+    }
+
+    /// Looks up `key`, or computes, caches and returns the result.
+    pub fn get_or_try_insert(
+        &self,
+        key: QueryKey,
+        compute: impl FnOnce() -> io::Result<Vec<String>>,
+    ) -> io::Result<Arc<Vec<String>>> {
+        {
+            let mut inner = lock_clean(&self.inner);
+            if let Some(i) = inner.entries.iter().position(|(k, _)| *k == key) {
+                let hit = inner.entries.remove(i).expect("position just found");
+                let val = hit.1.clone();
+                inner.entries.push_back(hit);
+                inner.hits += 1;
+                return Ok(val);
+            }
+            inner.misses += 1;
+        }
+        // Replay outside the lock: a slow archive scan must not block
+        // other workers' cache hits.
+        let val = Arc::new(compute()?);
+        let mut inner = lock_clean(&self.inner);
+        if !inner.entries.iter().any(|(k, _)| *k == key) {
+            if inner.entries.len() >= inner.capacity {
+                inner.entries.pop_front();
+                inner.evictions += 1;
+            }
+            inner.entries.push_back((key, val.clone()));
+        }
+        Ok(val)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = lock_clean(&self.inner);
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.entries.len() as u64,
+        }
     }
 }
 

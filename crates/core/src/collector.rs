@@ -21,8 +21,12 @@ pub enum CaptureError {
     LoginFailed(String),
     /// The session died mid-dump; a partial capture may still be usable.
     Truncated {
-        /// What was captured before the cut.
-        partial: String,
+        /// What was captured before the cut — raw bytes, because a
+        /// truncation can land mid-way through a multi-byte sequence
+        /// (or mid-escape in line noise) and the zero-copy parser
+        /// handles such captures byte-exactly; re-encoding through
+        /// `String` would lossily rewrite what the wire delivered.
+        partial: Vec<u8>,
     },
     /// The router does not expose this table.
     Unsupported,
@@ -398,16 +402,16 @@ impl<A> FlakyAccess<A> {
         let r = self.hash01(router, table, now, 2);
         if r < self.truncation_prob {
             let keep = (full.len() as f64 * (0.1 + 0.8 * r / self.truncation_prob)) as usize;
-            let keep = keep.min(full.len().saturating_sub(1));
-            let cut = full
-                .char_indices()
-                .map(|(i, _)| i)
-                .take_while(|i| *i <= keep)
-                .last()
-                .unwrap_or(0);
-            return Err(CaptureError::Truncated {
-                partial: full[..cut].to_string(),
-            });
+            // A session dying mid-transfer cuts at an arbitrary *byte* —
+            // it has no idea where UTF-8 sequences end. The partial is
+            // carried as bytes, so no boundary adjustment is needed (or
+            // wanted: snapping to a char boundary would misrepresent
+            // what the wire delivered). ASCII dumps cut identically to
+            // the old char-boundary logic.
+            let cut = keep.min(full.len().saturating_sub(1));
+            let mut partial = full.into_bytes();
+            partial.truncate(cut);
+            return Err(CaptureError::Truncated { partial });
         }
         Ok(full)
     }
@@ -603,7 +607,7 @@ impl Collector {
         let max_attempts = self.retry.max_attempts.max(1);
         for kind in &self.tables {
             let kind = *kind;
-            let mut best_partial: Option<String> = None;
+            let mut best_partial: Option<Vec<u8>> = None;
             let mut full: Option<String> = None;
             let mut waited = SimDuration::ZERO;
             for attempt in 1..=max_attempts {
@@ -644,16 +648,22 @@ impl Collector {
                 }
                 (None, Some(partial)) => {
                     stats.failures += 1;
-                    let mut cap = preprocess(router, kind, &partial, now);
+                    let torn_tail = partial.last() != Some(&b'\n');
+                    let plen = partial.len() as u64;
+                    // Straight into the byte pre-processor: the partial
+                    // never detours through `String`, so a cut that lands
+                    // mid-way through a multi-byte sequence reaches the
+                    // parser byte-exact.
+                    let mut cap = preprocess_bytes(router, kind, partial, now);
                     // The tail line is half-transferred only when the cut
                     // fell mid-line; a partial ending in a newline lost
                     // whole lines, not half of one.
-                    if !partial.ends_with('\n') {
+                    if torn_tail {
                         cap.pop_line();
                     }
                     if !cap.is_empty() {
                         stats.salvaged += 1;
-                        stats.raw_bytes += partial.len() as u64;
+                        stats.raw_bytes += plen;
                         out.push(cap);
                     }
                 }
@@ -844,7 +854,7 @@ mod tests {
     }
 
     /// Always returns the same truncated partial.
-    struct AlwaysTruncated(String);
+    struct AlwaysTruncated(Vec<u8>);
 
     impl RouterAccess for AlwaysTruncated {
         fn capture(
@@ -864,7 +874,7 @@ mod tests {
         let collector = Collector::with_retry(RetryPolicy::none());
 
         // Cut mid-line: the torn tail line goes.
-        let mut access = AlwaysTruncated("alpha one\nbeta tw".into());
+        let mut access = AlwaysTruncated(b"alpha one\nbeta tw".to_vec());
         let (caps, stats) = collector.collect_with(&mut access, "fixw", t0());
         assert_eq!(stats.salvaged, TableKind::ALL.len() as u64);
         for cap in &caps {
@@ -872,11 +882,39 @@ mod tests {
         }
 
         // Cut on a line boundary: every captured line is whole and kept.
-        let mut access = AlwaysTruncated("alpha one\nbeta two\n".into());
+        let mut access = AlwaysTruncated(b"alpha one\nbeta two\n".to_vec());
         let (caps, _) = collector.collect_with(&mut access, "fixw", t0());
         for cap in &caps {
             assert_eq!(cap.text_lines(), vec!["alpha one", "beta two"]);
         }
+    }
+
+    #[test]
+    fn salvage_preserves_non_utf8_partials_byte_exactly() {
+        // A truncation that lands mid-way through a multi-byte UTF-8
+        // sequence (here: a Latin-1 0xA0 splice followed by a cut
+        // 2-byte sequence) must reach the parser byte-exact. The old
+        // String-carrying path lossily re-encoded these bytes as
+        // U+FFFD, so the salvaged line bytes differed from what the
+        // wire delivered.
+        let collector = Collector::with_retry(RetryPolicy::none());
+        let raw: Vec<u8> = b"alpha\xA0one\nbeta two\ngamma \xC3".to_vec();
+        let mut access = AlwaysTruncated(raw.clone());
+        let (caps, stats) = collector.collect_with(&mut access, "fixw", t0());
+        assert_eq!(stats.salvaged, TableKind::ALL.len() as u64);
+        for cap in &caps {
+            // The torn tail line ("gamma \xC3") drops; the kept lines
+            // carry the raw bytes, 0xA0 splice included.
+            assert_eq!(cap.line_count(), 2);
+            assert_eq!(cap.line(0), b"alpha\xA0one".as_slice());
+            assert_eq!(cap.line(1), b"beta two".as_slice());
+        }
+        // And the accounting charges the bytes actually captured.
+        let (_, stats2) = collector.collect_with(&mut AlwaysTruncated(raw.clone()), "fixw", t0());
+        assert_eq!(
+            stats2.raw_bytes,
+            raw.len() as u64 * TableKind::ALL.len() as u64
+        );
     }
 
     #[test]

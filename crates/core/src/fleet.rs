@@ -345,6 +345,15 @@ impl FleetMonitor {
         self.stitch("Fleet archives", Monitor::archive_table, "errors")
     }
 
+    /// Archive query-cache counters summed across the shards' caches.
+    pub fn query_cache_stats(&self) -> crate::archive::CacheStats {
+        let mut total = crate::archive::CacheStats::default();
+        for m in &self.shards {
+            total.absorb(&m.query_cache().stats());
+        }
+        total
+    }
+
     /// Merges per-shard tables into one global table with a `shard`
     /// column after the router column, re-ordered to configuration
     /// order, then condensed by the global detail limit with a summed

@@ -58,8 +58,9 @@ pub mod tables;
 pub mod web;
 
 pub use archive::{
-    ArchiveBackend, ArchiveDict, ArchiveInfo, ArchiveSpec, ArchiveStats, BackpressureMode,
-    FileBackend, FileBackendV2, MemoryBackend, SyncPolicy, ThreadedBackend, WriterConfig,
+    ArchiveBackend, ArchiveDict, ArchiveInfo, ArchiveReader, ArchiveSpec, ArchiveStats,
+    BackpressureMode, CacheStats, FileBackend, FileBackendV2, MemoryBackend, OpenMode, QueryCache,
+    SyncPolicy, ThreadedBackend, WriterConfig,
 };
 pub use collector::{CaptureError, CollectStats, Collector, RetryPolicy, RouterAccess};
 pub use fleet::FleetMonitor;

@@ -662,6 +662,23 @@ impl TableLog {
         Self::resume(backend, full_every)
     }
 
+    /// Opens an existing on-disk archive for reading only, dispatching
+    /// on the format version like [`TableLog::open_file`]. The file is
+    /// never written: a torn or corrupt tail is clamped to the last
+    /// intact record in memory instead of being truncated away, so this
+    /// is safe against an archive another process is actively appending
+    /// to. Appends through the returned log fail (and are counted in
+    /// [`TableLog::write_errors`]).
+    pub fn open_file_read_only(path: &Path, full_every: usize) -> io::Result<TableLog> {
+        let (version, _) = read_header(&mut std::fs::File::open(path)?)?;
+        let backend: Box<dyn ArchiveBackend> = match version {
+            FORMAT_VERSION => Box::new(FileBackend::open_read_only(path)?),
+            FORMAT_VERSION_V2 => Box::new(FileBackendV2::open_read_only(path)?),
+            v => return Err(unsupported_version(v)),
+        };
+        Self::resume(backend, full_every)
+    }
+
     /// Rebuilds the in-memory tail state (last snapshot, delta cadence)
     /// from an already-opened backend by replaying from its last
     /// checkpoint.
@@ -705,12 +722,16 @@ impl TableLog {
         })
     }
 
-    /// The backend's archive accounting.
+    /// The backend's archive accounting. Non-draining on every backend:
+    /// on [`ThreadedBackend`](crate::archive::ThreadedBackend) this reads
+    /// the writer's mirror plus a live queue overlay, so health tables
+    /// and daemon endpoints never stall behind a slow disk.
     pub fn archive_stats(&self) -> ArchiveStats {
         self.backend.stats()
     }
 
     /// The backend's format identity (version/epoch/dictionary size).
+    /// Non-draining, like [`TableLog::archive_stats`].
     pub fn describe(&self) -> ArchiveInfo {
         self.backend.describe()
     }
@@ -786,11 +807,19 @@ impl TableLog {
     }
 
     /// Number of stored records.
+    ///
+    /// **Drain barrier** on threaded backends: the count is only exact
+    /// once queued appends have landed, so this blocks until the writer
+    /// queue is empty. Concurrent observers (the daemon) must use
+    /// [`TableLog::archive_stats`] (non-draining, includes queued
+    /// records) or a read-only
+    /// [`ArchiveReader`](crate::archive::ArchiveReader) instead.
     pub fn len(&self) -> usize {
         self.backend.len()
     }
 
-    /// True when nothing has been appended.
+    /// True when nothing has been appended. A drain barrier on threaded
+    /// backends, like [`TableLog::len`].
     pub fn is_empty(&self) -> bool {
         self.backend.is_empty()
     }
@@ -918,6 +947,24 @@ impl TableLog {
                 ),
             )),
         }
+    }
+
+    /// [`TableLog::load`] for read paths: MANTRARC archives open through
+    /// [`TableLog::open_file_read_only`] (the file is never written),
+    /// JSON-lines archives load into memory exactly as before (that
+    /// path never mutated the file). `mantra archive info|replay` and
+    /// every daemon read goes through here, so inspecting an archive
+    /// can never truncate a live writer's in-flight frame.
+    pub fn load_read_only(path: &Path, full_every: usize) -> io::Result<TableLog> {
+        use std::io::Read as _;
+        let mut head = Vec::new();
+        std::fs::File::open(path)?
+            .take(MAGIC.len() as u64)
+            .read_to_end(&mut head)?;
+        if head == MAGIC {
+            return TableLog::open_file_read_only(path, full_every);
+        }
+        TableLog::load(path, full_every)
     }
 
     /// Loads a legacy JSON-lines archive written by [`TableLog::save`].

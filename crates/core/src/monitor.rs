@@ -8,12 +8,15 @@
 //! capture → parse → enrich → log → analyse.
 
 use std::collections::BTreeMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
 
 use mantra_net::{BitRate, GroupAddr, SimDuration, SimTime};
 
 use crate::aggregate::ParallelAccess;
 use crate::anomaly::{Anomaly, InconsistencyMonitor};
-use crate::archive::ArchiveSpec;
+use crate::archive::{ArchiveReader, ArchiveSpec, QueryCache};
 use crate::collector::{CollectStats, Collector, RetryPolicy, RouterAccess};
 use crate::logger::TableLog;
 use crate::longterm::LongTermTracker;
@@ -176,6 +179,10 @@ pub struct Monitor {
     /// Parse accounting of the latest cycle only, for degradation checks.
     pub parse_last: ParseStats,
     metrics: PipelineMetrics,
+    /// LRU over archive replay query results, shared with any concurrent
+    /// readers (the daemon serves `/replay` through this same cache so
+    /// its hit/miss counters land in [`Monitor::health`]).
+    query_cache: Arc<QueryCache>,
     cycles: u64,
 }
 
@@ -199,6 +206,7 @@ impl Monitor {
             parse_totals: ParseStats::default(),
             parse_last: ParseStats::default(),
             metrics: PipelineMetrics::default(),
+            query_cache: Arc::new(QueryCache::default()),
             cycles: 0,
         }
     }
@@ -293,6 +301,7 @@ impl Monitor {
             };
             let logged = self.metrics.run(&mut stage, enriched);
             self.metrics.record_archives(&self.state);
+            self.metrics.record_cache(self.query_cache.stats());
             logged
         };
         let report = {
@@ -313,6 +322,51 @@ impl Monitor {
     // ------------------------------------------------------------------
     // Result access
     // ------------------------------------------------------------------
+
+    /// The archive replay query cache. Concurrent readers (the daemon)
+    /// share this handle so their hits and misses show up in
+    /// [`Monitor::health`] and the HTML report.
+    pub fn query_cache(&self) -> Arc<QueryCache> {
+        Arc::clone(&self.query_cache)
+    }
+
+    /// Where `router`'s on-disk archive lives, if the configured
+    /// [`ArchiveSpec`] writes to disk at all.
+    pub fn archive_path(&self, router: &str) -> Option<PathBuf> {
+        match &self.cfg.archive {
+            ArchiveSpec::Memory => None,
+            ArchiveSpec::File { dir, .. } | ArchiveSpec::Threaded { dir, .. } => {
+                Some(ArchiveSpec::path_for(dir, router))
+            }
+        }
+    }
+
+    /// Replay summary lines for `router`'s archive up to `at` (all of it
+    /// when `at` is `None`), through the shared query cache. Opens the
+    /// archive read-only via [`ArchiveReader`], so a live writer is never
+    /// disturbed; repeated identical queries are served from the cache
+    /// (the key embeds the record count, so a fresh append changes the
+    /// key and naturally invalidates stale entries).
+    pub fn replay_lines_at(
+        &self,
+        router: &str,
+        at: Option<SimTime>,
+    ) -> io::Result<Arc<Vec<String>>> {
+        let path = self.archive_path(router).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::Unsupported,
+                "archives are in-memory (ArchiveSpec::Memory): nothing on disk to replay",
+            )
+        })?;
+        let reader = ArchiveReader::open(&path)?;
+        let count = match at {
+            Some(t) => reader.records_at_or_before(t),
+            None => reader.len(),
+        };
+        let key = (path, reader.epoch(), (0, count));
+        self.query_cache
+            .get_or_try_insert(key, || reader.summary_lines(count))
+    }
 
     /// Collection health of one router.
     pub fn router_health(&self, router: &str) -> Option<&RouterHealth> {

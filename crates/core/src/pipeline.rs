@@ -22,7 +22,7 @@ use mantra_net::{BitRate, GroupAddr, Ip, SimDuration, SimTime};
 
 use crate::aggregate::ParallelAccess;
 use crate::anomaly::{detect_injection, Anomaly, InconsistencyMonitor, SpikeDetector};
-use crate::archive::ArchiveSpec;
+use crate::archive::{ArchiveSpec, CacheStats};
 use crate::collector::{Capture, CollectStats, Collector, RouterAccess};
 use crate::logger::{TableDelta, TableLog};
 use crate::longterm::LongTermTracker;
@@ -265,6 +265,7 @@ pub struct ArchiveMetrics {
 pub struct PipelineMetrics {
     stages: [StageMetrics; 5],
     archives: Vec<ArchiveMetrics>,
+    query_cache: CacheStats,
 }
 
 impl PipelineMetrics {
@@ -333,6 +334,19 @@ impl PipelineMetrics {
     /// The per-backend archive totals, in first-seen backend order.
     pub fn archives(&self) -> &[ArchiveMetrics] {
         &self.archives
+    }
+
+    /// Refreshes the archive query-cache counters (absolute totals from
+    /// the monitor's [`QueryCache`](crate::archive::QueryCache), so
+    /// repeated refreshes never double-count).
+    pub fn record_cache(&mut self, stats: CacheStats) {
+        self.query_cache = stats;
+    }
+
+    /// Counters for the archive replay query cache serving concurrent
+    /// readers (the daemon's `/replay` endpoint and friends).
+    pub fn query_cache(&self) -> CacheStats {
+        self.query_cache
     }
 
     /// The per-stage summary table.

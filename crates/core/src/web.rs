@@ -242,6 +242,16 @@ pub fn report_html(monitor: &Monitor, router: &str) -> String {
          last fsync (lost on power failure), {queued} of them still queued for writer \
          threads; collection spent {blocked_ms:.1} ms blocked on full writer queues.</p>"
     );
+    let cache = monitor.pipeline().query_cache();
+    let _ = writeln!(
+        out,
+        "<p>Query cache: {} hit(s), {} miss(es), {} eviction(s); {} entr{} resident.</p>",
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        cache.entries,
+        if cache.entries == 1 { "y" } else { "ies" }
+    );
     let _ = writeln!(out, "{}", graph_svg(&monitor.usage_graph(router), 860, 300));
     let mut routes = Graph::new(format!("DVMRP routes at {router}"));
     routes.overlay(monitor.route_series(router, "dvmrp-routes", |r| r.dvmrp_reachable as f64));
@@ -315,6 +325,16 @@ pub fn fleet_report_html(fleet: &crate::fleet::FleetMonitor, now: SimTime) -> St
             crate::monitor::DEGRADED_PARSE_PCT
         );
     }
+    let cache = fleet.query_cache_stats();
+    let _ = writeln!(
+        out,
+        "<p>Query cache: {} hit(s), {} miss(es), {} eviction(s); {} entr{} resident.</p>",
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        cache.entries,
+        if cache.entries == 1 { "y" } else { "ies" }
+    );
     let _ = writeln!(out, "{}", table_html(&fleet.health(now)));
     let _ = writeln!(out, "{}", table_html(&fleet.parse_table()));
     let _ = writeln!(out, "{}", table_html(&fleet.archive_table()));
@@ -343,6 +363,51 @@ pub fn fleet_report_html(fleet: &crate::fleet::FleetMonitor, now: SimTime) -> St
     }
     let _ = writeln!(out, "</body></html>");
     out
+}
+
+/// Wraps [`report_html`] in an auto-refreshing live shell for the daemon:
+/// a status strip at the top is repopulated every `refresh_secs` seconds
+/// from the daemon's JSON endpoints (`/health`, `/parse`, `/anomalies`)
+/// without reloading the page, and a meta-refresh fallback reloads the
+/// whole report for clients with scripting disabled.
+pub fn live_report_html(monitor: &Monitor, router: &str, refresh_secs: u64) -> String {
+    live_wrap(&report_html(monitor, router), refresh_secs)
+}
+
+/// Injects the auto-refresh shell into any rendered report page: a status
+/// strip fed by the daemon's JSON endpoints plus a whole-page meta-refresh
+/// fallback. [`live_report_html`] is this over [`report_html`]; the daemon
+/// applies it to [`fleet_report_html`] too.
+pub fn live_wrap(body: &str, refresh_secs: u64) -> String {
+    let secs = refresh_secs.max(1);
+    let meta = format!(
+        "<meta http-equiv=\"refresh\" content=\"{}\">",
+        secs.saturating_mul(10)
+    );
+    let strip = format!(
+        "<p id=\"live\">live: waiting for first poll (every {secs}s)\u{2026}</p>\
+         <script>\n\
+         async function mantraPoll() {{\n\
+           try {{\n\
+             const [h, p, a] = await Promise.all([\n\
+               fetch('/health').then(r => r.json()),\n\
+               fetch('/parse').then(r => r.json()),\n\
+               fetch('/anomalies').then(r => r.json()),\n\
+             ]);\n\
+             document.getElementById('live').textContent =\n\
+               'live: cycle ' + h.cycles + ', ' + h.routers.length + ' routers, ' +\n\
+               p.totals.parsed + ' rows parsed, ' + a.anomalies.length + ' anomalies, ' +\n\
+               'cache ' + h.query_cache.hits + ' hit(s)/' + h.query_cache.misses + ' miss(es)';\n\
+           }} catch (e) {{\n\
+             document.getElementById('live').textContent = 'live: poll failed (' + e + ')';\n\
+           }}\n\
+         }}\n\
+         mantraPoll();\n\
+         setInterval(mantraPoll, {secs} * 1000);\n\
+         </script>"
+    );
+    body.replacen("</head>", &format!("{meta}</head>"), 1)
+        .replacen("<body>", &format!("<body>{strip}"), 1)
 }
 
 #[cfg(test)]

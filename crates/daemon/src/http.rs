@@ -1,0 +1,199 @@
+//! A deliberately small HTTP/1.1 server layer: parse one `GET` request
+//! from a stream, percent-decode its query string, write one response,
+//! close. No keep-alive, no chunking, no dependencies — the daemon's
+//! query surface is a handful of JSON endpoints polled by scripts and
+//! the live report page, not a general web server.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Request lines past this size are rejected outright (the daemon's
+/// longest legitimate URL is well under 1 KiB).
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// One parsed request: the decoded path and its query parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    pub path: String,
+    pub query: Vec<(String, String)>,
+}
+
+impl Request {
+    /// The last occurrence of a query parameter, percent-decoded.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads and parses one request head from `stream`. Errors double as the
+/// response status: `InvalidData` maps to 400, `Unsupported` to 405.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request head too large",
+            ));
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-request",
+            ));
+        }
+        head.extend_from_slice(&buf[..n]);
+    }
+    let head = String::from_utf8_lossy(&head);
+    let line = head.lines().next().unwrap_or("");
+    let mut parts = line.split_ascii_whitespace();
+    let (method, target) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/1.") => (m, t),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed request line {line:?}"),
+            ))
+        }
+    };
+    if method != "GET" {
+        return Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            format!("method {method} not allowed (GET only)"),
+        ));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect();
+    Ok(Request {
+        path: percent_decode(path),
+        query,
+    })
+}
+
+/// Percent-decodes one URL component; `+` reads as a space (form style),
+/// malformed escapes pass through literally.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() + 1 => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    std::str::from_utf8(h)
+                        .ok()
+                        .and_then(|h| u8::from_str_radix(h, 16).ok())
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// One response, written whole with `Connection: close`.
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: String,
+}
+
+impl Response {
+    pub fn json(body: String) -> Self {
+        Response {
+            status: 200,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    pub fn html(body: String) -> Self {
+        Response {
+            status: 200,
+            content_type: "text/html; charset=utf-8",
+            body,
+        }
+    }
+
+    /// An error response; the body is a JSON object carrying the message.
+    pub fn error(status: u16, message: &str) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: format!("{{\"error\":{}}}", crate::json::jstr(message)),
+        }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes `resp` to `stream` and flushes; the caller closes the stream.
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(resp.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%20b+c"), "a b c");
+        assert_eq!(percent_decode("ucsb-gw"), "ucsb-gw");
+        assert_eq!(percent_decode("bad%zz"), "bad%zz");
+        assert_eq!(percent_decode("%41%6c"), "Al");
+    }
+}

@@ -1,0 +1,106 @@
+//! Tiny JSON composition helpers.
+//!
+//! The vendored `serde_json` renders any `Serialize` type, but the daemon's
+//! endpoint envelopes mix derived payloads (usage histories, anomalies)
+//! with hand-assembled fields (cache counters, router health rows). These
+//! helpers build the envelopes without an intermediate value tree: every
+//! derived payload is rendered by `serde_json` and spliced in as a raw
+//! fragment.
+
+use std::fmt::Write;
+
+/// Renders a JSON string literal, escaping per RFC 8259.
+pub fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Builds one JSON object field-by-field; values arrive pre-rendered.
+#[derive(Default)]
+pub struct Obj {
+    parts: Vec<String>,
+}
+
+impl Obj {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A field whose value is already valid JSON (a number rendered with
+    /// `{}`, a `serde_json::to_string` payload, a nested [`Obj`]).
+    pub fn raw(mut self, key: &str, value: impl Into<String>) -> Self {
+        self.parts.push(format!("{}:{}", jstr(key), value.into()));
+        self
+    }
+
+    /// A string field, escaped here.
+    pub fn str(self, key: &str, value: &str) -> Self {
+        let v = jstr(value);
+        self.raw(key, v)
+    }
+
+    pub fn u64(self, key: &str, value: u64) -> Self {
+        self.raw(key, value.to_string())
+    }
+
+    pub fn usize(self, key: &str, value: usize) -> Self {
+        self.raw(key, value.to_string())
+    }
+
+    pub fn bool(self, key: &str, value: bool) -> Self {
+        self.raw(key, if value { "true" } else { "false" })
+    }
+
+    /// `null` when `None`, else the rendering `f` produces.
+    pub fn opt<T>(self, key: &str, value: Option<T>, f: impl FnOnce(T) -> String) -> Self {
+        match value {
+            Some(v) => self.raw(key, f(v)),
+            None => self.raw(key, "null"),
+        }
+    }
+
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.parts.join(","))
+    }
+}
+
+/// Renders a JSON array from pre-rendered element fragments.
+pub fn jarr(items: impl IntoIterator<Item = String>) -> String {
+    let items: Vec<String> = items.into_iter().collect();
+    format!("[{}]", items.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_and_composes() {
+        let o = Obj::new()
+            .str("name", "a\"b\\c\n")
+            .u64("n", 7)
+            .bool("ok", true)
+            .opt("maybe", None::<u64>, |v| v.to_string())
+            .raw("list", jarr(["1".to_string(), "2".to_string()]))
+            .finish();
+        assert_eq!(
+            o,
+            "{\"name\":\"a\\\"b\\\\c\\n\",\"n\":7,\"ok\":true,\"maybe\":null,\"list\":[1,2]}"
+        );
+    }
+}

@@ -122,6 +122,64 @@ impl SimTime {
         Self::from_ymd_hms(y, m, d, 0, 0, 0)
     }
 
+    /// Parses a user-supplied timestamp: raw Unix seconds, `YYYY-MM-DD`,
+    /// or `YYYY-MM-DDTHH:MM:SS` (UTC). Shared by the CLI's time flags and
+    /// the daemon's `at=`/`since=` query parameters.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        if let Ok(secs) = s.parse::<u64>() {
+            return Ok(SimTime(secs));
+        }
+        let bad = || format!("'{s}': expected Unix seconds or YYYY-MM-DD[THH:MM:SS]");
+        let (date, time) = match s.split_once('T') {
+            Some((d, t)) => (d, Some(t)),
+            None => (s, None),
+        };
+        let mut ymd = date.split('-').map(|p| p.parse::<u32>().map_err(|_| bad()));
+        let mut next_ymd = || ymd.next().unwrap_or_else(|| Err(bad()));
+        let (y, m, d) = (next_ymd()?, next_ymd()?, next_ymd()?);
+        let (hh, mm, ss) = match time {
+            None => (0, 0, 0),
+            Some(t) => {
+                let mut hms = t.split(':').map(|p| p.parse::<u32>().map_err(|_| bad()));
+                let mut next = || hms.next().unwrap_or_else(|| Err(bad()));
+                let out = (next()?, next()?, next()?);
+                if hms.next().is_some() {
+                    return Err(bad());
+                }
+                out
+            }
+        };
+        if ymd.next().is_some() {
+            return Err(bad());
+        }
+        // Range checks up front: `from_ymd_hms` panics pre-1970 and
+        // silently wraps out-of-range fields.
+        if !(1970..=9999).contains(&y) || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+            return Err(bad());
+        }
+        let leap = y % 4 == 0 && (y % 100 != 0 || y % 400 == 0);
+        let days_in_month = match m {
+            2 => {
+                if leap {
+                    29
+                } else {
+                    28
+                }
+            }
+            4 | 6 | 9 | 11 => 30,
+            _ => 31,
+        };
+        if d > days_in_month {
+            return Err(format!(
+                "'{s}': {y:04}-{m:02} has {days_in_month} days, not {d}"
+            ));
+        }
+        if hh > 23 || mm > 59 || ss > 59 {
+            return Err(bad());
+        }
+        Ok(Self::from_ymd_hms(y as i32, m, d, hh, mm, ss))
+    }
+
     /// Seconds since the epoch.
     pub const fn as_secs(self) -> u64 {
         self.0

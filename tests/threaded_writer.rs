@@ -250,3 +250,42 @@ fn sync_is_a_drain_and_fsync_barrier() {
     drop(be);
     std::fs::remove_file(&path).unwrap();
 }
+
+#[test]
+fn observers_never_act_as_drain_barriers() {
+    // The daemon polls stats()/describe() between cycles while the
+    // writer chews through its queue. Those observers must answer from
+    // the mirror + queue overlay, never by waiting for the drain — a
+    // health query that stalls behind a slow disk would defeat the
+    // writer thread entirely.
+    let path = tmp_path("observer-no-stall");
+    let delay = Duration::from_millis(20);
+    let mut be = slow_file_writer(&path, delay, 64, BackpressureMode::Block);
+    const N: u64 = 24;
+    for n in 0..N {
+        let (rec, json) = full_record(n);
+        be.append(&rec, &json).unwrap();
+    }
+    // ~N*20ms of disk work is queued; observers must return well inside
+    // one append's delay, and the queue must still be non-empty after —
+    // proof they did not silently drain it.
+    let t = Instant::now();
+    let stats = be.stats();
+    let info = be.describe();
+    let observed = t.elapsed();
+    assert!(
+        stats.queue_depth > 0,
+        "queue drained under the observers: stats() blocked on the writer"
+    );
+    assert!(
+        observed < delay * (N as u32) / 2,
+        "observers took {observed:?} — they stalled behind the slow disk"
+    );
+    assert_eq!(info.format_version, 2);
+    // pending includes the queued records (power-loss exposure).
+    assert!(stats.pending_appends >= stats.queue_depth);
+    drop(be); // the shutdown drain barrier is still a drain barrier
+    let reopened = FileBackendV2::open(&path).unwrap();
+    assert_eq!(reopened.len(), N as usize);
+    std::fs::remove_file(&path).unwrap();
+}

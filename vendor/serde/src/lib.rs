@@ -299,6 +299,15 @@ impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
 // Deserialize impls for std types
 // ---------------------------------------------------------------------
 
+// `Value` deserializes as itself — upstream serde_json offers the same
+// escape hatch for callers that want the raw tree (tests asserting JSON
+// shapes, generic tooling) rather than a typed struct.
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.take_value()
+    }
+}
+
 impl<'de> Deserialize<'de> for bool {
     fn deserialize<D: de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
         match d.take_value()? {
