@@ -20,6 +20,10 @@
 //! * `ablation_fleet_*` — one sharded fleet-monitor cycle end-to-end at
 //!   three fleet sizes (50 → 500 → 2000 routers, 4 shards), over the
 //!   fleet-scale scenario with every router monitored,
+//! * `ablation_churn_*` — the same fleet cycle under a churning topology
+//!   (calm / flappy / partition schedules vs a static world): what
+//!   dynamic membership costs, with a sharded-vs-single exactness
+//!   assertion under churn,
 //! * `ablation_parse_*` — the zero-copy span/byte Parse stage vs the
 //!   kept string parser over a 500-router fleet capture corpus, with a
 //!   bytes/sec accounting line and a strict zero-copy-wins assertion.
@@ -43,7 +47,7 @@ use mantra_core::tables::{LearnedFrom, PairRow, RouteRow, Tables};
 use mantra_core::{FleetMonitor, MonitorConfig};
 use mantra_net::{BitRate, GroupAddr, Ip, Prefix, SimDuration, SimTime};
 use mantra_router_cli::TableKind;
-use mantra_sim::Scenario;
+use mantra_sim::{ChurnProfile, Scenario};
 
 /// A short snapshot stream from a live scenario.
 fn snapshot_stream(n: usize) -> Vec<Tables> {
@@ -566,6 +570,67 @@ fn fleet_for(seed: u64, target: usize, shards: usize) -> (Scenario, FleetMonitor
     (sc, fleet)
 }
 
+fn ablation_churn(c: &mut Criterion) {
+    // What a churning world costs per fleet cycle: the same 200-router,
+    // 4-shard cycle as `ablation_fleet`, under no churn and under each
+    // profile. The dynamic-membership machinery — reconvergence after
+    // neighbor loss, staleness tracking, seal-on-retire, rejoin — all
+    // sits on this path.
+    let mut group = c.benchmark_group("ablation_churn");
+    group.sample_size(10);
+    let profiles: [(&str, Option<ChurnProfile>); 4] = [
+        ("static", None),
+        ("calm", Some(ChurnProfile::Calm)),
+        ("flappy", Some(ChurnProfile::Flappy)),
+        ("partition", Some(ChurnProfile::Partition)),
+    ];
+    for (name, profile) in profiles {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &profile, |b, profile| {
+            let (mut sc, mut fleet) = fleet_for(23, 200, 4);
+            if let Some(p) = profile {
+                sc.with_churn(*p, 23);
+            }
+            let next = sc.sim.clock + fleet.cfg.interval;
+            sc.sim.advance_to(next);
+            fleet.run_cycle(&sc.sim, next);
+            b.iter(|| {
+                let next = sc.sim.clock + fleet.cfg.interval;
+                sc.sim.advance_to(next);
+                black_box(fleet.run_cycle(&sc.sim, next))
+            });
+        });
+    }
+    group.finish();
+
+    // The churn exactness claim, asserted on the bench path too: under a
+    // flappy schedule, sharded and unsharded runs stay bit-identical.
+    let run = |shards: usize| {
+        let (mut sc, mut fleet) = fleet_for(23, 50, shards);
+        sc.with_churn(ChurnProfile::Flappy, 23);
+        for _ in 0..4 {
+            let next = sc.sim.clock + fleet.cfg.interval;
+            sc.sim.advance_to(next);
+            fleet.run_cycle(&sc.sim, next);
+        }
+        (
+            fleet.usage_history().to_vec(),
+            fleet.route_history().to_vec(),
+            fleet.anomalies.clone(),
+        )
+    };
+    let (u1, r1, a1) = run(1);
+    let (u4, r4, a4) = run(4);
+    assert_eq!(u1, u4, "churned sharded usage must be bit-identical");
+    assert_eq!(r1, r4, "churned sharded route stats must be bit-identical");
+    assert_eq!(a1.len(), a4.len(), "churned anomaly stream must match");
+    println!(
+        "[ablation_churn] flappy schedule, shards 1 vs 4 over 4 cycles: \
+         identical global stats ({} usage points, {} anomalies)",
+        u1.len(),
+        a1.len()
+    );
+}
+
 fn ablation_fleet(c: &mut Criterion) {
     // The sharded fleet monitor end-to-end: one collection cycle —
     // advance the world one tick, capture every router across 4 shards
@@ -758,6 +823,6 @@ criterion_group! {
     targets = ablation_logger, ablation_threshold, ablation_interval,
               ablation_aggregate, ablation_interning, ablation_archive,
               ablation_log, ablation_streaming, ablation_fleet,
-              ablation_report_loss, ablation_parse
+              ablation_churn, ablation_report_loss, ablation_parse
 }
 criterion_main!(ablations);

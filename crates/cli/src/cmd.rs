@@ -11,7 +11,7 @@ use mantra_core::{
 };
 use mantra_daemon::Engine;
 use mantra_net::{SimDuration, SimTime};
-use mantra_sim::Scenario;
+use mantra_sim::{ChurnProfile, ChurnSchedule, Scenario};
 
 use crate::args::Opts;
 
@@ -24,11 +24,13 @@ USAGE:
                   [--archive-dir DIR] [--fsync-every N] [--fsync-bytes B]
                   [--archive-writer sync|block|shed] [--archive-queue N]
                   [--fleet R] [--shards N] [--table-rows N]
+                  [--churn calm|flappy|partition]
   mantra health   [--seed N] [--native F] [--hours H] [--fail P] [--truncate P]
                   [--retries N]
   mantra daemon   [--addr HOST:PORT] [--seed N] [--native F] [--loss P]
                   [--archive-dir DIR] [--cycles N] [--tick-ms MS] [--refresh S]
-                  [--fleet R] [--shards N] [archive writer flags as monitor]
+                  [--fleet R] [--shards N] [--churn P]
+                  [archive writer flags as monitor]
   mantra incident [--seed N]
   mantra archive  info    --path FILE
   mantra archive  replay  --path FILE
@@ -57,6 +59,11 @@ OPTIONS:
                   when --fleet is absent)
   --table-rows N  fleet tables degrade to the worst N rows + a totals footer
                   (default 64)
+  --churn P       churn the topology mid-run: routers join/leave, links flap,
+                  domains partition and heal. P is calm, flappy or partition;
+                  the schedule is deterministic in (P, --seed). Prints the
+                  topology-event strip and the per-router health table with
+                  lifecycle states (active / stale(n) / retired)
   --path FILE     archive to inspect (.marc binary or legacy .jsonl)
   --out FILE      destination archive for `archive compact`
   --full-every N  full-snapshot checkpoint cadence when rewriting (default 96)
@@ -96,6 +103,34 @@ fn warmed(opts: &Opts, hours: u64) -> Result<Scenario, String> {
     let until = sc.sim.clock + SimDuration::hours(hours);
     sc.sim.advance_to(until);
     Ok(sc)
+}
+
+/// Resolves `--churn <profile>` into a schedule installed on the
+/// scenario, or `None` when the flag is absent. Deterministic in
+/// `(profile, --seed)` — two runs with the same flags replay the same
+/// topology history.
+fn churn_schedule(opts: &Opts, sc: &mut Scenario) -> Result<Option<ChurnSchedule>, String> {
+    let Some(name) = opts.get("churn") else {
+        return Ok(None);
+    };
+    let profile = ChurnProfile::parse(name)
+        .ok_or_else(|| format!("--churn '{name}': expected calm, flappy or partition"))?;
+    let seed = opts.u64_or("seed", 1998)?;
+    let schedule = sc.with_churn(profile, seed);
+    eprintln!(
+        "churn profile '{}' (seed {seed}): {} topology event(s) scheduled",
+        profile.name(),
+        schedule.len(),
+    );
+    Ok(Some(schedule))
+}
+
+/// Prints the topology-event strip for a churned run.
+fn print_event_strip(schedule: &ChurnSchedule) {
+    println!("topology events:");
+    for (at, label) in schedule.strip(None) {
+        println!("  {}  {label}", at.iso8601());
+    }
 }
 
 /// Resolves the archive flags shared by `monitor` and `daemon` into an
@@ -147,6 +182,7 @@ pub fn monitor(opts: &Opts) -> Result<(), String> {
         return monitor_fleet(opts, archive, archive_dir.as_deref());
     }
     let mut sc = scenario(opts)?;
+    let churn = churn_schedule(opts, &mut sc)?;
     let mut monitor = Monitor::new(MonitorConfig {
         routers: vec!["fixw".into(), "ucsb-gw".into()],
         interval: sc.sim.tick(),
@@ -155,11 +191,12 @@ pub fn monitor(opts: &Opts) -> Result<(), String> {
     });
     let cycles = hours * 3_600 / monitor.cfg.interval.as_secs();
     eprintln!("monitoring {hours}h of simulated time ({cycles} cycles)...");
+    let mut now = sc.sim.clock;
     for _ in 0..cycles {
-        let next = sc.sim.clock + monitor.cfg.interval;
-        sc.sim.advance_to(next);
+        now = sc.sim.clock + monitor.cfg.interval;
+        sc.sim.advance_to(now);
         let mut access = SimAccess::new(&sc.sim);
-        monitor.run_cycle(&mut access, next);
+        monitor.run_cycle(&mut access, now);
     }
     for router in ["fixw", "ucsb-gw"] {
         let Some(u) = monitor.usage_history(router).last() else {
@@ -185,13 +222,23 @@ pub fn monitor(opts: &Opts) -> Result<(), String> {
             monitor.anomalies[0]
         );
     }
+    if let Some(schedule) = &churn {
+        // A churned run surfaces the lifecycle column — routers that
+        // left are stale(n) or retired, not silently absent.
+        println!("\n{}", monitor.health(now).render());
+        print_event_strip(schedule);
+    }
     if let Some(dir) = &archive_dir {
         println!("\n{}", monitor.archive_table().render());
         eprintln!("archives written under {}", dir.display());
     }
     if let Some(path) = opts.get("html") {
-        std::fs::write(path, mantra_core::web::report_html(&monitor, "fixw"))
-            .map_err(|e| format!("writing {path}: {e}"))?;
+        let events = churn.as_ref().map(|s| s.strip(None)).unwrap_or_default();
+        std::fs::write(
+            path,
+            mantra_core::web::report_html_with_events(&monitor, "fixw", &events),
+        )
+        .map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote {path}");
     }
     Ok(())
@@ -225,6 +272,7 @@ fn monitor_fleet(
     let table_rows = opts.u64_or("table-rows", 64)?.max(1) as usize;
     let mut sc = Scenario::fleet_snapshot(seed, target, native);
     sc.sim.set_report_loss(loss);
+    let churn = churn_schedule(opts, &mut sc)?;
     let routers: Vec<String> = sc
         .sim
         .monitored
@@ -270,6 +318,11 @@ fn monitor_fleet(
     let mut health = fleet.health(now);
     health.drop_column("shard");
     println!("\n{}", health.render());
+    if let Some(schedule) = &churn {
+        // The strip is shard-invariant, so it is safe on the stdout the
+        // fleet-smoke job diffs across shard counts.
+        print_event_strip(schedule);
+    }
     if let Some(dir) = archive_dir {
         let mut archives = fleet.archive_table();
         archives.drop_column("shard");
@@ -278,8 +331,12 @@ fn monitor_fleet(
     }
     println!("{}", fleet.usage_graph().render(96, 14));
     if let Some(path) = opts.get("html") {
-        std::fs::write(path, mantra_core::web::fleet_report_html(&fleet, now))
-            .map_err(|e| format!("writing {path}: {e}"))?;
+        let events = churn.as_ref().map(|s| s.strip(None)).unwrap_or_default();
+        std::fs::write(
+            path,
+            mantra_core::web::fleet_report_html_with_events(&fleet, now, &events),
+        )
+        .map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote {path}");
     }
     Ok(())
@@ -318,6 +375,7 @@ pub fn daemon(opts: &Opts) -> Result<(), String> {
         let table_rows = opts.u64_or("table-rows", 64)?.max(1) as usize;
         let mut sc = Scenario::fleet_snapshot(seed, target, native);
         sc.sim.set_report_loss(loss);
+        let churn = churn_schedule(opts, &mut sc)?;
         let routers: Vec<String> = sc
             .sim
             .monitored
@@ -344,10 +402,15 @@ pub fn daemon(opts: &Opts) -> Result<(), String> {
             }
             next
         });
-        let cfg = mantra_daemon::DaemonConfig { router, ..cfg };
+        let cfg = mantra_daemon::DaemonConfig {
+            router,
+            topology_events: churn.as_ref().map(|s| s.strip(None)).unwrap_or_default(),
+            ..cfg
+        };
         (cfg, Engine::Fleet(fleet), tick)
     } else {
         let mut sc = scenario(opts)?;
+        let churn = churn_schedule(opts, &mut sc)?;
         let monitor = Monitor::new(MonitorConfig {
             routers: vec!["fixw".into(), "ucsb-gw".into()],
             interval: sc.sim.tick(),
@@ -364,6 +427,10 @@ pub fn daemon(opts: &Opts) -> Result<(), String> {
             }
             next
         });
+        let cfg = mantra_daemon::DaemonConfig {
+            topology_events: churn.as_ref().map(|s| s.strip(None)).unwrap_or_default(),
+            ..cfg
+        };
         (cfg, Engine::Single(monitor), tick)
     };
     let handle =

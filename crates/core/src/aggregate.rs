@@ -60,6 +60,13 @@ impl ParallelAccess for mantra_sim::Simulation {
             .router_by_name(router)
             .map(|r| r.id)
             .ok_or_else(|| CaptureError::UnknownRouter(router.to_string()))?;
+        // A departed router refuses the session — transient, like
+        // `SimAccess`, so retries/backoff stay sharded/single-identical.
+        if !self.net.topo.is_active(id) {
+            return Err(CaptureError::LoginFailed(format!(
+                "router {router} is offline"
+            )));
+        }
         Ok(mantra_router_cli::render(&self.net, id, table, now))
     }
 }

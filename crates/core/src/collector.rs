@@ -346,6 +346,15 @@ impl RouterAccess for SimAccess<'_> {
         let id = self
             .resolve(router)
             .ok_or_else(|| CaptureError::UnknownRouter(router.to_string()))?;
+        if !self.sim.net.topo.is_active(id) {
+            // A churned-out router answers like one that is powered off:
+            // the login never succeeds. Transient, so the retry policy
+            // still runs (deterministically) and the cycle records a
+            // missed router rather than an unknown one.
+            return Err(CaptureError::LoginFailed(format!(
+                "router {router} is offline"
+            )));
+        }
         Ok(mantra_router_cli::render(&self.sim.net, id, table, now))
     }
 }

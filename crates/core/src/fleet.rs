@@ -119,6 +119,52 @@ impl FleetMonitor {
         self.shards.len()
     }
 
+    /// Re-partitions the fleet onto a new router→shard assignment
+    /// between cycles, moving each reassigned router's state — archive
+    /// (as its open log), statistics histories, health, streaming
+    /// accumulators — wholesale to its new shard. Per-router state is
+    /// store-independent, so the move is exact: the next cycle's global
+    /// outputs are bit-identical to a fleet (or single monitor) that had
+    /// run with the new assignment all along, which the churn property
+    /// tests assert. Routers a shard has never polled have no state to
+    /// move; their state is created at first sight as usual.
+    pub fn rebalance(&mut self, new_assignment: &[usize]) {
+        assert_eq!(
+            new_assignment.len(),
+            self.cfg.routers.len(),
+            "one shard id per router"
+        );
+        let shards_n = new_assignment.iter().map(|s| s + 1).max().unwrap_or(1);
+        while self.shards.len() < shards_n {
+            self.shards.push(Monitor::new(MonitorConfig {
+                routers: Vec::new(),
+                cross_router_checks: false,
+                table_detail_limit: usize::MAX,
+                ..self.cfg.clone()
+            }));
+        }
+        for (i, router) in self.cfg.routers.iter().enumerate() {
+            let (from, to) = (self.assignment[i], new_assignment[i]);
+            if from == to {
+                continue;
+            }
+            if let Some(st) = self.shards[from].evict_router(router) {
+                self.shards[to].adopt_router(st);
+            }
+        }
+        // Recompute every shard's polling list so each keeps the global
+        // relative order — the invariant the report re-interleaving
+        // relies on.
+        let mut routers_of: Vec<Vec<String>> = vec![Vec::new(); self.shards.len()];
+        for (router, &s) in self.cfg.routers.iter().zip(new_assignment) {
+            routers_of[s].push(router.clone());
+        }
+        for (shard, routers) in self.shards.iter_mut().zip(routers_of) {
+            shard.set_routers(routers);
+        }
+        self.assignment = new_assignment.to_vec();
+    }
+
     /// The shards, in shard order.
     pub fn shards(&self) -> &[Monitor] {
         &self.shards
@@ -239,13 +285,17 @@ impl FleetMonitor {
         // Global cross-router consistency over every router's latest
         // snapshot, in configuration order — the group-by-key join
         // compares each pair of distinct views once, within and across
-        // shards alike.
+        // shards alike. Only snapshots captured *this* cycle
+        // participate: a missed router's `latest` is a stale snapshot
+        // from before it went dark, and a single monitor would not have
+        // had it in the sweep either.
         let views: Vec<&Tables> = self
             .cfg
             .routers
             .iter()
             .zip(&self.assignment)
             .filter_map(|(router, &s)| self.shards[s].latest(router))
+            .filter(|t| t.captured_at == now)
             .collect();
         report
             .anomalies
@@ -405,25 +455,28 @@ impl FleetMonitor {
             let summary = if table.column_index("stale").is_some() {
                 format!(
                     "{} of {n} routers shown (worst by failures); fleet totals: \
-                     ok {}, failed {}, retries {}, {} stale, {} degraded archives",
+                     ok {}, failed {}, retries {}, {} stale, {} retired, \
+                     {} degraded archives",
                     self.cfg.table_detail_limit,
                     sum("ok") as u64,
                     sum("failed") as u64,
                     sum("retries") as u64,
                     count_text("stale", "STALE"),
+                    count_text("state", "retired"),
                     count_text("archive", "degraded"),
                 )
             } else {
                 format!(
                     "{} of {n} archives shown (worst by errors); fleet totals: \
                      {} records, {:.0} kbytes, {} fsyncs, {} dropped, {} errors, \
-                     {} degraded",
+                     {} sealed, {} degraded",
                     self.cfg.table_detail_limit,
                     sum("records") as u64,
                     sum("kbytes"),
                     sum("fsyncs") as u64,
                     sum("dropped") as u64,
                     sum("errors") as u64,
+                    count_text("lifecycle", "sealed"),
                     count_text("persistence", "degraded"),
                 )
             };

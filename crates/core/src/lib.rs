@@ -64,7 +64,7 @@ pub use archive::{
 };
 pub use collector::{CaptureError, CollectStats, Collector, RetryPolicy, RouterAccess};
 pub use fleet::FleetMonitor;
-pub use monitor::{Monitor, MonitorConfig, RouterHealth};
+pub use monitor::{LifecycleState, Monitor, MonitorConfig, RouterHealth};
 pub use pipeline::{PipelineMetrics, Stage, StageKind, StageMetrics};
 pub use stats::{ConsistencyMatrix, RouteStats, UsageStats};
 pub use stats_stream::{IncrementalStats, StatsTotals};

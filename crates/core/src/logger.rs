@@ -593,6 +593,11 @@ pub struct TableLog {
     /// [`TableLog::backend_error`].
     pub fell_back: bool,
     backend_error: Option<String>,
+    /// True once [`TableLog::seal`] ran: the archive is closed to
+    /// appends until the router rejoins (see
+    /// [`ArchiveSpec::rejoin_log`]). Reads keep working — a sealed
+    /// archive is exactly a read-only one.
+    sealed: bool,
     /// Archive reads that failed during [`TableLog::replay`]. Interior
     /// mutability because replay takes `&self`; surfaced through
     /// [`TableLog::replay_errors`] and the `archive_degraded` health
@@ -614,6 +619,7 @@ impl Default for TableLog {
             write_errors: 0,
             fell_back: false,
             backend_error: None,
+            sealed: false,
             replay_errors: Cell::new(0),
             replay_error: RefCell::new(None),
         }
@@ -717,9 +723,31 @@ impl TableLog {
             write_errors: 0,
             fell_back: false,
             backend_error: None,
+            sealed: false,
             replay_errors: Cell::new(0),
             replay_error: RefCell::new(None),
         })
+    }
+
+    /// Seals the archive when its router retires from the fleet.
+    ///
+    /// Sealing is a **drain barrier**: on threaded backends every queued
+    /// append lands on disk before this returns, so the `.marc` file is
+    /// byte-stable from this moment until the router rejoins. Further
+    /// appends are refused (counted in [`TableLog::write_errors`]);
+    /// replay and stats keep working. Idempotent.
+    pub fn seal(&mut self) {
+        if self.sealed {
+            return;
+        }
+        // `len` is the drain barrier on ThreadedBackend.
+        let _ = self.backend.len();
+        self.sealed = true;
+    }
+
+    /// True once the archive has been sealed by [`TableLog::seal`].
+    pub fn is_sealed(&self) -> bool {
+        self.sealed
     }
 
     /// The backend's archive accounting. Non-draining on every backend:
@@ -766,6 +794,11 @@ impl TableLog {
     /// store can serve every router's log (the monitor shares its
     /// pipeline-wide [`TableStore`] here).
     pub fn append_with(&mut self, store: &mut TableStore, tables: &Tables) -> Option<TableDelta> {
+        if self.sealed {
+            self.write_errors += 1;
+            self.backend_error = Some("archive is sealed (router retired)".into());
+            return None;
+        }
         let parts = SnapshotParts::from_tables(tables);
         let full_record = LogRecord::Full(parts.clone());
         // The serialised text is kept, not just measured: the backend
@@ -1090,6 +1123,66 @@ impl ArchiveSpec {
                     Err(e) => fallback(full_every, e),
                 }
             }
+        }
+    }
+
+    /// Reopens a sealed archive when its router rejoins the fleet.
+    ///
+    /// File-backed archives are rewritten in place at the **next interner
+    /// epoch** (via [`compact_archive`] to a sibling temp file, then an
+    /// atomic rename) and reopened for appending with the tail resumed —
+    /// so payloads salvaged from the pre-retirement file can never be
+    /// resolved against the post-rejoin dictionary, while the replayed
+    /// history stays snapshot-identical. Memory archives simply unseal
+    /// and continue. Any rewrite failure falls back to a fresh in-memory
+    /// log with [`TableLog::fell_back`] set, mirroring
+    /// [`ArchiveSpec::open_log`]: a rejoin never kills the cycle.
+    pub fn rejoin_log(&self, router: &str, full_every: usize, sealed: TableLog) -> TableLog {
+        fn fallback(full_every: usize, e: io::Error) -> TableLog {
+            let mut log = TableLog::new(full_every);
+            log.write_errors = 1;
+            log.fell_back = true;
+            log.backend_error = Some(format!("archive rejoin failed, logging to memory: {e}"));
+            log
+        }
+        let (dir, sync, writer) = match self {
+            ArchiveSpec::Memory => {
+                let mut log = sealed;
+                log.sealed = false;
+                return log;
+            }
+            ArchiveSpec::File { dir, sync } => (dir, *sync, None),
+            ArchiveSpec::Threaded { dir, sync, writer } => (dir, *sync, Some(*writer)),
+        };
+        let path = ArchiveSpec::path_for(dir, router);
+        let tmp = path.with_extension("marc.rejoin");
+        let opts = CompactOptions {
+            full_every,
+            drop_before: None,
+            sync,
+        };
+        let rewritten = compact_archive(&sealed, &tmp, &opts);
+        // Close both the sealed source and the rewrite before renaming.
+        drop(sealed);
+        match rewritten {
+            Ok(rewrite) => drop(rewrite),
+            Err(e) => {
+                std::fs::remove_file(&tmp).ok();
+                return fallback(full_every, e);
+            }
+        }
+        let reopen = std::fs::rename(&tmp, &path).and_then(|()| {
+            let mut backend = FileBackendV2::open(&path)?;
+            backend.sync = sync;
+            let boxed: Box<dyn ArchiveBackend> = match writer {
+                Some(cfg) => Box::new(ThreadedBackend::spawn(Box::new(backend), cfg)),
+                None => Box::new(backend),
+            };
+            TableLog::resume(boxed, full_every)
+        });
+        match reopen {
+            Ok(log) => log,
+            Err(e) => fallback(full_every, e),
         }
     }
 }

@@ -50,6 +50,11 @@ pub struct MonitorConfig {
     /// A router is flagged stale after this many intervals without a
     /// successful capture.
     pub stale_after_intervals: u64,
+    /// A router is retired — its archive sealed, its health shown as
+    /// `retired` instead of serving the last status forever — after this
+    /// many *consecutive* missed cycles. A later successful capture
+    /// (rejoin) unseals the archive at the next epoch.
+    pub retire_after_intervals: u64,
     /// Whether the Analyse stage runs the cross-router consistency sweep.
     /// A fleet shard turns this off: [`crate::fleet::FleetMonitor`] sweeps
     /// globally so cross-shard pairs are not missed.
@@ -71,6 +76,7 @@ impl Default for MonitorConfig {
             injection_min_new: 200,
             retry: RetryPolicy::default(),
             stale_after_intervals: 4,
+            retire_after_intervals: 8,
             cross_router_checks: true,
             table_detail_limit: 64,
         }
@@ -104,6 +110,42 @@ pub struct RouterHealth {
     /// fell back to an in-memory backend (e.g. unwritable archive dir)
     /// or has recorded write errors.
     pub archive_degraded: bool,
+    /// Consecutive cycles with no usable capture (reset on any success or
+    /// salvage). This is what drives the explicit lifecycle below.
+    pub missed_cycles: u64,
+    /// Whether the router is currently retired: missed cycles crossed
+    /// [`MonitorConfig::retire_after_intervals`] and the archive was
+    /// sealed. Cleared on rejoin.
+    pub retired: bool,
+    /// How many times this router has rejoined after a retirement.
+    pub rejoins: u64,
+}
+
+/// Explicit per-router lifecycle, judged from consecutive missed cycles —
+/// the registry never serves the last OK status forever.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LifecycleState {
+    /// Captures are arriving.
+    Active,
+    /// `missed_cycles` consecutive cycles produced nothing usable.
+    Stale {
+        /// How many cycles in a row have been missed.
+        missed_cycles: u64,
+    },
+    /// Missed cycles crossed the retirement threshold; the archive is
+    /// sealed until the router rejoins.
+    Retired,
+}
+
+impl LifecycleState {
+    /// Table/JSON label: `active`, `stale(3)`, `retired`.
+    pub fn label(&self) -> String {
+        match self {
+            LifecycleState::Active => "active".into(),
+            LifecycleState::Stale { missed_cycles } => format!("stale({missed_cycles})"),
+            LifecycleState::Retired => "retired".into(),
+        }
+    }
 }
 
 impl RouterHealth {
@@ -119,6 +161,11 @@ impl RouterHealth {
         if stats.successes > 0 {
             self.last_success = Some(now);
         }
+        if stats.successes + stats.salvaged > 0 {
+            self.missed_cycles = 0;
+        } else {
+            self.missed_cycles += 1;
+        }
         self.last_latency = stats.backoff;
     }
 
@@ -128,6 +175,21 @@ impl RouterHealth {
         match self.last_success {
             Some(t) => now.since(t) > interval * stale_after,
             None => self.cycles >= stale_after,
+        }
+    }
+
+    /// The explicit lifecycle state under a `stale_after` missed-cycle
+    /// threshold. Retirement is a recorded transition (the archive gets
+    /// sealed when it happens), so it wins over the derived staleness.
+    pub fn lifecycle(&self, stale_after: u64) -> LifecycleState {
+        if self.retired {
+            LifecycleState::Retired
+        } else if self.missed_cycles >= stale_after.max(1) {
+            LifecycleState::Stale {
+                missed_cycles: self.missed_cycles,
+            }
+        } else {
+            LifecycleState::Active
         }
     }
 }
@@ -221,12 +283,50 @@ impl Monitor {
         self.collector.failures
     }
 
-    /// The state of one router, if it has participated in a cycle.
+    /// The state of one router, if it has participated in a cycle (and
+    /// was not rebalanced away to another shard).
     fn state_of(&self, router: &str) -> Option<&RouterState> {
         self.store
             .routers
             .get(&router.to_string())
             .map(|id| &self.state[id as usize])
+            .filter(|st| !st.evicted)
+    }
+
+    /// Removes a router's state for a fleet rebalance, leaving an
+    /// evicted tombstone in its interned slot (ids never renumber). The
+    /// state carries its open archive with it. `None` when the router
+    /// has no state here (never polled, or already evicted).
+    pub(crate) fn evict_router(&mut self, router: &str) -> Option<RouterState> {
+        let id = self.store.routers.get(&router.to_string())?;
+        let st = &mut self.state[id as usize];
+        if st.evicted {
+            return None;
+        }
+        Some(std::mem::replace(
+            st,
+            RouterState::tombstone(router.to_string()),
+        ))
+    }
+
+    /// Installs a router's state moved in by a fleet rebalance, replacing
+    /// the tombstone if this shard held the router before. Per-router
+    /// state is store-independent (deltas are address-keyed, the archive
+    /// travels as an open log), so adoption is a slot write — no replay,
+    /// no re-interning of table keys.
+    pub(crate) fn adopt_router(&mut self, st: RouterState) {
+        let id = self.store.routers.intern_str(&st.name);
+        if id as usize == self.state.len() {
+            self.state.push(st);
+        } else {
+            self.state[id as usize] = st;
+        }
+    }
+
+    /// Replaces the polling list (a fleet rebalance recomputes each
+    /// shard's list so global configuration order is preserved).
+    pub(crate) fn set_routers(&mut self, routers: Vec<String>) {
+        self.cfg.routers = routers;
     }
 
     /// One full monitoring cycle at `now`, polling routers serially over a
@@ -289,6 +389,7 @@ impl Monitor {
                 session_names: &self.session_names,
                 log_full_every: self.cfg.log_full_every,
                 archive: &self.cfg.archive,
+                retire_after: self.cfg.retire_after_intervals,
                 parallel,
             };
             self.metrics.run(&mut stage, parsed)
@@ -390,20 +491,23 @@ impl Monitor {
                 "latency_s",
                 "last_success",
                 "stale",
+                "state",
                 "archive",
             ],
         );
-        let (mut ok, mut failed, mut retries, mut stale_n, mut degraded_n) =
-            (0u64, 0u64, 0u64, 0usize, 0usize);
+        let (mut ok, mut failed, mut retries, mut stale_n, mut retired_n, mut degraded_n) =
+            (0u64, 0u64, 0u64, 0usize, 0usize, 0usize);
         for router in &self.cfg.routers {
             let Some(h) = self.router_health(router) else {
                 continue;
             };
             let stale = h.is_stale(now, self.cfg.interval, self.cfg.stale_after_intervals);
+            let lifecycle = h.lifecycle(self.cfg.stale_after_intervals);
             ok += h.successes;
             failed += h.failures;
             retries += h.retries;
             stale_n += usize::from(stale);
+            retired_n += usize::from(lifecycle == LifecycleState::Retired);
             degraded_n += usize::from(h.archive_degraded);
             table.push_row(vec![
                 Cell::Text(router.clone()),
@@ -420,6 +524,7 @@ impl Monitor {
                         .unwrap_or_else(|| "never".into()),
                 ),
                 Cell::Text(if stale { "STALE" } else { "ok" }.into()),
+                Cell::Text(lifecycle.label()),
                 Cell::Text(if h.archive_degraded { "degraded" } else { "ok" }.into()),
             ]);
         }
@@ -430,11 +535,18 @@ impl Monitor {
             format!(
                 "{} of {n} routers shown (worst by failures); fleet totals: \
                  ok {ok}, failed {failed}, retries {retries}, {stale_n} stale, \
-                 {degraded_n} degraded archives",
+                 {retired_n} retired, {degraded_n} degraded archives",
                 self.cfg.table_detail_limit.min(n),
             ),
         );
         table
+    }
+
+    /// The explicit lifecycle state of one router (`None` before its first
+    /// cycle).
+    pub fn lifecycle_of(&self, router: &str) -> Option<LifecycleState> {
+        self.router_health(router)
+            .map(|h| h.lifecycle(self.cfg.stale_after_intervals))
     }
 
     /// Whether the latest cycle's parsing is degraded: malformed lines
@@ -481,11 +593,13 @@ impl Monitor {
                 "blk_ms",
                 "dropped",
                 "errors",
+                "lifecycle",
                 "persistence",
             ],
         );
         let (mut records, mut kbytes, mut fsyncs, mut dropped, mut errors_n, mut degraded_n) =
             (0u64, 0.0f64, 0u64, 0u64, 0u64, 0usize);
+        let mut sealed_n = 0usize;
         for router in &self.cfg.routers {
             let Some(st) = self.state_of(router) else {
                 continue;
@@ -518,8 +632,10 @@ impl Monitor {
                 Cell::Num(stats.blocked_nanos as f64 / 1e6),
                 Cell::Num(stats.dropped_records as f64),
                 Cell::Num(errors as f64),
+                Cell::Text(if st.log.is_sealed() { "sealed" } else { "live" }.into()),
                 Cell::Text(if degraded { "degraded" } else { "ok" }.into()),
             ]);
+            sealed_n += usize::from(st.log.is_sealed());
         }
         let n = table.rows.len();
         table.condense(
@@ -528,7 +644,8 @@ impl Monitor {
             format!(
                 "{} of {n} archives shown (worst by errors); fleet totals: \
                  {records} records, {kbytes:.0} kbytes, {fsyncs} fsyncs, \
-                 {dropped} dropped, {errors_n} errors, {degraded_n} degraded",
+                 {dropped} dropped, {errors_n} errors, {sealed_n} sealed, \
+                 {degraded_n} degraded",
                 self.cfg.table_detail_limit.min(n),
             ),
         );
@@ -554,6 +671,9 @@ impl Monitor {
     pub fn stream_totals(&self) -> crate::stats_stream::StatsTotals {
         let mut acc = crate::stats_stream::StatsTotals::default();
         for st in &self.state {
+            if st.evicted {
+                continue;
+            }
             acc.absorb(&st.stream.totals());
         }
         acc
@@ -565,6 +685,9 @@ impl Monitor {
     pub fn cycle_churn(&self, at: SimTime) -> RouteChurn {
         let mut acc = RouteChurn::default();
         for st in &self.state {
+            if st.evicted {
+                continue;
+            }
             if let Some((t, churn)) = st.churn.last() {
                 if *t == at {
                     acc.absorb(churn);
@@ -959,8 +1082,48 @@ mod tests {
             ..MonitorConfig::default()
         });
         drive(&mut sc, &mut monitor, 3);
-        assert_eq!(monitor.usage_history("ghost").len(), 3);
-        assert_eq!(monitor.usage_history("ghost")[0].sessions, 0);
+        // A router that never answers produces NO statistics samples —
+        // absent cycles are gaps, not phantom all-zero entries — while
+        // the failures are still counted in health.
+        assert!(monitor.usage_history("ghost").is_empty());
+        assert!(monitor.route_history("ghost").is_empty());
+        assert!(monitor.latest("ghost").is_none());
         assert_eq!(monitor.capture_failures(), 15);
+        let ghost = monitor.router_health("ghost").unwrap();
+        assert_eq!(ghost.cycles, 3);
+        assert_eq!(ghost.missed_cycles, 3);
+    }
+
+    #[test]
+    fn missed_cycles_drive_retirement_and_the_state_column() {
+        let mut sc = Scenario::transition_snapshot(35, 0.0);
+        let mut monitor = Monitor::new(MonitorConfig {
+            routers: vec!["fixw".into(), "ghost".into()],
+            stale_after_intervals: 2,
+            retire_after_intervals: 4,
+            ..MonitorConfig::default()
+        });
+        drive(&mut sc, &mut monitor, 3);
+        assert_eq!(
+            monitor.lifecycle_of("ghost"),
+            Some(LifecycleState::Stale { missed_cycles: 3 })
+        );
+        drive(&mut sc, &mut monitor, 2);
+        assert_eq!(monitor.lifecycle_of("ghost"), Some(LifecycleState::Retired));
+        assert_eq!(monitor.lifecycle_of("fixw"), Some(LifecycleState::Active));
+        // The health table shows the lifecycle, the archive table shows
+        // the sealed log.
+        let health = monitor.health(sc.sim.clock);
+        let state_col = health.columns.iter().position(|c| c == "state").unwrap();
+        assert_eq!(health.rows[0][state_col], Cell::Text("active".into()));
+        assert_eq!(health.rows[1][state_col], Cell::Text("retired".into()));
+        let archives = monitor.archive_table();
+        let lc_col = archives
+            .columns
+            .iter()
+            .position(|c| c == "lifecycle")
+            .unwrap();
+        assert_eq!(archives.rows[0][lc_col], Cell::Text("live".into()));
+        assert_eq!(archives.rows[1][lc_col], Cell::Text("sealed".into()));
     }
 }

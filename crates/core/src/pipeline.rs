@@ -297,6 +297,9 @@ impl PipelineMetrics {
     pub fn record_archives(&mut self, state: &[RouterState]) {
         let mut agg: Vec<ArchiveMetrics> = Vec::new();
         for st in state {
+            if st.evicted {
+                continue;
+            }
             let stats = st.log.archive_stats();
             let kind = st.log.backend_kind();
             let m = match agg.iter_mut().find(|m| m.backend == kind) {
@@ -418,6 +421,12 @@ pub struct RouterState {
     /// Archive size after each cycle, `(cycle time, stored bytes)` — the
     /// growth curve the HTML report charts.
     pub archive_growth: Vec<(SimTime, u64)>,
+    /// True for the tombstone left behind when a fleet rebalance moved
+    /// this router's state to another shard. Interned ids are dense and
+    /// never renumber, so the vacated slot stays — but every aggregation
+    /// over the state vector skips it, and [`RouterState`] lookups treat
+    /// it as absent.
+    pub evicted: bool,
 }
 
 impl RouterState {
@@ -437,6 +446,28 @@ impl RouterState {
             stream: IncrementalStats::default(),
             avg_bw: FxHashMap::default(),
             archive_growth: Vec::new(),
+            evicted: false,
+        }
+    }
+
+    /// The slot left behind by a rebalance eviction. Deliberately does
+    /// NOT open an archive — the moved state carried its open log with
+    /// it, and opening here would truncate the file it still writes.
+    pub fn tombstone(name: String) -> Self {
+        RouterState {
+            name,
+            log: TableLog::default(),
+            usage: Vec::new(),
+            routes: Vec::new(),
+            churn: Vec::new(),
+            prev: None,
+            longterm: LongTermTracker::default(),
+            health: RouterHealth::default(),
+            detector: SpikeDetector::new(32, 8.0, 100.0),
+            stream: IncrementalStats::default(),
+            avg_bw: FxHashMap::default(),
+            archive_growth: Vec::new(),
+            evicted: true,
         }
     }
 }
@@ -702,6 +733,15 @@ fn enrich_router(st: &mut RouterState, tables: &mut Tables, names: &BTreeMap<Gro
 /// folds per-pair running bandwidth averages and overlays externally
 /// learned session names. Interning and state creation are a short
 /// serial prologue; the per-router fold fans out.
+///
+/// The prologue is also where dynamic membership lives. A router whose
+/// batch produced nothing usable (no success, no salvaged partial) is a
+/// **missed** router: its health is recorded — that's how staleness
+/// accrues — but it is dropped from the cycle's work, so no phantom
+/// empty snapshot is enriched, archived or pushed into its statistics
+/// series. A router missed [`EnrichStage::retire_after`] cycles in a row
+/// is retired and its archive sealed; the first usable batch afterwards
+/// rejoins it, reopening the archive at the next interner epoch.
 pub struct EnrichStage<'a> {
     /// The shared interning store.
     pub store: &'a mut TableStore,
@@ -713,6 +753,9 @@ pub struct EnrichStage<'a> {
     pub log_full_every: usize,
     /// Archive backend selection for freshly seen routers.
     pub archive: &'a ArchiveSpec,
+    /// Consecutive missed cycles after which a router is retired and its
+    /// archive sealed.
+    pub retire_after: u64,
     /// Whether to fan the per-router bodies across the thread pool.
     pub parallel: bool,
 }
@@ -743,7 +786,28 @@ impl Stage for EnrichStage<'_> {
                 self.state
                     .push(RouterState::new(router, self.log_full_every, self.archive));
             }
-            self.state[id as usize].health.record(&stats, at);
+            let st = &mut self.state[id as usize];
+            let missed = stats.successes + stats.salvaged == 0;
+            st.health.record(&stats, at);
+            if missed {
+                if !st.health.retired && st.health.missed_cycles >= self.retire_after.max(1) {
+                    st.health.retired = true;
+                    st.log.seal();
+                }
+                // Nothing usable came back: record the miss in health
+                // (above) but keep the router out of this cycle's work —
+                // an absent router must not produce phantom snapshots,
+                // archive records or zero statistics samples.
+                continue;
+            }
+            if st.health.retired {
+                st.health.retired = false;
+                st.health.rejoins += 1;
+                let sealed = std::mem::take(&mut st.log);
+                st.log = self
+                    .archive
+                    .rejoin_log(&st.name, self.log_full_every, sealed);
+            }
             work.push((id, tables));
         }
         let names = self.session_names;

@@ -189,8 +189,39 @@ pub fn graph_svg(g: &Graph, width: u32, height: u32) -> String {
     out
 }
 
+/// Renders the topology-events strip: the churn timeline (joins, leaves,
+/// link flaps, partitions) as a compact HTML list. Plain text markup, no
+/// SVG — reports embed it alongside the graphs without disturbing their
+/// chart count, and the daemon serves the same rows as JSON on
+/// `/health`. Empty input renders an explicit "none" line so a calm run
+/// is distinguishable from a report built without churn wiring.
+pub fn topology_events_html(events: &[(SimTime, String)]) -> String {
+    let mut out = String::new();
+    if events.is_empty() {
+        let _ = writeln!(out, "<p>Topology events: none.</p>");
+        return out;
+    }
+    let _ = writeln!(out, "<p>Topology events ({}):</p><ol>", events.len());
+    for (at, label) in events {
+        let _ = writeln!(out, "<li>{} — {}</li>", at.iso8601(), esc(label));
+    }
+    let _ = writeln!(out, "</ol>");
+    out
+}
+
 /// Renders a full monitoring report page for one router.
 pub fn report_html(monitor: &Monitor, router: &str) -> String {
+    report_html_with_events(monitor, router, &[])
+}
+
+/// [`report_html`] with a topology-events strip: `events` is the churn
+/// timeline up to the report's moment (`Simulation::churn().strip(..)` in
+/// scenarios, empty when monitoring a static world).
+pub fn report_html_with_events(
+    monitor: &Monitor,
+    router: &str,
+    events: &[(SimTime, String)],
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "<!DOCTYPE html>");
     let _ = writeln!(
@@ -263,6 +294,7 @@ pub fn report_html(monitor: &Monitor, router: &str) -> String {
     }
     growth.overlay(stored);
     let _ = writeln!(out, "{}", graph_svg(&growth, 860, 200));
+    let _ = writeln!(out, "{}", topology_events_html(events));
     let _ = writeln!(out, "{}", table_html(&monitor.busiest_sessions(router, 10)));
     let _ = writeln!(out, "{}", table_html(&monitor.top_senders(router, 10)));
     let _ = writeln!(out, "{}", table_html(&monitor.stage_table()));
@@ -285,6 +317,16 @@ pub fn report_html(monitor: &Monitor, router: &str) -> String {
 /// sharded fleet, built from the aggregation tier's global outputs
 /// rather than any single shard's view.
 pub fn fleet_report_html(fleet: &crate::fleet::FleetMonitor, now: SimTime) -> String {
+    fleet_report_html_with_events(fleet, now, &[])
+}
+
+/// [`fleet_report_html`] with a topology-events strip, like
+/// [`report_html_with_events`].
+pub fn fleet_report_html_with_events(
+    fleet: &crate::fleet::FleetMonitor,
+    now: SimTime,
+    events: &[(SimTime, String)],
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "<!DOCTYPE html>");
     let _ = writeln!(
@@ -335,6 +377,7 @@ pub fn fleet_report_html(fleet: &crate::fleet::FleetMonitor, now: SimTime) -> St
         cache.entries,
         if cache.entries == 1 { "y" } else { "ies" }
     );
+    let _ = writeln!(out, "{}", topology_events_html(events));
     let _ = writeln!(out, "{}", table_html(&fleet.health(now)));
     let _ = writeln!(out, "{}", table_html(&fleet.parse_table()));
     let _ = writeln!(out, "{}", table_html(&fleet.archive_table()));

@@ -151,12 +151,28 @@ impl Engine {
         Some((m.archive_path(router)?, m.query_cache()))
     }
 
-    /// The live HTML report (single-router page, or the fleet page).
-    pub fn report_html(&self, router: &str, now: SimTime, refresh_secs: u64) -> String {
+    /// The lifecycle state of one router
+    /// (active / stale(n) / retired), judged by its owning monitor.
+    pub fn lifecycle_of(&self, router: &str) -> Option<mantra_core::LifecycleState> {
+        self.monitor_of(router)?.lifecycle_of(router)
+    }
+
+    /// The live HTML report (single-router page, or the fleet page),
+    /// with the topology-events strip rendered from `events`.
+    pub fn report_html(
+        &self,
+        router: &str,
+        now: SimTime,
+        refresh_secs: u64,
+        events: &[(SimTime, String)],
+    ) -> String {
         match self {
-            Engine::Single(m) => mantra_core::web::live_report_html(m, router, refresh_secs),
+            Engine::Single(m) => mantra_core::web::live_wrap(
+                &mantra_core::web::report_html_with_events(m, router, events),
+                refresh_secs,
+            ),
             Engine::Fleet(f) => mantra_core::web::live_wrap(
-                &mantra_core::web::fleet_report_html(f, now),
+                &mantra_core::web::fleet_report_html_with_events(f, now, events),
                 refresh_secs,
             ),
         }
@@ -183,6 +199,11 @@ pub struct DaemonConfig {
     /// query surface keeps serving either way. CI uses this to diff a
     /// quiescent archive against the offline replay.
     pub max_cycles: Option<u64>,
+    /// The scenario's churn timeline (`(event time, label)`), shown on
+    /// `/health` (filtered to events at or before the latest cycle) and
+    /// as the report page's topology-events strip. Empty for a static
+    /// world.
+    pub topology_events: Vec<(SimTime, String)>,
 }
 
 impl Default for DaemonConfig {
@@ -193,6 +214,7 @@ impl Default for DaemonConfig {
             refresh_secs: 2,
             tick: Duration::from_millis(250),
             max_cycles: None,
+            topology_events: Vec::new(),
         }
     }
 }
@@ -205,6 +227,8 @@ struct Shared {
     shutdown: AtomicBool,
     default_router: String,
     refresh_secs: u64,
+    /// Full churn timeline for the run; endpoints filter by `now`.
+    topology_events: Vec<(SimTime, String)>,
 }
 
 /// A running daemon: the bound address plus the two thread handles.
@@ -255,6 +279,7 @@ where
         shutdown: AtomicBool::new(false),
         default_router: cfg.router.clone(),
         refresh_secs: cfg.refresh_secs,
+        topology_events: cfg.topology_events.clone(),
     });
 
     let tick_shared = Arc::clone(&shared);
@@ -363,7 +388,7 @@ fn report(shared: &Shared, req: &Request) -> Response {
     let engine = shared.engine.lock().unwrap_or_else(|e| e.into_inner());
     let router = req.param("router").unwrap_or(&shared.default_router);
     let now = SimTime(shared.now.load(Ordering::SeqCst));
-    Response::html(engine.report_html(router, now, shared.refresh_secs))
+    Response::html(engine.report_html(router, now, shared.refresh_secs, &shared.topology_events))
 }
 
 fn health(shared: &Shared) -> Response {
@@ -373,6 +398,7 @@ fn health(shared: &Shared) -> Response {
     let (interval, stale_after) = (cfg.interval, cfg.stale_after_intervals);
     let rows = cfg.routers.iter().filter_map(|router| {
         let h = engine.router_health(router)?;
+        let state = h.lifecycle(stale_after).label();
         Some(
             Obj::new()
                 .str("router", router)
@@ -384,11 +410,28 @@ fn health(shared: &Shared) -> Response {
                 .u64("raw_bytes", h.raw_bytes)
                 .opt("last_success", h.last_success, |t| t.as_secs().to_string())
                 .bool("stale", h.is_stale(now, interval, stale_after))
+                .str("state", &state)
+                .u64("missed_cycles", h.missed_cycles)
+                .u64("rejoins", h.rejoins)
                 .bool("archive_degraded", h.archive_degraded)
                 .finish(),
         )
     });
     let rows: Vec<String> = rows.collect();
+    // Topology events that have already happened, oldest first. The
+    // timeline is known up front (the schedule is deterministic); only
+    // the `now` cut varies as cycles land.
+    let events: Vec<String> = shared
+        .topology_events
+        .iter()
+        .filter(|(at, _)| at.as_secs() <= now.as_secs())
+        .map(|(at, label)| {
+            Obj::new()
+                .u64("at", at.as_secs())
+                .str("event", label)
+                .finish()
+        })
+        .collect();
     Response::json(
         Obj::new()
             .u64("cycles", engine.cycles())
@@ -396,6 +439,7 @@ fn health(shared: &Shared) -> Response {
             .u64("capture_failures", engine.capture_failures())
             .usize("anomalies", engine.anomalies().len())
             .raw("query_cache", cache_json(engine.cache_stats()))
+            .raw("topology_events", jarr(events))
             .raw("routers", jarr(rows))
             .finish(),
     )
@@ -409,18 +453,30 @@ fn usage(shared: &Shared, req: &Request) -> Response {
     if engine.monitor_of(router).is_none() {
         return Response::error(404, &format!("unknown router {router:?}"));
     }
+    // A retired router's history is a frozen prefix, not live data —
+    // say so instead of serving it unlabeled.
+    let state = engine
+        .lifecycle_of(router)
+        .map(|l| l.label())
+        .unwrap_or_else(|| "unknown".into());
+    let retired = state == "retired";
     let history = engine.usage_history(router);
     let payload = match serde_json::to_string(history) {
         Ok(p) => p,
         Err(e) => return Response::error(500, &e.to_string()),
     };
-    Response::json(
-        Obj::new()
-            .str("router", router)
-            .usize("cycles", history.len())
-            .raw("usage", payload)
-            .finish(),
-    )
+    let mut obj = Obj::new()
+        .str("router", router)
+        .str("state", &state)
+        .bool("retired", retired)
+        .usize("cycles", history.len());
+    if retired {
+        obj = obj.str(
+            "note",
+            "router is retired; history is the archived prefix up to its last successful cycle",
+        );
+    }
+    Response::json(obj.raw("usage", payload).finish())
 }
 
 fn anomalies(shared: &Shared, req: &Request) -> Response {

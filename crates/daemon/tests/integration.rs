@@ -127,6 +127,7 @@ fn daemon_serves_golden_json_and_replay_matches_offline_reader() {
         refresh_secs: 1,
         tick: Duration::from_millis(5),
         max_cycles: Some(CYCLES),
+        topology_events: vec![(mantra_net::SimTime::from_ymd(1999, 1, 1), "link fixw--ucsb-gw down".into())],
     };
     let handle = spawn(cfg, Engine::Single(monitor), move |engine: &mut Engine| {
         let next = sc.sim.clock + interval;
@@ -162,9 +163,16 @@ fn daemon_serves_golden_json_and_replay_matches_offline_reader() {
             "capture_failures",
             "anomalies",
             "query_cache",
+            "topology_events",
             "routers"
         ]
     );
+    // The configured churn timeline predates the scenario window, so it
+    // is already visible — and keyed as {at, event} rows.
+    let events = seq(field(&health, "topology_events"));
+    assert_eq!(events.len(), 1);
+    assert_eq!(keys(&events[0]), ["at", "event"]);
+    assert_eq!(string(field(&events[0], "event")), "link fixw--ucsb-gw down");
     assert_eq!(keys(field(&health, "query_cache")), CACHE_KEYS);
     let routers = seq(field(&health, "routers"));
     assert_eq!(routers.len(), 2);
@@ -181,9 +189,14 @@ fn daemon_serves_golden_json_and_replay_matches_offline_reader() {
                 "raw_bytes",
                 "last_success",
                 "stale",
+                "state",
+                "missed_cycles",
+                "rejoins",
                 "archive_degraded"
             ]
         );
+        assert_eq!(string(field(row, "state")), "active");
+        assert_eq!(uint(field(row, "missed_cycles")), 0);
         assert_eq!(string(field(row, "router")), name);
         // Several captures land per cycle (one per table command); a
         // lossless run has a clean multiple of them and zero failures.
@@ -205,8 +218,10 @@ fn daemon_serves_golden_json_and_replay_matches_offline_reader() {
 
     // /stats/usage — one UsageStats per completed cycle.
     let usage = json(addr, "/stats/usage?router=fixw");
-    assert_eq!(keys(&usage), ["router", "cycles", "usage"]);
+    assert_eq!(keys(&usage), ["router", "state", "retired", "cycles", "usage"]);
     assert_eq!(string(field(&usage, "router")), "fixw");
+    assert_eq!(string(field(&usage, "state")), "active");
+    assert_eq!(field(&usage, "retired"), &Value::Bool(false));
     assert_eq!(uint(field(&usage, "cycles")), CYCLES);
     assert_eq!(seq(field(&usage, "usage")).len() as u64, CYCLES);
 

@@ -7,6 +7,7 @@ use std::collections::BinaryHeap;
 use mantra_net::{DomainId, GroupAddr, HostId, SimDuration, SimTime};
 use mantra_topology::LinkId;
 
+use crate::churn::ChurnEvent;
 use crate::workload::{ParticipantPlan, SessionPlan};
 
 /// Everything that can happen in a scenario.
@@ -68,6 +69,9 @@ pub enum Event {
     },
     /// The leaked routes are withdrawn (the operator fixed the leak).
     WithdrawInjected,
+    /// A topology-churn mutation: routers joining/leaving, links flapping,
+    /// partitions forming and healing. See [`crate::churn`].
+    Churn(ChurnEvent),
 }
 
 #[derive(Debug)]

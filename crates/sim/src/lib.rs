@@ -6,6 +6,9 @@
 //!
 //! * [`rng`] — seeded determinism plus the heavy-tailed distributions the
 //!   workload is calibrated with,
+//! * [`churn`] — deterministic topology-churn schedules (routers joining
+//!   and leaving, link flaps, partitions) with a shrinkable raw-op surface
+//!   for systematic testing,
 //! * [`event`] — the discrete-event queue,
 //! * [`network`] — topology + per-router protocol engines and the
 //!   synchronous routing round (DVMRP reports with loss, MBGP syncs,
@@ -30,6 +33,7 @@
 //! not distinguishable in any figure.
 
 pub mod applayer;
+pub mod churn;
 pub mod event;
 pub mod network;
 pub mod rng;
@@ -39,6 +43,7 @@ pub mod trees;
 pub mod workload;
 
 pub use applayer::{AppLayerConfig, AppLayerMonitor, AppLayerView};
+pub use churn::{ChurnEntry, ChurnEvent, ChurnProfile, ChurnSchedule, RawChurnOp, CHURN_SLOTS};
 pub use event::Event;
 pub use network::{LinkFilter, Network};
 pub use rng::SimRng;

@@ -67,6 +67,11 @@ pub struct Network {
     /// Extra per-domain prefixes advertised by borders, inflating route
     /// tables toward realistic MBone sizes.
     extra_prefixes_per_domain: usize,
+    /// Per router: the links that were up when it went offline, restored on
+    /// rejoin (links downed for other reasons stay down).
+    offline_links: Vec<Vec<LinkId>>,
+    /// Links cut by the most recent partition event, restored by heal.
+    partition_cuts: Vec<LinkId>,
 }
 
 impl Network {
@@ -96,6 +101,8 @@ impl Network {
             dvmrp_timers,
             injected: vec![Vec::new(); n],
             extra_prefixes_per_domain,
+            offline_links: vec![Vec::new(); n],
+            partition_cuts: Vec::new(),
         };
         net.rebuild_control_plane(now);
         net
@@ -137,6 +144,15 @@ impl Network {
         let n = self.topo.router_count();
         for i in 0..n {
             let id = RouterId(i as u32);
+            // Offline routers run nothing; their engines come back fresh
+            // (and reconverge from scratch) when the router rejoins.
+            if !self.topo.is_active(id) {
+                self.dvmrp[i] = None;
+                self.pim_sm[i] = None;
+                self.mbgp[i] = None;
+                self.msdp[i] = None;
+                continue;
+            }
             let suite = self.topo.router(id).suite;
             // DVMRP.
             if suite.dvmrp {
@@ -360,6 +376,97 @@ impl Network {
     }
 
     // ------------------------------------------------------------------
+    // Topology churn
+    // ------------------------------------------------------------------
+
+    /// Takes a router offline. Every up link it touches goes down (so both
+    /// sides see the DVMRP neighbor loss / MBGP session reset immediately),
+    /// and the router's own protocol and group state is dropped — a rejoin
+    /// boots cold and reconverges over the following routing rounds.
+    pub fn router_leave(&mut self, router: RouterId, now: SimTime) {
+        if !self.topo.is_active(router) {
+            return;
+        }
+        let links: Vec<LinkId> = self
+            .topo
+            .links_of(router)
+            .filter(|l| l.up)
+            .map(|l| l.id)
+            .collect();
+        for l in &links {
+            self.on_link_change(*l, false, now);
+        }
+        self.offline_links[router.index()] = links;
+        self.topo.set_router_active(router, false);
+        let i = router.index();
+        self.dvmrp[i] = None;
+        self.pim_sm[i] = None;
+        self.mbgp[i] = None;
+        self.msdp[i] = None;
+        self.igmp[i] = IgmpState::new();
+        self.mfib[i] = Mfib::new();
+        self.injected[i].clear();
+        // Peerings that involved the router must disappear from the meshes.
+        self.rebuild_control_plane(now);
+    }
+
+    /// Brings a previously departed router back. The links it took down are
+    /// restored where the far side is still active and not behind a
+    /// partition cut; engines are rebuilt cold and relearn state through the
+    /// next routing rounds.
+    pub fn router_join(&mut self, router: RouterId, now: SimTime) {
+        if self.topo.is_active(router) {
+            return;
+        }
+        self.topo.set_router_active(router, true);
+        let links = std::mem::take(&mut self.offline_links[router.index()]);
+        for l in links {
+            let link = self.topo.link(l);
+            let far = if link.a.router == router {
+                link.b.router
+            } else {
+                link.a.router
+            };
+            if !link.up && self.topo.is_active(far) && !self.partition_cuts.contains(&l) {
+                self.on_link_change(l, true, now);
+            }
+        }
+        self.rebuild_control_plane(now);
+    }
+
+    /// Partitions `domains` away from the rest of the internetwork by
+    /// cutting every interdomain link crossing the boundary. A later
+    /// [`Network::heal`] restores exactly this cut set.
+    pub fn partition(&mut self, domains: &[mantra_net::DomainId], now: SimTime) {
+        for l in self.topo.partition_cut(domains) {
+            if self.topo.link(l).up {
+                self.on_link_change(l, false, now);
+                self.partition_cuts.push(l);
+            }
+        }
+    }
+
+    /// Heals the current partition: every link cut by partition events comes
+    /// back up (where both endpoints are still active).
+    pub fn heal(&mut self, now: SimTime) {
+        let cuts = std::mem::take(&mut self.partition_cuts);
+        for l in cuts {
+            let link = self.topo.link(l);
+            if !link.up
+                && self.topo.is_active(link.a.router)
+                && self.topo.is_active(link.b.router)
+            {
+                self.on_link_change(l, true, now);
+            }
+        }
+    }
+
+    /// Links currently held down by an unhealed partition.
+    pub fn partition_cut_len(&self) -> usize {
+        self.partition_cuts.len()
+    }
+
+    // ------------------------------------------------------------------
     // Anomaly injection
     // ------------------------------------------------------------------
 
@@ -416,7 +523,7 @@ impl Network {
 
     /// True when the link can carry traffic under `filter`.
     fn link_admits(&self, l: &mantra_topology::Link, filter: LinkFilter) -> bool {
-        if !l.up {
+        if !l.up || !self.topo.is_active(l.a.router) || !self.topo.is_active(l.b.router) {
             return false;
         }
         match filter {
@@ -660,6 +767,70 @@ mod tests {
             steps += 1;
             assert!(steps < 10);
         }
+    }
+
+    #[test]
+    fn router_leave_and_rejoin_reconverge() {
+        let r = mbone_1998(&small_cfg());
+        let mut net = Network::new(r.topo, t0(), DvmrpTimers::default(), 0);
+        let mut rng = SimRng::seeded(6);
+        let mut now = run_rounds(&mut net, 6, 0.0, &mut rng);
+        let full = net.dvmrp_route_count(r.fixw);
+        let ucsb_links: Vec<LinkId> = net
+            .topo
+            .links_of(r.ucsb)
+            .filter(|l| l.up)
+            .map(|l| l.id)
+            .collect();
+        net.router_leave(r.ucsb, now);
+        assert!(!net.topo.is_active(r.ucsb));
+        assert!(net.dvmrp[r.ucsb.index()].is_none(), "engines dropped");
+        assert!(ucsb_links.iter().all(|l| !net.topo.link(*l).up));
+        assert!(
+            net.dvmrp_route_count(r.fixw) < full,
+            "neighbors withdraw immediately"
+        );
+        net.router_leave(r.ucsb, now); // idempotent
+        let full_ucsb = full; // symmetric convergence earlier in the test
+        net.router_join(r.ucsb, now);
+        assert!(net.topo.is_active(r.ucsb));
+        assert!(ucsb_links.iter().all(|l| net.topo.link(*l).up));
+        assert!(
+            net.dvmrp_route_count(r.ucsb) < full_ucsb,
+            "rejoin boots cold with only originated prefixes"
+        );
+        now = {
+            let mut t = now;
+            for _ in 0..8 {
+                t += SimDuration::secs(60);
+                net.routing_round(t, 0.0, &mut rng);
+            }
+            t
+        };
+        assert_eq!(net.dvmrp_route_count(r.fixw), full, "reconverged");
+        let _ = now;
+    }
+
+    #[test]
+    fn partition_and_heal_restore_exact_cut() {
+        let r = mbone_1998(&small_cfg());
+        let mut net = Network::new(r.topo, t0(), DvmrpTimers::default(), 0);
+        let mut rng = SimRng::seeded(7);
+        let mut now = run_rounds(&mut net, 6, 0.0, &mut rng);
+        let full = net.dvmrp_route_count(r.fixw);
+        let dom = net.topo.router(r.ucsb).domain;
+        net.partition(&[dom], now);
+        assert!(net.partition_cut_len() > 0);
+        assert!(net.dvmrp_route_count(r.fixw) < full);
+        let reachable = net.component(r.fixw, LinkFilter::Any);
+        assert!(!reachable.contains(&r.ucsb), "ucsb side is unreachable");
+        net.heal(now);
+        assert_eq!(net.partition_cut_len(), 0);
+        for _ in 0..8 {
+            now += SimDuration::secs(60);
+            net.routing_round(now, 0.0, &mut rng);
+        }
+        assert_eq!(net.dvmrp_route_count(r.fixw), full, "healed and relearned");
     }
 
     #[test]

@@ -20,6 +20,7 @@ use mantra_topology::reference::{
 };
 use mantra_topology::ProtocolSuite;
 
+use crate::churn::{ChurnEvent, ChurnProfile, ChurnSchedule};
 use crate::event::{Event, EventQueue};
 use crate::network::Network;
 use crate::rng::SimRng;
@@ -84,6 +85,7 @@ pub struct Simulation {
     fault_rng: SimRng,
     injection_target: RouterId,
     ticks_run: u64,
+    churn: ChurnSchedule,
 }
 
 impl Simulation {
@@ -118,6 +120,7 @@ impl Simulation {
             fault_rng,
             injection_target,
             ticks_run: 0,
+            churn: ChurnSchedule::default(),
         };
         // Recurring machinery.
         let first_arrival = sim.cfg.start + sim.workload.next_arrival_delay(sim.cfg.start);
@@ -141,6 +144,27 @@ impl Simulation {
     /// Schedules a scenario event at an absolute time.
     pub fn schedule(&mut self, at: SimTime, event: Event) {
         self.queue.schedule(at, event);
+    }
+
+    /// Installs a churn schedule: every entry is queued as an
+    /// [`Event::Churn`] and the schedule is kept for event strips. The
+    /// schedule draws from its own RNG stream, so installing one never
+    /// shifts the workload or fault-injection sequences.
+    pub fn install_churn(&mut self, schedule: ChurnSchedule) {
+        for e in &schedule.events {
+            self.queue.schedule(e.at, Event::Churn(e.event.clone()));
+        }
+        self.churn = schedule;
+    }
+
+    /// The installed churn schedule (empty when none was installed).
+    pub fn churn(&self) -> &ChurnSchedule {
+        &self.churn
+    }
+
+    /// Scenario start time.
+    pub fn start_time(&self) -> SimTime {
+        self.cfg.start
     }
 
     /// Advances virtual time to `t`, processing every event up to it.
@@ -278,6 +302,34 @@ impl Simulation {
             Event::WithdrawInjected => {
                 self.net.withdraw_injected(self.injection_target, now);
             }
+            Event::Churn(c) => self.apply_churn(c, now),
+        }
+    }
+
+    /// Applies one churn mutation. Guards make arbitrary (property-derived)
+    /// sequences safe: joining an active router or flapping a link of an
+    /// offline one is a no-op.
+    fn apply_churn(&mut self, c: ChurnEvent, now: SimTime) {
+        match c {
+            ChurnEvent::RouterLeave(r) => self.net.router_leave(r, now),
+            ChurnEvent::RouterJoin(r) => self.net.router_join(r, now),
+            ChurnEvent::LinkDown(l) => {
+                let link = self.net.topo.link(l);
+                if link.up {
+                    self.net.on_link_change(l, false, now);
+                }
+            }
+            ChurnEvent::LinkUp(l) => {
+                let link = self.net.topo.link(l);
+                if !link.up
+                    && self.net.topo.is_active(link.a.router)
+                    && self.net.topo.is_active(link.b.router)
+                {
+                    self.net.on_link_change(l, true, now);
+                }
+            }
+            ChurnEvent::Partition { domains } => self.net.partition(&domains, now),
+            ChurnEvent::Heal => self.net.heal(now),
         }
     }
 }
@@ -481,6 +533,24 @@ impl Scenario {
         let sim = Simulation::new(r, monitored, cfg, WorkloadConfig::default());
         Scenario { sim, fixw, ucsb }
     }
+
+    /// Installs a profile-shaped churn schedule over the scenario window
+    /// and returns it (for event strips). The FIXW-equivalent exchange
+    /// router is protected — the collection point itself never churns —
+    /// but everything else, including other monitored routers, is fair
+    /// game. Deterministic in `(profile, seed)`.
+    pub fn with_churn(&mut self, profile: ChurnProfile, seed: u64) -> ChurnSchedule {
+        let schedule = ChurnSchedule::generate(
+            profile,
+            seed,
+            &self.sim.net.topo,
+            &[self.fixw],
+            self.sim.start_time(),
+            self.sim.end_time(),
+        );
+        self.sim.install_churn(schedule.clone());
+        schedule
+    }
 }
 
 #[cfg(test)]
@@ -574,6 +644,51 @@ mod tests {
             sc.sim.sessions.len() > 200,
             "sessions {}",
             sc.sim.sessions.len()
+        );
+    }
+
+    #[test]
+    fn churned_scenario_is_deterministic_and_changes_state() {
+        // Sample route counts and down-router counts every 12 hours across
+        // the window so short-lived flaps can't slip between observations.
+        let run = |churn: bool| {
+            let mut sc = Scenario::transition_snapshot(21, 0.4);
+            if churn {
+                let sched = sc.with_churn(ChurnProfile::Flappy, 21);
+                assert!(!sched.is_empty());
+                assert_eq!(sc.sim.churn().len(), sched.len());
+            }
+            let mut routes = Vec::new();
+            let mut down = Vec::new();
+            let mut at = sc.sim.start_time();
+            let end = sc.sim.end_time();
+            while at < end {
+                at += SimDuration::hours(12);
+                sc.sim.advance_to(at);
+                routes.push(sc.sim.net.dvmrp_route_count(sc.fixw));
+                down.push(
+                    sc.sim
+                        .net
+                        .topo
+                        .routers()
+                        .iter()
+                        .filter(|r| !r.active)
+                        .count(),
+                );
+            }
+            (sc.sim.sessions.len(), routes, down)
+        };
+        assert_eq!(run(true), run(true), "same seed, same churned world");
+        let (quiet_sessions, quiet_routes, quiet_down) = run(false);
+        let (churn_sessions, churn_routes, churn_down) = run(true);
+        // Churn must not disturb the workload stream...
+        assert_eq!(quiet_sessions, churn_sessions);
+        assert!(quiet_down.iter().all(|d| *d == 0));
+        // ...but captures genuinely change: routes differ at some sample or
+        // a router is observably gone.
+        assert!(
+            churn_routes != quiet_routes || churn_down.iter().any(|d| *d > 0),
+            "churn changed nothing across the window"
         );
     }
 

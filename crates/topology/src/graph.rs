@@ -62,6 +62,7 @@ impl Topology {
             domain,
             suite,
             ifaces: Vec::new(),
+            active: true,
         });
         self.adjacency.push(Vec::new());
         self.domains[domain.index()].routers.push(id);
@@ -210,6 +211,32 @@ impl Topology {
         self.links[id.index()].up = up;
     }
 
+    /// Powers a router on or off. A powered-off router keeps its id,
+    /// interfaces and domain membership — churn deactivates, it never
+    /// renumbers — but counts as absent for activity queries.
+    pub fn set_router_active(&mut self, id: RouterId, active: bool) {
+        self.routers[id.index()].active = active;
+    }
+
+    /// Whether a router is currently powered on.
+    pub fn is_active(&self, id: RouterId) -> bool {
+        self.routers[id.index()].active
+    }
+
+    /// Links whose endpoints land in different domains, one inside `domains`
+    /// and one outside — the cut set a partition event takes down.
+    pub fn partition_cut(&self, domains: &[DomainId]) -> Vec<LinkId> {
+        self.links
+            .iter()
+            .filter(|l| {
+                let a_in = domains.contains(&self.router(l.a.router).domain);
+                let b_in = domains.contains(&self.router(l.b.router).domain);
+                a_in != b_in
+            })
+            .map(|l| l.id)
+            .collect()
+    }
+
     /// Migrates a whole domain to native sparse mode: flips the domain
     /// protocol, re-suites its routers, and tears down its tunnels.
     ///
@@ -345,6 +372,29 @@ mod tests {
         assert!(t.router(b).suite.pim_sm && !t.router(b).suite.dvmrp);
         // The intra-domain tunnel is torn down.
         assert!(!t.link_between(a, b).unwrap().up);
+    }
+
+    #[test]
+    fn router_activation_round_trips() {
+        let (mut t, a, b) = two_router_topo();
+        assert!(t.is_active(a) && t.is_active(b));
+        t.set_router_active(b, false);
+        assert!(!t.is_active(b));
+        assert_eq!(t.router_count(), 2, "deactivation never renumbers");
+        t.set_router_active(b, true);
+        assert!(t.is_active(b));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn partition_cut_finds_interdomain_links() {
+        let (mut t, a, _) = two_router_topo();
+        let d2 = t.add_domain("edge", DomainProtocol::Dvmrp);
+        let c = t.add_router("c", Ip::new(192, 0, 2, 3), d2, ProtocolSuite::mbone());
+        let l = t.connect(a, c, LinkKind::Tunnel, 3);
+        // Intra-domain a—b link is not part of the cut; the a—c uplink is.
+        assert_eq!(t.partition_cut(&[d2]), vec![l]);
+        assert!(t.partition_cut(&[]).is_empty());
     }
 
     #[test]

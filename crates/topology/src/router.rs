@@ -137,6 +137,10 @@ pub struct Router {
     pub suite: ProtocolSuite,
     /// Interfaces, indexed by `IfaceId`.
     pub ifaces: Vec<Iface>,
+    /// Whether the router is currently powered on. Churn scenarios take
+    /// routers down and bring them back; ids stay dense either way, so a
+    /// departed router is deactivated, never removed.
+    pub active: bool,
 }
 
 impl Router {
@@ -181,6 +185,7 @@ mod tests {
             domain: DomainId(0),
             suite: ProtocolSuite::mbone(),
             ifaces: Vec::new(),
+            active: true,
         }
     }
 

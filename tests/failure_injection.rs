@@ -187,14 +187,27 @@ fn starved_router_goes_stale() {
     assert_eq!(starved.successes, 0);
     assert!(starved.retries > 0, "the monitor kept trying");
     assert!(starved.is_stale(now, monitor.cfg.interval, monitor.cfg.stale_after_intervals));
-    // History still exists for every cycle — staleness is flagged, not
-    // papered over.
-    assert_eq!(monitor.usage_history("ucsb-gw").len(), 8);
+    // A router the monitor never reached contributes *no* usage rows —
+    // absence is flagged in health, not papered over with zero-valued
+    // samples.
+    assert_eq!(monitor.usage_history("ucsb-gw").len(), 0);
+    assert_eq!(starved.missed_cycles, 8, "every missed cycle is counted");
+    // Eight consecutive misses walk the lifecycle all the way to Retired
+    // (defaults: stale after 4, retire after 8).
+    assert_eq!(
+        monitor.lifecycle_of("ucsb-gw"),
+        Some(mantra::core::LifecycleState::Retired)
+    );
     let table = monitor.health(now);
     let stale_col = table.columns.iter().position(|c| c == "stale").unwrap();
     assert_eq!(
         table.rows[1][stale_col],
         mantra::core::output::Cell::Text("STALE".into())
+    );
+    let state_col = table.columns.iter().position(|c| c == "state").unwrap();
+    assert_eq!(
+        table.rows[1][state_col],
+        mantra::core::output::Cell::Text("retired".into())
     );
 }
 

@@ -15,7 +15,7 @@ use mantra::core::logger::TableLog;
 use mantra::core::tables::{LearnedFrom, RouteRow, Tables};
 use mantra::core::{ArchiveSpec, FleetMonitor, Monitor, MonitorConfig, SyncPolicy};
 use mantra::net::{Ip, Prefix, SimTime};
-use mantra::sim::Scenario;
+use mantra::sim::{ChurnSchedule, Scenario, CHURN_SLOTS};
 
 /// A small fleet world: every router monitored, dense fleet workload.
 /// Target 10 sizes to one 8-router domain plus the exchange → 9 routers.
@@ -37,6 +37,15 @@ fn cfg_for(routers: Vec<String>, sc: &Scenario, archive: ArchiveSpec) -> Monitor
         archive,
         ..MonitorConfig::default()
     }
+}
+
+/// Soak-tunable case count: `PROPTEST_CASES` scales the churn property up
+/// (the CI churn-soak job sets 1024); the default stays cheap for tier-1.
+fn soak_cases(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 proptest! {
@@ -93,6 +102,90 @@ proptest! {
             prop_assert_eq!(f_log, s_log);
         }
     }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(soak_cases(6)))]
+
+    /// The churn invariant: for ANY router→shard partition, ANY churn
+    /// schedule (shrinkable raw triples — routers leaving and rejoining,
+    /// links flapping, partitions forming and healing), ANY mid-run
+    /// re-sharding, and any seed, the fleet stays bit-identical to a
+    /// single monitor over the same churned world: per-cycle reports,
+    /// global statistics, anomalies, per-router histories, lifecycle
+    /// states and archive replays. Routers that leave and rejoin may land
+    /// on a *different* shard after the rebalance — their moved state
+    /// (open archive log included) must carry over exactly.
+    #[test]
+    fn any_churn_schedule_matches_single_monitor(
+        assignment in proptest::collection::vec(0usize..4, 9..10),
+        reassignment in proptest::collection::vec(0usize..4, 9..10),
+        raw in proptest::collection::vec(
+            (0u16..CHURN_SLOTS, 0u8..12, 0u16..64u16),
+            0..16,
+        ),
+        seed in 0u64..8,
+    ) {
+        let (mut sc_fleet, routers) = world(seed);
+        let (mut sc_single, _) = world(seed);
+        let cycles = 8u64;
+        let interval = sc_fleet.sim.tick();
+        // Compress the raw ops' slot grid onto the cycles we actually
+        // run, so every drawn event fires inside the observed window.
+        let start = sc_fleet.sim.clock;
+        let end = SimTime(start.0 + interval.as_secs() * cycles);
+        let schedule = ChurnSchedule::from_raw(
+            &raw,
+            &sc_fleet.sim.net.topo,
+            &[sc_fleet.fixw],
+            start,
+            end,
+        );
+        sc_fleet.sim.install_churn(schedule.clone());
+        sc_single.sim.install_churn(schedule);
+        let mut fleet = FleetMonitor::with_assignment(
+            cfg_for(routers.clone(), &sc_fleet, ArchiveSpec::Memory),
+            &assignment,
+        );
+        let mut single = Monitor::new(cfg_for(routers.clone(), &sc_single, ArchiveSpec::Memory));
+        for cycle in 0..cycles {
+            if cycle == cycles / 2 {
+                // Re-shard mid-churn: any router may move shards while
+                // down, stale, retired, or mid-rejoin.
+                fleet.rebalance(&reassignment);
+            }
+            let next = sc_fleet.sim.clock + fleet.cfg.interval;
+            sc_fleet.sim.advance_to(next);
+            let fr = fleet.run_cycle(&sc_fleet.sim, next);
+            sc_single.sim.advance_to(next);
+            let mut access = SimAccess::new(&sc_single.sim);
+            let sr = single.run_cycle(&mut access, next);
+            prop_assert_eq!(&fr, &sr);
+            prop_assert_eq!(
+                fleet.usage_history().last().unwrap(),
+                &single.stream_totals().usage()
+            );
+            prop_assert_eq!(
+                fleet.route_history().last().unwrap(),
+                &single.stream_totals().route_stats()
+            );
+        }
+        prop_assert_eq!(&fleet.anomalies, &single.anomalies);
+        for r in &routers {
+            let shard = fleet.monitor_of(r).expect("router owned by a shard");
+            prop_assert_eq!(shard.lifecycle_of(r), single.lifecycle_of(r));
+            prop_assert_eq!(shard.usage_history(r), single.usage_history(r));
+            prop_assert_eq!(shard.route_history(r), single.route_history(r));
+            let f_log = shard.log(r).expect("shard archive").replay();
+            let s_log = single.log(r).expect("single archive").replay();
+            prop_assert_eq!(f_log, s_log, "archive divergence at {}", r);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
 
     /// The group-by-key consistency join raises exactly the anomalies of
     /// the O(n²) pairwise reference sweep, for arbitrary route views and
